@@ -1,0 +1,509 @@
+package colcache
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section (run `go test -bench=Fig -benchmem`), the ablations
+// DESIGN.md calls out (`-bench=Ablation`), and microbenchmarks of the
+// simulator's hot paths (`-bench=Micro`).
+//
+// Figure benchmarks report the figure's headline numbers as custom metrics
+// so `go test -bench` output doubles as the reproduction table.
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/cpu"
+	"colcache/internal/experiments"
+	"colcache/internal/graph"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+)
+
+// --- Figure 4: one benchmark per panel --------------------------------------
+
+func benchFig4Routine(b *testing.B, name string) {
+	var data *experiments.Fig4Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiments.RunFig4(experiments.DefaultFig4Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range data.Routines {
+		if r.Name != name {
+			continue
+		}
+		for k, c := range r.Cycles {
+			b.ReportMetric(float64(c), "cycles@"+string(rune('0'+k))+"cols")
+		}
+	}
+	if problems := data.Verify(); len(problems) != 0 {
+		b.Fatalf("paper shape violations: %v", problems)
+	}
+}
+
+// BenchmarkFig4Dequant regenerates Figure 4(a): dequant cycle count vs
+// scratchpad/cache partition.
+func BenchmarkFig4Dequant(b *testing.B) { benchFig4Routine(b, "dequant") }
+
+// BenchmarkFig4Plus regenerates Figure 4(b).
+func BenchmarkFig4Plus(b *testing.B) { benchFig4Routine(b, "plus") }
+
+// BenchmarkFig4Idct regenerates Figure 4(c).
+func BenchmarkFig4Idct(b *testing.B) { benchFig4Routine(b, "idct") }
+
+// BenchmarkFig4Total regenerates Figure 4(d): the whole application under
+// every static partition versus the dynamically repartitioned column cache.
+func BenchmarkFig4Total(b *testing.B) {
+	var data *experiments.Fig4Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiments.RunFig4(experiments.DefaultFig4Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := data.Total[0]
+	for _, c := range data.Total {
+		if c < best {
+			best = c
+		}
+	}
+	b.ReportMetric(float64(best), "static-best-cycles")
+	b.ReportMetric(float64(data.Column), "column-cycles")
+	b.ReportMetric(float64(best)/float64(data.Column), "speedup")
+	if problems := data.Verify(); len(problems) != 0 {
+		b.Fatalf("paper shape violations: %v", problems)
+	}
+}
+
+// --- Figure 5 ----------------------------------------------------------------
+
+// fig5BenchConfig trims the quantum axis to its ends and middle so the
+// benchmark finishes in seconds; `paperbench -experiment fig5` runs the full
+// 11-point axis.
+func fig5BenchConfig() experiments.Fig5Config {
+	cfg := experiments.DefaultFig5Config
+	cfg.Quanta = []int64{1, 4096, 1048576}
+	cfg.TargetInstructions = 1 << 19
+	return cfg
+}
+
+// BenchmarkFig5 regenerates Figure 5: job A's CPI vs context-switch quantum
+// for standard and column-mapped caches at 16KB and 128KB.
+func BenchmarkFig5(b *testing.B) {
+	var data *experiments.Fig5Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiments.RunFig5(fig5BenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range data.Curves {
+		label := strings.ReplaceAll(c.Label(), " ", "-")
+		b.ReportMetric(c.Points[0].CPI, "CPI@q1/"+label)
+		b.ReportMetric(c.Points[len(c.Points)-1].CPI, "CPI@q1M/"+label)
+	}
+	if problems := data.Verify(); len(problems) != 0 {
+		b.Fatalf("paper shape violations: %v", problems)
+	}
+}
+
+// --- Figure 3 (tint economy) -------------------------------------------------
+
+// BenchmarkFig3TintRemap measures the paper's cheap repartitioning: a tint
+// remap is a single table write, nanoseconds in the simulator and one cycle
+// in the model, versus a page-table rewrite per page for raw vectors.
+func BenchmarkFig3TintRemap(b *testing.B) {
+	m := MustNew(Config{PageBytes: 64})
+	r := m.Alloc("r", 4096)
+	id, err := m.Map(r, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Remap(id, i%4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationPolicy: isolation benefit across replacement policies.
+func BenchmarkAblationPolicy(b *testing.B) {
+	var rows []experiments.PolicyAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunPolicyAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.SharedCPI, "sharedCPI/"+string(r.Policy))
+		b.ReportMetric(r.MappedCPI, "mappedCPI/"+string(r.Policy))
+	}
+}
+
+// BenchmarkAblationMissPenalty: partition ordering across memory latencies.
+func BenchmarkAblationMissPenalty(b *testing.B) {
+	var rows []experiments.MissPenaltyAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunMissPenaltyAblation([]int{5, 20, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		gap := r.Sweep.Cycles[len(r.Sweep.Cycles)-1] - r.Sweep.Cycles[0]
+		b.ReportMetric(float64(gap), "cache-vs-scratch-gap@pen"+itoa(r.MissPenalty))
+	}
+}
+
+// BenchmarkAblationTLB: tint-carrying TLB reach.
+func BenchmarkAblationTLB(b *testing.B) {
+	var rows []experiments.TLBAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunTLBAblation([]int{8, 64}, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CPI, "CPI@tlb"+itoa(r.TLBEntries))
+	}
+}
+
+// BenchmarkAblationMaskGranularity: single-column vs aggregated partitions.
+func BenchmarkAblationMaskGranularity(b *testing.B) {
+	var rows []experiments.MaskGranularityAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunMaskGranularityAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		b.ReportMetric(float64(r.Cycles), "cycles/shape"+itoa(i))
+	}
+}
+
+// --- Microbenchmarks of the simulator's hot paths ----------------------------
+
+// BenchmarkMicroCacheAccess: raw column-cache lookup+replacement throughput.
+func BenchmarkMicroCacheAccess(b *testing.B) {
+	m := MustNew(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.System().Cache().Read(uint64(i*64)%(1<<20), replacement.All(4))
+	}
+}
+
+// BenchmarkMicroSystemAccess: full machine path (TLB + tint + cache +
+// timing) per access.
+func BenchmarkMicroSystemAccess(b *testing.B) {
+	m := MustNew(Config{})
+	a := Access{Addr: 0, Op: Read}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Addr = uint64(i*64) % (1 << 20)
+		m.Step(a)
+	}
+}
+
+// BenchmarkMicroTraceRun: end-to-end trace replay throughput.
+func BenchmarkMicroTraceRun(b *testing.B) {
+	prog := mpeg.Idct(mpeg.Config{})
+	sys := memsys.MustNew(memsys.Config{
+		Geometry: mustGeom(),
+		Cache:    defaultCacheCfg(),
+		Timing:   memsys.DefaultTiming,
+	})
+	b.SetBytes(int64(len(prog.Trace)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(prog.Trace)
+	}
+}
+
+// BenchmarkMicroLayout: the full layout pipeline (profile + graph + exact
+// coloring) on the idct kernel.
+func BenchmarkMicroLayout(b *testing.B) {
+	prog := mpeg.Idct(mpeg.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Build(layout.Request{
+			Trace:   prog.Trace,
+			Vars:    prog.Vars,
+			Machine: layout.Machine{Columns: 4, ColumnBytes: 512},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroExactColoring: exact minimum coloring on a Petersen graph.
+func BenchmarkMicroExactColoring(b *testing.B) {
+	g := graph.New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, e := range append(append(outer, inner...), spokes...) {
+		g.SetWeight(e[0], e[1], 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, k := g.ExactColor(); k != 3 {
+			b.Fatalf("k=%d", k)
+		}
+	}
+}
+
+// BenchmarkMicroGzipTrace: workload generation throughput (the LZ77 matcher
+// with recording).
+func BenchmarkMicroGzipTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := gzipsim.Job(gzipsim.Config{WindowBytes: 8 * 1024}, 0)
+		b.SetBytes(int64(len(p.Trace)))
+	}
+}
+
+// BenchmarkMicroTraceCodec: binary trace encode+decode throughput.
+func BenchmarkMicroTraceCodec(b *testing.B) {
+	prog := mpeg.Dequant(mpeg.Config{})
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := memtrace.WriteBinary(&buf, prog.Trace); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := memtrace.ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- small local helpers -----------------------------------------------------
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func mustGeom() memory.Geometry { return memory.MustGeometry(32, 64) }
+
+func defaultCacheCfg() cache.Config {
+	return cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4}
+}
+
+// --- Related-work comparison benches ------------------------------------------
+
+// BenchmarkComparisonPageColor: §5.1 page coloring vs column caching.
+func BenchmarkComparisonPageColor(b *testing.B) {
+	var rows []experiments.PageColorComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunPageColorComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].RemapCost), "pagecolor-remap-cycles")
+	b.ReportMetric(float64(rows[1].RemapCost), "column-remap-cycles")
+}
+
+// BenchmarkComparisonGranularity: §5.1 process masks vs region tints.
+func BenchmarkComparisonGranularity(b *testing.B) {
+	var rows []experiments.GranularityComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunGranularityComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.TableMisses), "table-misses/"+r.Scheme[:4])
+	}
+}
+
+// BenchmarkComparisonL2: hierarchy-depth ablation.
+func BenchmarkComparisonL2(b *testing.B) {
+	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+	var rows []experiments.L2Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunL2Comparison(job.Trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		b.ReportMetric(r.CPI, "CPI/cfg"+itoa(i))
+	}
+}
+
+// BenchmarkMicroCore: simulated-CPU instruction throughput (asm sum loop).
+func BenchmarkMicroCore(b *testing.B) {
+	prog := cpu.MustAssemble(`
+		li r1, 0
+		li r2, 0x10000
+		li r3, 1000
+		li r5, 0
+	loop:
+		ld r4, [r2+0]
+		add r1, r1, r4
+		addi r2, r2, 8
+		addi r3, r3, -1
+		bne r3, r5, loop
+		halt
+	`, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := memsys.MustNew(memsys.Config{
+			Geometry: mustGeom(),
+			Cache:    defaultCacheCfg(),
+			Timing:   memsys.DefaultTiming,
+		})
+		core := cpu.NewCore(sys, prog)
+		if halted, err := core.Run(1 << 20); err != nil || !halted {
+			b.Fatalf("halted=%v err=%v", halted, err)
+		}
+		b.SetBytes(core.Retired())
+	}
+}
+
+// BenchmarkMicroKernelLayouts: the layout pipeline across the extra kernels.
+func BenchmarkMicroKernelLayouts(b *testing.B) {
+	progs := []struct {
+		name  string
+		trace memtrace.Trace
+		vars  []memory.Region
+	}{}
+	for _, p := range []*workloads.Program{
+		kernels.MatMul(kernels.MatMulConfig{}),
+		kernels.FIR(kernels.FIRConfig{}),
+		kernels.Histogram(kernels.HistogramConfig{}),
+	} {
+		progs = append(progs, struct {
+			name  string
+			trace memtrace.Trace
+			vars  []memory.Region
+		}{p.Name, p.Trace, p.Vars})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := layout.Build(layout.Request{
+				Trace:   p.trace,
+				Vars:    p.vars,
+				Machine: layout.Machine{Columns: 4, ColumnBytes: 512},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWritePolicy: write-back vs write-through on hot
+// read-modify-write data.
+func BenchmarkAblationWritePolicy(b *testing.B) {
+	var rows []experiments.WritePolicyAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunWritePolicyAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), "cycles/"+r.Policy[:2])
+	}
+}
+
+// BenchmarkAblationJitter: CPI spread under randomized quanta, standard vs
+// column-mapped (paper §4.2's interrupt argument).
+func BenchmarkAblationJitter(b *testing.B) {
+	cfg := experiments.DefaultJitterConfig
+	cfg.Seeds = 4
+	cfg.TargetInstructions = 1 << 18
+	var rows []experiments.JitterResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunJitter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MaxCPI-r.MinCPI, "CPI-spread/"+r.Label()[:4])
+	}
+}
+
+// BenchmarkMicroL2: access throughput with a second level attached.
+func BenchmarkMicroL2(b *testing.B) {
+	m := MustNew(Config{})
+	if err := m.EnableL2(64*1024, 8, 10, false); err != nil {
+		b.Fatal(err)
+	}
+	a := Access{Op: Read}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Addr = uint64(i*64) % (1 << 20)
+		m.Step(a)
+	}
+}
+
+// BenchmarkMicroPrefetch: prefetcher-in-the-loop access throughput.
+func BenchmarkMicroPrefetch(b *testing.B) {
+	m := MustNew(Config{})
+	p, err := m.AttachPrefetcher(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := Access{Op: Read}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Addr = uint64(i * 32)
+		p.Step(a)
+	}
+}
+
+// BenchmarkPipelineDynamic: the §3.2 dynamic-layout experiment end to end.
+func BenchmarkPipelineDynamic(b *testing.B) {
+	var rows []experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunPipelineDynamic(mpeg.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	labels := []string{"unmanaged", "static", "dynamic"}
+	for i, r := range rows {
+		b.ReportMetric(float64(r.Cycles), "cycles/"+labels[i])
+	}
+}

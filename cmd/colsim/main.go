@@ -1,0 +1,276 @@
+// Command colsim runs a memory-reference trace through a configurable
+// column cache and reports hit/miss statistics and cycle counts.
+//
+// Usage:
+//
+//	colsim [flags] trace-file [trace-file...]
+//	colsim [flags] -synth stream|random|chase
+//
+// The trace file uses the text format "R|W hex-addr [think]" (use -binary
+// for the compact binary format). Column mappings are given as
+// -map base:size:col0[,col1...] and may repeat. With several trace files
+// each becomes a round-robin job sharing the cache (quantum set by
+// -quantum, per-job masks by -jobmask idx:col[,col...]) and per-job CPI is
+// reported — a Figure 5-style experiment on user traces.
+//
+// Example: isolate a stream at 0x1000 (4KB) in column 0 of a 16KB cache:
+//
+//	colsim -ways 4 -sets 128 -map 1000:1000:0 trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+	"colcache/internal/workloads/synth"
+)
+
+type mapFlag struct {
+	entries []mapEntry
+}
+
+type mapEntry struct {
+	base    uint64
+	size    uint64
+	columns []int
+}
+
+func (m *mapFlag) String() string { return fmt.Sprintf("%d mappings", len(m.entries)) }
+
+func (m *mapFlag) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want base:size:columns, got %q", v)
+	}
+	base, err := strconv.ParseUint(parts[0], 16, 64)
+	if err != nil {
+		return fmt.Errorf("bad base %q: %v", parts[0], err)
+	}
+	size, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return fmt.Errorf("bad size %q: %v", parts[1], err)
+	}
+	var cols []int
+	for _, c := range strings.Split(parts[2], ",") {
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			return fmt.Errorf("bad column %q: %v", c, err)
+		}
+		cols = append(cols, n)
+	}
+	m.entries = append(m.entries, mapEntry{base: base, size: size, columns: cols})
+	return nil
+}
+
+func main() {
+	var (
+		lineBytes = flag.Int("line", 32, "cache line bytes (power of two)")
+		sets      = flag.Int("sets", 16, "cache sets (power of two)")
+		ways      = flag.Int("ways", 4, "cache ways = columns")
+		pageBytes = flag.Int("page", 4096, "page bytes (mapping granularity)")
+		policy    = flag.String("policy", "lru", "replacement policy: lru, plru, fifo, random")
+		penalty   = flag.Int("penalty", 20, "miss penalty cycles")
+		binary    = flag.Bool("binary", false, "trace file is in binary format")
+		synthKind = flag.String("synth", "", "generate a synthetic workload instead of reading a file: stream, random, chase")
+		synthN    = flag.Int("n", 10000, "synthetic workload size (accesses or passes scale)")
+		quantum   = flag.Int64("quantum", 1024, "round-robin quantum in instructions (multi-trace mode)")
+		describe  = flag.Bool("describe", false, "print the machine's mapping state after the run")
+		reuse     = flag.Bool("reuse", false, "print the trace's reuse-distance histogram and LRU hit-rate estimates")
+		planPath  = flag.String("plan", "", "apply a saved layout plan (from layouttool -o) before the run")
+	)
+	var maps mapFlag
+	flag.Var(&maps, "map", "map hex-base:hex-size:col[,col...] to columns (repeatable)")
+	var jobMasks jobMaskFlag
+	flag.Var(&jobMasks, "jobmask", "per-job column mask idx:col[,col...] (repeatable, multi-trace mode)")
+	flag.Parse()
+
+	traces, err := loadTraces(*synthKind, *synthN, *binary)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+		os.Exit(1)
+	}
+	tr := traces[0]
+
+	timing := memsys.DefaultTiming
+	timing.MissPenalty = *penalty
+	g, err := memory.NewGeometry(*lineBytes, *pageBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+		os.Exit(1)
+	}
+	sys, err := memsys.New(memsys.Config{
+		Geometry: g,
+		Cache: cache.Config{
+			LineBytes: *lineBytes,
+			NumSets:   *sets,
+			NumWays:   *ways,
+			Policy:    replacement.Kind(*policy),
+		},
+		Timing: timing,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range maps.entries {
+		r := memory.Region{Name: fmt.Sprintf("map@%x", e.base), Base: e.base, Size: e.size}
+		if _, err := sys.MapRegion(r, replacement.Of(e.columns...)); err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *planPath != "" {
+		f, err := os.Open(*planPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := layout.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := layout.Apply(plan, sys, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: applying plan: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("cache:        %d sets × %d ways × %dB = %dB, policy %s\n",
+		*sets, *ways, *lineBytes, *sets**ways**lineBytes, *policy)
+	if len(traces) == 1 {
+		cycles := sys.Run(tr)
+		st := sys.Stats()
+		fmt.Printf("trace:        %s\n", memtrace.Summarize(tr, g))
+		fmt.Printf("cycles:       %d\n", cycles)
+		fmt.Printf("CPI:          %.3f\n", st.CPI())
+		fmt.Printf("cache:        %s\n", st.Cache)
+		fmt.Printf("TLB hit rate: %.2f%%\n", 100*st.TLB.HitRate())
+	} else {
+		rr, err := sched.NewRoundRobin(sys, *quantum)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		for i, t := range traces {
+			job := &sched.Job{
+				Name:               fmt.Sprintf("job%d", i),
+				Trace:              t,
+				TargetInstructions: t.Instructions(),
+			}
+			if m, ok := jobMasks.masks[i]; ok {
+				job.Mask = m
+			}
+			if err := rr.Add(job); err != nil {
+				fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for _, st := range rr.Run() {
+			fmt.Println(st)
+		}
+	}
+	if *describe {
+		fmt.Print(sys.Describe())
+	}
+	if *reuse {
+		printReuse(tr, g)
+	}
+}
+
+// printReuse renders the reuse-distance histogram and the LRU hit rates it
+// predicts across cache sizes.
+func printReuse(tr memtrace.Trace, g memory.Geometry) {
+	r := memtrace.ReuseDistances(tr, g)
+	fmt.Printf("reuse distances: %d accesses, %d cold\n", r.Accesses, r.ColdMisses)
+	for b, n := range r.Histogram {
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  [%6d,%6d) lines: %d\n", 1<<uint(b), 1<<uint(b+1), n)
+	}
+	for _, lines := range []int{16, 64, 256, 1024, 4096} {
+		fmt.Printf("  est. LRU hit rate @ %4d lines (%5dB): %.1f%%\n",
+			lines, lines*g.LineBytes, 100*r.HitRateAt(lines))
+	}
+}
+
+// jobMaskFlag parses repeated "idx:col[,col...]" per-job masks.
+type jobMaskFlag struct {
+	masks map[int]replacement.Mask
+}
+
+func (j *jobMaskFlag) String() string { return fmt.Sprintf("%d job masks", len(j.masks)) }
+
+func (j *jobMaskFlag) Set(v string) error {
+	idxStr, colStr, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("want idx:col[,col...], got %q", v)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		return fmt.Errorf("bad job index %q", idxStr)
+	}
+	var cols []int
+	for _, c := range strings.Split(colStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			return fmt.Errorf("bad column %q: %v", c, err)
+		}
+		cols = append(cols, n)
+	}
+	if j.masks == nil {
+		j.masks = make(map[int]replacement.Mask)
+	}
+	j.masks[idx] = replacement.Of(cols...)
+	return nil
+}
+
+func loadTraces(synthKind string, n int, binary bool) ([]memtrace.Trace, error) {
+	switch synthKind {
+	case "stream":
+		return []memtrace.Trace{synth.Stream(0, uint64(n)*64, 4, 2).Trace}, nil
+	case "random":
+		return []memtrace.Trace{synth.Random(0, 1<<20, n, 1).Trace}, nil
+	case "chase":
+		return []memtrace.Trace{synth.PointerChase(0, 1024, 64, n, 1).Trace}, nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown synthetic workload %q", synthKind)
+	}
+	if flag.NArg() < 1 {
+		return nil, fmt.Errorf("want at least one trace file (or -synth)")
+	}
+	var out []memtrace.Trace
+	for _, path := range flag.Args() {
+		tr, err := readTraceFile(path, binary)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func readTraceFile(path string, binary bool) (memtrace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if binary {
+		return memtrace.ReadBinary(f)
+	}
+	return memtrace.ReadText(f)
+}

@@ -1,0 +1,79 @@
+package main
+
+import "testing"
+
+func TestMapFlagParsing(t *testing.T) {
+	var m mapFlag
+	if err := m.Set("1000:200:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("ff00:10:1,2,3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.entries) != 2 {
+		t.Fatalf("entries=%d", len(m.entries))
+	}
+	e := m.entries[0]
+	if e.base != 0x1000 || e.size != 0x200 || len(e.columns) != 1 || e.columns[0] != 0 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	e = m.entries[1]
+	if e.base != 0xff00 || e.size != 0x10 || len(e.columns) != 3 || e.columns[2] != 3 {
+		t.Errorf("entry 1 = %+v", e)
+	}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMapFlagErrors(t *testing.T) {
+	var m mapFlag
+	for _, in := range []string{
+		"1000:200",     // missing columns
+		"zz:200:0",     // bad base
+		"1000:zz:0",    // bad size
+		"1000:200:x",   // bad column
+		"1000:200:0:5", // too many parts
+	} {
+		if err := m.Set(in); err == nil {
+			t.Errorf("Set(%q) succeeded", in)
+		}
+	}
+}
+
+func TestLoadTracesSynthetic(t *testing.T) {
+	for _, kind := range []string{"stream", "random", "chase"} {
+		traces, err := loadTraces(kind, 100, false)
+		if err != nil {
+			t.Errorf("loadTraces(%s): %v", kind, err)
+			continue
+		}
+		if len(traces) != 1 || len(traces[0]) == 0 {
+			t.Errorf("loadTraces(%s) shape wrong", kind)
+		}
+	}
+	if _, err := loadTraces("bogus", 100, false); err == nil {
+		t.Error("bogus synthetic kind accepted")
+	}
+}
+
+func TestJobMaskFlag(t *testing.T) {
+	var j jobMaskFlag
+	if err := j.Set("0:0,1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Set("2:3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.masks) != 2 || !j.masks[0].Has(1) || !j.masks[2].Has(3) {
+		t.Errorf("masks=%v", j.masks)
+	}
+	if j.String() == "" {
+		t.Error("empty String")
+	}
+	for _, bad := range []string{"nocolon", "x:1", "-1:1", "0:x"} {
+		if err := j.Set(bad); err == nil {
+			t.Errorf("Set(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Command layouttool runs the paper's data layout algorithm over a program
+// description and prints the column/scratchpad assignment of every variable.
+//
+// Two input methods are supported, matching paper §3.1.1:
+//
+//	layouttool -profile prog.json        # profile method: trace + variables
+//	layouttool -static prog.json         # program-analysis method: IR
+//
+// Profile-method JSON:
+//
+//	{
+//	  "machine":   {"columns": 4, "columnBytes": 512, "scratchpadBytes": 512},
+//	  "variables": [{"name": "a", "base": 4096, "size": 256}, ...],
+//	  "trace":     "trace.txt",
+//	  "forceScratch": ["a"]
+//	}
+//
+// Static-method JSON replaces "variables"/"trace" with an IR:
+//
+//	{
+//	  "machine": {...},
+//	  "arrays":  [{"name": "a", "bytes": 256}, ...],
+//	  "body":    [{"access": "a"}, {"compute": 5},
+//	              {"loop": {"count": 10, "body": [...]}},
+//	              {"branch": {"prob": 0.25, "then": [...], "else": [...]}}]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"colcache/internal/ir"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+)
+
+type machineJSON struct {
+	Columns         int    `json:"columns"`
+	ColumnBytes     int    `json:"columnBytes"`
+	ScratchpadBytes uint64 `json:"scratchpadBytes"`
+}
+
+type variableJSON struct {
+	Name string `json:"name"`
+	Base uint64 `json:"base"`
+	Size uint64 `json:"size"`
+}
+
+type arrayJSON struct {
+	Name  string `json:"name"`
+	Bytes uint64 `json:"bytes"`
+}
+
+type stmtJSON struct {
+	Access  string      `json:"access,omitempty"`
+	Write   bool        `json:"write,omitempty"`
+	Compute int         `json:"compute,omitempty"`
+	Loop    *loopJSON   `json:"loop,omitempty"`
+	Branch  *branchJSON `json:"branch,omitempty"`
+}
+
+type loopJSON struct {
+	Count int        `json:"count"`
+	Body  []stmtJSON `json:"body"`
+}
+
+type branchJSON struct {
+	Prob float64    `json:"prob"`
+	Then []stmtJSON `json:"then"`
+	Else []stmtJSON `json:"else"`
+}
+
+type inputJSON struct {
+	Machine      machineJSON    `json:"machine"`
+	Variables    []variableJSON `json:"variables"`
+	TraceFile    string         `json:"trace"`
+	ForceScratch []string       `json:"forceScratch"`
+	Arrays       []arrayJSON    `json:"arrays"`
+	Body         []stmtJSON     `json:"body"`
+}
+
+func toIR(stmts []stmtJSON) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		set := 0
+		if s.Access != "" {
+			set++
+		}
+		if s.Compute != 0 {
+			set++
+		}
+		if s.Loop != nil {
+			set++
+		}
+		if s.Branch != nil {
+			set++
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("statement must set exactly one of access/compute/loop/branch: %+v", s)
+		}
+		switch {
+		case s.Access != "":
+			out = append(out, ir.Access{Array: s.Access, Write: s.Write})
+		case s.Compute != 0:
+			out = append(out, ir.Compute{Instrs: s.Compute})
+		case s.Loop != nil:
+			body, err := toIR(s.Loop.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ir.Loop{Count: s.Loop.Count, Body: body})
+		case s.Branch != nil:
+			then, err := toIR(s.Branch.Then)
+			if err != nil {
+				return nil, err
+			}
+			els, err := toIR(s.Branch.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ir.Branch{Prob: s.Branch.Prob, Then: then, Else: els})
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	profilePath := flag.String("profile", "", "JSON program description for the profile method")
+	staticPath := flag.String("static", "", "JSON program description for the program-analysis method")
+	outPath := flag.String("o", "", "save the computed plan as JSON (profile method only)")
+	flag.Parse()
+
+	switch {
+	case *profilePath != "" && *staticPath == "":
+		if err := runProfile(*profilePath, *outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "layouttool: %v\n", err)
+			os.Exit(1)
+		}
+	case *staticPath != "" && *profilePath == "":
+		if err := runStatic(*staticPath); err != nil {
+			fmt.Fprintf(os.Stderr, "layouttool: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "layouttool: give exactly one of -profile or -static")
+		os.Exit(2)
+	}
+}
+
+func loadInput(path string) (*inputJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in inputJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &in, nil
+}
+
+func runProfile(path, outPath string) error {
+	in, err := loadInput(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in.TraceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := memtrace.ReadText(f)
+	if err != nil {
+		return err
+	}
+	vars := make([]memory.Region, len(in.Variables))
+	for i, v := range in.Variables {
+		vars[i] = memory.Region{Name: v.Name, Base: v.Base, Size: v.Size}
+	}
+	plan, err := layout.Build(layout.Request{
+		Trace:        trace,
+		Vars:         vars,
+		ForceScratch: in.ForceScratch,
+		Machine: layout.Machine{
+			Columns:         in.Machine.Columns,
+			ColumnBytes:     in.Machine.ColumnBytes,
+			ScratchpadBytes: in.Machine.ScratchpadBytes,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated conflict cost W = %d, scratchpad used %d bytes\n", plan.Cost, plan.ScratchUsed)
+	for _, c := range plan.Chunks {
+		where := c.Placement.String()
+		if c.Placement == layout.InColumn {
+			where = fmt.Sprintf("column %d", c.Column)
+		}
+		fmt.Printf("  %-16s %6dB  %8d accesses  -> %s\n", c.Region.Name, c.Region.Size, c.Accesses, where)
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := layout.SavePlan(f, plan); err != nil {
+			return err
+		}
+		fmt.Printf("plan saved to %s\n", outPath)
+	}
+	return nil
+}
+
+func runStatic(path string) error {
+	in, err := loadInput(path)
+	if err != nil {
+		return err
+	}
+	body, err := toIR(in.Body)
+	if err != nil {
+		return err
+	}
+	prog := &ir.Program{Body: body}
+	for _, a := range in.Arrays {
+		prog.Arrays = append(prog.Arrays, ir.ArrayDecl{Name: a.Name, Bytes: a.Bytes})
+	}
+	plan, err := layout.BuildStatic(prog, layout.Machine{
+		Columns:         in.Machine.Columns,
+		ColumnBytes:     in.Machine.ColumnBytes,
+		ScratchpadBytes: in.Machine.ScratchpadBytes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated conflict cost W = %d, scratchpad used %d bytes\n", plan.Cost, plan.ScratchUsed)
+	for _, a := range plan.Assignments {
+		name := a.Array
+		if a.Chunk >= 0 {
+			name = fmt.Sprintf("%s#%d", a.Array, a.Chunk)
+		}
+		where := a.Placement.String()
+		if a.Placement == layout.InColumn {
+			where = fmt.Sprintf("column %d", a.Column)
+		}
+		fmt.Printf("  %-16s %6dB  %10.1f est. accesses  -> %s\n", name, a.Bytes, a.EstimatedAccesses, where)
+	}
+	return nil
+}

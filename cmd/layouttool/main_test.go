@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"colcache/internal/ir"
+)
+
+func TestToIRConversion(t *testing.T) {
+	in := `[
+		{"access": "a"},
+		{"access": "b", "write": true},
+		{"compute": 5},
+		{"loop": {"count": 10, "body": [{"access": "a"}]}},
+		{"branch": {"prob": 0.25, "then": [{"access": "a"}], "else": [{"compute": 1}]}}
+	]`
+	var stmts []stmtJSON
+	if err := json.Unmarshal([]byte(in), &stmts); err != nil {
+		t.Fatal(err)
+	}
+	out, err := toIR(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("stmts=%d", len(out))
+	}
+	if a, ok := out[0].(ir.Access); !ok || a.Array != "a" || a.Write {
+		t.Errorf("out[0]=%#v", out[0])
+	}
+	if a, ok := out[1].(ir.Access); !ok || !a.Write {
+		t.Errorf("out[1]=%#v", out[1])
+	}
+	if c, ok := out[2].(ir.Compute); !ok || c.Instrs != 5 {
+		t.Errorf("out[2]=%#v", out[2])
+	}
+	if l, ok := out[3].(ir.Loop); !ok || l.Count != 10 || len(l.Body) != 1 {
+		t.Errorf("out[3]=%#v", out[3])
+	}
+	if b, ok := out[4].(ir.Branch); !ok || b.Prob != 0.25 || len(b.Then) != 1 || len(b.Else) != 1 {
+		t.Errorf("out[4]=%#v", out[4])
+	}
+}
+
+func TestToIRRejectsAmbiguousStatements(t *testing.T) {
+	// Both access and compute set.
+	bad := []stmtJSON{{Access: "a", Compute: 3}}
+	if _, err := toIR(bad); err == nil {
+		t.Error("ambiguous statement accepted")
+	}
+	// Nothing set.
+	if _, err := toIR([]stmtJSON{{}}); err == nil {
+		t.Error("empty statement accepted")
+	}
+	// Nested errors propagate.
+	nested := []stmtJSON{{Loop: &loopJSON{Count: 2, Body: []stmtJSON{{}}}}}
+	if _, err := toIR(nested); err == nil {
+		t.Error("nested empty statement accepted")
+	}
+	nestedBr := []stmtJSON{{Branch: &branchJSON{Prob: 0.5, Then: []stmtJSON{{}}}}}
+	if _, err := toIR(nestedBr); err == nil {
+		t.Error("branch with bad arm accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProfileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeFile(t, dir, "trace.txt", "R 1000\nR 2000\nR 1001\nR 2001\n")
+	prog := writeFile(t, dir, "prog.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"variables": [
+			{"name": "a", "base": 4096, "size": 256},
+			{"name": "b", "base": 8192, "size": 256}
+		],
+		"trace": "`+trace+`"
+	}`)
+	plan := filepath.Join(dir, "plan.json")
+	if err := runProfile(prog, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(plan); err != nil {
+		t.Errorf("plan not saved: %v", err)
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := runProfile(filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Error("missing input accepted")
+	}
+	bad := writeFile(t, dir, "bad.json", "{not json")
+	if err := runProfile(bad, ""); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	noTrace := writeFile(t, dir, "notrace.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"variables": [], "trace": "/nonexistent"
+	}`)
+	if err := runProfile(noTrace, ""); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	badTrace := writeFile(t, dir, "trace.txt", "X nope\n")
+	badTraceJSON := writeFile(t, dir, "badtrace.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"variables": [], "trace": "`+badTrace+`"
+	}`)
+	if err := runProfile(badTraceJSON, ""); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestRunStaticEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "static.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"arrays": [{"name": "a", "bytes": 256}, {"name": "b", "bytes": 1100}],
+		"body": [
+			{"loop": {"count": 50, "body": [{"access": "a"}, {"access": "b", "write": true}]}}
+		]
+	}`)
+	if err := runStatic(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStaticErrors(t *testing.T) {
+	dir := t.TempDir()
+	badIR := writeFile(t, dir, "badir.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"arrays": [],
+		"body": [{"access": "ghost"}]
+	}`)
+	if err := runStatic(badIR); err == nil {
+		t.Error("IR referencing undeclared array accepted")
+	}
+	ambiguous := writeFile(t, dir, "amb.json", `{
+		"machine": {"columns": 2, "columnBytes": 512},
+		"arrays": [{"name": "a", "bytes": 64}],
+		"body": [{"access": "a", "compute": 5}]
+	}`)
+	if err := runStatic(ambiguous); err == nil {
+		t.Error("ambiguous statement accepted")
+	}
+}

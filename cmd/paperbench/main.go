@@ -1,0 +1,307 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section and checks the qualitative claims ("shapes") against
+// the data.
+//
+// Usage:
+//
+//	paperbench [-experiment fig4|fig5|ablations|all] [-quick]
+//
+// -quick trims the Figure 5 quantum sweep for a fast run; the default runs
+// the paper's full 1..1M axis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"colcache/internal/experiments"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/mpeg"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, all")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
+	jsonPath := flag.String("json", "", "write all results as JSON to this file instead of tables")
+	flag.Parse()
+
+	if *jsonPath != "" {
+		if !runJSON(*jsonPath, *quick) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	ok := true
+	switch *experiment {
+	case "fig4":
+		ok = runFig4()
+	case "fig5":
+		ok = runFig5(*quick)
+	case "ablations":
+		ok = runAblations()
+	case "comparisons":
+		ok = runComparisons()
+	case "all":
+		ok = runFig4()
+		ok = runFig5(*quick) && ok
+		ok = runAblations() && ok
+		ok = runComparisons() && ok
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func report(problems []string) bool {
+	if len(problems) == 0 {
+		fmt.Println("shape check: all of the paper's qualitative claims hold")
+		return true
+	}
+	for _, p := range problems {
+		fmt.Printf("shape check FAILED: %s\n", p)
+	}
+	return false
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+	os.Exit(1)
+}
+
+func runFig4() bool {
+	fmt.Println("=== Figure 4: scratchpad vs cache partitioning (MPEG routines) ===")
+	data, err := experiments.RunFig4(experiments.DefaultFig4Config)
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range data.Tables() {
+		t.Write(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("remap overhead included in the dynamic result: %d cycles\n", data.RemapOverheadCycles)
+	return report(data.Verify())
+}
+
+func runFig5(quick bool) bool {
+	fmt.Println("=== Figure 5: multitasking CPI vs context-switch quantum (3× gzip) ===")
+	cfg := experiments.DefaultFig5Config
+	if quick {
+		cfg.Quanta = []int64{1, 64, 4096, 262144, 1048576}
+		cfg.TargetInstructions = 1 << 19
+	}
+	data, err := experiments.RunFig5(cfg)
+	if err != nil {
+		fail(err)
+	}
+	data.Table().Write(os.Stdout)
+	fmt.Println()
+	return report(data.Verify())
+}
+
+func runAblations() bool {
+	ok := true
+	fmt.Println("=== Ablations ===")
+
+	pol, err := experiments.RunPolicyAblation()
+	if err != nil {
+		fail(err)
+	}
+	experiments.PolicyAblationTable(pol).Write(os.Stdout)
+	for _, r := range pol {
+		if r.MappedCPI >= r.SharedCPI {
+			fmt.Printf("shape check FAILED: policy %s shows no isolation benefit\n", r.Policy)
+			ok = false
+		}
+	}
+	fmt.Println()
+
+	pen, err := experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80})
+	if err != nil {
+		fail(err)
+	}
+	experiments.MissPenaltyAblationTable(pen).Write(os.Stdout)
+	fmt.Println()
+
+	tlb, err := experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30)
+	if err != nil {
+		fail(err)
+	}
+	experiments.TLBAblationTable(tlb).Write(os.Stdout)
+	fmt.Println()
+
+	mask, err := experiments.RunMaskGranularityAblation()
+	if err != nil {
+		fail(err)
+	}
+	experiments.MaskGranularityAblationTable(mask).Write(os.Stdout)
+	fmt.Println()
+
+	en, err := experiments.RunEnergyAblation()
+	if err != nil {
+		fail(err)
+	}
+	experiments.EnergyAblationTable(en).Write(os.Stdout)
+	fmt.Println()
+
+	wp, err := experiments.RunWritePolicyAblation()
+	if err != nil {
+		fail(err)
+	}
+	experiments.WritePolicyAblationTable(wp).Write(os.Stdout)
+	fmt.Println()
+
+	jcfg := experiments.DefaultJitterConfig
+	jit, err := experiments.RunJitter(jcfg)
+	if err != nil {
+		fail(err)
+	}
+	experiments.JitterTable(jit, jcfg).Write(os.Stdout)
+	fmt.Println()
+	if jit[1].MaxCPI-jit[1].MinCPI > 0.02 {
+		fmt.Println("shape check FAILED: mapped CPI not immune to quantum jitter")
+		ok = false
+	}
+	if ok {
+		fmt.Println("shape check: ablation expectations hold")
+	}
+	return ok
+}
+
+func runComparisons() bool {
+	ok := true
+	fmt.Println("=== Related-work comparisons (paper §5.1) ===")
+
+	pc, err := experiments.RunPageColorComparison()
+	if err != nil {
+		fail(err)
+	}
+	experiments.PageColorComparisonTable(pc).Write(os.Stdout)
+	fmt.Println()
+
+	gr, err := experiments.RunGranularityComparison()
+	if err != nil {
+		fail(err)
+	}
+	experiments.GranularityComparisonTable(gr).Write(os.Stdout)
+	fmt.Println()
+
+	pipeRows, pipeDecisions, err := experiments.RunPipelineDynamic(mpeg.DefaultConfig)
+	if err != nil {
+		fail(err)
+	}
+	experiments.PipelineTable(pipeRows, pipeDecisions).Write(os.Stdout)
+	experiments.PipelineDecisionsTable(pipeDecisions).Write(os.Stdout)
+	fmt.Println()
+	if pipeRows[2].Cycles >= pipeRows[1].Cycles {
+		fmt.Println("shape check FAILED: dynamic layout not better than static on the pipeline")
+		ok = false
+	}
+
+	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+	l2, err := experiments.RunL2Comparison(job.Trace)
+	if err != nil {
+		fail(err)
+	}
+	experiments.L2ComparisonTable(l2).Write(os.Stdout)
+	fmt.Println()
+
+	if pc[0].RemapCost < 100*pc[1].RemapCost {
+		fmt.Println("shape check FAILED: page-coloring remap not ≫ column remap")
+		ok = false
+	}
+	if gr[2].TableMisses*5 >= gr[1].TableMisses {
+		fmt.Println("shape check FAILED: region tints did not beat process masks")
+		ok = false
+	}
+	if ok {
+		fmt.Println("shape check: comparison expectations hold")
+	}
+	return ok
+}
+
+// jsonResults collects every experiment's structured data for -json output.
+type jsonResults struct {
+	Fig4              *experiments.Fig4Data                 `json:"fig4,omitempty"`
+	Fig5              *experiments.Fig5Data                 `json:"fig5,omitempty"`
+	Policy            []experiments.PolicyAblation          `json:"policyAblation,omitempty"`
+	MissPenalty       []experiments.MissPenaltyAblation     `json:"missPenaltyAblation,omitempty"`
+	TLB               []experiments.TLBAblation             `json:"tlbAblation,omitempty"`
+	Mask              []experiments.MaskGranularityAblation `json:"maskGranularityAblation,omitempty"`
+	WritePolicy       []experiments.WritePolicyAblation     `json:"writePolicyAblation,omitempty"`
+	Jitter            []experiments.JitterResult            `json:"jitterAblation,omitempty"`
+	PageColor         []experiments.PageColorComparison     `json:"pageColorComparison,omitempty"`
+	Granularity       []experiments.GranularityComparison   `json:"granularityComparison,omitempty"`
+	L2                []experiments.L2Comparison            `json:"l2Comparison,omitempty"`
+	Pipeline          []experiments.PipelineResult          `json:"pipelineDynamic,omitempty"`
+	ShapeChecksPassed bool                                  `json:"shapeChecksPassed"`
+}
+
+// runJSON regenerates everything and writes one JSON document to path.
+func runJSON(path string, quick bool) bool {
+	res := jsonResults{ShapeChecksPassed: true}
+	fail2 := func(err error) {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	var err error
+	if res.Fig4, err = experiments.RunFig4(experiments.DefaultFig4Config); err != nil {
+		fail2(err)
+	}
+	res.ShapeChecksPassed = res.ShapeChecksPassed && len(res.Fig4.Verify()) == 0
+	cfg5 := experiments.DefaultFig5Config
+	if quick {
+		cfg5.Quanta = []int64{1, 64, 4096, 262144, 1048576}
+		cfg5.TargetInstructions = 1 << 19
+	}
+	if res.Fig5, err = experiments.RunFig5(cfg5); err != nil {
+		fail2(err)
+	}
+	res.ShapeChecksPassed = res.ShapeChecksPassed && len(res.Fig5.Verify()) == 0
+	if res.Policy, err = experiments.RunPolicyAblation(); err != nil {
+		fail2(err)
+	}
+	if res.MissPenalty, err = experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80}); err != nil {
+		fail2(err)
+	}
+	if res.TLB, err = experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30); err != nil {
+		fail2(err)
+	}
+	if res.Mask, err = experiments.RunMaskGranularityAblation(); err != nil {
+		fail2(err)
+	}
+	if res.WritePolicy, err = experiments.RunWritePolicyAblation(); err != nil {
+		fail2(err)
+	}
+	if res.Jitter, err = experiments.RunJitter(experiments.DefaultJitterConfig); err != nil {
+		fail2(err)
+	}
+	if res.PageColor, err = experiments.RunPageColorComparison(); err != nil {
+		fail2(err)
+	}
+	if res.Granularity, err = experiments.RunGranularityComparison(); err != nil {
+		fail2(err)
+	}
+	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+	if res.L2, err = experiments.RunL2Comparison(job.Trace); err != nil {
+		fail2(err)
+	}
+	if res.Pipeline, _, err = experiments.RunPipelineDynamic(mpeg.DefaultConfig); err != nil {
+		fail2(err)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail2(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail2(err)
+	}
+	fmt.Printf("paperbench: wrote %s (%d bytes)\n", path, len(data))
+	return res.ShapeChecksPassed
+}

@@ -1,0 +1,166 @@
+// Command sweep runs a built-in workload across a sweep of one machine
+// parameter and emits CSV, for quick design-space exploration.
+//
+// Usage:
+//
+//	sweep -workload idct -sweep ways=1,2,4,8 [-layout]
+//	sweep -workload gzip -sweep penalty=5,10,20,40,80
+//	sweep -workload matmul -sweep sets=8,16,32,64
+//
+// Fixed parameters default to a 2KB 4-way cache (32B lines, 20-cycle miss
+// penalty, 64B pages) and can be overridden with -ways/-sets/-line/-penalty.
+// With -layout the paper's data layout algorithm places the workload's
+// variables before each run; otherwise the cache is unmanaged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+)
+
+type fixed struct {
+	ways, sets, line, penalty, page int
+	useLayout                       bool
+}
+
+func main() {
+	workload := flag.String("workload", "", "workload: dequant, plus, idct, gzip, matmul, fir, histogram")
+	sweepSpec := flag.String("sweep", "", "parameter sweep, e.g. ways=1,2,4,8 (ways, sets, line, penalty)")
+	ways := flag.Int("ways", 4, "cache ways (columns)")
+	sets := flag.Int("sets", 16, "cache sets")
+	line := flag.Int("line", 32, "line bytes")
+	penalty := flag.Int("penalty", 20, "miss penalty cycles")
+	page := flag.Int("page", 64, "page bytes")
+	useLayout := flag.Bool("layout", false, "apply the data layout algorithm before each run")
+	flag.Parse()
+
+	prog, err := buildWorkload(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+	param, values, err := parseSweep(*sweepSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	f := fixed{ways: *ways, sets: *sets, line: *line, penalty: *penalty, page: *page, useLayout: *useLayout}
+	fmt.Println("param,value,cycles,instructions,cpi,missrate")
+	for _, v := range values {
+		cfg := f
+		switch param {
+		case "ways":
+			cfg.ways = v
+		case "sets":
+			cfg.sets = v
+		case "line":
+			cfg.line = v
+		case "penalty":
+			cfg.penalty = v
+		}
+		cycles, st, err := run(prog, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s=%d: %v\n", param, v, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s,%d,%d,%d,%.4f,%.4f\n",
+			param, v, cycles, st.Instructions, st.CPI(), st.Cache.MissRate())
+	}
+}
+
+func parseSweep(spec string) (string, []int, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("want -sweep param=v1,v2,..., got %q", spec)
+	}
+	name = strings.TrimSpace(name)
+	switch name {
+	case "ways", "sets", "line", "penalty":
+	default:
+		return "", nil, fmt.Errorf("unknown sweep parameter %q", name)
+	}
+	var values []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return "", nil, fmt.Errorf("bad value %q: %v", s, err)
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return "", nil, fmt.Errorf("no sweep values")
+	}
+	return name, values, nil
+}
+
+func buildWorkload(name string) (*workloads.Program, error) {
+	switch name {
+	case "dequant":
+		return mpeg.Dequant(mpeg.Config{}), nil
+	case "plus":
+		return mpeg.Plus(mpeg.Config{}), nil
+	case "idct":
+		return mpeg.Idct(mpeg.Config{}), nil
+	case "gzip":
+		return gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0), nil
+	case "matmul":
+		return kernels.MatMul(kernels.MatMulConfig{}), nil
+	case "fir":
+		return kernels.FIR(kernels.FIRConfig{}), nil
+	case "histogram":
+		return kernels.Histogram(kernels.HistogramConfig{}), nil
+	case "":
+		return nil, fmt.Errorf("no -workload given")
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func run(prog *workloads.Program, f fixed) (int64, memsys.Stats, error) {
+	timing := memsys.DefaultTiming
+	timing.MissPenalty = f.penalty
+	timing.Uncached = f.penalty
+	g, err := memory.NewGeometry(f.line, f.page)
+	if err != nil {
+		return 0, memsys.Stats{}, err
+	}
+	sys, err := memsys.New(memsys.Config{
+		Geometry: g,
+		Cache:    cache.Config{LineBytes: f.line, NumSets: f.sets, NumWays: f.ways},
+		Timing:   timing,
+	})
+	if err != nil {
+		return 0, memsys.Stats{}, err
+	}
+	if f.useLayout {
+		plan, err := layout.Build(layout.Request{
+			Trace: prog.Trace,
+			Vars:  prog.Vars,
+			Machine: layout.Machine{
+				Columns:     f.ways,
+				ColumnBytes: f.sets * f.line,
+			},
+		})
+		if err != nil {
+			return 0, memsys.Stats{}, err
+		}
+		if _, err := layout.Apply(plan, sys, 0); err != nil {
+			return 0, memsys.Stats{}, err
+		}
+	}
+	cycles := sys.Run(prog.Trace)
+	return cycles, sys.Stats(), nil
+}

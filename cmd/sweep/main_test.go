@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseSweep(t *testing.T) {
+	param, values, err := parseSweep("ways=1,2,4")
+	if err != nil || param != "ways" || len(values) != 3 || values[2] != 4 {
+		t.Errorf("got %q %v %v", param, values, err)
+	}
+	for _, bad := range []string{"", "ways", "bogus=1", "ways=a", "ways="} {
+		if _, _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestBuildWorkloadAll(t *testing.T) {
+	for _, w := range []string{"dequant", "plus", "idct", "gzip", "matmul", "fir", "histogram"} {
+		p, err := buildWorkload(w)
+		if err != nil || len(p.Trace) == 0 {
+			t.Errorf("buildWorkload(%s): %v", w, err)
+		}
+	}
+	if _, err := buildWorkload("zzz"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := buildWorkload(""); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestRunSweepPoint(t *testing.T) {
+	prog, _ := buildWorkload("dequant")
+	base := fixed{ways: 4, sets: 16, line: 32, penalty: 20, page: 64}
+	cycles, st, err := run(prog, base)
+	if err != nil || cycles <= 0 || st.Instructions == 0 {
+		t.Fatalf("cycles=%d stats=%+v err=%v", cycles, st, err)
+	}
+	// With layout, the same point must not be slower than massively
+	// penalized unmanaged... just check it runs and is sane.
+	laidOut := base
+	laidOut.useLayout = true
+	cycles2, _, err := run(prog, laidOut)
+	if err != nil || cycles2 <= 0 {
+		t.Fatalf("layout run failed: %v", err)
+	}
+	// A higher miss penalty must cost more cycles.
+	expensive := base
+	expensive.penalty = 200
+	cycles3, _, err := run(prog, expensive)
+	if err != nil || cycles3 <= cycles {
+		t.Errorf("penalty sweep not monotone: %d vs %d (err=%v)", cycles3, cycles, err)
+	}
+	// Bad geometry surfaces as an error.
+	broken := base
+	broken.line = 33
+	if _, _, err := run(prog, broken); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}

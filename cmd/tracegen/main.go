@@ -1,0 +1,102 @@
+// Command tracegen generates memory-reference traces from the built-in
+// workloads and writes them in the text or binary trace format, for use
+// with colsim or external tools. It can also print the variable map so the
+// trace can be fed to layouttool.
+//
+// Usage:
+//
+//	tracegen -workload dequant|plus|idct|gzip|matmul|fir|histogram|stream|random
+//	         [-o trace.txt] [-binary] [-vars] [-seed N] [-n N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"colcache/internal/memtrace"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+	"colcache/internal/workloads/synth"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to trace: dequant, plus, idct, gzip, matmul, fir, histogram, stream, random")
+	out := flag.String("o", "", "output file (default stdout)")
+	binary := flag.Bool("binary", false, "write the binary trace format")
+	printVars := flag.Bool("vars", false, "print the variable map to stderr")
+	seed := flag.Int64("seed", 1, "workload input seed")
+	n := flag.Int("n", 0, "size knob: blocks, window bytes, samples or accesses (workload default if 0)")
+	flag.Parse()
+
+	prog, err := build(*workload, *seed, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		err = memtrace.WriteBinary(w, prog.Trace)
+	} else {
+		err = memtrace.WriteText(w, prog.Trace)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *printVars {
+		for _, v := range prog.Vars {
+			fmt.Fprintf(os.Stderr, "%s base=%#x size=%d\n", v.Name, v.Base, v.Size)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s: %d accesses, %d instructions, %d variables\n",
+		prog.Name, len(prog.Trace), prog.Trace.Instructions(), len(prog.Vars))
+}
+
+func build(workload string, seed int64, n int) (*workloads.Program, error) {
+	switch workload {
+	case "dequant":
+		return mpeg.Dequant(mpeg.Config{DequantBlocks: n, Seed: seed}), nil
+	case "plus":
+		return mpeg.Plus(mpeg.Config{PlusBlocks: n, Seed: seed}), nil
+	case "idct":
+		return mpeg.Idct(mpeg.Config{IdctBlocks: n, Seed: seed}), nil
+	case "gzip":
+		return gzipsim.Job(gzipsim.Config{WindowBytes: n, Seed: seed}, 0), nil
+	case "matmul":
+		return kernels.MatMul(kernels.MatMulConfig{N: n, Seed: seed}), nil
+	case "fir":
+		return kernels.FIR(kernels.FIRConfig{Samples: n, Seed: seed}), nil
+	case "histogram":
+		return kernels.Histogram(kernels.HistogramConfig{Samples: n, Seed: seed}), nil
+	case "stream":
+		size := uint64(n)
+		if size == 0 {
+			size = 64 * 1024
+		}
+		return synth.Stream(0, size, 4, 1), nil
+	case "random":
+		count := n
+		if count == 0 {
+			count = 10000
+		}
+		return synth.Random(0, 1<<20, count, seed), nil
+	case "":
+		return nil, fmt.Errorf("no -workload given")
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}

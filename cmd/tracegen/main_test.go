@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestBuildWorkloads(t *testing.T) {
+	for _, w := range []string{"dequant", "plus", "idct", "gzip", "matmul", "fir", "histogram", "stream", "random"} {
+		p, err := build(w, 1, 0)
+		if err != nil {
+			t.Errorf("build(%s): %v", w, err)
+			continue
+		}
+		if len(p.Trace) == 0 {
+			t.Errorf("build(%s): empty trace", w)
+		}
+	}
+}
+
+func TestBuildSizeKnob(t *testing.T) {
+	small, _ := build("matmul", 1, 4)
+	big, _ := build("matmul", 1, 8)
+	if len(small.Trace) >= len(big.Trace) {
+		t.Errorf("size knob ignored: %d vs %d", len(small.Trace), len(big.Trace))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 1, 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := build("nope", 1, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

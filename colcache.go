@@ -1,0 +1,305 @@
+// Package colcache is the public API of the column-caching library: a
+// software-controlled cache for application-specific memory management in
+// embedded systems, reproducing Chiou, Jain, Devadas and Rudolph,
+// "Application-Specific Memory Management for Embedded Systems Using
+// Software-Controlled Caches" (MIT LCS CSG Memo 427 / DAC 2000).
+//
+// A Machine is a simulated embedded memory system: a set-associative cache
+// whose ways ("columns") can be assigned to address regions through tints, a
+// TLB that carries the tint of each page, an optional dedicated scratchpad,
+// and a cycle-accounting model. Software controls placement three ways:
+//
+//   - Map a region to a subset of columns, isolating it from other data.
+//   - Pin a region: an exclusive, preloaded column mapping that emulates
+//     scratchpad memory inside the cache (paper §2.3).
+//   - AutoLayout: run the paper's data layout algorithm (§3) over a recorded
+//     trace and let it assign every variable to columns or scratchpad.
+//
+// The sub-packages under internal implement the substrates; everything a
+// downstream user needs is re-exported here.
+package colcache
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+	"colcache/internal/vm"
+)
+
+// Re-exported core types, so callers need only this package.
+type (
+	// Region is a named contiguous byte range of the simulated address
+	// space.
+	Region = memory.Region
+	// Access is one memory reference of a trace.
+	Access = memtrace.Access
+	// Trace is a sequence of accesses.
+	Trace = memtrace.Trace
+	// Recorder accumulates a trace from Load/Store/Think calls.
+	Recorder = memtrace.Recorder
+	// Timing fixes the machine's cycle costs.
+	Timing = memsys.Timing
+	// Stats aggregates the machine's counters.
+	Stats = memsys.Stats
+	// Tint identifies a software-visible grouping of pages.
+	Tint = tint.Tint
+)
+
+// Operation kinds for Access.Op.
+const (
+	Read  = memtrace.Read
+	Write = memtrace.Write
+)
+
+// DefaultTiming models a small embedded core (single-cycle hit, 20-cycle
+// memory).
+var DefaultTiming = memsys.DefaultTiming
+
+// Config describes a Machine. Zero fields take the documented defaults.
+type Config struct {
+	// LineBytes is the cache-line size (default 32).
+	LineBytes int
+	// PageBytes is the mapping granularity (default 4096; embedded
+	// configurations with small on-chip memories often use 64–256).
+	PageBytes int
+	// Columns is the number of cache ways, each one column (default 4).
+	Columns int
+	// ColumnBytes is the capacity of one column (default 512); the cache
+	// holds Columns×ColumnBytes bytes in ColumnBytes/LineBytes sets.
+	ColumnBytes int
+	// Policy selects victim selection: "lru" (default), "plru", "fifo",
+	// "random".
+	Policy string
+	// ScratchpadBytes adds a dedicated scratchpad SRAM (default 0).
+	ScratchpadBytes uint64
+	// TLBEntries/TLBWays size the TLB (default 64, fully associative).
+	TLBEntries, TLBWays int
+	// Timing fixes cycle costs (default DefaultTiming).
+	Timing *Timing
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineBytes == 0 {
+		c.LineBytes = 32
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 4096
+	}
+	if c.Columns == 0 {
+		c.Columns = 4
+	}
+	if c.ColumnBytes == 0 {
+		c.ColumnBytes = 512
+	}
+	if c.Policy == "" {
+		c.Policy = string(replacement.LRU)
+	}
+	if c.TLBEntries == 0 {
+		c.TLBEntries = vm.DefaultTLBConfig.Entries
+		c.TLBWays = vm.DefaultTLBConfig.Ways
+	}
+	if c.TLBWays == 0 {
+		c.TLBWays = c.TLBEntries
+	}
+	if c.Timing == nil {
+		t := DefaultTiming
+		c.Timing = &t
+	}
+	return c
+}
+
+// Machine is a simulated embedded processor memory system under software
+// control. It is not safe for concurrent use.
+type Machine struct {
+	cfg   Config
+	sys   *memsys.System
+	space *memory.Space
+}
+
+// New builds a Machine.
+func New(cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ColumnBytes%cfg.LineBytes != 0 {
+		return nil, fmt.Errorf("colcache: column size %d not a multiple of line size %d",
+			cfg.ColumnBytes, cfg.LineBytes)
+	}
+	sys, err := memsys.New(memsys.Config{
+		Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+		Cache: cache.Config{
+			LineBytes: cfg.LineBytes,
+			NumSets:   cfg.ColumnBytes / cfg.LineBytes,
+			NumWays:   cfg.Columns,
+			Policy:    replacement.Kind(cfg.Policy),
+		},
+		TLB:             vm.TLBConfig{Entries: cfg.TLBEntries, Ways: cfg.TLBWays},
+		Timing:          *cfg.Timing,
+		ScratchpadBytes: cfg.ScratchpadBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, sys: sys, space: memory.NewSpace(0)}, nil
+}
+
+// MustNew is New that panics on error, for fixed configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the effective configuration (defaults applied).
+func (m *Machine) Config() Config { return m.cfg }
+
+// CacheBytes returns the total cache capacity.
+func (m *Machine) CacheBytes() int { return m.cfg.Columns * m.cfg.ColumnBytes }
+
+// Alloc reserves a page-aligned region named name of the given size in the
+// machine's address space. Page alignment guarantees the region can be
+// tinted independently of its neighbors.
+func (m *Machine) Alloc(name string, size uint64) Region {
+	return m.space.Alloc(name, size, uint64(m.cfg.PageBytes))
+}
+
+// Variables returns every allocated region.
+func (m *Machine) Variables() []Region { return m.space.Regions() }
+
+// Map assigns a region to the given columns: the region's pages are tinted,
+// and the tint's bit vector permits exactly those columns for replacement.
+// The returned Tint can be remapped later with Remap.
+func (m *Machine) Map(r Region, columns ...int) (Tint, error) {
+	if len(columns) == 0 {
+		return 0, fmt.Errorf("colcache: no columns given for %s", r.Name)
+	}
+	for _, c := range columns {
+		if c < 0 || c >= m.cfg.Columns {
+			return 0, fmt.Errorf("colcache: column %d outside [0,%d)", c, m.cfg.Columns)
+		}
+	}
+	return m.sys.MapRegion(r, replacement.Of(columns...))
+}
+
+// Remap changes the columns a tint maps to. This is the paper's fast
+// repartitioning: one table write, no page-table or TLB activity, effective
+// on the next replacement decision.
+func (m *Machine) Remap(id Tint, columns ...int) error {
+	if len(columns) == 0 {
+		return fmt.Errorf("colcache: no columns given")
+	}
+	return m.sys.RemapTint(id, replacement.Of(columns...))
+}
+
+// Unmap returns a region's pages to the default tint (all columns).
+func (m *Machine) Unmap(r Region) {
+	vm.Retint(m.sys.PageTable(), m.sys.TLB(), r.Base, r.Size, tint.Default)
+}
+
+// Pin emulates scratchpad memory inside the cache (paper §2.3): the region
+// is mapped exclusively to the given columns, whose joint capacity must
+// cover it one-to-one, and every line is preloaded. After Pin the region's
+// accesses always hit — and, because no other region may replace into those
+// columns, keep hitting until it is unpinned. Other regions must be mapped
+// away from these columns by the caller (or use AutoLayout).
+func (m *Machine) Pin(r Region, columns ...int) (Tint, error) {
+	if len(columns) == 0 {
+		return 0, fmt.Errorf("colcache: no columns given for %s", r.Name)
+	}
+	capacity := uint64(len(columns)) * uint64(m.cfg.ColumnBytes)
+	if r.Size > capacity {
+		return 0, fmt.Errorf("colcache: %s (%d bytes) exceeds the %d bytes of %d column(s)",
+			r.Name, r.Size, capacity, len(columns))
+	}
+	// One-to-one: the region's lines must not conflict within the columns,
+	// i.e. no two lines share a set beyond the column count. A contiguous
+	// region ≤ capacity starting at a column-aligned base satisfies this.
+	if r.Base%uint64(m.cfg.ColumnBytes) != 0 {
+		return 0, fmt.Errorf("colcache: pinned region %s must be aligned to the column size %d",
+			r.Name, m.cfg.ColumnBytes)
+	}
+	id, err := m.Map(r, columns...)
+	if err != nil {
+		return 0, err
+	}
+	m.sys.Preload(r)
+	return id, nil
+}
+
+// PlaceInScratchpad places a region in the dedicated scratchpad SRAM, if
+// the machine has one.
+func (m *Machine) PlaceInScratchpad(r Region) error {
+	return m.sys.Scratchpad().Place(r)
+}
+
+// Load executes a read of addr and returns the cycles it took.
+func (m *Machine) Load(addr uint64) int64 {
+	return m.sys.Access(Access{Addr: addr, Op: Read})
+}
+
+// Store executes a write of addr and returns the cycles it took.
+func (m *Machine) Store(addr uint64) int64 {
+	return m.sys.Access(Access{Addr: addr, Op: Write})
+}
+
+// Run executes a whole trace and returns the cycles consumed.
+func (m *Machine) Run(t Trace) int64 { return m.sys.Run(t) }
+
+// Step executes one access and returns the cycles it took.
+func (m *Machine) Step(a Access) int64 { return m.sys.Access(a) }
+
+// Stats snapshots the machine's counters.
+func (m *Machine) Stats() Stats { return m.sys.Stats() }
+
+// ResetStats zeroes the counters, keeping cache and TLB contents, so a
+// measurement can exclude warmup.
+func (m *Machine) ResetStats() { m.sys.ResetStats() }
+
+// FlushCache writes back and invalidates the entire cache.
+func (m *Machine) FlushCache() { m.sys.FlushCache() }
+
+// Resident reports whether addr's line is currently cached, and in which
+// column.
+func (m *Machine) Resident(addr uint64) (column int, ok bool) {
+	return m.sys.Cache().Probe(addr)
+}
+
+// System exposes the underlying memory system for advanced use (the
+// experiment harnesses build on it).
+func (m *Machine) System() *memsys.System { return m.sys }
+
+// LayoutPlan is the result of AutoLayout: where each variable (or chunk of
+// one) was placed.
+type LayoutPlan = layout.Plan
+
+// AutoLayout runs the paper's data layout algorithm over a recorded trace:
+// variables larger than a column are split, a conflict graph is built from
+// life-time overlaps, and chunks are assigned to columns by exact coloring
+// with min-weight-edge merging. forceScratch names variables that must go
+// to the dedicated scratchpad (paper §3.1.3). The resulting plan is applied
+// to the machine and returned.
+func (m *Machine) AutoLayout(t Trace, vars []Region, forceScratch ...string) (*LayoutPlan, error) {
+	plan, err := layout.Build(layout.Request{
+		Trace:        t,
+		Vars:         vars,
+		ForceScratch: forceScratch,
+		Machine: layout.Machine{
+			Columns:         m.cfg.Columns,
+			ColumnBytes:     m.cfg.ColumnBytes,
+			ScratchpadBytes: m.cfg.ScratchpadBytes,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := layout.Apply(plan, m.sys, 0); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

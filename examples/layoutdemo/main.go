@@ -1,0 +1,123 @@
+// Layoutdemo: the paper's §3 data layout algorithm end to end, both ways.
+//
+// Profile method: record a streaming kernel's trace, build the conflict
+// graph from life-time overlaps, color it into columns, apply to a machine
+// and show the win over the unmanaged cache.
+//
+// Program-analysis method: describe a small program as loops/branches in the
+// compiler IF and derive the same style of assignment statically.
+package main
+
+import (
+	"fmt"
+
+	"colcache"
+	"colcache/internal/ir"
+	"colcache/internal/layout"
+)
+
+// streamingProgram records a kernel whose reuse the plain LRU cache cannot
+// exploit: every pass re-sweeps a 512B coefficient table (real reuse) while
+// scanning fresh streaming input, so each coefficient's reuse distance
+// exceeds the 2KB cache and LRU evicts it before it comes around again. The
+// layout algorithm isolates the table in its own column instead.
+func streamingProgram() (colcache.Trace, []colcache.Region) {
+	m := colcache.MustNew(colcache.Config{PageBytes: 64})
+	coeff := m.Alloc("coeff", 512)
+	stream := m.Alloc("stream", 32*1024)
+	var rec colcache.Recorder
+	pos := uint64(0)
+	for pass := 0; pass < 16; pass++ {
+		for off := uint64(0); off < coeff.Size; off += 32 {
+			rec.Think(2)
+			rec.Load(coeff.Base + off)
+			for j := 0; j < 4; j++ {
+				rec.Think(1)
+				rec.Load(stream.Base + pos%stream.Size)
+				pos += 32
+			}
+		}
+	}
+	return rec.Trace(), []colcache.Region{coeff, stream}
+}
+
+func profileMethod() {
+	trace, vars := streamingProgram()
+	fmt.Println("profile method — coefficient re-sweep + input stream, 2KB 4-column cache")
+
+	// Unmanaged baseline.
+	base := colcache.MustNew(colcache.Config{PageBytes: 64})
+	baseCycles := base.Run(trace)
+
+	// Layout-managed.
+	managed := colcache.MustNew(colcache.Config{PageBytes: 64})
+	plan, err := managed.AutoLayout(trace, vars)
+	if err != nil {
+		panic(err)
+	}
+	managedCycles := managed.Run(trace)
+
+	// Summarize by parent variable: which columns did each end up in?
+	cols := map[string]map[int]int{}
+	for _, c := range plan.Chunks {
+		if c.Placement != layout.InColumn {
+			continue
+		}
+		if cols[c.Parent] == nil {
+			cols[c.Parent] = map[int]int{}
+		}
+		cols[c.Parent][c.Column]++
+	}
+	for _, v := range vars {
+		fmt.Printf("  %-8s %6dB -> chunks per column: %v\n", v.Name, v.Size, cols[v.Name])
+	}
+	fmt.Printf("  unmanaged: %d cycles (miss rate %5.2f%%)\n", baseCycles, 100*base.Stats().Cache.MissRate())
+	fmt.Printf("  laid out:  %d cycles (miss rate %5.2f%%)\n", managedCycles, 100*managed.Stats().Cache.MissRate())
+	fmt.Println()
+}
+
+func staticMethod() {
+	fmt.Println("program-analysis method — static IF estimates, no profiling run")
+	// A toy kernel: a hot coefficient table read inside a doubly nested
+	// loop, a streamed input, and a rarely-touched error buffer.
+	prog := &ir.Program{
+		Arrays: []ir.ArrayDecl{
+			{Name: "coeff", Bytes: 256},
+			{Name: "input", Bytes: 4096},
+			{Name: "errbuf", Bytes: 256},
+		},
+		Body: []ir.Stmt{
+			ir.Loop{Count: 64, Body: []ir.Stmt{
+				ir.Loop{Count: 16, Body: []ir.Stmt{
+					ir.Access{Array: "input"},
+					ir.Access{Array: "coeff"},
+					ir.Compute{Instrs: 2},
+				}},
+				ir.Branch{Prob: 0.05, Then: []ir.Stmt{
+					ir.Access{Array: "errbuf", Write: true},
+				}},
+			}},
+		},
+	}
+	plan, err := layout.BuildStatic(prog, layout.Machine{Columns: 4, ColumnBytes: 512})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range plan.Assignments {
+		name := a.Array
+		if a.Chunk >= 0 {
+			name = fmt.Sprintf("%s#%d", a.Array, a.Chunk)
+		}
+		where := a.Placement.String()
+		if a.Placement == layout.InColumn {
+			where = fmt.Sprintf("column %d", a.Column)
+		}
+		fmt.Printf("  %-10s %5dB %9.1f est. accesses -> %s\n", name, a.Bytes, a.EstimatedAccesses, where)
+	}
+	fmt.Printf("  estimated conflict cost W = %d\n", plan.Cost)
+}
+
+func main() {
+	profileMethod()
+	staticMethod()
+}

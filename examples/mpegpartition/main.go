@@ -1,0 +1,43 @@
+// MPEG partitioning: the paper's Figure 4 experiment as a runnable demo.
+// Three decoder routines (dequant, plus, idct) run on a 2KB on-chip memory
+// while the scratchpad/cache split sweeps from all-scratchpad to all-cache;
+// the data layout algorithm places every variable for every split. The
+// dynamic column-cache result — each routine at its own optimum — beats
+// every static partition.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"colcache/internal/experiments"
+)
+
+func main() {
+	data, err := experiments.RunFig4(experiments.DefaultFig4Config)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpegpartition: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range data.Tables() {
+		t.Write(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the tables:")
+	fmt.Println(" * dequant and plus fit in 2KB: all-scratchpad wins (no cold misses),")
+	fmt.Println("   and every column moved to cache adds cold-miss cycles.")
+	fmt.Println(" * idct's data exceeds 2KB: with no cache its streaming blocks go to")
+	fmt.Println("   main memory on every access; any cache at all is dramatically better.")
+	fmt.Println(" * no single static split is right for all three — the column cache")
+	fmt.Println("   repartitions between routines instead.")
+	best := data.Total[0]
+	for _, c := range data.Total {
+		if c < best {
+			best = c
+		}
+	}
+	fmt.Printf(" * dynamic column cache: %d cycles vs %d for the best static split (%.1f%% better),\n",
+		data.Column, best, 100*float64(best-data.Column)/float64(best))
+	fmt.Printf("   paying only %d cycles of remapping overhead.\n", data.RemapOverheadCycles)
+}

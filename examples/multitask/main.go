@@ -1,0 +1,46 @@
+// Multitasking: the paper's Figure 5 experiment as a runnable demo. Three
+// gzip jobs share one processor and one cache under round-robin scheduling;
+// job A's CPI is measured as the context-switch quantum varies. With a
+// standard cache the other jobs evict A's working set every quantum; with a
+// column mapping A keeps its columns and its CPI becomes flat and low.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colcache/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full 1..1M quantum axis (slower)")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig5Config
+	if !*full {
+		cfg.Quanta = []int64{1, 64, 4096, 262144, 1048576}
+		cfg.TargetInstructions = 1 << 19
+	}
+	data, err := experiments.RunFig5(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multitask: %v\n", err)
+		os.Exit(1)
+	}
+	data.Table().Write(os.Stdout)
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println(" * gzip.16k / gzip.128k: a standard cache — job A's CPI is high at small")
+	fmt.Println("   quanta (B and C evict its working set every switch) and falls to the")
+	fmt.Println("   batch value as the quantum grows.")
+	fmt.Println(" * mapped: job A exclusively owns most of the columns — its CPI is low")
+	fmt.Println("   and nearly independent of the quantum, which is the predictability")
+	fmt.Println("   a real-time designer needs under interrupts and varying quanta.")
+	if problems := data.Verify(); len(problems) == 0 {
+		fmt.Println("\nshape check: all of the paper's qualitative claims hold")
+	} else {
+		for _, p := range problems {
+			fmt.Printf("\nshape check FAILED: %s\n", p)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Realtime: column-emulated scratchpad for predictable latency (paper §2.3).
+// A time-critical buffer is pinned into its own column — a one-to-one
+// mapping of memory to cache that can never be replaced by other data —
+// and its worst-case access latency collapses to the single-cycle hit time,
+// no matter what else runs.
+package main
+
+import (
+	"fmt"
+
+	"colcache"
+)
+
+// measure runs interfering work interleaved with accesses to the critical
+// buffer and returns the min/max/mean latency of the critical accesses.
+func measure(m *colcache.Machine, critical colcache.Region, interference colcache.Region) (min, max int64, mean float64) {
+	min, max = 1<<62, 0
+	var total int64
+	const rounds = 4096
+	for i := 0; i < rounds; i++ {
+		// Interrupt handler-ish burst of unrelated traffic.
+		for j := 0; j < 8; j++ {
+			m.Load(interference.Base + uint64((i*8+j)*32)%interference.Size)
+		}
+		// One time-critical access.
+		c := m.Load(critical.Base + uint64(i*32)%critical.Size)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	mean = float64(total) / rounds
+	return min, max, mean
+}
+
+func run(pinned bool) {
+	m := colcache.MustNew(colcache.Config{Columns: 4, ColumnBytes: 512, PageBytes: 64})
+	critical := m.Alloc("critical", 512)
+	interference := m.Alloc("interference", 1<<20)
+	if pinned {
+		if _, err := m.Pin(critical, 0); err != nil {
+			panic(err)
+		}
+		if _, err := m.Map(interference, 1, 2, 3); err != nil {
+			panic(err)
+		}
+	} else {
+		// Warm it anyway — fairness: both configurations start resident.
+		for off := uint64(0); off < critical.Size; off += 32 {
+			m.Load(critical.Base + off)
+		}
+	}
+	min, max, mean := measure(m, critical, interference)
+	label := "standard cache"
+	if pinned {
+		label = "pinned column "
+	}
+	fmt.Printf("%s   latency min=%d max=%d mean=%.2f cycles\n", label, min, max, mean)
+}
+
+func main() {
+	fmt.Println("time-critical 512B buffer vs bursty interference, 2KB 4-way cache")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println()
+	fmt.Println("Pinning bounds the worst case at the hit latency: the column behaves")
+	fmt.Println("as scratchpad memory, but without a separate address space or copies.")
+}

@@ -1,0 +1,77 @@
+// Splitcache: emulating separate instruction and data caches inside one
+// unified column cache (paper §2 lists split I/D structures among those a
+// column cache can synthesize). A small assembly kernel runs on the
+// simulated core; its loop body and its streaming data conflict in the
+// unified cache, and mapping the code pages to their own columns ends the
+// churn — no hardware split required, and the split ratio is a software
+// decision.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"colcache/internal/cache"
+	"colcache/internal/cpu"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+)
+
+// kernel builds a 1KB loop body that also streams 48 fresh cache lines per
+// iteration: per-set pressure 5 lines into 4 ways, so LRU churns the code.
+func kernel() string {
+	var b strings.Builder
+	b.WriteString("\tli r2, 0x100000\n\tli r3, 100\n\tli r5, 0\n\tli r6, 0\nloop:\n")
+	n := 0
+	for k := 0; k < 48; k++ {
+		fmt.Fprintf(&b, "\tld r4, [r2+%d]\n", k*32)
+		n++
+	}
+	for n < 248 {
+		b.WriteString("\taddi r6, r6, 1\n")
+		n++
+	}
+	b.WriteString("\taddi r2, r2, 1536\n\taddi r3, r3, -1\n\tbne r3, r5, loop\n\thalt\n")
+	return b.String()
+}
+
+func run(split bool) {
+	sys := memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(32, 64),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:   memsys.DefaultTiming,
+	})
+	prog := cpu.MustAssemble(kernel(), 0)
+	if split {
+		code := memory.Region{Name: "code", Base: prog.Base, Size: prog.CodeBytes()}
+		data := memory.Region{Name: "data", Base: 0x100000, Size: 100 * 1536}
+		if _, err := sys.MapRegion(code, replacement.Of(0, 1)); err != nil {
+			panic(err)
+		}
+		if _, err := sys.MapRegion(data, replacement.Of(2, 3)); err != nil {
+			panic(err)
+		}
+	}
+	core := cpu.NewCore(sys, prog)
+	if halted, err := core.Run(1_000_000); err != nil || !halted {
+		panic(fmt.Sprintf("halted=%v err=%v", halted, err))
+	}
+	label := "unified (unmanaged)"
+	if split {
+		label = "I/D split by columns"
+	}
+	st := sys.Stats()
+	fmt.Printf("%-22s instructions=%d  misses=%d  CPI=%.3f\n",
+		label, core.Retired(), st.Cache.Misses, core.CPI())
+}
+
+func main() {
+	fmt.Println("1KB loop + 48 fresh data lines/iteration on a 2KB 4-way unified cache")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println()
+	fmt.Println("Mapping code to columns 0-1 and data to 2-3 synthesizes a split")
+	fmt.Println("I/D cache; unlike a hardware split, the ratio can change per task.")
+}

@@ -1,0 +1,125 @@
+package colcache
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/memsys"
+	"colcache/internal/prefetch"
+	"colcache/internal/replacement"
+)
+
+// EnableL2 attaches a unified second-level cache of totalBytes organized as
+// ways ways (line size matches the machine). hitCycles is the L2 access
+// latency; L1 misses that also miss the L2 pay the machine's MissPenalty.
+// If masked is true, the tint-derived column mask restricts L2 replacement
+// too, modeling a tint table that carries one bit vector per hierarchy
+// level (the paper's tints deliberately hide the number of levels from
+// software, §2.2).
+func (m *Machine) EnableL2(totalBytes, ways, hitCycles int, masked bool) error {
+	if ways < 1 || totalBytes <= 0 {
+		return fmt.Errorf("colcache: invalid L2 shape %dB/%d ways", totalBytes, ways)
+	}
+	lineBytes := m.cfg.LineBytes
+	if totalBytes%(lineBytes*ways) != 0 {
+		return fmt.Errorf("colcache: L2 size %d not divisible by %d ways of %dB lines",
+			totalBytes, ways, lineBytes)
+	}
+	return m.sys.EnableL2(cache.Config{
+		LineBytes: lineBytes,
+		NumSets:   totalBytes / (lineBytes * ways),
+		NumWays:   ways,
+	}, hitCycles, masked)
+}
+
+// L2Stats returns the second-level cache's counters (zero value when no L2
+// is attached).
+func (m *Machine) L2Stats() cache.Stats { return m.sys.L2Stats() }
+
+// Prefetcher is a sequential stream prefetcher whose speculative fills are
+// confined to a set of columns — the paper's "separate prefetch buffer
+// within the general cache" (§2). Route accesses through it instead of
+// Machine.Step to train and trigger it.
+type Prefetcher struct {
+	engine *prefetch.Engine
+}
+
+// AttachPrefetcher builds a prefetcher over the machine that fills only
+// into the given columns (none = all columns, the polluting baseline).
+// degree is how many lines ahead confirmed streams fetch.
+func (m *Machine) AttachPrefetcher(degree int, columns ...int) (*Prefetcher, error) {
+	mask := replacement.All(m.cfg.Columns)
+	if len(columns) > 0 {
+		for _, c := range columns {
+			if c < 0 || c >= m.cfg.Columns {
+				return nil, fmt.Errorf("colcache: column %d outside [0,%d)", c, m.cfg.Columns)
+			}
+		}
+		mask = replacement.Of(columns...)
+	}
+	return &Prefetcher{engine: prefetch.New(m.sys, prefetch.Config{Degree: degree, Mask: mask})}, nil
+}
+
+// Step executes one access through the prefetcher (training it and issuing
+// fills) and returns the demand access's cycles.
+func (p *Prefetcher) Step(a Access) int64 { return p.engine.Access(a) }
+
+// Run replays a trace through the prefetcher.
+func (p *Prefetcher) Run(t Trace) int64 { return p.engine.Run(t) }
+
+// Issued returns the number of prefetch fills issued so far.
+func (p *Prefetcher) Issued() int64 { return p.engine.Issued() }
+
+// Accuracy returns the fraction of issued prefetches that a demand access
+// later used.
+func (p *Prefetcher) Accuracy() float64 { return p.engine.Accuracy() }
+
+// EnablePerTintStats turns on per-partition hit/miss attribution: every
+// cached access is counted against the tint that governed its placement.
+func (m *Machine) EnablePerTintStats() { m.sys.EnablePerTintStats() }
+
+// TintStats returns per-tint counters (empty unless EnablePerTintStats was
+// called).
+func (m *Machine) TintStats() map[Tint]memsys.TintStats { return m.sys.TintStats() }
+
+// Describe renders the machine's software-visible state — tint table,
+// per-tint statistics, scratchpad contents, cache occupancy — for
+// debugging a mapping.
+func (m *Machine) Describe() string { return m.sys.Describe() }
+
+// VerifyIsolation checks whether the given columns are exclusively owned:
+// no other tint's bit vector — including the default tint's, which governs
+// every unmapped page — may select them for replacement. When it returns
+// nil, data resident in those columns can never be evicted by other data,
+// so a pinned region's worst-case access latency is the cache hit time (the
+// paper's §2.3 real-time guarantee). ownTints lists the tints permitted to
+// use the columns (typically the pinned region's tint).
+func (m *Machine) VerifyIsolation(columns []int, ownTints ...Tint) error {
+	var mask replacement.Mask
+	for _, c := range columns {
+		if c < 0 || c >= m.cfg.Columns {
+			return fmt.Errorf("colcache: column %d outside [0,%d)", c, m.cfg.Columns)
+		}
+		mask |= replacement.Of(c)
+	}
+	own := make(map[Tint]bool, len(ownTints))
+	for _, t := range ownTints {
+		own[t] = true
+	}
+	table := m.sys.Tints()
+	for _, id := range table.Tints() {
+		if own[id] {
+			continue
+		}
+		if overlap := table.Mask(id) & mask; overlap != 0 {
+			return fmt.Errorf("colcache: tint %q may replace into column(s) %v",
+				table.Name(id), overlap.Ways(m.cfg.Columns))
+		}
+	}
+	return nil
+}
+
+// EnergyPJ returns the energy the machine has consumed, in picojoules
+// (always tracked; see memsys.DefaultEnergy for the per-event model, or
+// m.System().SetEnergyModel to change it).
+func (m *Machine) EnergyPJ() int64 { return m.sys.EnergyPJ() }

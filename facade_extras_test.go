@@ -1,0 +1,128 @@
+package colcache
+
+import (
+	"testing"
+
+	"colcache/internal/replacement"
+)
+
+func TestEnableL2Facade(t *testing.T) {
+	m := MustNew(Config{})
+	if err := m.EnableL2(64*1024, 8, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the 2KB L1 with a 16KB loop; the L2 catches the reuse.
+	for pass := 0; pass < 3; pass++ {
+		for off := uint64(0); off < 16*1024; off += 32 {
+			m.Load(off)
+		}
+	}
+	st := m.L2Stats()
+	if st.Accesses == 0 || st.Hits == 0 {
+		t.Errorf("L2 unused: %+v", st)
+	}
+}
+
+func TestEnableL2FacadeValidation(t *testing.T) {
+	m := MustNew(Config{})
+	if err := m.EnableL2(0, 8, 10, false); err == nil {
+		t.Error("zero-size L2 accepted")
+	}
+	if err := m.EnableL2(64*1024, 0, 10, false); err == nil {
+		t.Error("zero-way L2 accepted")
+	}
+	if err := m.EnableL2(1000, 8, 10, false); err == nil {
+		t.Error("indivisible L2 size accepted")
+	}
+}
+
+func TestPrefetcherFacade(t *testing.T) {
+	m := MustNew(Config{})
+	p, err := m.AttachPrefetcher(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Recorder
+	for i := 0; i < 512; i++ {
+		rec.Load(uint64(i * 32))
+	}
+	p.Run(rec.Trace())
+	if p.Issued() == 0 {
+		t.Error("no prefetches for a stream")
+	}
+	if p.Accuracy() < 0.9 {
+		t.Errorf("accuracy %.2f", p.Accuracy())
+	}
+	// Confined fills: nothing outside column 3 except demand fills of the
+	// stream itself (which use the default tint = all columns). Verify the
+	// prefetched next line is in column 3.
+	if _, err := m.AttachPrefetcher(2, 9); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestPrefetcherDefaultsToAllColumns(t *testing.T) {
+	m := MustNew(Config{})
+	if _, err := m.AttachPrefetcher(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTintStatsAndDescribeFacade(t *testing.T) {
+	m := MustNew(Config{PageBytes: 64})
+	m.EnablePerTintStats()
+	r := m.Alloc("hot", 256)
+	id, err := m.Map(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(r.Base)
+	m.Load(r.Base)
+	st := m.TintStats()[id]
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("tint stats=%+v", st)
+	}
+	if d := m.Describe(); d == "" {
+		t.Error("empty Describe")
+	}
+}
+
+func TestVerifyIsolation(t *testing.T) {
+	m := MustNew(Config{PageBytes: 64})
+	pad := m.Alloc("pad", 512)
+	id, err := m.Pin(pad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default tint still covers all columns: no guarantee yet.
+	if err := m.VerifyIsolation([]int{0}, id); err == nil {
+		t.Error("isolation verified despite permissive default tint")
+	}
+	// Shrink the default tint away from column 0: guarantee holds.
+	if err := m.System().Tints().SetMask(0, replacement.Of(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyIsolation([]int{0}, id); err != nil {
+		t.Errorf("isolation should hold: %v", err)
+	}
+	// A new mapping that overlaps column 0 breaks it again.
+	other := m.Alloc("other", 64)
+	if _, err := m.Map(other, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyIsolation([]int{0}, id); err == nil {
+		t.Error("isolation verified despite overlapping mapping")
+	}
+	// Bad column rejected.
+	if err := m.VerifyIsolation([]int{9}); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestEnergyFacade(t *testing.T) {
+	m := MustNew(Config{})
+	m.Load(0)
+	if m.EnergyPJ() <= 0 {
+		t.Errorf("energy=%d", m.EnergyPJ())
+	}
+}

@@ -1,0 +1,3 @@
+module colcache
+
+go 1.22

@@ -1,0 +1,218 @@
+package colcache
+
+// Cross-module integration and metamorphic tests: whole flows through the
+// public API and invariants that must hold across the stack.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colcache/internal/memtrace"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+	"colcache/internal/workloads/synth"
+)
+
+// TestDeterminism: the whole machine is deterministic — identical traces on
+// identically configured machines produce identical cycle counts and stats.
+func TestDeterminism(t *testing.T) {
+	prog := mpeg.Idct(mpeg.Config{})
+	run := func() (int64, Stats) {
+		m := MustNew(Config{PageBytes: 64})
+		if _, err := m.AutoLayout(prog.Trace, prog.Vars); err != nil {
+			t.Fatal(err)
+		}
+		cycles := m.Run(prog.Trace)
+		return cycles, m.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("nondeterministic: %d/%d cycles, %+v vs %+v", c1, c2, s1, s2)
+	}
+}
+
+// TestCycleAccountingConsistency: the sum of per-access cycles equals the
+// machine's total, for random traces and mappings.
+func TestCycleAccountingConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := MustNew(Config{PageBytes: 64})
+		// A couple of random mappings.
+		for i := 0; i < 3; i++ {
+			reg := m.Alloc("v", uint64(64+r.Intn(2048)))
+			if _, err := m.Map(reg, r.Intn(4)); err != nil {
+				return false
+			}
+		}
+		var sum int64
+		for i := 0; i < 500; i++ {
+			a := Access{Addr: uint64(r.Intn(1 << 14)), Op: Read}
+			if r.Intn(3) == 0 {
+				a.Op = Write
+			}
+			a.Think = uint32(r.Intn(5))
+			sum += m.Step(a)
+		}
+		return sum == m.Stats().Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMappingNeverChangesCorrectnessOnlyTiming: for any mapping choice, the
+// same accesses happen — only hit/miss timing differs. Total instruction
+// and access counts are mapping-invariant.
+func TestMappingNeverChangesCorrectnessOnlyTiming(t *testing.T) {
+	prog := kernels.MatMul(kernels.MatMulConfig{N: 12})
+	configs := [][]int{nil, {0}, {1, 2}, {0, 1, 2, 3}}
+	var wantInstr, wantAccesses int64 = -1, -1
+	for _, cols := range configs {
+		m := MustNew(Config{PageBytes: 64})
+		if cols != nil {
+			for _, v := range prog.Vars {
+				if _, err := m.Map(v, cols...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		m.Run(prog.Trace)
+		st := m.Stats()
+		if wantInstr < 0 {
+			wantInstr, wantAccesses = st.Instructions, st.MemAccesses
+			continue
+		}
+		if st.Instructions != wantInstr || st.MemAccesses != wantAccesses {
+			t.Errorf("mapping %v changed execution: instr=%d accesses=%d", cols, st.Instructions, st.MemAccesses)
+		}
+	}
+}
+
+// TestExclusiveMappingBoundsResidency: a region mapped to k columns can
+// never occupy more than k×(column lines) cache lines.
+func TestExclusiveMappingBoundsResidency(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%3
+		cols := make([]int, k)
+		for i := range cols {
+			cols[i] = i
+		}
+		m := MustNew(Config{PageBytes: 64})
+		reg := m.Alloc("big", 1<<16)
+		if _, err := m.Map(reg, cols...); err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			m.Load(reg.Base + uint64(r.Intn(1<<16)))
+		}
+		// Count resident lines belonging to the region.
+		resident := 0
+		g := m.System().Geometry()
+		for _, ln := range g.LinesCovering(reg.Base, reg.Size) {
+			if _, ok := m.Resident(ln * uint64(g.LineBytes)); ok {
+				resident++
+			}
+		}
+		capacity := k * (m.Config().ColumnBytes / m.Config().LineBytes)
+		return resident <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAutoLayoutNeverWorseThanSingleColumn: the layout algorithm's plan is
+// never worse than the degenerate plan that crams everything into one
+// column, across a spread of workloads.
+func TestAutoLayoutNeverWorseThanSingleColumn(t *testing.T) {
+	var progs []struct {
+		name  string
+		trace Trace
+		vars  []Region
+	}
+	add := func(name string, trace memtrace.Trace, vars []Region) {
+		progs = append(progs, struct {
+			name  string
+			trace Trace
+			vars  []Region
+		}{name, trace, vars})
+	}
+	mm := kernels.MatMul(kernels.MatMulConfig{})
+	add(mm.Name, mm.Trace, mm.Vars)
+	fir := kernels.FIR(kernels.FIRConfig{})
+	add(fir.Name, fir.Trace, fir.Vars)
+	hist := kernels.Histogram(kernels.HistogramConfig{})
+	add(hist.Name, hist.Trace, hist.Vars)
+	idct := mpeg.Idct(mpeg.Config{})
+	add(idct.Name, idct.Trace, idct.Vars)
+
+	for _, p := range progs {
+		laid := MustNew(Config{PageBytes: 64})
+		if _, err := laid.AutoLayout(p.trace, p.vars); err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		laidCycles := laid.Run(p.trace)
+
+		cramped := MustNew(Config{PageBytes: 64})
+		for _, v := range p.vars {
+			if _, err := cramped.Map(v, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crampedCycles := cramped.Run(p.trace)
+		if laidCycles > crampedCycles {
+			t.Errorf("%s: layout (%d cycles) worse than single-column cram (%d)",
+				p.name, laidCycles, crampedCycles)
+		}
+	}
+}
+
+// TestSchedulerInstructionConservation: the machine's instruction count
+// equals the sum of what the jobs executed.
+func TestSchedulerInstructionConservation(t *testing.T) {
+	// Exercised through the facade-level System to keep it an integration
+	// test: two synthetic jobs on one machine.
+	m := MustNew(Config{})
+	s1 := synth.Stream(0, 8192, 32, 2)
+	s2 := synth.Random(1<<20, 1<<14, 500, 3)
+	merged := memtrace.Interleave(64, s1.Trace, s2.Trace)
+	m.Run(merged)
+	want := s1.Trace.Instructions() + s2.Trace.Instructions()
+	if got := m.Stats().Instructions; got != want {
+		t.Errorf("instructions=%d want %d", got, want)
+	}
+}
+
+// TestPinnedRegionWorstCaseLatencyBound: after Pin, every access to the
+// pinned region costs exactly the hit latency, whatever else runs — the
+// real-time guarantee of §2.3, fuzzed.
+func TestPinnedRegionWorstCaseLatencyBound(t *testing.T) {
+	f := func(seed int64) bool {
+		m := MustNew(Config{PageBytes: 64})
+		pad := m.Alloc("pad", 1024) // 2 columns
+		if _, err := m.Pin(pad, 0, 1); err != nil {
+			return false
+		}
+		other := m.Alloc("other", 1<<18)
+		if _, err := m.Map(other, 2, 3); err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			if r.Intn(3) == 0 {
+				if c := m.Load(pad.Base + uint64(r.Intn(1024))); c != 1 {
+					return false
+				}
+			} else {
+				m.Load(other.Base + uint64(r.Intn(1<<18)))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

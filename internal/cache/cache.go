@@ -1,0 +1,336 @@
+// Package cache implements the column cache: a set-associative cache whose
+// replacement unit can be restricted, per access, to a bit vector of
+// permissible columns. A column is one way of the n-way cache (paper §2).
+//
+// Lookup behaves exactly like a standard set-associative cache — every way of
+// the selected set is searched associatively regardless of the mask — so a
+// hit never pays a penalty and repartitioning is graceful: a line resident in
+// a column its page is no longer mapped to is still found, and only migrates
+// when it is eventually replaced and refetched (paper §2.1).
+//
+// DataCache in this package couples the cache with a backing memory so
+// simulations can verify read-your-writes integrity end to end.
+package cache
+
+import (
+	"fmt"
+
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+)
+
+// WritePolicy selects how stores interact with lower levels.
+type WritePolicy uint8
+
+const (
+	// WriteBackAllocate: stores allocate on miss and dirty the line;
+	// evicting a dirty line costs a writeback. The default.
+	WriteBackAllocate WritePolicy = iota
+	// WriteThroughNoAllocate: stores propagate to memory immediately and do
+	// not allocate on miss.
+	WriteThroughNoAllocate
+)
+
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteBackAllocate:
+		return "write-back/allocate"
+	case WriteThroughNoAllocate:
+		return "write-through/no-allocate"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a column cache.
+type Config struct {
+	LineBytes int              // bytes per line (power of two)
+	NumSets   int              // sets (power of two)
+	NumWays   int              // ways == columns (1..64)
+	Policy    replacement.Kind // victim-selection policy; default LRU
+	Write     WritePolicy      // store handling; default write-back
+}
+
+// SizeBytes returns the total capacity.
+func (c Config) SizeBytes() int { return c.LineBytes * c.NumSets * c.NumWays }
+
+// ColumnBytes returns the capacity of a single column.
+func (c Config) ColumnBytes() int { return c.LineBytes * c.NumSets }
+
+func (c Config) validate() error {
+	if !memory.IsPow2(c.LineBytes) {
+		return fmt.Errorf("cache: line size %d is not a power of two", c.LineBytes)
+	}
+	if !memory.IsPow2(c.NumSets) {
+		return fmt.Errorf("cache: set count %d is not a power of two", c.NumSets)
+	}
+	if c.NumWays < 1 || c.NumWays > 64 {
+		return fmt.Errorf("cache: way count %d outside [1,64]", c.NumWays)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64 // valid lines displaced
+	Writebacks int64 // dirty lines written back on eviction or flush
+	Fills      int64 // lines brought in from memory
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("acc=%d hit=%d miss=%d (%.2f%%) evict=%d wb=%d",
+		s.Accesses, s.Hits, s.Misses, 100*s.MissRate(), s.Evictions, s.Writebacks)
+}
+
+// Result reports what one access did.
+type Result struct {
+	Hit        bool
+	Way        int  // way hit or filled; -1 for write-through miss (no allocate)
+	Filled     bool // a new line was brought in
+	Evicted    bool // a valid line was displaced to make room
+	Writeback  bool // the displaced line was dirty
+	EvictedTag uint64
+}
+
+// Cache is a column cache. It is not safe for concurrent use; the simulated
+// machine is single-ported.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	policy replacement.Policy
+	stats  Stats
+
+	lineShift uint
+	setMask   uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = replacement.LRU
+	}
+	pol, err := replacement.New(cfg.Policy, cfg.NumSets, cfg.NumWays)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		policy:    pol,
+		lineShift: memory.Log2(cfg.LineBytes),
+		setMask:   uint64(cfg.NumSets) - 1,
+	}
+	c.sets = make([][]line, cfg.NumSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.NumWays)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for tests and fixed configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the event counters accumulated so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex returns (set, tag) for addr.
+func (c *Cache) setIndex(addr memory.Addr) (int, uint64) {
+	lineNum := addr >> c.lineShift
+	return int(lineNum & c.setMask), lineNum >> memory.Log2(c.cfg.NumSets)
+}
+
+// Probe reports whether addr is resident and in which way, without touching
+// replacement state or statistics.
+func (c *Cache) Probe(addr memory.Addr) (way int, hit bool) {
+	set, tag := c.setIndex(addr)
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Read performs a load of addr with the given permissible-column mask.
+func (c *Cache) Read(addr memory.Addr, mask replacement.Mask) Result {
+	return c.access(addr, false, mask)
+}
+
+// Write performs a store of addr with the given permissible-column mask.
+func (c *Cache) Write(addr memory.Addr, mask replacement.Mask) Result {
+	return c.access(addr, true, mask)
+}
+
+func (c *Cache) access(addr memory.Addr, isWrite bool, mask replacement.Mask) Result {
+	c.stats.Accesses++
+	set, tag := c.setIndex(addr)
+	ways := c.sets[set]
+
+	// Associative lookup across ALL ways — the mask restricts replacement
+	// only, never lookup.
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			c.stats.Hits++
+			c.policy.Touch(set, w)
+			if isWrite && c.cfg.Write == WriteBackAllocate {
+				ways[w].dirty = true
+			}
+			return Result{Hit: true, Way: w}
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if isWrite && c.cfg.Write == WriteThroughNoAllocate {
+		return Result{Hit: false, Way: -1}
+	}
+
+	w := c.policy.Victim(set, mask, func(way int) bool { return ways[way].valid })
+	res := Result{Hit: false, Way: w, Filled: true}
+	if ways[w].valid {
+		res.Evicted = true
+		res.EvictedTag = ways[w].tag
+		c.stats.Evictions++
+		if ways[w].dirty {
+			res.Writeback = true
+			c.stats.Writebacks++
+		}
+	}
+	ways[w] = line{tag: tag, valid: true, dirty: isWrite && c.cfg.Write == WriteBackAllocate}
+	c.stats.Fills++
+	c.policy.Touch(set, w)
+	return res
+}
+
+// Fill installs addr's line under mask without counting a demand access —
+// the fill path a prefetcher uses. If the line is already resident nothing
+// happens. Evictions and writebacks it causes are counted as usual, and the
+// result reports them.
+func (c *Cache) Fill(addr memory.Addr, mask replacement.Mask) Result {
+	set, tag := c.setIndex(addr)
+	ways := c.sets[set]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			return Result{Hit: true, Way: w}
+		}
+	}
+	w := c.policy.Victim(set, mask, func(way int) bool { return ways[way].valid })
+	res := Result{Hit: false, Way: w, Filled: true}
+	if ways[w].valid {
+		res.Evicted = true
+		res.EvictedTag = ways[w].tag
+		c.stats.Evictions++
+		if ways[w].dirty {
+			res.Writeback = true
+			c.stats.Writebacks++
+		}
+	}
+	ways[w] = line{tag: tag, valid: true}
+	c.stats.Fills++
+	c.policy.Touch(set, w)
+	return res
+}
+
+// Invalidate drops the line containing addr if resident, without writeback.
+// It reports whether a line was dropped.
+func (c *Cache) Invalidate(addr memory.Addr) bool {
+	set, tag := c.setIndex(addr)
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			c.sets[set][w] = line{}
+			c.policy.Invalidate(set, w)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates every line, counting writebacks for dirty ones, and
+// resets replacement state.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				c.stats.Writebacks++
+			}
+			c.sets[s][w] = line{}
+		}
+	}
+	c.policy.Reset()
+}
+
+// ResidentLines returns the number of valid lines currently cached.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResidentInColumns returns the number of valid lines whose way is inside
+// mask; used by tests to verify partition isolation.
+func (c *Cache) ResidentInColumns(mask replacement.Mask) int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && mask.Has(w) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WayOf returns the way where addr currently resides, or -1. Alias for
+// Probe for readability at call sites that only need the way.
+func (c *Cache) WayOf(addr memory.Addr) int {
+	w, ok := c.Probe(addr)
+	if !ok {
+		return -1
+	}
+	return w
+}

@@ -1,0 +1,391 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+)
+
+func cfg4way() Config {
+	return Config{LineBytes: 32, NumSets: 16, NumWays: 4}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LineBytes: 31, NumSets: 16, NumWays: 4},
+		{LineBytes: 32, NumSets: 15, NumWays: 4},
+		{LineBytes: 32, NumSets: 16, NumWays: 0},
+		{LineBytes: 32, NumSets: 16, NumWays: 65},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := New(Config{LineBytes: 32, NumSets: 16, NumWays: 4, Policy: "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	c := cfg4way()
+	if c.SizeBytes() != 2048 {
+		t.Errorf("SizeBytes=%d want 2048", c.SizeBytes())
+	}
+	if c.ColumnBytes() != 512 {
+		t.Errorf("ColumnBytes=%d want 512", c.ColumnBytes())
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	if r := c.Read(0x100, all); r.Hit {
+		t.Error("cold read hit")
+	}
+	if r := c.Read(0x100, all); !r.Hit {
+		t.Error("second read missed")
+	}
+	// Same line, different offset: hit.
+	if r := c.Read(0x11f, all); !r.Hit {
+		t.Error("same-line read missed")
+	}
+	// Next line: miss.
+	if r := c.Read(0x120, all); r.Hit {
+		t.Error("next-line read hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 || s.Fills != 2 {
+		t.Errorf("stats=%+v", s)
+	}
+	if s.HitRate() != 0.5 || s.MissRate() != 0.5 {
+		t.Errorf("rates=%v,%v", s.HitRate(), s.MissRate())
+	}
+}
+
+func TestConflictEvictionLRU(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	// 5 distinct lines mapping to set 0: line numbers 0,16,32,48,64.
+	setStride := uint64(32 * 16)
+	for i := uint64(0); i < 5; i++ {
+		c.Read(i*setStride, all)
+	}
+	// Line 0 was LRU, must be gone; line 16*32 resident.
+	if _, hit := c.Probe(0); hit {
+		t.Error("LRU line survived 5th fill")
+	}
+	if _, hit := c.Probe(setStride); !hit {
+		t.Error("second line evicted instead of LRU")
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions=%d want 1", got)
+	}
+}
+
+func TestColumnIsolation(t *testing.T) {
+	// Two streams with disjoint masks must never evict each other.
+	c := MustNew(cfg4way())
+	maskA := replacement.Of(0, 1)
+	maskB := replacement.Of(2, 3)
+	setStride := uint64(32 * 16)
+
+	// Stream A warms two lines per set into columns 0-1.
+	c.Read(0, maskA)
+	c.Read(setStride, maskA)
+	// Stream B thrashes set 0 with many lines, masked to columns 2-3.
+	for i := uint64(2); i < 50; i++ {
+		c.Read(i*setStride+0x100000, maskB)
+	}
+	// A's lines must still be resident.
+	if _, hit := c.Probe(0); !hit {
+		t.Error("column-isolated line 0 evicted by other partition")
+	}
+	if _, hit := c.Probe(setStride); !hit {
+		t.Error("column-isolated line 1 evicted by other partition")
+	}
+	// And all of B's residency is inside its columns.
+	if n := c.ResidentInColumns(maskB); n > 2*16 {
+		t.Errorf("partition B holds %d lines, exceeds its capacity", n)
+	}
+}
+
+func TestGracefulRepartitioning(t *testing.T) {
+	// Paper §2.1: after remapping, a line resident in its old column is
+	// still found by associative search, at full hit speed.
+	c := MustNew(cfg4way())
+	c.Read(0x40, replacement.Of(0)) // fill into column 0
+	if w, hit := c.Probe(0x40); !hit || w != 0 {
+		t.Fatalf("fill went to way %d, hit=%v", w, hit)
+	}
+	// Now the page is remapped to column 3 — lookup must still hit in col 0.
+	if r := c.Read(0x40, replacement.Of(3)); !r.Hit || r.Way != 0 {
+		t.Errorf("remapped lookup: %+v", r)
+	}
+	// After invalidation, the refetch lands in the new column.
+	c.Invalidate(0x40)
+	if r := c.Read(0x40, replacement.Of(3)); r.Hit || r.Way != 3 {
+		t.Errorf("refetch after invalidate: %+v", r)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	setStride := uint64(32 * 16)
+	c.Write(0, all) // dirty line
+	for i := uint64(1); i <= 4; i++ {
+		c.Read(i*setStride, all) // force eviction of dirty line
+	}
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("writebacks=%d want 1", s.Writebacks)
+	}
+}
+
+func TestWriteHitDirties(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	c.Read(0, all)
+	c.Write(0, all) // write hit dirties
+	c.FlushAll()
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("flush writebacks=%d want 1", got)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	cfg := cfg4way()
+	cfg.Write = WriteThroughNoAllocate
+	c := MustNew(cfg)
+	all := replacement.All(4)
+	if r := c.Write(0, all); r.Hit || r.Way != -1 || r.Filled {
+		t.Errorf("WT miss allocated: %+v", r)
+	}
+	if c.ResidentLines() != 0 {
+		t.Error("WT miss left a resident line")
+	}
+	// Write hit does not dirty under write-through.
+	c.Read(0x1000, all)
+	c.Write(0x1000, all)
+	c.FlushAll()
+	if got := c.Stats().Writebacks; got != 0 {
+		t.Errorf("WT produced %d writebacks", got)
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	c.Read(0, all)
+	c.Read(0x1000, all)
+	if !c.Invalidate(0) {
+		t.Error("Invalidate missed resident line")
+	}
+	if c.Invalidate(0) {
+		t.Error("Invalidate hit absent line")
+	}
+	if c.ResidentLines() != 1 {
+		t.Errorf("resident=%d want 1", c.ResidentLines())
+	}
+	c.FlushAll()
+	if c.ResidentLines() != 0 {
+		t.Error("FlushAll left residents")
+	}
+}
+
+func TestWayOf(t *testing.T) {
+	c := MustNew(cfg4way())
+	if c.WayOf(0) != -1 {
+		t.Error("WayOf on empty cache")
+	}
+	c.Read(0, replacement.Of(2))
+	if c.WayOf(0) != 2 {
+		t.Errorf("WayOf=%d want 2", c.WayOf(0))
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	setStride := uint64(32 * 16)
+	c.Read(0, all)
+	c.Read(setStride, all)
+	before := c.Stats()
+	c.Probe(0)
+	c.Probe(setStride)
+	if c.Stats() != before {
+		t.Error("Probe changed stats")
+	}
+	// Probing the LRU line must not rescue it from eviction.
+	for i := uint64(2); i <= 4; i++ {
+		c.Read(i*setStride, all)
+	}
+	if _, hit := c.Probe(0); hit {
+		t.Error("probe refreshed LRU state")
+	}
+}
+
+// Property: with the all-columns mask, a column cache is exactly a standard
+// set-associative cache (same hits/misses for any access sequence) — the
+// masked cache run against a reference model simulated with explicit LRU
+// lists.
+func TestFullMaskEquivalenceProperty(t *testing.T) {
+	type refSet struct{ lines []uint64 } // front = MRU
+	f := func(seq []uint16) bool {
+		const numSets, numWays, lineBytes = 4, 4, 16
+		c := MustNew(Config{LineBytes: lineBytes, NumSets: numSets, NumWays: numWays})
+		ref := make([]refSet, numSets)
+		all := replacement.All(numWays)
+		for _, v := range seq {
+			addr := uint64(v) * 8
+			ln := addr / lineBytes
+			set := int(ln % numSets)
+			// Reference LRU.
+			refHit := false
+			for i, l := range ref[set].lines {
+				if l == ln {
+					refHit = true
+					copy(ref[set].lines[1:i+1], ref[set].lines[:i])
+					ref[set].lines[0] = ln
+					break
+				}
+			}
+			if !refHit {
+				if len(ref[set].lines) < numWays {
+					ref[set].lines = append([]uint64{ln}, ref[set].lines...)
+				} else {
+					copy(ref[set].lines[1:], ref[set].lines[:numWays-1])
+					ref[set].lines[0] = ln
+				}
+			}
+			if got := c.Read(addr, all); got.Hit != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: partition isolation — accesses restricted to disjoint masks
+// never evict each other's lines, for random interleavings.
+func TestPartitionIsolationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := MustNew(Config{LineBytes: 16, NumSets: 8, NumWays: 4})
+		maskA, maskB := replacement.Of(0), replacement.Of(1, 2, 3)
+		residentA := make(map[uint64]bool)
+		for i := 0; i < 2000; i++ {
+			if r.Intn(4) == 0 {
+				// Partition A touches one of 8 hot lines (fits its column).
+				addr := uint64(r.Intn(8)) * 16
+				c.Read(addr, maskA)
+				residentA[addr/16] = true
+			} else {
+				c.Read(uint64(r.Intn(1<<14))+1<<20, maskB)
+			}
+		}
+		for ln := range residentA {
+			if _, hit := c.Probe(ln * 16); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsStringNonEmpty(t *testing.T) {
+	c := MustNew(cfg4way())
+	c.Read(0, replacement.All(4))
+	if c.Stats().String() == "" {
+		t.Error("empty stats string")
+	}
+	if (WriteBackAllocate).String() == (WriteThroughNoAllocate).String() {
+		t.Error("write policy strings collide")
+	}
+	if WritePolicy(9).String() != "unknown" {
+		t.Error("unknown write policy string")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := MustNew(cfg4way())
+	c.Read(0, replacement.All(4))
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("stats not reset")
+	}
+	if r := c.Read(0, replacement.All(4)); !r.Hit {
+		t.Error("contents lost on ResetStats")
+	}
+}
+
+func TestGeometryInterop(t *testing.T) {
+	// The cache's internal line indexing must agree with memory.Geometry.
+	g := memory.MustGeometry(32, 4096)
+	c := MustNew(cfg4way())
+	addr := uint64(0xabcd)
+	c.Read(addr, replacement.All(4))
+	if _, hit := c.Probe(g.LineBase(addr)); !hit {
+		t.Error("line base not resident after access inside line")
+	}
+}
+
+func TestFillInstallsWithoutDemandStats(t *testing.T) {
+	c := MustNew(cfg4way())
+	res := c.Fill(0x100, replacement.Of(2))
+	if res.Hit || !res.Filled || res.Way != 2 {
+		t.Errorf("fill result=%+v", res)
+	}
+	s := c.Stats()
+	if s.Accesses != 0 || s.Misses != 0 || s.Fills != 1 {
+		t.Errorf("stats=%+v", s)
+	}
+	// Refill of a resident line is a no-op hit.
+	res = c.Fill(0x100, replacement.Of(3))
+	if !res.Hit || res.Filled {
+		t.Errorf("refill result=%+v", res)
+	}
+	if c.Stats().Fills != 1 {
+		t.Error("refill counted")
+	}
+}
+
+func TestFillEvictsAndWritesBack(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	setStride := uint64(32 * 16)
+	c.Write(0, all) // dirty line in set 0, some way
+	w := c.WayOf(0)
+	// Fill three more lines of set 0 into the other ways, then one more
+	// into the dirty line's way specifically.
+	c.Fill(setStride, replacement.Of((w+1)%4))
+	c.Fill(2*setStride, replacement.Of((w+2)%4))
+	res := c.Fill(3*setStride, replacement.Of(w))
+	if !res.Evicted || !res.Writeback {
+		t.Errorf("fill over dirty line: %+v", res)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks=%d", c.Stats().Writebacks)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	c := MustNew(cfg4way())
+	if got := c.Config(); got.NumWays != 4 || got.Policy != replacement.LRU {
+		t.Errorf("Config=%+v", got)
+	}
+}
+
+func TestRatesOnEmptyStats(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.HitRate() != 0 {
+		t.Error("empty rates nonzero")
+	}
+}

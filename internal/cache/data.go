@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+)
+
+// DataCache couples a column cache with a byte-addressable backing memory so
+// simulations can verify functional correctness (read-your-writes) and not
+// just timing: whatever sequence of masks, evictions, remaps and flushes
+// occurs, a read must observe the most recent write to that address.
+//
+// The data path mirrors the hardware: fills copy the line from backing
+// memory, dirty evictions and flushes copy it back. With write-back caching
+// a freshly written value lives only in the cache until its line is evicted.
+type DataCache struct {
+	cache   *Cache
+	backing map[uint64][]byte // line number -> line bytes
+	lines   map[uint64][]byte // resident line number -> cached bytes
+	g       memory.Geometry
+}
+
+// NewDataCache builds a data-carrying cache over cfg. The page size of the
+// geometry is irrelevant here and fixed at one line.
+func NewDataCache(cfg Config) (*DataCache, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DataCache{
+		cache:   c,
+		backing: make(map[uint64][]byte),
+		lines:   make(map[uint64][]byte),
+		g:       memory.MustGeometry(cfg.LineBytes, cfg.LineBytes),
+	}, nil
+}
+
+// Cache exposes the underlying timing cache (for stats).
+func (d *DataCache) Cache() *Cache { return d.cache }
+
+func (d *DataCache) backingLine(ln uint64) []byte {
+	b, ok := d.backing[ln]
+	if !ok {
+		b = make([]byte, d.cache.cfg.LineBytes)
+		d.backing[ln] = b
+	}
+	return b
+}
+
+// lineNumberOfTag reconstructs a line number from (set, tag).
+func (d *DataCache) lineNumberOfTag(set int, tag uint64) uint64 {
+	return tag<<memory.Log2(d.cache.cfg.NumSets) | uint64(set)
+}
+
+func (d *DataCache) handle(addr memory.Addr, res Result, isWrite bool) {
+	ln := d.g.LineNumber(addr)
+	set, _ := d.cache.setIndex(addr)
+	if res.Evicted {
+		evictedLn := d.lineNumberOfTag(set, res.EvictedTag)
+		if res.Writeback {
+			copy(d.backingLine(evictedLn), d.lines[evictedLn])
+		}
+		delete(d.lines, evictedLn)
+	}
+	if res.Filled {
+		buf := make([]byte, d.cache.cfg.LineBytes)
+		copy(buf, d.backingLine(ln))
+		d.lines[ln] = buf
+	}
+}
+
+// StoreByte stores v at addr under mask.
+func (d *DataCache) StoreByte(addr memory.Addr, v byte, mask replacement.Mask) Result {
+	res := d.cache.Write(addr, mask)
+	d.handle(addr, res, true)
+	ln := d.g.LineNumber(addr)
+	off := d.g.LineOffset(addr)
+	if d.cache.cfg.Write == WriteThroughNoAllocate {
+		d.backingLine(ln)[off] = v
+		if buf, ok := d.lines[ln]; ok {
+			buf[off] = v
+		}
+		return res
+	}
+	d.lines[ln][off] = v
+	return res
+}
+
+// LoadByte loads the byte at addr under mask.
+func (d *DataCache) LoadByte(addr memory.Addr, mask replacement.Mask) (byte, Result) {
+	res := d.cache.Read(addr, mask)
+	d.handle(addr, res, false)
+	ln := d.g.LineNumber(addr)
+	off := d.g.LineOffset(addr)
+	if buf, ok := d.lines[ln]; ok {
+		return buf[off], res
+	}
+	// Write-through misses do not allocate; serve from backing memory.
+	return d.backingLine(ln)[off], res
+}
+
+// Flush writes back all dirty lines and invalidates the cache, preserving
+// backing memory contents.
+func (d *DataCache) Flush() {
+	for s := range d.cache.sets {
+		for w := range d.cache.sets[s] {
+			l := &d.cache.sets[s][w]
+			if l.valid && l.dirty {
+				ln := d.lineNumberOfTag(s, l.tag)
+				copy(d.backingLine(ln), d.lines[ln])
+			}
+		}
+	}
+	d.lines = make(map[uint64][]byte)
+	d.cache.FlushAll()
+}

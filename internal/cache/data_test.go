@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colcache/internal/replacement"
+)
+
+func TestDataCacheReadYourWrites(t *testing.T) {
+	d, err := NewDataCache(Config{LineBytes: 16, NumSets: 4, NumWays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := replacement.All(2)
+	d.StoreByte(100, 42, all)
+	if v, _ := d.LoadByte(100, all); v != 42 {
+		t.Errorf("read back %d want 42", v)
+	}
+	// Unwritten bytes read as zero.
+	if v, _ := d.LoadByte(101, all); v != 0 {
+		t.Errorf("unwritten byte=%d want 0", v)
+	}
+}
+
+func TestDataCacheSurvivesEviction(t *testing.T) {
+	d, _ := NewDataCache(Config{LineBytes: 16, NumSets: 2, NumWays: 1})
+	all := replacement.All(1)
+	d.StoreByte(0, 7, all)
+	// Evict line 0 by filling conflicting lines (set stride = 32 bytes).
+	d.LoadByte(32, all)
+	d.LoadByte(64, all)
+	if v, _ := d.LoadByte(0, all); v != 7 {
+		t.Errorf("value lost across eviction: %d", v)
+	}
+}
+
+func TestDataCacheFlush(t *testing.T) {
+	d, _ := NewDataCache(Config{LineBytes: 16, NumSets: 2, NumWays: 2})
+	all := replacement.All(2)
+	d.StoreByte(5, 9, all)
+	d.Flush()
+	if d.Cache().ResidentLines() != 0 {
+		t.Error("flush left residents")
+	}
+	if v, res := d.LoadByte(5, all); v != 9 || res.Hit {
+		t.Errorf("after flush: v=%d hit=%v", v, res.Hit)
+	}
+}
+
+func TestDataCacheWriteThrough(t *testing.T) {
+	d, _ := NewDataCache(Config{LineBytes: 16, NumSets: 2, NumWays: 1, Write: WriteThroughNoAllocate})
+	all := replacement.All(1)
+	// Miss-write goes straight to backing memory.
+	d.StoreByte(3, 5, all)
+	if d.Cache().ResidentLines() != 0 {
+		t.Error("WT miss allocated")
+	}
+	if v, _ := d.LoadByte(3, all); v != 5 {
+		t.Errorf("WT value=%d", v)
+	}
+	// Write hit must update the cached copy too.
+	d.StoreByte(3, 6, all)
+	if v, res := d.LoadByte(3, all); v != 6 || !res.Hit {
+		t.Errorf("WT hit path: v=%d hit=%v", v, res.Hit)
+	}
+}
+
+// Property: a DataCache behaves exactly like a flat byte array, for random
+// mixes of reads, writes, masks, flushes. This exercises fills, dirty
+// evictions, writebacks and mask-driven placement end to end.
+func TestDataCacheMatchesFlatMemoryProperty(t *testing.T) {
+	f := func(seed int64, wt bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{LineBytes: 8, NumSets: 4, NumWays: 4}
+		if wt {
+			cfg.Write = WriteThroughNoAllocate
+		}
+		d, err := NewDataCache(cfg)
+		if err != nil {
+			return false
+		}
+		shadow := make(map[uint64]byte)
+		for i := 0; i < 3000; i++ {
+			addr := uint64(r.Intn(512))
+			mask := replacement.Mask(r.Intn(16)) // includes 0 (falls back to all)
+			switch r.Intn(10) {
+			case 0:
+				d.Flush()
+			case 1, 2, 3:
+				v := byte(r.Intn(256))
+				d.StoreByte(addr, v, mask)
+				shadow[addr] = v
+			default:
+				got, _ := d.LoadByte(addr, mask)
+				if got != shadow[addr] {
+					return false
+				}
+			}
+		}
+		// Final flush then verify everything from backing memory.
+		d.Flush()
+		for addr, want := range shadow {
+			if got, _ := d.LoadByte(addr, replacement.All(4)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

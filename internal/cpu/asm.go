@@ -1,0 +1,254 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a small symbolic assembly dialect into a Program based at
+// base. One instruction or label per line; comments start with ';' or '#'.
+//
+//	        li   r1, 0
+//	        li   r2, 100
+//	loop:   ld   r3, [r4+0]
+//	        add  r1, r1, r3
+//	        addi r4, r4, 8
+//	        addi r2, r2, -1
+//	        bne  r2, r0, loop
+//	        halt
+//
+// Register r0 is an ordinary register by convention initialized to 0 by the
+// core at reset. Branch targets are labels; ld/st use the [rN+off] form.
+func Assemble(src string, base uint64) (*Program, error) {
+	type pending struct {
+		instrIndex int
+		label      string
+		line       int
+	}
+	var instrs []Instr
+	labels := make(map[string]int)
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Optional leading label.
+		if i := strings.Index(line, ":"); i >= 0 {
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("cpu: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("cpu: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(instrs)
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				continue
+			}
+		}
+
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		args := splitArgs(rest)
+		ins, needsLabel, err := parseInstr(mnemonic, args)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: line %d: %v", lineNo+1, err)
+		}
+		if needsLabel != "" {
+			fixups = append(fixups, pending{instrIndex: len(instrs), label: needsLabel, line: lineNo + 1})
+		}
+		instrs = append(instrs, ins)
+	}
+
+	p := &Program{Base: base, Instrs: instrs}
+	for _, f := range fixups {
+		idx, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("cpu: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Instrs[f.instrIndex].Imm = int64(p.AddrOf(idx))
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics, for tests and fixed kernels.
+func MustAssemble(src string, base uint64) *Program {
+	p, err := Assemble(src, base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses the [rN+off] / [rN-off] / [rN] operand.
+func parseMem(s string) (uint8, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseImm(inner[sep:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func parseInstr(mnemonic string, args []string) (ins Instr, label string, err error) {
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+	switch mnemonic {
+	case "nop":
+		return Instr{Op: Nop}, "", want(0)
+	case "halt":
+		return Instr{Op: Halt}, "", want(0)
+	case "li":
+		if err := want(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: Li, Rd: rd, Imm: imm}, "", nil
+	case "addi":
+		if err := want(3); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: Addi, Rd: rd, Rs1: rs1, Imm: imm}, "", nil
+	case "add", "sub", "mul", "and", "or", "shl", "shr":
+		if err := want(3); err != nil {
+			return ins, "", err
+		}
+		ops := map[string]Op{"add": Add, "sub": Sub, "mul": Mul, "and": And, "or": Or, "shl": Shl, "shr": Shr}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: ops[mnemonic], Rd: rd, Rs1: rs1, Rs2: rs2}, "", nil
+	case "ld":
+		if err := want(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		rs1, off, err := parseMem(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: Ld, Rd: rd, Rs1: rs1, Imm: off}, "", nil
+	case "st":
+		if err := want(2); err != nil {
+			return ins, "", err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		rs1, off, err := parseMem(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: St, Rs1: rs1, Rs2: rs2, Imm: off}, "", nil
+	case "beq", "bne", "blt":
+		if err := want(3); err != nil {
+			return ins, "", err
+		}
+		ops := map[string]Op{"beq": Beq, "bne": Bne, "blt": Blt}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return ins, "", err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: ops[mnemonic], Rs1: rs1, Rs2: rs2}, args[2], nil
+	case "jmp":
+		if err := want(1); err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: Jmp}, args[0], nil
+	default:
+		return ins, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"fmt"
+
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+)
+
+// Core is a single-issue in-order processor. Every instruction fetch and
+// every load/store goes through the memory system, so code and data compete
+// for the same unified column cache — or are isolated in their own columns
+// when the software maps the code and data pages apart.
+type Core struct {
+	sys  *memsys.System
+	prog *Program
+	pc   uint64
+	regs [NumRegs]int64
+	mem  map[uint64]int64 // 8-byte words, keyed by 8-aligned address
+
+	halted  bool
+	retired int64
+	cycles  int64
+}
+
+// NewCore builds a core running prog on sys. Registers start at zero and pc
+// at the program base.
+func NewCore(sys *memsys.System, prog *Program) *Core {
+	return &Core{sys: sys, prog: prog, pc: prog.Base, mem: make(map[uint64]int64)}
+}
+
+// Reg returns register r's value.
+func (c *Core) Reg(r int) int64 { return c.regs[r] }
+
+// SetReg sets register r.
+func (c *Core) SetReg(r int, v int64) { c.regs[r] = v }
+
+// PokeWord writes v to data memory at addr (8-aligned) without touching the
+// cache — initialization, like a loader.
+func (c *Core) PokeWord(addr uint64, v int64) { c.mem[addr&^7] = v }
+
+// PeekWord reads data memory at addr without touching the cache.
+func (c *Core) PeekWord(addr uint64) int64 { return c.mem[addr&^7] }
+
+// Halted reports whether the core has executed Halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Retired returns the number of instructions retired.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Cycles returns the cycles consumed by the core's memory activity.
+func (c *Core) Cycles() int64 { return c.cycles }
+
+// CPI returns cycles per retired instruction.
+func (c *Core) CPI() float64 {
+	if c.retired == 0 {
+		return 0
+	}
+	return float64(c.cycles) / float64(c.retired)
+}
+
+// Step executes one instruction. It returns an error on a fetch outside the
+// program or a register/memory fault.
+func (c *Core) Step() error {
+	if c.halted {
+		return nil
+	}
+	if c.pc < c.prog.Base || c.pc >= c.prog.End() || (c.pc-c.prog.Base)%InstrBytes != 0 {
+		return fmt.Errorf("cpu: pc %#x outside program [%#x,%#x)", c.pc, c.prog.Base, c.prog.End())
+	}
+	ins := c.prog.Instrs[(c.pc-c.prog.Base)/InstrBytes]
+
+	// Instruction fetch through the memory hierarchy.
+	c.cycles += c.sys.Access(memtrace.Access{Addr: c.pc, Op: memtrace.Read})
+	next := c.pc + InstrBytes
+
+	switch ins.Op {
+	case Nop:
+	case Halt:
+		c.halted = true
+	case Li:
+		c.regs[ins.Rd] = ins.Imm
+	case Addi:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] + ins.Imm
+	case Add:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] + c.regs[ins.Rs2]
+	case Sub:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] - c.regs[ins.Rs2]
+	case Mul:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] * c.regs[ins.Rs2]
+	case And:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] & c.regs[ins.Rs2]
+	case Or:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] | c.regs[ins.Rs2]
+	case Shl:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] << (uint64(c.regs[ins.Rs2]) & 63)
+	case Shr:
+		c.regs[ins.Rd] = c.regs[ins.Rs1] >> (uint64(c.regs[ins.Rs2]) & 63)
+	case Ld:
+		addr := uint64(c.regs[ins.Rs1] + ins.Imm)
+		c.cycles += c.sys.Access(memtrace.Access{Addr: addr, Op: memtrace.Read})
+		c.regs[ins.Rd] = c.mem[addr&^7]
+	case St:
+		addr := uint64(c.regs[ins.Rs1] + ins.Imm)
+		c.cycles += c.sys.Access(memtrace.Access{Addr: addr, Op: memtrace.Write})
+		c.mem[addr&^7] = c.regs[ins.Rs2]
+	case Beq:
+		if c.regs[ins.Rs1] == c.regs[ins.Rs2] {
+			next = uint64(ins.Imm)
+		}
+	case Bne:
+		if c.regs[ins.Rs1] != c.regs[ins.Rs2] {
+			next = uint64(ins.Imm)
+		}
+	case Blt:
+		if c.regs[ins.Rs1] < c.regs[ins.Rs2] {
+			next = uint64(ins.Imm)
+		}
+	case Jmp:
+		next = uint64(ins.Imm)
+	default:
+		return fmt.Errorf("cpu: illegal opcode %d at %#x", ins.Op, c.pc)
+	}
+	c.pc = next
+	c.retired++
+	return nil
+}
+
+// Run executes until Halt or maxInstr instructions, returning whether the
+// program halted.
+func (c *Core) Run(maxInstr int64) (bool, error) {
+	for i := int64(0); i < maxInstr && !c.halted; i++ {
+		if err := c.Step(); err != nil {
+			return false, err
+		}
+	}
+	return c.halted, nil
+}

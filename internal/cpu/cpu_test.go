@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+)
+
+func newSys() *memsys.System {
+	return memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(32, 64),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:   memsys.DefaultTiming,
+	})
+}
+
+func TestAssembleBasics(t *testing.T) {
+	p := MustAssemble(`
+		; sum r1 = 1+2
+		li r1, 1
+		li r2, 2
+		add r1, r1, r2   # trailing comment
+		halt
+	`, 0x1000)
+	if len(p.Instrs) != 4 {
+		t.Fatalf("instrs=%d", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != Li || p.Instrs[0].Imm != 1 {
+		t.Errorf("instr 0 = %v", p.Instrs[0])
+	}
+	if p.AddrOf(2) != 0x1008 || p.End() != 0x1010 || p.CodeBytes() != 16 {
+		t.Errorf("layout: %#x %#x %d", p.AddrOf(2), p.End(), p.CodeBytes())
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0
+		li r2, 5
+	loop:
+		addi r1, r1, 1
+		bne r1, r2, loop
+		halt
+	`, 0)
+	// bne target must be the address of "loop" (instruction 2).
+	bne := p.Instrs[3]
+	if bne.Op != Bne || bne.Imm != int64(p.AddrOf(2)) {
+		t.Errorf("bne=%v want target %#x", bne, p.AddrOf(2))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"li r99, 5",
+		"li r1",
+		"add r1, r2",
+		"ld r1, r2",      // missing brackets
+		"ld r1, [x+4]",   // bad base register
+		"li r1, zz",      // bad immediate
+		"jmp nowhere",    // undefined label
+		"a: nop\na: nop", // duplicate label
+		": nop",          // empty label
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestCoreArithmetic(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		sub r4, r3, r1
+		li r5, 2
+		shl r6, r3, r5
+		shr r7, r6, r5
+		and r8, r3, r1
+		or  r9, r1, r2
+		halt
+	`, 0)
+	c := NewCore(newSys(), p)
+	halted, err := c.Run(100)
+	if err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	want := map[int]int64{3: 42, 4: 36, 6: 168, 7: 42, 8: 6 & 42, 9: 6 | 7}
+	for r, v := range want {
+		if c.Reg(r) != v {
+			t.Errorf("r%d=%d want %d", r, c.Reg(r), v)
+		}
+	}
+	if c.Retired() != 10 {
+		t.Errorf("retired=%d", c.Retired())
+	}
+}
+
+func TestCoreSumLoop(t *testing.T) {
+	// Sum data[0..99] through the cache.
+	p := MustAssemble(`
+		li r1, 0        ; sum
+		li r2, 0x10000  ; ptr
+		li r3, 100      ; count
+		li r5, 0
+	loop:
+		ld r4, [r2+0]
+		add r1, r1, r4
+		addi r2, r2, 8
+		addi r3, r3, -1
+		bne r3, r5, loop
+		halt
+	`, 0)
+	sys := newSys()
+	c := NewCore(sys, p)
+	var want int64
+	for i := 0; i < 100; i++ {
+		c.PokeWord(0x10000+uint64(i*8), int64(i*3))
+		want += int64(i * 3)
+	}
+	halted, err := c.Run(10000)
+	if err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	if c.Reg(1) != want {
+		t.Errorf("sum=%d want %d", c.Reg(1), want)
+	}
+	// 4 setup + 100×5 loop + 1 halt.
+	if c.Retired() != 4+500+1 {
+		t.Errorf("retired=%d", c.Retired())
+	}
+	if c.CPI() <= 0 {
+		t.Errorf("CPI=%v", c.CPI())
+	}
+}
+
+func TestCoreStoreLoad(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 1234
+		li r2, 0x8000
+		st r1, [r2+16]
+		ld r3, [r2+16]
+		halt
+	`, 0)
+	c := NewCore(newSys(), p)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(3) != 1234 {
+		t.Errorf("r3=%d", c.Reg(3))
+	}
+	if c.PeekWord(0x8010) != 1234 {
+		t.Errorf("mem=%d", c.PeekWord(0x8010))
+	}
+}
+
+func TestCoreBranches(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 5
+		li r2, 5
+		beq r1, r2, taken
+		li r3, 111
+		halt
+	taken:
+		li r3, 222
+		blt r1, r2, bad
+		jmp done
+	bad:
+		li r3, 333
+	done:
+		halt
+	`, 0x400)
+	c := NewCore(newSys(), p)
+	halted, err := c.Run(100)
+	if err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	if c.Reg(3) != 222 {
+		t.Errorf("r3=%d want 222", c.Reg(3))
+	}
+}
+
+func TestCorePCOutOfRange(t *testing.T) {
+	p := MustAssemble("nop", 0) // falls off the end
+	c := NewCore(newSys(), p)
+	c.Step()
+	if err := c.Step(); err == nil {
+		t.Error("fetch past end succeeded")
+	}
+}
+
+func TestCoreHaltIsSticky(t *testing.T) {
+	p := MustAssemble("halt", 0)
+	c := NewCore(newSys(), p)
+	c.Step()
+	if err := c.Step(); err != nil || c.Retired() != 1 {
+		t.Errorf("halted core stepped: err=%v retired=%d", err, c.Retired())
+	}
+}
+
+// splitIDSource generates a kernel whose 1KB loop body (2 code lines per
+// set of the 2KB cache) also loads 48 fresh data lines per iteration (3 per
+// set). Unified per-set pressure is then 5 lines into 4 ways, so LRU churns
+// the code every iteration; splitting code and data into column partitions
+// keeps the code resident.
+func splitIDSource() string {
+	var b strings.Builder
+	b.WriteString("\tli r2, 0x100000\n\tli r3, 100\n\tli r5, 0\n\tli r6, 0\nloop:\n")
+	n := 0
+	for k := 0; k < 48; k++ { // 48 loads of fresh lines
+		fmt.Fprintf(&b, "\tld r4, [r2+%d]\n", k*32)
+		n++
+	}
+	for n < 248 { // pad so the whole program is 256 instructions (1KB)
+		b.WriteString("\taddi r6, r6, 1\n")
+		n++
+	}
+	b.WriteString("\taddi r2, r2, 1536\n\taddi r3, r3, -1\n\tbne r3, r5, loop\n\thalt\n")
+	return b.String()
+}
+
+// TestInstructionColumnProtectsCode is the split-I/D-cache emulation the
+// paper lists among the structures a column cache can synthesize (§2).
+func TestInstructionColumnProtectsCode(t *testing.T) {
+	src := splitIDSource()
+	run := func(partition bool) (float64, int64) {
+		sys := newSys()
+		p := MustAssemble(src, 0)
+		if partition {
+			code := memory.Region{Name: "code", Base: p.Base, Size: p.CodeBytes()}
+			data := memory.Region{Name: "data", Base: 0x100000, Size: 100 * 1536}
+			if _, err := sys.MapRegion(code, replacement.Of(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.MapRegion(data, replacement.Of(2, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := NewCore(sys, p)
+		halted, err := c.Run(1000000)
+		if err != nil || !halted {
+			t.Fatalf("halted=%v err=%v", halted, err)
+		}
+		return c.CPI(), sys.Stats().Cache.Misses
+	}
+	unifiedCPI, unifiedMisses := run(false)
+	splitCPI, splitMisses := run(true)
+	if splitCPI >= unifiedCPI {
+		t.Errorf("I-column did not help: split CPI %.3f vs unified %.3f", splitCPI, unifiedCPI)
+	}
+	// With code protected, misses ≈ the data stream's compulsory ones
+	// (48 lines × 100 iterations) plus the code's 32 cold fills.
+	if splitMisses > 4800+32+100 {
+		t.Errorf("split config missed %d times, want ≈4832", splitMisses)
+	}
+	if unifiedMisses*10 < 14*splitMisses {
+		t.Errorf("unified cache not churning code: %d vs %d misses", unifiedMisses, splitMisses)
+	}
+}
+
+func TestCoreAccessors(t *testing.T) {
+	p := MustAssemble("li r1, 7\nhalt", 0)
+	sys := newSys()
+	c := NewCore(sys, p)
+	c.SetReg(5, 42)
+	if c.Reg(5) != 42 {
+		t.Error("SetReg lost")
+	}
+	if c.Halted() {
+		t.Error("fresh core halted")
+	}
+	if c.CPI() != 0 {
+		t.Error("CPI before any instruction")
+	}
+	c.Run(10)
+	if !c.Halted() || c.Cycles() <= 0 {
+		t.Errorf("halted=%v cycles=%d", c.Halted(), c.Cycles())
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"nop":              {Op: Nop},
+		"halt":             {Op: Halt},
+		"li r1, 5":         {Op: Li, Rd: 1, Imm: 5},
+		"addi r2, r3, -1":  {Op: Addi, Rd: 2, Rs1: 3, Imm: -1},
+		"add r1, r2, r3":   {Op: Add, Rd: 1, Rs1: 2, Rs2: 3},
+		"ld r1, [r2+8]":    {Op: Ld, Rd: 1, Rs1: 2, Imm: 8},
+		"st r3, [r2+4]":    {Op: St, Rs1: 2, Rs2: 3, Imm: 4},
+		"beq r1, r2, 0x10": {Op: Beq, Rs1: 1, Rs2: 2, Imm: 0x10},
+		"jmp 0x20":         {Op: Jmp, Imm: 0x20},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String()=%q want %q", got, want)
+		}
+	}
+	if Op(99).String() != "op(99)" {
+		t.Errorf("unknown op string: %s", Op(99))
+	}
+	if (Instr{Op: Op(99)}).String() != "op(99)" {
+		t.Error("unknown instr string")
+	}
+}
+
+// TestAsmFibonacci: an iterative Fibonacci in assembly, verified against Go.
+func TestAsmFibonacci(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0       ; fib(0)
+		li r2, 1       ; fib(1)
+		li r3, 20      ; n
+		li r5, 0
+	loop:
+		add r4, r1, r2
+		add r1, r2, r0 ; r0 stays 0: move r2 -> r1
+		add r2, r4, r0 ; move r4 -> r2
+		addi r3, r3, -1
+		bne r3, r5, loop
+		halt
+	`, 0)
+	c := NewCore(newSys(), p)
+	if _, err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	fib := []int64{0, 1}
+	for i := 2; i <= 21; i++ {
+		fib = append(fib, fib[i-1]+fib[i-2])
+	}
+	if c.Reg(1) != fib[20] {
+		t.Errorf("fib(20)=%d want %d", c.Reg(1), fib[20])
+	}
+}
+
+// TestAsmMemcpy: word-wise memcpy through the cache, verified byte for byte.
+func TestAsmMemcpy(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0x1000  ; src
+		li r2, 0x2000  ; dst
+		li r3, 32      ; words
+		li r5, 0
+	loop:
+		ld r4, [r1+0]
+		st r4, [r2+0]
+		addi r1, r1, 8
+		addi r2, r2, 8
+		addi r3, r3, -1
+		bne r3, r5, loop
+		halt
+	`, 0)
+	sys := newSys()
+	c := NewCore(sys, p)
+	for i := 0; i < 32; i++ {
+		c.PokeWord(0x1000+uint64(i*8), int64(i*i+7))
+	}
+	if _, err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := c.PeekWord(0x2000 + uint64(i*8)); got != int64(i*i+7) {
+			t.Fatalf("dst[%d]=%d want %d", i, got, i*i+7)
+		}
+	}
+	// Each copied word costs a load and a store through the cache.
+	if sys.Stats().Cache.Accesses < 64 {
+		t.Errorf("cache accesses=%d, data path bypassed?", sys.Stats().Cache.Accesses)
+	}
+}
+
+// TestAsmDotProduct: Σ a[i]·b[i] with mul, verified against Go.
+func TestAsmDotProduct(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0x1000
+		li r2, 0x2000
+		li r3, 16
+		li r5, 0
+		li r6, 0       ; acc
+	loop:
+		ld r7, [r1+0]
+		ld r8, [r2+0]
+		mul r9, r7, r8
+		add r6, r6, r9
+		addi r1, r1, 8
+		addi r2, r2, 8
+		addi r3, r3, -1
+		bne r3, r5, loop
+		halt
+	`, 0)
+	c := NewCore(newSys(), p)
+	var want int64
+	for i := 0; i < 16; i++ {
+		a, b := int64(i+1), int64(2*i-5)
+		c.PokeWord(0x1000+uint64(i*8), a)
+		c.PokeWord(0x2000+uint64(i*8), b)
+		want += a * b
+	}
+	if _, err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(6) != want {
+		t.Errorf("dot=%d want %d", c.Reg(6), want)
+	}
+}

@@ -1,0 +1,35 @@
+package cpu
+
+import (
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+)
+
+// FuzzAssemble: arbitrary source must never panic the assembler, and any
+// program it accepts must execute (bounded) on the core without panicking.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 5\nhalt")
+	f.Add("loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")
+	f.Add("ld r1, [r2+8]\nst r1, [r2-8]")
+	f.Add(": bad")
+	f.Add("jmp nowhere")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, 0x1000)
+		if err != nil {
+			return
+		}
+		sys := memsys.MustNew(memsys.Config{
+			Geometry: memory.MustGeometry(32, 64),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 4, NumWays: 2},
+			Timing:   memsys.DefaultTiming,
+		})
+		c := NewCore(sys, p)
+		// Bounded run; runtime errors (pc escape) are fine, panics are not.
+		if _, err := c.Run(10000); err != nil {
+			return
+		}
+	})
+}

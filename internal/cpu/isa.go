@@ -1,0 +1,103 @@
+// Package cpu implements a small in-order processor whose instruction
+// fetches and data accesses both go through the simulated memory system.
+// The paper's mechanism treats instructions as just another kind of data
+// ("we will use the term data to mean either instructions or data", §2
+// footnote), and one of the structures column caching can synthesize inside
+// a unified cache is the classic split instruction/data cache: map the code
+// pages to one set of columns and the data pages to another.
+//
+// The ISA is a tiny load/store RISC: 16 registers of 64 bits, 4-byte
+// instructions, and enough operations (ALU, load/store, branches) to write
+// real kernels whose results the tests verify.
+package cpu
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	Nop Op = iota
+	Halt
+	Li   // rd ← imm
+	Addi // rd ← rs1 + imm
+	Add  // rd ← rs1 + rs2
+	Sub  // rd ← rs1 - rs2
+	Mul  // rd ← rs1 * rs2
+	And  // rd ← rs1 & rs2
+	Or   // rd ← rs1 | rs2
+	Shl  // rd ← rs1 << (rs2 & 63)
+	Shr  // rd ← rs1 >> (rs2 & 63) (arithmetic)
+	Ld   // rd ← mem[rs1 + imm]
+	St   // mem[rs1 + imm] ← rs2
+	Beq  // if rs1 == rs2: pc ← imm
+	Bne  // if rs1 != rs2: pc ← imm
+	Blt  // if rs1 < rs2: pc ← imm
+	Jmp  // pc ← imm
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Halt: "halt", Li: "li", Addi: "addi", Add: "add", Sub: "sub",
+	Mul: "mul", And: "and", Or: "or", Shl: "shl", Shr: "shr",
+	Ld: "ld", St: "st", Beq: "beq", Bne: "bne", Blt: "blt", Jmp: "jmp",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// InstrBytes is the encoded size of one instruction.
+const InstrBytes = 4
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64 // immediate, load/store offset, or branch/jump target address
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case Nop, Halt:
+		return i.Op.String()
+	case Li:
+		return fmt.Sprintf("li r%d, %d", i.Rd, i.Imm)
+	case Addi:
+		return fmt.Sprintf("addi r%d, r%d, %d", i.Rd, i.Rs1, i.Imm)
+	case Add, Sub, Mul, And, Or, Shl, Shr:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case Ld:
+		return fmt.Sprintf("ld r%d, [r%d+%d]", i.Rd, i.Rs1, i.Imm)
+	case St:
+		return fmt.Sprintf("st r%d, [r%d+%d]", i.Rs2, i.Rs1, i.Imm)
+	case Beq, Bne, Blt:
+		return fmt.Sprintf("%s r%d, r%d, %#x", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case Jmp:
+		return fmt.Sprintf("jmp %#x", i.Imm)
+	default:
+		return i.Op.String()
+	}
+}
+
+// Program is a sequence of instructions laid out at a base address.
+type Program struct {
+	Base   uint64
+	Instrs []Instr
+}
+
+// AddrOf returns the address of instruction index i.
+func (p *Program) AddrOf(i int) uint64 { return p.Base + uint64(i)*InstrBytes }
+
+// End returns the first address past the program.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Instrs))*InstrBytes }
+
+// CodeBytes returns the program's footprint.
+func (p *Program) CodeBytes() uint64 { return uint64(len(p.Instrs)) * InstrBytes }

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+	"colcache/internal/vm"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each returns both
+// data and a rendered table.
+
+// PolicyAblation measures partition isolation under every replacement
+// policy: job A's CPI at a small quantum against a thrasher, mapped vs
+// shared. Isolation is a property of the column mask, not the policy, so
+// the mapped CPI should improve under every policy.
+type PolicyAblation struct {
+	Policy    replacement.Kind
+	SharedCPI float64
+	MappedCPI float64
+}
+
+// RunPolicyAblation sweeps the replacement policies.
+func RunPolicyAblation() ([]PolicyAblation, error) {
+	jobA := gzipsim.Job(gzipsim.Config{WindowBytes: 8 * 1024}, 0)
+	jobB := gzipsim.Job(gzipsim.Config{WindowBytes: 8 * 1024, Seed: 2}, 1<<32)
+	var out []PolicyAblation
+	for _, kind := range []replacement.Kind{replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random} {
+		row := PolicyAblation{Policy: kind}
+		for _, mapped := range []bool{false, true} {
+			sys, err := memsys.New(memsys.Config{
+				Geometry: memory.MustGeometry(32, 4096),
+				Cache:    cache.Config{LineBytes: 32, NumSets: 128, NumWays: 4, Policy: kind},
+				Timing:   memsys.DefaultTiming,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if mapped {
+				base, size := jobSpan(jobA)
+				if _, err := sys.MapRegion(memory.Region{Name: "A", Base: base, Size: size}, replacement.Range(0, 3)); err != nil {
+					return nil, err
+				}
+				base, size = jobSpan(jobB)
+				if _, err := sys.MapRegion(memory.Region{Name: "B", Base: base, Size: size}, replacement.Range(3, 4)); err != nil {
+					return nil, err
+				}
+			}
+			rr, err := sched.NewRoundRobin(sys, 64)
+			if err != nil {
+				return nil, err
+			}
+			rr.Add(&sched.Job{Name: "A", Trace: jobA.Trace, TargetInstructions: 1 << 18})
+			rr.Add(&sched.Job{Name: "B", Trace: jobB.Trace, TargetInstructions: 1 << 18})
+			cpi := rr.Run()[0].CPI()
+			if mapped {
+				row.MappedCPI = cpi
+			} else {
+				row.SharedCPI = cpi
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PolicyAblationTable renders the sweep.
+func PolicyAblationTable(rows []PolicyAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: partition isolation across replacement policies (job A CPI, quantum 64)",
+		Headers: []string{"policy", "shared CPI", "mapped CPI", "improvement"},
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.Policy),
+			fmt.Sprintf("%.3f", r.SharedCPI),
+			fmt.Sprintf("%.3f", r.MappedCPI),
+			fmt.Sprintf("%.1f%%", 100*(r.SharedCPI-r.MappedCPI)/r.SharedCPI))
+	}
+	return t
+}
+
+// MissPenaltyAblation reruns the Figure 4 dequant sweep under different
+// main-memory latencies: the penalty scales the gaps but never reorders the
+// partitions (scratchpad stays optimal).
+type MissPenaltyAblation struct {
+	MissPenalty int
+	Sweep       RoutineSweep
+}
+
+// RunMissPenaltyAblation sweeps the miss penalty.
+func RunMissPenaltyAblation(penalties []int) ([]MissPenaltyAblation, error) {
+	var out []MissPenaltyAblation
+	prog := mpeg.Dequant(mpeg.DefaultConfig)
+	for _, pen := range penalties {
+		cfg := DefaultFig4Config
+		cfg.Timing.MissPenalty = pen
+		cfg.Timing.Uncached = pen
+		sweep := RoutineSweep{Name: prog.Name, Cycles: make([]int64, cfg.Columns+1)}
+		for k := 0; k <= cfg.Columns; k++ {
+			cycles, _, err := runPartition(cfg, prog, k)
+			if err != nil {
+				return nil, err
+			}
+			sweep.Cycles[k] = cycles
+		}
+		out = append(out, MissPenaltyAblation{MissPenalty: pen, Sweep: sweep})
+	}
+	return out, nil
+}
+
+// MissPenaltyAblationTable renders the sweep.
+func MissPenaltyAblationTable(rows []MissPenaltyAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: dequant partition sweep vs miss penalty (cycles)",
+		Headers: []string{"miss penalty"},
+	}
+	if len(rows) > 0 {
+		for k := range rows[0].Sweep.Cycles {
+			t.Headers = append(t.Headers, fmt.Sprintf("%d cache cols", k))
+		}
+	}
+	for _, r := range rows {
+		row := []string{fmt.Sprintf("%d", r.MissPenalty)}
+		for _, c := range r.Sweep.Cycles {
+			row = append(row, fmt.Sprintf("%d", c))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// TLBAblation measures the cost of the TLB carrying the tint information:
+// CPI of the idct workload across TLB sizes and walk penalties. The mapping
+// mechanism rides on the TLB, so a too-small TLB taxes every access — but
+// the hit/miss pattern of the cache is unchanged.
+type TLBAblation struct {
+	TLBEntries  int
+	WalkPenalty int
+	CPI         float64
+	TLBHitRate  float64
+	CacheMisses int64
+}
+
+// RunTLBAblation sweeps TLB reach.
+func RunTLBAblation(entries []int, walkPenalty int) ([]TLBAblation, error) {
+	prog := mpeg.Idct(mpeg.DefaultConfig)
+	var out []TLBAblation
+	for _, n := range entries {
+		timing := memsys.DefaultTiming
+		timing.TLBMiss = walkPenalty
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(32, 64),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+			TLB:      vm.TLBConfig{Entries: n, Ways: n},
+			Timing:   timing,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.Run(prog.Trace)
+		st := sys.Stats()
+		out = append(out, TLBAblation{
+			TLBEntries:  n,
+			WalkPenalty: walkPenalty,
+			CPI:         st.CPI(),
+			TLBHitRate:  st.TLB.HitRate(),
+			CacheMisses: st.Cache.Misses,
+		})
+	}
+	return out, nil
+}
+
+// TLBAblationTable renders the sweep.
+func TLBAblationTable(rows []TLBAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: TLB reach (idct workload, 64B pages)",
+		Headers: []string{"TLB entries", "walk penalty", "CPI", "TLB hit rate", "cache misses"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.TLBEntries),
+			fmt.Sprintf("%d", r.WalkPenalty),
+			fmt.Sprintf("%.3f", r.CPI),
+			fmt.Sprintf("%.2f%%", 100*r.TLBHitRate),
+			fmt.Sprintf("%d", r.CacheMisses),
+		)
+	}
+	return t
+}
+
+// MaskGranularityAblation compares single-column assignment (the paper's §3
+// restriction) against multi-column partitions for the idct streaming data:
+// aggregating columns recovers set-associativity within the partition.
+type MaskGranularityAblation struct {
+	Description string
+	Cycles      int64
+	Misses      int64
+}
+
+// RunMaskGranularityAblation compares partition shapes for idct.
+func RunMaskGranularityAblation() ([]MaskGranularityAblation, error) {
+	prog := mpeg.Idct(mpeg.DefaultConfig)
+	cos := prog.MustVar("cos")
+	tmp := prog.MustVar("tmp")
+	blocks := prog.MustVar("blocks")
+
+	type shape struct {
+		desc  string
+		masks [3]replacement.Mask // cos, tmp, blocks
+	}
+	shapes := []shape{
+		{"one column each, blocks in 1", [3]replacement.Mask{replacement.Of(0), replacement.Of(1), replacement.Of(2)}},
+		{"blocks aggregated into 2 columns", [3]replacement.Mask{replacement.Of(0), replacement.Of(1), replacement.Of(2, 3)}},
+		{"no mapping (all columns for all)", [3]replacement.Mask{replacement.All(4), replacement.All(4), replacement.All(4)}},
+	}
+	var out []MaskGranularityAblation
+	for _, sh := range shapes {
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(32, 64),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+			Timing:   memsys.DefaultTiming,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range []memory.Region{cos, tmp, blocks} {
+			if _, err := sys.MapRegion(r, sh.masks[i]); err != nil {
+				return nil, err
+			}
+		}
+		cycles := sys.Run(prog.Trace)
+		out = append(out, MaskGranularityAblation{
+			Description: sh.desc,
+			Cycles:      cycles,
+			Misses:      sys.Stats().Cache.Misses,
+		})
+	}
+	return out, nil
+}
+
+// MaskGranularityAblationTable renders the comparison.
+func MaskGranularityAblationTable(rows []MaskGranularityAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: column aggregation for idct (2KB cache)",
+		Headers: []string{"partition shape", "cycles", "misses"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Description, fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Misses))
+	}
+	return t
+}
+
+// WritePolicyAblation compares write-back/allocate against
+// write-through/no-allocate on a write-heavy kernel: with write-back, a
+// reused output buffer coalesces stores in the cache and pays one writeback
+// per line; write-through pays memory latency on every store miss and never
+// caches store data.
+type WritePolicyAblation struct {
+	Policy     string
+	Cycles     int64
+	Writebacks int64
+	MissRate   float64
+}
+
+// RunWritePolicyAblation measures both policies on the histogram kernel,
+// whose bins are read-modify-write hot data.
+func RunWritePolicyAblation() ([]WritePolicyAblation, error) {
+	prog := kernels.Histogram(kernels.HistogramConfig{})
+	var out []WritePolicyAblation
+	for _, wp := range []cache.WritePolicy{cache.WriteBackAllocate, cache.WriteThroughNoAllocate} {
+		timing := memsys.DefaultTiming
+		// Sustained stores cannot hide the bus trip under write-through.
+		timing.WriteThroughStore = timing.MissPenalty / 2
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(32, 64),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4, Write: wp},
+			Timing:   timing,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cycles := sys.Run(prog.Trace)
+		// Flush so write-back's coalesced dirty lines are accounted.
+		sys.FlushCache()
+		st := sys.Stats()
+		out = append(out, WritePolicyAblation{
+			Policy:     wp.String(),
+			Cycles:     cycles,
+			Writebacks: st.Cache.Writebacks,
+			MissRate:   st.Cache.MissRate(),
+		})
+	}
+	return out, nil
+}
+
+// WritePolicyAblationTable renders the comparison.
+func WritePolicyAblationTable(rows []WritePolicyAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: write policy (histogram kernel, read-modify-write bins)",
+		Headers: []string{"policy", "cycles", "writebacks", "miss rate"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy, fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%d", r.Writebacks), fmt.Sprintf("%.2f%%", 100*r.MissRate))
+	}
+	return t
+}
+
+// EnergyAblation reruns the Figure 4 partition sweep reporting energy: the
+// classic embedded result (and half the motivation for scratchpads in §5.2's
+// power literature) is that scratchpad accesses cost a fraction of cache
+// accesses, so energy favors scratchpad even harder than cycles do.
+type EnergyAblation struct {
+	Routine  string
+	EnergyPJ []int64 // index = cache columns, as in RoutineSweep
+}
+
+// RunEnergyAblation sweeps the dequant and idct partitions, in picojoules.
+func RunEnergyAblation() ([]EnergyAblation, error) {
+	cfg := DefaultFig4Config
+	var out []EnergyAblation
+	for _, prog := range []*workloads.Program{mpeg.Dequant(cfg.MPEG), mpeg.Idct(cfg.MPEG)} {
+		row := EnergyAblation{Routine: prog.Name, EnergyPJ: make([]int64, cfg.Columns+1)}
+		for k := 0; k <= cfg.Columns; k++ {
+			scratchBytes := uint64(cfg.Columns-k) * uint64(cfg.ColumnBytes)
+			ways := k
+			if ways == 0 {
+				ways = 1
+			}
+			sys, err := memsys.New(memsys.Config{
+				Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+				Cache: cache.Config{
+					LineBytes: cfg.LineBytes,
+					NumSets:   cfg.ColumnBytes / cfg.LineBytes,
+					NumWays:   ways,
+				},
+				Timing:          cfg.Timing,
+				ScratchpadBytes: scratchBytes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := layout.Build(layout.Request{
+				Trace: prog.Trace,
+				Vars:  prog.Vars,
+				Machine: layout.Machine{
+					Columns:         k,
+					ColumnBytes:     cfg.ColumnBytes,
+					ScratchpadBytes: scratchBytes,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := layout.Apply(plan, sys, 0); err != nil {
+				return nil, err
+			}
+			sys.Run(prog.Trace)
+			row.EnergyPJ[k] = sys.EnergyPJ()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// EnergyAblationTable renders the sweep.
+func EnergyAblationTable(rows []EnergyAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: partition sweep in energy (picojoules)",
+		Headers: []string{"routine"},
+	}
+	if len(rows) > 0 {
+		for k := range rows[0].EnergyPJ {
+			t.Headers = append(t.Headers, fmt.Sprintf("%d cache cols", k))
+		}
+	}
+	for _, r := range rows {
+		row := []string{r.Routine}
+		for _, e := range r.EnergyPJ {
+			row = append(row, fmt.Sprintf("%d", e))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/pagecolor"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+)
+
+// Comparisons against the related-work baselines the paper discusses
+// (§5.1): page coloring and process-granularity (Sun patent) partitioning.
+
+// PageColorComparison contrasts column caching with page coloring on the
+// two axes the paper names: isolation ability and remapping cost.
+type PageColorComparison struct {
+	Scheme         string
+	TableMisses    int64 // hot-table misses under streaming interference
+	RemapCost      int64 // cycles to move the table to a different cache slice
+	RemapMechanism string
+}
+
+// RunPageColorComparison measures both schemes on the same workload: a hot
+// 512B table swept between bursts of streaming, on 2KB of cache. Page
+// coloring gets a direct-mapped physically-indexed cache (its native
+// habitat); column caching gets the 4-column cache. Both isolate; the remap
+// cost differs by orders of magnitude.
+func RunPageColorComparison() ([]PageColorComparison, error) {
+	const (
+		lineBytes  = 32
+		pageBytes  = 512
+		cacheBytes = 2048
+		rounds     = 64
+		burst      = 64
+	)
+	table := memory.Region{Name: "table", Base: 0, Size: 512}
+	stream := memory.Region{Name: "stream", Base: 1 << 20, Size: rounds * burst * lineBytes}
+
+	var tr memtrace.Trace
+	pos := uint64(0)
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < burst; j++ {
+			tr = append(tr, memtrace.Access{Addr: stream.Base + pos})
+			pos += lineBytes
+		}
+		for off := uint64(0); off < table.Size; off += lineBytes {
+			tr = append(tr, memtrace.Access{Addr: table.Base + off})
+		}
+	}
+	streamCold := int64(rounds * burst)
+
+	// --- page coloring on a direct-mapped cache --------------------------
+	mapper, err := pagecolor.NewMapper(pageBytes, cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapper.MapRegion(table, 0); err != nil {
+		return nil, err
+	}
+	if err := mapper.MapRegionStriped(stream, []int{1, 2, 3}); err != nil {
+		return nil, err
+	}
+	dm := cache.MustNew(cache.Config{LineBytes: lineBytes, NumSets: cacheBytes / lineBytes, NumWays: 1})
+	for off := uint64(0); off < table.Size; off += lineBytes {
+		dm.Read(mapper.Translate(table.Base+off), replacement.All(1))
+	}
+	warm := dm.Stats().Misses
+	for _, a := range tr {
+		dm.Read(mapper.Translate(a.Addr), replacement.All(1))
+	}
+	pcMisses := dm.Stats().Misses - warm - streamCold
+	// Remap: move the table to color 1 — a full copy, at one line per
+	// MissPenalty cycles of DMA.
+	copied, err := mapper.Recolor(table, 1)
+	if err != nil {
+		return nil, err
+	}
+	pcRemapCost := int64(copied/lineBytes) * int64(memsys.DefaultTiming.MissPenalty)
+
+	// --- column caching ---------------------------------------------------
+	sys := memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(lineBytes, 64),
+		Cache:    cache.Config{LineBytes: lineBytes, NumSets: 16, NumWays: 4},
+		Timing:   memsys.DefaultTiming,
+	})
+	tintID, err := sys.MapRegion(table, replacement.Of(0))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.MapRegion(stream, replacement.Of(1, 2, 3)); err != nil {
+		return nil, err
+	}
+	for off := uint64(0); off < table.Size; off += lineBytes {
+		sys.Access(memtrace.Access{Addr: table.Base + off})
+	}
+	warmCol := sys.Stats().Cache.Misses
+	sys.Run(tr)
+	colMisses := sys.Stats().Cache.Misses - warmCol - streamCold
+	// Remap: one tint-table write.
+	remapsBefore := sys.Tints().Remaps()
+	if err := sys.RemapTint(tintID, replacement.Of(1)); err != nil {
+		return nil, err
+	}
+	colRemapCost := sys.Tints().Remaps() - remapsBefore // one cycle per write
+
+	return []PageColorComparison{
+		{Scheme: "page coloring (direct-mapped)", TableMisses: pcMisses,
+			RemapCost: pcRemapCost, RemapMechanism: fmt.Sprintf("copy %d bytes", copied)},
+		{Scheme: "column caching (4-way)", TableMisses: colMisses,
+			RemapCost: colRemapCost, RemapMechanism: "1 tint-table write"},
+	}, nil
+}
+
+// PageColorComparisonTable renders the comparison.
+func PageColorComparisonTable(rows []PageColorComparison) *Table {
+	t := &Table{
+		Title:   "Comparison: page coloring vs column caching (§5.1)",
+		Headers: []string{"scheme", "table misses", "remap cost (cycles)", "remap mechanism"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scheme, fmt.Sprintf("%d", r.TableMisses),
+			fmt.Sprintf("%d", r.RemapCost), r.RemapMechanism)
+	}
+	return t
+}
+
+// GranularityComparison contrasts process-granularity masks (the Sun patent
+// scheme, §5.1) with per-region tints. The workload is one job mixing a hot
+// table with its own high-rate stream, run against a thrashing second job.
+// A process mask protects the job from the *other* job, but "does not
+// address other criteria such as memory address ranges": inside the job's
+// partition the stream still evicts the table. Region tints fix exactly
+// that, so the hot-table miss count is the discriminating metric.
+type GranularityComparison struct {
+	Scheme      string
+	TableMisses int64 // misses on the hot table after warmup
+	JobCPI      float64
+}
+
+// RunGranularityComparison runs job A (table + self-stream) against a
+// thrashing job B under three schemes: unmanaged, per-process masks, and
+// per-region tints.
+func RunGranularityComparison() ([]GranularityComparison, error) {
+	table := memory.Region{Name: "table", Base: 0, Size: 2048} // 64 lines = one column
+	stream := memory.Region{Name: "stream", Base: 1 << 20, Size: 1 << 22}
+
+	var rec memtrace.Recorder
+	pos := uint64(0)
+	for round := 0; round < 32; round++ {
+		for j := 0; j < 256; j++ {
+			rec.Think(1)
+			rec.Load(stream.Base + pos)
+			pos += 32
+		}
+		for off := uint64(0); off < table.Size; off += 32 {
+			rec.Think(1)
+			rec.Load(table.Base + off)
+		}
+	}
+	jobATrace := rec.Trace()
+	var thrash memtrace.Trace
+	for i := 0; i < 1<<15; i++ {
+		thrash = append(thrash, memtrace.Access{Addr: 1<<30 + uint64(i*32)})
+	}
+
+	run := func(scheme string) (GranularityComparison, error) {
+		sys := memsys.MustNew(memsys.Config{
+			Geometry: memory.MustGeometry(32, 4096),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 64, NumWays: 4},
+			Timing:   memsys.DefaultTiming,
+		})
+		jobA := &sched.Job{Name: "A", Trace: jobATrace, TargetInstructions: 1 << 17}
+		jobB := &sched.Job{Name: "B", Trace: thrash, TargetInstructions: 1 << 17}
+		switch scheme {
+		case "unmanaged":
+		case "process masks (Sun)":
+			jobA.Mask = replacement.Of(0, 1)
+			jobB.Mask = replacement.Of(2, 3)
+		case "region tints (column caching)":
+			if _, err := sys.MapRegion(table, replacement.Of(0)); err != nil {
+				return GranularityComparison{}, err
+			}
+			if _, err := sys.MapRegion(stream, replacement.Of(1)); err != nil {
+				return GranularityComparison{}, err
+			}
+			jobB.Mask = replacement.Of(2, 3)
+		}
+		rr, err := sched.NewRoundRobin(sys, 512)
+		if err != nil {
+			return GranularityComparison{}, err
+		}
+		rr.Add(jobA)
+		rr.Add(jobB)
+		stats := rr.Run()
+		// Table misses = job A's misses minus the stream's compulsory
+		// ones, scaled by the fraction of the (cyclic) trace A executed.
+		var streamAccesses int64
+		for _, a := range jobATrace {
+			if stream.Contains(a.Addr) {
+				streamAccesses++
+			}
+		}
+		frac := float64(stats[0].Accesses) / float64(len(jobATrace))
+		tableMisses := stats[0].Misses - int64(frac*float64(streamAccesses))
+		return GranularityComparison{Scheme: scheme, TableMisses: tableMisses, JobCPI: stats[0].CPI()}, nil
+	}
+
+	var out []GranularityComparison
+	for _, s := range []string{"unmanaged", "process masks (Sun)", "region tints (column caching)"} {
+		row, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// GranularityComparisonTable renders the comparison.
+func GranularityComparisonTable(rows []GranularityComparison) *Table {
+	t := &Table{
+		Title:   "Comparison: partitioning granularity (hot table vs the job's own stream)",
+		Headers: []string{"scheme", "hot-table misses", "job A CPI"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scheme, fmt.Sprintf("%d", r.TableMisses), fmt.Sprintf("%.3f", r.JobCPI))
+	}
+	return t
+}
+
+// L2Comparison measures the hierarchy ablation: the gzip job solo on L1
+// only, with an L2, and with a masked L2.
+type L2Comparison struct {
+	Configuration string
+	CPI           float64
+	L2HitRate     float64
+}
+
+// RunL2Comparison sweeps the hierarchy options for the idct workload on a
+// small L1.
+func RunL2Comparison(trace memtrace.Trace) ([]L2Comparison, error) {
+	build := func() *memsys.System {
+		cfg := memsys.Config{
+			Geometry: memory.MustGeometry(32, 4096),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+			Timing:   memsys.DefaultTiming,
+		}
+		cfg.Timing.MissPenalty = 100
+		return memsys.MustNew(cfg)
+	}
+	l2cfg := cache.Config{LineBytes: 32, NumSets: 512, NumWays: 8} // 128KB
+
+	var out []L2Comparison
+	sys := build()
+	sys.Run(trace)
+	out = append(out, L2Comparison{Configuration: "L1 only (100-cycle memory)", CPI: sys.Stats().CPI()})
+
+	for _, masked := range []bool{false, true} {
+		sys := build()
+		if err := sys.EnableL2(l2cfg, 10, masked); err != nil {
+			return nil, err
+		}
+		sys.Run(trace)
+		name := "L1 + 128KB L2"
+		if masked {
+			name += " (column mask applied at L2)"
+		}
+		out = append(out, L2Comparison{
+			Configuration: name,
+			CPI:           sys.Stats().CPI(),
+			L2HitRate:     sys.L2Stats().HitRate(),
+		})
+	}
+	return out, nil
+}
+
+// L2ComparisonTable renders the hierarchy ablation.
+func L2ComparisonTable(rows []L2Comparison) *Table {
+	t := &Table{
+		Title:   "Ablation: memory hierarchy depth",
+		Headers: []string{"configuration", "CPI", "L2 hit rate"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Configuration, fmt.Sprintf("%.3f", r.CPI), fmt.Sprintf("%.2f%%", 100*r.L2HitRate))
+	}
+	return t
+}

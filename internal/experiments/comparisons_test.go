@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"colcache/internal/workloads/gzipsim"
+)
+
+func TestPageColorComparison(t *testing.T) {
+	rows, err := RunPageColorComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	pc, col := rows[0], rows[1]
+	// Both schemes isolate the hot table completely.
+	if pc.TableMisses != 0 {
+		t.Errorf("page coloring left %d table misses", pc.TableMisses)
+	}
+	if col.TableMisses != 0 {
+		t.Errorf("column caching left %d table misses", col.TableMisses)
+	}
+	// The remap asymmetry is the paper's point: a copy vs a table write.
+	if pc.RemapCost < 100*col.RemapCost {
+		t.Errorf("remap asymmetry too small: page coloring %d vs column %d cycles",
+			pc.RemapCost, col.RemapCost)
+	}
+	var buf bytes.Buffer
+	if err := PageColorComparisonTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranularityComparison(t *testing.T) {
+	rows, err := RunGranularityComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	unmanaged, sun, tints := rows[0], rows[1], rows[2]
+	// Region tints eliminate the table's conflict misses (the count is an
+	// estimate — compulsory stream misses are subtracted pro rata — so
+	// allow one round of estimation slack on top of the 64 cold fills).
+	if tints.TableMisses > 400 {
+		t.Errorf("region tints left %d table misses", tints.TableMisses)
+	}
+	// ...while both coarser schemes leave the table exposed — the Sun
+	// scheme to the job's own stream, the unmanaged cache to everything.
+	if sun.TableMisses <= 5*tints.TableMisses {
+		t.Errorf("process masks unexpectedly protected the table: %d vs tints %d",
+			sun.TableMisses, tints.TableMisses)
+	}
+	if unmanaged.TableMisses < sun.TableMisses {
+		t.Errorf("unmanaged (%d) better than process masks (%d)",
+			unmanaged.TableMisses, sun.TableMisses)
+	}
+	// CPI must not degrade under tints.
+	if tints.JobCPI > sun.JobCPI+0.01 {
+		t.Errorf("tints CPI %.3f worse than Sun %.3f", tints.JobCPI, sun.JobCPI)
+	}
+	var buf bytes.Buffer
+	if err := GranularityComparisonTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2Comparison(t *testing.T) {
+	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+	rows, err := RunL2Comparison(job.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	l1only, l2, l2masked := rows[0], rows[1], rows[2]
+	if l2.CPI >= l1only.CPI {
+		t.Errorf("L2 did not lower CPI: %.3f vs %.3f", l2.CPI, l1only.CPI)
+	}
+	if l2.L2HitRate <= 0 {
+		t.Error("L2 never hit")
+	}
+	// A masked L2 constrains placement; it must still beat L1-only.
+	if l2masked.CPI >= l1only.CPI {
+		t.Errorf("masked L2 worse than no L2: %.3f vs %.3f", l2masked.CPI, l1only.CPI)
+	}
+	var buf bytes.Buffer
+	if err := L2ComparisonTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterExperiment(t *testing.T) {
+	cfg := DefaultJitterConfig
+	cfg.Seeds = 4
+	cfg.TargetInstructions = 1 << 18
+	rows, err := RunJitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	std, mapped := rows[0], rows[1]
+	if std.Mapped || !mapped.Mapped {
+		t.Fatal("row order wrong")
+	}
+	// The mapped configuration is nearly immune to quantum jitter...
+	if spread := mapped.MaxCPI - mapped.MinCPI; spread > 0.02 {
+		t.Errorf("mapped CPI spread %.4f under jitter", spread)
+	}
+	// ...and its mean is better than the standard cache's at this quantum.
+	if mapped.MeanCPI >= std.MeanCPI {
+		t.Errorf("mapped mean %.3f not better than standard %.3f", mapped.MeanCPI, std.MeanCPI)
+	}
+	// The standard cache visibly wobbles with the effective quantum.
+	if stdSpread := std.MaxCPI - std.MinCPI; stdSpread < 2*(mapped.MaxCPI-mapped.MinCPI) {
+		t.Errorf("standard spread %.4f not clearly larger than mapped %.4f",
+			stdSpread, mapped.MaxCPI-mapped.MinCPI)
+	}
+	var buf bytes.Buffer
+	if err := JitterTable(rows, cfg).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"colcache/internal/workloads/mpeg"
+)
+
+func TestFig4ReproducesPaperShapes(t *testing.T) {
+	d, err := RunFig4(DefaultFig4Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := d.Verify(); len(problems) != 0 {
+		t.Errorf("paper shape violations: %v", problems)
+	}
+	if len(d.Routines) != 3 {
+		t.Fatalf("routines=%d", len(d.Routines))
+	}
+	// Monotone degradation for dequant and plus as cache grows.
+	for _, name := range []string{"dequant", "plus"} {
+		for _, r := range d.Routines {
+			if r.Name != name {
+				continue
+			}
+			for k := 1; k < len(r.Cycles); k++ {
+				if r.Cycles[k] < r.Cycles[k-1] {
+					t.Errorf("%s: cycles[%d]=%d < cycles[%d]=%d — not monotone",
+						name, k, r.Cycles[k], k-1, r.Cycles[k-1])
+				}
+			}
+		}
+	}
+	// idct's all-scratchpad point must be dramatically (>2x) worse than any
+	// cached point.
+	for _, r := range d.Routines {
+		if r.Name != "idct" {
+			continue
+		}
+		for k := 1; k < len(r.Cycles); k++ {
+			if r.Cycles[0] < 2*r.Cycles[k] {
+				t.Errorf("idct: uncached point %d not >2x cached point %d", r.Cycles[0], r.Cycles[k])
+			}
+		}
+	}
+	// The remap overhead must be tiny relative to the win.
+	staticBest := d.Total[0]
+	for _, c := range d.Total {
+		if c < staticBest {
+			staticBest = c
+		}
+	}
+	if d.RemapOverheadCycles*10 > staticBest-d.Column+d.RemapOverheadCycles {
+		t.Logf("note: remap overhead %d vs win %d", d.RemapOverheadCycles, staticBest-d.Column)
+	}
+}
+
+func TestFig4Validation(t *testing.T) {
+	cfg := DefaultFig4Config
+	cfg.Columns = 0
+	if _, err := RunFig4(cfg); err == nil {
+		t.Error("zero columns accepted")
+	}
+}
+
+func TestFig4Tables(t *testing.T) {
+	d, err := RunFig4(DefaultFig4Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := d.Tables()
+	if len(tables) != 4 { // (a), (b), (c), (d)
+		t.Fatalf("tables=%d want 4", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"dequant", "plus", "idct", "column cache (dynamic)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+// fig5TestConfig trims the default sweep so the test stays fast while still
+// covering the smallest and largest quanta where the shape claims live.
+func fig5TestConfig() Fig5Config {
+	cfg := DefaultFig5Config
+	cfg.Quanta = []int64{1, 256, 16384, 1048576}
+	cfg.TargetInstructions = 1 << 18
+	return cfg
+}
+
+func TestFig5ReproducesPaperShapes(t *testing.T) {
+	d, err := RunFig5(fig5TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := d.Verify(); len(problems) != 0 {
+		t.Errorf("paper shape violations: %v", problems)
+	}
+	if len(d.Curves) != 4 {
+		t.Fatalf("curves=%d want 4", len(d.Curves))
+	}
+	// Every mapped curve must be nearly flat: max variation < 0.1 CPI.
+	for _, c := range d.Curves {
+		if !c.Mapped {
+			continue
+		}
+		lo, hi := c.Points[0].CPI, c.Points[0].CPI
+		for _, p := range c.Points {
+			if p.CPI < lo {
+				lo = p.CPI
+			}
+			if p.CPI > hi {
+				hi = p.CPI
+			}
+		}
+		if hi-lo > 0.1 {
+			t.Errorf("%s: CPI varies %.3f across quanta", c.Label(), hi-lo)
+		}
+	}
+}
+
+func TestFig5Validation(t *testing.T) {
+	cfg := fig5TestConfig()
+	cfg.Ways = 1
+	if _, err := RunFig5(cfg); err == nil {
+		t.Error("1-way cache accepted for partitioning")
+	}
+}
+
+func TestFig5TableAndLabels(t *testing.T) {
+	cfg := fig5TestConfig()
+	cfg.CacheBytes = []int{16 * 1024}
+	cfg.Quanta = []int64{1, 1048576}
+	d, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gzip.16k") || !strings.Contains(out, "gzip.16k mapped") {
+		t.Errorf("table missing curve labels:\n%s", out)
+	}
+}
+
+func TestPolicyAblationIsolationHoldsForAllPolicies(t *testing.T) {
+	rows, err := RunPolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MappedCPI >= r.SharedCPI {
+			t.Errorf("%s: mapping did not improve CPI (%.3f vs %.3f)",
+				r.Policy, r.MappedCPI, r.SharedCPI)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PolicyAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissPenaltyAblationPreservesOrdering(t *testing.T) {
+	rows, err := RunMissPenaltyAblation([]int{5, 20, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Scratchpad (k=0) remains optimal at every penalty.
+		if _, best := r.Sweep.Best(); best != 0 {
+			t.Errorf("penalty %d: optimum moved to %d cache columns", r.MissPenalty, best)
+		}
+	}
+	// Gaps grow with penalty.
+	gap := func(r MissPenaltyAblation) int64 {
+		return r.Sweep.Cycles[len(r.Sweep.Cycles)-1] - r.Sweep.Cycles[0]
+	}
+	for i := 1; i < len(rows); i++ {
+		if gap(rows[i]) <= gap(rows[i-1]) {
+			t.Errorf("gap did not grow with penalty: %d then %d", gap(rows[i-1]), gap(rows[i]))
+		}
+	}
+	var buf bytes.Buffer
+	if err := MissPenaltyAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBAblation(t *testing.T) {
+	rows, err := RunTLBAblation([]int{8, 64}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if small.TLBHitRate >= big.TLBHitRate {
+		t.Errorf("bigger TLB did not raise hit rate: %.3f vs %.3f", small.TLBHitRate, big.TLBHitRate)
+	}
+	if small.CPI <= big.CPI {
+		t.Errorf("TLB misses did not cost cycles: %.3f vs %.3f", small.CPI, big.CPI)
+	}
+	// The cache's hit/miss pattern must be identical — the TLB only carries
+	// mapping information, it does not change replacement.
+	if small.CacheMisses != big.CacheMisses {
+		t.Errorf("cache misses differ with TLB size: %d vs %d", small.CacheMisses, big.CacheMisses)
+	}
+	var buf bytes.Buffer
+	if err := TLBAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskGranularityAblation(t *testing.T) {
+	rows, err := RunMaskGranularityAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Aggregating the streaming blocks into 2 columns is no worse than
+	// confining them to 1.
+	if rows[1].Cycles > rows[0].Cycles {
+		t.Errorf("aggregation hurt: %d vs %d", rows[1].Cycles, rows[0].Cycles)
+	}
+	var buf bytes.Buffer
+	if err := MaskGranularityAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tb.AddRow("xxxxxxx", "1")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Fatalf("lines=%d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "a      ") {
+		t.Errorf("header not padded: %q", lines[1])
+	}
+}
+
+func TestWritePolicyAblation(t *testing.T) {
+	rows, err := RunWritePolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	wb, wt := rows[0], rows[1]
+	// The hot bins coalesce under write-back: far fewer memory trips.
+	if wb.Cycles >= wt.Cycles {
+		t.Errorf("write-back (%d cycles) not faster than write-through (%d)", wb.Cycles, wt.Cycles)
+	}
+	if wb.Writebacks == 0 {
+		t.Error("write-back produced no writebacks")
+	}
+	if wt.Writebacks != 0 {
+		t.Errorf("write-through produced %d writebacks", wt.Writebacks)
+	}
+	var buf bytes.Buffer
+	if err := WritePolicyAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineDynamicBeatsStatic(t *testing.T) {
+	rows, decisions, err := RunPipelineDynamic(mpeg.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	unmanaged, static, dynamic := rows[0], rows[1], rows[2]
+	// §3.2's claim: per-procedure remapping beats any single whole-program
+	// assignment when procedures share variables with changing patterns.
+	if dynamic.Cycles >= static.Cycles {
+		t.Errorf("dynamic (%d) not better than static (%d)", dynamic.Cycles, static.Cycles)
+	}
+	// The remap overhead is tiny relative to the win.
+	if dynamic.RemapWrites*10 > static.Cycles-dynamic.Cycles {
+		t.Errorf("remap writes %d not small vs win %d",
+			dynamic.RemapWrites, static.Cycles-dynamic.Cycles)
+	}
+	// Every phase has conflict-free per-phase layout and nonzero keep-cost
+	// (the shared buffer's companions change per procedure).
+	for _, d := range decisions {
+		if d.PhaseCost != 0 {
+			t.Errorf("phase %s not conflict-free alone: %d", d.Phase, d.PhaseCost)
+		}
+		if !d.Remap || d.KeepCost == 0 {
+			t.Errorf("phase %s: remap=%v keep=%d — shared buffer should force remaps",
+				d.Phase, d.Remap, d.KeepCost)
+		}
+	}
+	// Honest scale note: the dynamic result must at least stay within a few
+	// percent of the unmanaged LRU cache (isolation is free here).
+	if float64(dynamic.Cycles) > 1.05*float64(unmanaged.Cycles) {
+		t.Errorf("dynamic (%d) much worse than unmanaged (%d)", dynamic.Cycles, unmanaged.Cycles)
+	}
+	var buf bytes.Buffer
+	if err := PipelineTable(rows, decisions).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := PipelineDecisionsTable(decisions).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig4Golden pins the exact default-configuration cycle counts: the
+// whole stack is deterministic, so any change to these numbers means a
+// behavioural change in the simulator, the workloads or the layout
+// algorithm, and deserves a deliberate update.
+func TestFig4Golden(t *testing.T) {
+	d, err := RunFig4(DefaultFig4Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string][]int64{
+		"dequant": {4668, 4988, 5388, 5788, 5888},
+		"plus":    {3104, 3424, 3744, 4064, 4384},
+		"idct":    {252048, 78464, 78864, 79264, 79584},
+	}
+	for _, r := range d.Routines {
+		want := golden[r.Name]
+		for k, c := range r.Cycles {
+			if c != want[k] {
+				t.Errorf("%s cycles[%d]=%d, golden %d — simulator behaviour changed; "+
+					"update the golden values if intentional", r.Name, k, c, want[k])
+			}
+		}
+	}
+	if d.Column != 86272 {
+		t.Errorf("column result=%d, golden 86272", d.Column)
+	}
+}
+
+func TestEnergyAblation(t *testing.T) {
+	rows, err := RunEnergyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	dq := rows[0]
+	// For dequant (fits the pad), all-scratchpad is the energy optimum and
+	// energy rises monotonically as columns become cache.
+	for k := 1; k < len(dq.EnergyPJ); k++ {
+		if dq.EnergyPJ[k] < dq.EnergyPJ[k-1] {
+			t.Errorf("dequant energy not monotone at %d: %v", k, dq.EnergyPJ)
+		}
+	}
+	// For idct, the all-scratchpad point pays main-memory energy on every
+	// overflow access: dramatically worse than any cached point.
+	id := rows[1]
+	for k := 1; k < len(id.EnergyPJ); k++ {
+		if id.EnergyPJ[0] < 2*id.EnergyPJ[k] {
+			t.Errorf("idct all-scratch energy %d not >2x cached %d", id.EnergyPJ[0], id.EnergyPJ[k])
+		}
+	}
+	var buf bytes.Buffer
+	if err := EnergyAblationTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/mpeg"
+)
+
+// Fig4Config parameterizes the Figure 4 reproduction: three MPEG routines on
+// a 2KB on-chip memory organized as 4 columns, sweeping how many columns are
+// cache versus scratchpad, with the data layout algorithm choosing variable
+// placement for every partition.
+type Fig4Config struct {
+	MPEG        mpeg.Config
+	Columns     int // total columns of on-chip memory (paper: 4)
+	ColumnBytes int // bytes per column (paper: 512 → 2KB total)
+	LineBytes   int
+	PageBytes   int // mapping granularity; small pages suit a 2KB memory
+	Timing      memsys.Timing
+}
+
+// DefaultFig4Config reproduces the paper's setup.
+var DefaultFig4Config = Fig4Config{
+	MPEG:        mpeg.DefaultConfig,
+	Columns:     4,
+	ColumnBytes: 512,
+	LineBytes:   32,
+	PageBytes:   64,
+	Timing:      memsys.DefaultTiming,
+}
+
+// RoutineSweep is one routine's cycle count at each cache size (Figures
+// 4(a)–4(c)). Cycles[k] is the cycle count with k columns of cache and
+// Columns-k columns of scratchpad.
+type RoutineSweep struct {
+	Name   string
+	Cycles []int64
+}
+
+// Best returns the minimum cycle count and the cache size achieving it.
+func (r RoutineSweep) Best() (cycles int64, cacheColumns int) {
+	cycles, cacheColumns = r.Cycles[0], 0
+	for k, c := range r.Cycles {
+		if c < cycles {
+			cycles, cacheColumns = c, k
+		}
+	}
+	return cycles, cacheColumns
+}
+
+// Fig4Data is the full Figure 4 dataset.
+type Fig4Data struct {
+	Config   Fig4Config
+	Routines []RoutineSweep // dequant, plus, idct
+	// Total[k] is the whole application's cycle count under the static
+	// partition with k cache columns (Figure 4(d) "Total" curve).
+	Total []int64
+	// Column is the whole application's cycle count with a column cache
+	// dynamically repartitioned to each routine's optimum (Figure 4(d)
+	// "Column" result), including remapping overhead.
+	Column int64
+	// RemapOverheadCycles is the repartitioning cost included in Column:
+	// page-table writes, tint-table writes and TLB flushes between routines.
+	RemapOverheadCycles int64
+}
+
+// runPartition executes prog on a machine with k cache columns and
+// Columns-k scratchpad columns, using the layout algorithm, and returns the
+// cycle count plus the remapping work the layout performed.
+func runPartition(cfg Fig4Config, prog *workloads.Program, k int) (int64, int64, error) {
+	scratchBytes := uint64(cfg.Columns-k) * uint64(cfg.ColumnBytes)
+	ways := k
+	if ways == 0 {
+		ways = 1 // the cache exists but the layout routes nothing to it
+	}
+	sys, err := memsys.New(memsys.Config{
+		Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+		Cache: cache.Config{
+			LineBytes: cfg.LineBytes,
+			NumSets:   cfg.ColumnBytes / cfg.LineBytes,
+			NumWays:   ways,
+		},
+		Timing:          cfg.Timing,
+		ScratchpadBytes: scratchBytes,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	plan, err := layout.Build(layout.Request{
+		Trace: prog.Trace,
+		Vars:  prog.Vars,
+		Machine: layout.Machine{
+			Columns:         k,
+			ColumnBytes:     cfg.ColumnBytes,
+			ScratchpadBytes: scratchBytes,
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := layout.Apply(plan, sys, 0); err != nil {
+		return 0, 0, err
+	}
+	cycles := sys.Run(prog.Trace)
+	remapWork := sys.PageTable().Writes() + sys.Tints().Remaps()
+	return cycles, remapWork, nil
+}
+
+// RunFig4 produces the Figure 4 dataset.
+func RunFig4(cfg Fig4Config) (*Fig4Data, error) {
+	if cfg.Columns < 1 {
+		return nil, fmt.Errorf("experiments: fig4 needs at least one column, got %d", cfg.Columns)
+	}
+	progs := []*workloads.Program{
+		mpeg.Dequant(cfg.MPEG),
+		mpeg.Plus(cfg.MPEG),
+		mpeg.Idct(cfg.MPEG),
+	}
+	data := &Fig4Data{Config: cfg, Total: make([]int64, cfg.Columns+1)}
+	remapWork := make([][]int64, len(progs))
+	for i, prog := range progs {
+		sweep := RoutineSweep{Name: prog.Name, Cycles: make([]int64, cfg.Columns+1)}
+		remapWork[i] = make([]int64, cfg.Columns+1)
+		for k := 0; k <= cfg.Columns; k++ {
+			cycles, remap, err := runPartition(cfg, prog, k)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 %s k=%d: %w", prog.Name, k, err)
+			}
+			sweep.Cycles[k] = cycles
+			data.Total[k] += cycles
+			remapWork[i][k] = remap
+		}
+		data.Routines = append(data.Routines, sweep)
+	}
+	// Column cache: each routine runs at its own optimum partition, with the
+	// inter-routine repartitioning charged at one cycle per page-table or
+	// tint-table write (the paper's point is precisely that this is cheap).
+	for i, sweep := range data.Routines {
+		best, bestK := sweep.Best()
+		data.Column += best
+		data.RemapOverheadCycles += remapWork[i][bestK]
+	}
+	data.Column += data.RemapOverheadCycles
+	return data, nil
+}
+
+// Tables renders the dataset as the paper's figure panels.
+func (d *Fig4Data) Tables() []*Table {
+	var tables []*Table
+	for _, sweep := range d.Routines {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 4: %s cycle count vs cache size", sweep.Name),
+			Headers: []string{"cache columns", "scratchpad bytes", "cycles"},
+		}
+		for k, c := range sweep.Cycles {
+			t.AddRow(
+				fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", (d.Config.Columns-k)*d.Config.ColumnBytes),
+				fmt.Sprintf("%d", c),
+			)
+		}
+		tables = append(tables, t)
+	}
+	tot := &Table{
+		Title:   "Figure 4(d): overall application",
+		Headers: []string{"configuration", "cycles"},
+	}
+	for k, c := range d.Total {
+		tot.AddRow(fmt.Sprintf("static %d-column cache", k), fmt.Sprintf("%d", c))
+	}
+	tot.AddRow("column cache (dynamic)", fmt.Sprintf("%d", d.Column))
+	tables = append(tables, tot)
+	return tables
+}
+
+// Verify checks the paper's qualitative claims against the data, returning a
+// list of violated expectations (empty = shape reproduced).
+func (d *Fig4Data) Verify() []string {
+	var problems []string
+	byName := make(map[string]RoutineSweep)
+	for _, r := range d.Routines {
+		byName[r.Name] = r
+	}
+	k := d.Config.Columns
+	if dq, ok := byName["dequant"]; ok {
+		if _, best := dq.Best(); best != 0 {
+			problems = append(problems, fmt.Sprintf("dequant optimum at %d cache columns, paper says all-scratchpad", best))
+		}
+		if dq.Cycles[k] <= dq.Cycles[0] {
+			problems = append(problems, "dequant: full cache not worse than full scratchpad")
+		}
+	}
+	if pl, ok := byName["plus"]; ok {
+		if _, best := pl.Best(); best != 0 {
+			problems = append(problems, fmt.Sprintf("plus optimum at %d cache columns, paper says all-scratchpad", best))
+		}
+	}
+	if id, ok := byName["idct"]; ok {
+		if id.Cycles[0] <= id.Cycles[k] {
+			problems = append(problems, "idct: all-scratchpad not worse than full cache")
+		}
+		if _, best := id.Best(); best == 0 {
+			problems = append(problems, "idct optimum at zero cache columns")
+		}
+	}
+	staticBest := d.Total[0]
+	for _, c := range d.Total {
+		if c < staticBest {
+			staticBest = c
+		}
+	}
+	if d.Column >= staticBest {
+		problems = append(problems, fmt.Sprintf("column cache (%d) does not beat best static partition (%d)", d.Column, staticBest))
+	}
+	return problems
+}

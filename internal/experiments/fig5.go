@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+)
+
+// Fig5Config parameterizes the Figure 5 reproduction: three gzip jobs
+// round-robin on one processor, job A's CPI measured as the context-switch
+// quantum varies, for a standard cache and for a column cache where job A
+// owns half the columns.
+type Fig5Config struct {
+	Gzip gzipsim.Config
+	// CacheBytes lists the total cache sizes to sweep (paper: 16K, 128K).
+	CacheBytes []int
+	// Quanta are the context-switch time quanta in instructions.
+	Quanta []int64
+	// TargetInstructions is how many instructions each job executes.
+	TargetInstructions int64
+	LineBytes          int
+	Ways               int
+	// MappedColumnsForA is how many of the Ways columns the critical job
+	// owns exclusively in the mapped configuration; the paper assigns job A
+	// "a large fraction of the cache".
+	MappedColumnsForA int
+	PageBytes         int
+	Timing            memsys.Timing
+}
+
+// DefaultFig5Config reproduces the paper's sweep. The quantum axis is the
+// paper's 1..1M powers-of-4 series.
+var DefaultFig5Config = Fig5Config{
+	Gzip:               gzipsim.DefaultConfig,
+	CacheBytes:         []int{16 * 1024, 128 * 1024},
+	Quanta:             []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576},
+	TargetInstructions: 1 << 20,
+	LineBytes:          32,
+	Ways:               4,
+	MappedColumnsForA:  3,
+	PageBytes:          4096,
+	Timing:             memsys.DefaultTiming,
+}
+
+// Fig5Point is one measurement.
+type Fig5Point struct {
+	Quantum int64
+	CPI     float64
+}
+
+// Fig5Curve is one of the figure's four curves.
+type Fig5Curve struct {
+	CacheBytes int
+	Mapped     bool // true = job A owns half the columns
+	Points     []Fig5Point
+}
+
+// Label names the curve as in the paper's legend.
+func (c Fig5Curve) Label() string {
+	l := fmt.Sprintf("gzip.%dk", c.CacheBytes/1024)
+	if c.Mapped {
+		l += " mapped"
+	}
+	return l
+}
+
+// Fig5Data is the full dataset.
+type Fig5Data struct {
+	Config Fig5Config
+	Curves []Fig5Curve
+}
+
+// jobSpan returns the address range that covers every variable of a job.
+func jobSpan(p *workloads.Program) (base memory.Addr, size uint64) {
+	base = p.Vars[0].Base
+	end := p.Vars[0].End()
+	for _, r := range p.Vars[1:] {
+		if r.Base < base {
+			base = r.Base
+		}
+		if r.End() > end {
+			end = r.End()
+		}
+	}
+	return base, end - base
+}
+
+// RunFig5 produces the Figure 5 dataset.
+func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
+	if cfg.Ways < 2 {
+		return nil, fmt.Errorf("experiments: fig5 needs ≥2 ways to partition, got %d", cfg.Ways)
+	}
+	// Three compression jobs over different data, in disjoint address
+	// spaces, generated once and reused across all machine configurations.
+	jobs := make([]*workloads.Program, 3)
+	for i := range jobs {
+		g := cfg.Gzip
+		g.Seed = cfg.Gzip.Seed + int64(i)
+		jobs[i] = gzipsim.Job(g, memory.Addr(i)<<32)
+	}
+
+	data := &Fig5Data{Config: cfg}
+	for _, cacheBytes := range cfg.CacheBytes {
+		numSets := cacheBytes / (cfg.LineBytes * cfg.Ways)
+		for _, mapped := range []bool{false, true} {
+			curve := Fig5Curve{CacheBytes: cacheBytes, Mapped: mapped}
+			for _, q := range cfg.Quanta {
+				sys, err := memsys.New(memsys.Config{
+					Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+					Cache: cache.Config{
+						LineBytes: cfg.LineBytes,
+						NumSets:   numSets,
+						NumWays:   cfg.Ways,
+					},
+					Timing: cfg.Timing,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if mapped {
+					// Job A is critical: it exclusively owns a large
+					// fraction of the columns; B and C share the rest.
+					own := cfg.MappedColumnsForA
+					if own < 1 || own >= cfg.Ways {
+						own = cfg.Ways / 2
+					}
+					aMask := replacement.Range(0, own)
+					bcMask := replacement.Range(own, cfg.Ways)
+					base, size := jobSpan(jobs[0])
+					if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size}, aMask); err != nil {
+						return nil, err
+					}
+					for i := 1; i < 3; i++ {
+						base, size := jobSpan(jobs[i])
+						if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size}, bcMask); err != nil {
+							return nil, err
+						}
+					}
+				}
+				rr, err := sched.NewRoundRobin(sys, q)
+				if err != nil {
+					return nil, err
+				}
+				for i, p := range jobs {
+					if err := rr.Add(&sched.Job{
+						Name:               fmt.Sprintf("job%c", 'A'+i),
+						Trace:              p.Trace,
+						TargetInstructions: cfg.TargetInstructions,
+					}); err != nil {
+						return nil, err
+					}
+				}
+				stats := rr.Run()
+				curve.Points = append(curve.Points, Fig5Point{Quantum: q, CPI: stats[0].CPI()})
+			}
+			data.Curves = append(data.Curves, curve)
+		}
+	}
+	return data, nil
+}
+
+// Table renders the dataset as the paper's figure: one row per quantum, one
+// column per curve.
+func (d *Fig5Data) Table() *Table {
+	t := &Table{
+		Title:   "Figure 5: job A CPI vs context-switch time quantum",
+		Headers: []string{"quantum"},
+	}
+	for _, c := range d.Curves {
+		t.Headers = append(t.Headers, c.Label())
+	}
+	for qi, q := range d.Config.Quanta {
+		row := []string{fmt.Sprintf("%d", q)}
+		for _, c := range d.Curves {
+			row = append(row, fmt.Sprintf("%.3f", c.Points[qi].CPI))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Verify checks the paper's qualitative claims, returning violated
+// expectations (empty = shape reproduced).
+func (d *Fig5Data) Verify() []string {
+	var problems []string
+	find := func(bytes int, mapped bool) *Fig5Curve {
+		for i := range d.Curves {
+			if d.Curves[i].CacheBytes == bytes && d.Curves[i].Mapped == mapped {
+				return &d.Curves[i]
+			}
+		}
+		return nil
+	}
+	span := func(c *Fig5Curve) float64 {
+		lo, hi := c.Points[0].CPI, c.Points[0].CPI
+		for _, p := range c.Points {
+			if p.CPI < lo {
+				lo = p.CPI
+			}
+			if p.CPI > hi {
+				hi = p.CPI
+			}
+		}
+		return hi - lo
+	}
+	for _, bytes := range d.Config.CacheBytes {
+		std, mapped := find(bytes, false), find(bytes, true)
+		if std == nil || mapped == nil {
+			problems = append(problems, fmt.Sprintf("%dK curves missing", bytes/1024))
+			continue
+		}
+		n := len(std.Points)
+		// Standard cache: CPI at the smallest quantum is significantly worse
+		// than at the largest (batch).
+		if std.Points[0].CPI <= std.Points[n-1].CPI {
+			problems = append(problems, fmt.Sprintf("gzip.%dk: small-quantum CPI not worse than batch", bytes/1024))
+		}
+		// Mapped: better than standard at the smallest quantum.
+		if mapped.Points[0].CPI >= std.Points[0].CPI {
+			problems = append(problems, fmt.Sprintf("gzip.%dk mapped: no improvement at small quantum", bytes/1024))
+		}
+		// Mapped: much less variation across quanta than standard.
+		if span(mapped) >= span(std)/2 {
+			problems = append(problems, fmt.Sprintf("gzip.%dk mapped: CPI variation %.3f not well below standard's %.3f",
+				bytes/1024, span(mapped), span(std)))
+		}
+		// Standard and mapped converge at very large quanta (batch).
+		diff := std.Points[n-1].CPI - mapped.Points[n-1].CPI
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.35 {
+			problems = append(problems, fmt.Sprintf("gzip.%dk: curves do not converge at batch (Δ=%.3f)", bytes/1024, diff))
+		}
+	}
+	// Larger cache lowers CPI across the board.
+	if len(d.Config.CacheBytes) >= 2 {
+		small := find(d.Config.CacheBytes[0], false)
+		big := find(d.Config.CacheBytes[1], false)
+		if small != nil && big != nil && big.Points[0].CPI >= small.Points[0].CPI {
+			problems = append(problems, "larger cache did not lower standard CPI")
+		}
+	}
+	return problems
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+)
+
+// Interrupt-jitter experiment (paper §4.2, closing paragraph): "one may
+// argue that the time quantum could be fixed for predictability, but in
+// reality due to interrupts and exceptions the effective time quantum can
+// vary significantly during the time that a job is running simultaneously
+// with other jobs." We run the Figure 5 mix with the quantum perturbed
+// ±jitter around a nominal value, across several seeds, and measure the
+// spread of job A's CPI: the column-mapped configuration should be nearly
+// immune.
+
+// JitterConfig parameterizes the experiment.
+type JitterConfig struct {
+	Gzip               gzipsim.Config
+	CacheBytes         int
+	NominalQuantum     int64
+	JitterFrac         float64
+	Seeds              int
+	TargetInstructions int64
+	LineBytes, Ways    int
+	MappedColumnsForA  int
+}
+
+// DefaultJitterConfig: the 16KB machine at the quantum where the standard
+// curve is steep, ±90% jitter, 8 seeds.
+var DefaultJitterConfig = JitterConfig{
+	Gzip:               gzipsim.DefaultConfig,
+	CacheBytes:         16 * 1024,
+	NominalQuantum:     16384,
+	JitterFrac:         0.9,
+	Seeds:              8,
+	TargetInstructions: 1 << 19,
+	LineBytes:          32,
+	Ways:               4,
+	MappedColumnsForA:  3,
+}
+
+// JitterResult summarizes one configuration's CPI distribution over seeds.
+type JitterResult struct {
+	Mapped  bool
+	MeanCPI float64
+	MinCPI  float64
+	MaxCPI  float64
+	StdDev  float64
+}
+
+// Label names the row.
+func (r JitterResult) Label() string {
+	if r.Mapped {
+		return "column-mapped"
+	}
+	return "standard cache"
+}
+
+// RunJitter produces the experiment's two rows.
+func RunJitter(cfg JitterConfig) ([]JitterResult, error) {
+	jobs := make([]*workloads.Program, 3)
+	for i := range jobs {
+		g := cfg.Gzip
+		g.Seed = cfg.Gzip.Seed + int64(i)
+		jobs[i] = gzipsim.Job(g, memory.Addr(i)<<32)
+	}
+	numSets := cfg.CacheBytes / (cfg.LineBytes * cfg.Ways)
+
+	var out []JitterResult
+	for _, mapped := range []bool{false, true} {
+		var cpis []float64
+		for seed := 1; seed <= cfg.Seeds; seed++ {
+			sys, err := memsys.New(memsys.Config{
+				Geometry: memory.MustGeometry(cfg.LineBytes, 4096),
+				Cache:    cache.Config{LineBytes: cfg.LineBytes, NumSets: numSets, NumWays: cfg.Ways},
+				Timing:   memsys.DefaultTiming,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if mapped {
+				own := cfg.MappedColumnsForA
+				base, size := jobSpan(jobs[0])
+				if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size},
+					replacement.Range(0, own)); err != nil {
+					return nil, err
+				}
+				for i := 1; i < 3; i++ {
+					base, size := jobSpan(jobs[i])
+					if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size},
+						replacement.Range(own, cfg.Ways)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			rr, err := sched.NewRoundRobin(sys, cfg.NominalQuantum)
+			if err != nil {
+				return nil, err
+			}
+			rr.JitterFrac = cfg.JitterFrac
+			rr.JitterSeed = uint64(seed) * 0x9e3779b97f4a7c15
+			for i, p := range jobs {
+				if err := rr.Add(&sched.Job{
+					Name:               fmt.Sprintf("job%c", 'A'+i),
+					Trace:              p.Trace,
+					TargetInstructions: cfg.TargetInstructions,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			cpis = append(cpis, rr.Run()[0].CPI())
+		}
+		out = append(out, summarizeJitter(mapped, cpis))
+	}
+	return out, nil
+}
+
+func summarizeJitter(mapped bool, cpis []float64) JitterResult {
+	r := JitterResult{Mapped: mapped, MinCPI: cpis[0], MaxCPI: cpis[0]}
+	var sum float64
+	for _, c := range cpis {
+		sum += c
+		if c < r.MinCPI {
+			r.MinCPI = c
+		}
+		if c > r.MaxCPI {
+			r.MaxCPI = c
+		}
+	}
+	r.MeanCPI = sum / float64(len(cpis))
+	var ss float64
+	for _, c := range cpis {
+		ss += (c - r.MeanCPI) * (c - r.MeanCPI)
+	}
+	r.StdDev = math.Sqrt(ss / float64(len(cpis)))
+	return r
+}
+
+// JitterTable renders the experiment.
+func JitterTable(rows []JitterResult, cfg JitterConfig) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Interrupt jitter: job A CPI with quantum %d ±%.0f%% over %d seeds (%dKB cache)",
+			cfg.NominalQuantum, 100*cfg.JitterFrac, cfg.Seeds, cfg.CacheBytes/1024),
+		Headers: []string{"configuration", "mean CPI", "min", "max", "spread (max-min)", "stddev"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Label(),
+			fmt.Sprintf("%.3f", r.MeanCPI),
+			fmt.Sprintf("%.3f", r.MinCPI),
+			fmt.Sprintf("%.3f", r.MaxCPI),
+			fmt.Sprintf("%.3f", r.MaxCPI-r.MinCPI),
+			fmt.Sprintf("%.4f", r.StdDev))
+	}
+	return t
+}

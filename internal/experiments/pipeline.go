@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/layout"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/workloads/mpeg"
+)
+
+// Dynamic-layout experiment on the MPEG pipeline (paper §3.2): the three
+// decoder routines share a block buffer whose hot companions change per
+// routine, so per-procedure remapping beats any single whole-program
+// assignment on a pure column cache (no dedicated scratchpad).
+
+// PipelineResult is one configuration's outcome.
+type PipelineResult struct {
+	Configuration string
+	Cycles        int64
+	RemapWrites   int64
+}
+
+// RunPipelineDynamic measures the shared-buffer MPEG pipeline under the
+// whole-program static layout and under §3.2 dynamic per-procedure
+// remapping, on a 2KB 4-column cache.
+func RunPipelineDynamic(cfg mpeg.Config) ([]PipelineResult, []layout.Decision, error) {
+	pp := mpeg.Pipeline(cfg)
+	phases := make([]layout.Phase, len(pp))
+	for i, ph := range pp {
+		phases[i] = layout.Phase{Name: ph.Name, Trace: ph.Prog.Trace, Vars: ph.Vars}
+	}
+	m := layout.Machine{Columns: 4, ColumnBytes: 512}
+	dp, err := layout.BuildDynamic(phases, m, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	newSys := func() *memsys.System {
+		return memsys.MustNew(memsys.Config{
+			Geometry: memory.MustGeometry(32, 64),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+			Timing:   memsys.DefaultTiming,
+		})
+	}
+
+	// Static: the whole-program layout applied once.
+	static := newSys()
+	if _, err := layout.Apply(dp.Global, static, 0); err != nil {
+		return nil, nil, err
+	}
+	var staticCycles int64
+	for _, ph := range phases {
+		staticCycles += static.Run(ph.Trace)
+	}
+
+	// Dynamic: remap between procedures when the decisions say so.
+	dyn := newSys()
+	results, err := layout.ExecuteDynamic(dyn, phases, dp)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dynCycles, remapWrites int64
+	for _, r := range results {
+		dynCycles += r.Cycles
+		remapWrites += r.RemapWrites
+	}
+
+	// Unmanaged baseline for scale.
+	unmanaged := newSys()
+	var unmanagedCycles int64
+	for _, ph := range phases {
+		unmanagedCycles += unmanaged.Run(ph.Trace)
+	}
+
+	return []PipelineResult{
+		{Configuration: "unmanaged cache", Cycles: unmanagedCycles},
+		{Configuration: "static whole-program layout", Cycles: staticCycles},
+		{Configuration: "dynamic per-procedure layout (§3.2)", Cycles: dynCycles, RemapWrites: remapWrites},
+	}, dp.Decisions, nil
+}
+
+// PipelineTable renders the experiment.
+func PipelineTable(rows []PipelineResult, decisions []layout.Decision) *Table {
+	t := &Table{
+		Title:   "MPEG pipeline with shared block buffer: static vs dynamic layout (2KB, 4 columns)",
+		Headers: []string{"configuration", "cycles", "remap writes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Configuration, fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.RemapWrites))
+	}
+	return t
+}
+
+// PipelineDecisionsTable renders the per-phase remap decisions.
+func PipelineDecisionsTable(decisions []layout.Decision) *Table {
+	t := &Table{
+		Title:   "Per-procedure remap decisions",
+		Headers: []string{"procedure", "keep-cost", "phase-cost", "remap?"},
+	}
+	for _, d := range decisions {
+		t.AddRow(d.Phase, fmt.Sprintf("%d", d.KeepCost), fmt.Sprintf("%d", d.PhaseCost),
+			fmt.Sprintf("%v", d.Remap))
+	}
+	return t
+}

@@ -1,0 +1,325 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetWeightValidation(t *testing.T) {
+	g := New(3)
+	if err := g.SetWeight(0, 0, 1); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := g.SetWeight(0, 1, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.SetWeight(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(1, 0) != 5 {
+		t.Error("weight not symmetric")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("edges=%d", g.Edges())
+	}
+}
+
+func TestCost(t *testing.T) {
+	g := New(3)
+	g.SetWeight(0, 1, 5)
+	g.SetWeight(1, 2, 7)
+	g.SetWeight(0, 2, 11)
+	if c := g.Cost([]int{0, 0, 1}); c != 5 {
+		t.Errorf("cost=%d want 5", c)
+	}
+	if c := g.Cost([]int{0, 1, 2}); c != 0 {
+		t.Errorf("cost=%d want 0", c)
+	}
+	if c := g.Cost([]int{0, 0, 0}); c != 23 {
+		t.Errorf("cost=%d want 23", c)
+	}
+}
+
+func TestExactColorKnownGraphs(t *testing.T) {
+	// Empty graph: 0 colors needed... per-vertex coloring of edgeless graph
+	// is 1 color (all same).
+	g := New(4)
+	if _, k := g.ExactColor(); k != 1 {
+		t.Errorf("edgeless graph: k=%d want 1", k)
+	}
+
+	// Triangle: 3 colors.
+	g = New(3)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(1, 2, 1)
+	g.SetWeight(0, 2, 1)
+	if _, k := g.ExactColor(); k != 3 {
+		t.Errorf("triangle: k=%d want 3", k)
+	}
+
+	// C5 (odd cycle): 3 colors.
+	g = New(5)
+	for i := 0; i < 5; i++ {
+		g.SetWeight(i, (i+1)%5, 1)
+	}
+	if _, k := g.ExactColor(); k != 3 {
+		t.Errorf("C5: k=%d want 3", k)
+	}
+
+	// Bipartite K3,3: 2 colors.
+	g = New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.SetWeight(i, j, 1)
+		}
+	}
+	if _, k := g.ExactColor(); k != 2 {
+		t.Errorf("K3,3: k=%d want 2", k)
+	}
+
+	// Petersen graph: chromatic number 3 (greedy alone often says 4).
+	g = New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, e := range append(append(outer, inner...), spokes...) {
+		g.SetWeight(e[0], e[1], 1)
+	}
+	if _, k := g.ExactColor(); k != 3 {
+		t.Errorf("Petersen: k=%d want 3", k)
+	}
+
+	// K6: 6 colors.
+	g = New(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.SetWeight(i, j, 1)
+		}
+	}
+	if _, k := g.ExactColor(); k != 6 {
+		t.Errorf("K6: k=%d want 6", k)
+	}
+}
+
+func TestExactColorProper(t *testing.T) {
+	g := New(8)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if r.Intn(2) == 0 {
+				g.SetWeight(i, j, int64(1+r.Intn(10)))
+			}
+		}
+	}
+	assign, k := g.ExactColor()
+	for i := 0; i < 8; i++ {
+		if assign[i] < 0 || assign[i] >= k {
+			t.Fatalf("color %d outside [0,%d)", assign[i], k)
+		}
+		for j := i + 1; j < 8; j++ {
+			if g.Weight(i, j) > 0 && assign[i] == assign[j] {
+				t.Fatalf("improper: %d and %d share color %d", i, j, assign[i])
+			}
+		}
+	}
+}
+
+func TestColorIntoEnoughColumns(t *testing.T) {
+	// Triangle into 3 columns: zero cost, all different.
+	g := New(3)
+	g.SetWeight(0, 1, 5)
+	g.SetWeight(1, 2, 3)
+	g.SetWeight(0, 2, 4)
+	assign, cost, err := g.ColorInto(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost=%d want 0", cost)
+	}
+	if assign[0] == assign[1] || assign[1] == assign[2] || assign[0] == assign[2] {
+		t.Errorf("assign=%v", assign)
+	}
+}
+
+func TestColorIntoMergesMinWeightEdge(t *testing.T) {
+	// Triangle with weights 1 (0-1), 10 (1-2), 10 (0-2) into 2 columns:
+	// the heuristic merges the min-weight edge (0,1) so cost is 1.
+	g := New(3)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(1, 2, 10)
+	g.SetWeight(0, 2, 10)
+	assign, cost, err := g.ColorInto(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 {
+		t.Errorf("cost=%d want 1 (merge cheapest edge)", cost)
+	}
+	if assign[0] != assign[1] || assign[2] == assign[0] {
+		t.Errorf("assign=%v", assign)
+	}
+}
+
+func TestColorIntoOneColumn(t *testing.T) {
+	g := New(4)
+	g.SetWeight(0, 1, 2)
+	g.SetWeight(2, 3, 3)
+	assign, cost, err := g.ColorInto(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range assign {
+		if c != 0 {
+			t.Errorf("assign=%v", assign)
+		}
+	}
+	if cost != 5 {
+		t.Errorf("cost=%d want 5", cost)
+	}
+}
+
+func TestColorIntoValidation(t *testing.T) {
+	if _, _, err := New(2).ColorInto(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if assign, cost, err := New(0).ColorInto(2); err != nil || assign != nil || cost != 0 {
+		t.Errorf("empty graph: %v %v %v", assign, cost, err)
+	}
+}
+
+func TestColorIntoDisjointLifetimeClusters(t *testing.T) {
+	// Two cliques of 3 with no edges between them, 3 columns: both cliques
+	// can use the same 3 columns, cost 0 — the paper's disjoint-lifetime
+	// sharing in action.
+	g := New(6)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			g.SetWeight(i, j, 4)
+			g.SetWeight(i+3, j+3, 4)
+		}
+	}
+	_, cost, err := g.ColorInto(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost=%d want 0", cost)
+	}
+}
+
+// Property: ColorInto always produces an assignment within [0,k) and a cost
+// that matches Cost(assign); and with k >= chromatic number the cost is 0.
+func TestColorIntoProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		k := 1 + int(kRaw)%4
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) > 0 {
+					g.SetWeight(i, j, int64(1+r.Intn(100)))
+				}
+			}
+		}
+		assign, cost, err := g.ColorInto(k)
+		if err != nil || len(assign) != n {
+			return false
+		}
+		for _, c := range assign {
+			if c < 0 || c >= k {
+				return false
+			}
+		}
+		if cost != g.Cost(assign) {
+			return false
+		}
+		_, chrom := g.ExactColor()
+		if k >= chrom && cost != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the heuristic's cost is never better than the true optimum found
+// by brute force, and never worse than putting everything in one column.
+func TestColorIntoCostBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5) // brute force over k^n, keep small
+		k := 1 + r.Intn(3)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.SetWeight(i, j, int64(r.Intn(50)))
+			}
+		}
+		_, cost, err := g.ColorInto(k)
+		if err != nil {
+			return false
+		}
+		// Brute-force optimum.
+		best := int64(1 << 62)
+		assign := make([]int, n)
+		var rec func(int)
+		rec = func(v int) {
+			if v == n {
+				if c := g.Cost(assign); c < best {
+					best = c
+				}
+				return
+			}
+			for c := 0; c < k; c++ {
+				assign[v] = c
+				rec(v + 1)
+			}
+		}
+		rec(0)
+		allOne := make([]int, n)
+		return cost >= best && cost <= g.Cost(allOne)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ColorInto's merge bookkeeping conserves weight — the cost of
+// any assignment equals the sum of intra-column pair weights computed
+// directly from the original graph, so merging can never lose or invent
+// conflict weight.
+func TestMergeConservesWeightProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(7)
+		g := New(n)
+		var total int64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				w := int64(r.Intn(20))
+				g.SetWeight(i, j, w)
+				total += w
+			}
+		}
+		// Cost of the all-in-one-column assignment must equal the total
+		// edge weight regardless of how ColorInto merged internally.
+		assign, cost, err := g.ColorInto(1)
+		if err != nil {
+			return false
+		}
+		for _, c := range assign {
+			if c != 0 {
+				return false
+			}
+		}
+		return cost == total && cost == g.Cost(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package ir is the compiler-side substrate for the paper's second weight
+// method (paper §3.1.1): "the program analysis method operates on the
+// intermediate form (IF) representation of the program... For each variable,
+// we determine the number of accesses by estimating loop iteration counts
+// and the probability of taking branches."
+//
+// A Program is a tree of loops, branches, array accesses and plain compute;
+// Analyze walks it once, propagating an execution multiplier (loop counts ×
+// branch probabilities) and a virtual clock, to produce per-array estimated
+// access counts and approximate life-time intervals. Estimates feed the same
+// conflict-weight formula the profiler uses, with access counts inside an
+// interval apportioned by uniform density.
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stmt is a node of the intermediate form.
+type Stmt interface{ isStmt() }
+
+// Access is one dynamic reference to an array each time it executes.
+type Access struct {
+	Array string
+	Write bool
+}
+
+// Compute is a run of non-memory instructions.
+type Compute struct{ Instrs int }
+
+// Loop executes Body Count times.
+type Loop struct {
+	Count int
+	Body  []Stmt
+}
+
+// Branch executes Then with probability Prob, else Else.
+type Branch struct {
+	Prob float64 // probability of taking Then, in [0,1]
+	Then []Stmt
+	Else []Stmt
+}
+
+func (Access) isStmt()  {}
+func (Compute) isStmt() {}
+func (Loop) isStmt()    {}
+func (Branch) isStmt()  {}
+
+// ArrayDecl declares a program array to be laid out.
+type ArrayDecl struct {
+	Name  string
+	Bytes uint64
+}
+
+// Program is the unit of analysis.
+type Program struct {
+	Arrays []ArrayDecl
+	Body   []Stmt
+}
+
+// Validate checks that every accessed array is declared, counts are
+// non-negative, and probabilities are in range.
+func (p *Program) Validate() error {
+	declared := make(map[string]bool, len(p.Arrays))
+	for _, a := range p.Arrays {
+		if declared[a.Name] {
+			return fmt.Errorf("ir: array %q declared twice", a.Name)
+		}
+		declared[a.Name] = true
+	}
+	var walk func([]Stmt) error
+	walk = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Access:
+				if !declared[s.Array] {
+					return fmt.Errorf("ir: access to undeclared array %q", s.Array)
+				}
+			case Compute:
+				if s.Instrs < 0 {
+					return fmt.Errorf("ir: negative compute %d", s.Instrs)
+				}
+			case Loop:
+				if s.Count < 0 {
+					return fmt.Errorf("ir: negative loop count %d", s.Count)
+				}
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+			case Branch:
+				if s.Prob < 0 || s.Prob > 1 {
+					return fmt.Errorf("ir: branch probability %v outside [0,1]", s.Prob)
+				}
+				if err := walk(s.Then); err != nil {
+					return err
+				}
+				if err := walk(s.Else); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("ir: unknown statement %T", s)
+			}
+		}
+		return nil
+	}
+	return walk(p.Body)
+}
+
+// ArrayEstimate is the static estimate for one array.
+type ArrayEstimate struct {
+	Name     string
+	Bytes    uint64
+	Accesses float64 // expected dynamic access count
+	First    float64 // estimated time of first access (virtual instructions)
+	Last     float64 // estimated time of last access
+}
+
+// Live reports whether the estimated life-time covers t.
+func (e *ArrayEstimate) Live(t float64) bool {
+	return e.Accesses > 0 && t >= e.First && t <= e.Last
+}
+
+// Estimate is the result of Analyze.
+type Estimate struct {
+	Arrays   map[string]*ArrayEstimate
+	Duration float64 // estimated dynamic instruction count of the program
+}
+
+// Analyze walks the program computing expected access counts and approximate
+// life-times. Every statement advances the virtual clock by its expected
+// dynamic length: 1 per access, Instrs per compute, Count×body for loops and
+// the probability-weighted mean for branches; branch life-times span both
+// arms conservatively.
+func Analyze(p *Program) (*Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	est := &Estimate{Arrays: make(map[string]*ArrayEstimate, len(p.Arrays))}
+	for _, a := range p.Arrays {
+		est.Arrays[a.Name] = &ArrayEstimate{
+			Name: a.Name, Bytes: a.Bytes,
+			First: math.Inf(1), Last: math.Inf(-1),
+		}
+	}
+	est.Duration = analyzeBlock(p.Body, 1, 0, est)
+	for _, a := range est.Arrays {
+		if a.Accesses == 0 {
+			a.First, a.Last = 0, 0
+		}
+	}
+	return est, nil
+}
+
+// analyzeBlock processes stmts executed mult expected times starting at
+// virtual time t0, and returns the block's expected duration.
+func analyzeBlock(stmts []Stmt, mult, t0 float64, est *Estimate) float64 {
+	t := t0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Access:
+			a := est.Arrays[s.Array]
+			a.Accesses += mult
+			if t < a.First {
+				a.First = t
+			}
+			if t > a.Last {
+				a.Last = t
+			}
+			t++
+		case Compute:
+			t += float64(s.Instrs)
+		case Loop:
+			if s.Count == 0 {
+				continue
+			}
+			// Two symbolic passes: the first iteration (carrying the weight
+			// of iterations 1..Count-1) pins first-access times at t, the
+			// last iteration pins last-access times at the loop's end;
+			// together the counts scale by Count.
+			perIter := measureBlock(s.Body)
+			if s.Count == 1 {
+				analyzeBlock(s.Body, mult, t, est)
+			} else {
+				analyzeBlock(s.Body, mult*float64(s.Count-1), t, est)
+				analyzeBlock(s.Body, mult, t+float64(s.Count-1)*perIter, est)
+			}
+			t += float64(s.Count) * perIter
+		case Branch:
+			dThen := measureBlock(s.Then)
+			dElse := measureBlock(s.Else)
+			if s.Prob > 0 {
+				analyzeBlock(s.Then, mult*s.Prob, t, est)
+			}
+			if s.Prob < 1 {
+				analyzeBlock(s.Else, mult*(1-s.Prob), t, est)
+			}
+			t += s.Prob*dThen + (1-s.Prob)*dElse
+		}
+	}
+	return t - t0
+}
+
+// measureBlock returns the expected duration of a block without touching
+// array estimates.
+func measureBlock(stmts []Stmt) float64 {
+	var t float64
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Access:
+			t++
+		case Compute:
+			t += float64(s.Instrs)
+		case Loop:
+			t += float64(s.Count) * measureBlock(s.Body)
+		case Branch:
+			t += s.Prob*measureBlock(s.Then) + (1-s.Prob)*measureBlock(s.Else)
+		}
+	}
+	return t
+}
+
+// Weight computes the approximate conflict weight between two arrays from
+// their estimates: zero if their life-times are disjoint, otherwise the
+// minimum of the two access counts apportioned (by uniform density) to the
+// overlap interval — the static analogue of the profiler's
+// w(vi,vj) = MIN(n_i^j, n_j^i).
+func Weight(a, b *ArrayEstimate) int64 {
+	if a.Accesses == 0 || b.Accesses == 0 {
+		return 0
+	}
+	lo := math.Max(a.First, b.First)
+	hi := math.Min(a.Last, b.Last)
+	if lo > hi {
+		return 0
+	}
+	na := apportion(a, lo, hi)
+	nb := apportion(b, lo, hi)
+	return int64(math.Round(math.Min(na, nb)))
+}
+
+func apportion(a *ArrayEstimate, lo, hi float64) float64 {
+	// Closed-interval widths, so a point life-time inside the overlap still
+	// contributes all its accesses.
+	frac := (hi - lo + 1) / (a.Last - a.First + 1)
+	if frac > 1 {
+		frac = 1
+	}
+	return a.Accesses * frac
+}

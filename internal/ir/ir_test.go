@@ -1,0 +1,229 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []*Program{
+		{Body: []Stmt{Access{Array: "x"}}},
+		{Arrays: []ArrayDecl{{Name: "a"}, {Name: "a"}}},
+		{Arrays: []ArrayDecl{{Name: "a"}}, Body: []Stmt{Compute{Instrs: -1}}},
+		{Arrays: []ArrayDecl{{Name: "a"}}, Body: []Stmt{Loop{Count: -1}}},
+		{Arrays: []ArrayDecl{{Name: "a"}}, Body: []Stmt{Branch{Prob: 1.5}}},
+		{Arrays: []ArrayDecl{{Name: "a"}}, Body: []Stmt{Loop{Count: 1, Body: []Stmt{Access{Array: "z"}}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d accepted", i)
+		}
+	}
+}
+
+func TestAnalyzeStraightLine(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Access{Array: "a"},
+			Compute{Instrs: 3},
+			Access{Array: "b"},
+			Access{Array: "a"},
+		},
+	}
+	est, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Duration != 6 {
+		t.Errorf("duration=%v want 6", est.Duration)
+	}
+	a := est.Arrays["a"]
+	if a.Accesses != 2 || a.First != 0 || a.Last != 5 {
+		t.Errorf("a=%+v", a)
+	}
+	b := est.Arrays["b"]
+	if b.Accesses != 1 || b.First != 4 || b.Last != 4 {
+		t.Errorf("b=%+v", b)
+	}
+}
+
+func TestAnalyzeLoopScalesCounts(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 10, Body: []Stmt{Access{Array: "a"}, Compute{Instrs: 1}}},
+		},
+	}
+	est, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := est.Arrays["a"]
+	if a.Accesses != 10 {
+		t.Errorf("accesses=%v want 10", a.Accesses)
+	}
+	if a.First != 0 {
+		t.Errorf("first=%v want 0", a.First)
+	}
+	// Last iteration starts at t=18, access at 18.
+	if a.Last != 18 {
+		t.Errorf("last=%v want 18", a.Last)
+	}
+	if est.Duration != 20 {
+		t.Errorf("duration=%v want 20", est.Duration)
+	}
+}
+
+func TestAnalyzeNestedLoops(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 4, Body: []Stmt{
+				Loop{Count: 5, Body: []Stmt{Access{Array: "a"}}},
+			}},
+		},
+	}
+	est, _ := Analyze(p)
+	if got := est.Arrays["a"].Accesses; got != 20 {
+		t.Errorf("accesses=%v want 20", got)
+	}
+	if est.Duration != 20 {
+		t.Errorf("duration=%v want 20", est.Duration)
+	}
+}
+
+func TestAnalyzeLoopCountOneAndZero(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 1, Body: []Stmt{Access{Array: "a"}}},
+			Loop{Count: 0, Body: []Stmt{Access{Array: "a"}}},
+		},
+	}
+	est, _ := Analyze(p)
+	if got := est.Arrays["a"].Accesses; got != 1 {
+		t.Errorf("accesses=%v want 1", got)
+	}
+	if est.Duration != 1 {
+		t.Errorf("duration=%v want 1", est.Duration)
+	}
+}
+
+func TestAnalyzeBranchProbabilities(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 100, Body: []Stmt{
+				Branch{
+					Prob: 0.25,
+					Then: []Stmt{Access{Array: "a"}},
+					Else: []Stmt{Access{Array: "b"}},
+				},
+			}},
+		},
+	}
+	est, _ := Analyze(p)
+	if got := est.Arrays["a"].Accesses; math.Abs(got-25) > 1e-9 {
+		t.Errorf("a accesses=%v want 25", got)
+	}
+	if got := est.Arrays["b"].Accesses; math.Abs(got-75) > 1e-9 {
+		t.Errorf("b accesses=%v want 75", got)
+	}
+	if est.Duration != 100 {
+		t.Errorf("duration=%v want 100", est.Duration)
+	}
+}
+
+func TestAnalyzeBranchProbZeroOrOne(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Branch{Prob: 1, Then: []Stmt{Access{Array: "a"}}, Else: []Stmt{Access{Array: "b"}}},
+			Branch{Prob: 0, Then: []Stmt{Access{Array: "a"}}, Else: []Stmt{Access{Array: "b"}}},
+		},
+	}
+	est, _ := Analyze(p)
+	if est.Arrays["a"].Accesses != 1 || est.Arrays["b"].Accesses != 1 {
+		t.Errorf("a=%v b=%v", est.Arrays["a"].Accesses, est.Arrays["b"].Accesses)
+	}
+}
+
+func TestAnalyzeNeverAccessed(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "dead", Bytes: 64}},
+		Body:   []Stmt{Compute{Instrs: 10}},
+	}
+	est, _ := Analyze(p)
+	d := est.Arrays["dead"]
+	if d.Accesses != 0 || d.First != 0 || d.Last != 0 || d.Live(0) {
+		t.Errorf("dead=%+v", d)
+	}
+}
+
+func TestWeightDisjoint(t *testing.T) {
+	// Sequential phases: a then b, no overlap.
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 50, Body: []Stmt{Access{Array: "a"}}},
+			Loop{Count: 50, Body: []Stmt{Access{Array: "b"}}},
+		},
+	}
+	est, _ := Analyze(p)
+	if w := Weight(est.Arrays["a"], est.Arrays["b"]); w != 0 {
+		t.Errorf("disjoint weight=%d", w)
+	}
+}
+
+func TestWeightOverlapping(t *testing.T) {
+	// Interleaved accesses: both live the whole time.
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 50, Body: []Stmt{Access{Array: "a"}, Access{Array: "b"}}},
+		},
+	}
+	est, _ := Analyze(p)
+	w := Weight(est.Arrays["a"], est.Arrays["b"])
+	// Both have 50 accesses over nearly coincident lifetimes: weight ≈ 50.
+	if w < 45 || w > 50 {
+		t.Errorf("weight=%d want ≈50", w)
+	}
+}
+
+func TestWeightPartialOverlapApportioned(t *testing.T) {
+	// a live the whole program; b only in the second half.
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Bytes: 64}, {Name: "b", Bytes: 64}},
+		Body: []Stmt{
+			Loop{Count: 100, Body: []Stmt{Access{Array: "a"}}},
+			Loop{Count: 100, Body: []Stmt{Access{Array: "a"}, Access{Array: "b"}}},
+		},
+	}
+	est, _ := Analyze(p)
+	w := Weight(est.Arrays["a"], est.Arrays["b"])
+	// a has 200 accesses over ~300 units, overlap is the last ~200 units →
+	// roughly 2/3 of a's accesses ≈ 133; b has 100 → min ≈ 100.
+	if w < 80 || w > 110 {
+		t.Errorf("weight=%d want ≈100", w)
+	}
+}
+
+func TestWeightDeadArray(t *testing.T) {
+	a := &ArrayEstimate{Accesses: 10, First: 0, Last: 5}
+	dead := &ArrayEstimate{}
+	if Weight(a, dead) != 0 {
+		t.Error("weight with dead array nonzero")
+	}
+}
+
+func TestWeightPointLifetime(t *testing.T) {
+	a := &ArrayEstimate{Accesses: 5, First: 3, Last: 3}
+	b := &ArrayEstimate{Accesses: 8, First: 0, Last: 10}
+	// a contributes all 5 accesses to the point overlap; b contributes
+	// 8/11 ≈ 0.7, rounded to 1 — the minimum wins.
+	if w := Weight(a, b); w != 1 {
+		t.Errorf("point lifetime weight=%d want 1", w)
+	}
+}

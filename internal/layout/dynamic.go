@@ -1,0 +1,180 @@
+package layout
+
+import (
+	"fmt"
+
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/profile"
+)
+
+// Dynamic data layout (paper §3.2): run the static algorithm on individual
+// procedures rather than the whole program, and remap variables to columns
+// between procedures when — and only when — doing so has a significant
+// benefit. If procedures have disjoint variable sets there is no need to
+// re-assign, since everything can be statically mapped once; when they
+// share variables whose access patterns change from procedure to procedure,
+// a remap before the procedure is worthwhile.
+
+// Phase is one procedure (or sub-procedure) of an application.
+type Phase struct {
+	Name  string
+	Trace memtrace.Trace
+	Vars  []memory.Region
+}
+
+// Decision is the plan for one phase: its phase-optimal layout and whether
+// entering the phase should remap, given the estimated benefit over keeping
+// whatever mapping is installed when the phase starts.
+type Decision struct {
+	Phase string
+	Plan  *Plan
+	// KeepCost is the phase's estimated conflict cost under the mapping in
+	// effect when the phase starts (the whole-program static mapping,
+	// updated by earlier remaps); PhaseCost is the cost under the
+	// phase-optimal mapping. Remap is set when KeepCost-PhaseCost exceeds
+	// the threshold.
+	KeepCost  int64
+	PhaseCost int64
+	Remap     bool
+}
+
+// DynamicPlan is the full §3.2 schedule: a whole-program static mapping
+// installed at load time, plus a per-phase remap decision.
+type DynamicPlan struct {
+	Global    *Plan
+	Decisions []Decision
+}
+
+// BuildDynamic plans per-procedure layouts. threshold is the minimum
+// estimated conflict-count reduction that justifies a remap (0 remaps on
+// any improvement). The machine must not have a dedicated scratchpad:
+// dynamic repartitioning is a column-cache feature — scratchpad contents
+// cannot move between phases without copies.
+func BuildDynamic(phases []Phase, m Machine, threshold int64) (*DynamicPlan, error) {
+	if m.ScratchpadBytes != 0 {
+		return nil, fmt.Errorf("layout: dynamic layout requires a pure column cache (no dedicated scratchpad)")
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("layout: no phases")
+	}
+
+	// Whole-program static assignment: concatenated trace over the union of
+	// variables. This is the load-time mapping.
+	var allTrace memtrace.Trace
+	seen := make(map[string]bool)
+	var allVars []memory.Region
+	for _, ph := range phases {
+		allTrace = append(allTrace, ph.Trace...)
+		for _, v := range ph.Vars {
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				allVars = append(allVars, v)
+			}
+		}
+	}
+	global, err := Build(Request{Trace: allTrace, Vars: allVars, Machine: m})
+	if err != nil {
+		return nil, err
+	}
+	current := make(map[string]int)
+	for _, c := range global.Chunks {
+		if c.Placement == InColumn {
+			current[c.Region.Name] = c.Column
+		}
+	}
+
+	dp := &DynamicPlan{Global: global}
+	for _, ph := range phases {
+		plan, err := Build(Request{Trace: ph.Trace, Vars: ph.Vars, Machine: m})
+		if err != nil {
+			return nil, fmt.Errorf("layout: phase %s: %w", ph.Name, err)
+		}
+		keepCost := phaseCostUnder(ph, m, current)
+		d := Decision{
+			Phase:     ph.Name,
+			Plan:      plan,
+			KeepCost:  keepCost,
+			PhaseCost: plan.Cost,
+			Remap:     keepCost-plan.Cost > threshold,
+		}
+		if d.Remap {
+			for _, c := range plan.Chunks {
+				if c.Placement == InColumn {
+					current[c.Region.Name] = c.Column
+				}
+			}
+		}
+		dp.Decisions = append(dp.Decisions, d)
+	}
+	return dp, nil
+}
+
+// phaseCostUnder evaluates the phase's conflict cost when its chunks keep
+// the given column assignment.
+func phaseCostUnder(ph Phase, m Machine, col map[string]int) int64 {
+	chunks := profile.SplitRegions(ph.Vars, uint64(m.ColumnBytes))
+	prof := profile.Build(ph.Trace, chunks)
+	vars := prof.Vars()
+	var cost int64
+	for i := 0; i < len(vars); i++ {
+		ci, iOK := col[vars[i].Region.Name]
+		if !iOK {
+			continue
+		}
+		for j := i + 1; j < len(vars); j++ {
+			cj, jOK := col[vars[j].Region.Name]
+			if jOK && ci == cj {
+				cost += profile.Weight(vars[i], vars[j])
+			}
+		}
+	}
+	return cost
+}
+
+// DynamicResult reports one executed phase.
+type DynamicResult struct {
+	Phase       string
+	Cycles      int64
+	Remapped    bool
+	RemapWrites int64 // page-table + tint-table writes the remap cost
+}
+
+// ExecuteDynamic installs the plan's whole-program mapping, then runs the
+// phases in order, remapping before each phase whose decision says so. It
+// returns per-phase cycle counts; every remap's bookkeeping (page-table and
+// tint-table writes) is charged to the machine at one cycle per write — the
+// paper's "minor overheads".
+func ExecuteDynamic(sys *memsys.System, phases []Phase, dp *DynamicPlan) ([]DynamicResult, error) {
+	if dp == nil || len(phases) != len(dp.Decisions) {
+		return nil, fmt.Errorf("layout: plan does not match %d phases", len(phases))
+	}
+	apply := func(p *Plan) (int64, error) {
+		before := sys.PageTable().Writes() + sys.Tints().Remaps()
+		if _, err := Apply(p, sys, 0); err != nil {
+			return 0, err
+		}
+		writes := sys.PageTable().Writes() + sys.Tints().Remaps() - before
+		sys.AddCycles(writes)
+		return writes, nil
+	}
+	if _, err := apply(dp.Global); err != nil {
+		return nil, fmt.Errorf("layout: installing static mapping: %w", err)
+	}
+	var out []DynamicResult
+	for i, ph := range phases {
+		res := DynamicResult{Phase: ph.Name}
+		if dp.Decisions[i].Remap {
+			writes, err := apply(dp.Decisions[i].Plan)
+			if err != nil {
+				return nil, fmt.Errorf("layout: remapping for %s: %w", ph.Name, err)
+			}
+			res.Remapped = true
+			res.RemapWrites = writes
+		}
+		res.Cycles = sys.Run(ph.Trace) + res.RemapWrites
+		out = append(out, res)
+	}
+	return out, nil
+}

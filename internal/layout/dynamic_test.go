@@ -1,0 +1,186 @@
+package layout
+
+import (
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+)
+
+// twoPhaseWorkload builds two procedures whose per-phase conflict graphs
+// are 2-colorable but whose union is a triangle: phase 1 interleaves S with
+// A and then A with B (S–A and A–B conflict; S and B have disjoint
+// lifetimes within the phase), phase 2 interleaves S with B. A static
+// whole-program layout into 2 columns must co-locate one conflicting pair;
+// per-phase layouts are conflict-free, so remapping pays (paper §3.2).
+func twoPhaseWorkload() []Phase {
+	s := memory.Region{Name: "S", Base: 0, Size: 512}
+	a := memory.Region{Name: "A", Base: 8192, Size: 512}
+	b := memory.Region{Name: "B", Base: 16384, Size: 512}
+
+	interleave := func(x, y memory.Region, n int) memtrace.Trace {
+		var tr memtrace.Trace
+		for i := 0; i < n; i++ {
+			off := uint64(i % 16 * 32)
+			tr = append(tr,
+				memtrace.Access{Addr: x.Base + off},
+				memtrace.Access{Addr: y.Base + off},
+			)
+		}
+		return tr
+	}
+	p1 := append(interleave(s, a, 200), interleave(a, b, 200)...)
+	return []Phase{
+		{Name: "p1", Trace: p1, Vars: []memory.Region{s, a, b}},
+		{Name: "p2", Trace: interleave(s, b, 200), Vars: []memory.Region{s, b}},
+	}
+}
+
+func TestBuildDynamicValidation(t *testing.T) {
+	if _, err := BuildDynamic(nil, Machine{Columns: 2, ColumnBytes: 512}, 0); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := BuildDynamic(twoPhaseWorkload(), Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 512}, 0); err == nil {
+		t.Error("scratchpad machine accepted for dynamic layout")
+	}
+}
+
+func TestBuildDynamicDisjointPhasesNeedNoRemap(t *testing.T) {
+	// Disjoint variable sets: the paper says no re-assignment is needed —
+	// the static whole-program layout covers every phase optimally.
+	a := memory.Region{Name: "a", Base: 0, Size: 256}
+	b := memory.Region{Name: "b", Base: 8192, Size: 256}
+	c := memory.Region{Name: "c", Base: 16384, Size: 256}
+	d := memory.Region{Name: "d", Base: 24576, Size: 256}
+	mk := func(x, y memory.Region, n int) memtrace.Trace {
+		var tr memtrace.Trace
+		for i := 0; i < n; i++ {
+			off := uint64(i % 8 * 32)
+			tr = append(tr, memtrace.Access{Addr: x.Base + off}, memtrace.Access{Addr: y.Base + off})
+		}
+		return tr
+	}
+	phases := []Phase{
+		{Name: "p1", Trace: mk(a, b, 100), Vars: []memory.Region{a, b}},
+		{Name: "p2", Trace: mk(c, d, 100), Vars: []memory.Region{c, d}},
+	}
+	dp, err := BuildDynamic(phases, Machine{Columns: 4, ColumnBytes: 512}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dp.Decisions {
+		if d.Remap {
+			t.Errorf("phase %s wants a remap: keep=%d phase=%d", d.Phase, d.KeepCost, d.PhaseCost)
+		}
+		if d.KeepCost != d.PhaseCost {
+			t.Errorf("phase %s: static layout suboptimal for disjoint phases: %d vs %d",
+				d.Phase, d.KeepCost, d.PhaseCost)
+		}
+	}
+}
+
+func TestBuildDynamicSharedVariableRemaps(t *testing.T) {
+	// Two columns only: the union conflict graph is a triangle, so the
+	// whole-program layout co-locates a conflicting pair in some phase and
+	// that phase gains from remapping.
+	dp, err := BuildDynamic(twoPhaseWorkload(), Machine{Columns: 2, ColumnBytes: 512}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dp.Decisions {
+		if d.PhaseCost != 0 {
+			t.Errorf("phase %s not conflict-free alone: cost=%d", d.Phase, d.PhaseCost)
+		}
+	}
+	remaps := 0
+	for _, d := range dp.Decisions {
+		if d.Remap {
+			remaps++
+			if d.KeepCost <= d.PhaseCost {
+				t.Errorf("phase %s remaps without gain: keep=%d phase=%d", d.Phase, d.KeepCost, d.PhaseCost)
+			}
+		}
+	}
+	if remaps == 0 {
+		t.Errorf("no phase remaps: %+v", dp.Decisions)
+	}
+}
+
+func TestBuildDynamicThreshold(t *testing.T) {
+	// A huge threshold suppresses every remap.
+	dp, err := BuildDynamic(twoPhaseWorkload(), Machine{Columns: 2, ColumnBytes: 512}, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dp.Decisions {
+		if d.Remap {
+			t.Errorf("phase %s remaps despite the threshold", d.Phase)
+		}
+	}
+}
+
+func newDynSys() *memsys.System {
+	return memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(32, 64),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 2},
+		Timing:   memsys.DefaultTiming,
+	})
+}
+
+func TestExecuteDynamicEndToEnd(t *testing.T) {
+	phases := twoPhaseWorkload()
+	m := Machine{Columns: 2, ColumnBytes: 512}
+	dp, err := BuildDynamic(phases, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dynamic execution.
+	sys := newDynSys()
+	results, err := ExecuteDynamic(sys, phases, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results=%+v", results)
+	}
+	var dynTotal int64
+	for _, r := range results {
+		dynTotal += r.Cycles
+	}
+
+	// Static execution: the whole-program layout only.
+	sys2 := newDynSys()
+	if _, err := Apply(dp.Global, sys2, 0); err != nil {
+		t.Fatal(err)
+	}
+	var staticTotal int64
+	for _, ph := range phases {
+		staticTotal += sys2.Run(ph.Trace)
+	}
+
+	if dynTotal >= staticTotal {
+		t.Errorf("dynamic layout (%d cycles) not better than static (%d)", dynTotal, staticTotal)
+	}
+	// The remap bookkeeping must be tiny relative to the win.
+	var remapWrites int64
+	for _, r := range results {
+		remapWrites += r.RemapWrites
+	}
+	if remapWrites*10 > staticTotal-dynTotal {
+		t.Errorf("remap overhead %d not small vs win %d", remapWrites, staticTotal-dynTotal)
+	}
+}
+
+func TestExecuteDynamicValidation(t *testing.T) {
+	phases := twoPhaseWorkload()
+	sys := newDynSys()
+	if _, err := ExecuteDynamic(sys, phases, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := ExecuteDynamic(sys, phases, &DynamicPlan{}); err == nil {
+		t.Error("mismatched decisions accepted")
+	}
+}

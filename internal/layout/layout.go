@@ -1,0 +1,410 @@
+// Package layout implements the paper's data layout algorithm (paper §3):
+// assign program variables to the columns of a column cache — or to
+// dedicated scratchpad, or to uncached memory when no cache exists — so that
+// conflicting variables land in different columns.
+//
+// The pipeline follows the paper's steps:
+//
+//  1. Variables larger than a column are split into column-sized chunks;
+//     (aggregation of small scalars happens naturally: allocators emit them
+//     as one region).
+//  2. A complete weighted conflict graph is built over the chunks, with
+//     w(vi,vj) = MIN(n_i^j, n_j^i) computed from a profile of a
+//     representative run (or from static IR estimates).
+//  3. Chunks are assigned to columns by exact minimum coloring with the
+//     min-weight-edge merge heuristic (package graph).
+//
+// Variables may be forced to scratchpad for predictability (§3.1.3); the
+// remaining scratchpad capacity is packed greedily by access density, which
+// is what makes the Figure 4 partitions behave as in the paper.
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"colcache/internal/graph"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/profile"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+// Machine describes the on-chip memory the layout targets.
+type Machine struct {
+	Columns         int    // cache columns available to the layout (k in the paper)
+	ColumnBytes     int    // capacity of one column (S in the paper)
+	ScratchpadBytes uint64 // dedicated scratchpad capacity, 0 for none
+}
+
+// Request is the layout input.
+type Request struct {
+	Trace memtrace.Trace  // representative run (profile method)
+	Vars  []memory.Region // program variables
+	// ForceScratch names variables that must live in scratchpad for
+	// predictability (paper §3.1.3). Planning fails if they do not fit.
+	ForceScratch []string
+	// AggregateSmallerThan, when positive, groups cacheable chunks smaller
+	// than this many bytes into a single pseudo-variable that is assigned
+	// one column as a unit — the paper's §3.1 aggregation of small
+	// variables ("a set of variables can be aggregated into a single
+	// variable which is assigned to a column"). Aggregation also shrinks
+	// the conflict graph.
+	AggregateSmallerThan uint64
+	Machine              Machine
+}
+
+// Placement says where one chunk ended up.
+type Placement int
+
+const (
+	InScratchpad Placement = iota
+	InColumn
+	Uncached
+)
+
+func (p Placement) String() string {
+	switch p {
+	case InScratchpad:
+		return "scratchpad"
+	case InColumn:
+		return "column"
+	case Uncached:
+		return "uncached"
+	default:
+		return "unknown"
+	}
+}
+
+// Chunk is one placed unit: a whole variable or a column-sized piece of one.
+type Chunk struct {
+	Region    memory.Region
+	Parent    string // original variable name
+	Placement Placement
+	Column    int // valid when Placement == InColumn
+	Accesses  int64
+}
+
+// Plan is the layout result.
+type Plan struct {
+	Chunks []Chunk
+	// Cost is the coloring objective W: total weight of chunk pairs sharing
+	// a column (estimated conflicts).
+	Cost int64
+	// ScratchUsed is the bytes of scratchpad consumed.
+	ScratchUsed uint64
+}
+
+// ByPlacement returns the chunks with the given placement.
+func (p *Plan) ByPlacement(pl Placement) []Chunk {
+	var out []Chunk
+	for _, c := range p.Chunks {
+		if c.Placement == pl {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ColumnOf returns the column of the named chunk, or -1.
+func (p *Plan) ColumnOf(name string) int {
+	for _, c := range p.Chunks {
+		if c.Region.Name == name && c.Placement == InColumn {
+			return c.Column
+		}
+	}
+	return -1
+}
+
+// Build runs the layout algorithm.
+func Build(req Request) (*Plan, error) {
+	m := req.Machine
+	if m.Columns < 0 || m.ColumnBytes < 0 {
+		return nil, fmt.Errorf("layout: negative machine dimensions")
+	}
+	chunkSize := uint64(m.ColumnBytes)
+	if m.Columns == 0 {
+		// No cache: chunking is only needed to pack scratchpad, so chunk at
+		// scratchpad granularity if there is one.
+		chunkSize = m.ScratchpadBytes
+	}
+	chunks := profile.SplitRegions(req.Vars, chunkSize)
+	prof := profile.Build(req.Trace, chunks)
+
+	forced := make(map[string]bool, len(req.ForceScratch))
+	for _, name := range req.ForceScratch {
+		found := false
+		for _, v := range req.Vars {
+			if v.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("layout: forced variable %q not among program variables", name)
+		}
+		forced[name] = true
+	}
+
+	plan := &Plan{}
+	free := m.ScratchpadBytes
+
+	// Pass 1: forced-to-scratchpad variables, by declaration order.
+	inScratch := make(map[string]bool)
+	for _, c := range chunks {
+		if !forced[profile.ParentName(c.Name)] {
+			continue
+		}
+		if c.Size > free {
+			return nil, fmt.Errorf("layout: forced variable %s does not fit in scratchpad (%d bytes free)",
+				c.Name, free)
+		}
+		free -= c.Size
+		inScratch[c.Name] = true
+	}
+
+	// Pass 2: greedy packing of the remaining scratchpad by access density.
+	order := make([]*profile.VarProfile, 0, len(chunks))
+	for _, c := range chunks {
+		order = append(order, prof.MustGet(c.Name))
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Density() > order[j].Density() })
+	for _, vp := range order {
+		name := vp.Region.Name
+		if inScratch[name] || vp.Region.Size > free || vp.Accesses == 0 {
+			continue
+		}
+		free -= vp.Region.Size
+		inScratch[name] = true
+	}
+	plan.ScratchUsed = m.ScratchpadBytes - free
+
+	// Pass 3: remaining chunks go to columns via graph coloring, or are
+	// uncached when the partition has no cache. Small chunks may first be
+	// aggregated into one pseudo-variable (paper §3.1 step 1).
+	var cacheable []*profile.VarProfile
+	var small []*profile.VarProfile
+	for _, c := range chunks {
+		vp := prof.MustGet(c.Name)
+		if inScratch[c.Name] {
+			plan.Chunks = append(plan.Chunks, Chunk{
+				Region: c, Parent: profile.ParentName(c.Name),
+				Placement: InScratchpad, Accesses: vp.Accesses,
+			})
+			continue
+		}
+		if m.Columns == 0 {
+			plan.Chunks = append(plan.Chunks, Chunk{
+				Region: c, Parent: profile.ParentName(c.Name),
+				Placement: Uncached, Accesses: vp.Accesses,
+			})
+			continue
+		}
+		if req.AggregateSmallerThan > 0 && c.Size < req.AggregateSmallerThan {
+			small = append(small, vp)
+			continue
+		}
+		cacheable = append(cacheable, vp)
+	}
+	var members []*profile.VarProfile
+	if len(small) >= 2 {
+		members = small
+		cacheable = append(cacheable, profile.Merge("(aggregated)", small))
+	} else {
+		cacheable = append(cacheable, small...)
+	}
+	if len(cacheable) > 0 {
+		g := graph.New(len(cacheable))
+		for i := 0; i < len(cacheable); i++ {
+			for j := i + 1; j < len(cacheable); j++ {
+				if err := g.SetWeight(i, j, profile.Weight(cacheable[i], cacheable[j])); err != nil {
+					return nil, err
+				}
+			}
+		}
+		assign, cost, err := g.ColorInto(m.Columns)
+		if err != nil {
+			return nil, err
+		}
+		plan.Cost = cost
+		for i, vp := range cacheable {
+			if vp.Region.Name == "(aggregated)" && members != nil {
+				for _, mvp := range members {
+					plan.Chunks = append(plan.Chunks, Chunk{
+						Region: mvp.Region, Parent: profile.ParentName(mvp.Region.Name),
+						Placement: InColumn, Column: assign[i], Accesses: mvp.Accesses,
+					})
+				}
+				continue
+			}
+			plan.Chunks = append(plan.Chunks, Chunk{
+				Region: vp.Region, Parent: profile.ParentName(vp.Region.Name),
+				Placement: InColumn, Column: assign[i], Accesses: vp.Accesses,
+			})
+		}
+	}
+	return plan, nil
+}
+
+// Apply programs a machine with the plan: scratchpad chunks are placed in
+// the dedicated scratchpad, column chunks are tinted to their column, and
+// uncached chunks are marked uncached in the page table. columnOffset shifts
+// column indices, for machines whose low columns are reserved.
+//
+// Chunk regions must be page-aligned on sys's geometry, or chunks sharing a
+// page would fight over its tint; Apply rejects misaligned plans.
+func Apply(plan *Plan, sys *memsys.System, columnOffset int) ([]tint.Tint, error) {
+	g := sys.Geometry()
+	for _, c := range plan.Chunks {
+		if c.Region.Base%uint64(g.PageBytes) != 0 && c.Placement != InScratchpad {
+			return nil, fmt.Errorf("layout: chunk %s at %#x not page-aligned (page %d)",
+				c.Region.Name, c.Region.Base, g.PageBytes)
+		}
+	}
+	var tints []tint.Tint
+	for _, c := range plan.Chunks {
+		switch c.Placement {
+		case InScratchpad:
+			if err := sys.Scratchpad().Place(c.Region); err != nil {
+				return nil, err
+			}
+		case InColumn:
+			id, err := sys.MapRegion(c.Region, replacement.Of(c.Column+columnOffset))
+			if err != nil {
+				return nil, err
+			}
+			tints = append(tints, id)
+		case Uncached:
+			sys.PageTable().SetUncachedRange(c.Region.Base, c.Region.Size, true)
+		}
+	}
+	return tints, nil
+}
+
+// String renders the plan as one line per chunk, for tool output and logs.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "layout plan: %d chunks, cost W=%d, scratchpad %dB\n",
+		len(p.Chunks), p.Cost, p.ScratchUsed)
+	for _, c := range p.Chunks {
+		where := c.Placement.String()
+		if c.Placement == InColumn {
+			where = fmt.Sprintf("column %d", c.Column)
+		}
+		fmt.Fprintf(&b, "  %-16s %6dB %8d accesses -> %s\n",
+			c.Region.Name, c.Region.Size, c.Accesses, where)
+	}
+	return b.String()
+}
+
+// WorstCaseCycles computes a guaranteed upper bound on the cycles a trace
+// can take under this plan — the analyzable predictability the paper's §2.3
+// motivates. Accesses to scratchpad chunks are guaranteed single-cycle.
+// If assumeExclusiveColumns is true, chunks that are alone in their column
+// and fit it one-to-one are treated as guaranteed hits after a charged
+// preload (the column-as-scratchpad emulation; the caller must have made
+// the columns exclusive, e.g. by shrinking the default tint — see
+// colcache.VerifyIsolation). Everything else is assumed to miss on every
+// access. The bound is sound for any replacement policy and any
+// interleaving with other isolated work.
+func WorstCaseCycles(plan *Plan, t memtrace.Trace, timing memsys.Timing, g memory.Geometry, assumeExclusiveColumns bool) int64 {
+	// Classify chunks.
+	type class int
+	const (
+		classMiss class = iota
+		classScratch
+		classPinned
+	)
+	perColumn := make(map[int][]Chunk)
+	for _, c := range plan.Chunks {
+		if c.Placement == InColumn {
+			perColumn[c.Column] = append(perColumn[c.Column], c)
+		}
+	}
+	classify := func(c Chunk) class {
+		switch c.Placement {
+		case InScratchpad:
+			return classScratch
+		case InColumn:
+			if assumeExclusiveColumns && len(perColumn[c.Column]) == 1 {
+				return classPinned
+			}
+		}
+		return classMiss
+	}
+	// Interval list sorted by base for address classification.
+	type span struct {
+		base, end uint64
+		cl        class
+	}
+	var spans []span
+	for _, c := range plan.Chunks {
+		spans = append(spans, span{c.Region.Base, c.Region.End(), classify(c)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	find := func(addr uint64) class {
+		i := sort.Search(len(spans), func(i int) bool { return spans[i].end > addr })
+		if i < len(spans) && addr >= spans[i].base {
+			return spans[i].cl
+		}
+		return classMiss
+	}
+
+	var wcet int64
+	// Preload cost for pinned columns: one miss per line.
+	if assumeExclusiveColumns {
+		for _, cs := range perColumn {
+			if len(cs) != 1 {
+				continue
+			}
+			lines := int64(len(g.LinesCovering(cs[0].Region.Base, cs[0].Region.Size)))
+			wcet += lines * int64(timing.CacheHit+timing.MissPenalty)
+		}
+	}
+	for _, a := range t {
+		wcet += int64(a.Think) * int64(timing.NonMemInstr)
+		switch find(a.Addr) {
+		case classScratch:
+			wcet += int64(timing.ScratchpadHit)
+		case classPinned:
+			wcet += int64(timing.CacheHit)
+		default:
+			// Worst case: miss with a dirty writeback.
+			wcet += int64(timing.CacheHit + timing.MissPenalty + timing.Writeback)
+		}
+	}
+	return wcet
+}
+
+// SavePlan writes the plan as JSON to w; LoadPlan reads it back. Plans are
+// plain data (chunk regions, placements, columns), so a layout computed
+// offline by layouttool can be applied by any tool via Apply.
+func SavePlan(w io.Writer, p *Plan) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadPlan reads a plan written by SavePlan and validates its placements.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("layout: decoding plan: %w", err)
+	}
+	for _, c := range p.Chunks {
+		switch c.Placement {
+		case InScratchpad, InColumn, Uncached:
+		default:
+			return nil, fmt.Errorf("layout: chunk %s has invalid placement %d", c.Region.Name, c.Placement)
+		}
+		if c.Placement == InColumn && c.Column < 0 {
+			return nil, fmt.Errorf("layout: chunk %s has negative column", c.Region.Name)
+		}
+	}
+	return &p, nil
+}

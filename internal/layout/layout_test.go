@@ -1,0 +1,493 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/workloads/mpeg"
+)
+
+// interleavedTrace builds a trace where two variables conflict heavily and a
+// third runs in a disjoint phase.
+func interleavedTrace(a, b, c memory.Region) memtrace.Trace {
+	var tr memtrace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr,
+			memtrace.Access{Addr: a.Base + uint64(i%int(a.Size))},
+			memtrace.Access{Addr: b.Base + uint64(i%int(b.Size))},
+		)
+	}
+	for i := 0; i < 100; i++ {
+		tr = append(tr, memtrace.Access{Addr: c.Base + uint64(i%int(c.Size))})
+	}
+	return tr
+}
+
+func threeVars() (a, b, c memory.Region, vars []memory.Region) {
+	a = memory.Region{Name: "a", Base: 0, Size: 256}
+	b = memory.Region{Name: "b", Base: 4096, Size: 256}
+	c = memory.Region{Name: "c", Base: 8192, Size: 256}
+	return a, b, c, []memory.Region{a, b, c}
+}
+
+func TestBuildSeparatesConflictingVars(t *testing.T) {
+	a, b, c, vars := threeVars()
+	plan, err := Build(Request{
+		Trace:   interleavedTrace(a, b, c),
+		Vars:    vars,
+		Machine: Machine{Columns: 2, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := plan.ColumnOf("a"), plan.ColumnOf("b")
+	if ca < 0 || cb < 0 {
+		t.Fatalf("a or b not in a column: %+v", plan.Chunks)
+	}
+	if ca == cb {
+		t.Errorf("conflicting variables share column %d", ca)
+	}
+	if plan.Cost != 0 {
+		t.Errorf("cost=%d want 0 (2 columns suffice: c is disjoint)", plan.Cost)
+	}
+}
+
+func TestBuildScratchpadPacksByDensity(t *testing.T) {
+	a, b, c, vars := threeVars()
+	// a and b each have 100 accesses over 256B, c has 100 too — equal
+	// density; with 256 bytes of scratchpad exactly one fits.
+	plan, err := Build(Request{
+		Trace:   interleavedTrace(a, b, c),
+		Vars:    vars,
+		Machine: Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.ByPlacement(InScratchpad)); got != 1 {
+		t.Errorf("scratchpad chunks=%d want 1", got)
+	}
+	if plan.ScratchUsed != 256 {
+		t.Errorf("scratch used=%d", plan.ScratchUsed)
+	}
+}
+
+func TestBuildForceScratch(t *testing.T) {
+	a, b, c, vars := threeVars()
+	plan, err := Build(Request{
+		Trace:        interleavedTrace(a, b, c),
+		Vars:         vars,
+		ForceScratch: []string{"c"},
+		Machine:      Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := plan.ByPlacement(InScratchpad)
+	if len(sp) != 1 || sp[0].Parent != "c" {
+		t.Errorf("scratchpad=%v", sp)
+	}
+}
+
+func TestBuildForceScratchErrors(t *testing.T) {
+	a, b, c, vars := threeVars()
+	tr := interleavedTrace(a, b, c)
+	if _, err := Build(Request{
+		Trace: tr, Vars: vars,
+		ForceScratch: []string{"nope"},
+		Machine:      Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 1024},
+	}); err == nil {
+		t.Error("unknown forced variable accepted")
+	}
+	if _, err := Build(Request{
+		Trace: tr, Vars: vars,
+		ForceScratch: []string{"c"},
+		Machine:      Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 100},
+	}); err == nil {
+		t.Error("unfittable forced variable accepted")
+	}
+}
+
+func TestBuildNoCacheMarksUncached(t *testing.T) {
+	a, b, c, vars := threeVars()
+	plan, err := Build(Request{
+		Trace:   interleavedTrace(a, b, c),
+		Vars:    vars,
+		Machine: Machine{Columns: 0, ColumnBytes: 0, ScratchpadBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.ByPlacement(Uncached)); got != 1 {
+		t.Errorf("uncached=%d want 1 (two fit the 512B pad)", got)
+	}
+	if got := len(plan.ByPlacement(InColumn)); got != 0 {
+		t.Errorf("column chunks with no cache: %d", got)
+	}
+}
+
+func TestBuildSplitsLargeVariables(t *testing.T) {
+	big := memory.Region{Name: "big", Base: 0, Size: 1200}
+	var tr memtrace.Trace
+	for i := 0; i < 300; i++ {
+		tr = append(tr, memtrace.Access{Addr: uint64(i * 4)})
+	}
+	plan, err := Build(Request{
+		Trace:   tr,
+		Vars:    []memory.Region{big},
+		Machine: Machine{Columns: 4, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chunks) != 3 {
+		t.Fatalf("chunks=%d want 3", len(plan.Chunks))
+	}
+	for _, c := range plan.Chunks {
+		if c.Parent != "big" {
+			t.Errorf("chunk parent=%q", c.Parent)
+		}
+		if c.Region.Size > 512 {
+			t.Errorf("chunk %s too big: %d", c.Region.Name, c.Region.Size)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Request{Machine: Machine{Columns: -1}}); err == nil {
+		t.Error("negative columns accepted")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if InScratchpad.String() == "" || InColumn.String() == "" ||
+		Uncached.String() == "" || Placement(99).String() != "unknown" {
+		t.Error("placement strings broken")
+	}
+}
+
+func sys2KB() *memsys.System {
+	return memsys.MustNew(memsys.Config{
+		Geometry:        memory.MustGeometry(32, 64),
+		Cache:           cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:          memsys.DefaultTiming,
+		ScratchpadBytes: 4096,
+	})
+}
+
+func TestApplyProgramsTheMachine(t *testing.T) {
+	a, b, c, vars := threeVars()
+	tr := interleavedTrace(a, b, c)
+	plan, err := Build(Request{
+		Trace: tr, Vars: vars,
+		Machine: Machine{Columns: 4, ColumnBytes: 512, ScratchpadBytes: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sys2KB()
+	if _, err := Apply(plan, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Scratch chunk answered by the scratchpad.
+	sp := plan.ByPlacement(InScratchpad)
+	if len(sp) == 1 {
+		if !sys.Scratchpad().Contains(sp[0].Region.Base) {
+			t.Error("scratch chunk not in scratchpad")
+		}
+	}
+	// Column chunks: run the trace and check lines land inside the
+	// assigned columns only.
+	sys.Run(tr)
+	for _, ch := range plan.ByPlacement(InColumn) {
+		for _, ln := range sys.Geometry().LinesCovering(ch.Region.Base, ch.Region.Size) {
+			w := sys.Cache().WayOf(ln * 32)
+			if w >= 0 && w != ch.Column {
+				t.Errorf("chunk %s line %#x in way %d want %d", ch.Region.Name, ln*32, w, ch.Column)
+			}
+		}
+	}
+}
+
+func TestApplyColumnOffset(t *testing.T) {
+	a := memory.Region{Name: "a", Base: 0, Size: 64}
+	tr := memtrace.Trace{{Addr: 0}, {Addr: 32}}
+	plan, err := Build(Request{
+		Trace: tr, Vars: []memory.Region{a},
+		Machine: Machine{Columns: 1, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sys2KB()
+	if _, err := Apply(plan, sys, 2); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(tr)
+	if w := sys.Cache().WayOf(0); w != 2 {
+		t.Errorf("way=%d want 2 (offset applied)", w)
+	}
+}
+
+func TestApplyRejectsMisaligned(t *testing.T) {
+	a := memory.Region{Name: "a", Base: 33, Size: 64} // not page-aligned (64B pages)
+	tr := memtrace.Trace{{Addr: 40}}
+	plan, err := Build(Request{
+		Trace: tr, Vars: []memory.Region{a},
+		Machine: Machine{Columns: 1, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(plan, sys2KB(), 0); err == nil {
+		t.Error("misaligned chunk accepted")
+	}
+}
+
+// TestLayoutIdctKeepsTablesResident is the paper's headline behaviour: for
+// idct, the layout isolates the hot cosine table from the streaming blocks,
+// so the table stays resident while blocks stream through other columns.
+func TestLayoutIdctKeepsTablesResident(t *testing.T) {
+	prog := mpeg.Idct(mpeg.Config{})
+	plan, err := Build(Request{
+		Trace:   prog.Trace,
+		Vars:    prog.Vars,
+		Machine: Machine{Columns: 4, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cosCol := plan.ColumnOf("cos")
+	if cosCol < 0 {
+		t.Fatal("cos not assigned a column")
+	}
+	// No streaming block chunk may share the cosine table's column while
+	// both are live — verify via plan cost attribution: cos's column holds
+	// no chunk of "blocks" with overlapping lifetime. Simpler and stronger:
+	// run it and verify cos never misses after its first touches.
+	sys := memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(32, 64),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:   memsys.DefaultTiming,
+	})
+	if _, err := Apply(plan, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	cosR := prog.MustVar("cos")
+	sys.Preload(cosR)
+	sys.ResetStats()
+	sys.Run(prog.Trace)
+	// Count misses on the cos region: replay-probe each access.
+	misses := 0
+	for _, a := range prog.Trace {
+		if cosR.Contains(a.Addr) {
+			if _, hit := sys.Cache().Probe(a.Addr); !hit {
+				misses++
+			}
+		}
+	}
+	if misses != 0 {
+		t.Errorf("cosine table lost residency %d times", misses)
+	}
+}
+
+func TestAggregationGroupsSmallVariables(t *testing.T) {
+	// Four tiny scalars + one big array: aggregation packs the scalars into
+	// one column as a unit.
+	var vars []memory.Region
+	var tr memtrace.Trace
+	for i := 0; i < 4; i++ {
+		r := memory.Region{Name: string(rune('a' + i)), Base: uint64(i) * 4096, Size: 64}
+		vars = append(vars, r)
+	}
+	big := memory.Region{Name: "big", Base: 1 << 20, Size: 512}
+	vars = append(vars, big)
+	for i := 0; i < 100; i++ {
+		for _, r := range vars {
+			tr = append(tr, memtrace.Access{Addr: r.Base + uint64(i)%r.Size})
+		}
+	}
+	plan, err := Build(Request{
+		Trace:                tr,
+		Vars:                 vars,
+		AggregateSmallerThan: 128,
+		Machine:              Machine{Columns: 4, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four scalars share one column; big is elsewhere.
+	cols := map[int]bool{}
+	for _, c := range plan.Chunks {
+		if c.Region.Size == 64 {
+			cols[c.Column] = true
+		}
+	}
+	if len(cols) != 1 {
+		t.Errorf("scalars spread over %d columns: %+v", len(cols), plan.Chunks)
+	}
+	for _, c := range plan.Chunks {
+		if c.Parent == "big" && cols[c.Column] {
+			t.Errorf("big shares the scalars' column despite conflicts")
+		}
+	}
+	if len(plan.Chunks) != 5 {
+		t.Errorf("chunks=%d want 5 (each member placed)", len(plan.Chunks))
+	}
+}
+
+func TestAggregationSingleSmallFallsThrough(t *testing.T) {
+	a := memory.Region{Name: "a", Base: 0, Size: 64}
+	tr := memtrace.Trace{{Addr: 0}, {Addr: 32}}
+	plan, err := Build(Request{
+		Trace: tr, Vars: []memory.Region{a},
+		AggregateSmallerThan: 128,
+		Machine:              Machine{Columns: 2, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chunks) != 1 || plan.Chunks[0].Region.Name != "a" {
+		t.Errorf("chunks=%+v", plan.Chunks)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	a, b, c, vars := threeVars()
+	plan, err := Build(Request{
+		Trace:   interleavedTrace(a, b, c),
+		Vars:    vars,
+		Machine: Machine{Columns: 2, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{"cost W=", "a", "column"} {
+		if !containsStr(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWorstCaseCyclesBoundsMeasured(t *testing.T) {
+	prog := mpeg.Idct(mpeg.Config{})
+	plan, err := Build(Request{
+		Trace:   prog.Trace,
+		Vars:    prog.Vars,
+		Machine: Machine{Columns: 4, ColumnBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.MustNew(memsys.Config{
+		Geometry: memory.MustGeometry(32, 64),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:   memsys.DefaultTiming,
+	})
+	if _, err := Apply(plan, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	measured := sys.Run(prog.Trace)
+	bound := WorstCaseCycles(plan, prog.Trace, memsys.DefaultTiming, sys.Geometry(), false)
+	if measured > bound {
+		t.Errorf("measured %d exceeds WCET bound %d", measured, bound)
+	}
+	// With exclusivity assumed, the bound tightens but must stay sound.
+	tight := WorstCaseCycles(plan, prog.Trace, memsys.DefaultTiming, sys.Geometry(), true)
+	if measured > tight {
+		t.Errorf("measured %d exceeds exclusive WCET bound %d", measured, tight)
+	}
+	if tight > bound {
+		t.Errorf("exclusive bound %d looser than plain %d", tight, bound)
+	}
+}
+
+func TestWorstCaseCyclesScratchExact(t *testing.T) {
+	// A program entirely in scratchpad has an exact, tight bound.
+	a := memory.Region{Name: "a", Base: 0, Size: 256}
+	var tr memtrace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, memtrace.Access{Addr: uint64(i % 8 * 32), Think: 1})
+	}
+	plan, err := Build(Request{
+		Trace: tr, Vars: []memory.Region{a},
+		Machine: Machine{Columns: 0, ScratchpadBytes: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.MustNew(memsys.Config{
+		Geometry:        memory.MustGeometry(32, 64),
+		Cache:           cache.Config{LineBytes: 32, NumSets: 16, NumWays: 1},
+		Timing:          memsys.DefaultTiming,
+		ScratchpadBytes: 512,
+	})
+	if _, err := Apply(plan, sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	measured := sys.Run(tr)
+	bound := WorstCaseCycles(plan, tr, memsys.DefaultTiming, sys.Geometry(), false)
+	if measured != bound {
+		t.Errorf("scratchpad-only bound %d not exact (measured %d)", bound, measured)
+	}
+}
+
+func TestPlanSaveLoadRoundTrip(t *testing.T) {
+	a, b, c, vars := threeVars()
+	plan, err := Build(Request{
+		Trace:   interleavedTrace(a, b, c),
+		Vars:    vars,
+		Machine: Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Chunks) != len(plan.Chunks) || got.Cost != plan.Cost || got.ScratchUsed != plan.ScratchUsed {
+		t.Errorf("round trip changed plan: %+v vs %+v", got, plan)
+	}
+	for i := range plan.Chunks {
+		if got.Chunks[i] != plan.Chunks[i] {
+			t.Errorf("chunk %d changed: %+v vs %+v", i, got.Chunks[i], plan.Chunks[i])
+		}
+	}
+	// A loaded plan applies like the original.
+	sys := sys2KB()
+	if _, err := Apply(got, sys, 0); err != nil {
+		t.Errorf("loaded plan failed to apply: %v", err)
+	}
+}
+
+func TestLoadPlanValidation(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"Chunks":[{"Placement":9}]}`)); err == nil {
+		t.Error("invalid placement accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"Chunks":[{"Placement":1,"Column":-2}]}`)); err == nil {
+		t.Error("negative column accepted")
+	}
+}

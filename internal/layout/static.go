@@ -1,0 +1,174 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/graph"
+	"colcache/internal/ir"
+)
+
+// StaticAssignment places one array (or chunk of one) using the compile-time
+// program-analysis method: no run, no addresses — just the IR estimates.
+type StaticAssignment struct {
+	Array     string
+	Chunk     int // chunk index within the array; -1 when the array was not split
+	Bytes     uint64
+	Placement Placement
+	Column    int // valid when Placement == InColumn
+	// EstimatedAccesses is the analysis's expected access count for this
+	// chunk.
+	EstimatedAccesses float64
+}
+
+// StaticPlan is the result of BuildStatic.
+type StaticPlan struct {
+	Assignments []StaticAssignment
+	Cost        int64
+	ScratchUsed uint64
+}
+
+// ColumnOf returns the column assigned to the named array's chunk (-1 for a
+// whole array), or -1 if it is not in a column.
+func (p *StaticPlan) ColumnOf(array string, chunk int) int {
+	for _, a := range p.Assignments {
+		if a.Array == array && a.Chunk == chunk && a.Placement == InColumn {
+			return a.Column
+		}
+	}
+	return -1
+}
+
+// chunkEst is one vertex of the static conflict graph.
+type chunkEst struct {
+	array string
+	chunk int
+	bytes uint64
+	est   *ir.ArrayEstimate
+}
+
+// BuildStatic runs the layout algorithm from static IR analysis instead of a
+// profile (the paper's "program analysis method", §3.1.1): array access
+// counts and life-times are estimated from loop iteration counts and branch
+// probabilities, arrays larger than a column are split into chunks whose
+// estimated accesses are apportioned uniformly, and the same
+// coloring-with-merging assignment runs on the estimated weights.
+func BuildStatic(p *ir.Program, m Machine) (*StaticPlan, error) {
+	if m.Columns < 0 || m.ColumnBytes < 0 {
+		return nil, fmt.Errorf("layout: negative machine dimensions")
+	}
+	est, err := ir.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+
+	chunkBytes := uint64(m.ColumnBytes)
+	if m.Columns == 0 {
+		chunkBytes = m.ScratchpadBytes
+	}
+	var chunks []chunkEst
+	for _, decl := range p.Arrays {
+		a := est.Arrays[decl.Name]
+		if chunkBytes == 0 || decl.Bytes <= chunkBytes {
+			chunks = append(chunks, chunkEst{array: decl.Name, chunk: -1, bytes: decl.Bytes, est: a})
+			continue
+		}
+		n := int((decl.Bytes + chunkBytes - 1) / chunkBytes)
+		remaining := decl.Bytes
+		for i := 0; i < n; i++ {
+			size := chunkBytes
+			if remaining < size {
+				size = remaining
+			}
+			remaining -= size
+			// Apportion accesses by bytes; life-time is inherited whole
+			// (conservative: chunks of a streamed array overlap less in
+			// reality, which the profile method captures and this one
+			// approximates away — exactly the paper's accuracy trade-off).
+			chunks = append(chunks, chunkEst{
+				array: decl.Name,
+				chunk: i,
+				bytes: size,
+				est: &ir.ArrayEstimate{
+					Name:     fmt.Sprintf("%s#%d", decl.Name, i),
+					Bytes:    size,
+					Accesses: a.Accesses * float64(size) / float64(decl.Bytes),
+					First:    a.First,
+					Last:     a.Last,
+				},
+			})
+		}
+	}
+
+	plan := &StaticPlan{}
+	free := m.ScratchpadBytes
+
+	// Greedy scratchpad packing by estimated access density.
+	order := make([]int, len(chunks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		cx, cy := chunks[order[x]], chunks[order[y]]
+		dx, dy := 0.0, 0.0
+		if cx.bytes > 0 {
+			dx = cx.est.Accesses / float64(cx.bytes)
+		}
+		if cy.bytes > 0 {
+			dy = cy.est.Accesses / float64(cy.bytes)
+		}
+		return dx > dy
+	})
+	inScratch := make([]bool, len(chunks))
+	for _, i := range order {
+		c := chunks[i]
+		if c.est.Accesses == 0 || c.bytes > free {
+			continue
+		}
+		free -= c.bytes
+		inScratch[i] = true
+	}
+	plan.ScratchUsed = m.ScratchpadBytes - free
+
+	var cacheable []int
+	for i, c := range chunks {
+		switch {
+		case inScratch[i]:
+			plan.Assignments = append(plan.Assignments, StaticAssignment{
+				Array: c.array, Chunk: c.chunk, Bytes: c.bytes,
+				Placement: InScratchpad, EstimatedAccesses: c.est.Accesses,
+			})
+		case m.Columns == 0:
+			plan.Assignments = append(plan.Assignments, StaticAssignment{
+				Array: c.array, Chunk: c.chunk, Bytes: c.bytes,
+				Placement: Uncached, EstimatedAccesses: c.est.Accesses,
+			})
+		default:
+			cacheable = append(cacheable, i)
+		}
+	}
+	if len(cacheable) > 0 {
+		g := graph.New(len(cacheable))
+		for x := 0; x < len(cacheable); x++ {
+			for y := x + 1; y < len(cacheable); y++ {
+				w := ir.Weight(chunks[cacheable[x]].est, chunks[cacheable[y]].est)
+				if err := g.SetWeight(x, y, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+		assign, cost, err := g.ColorInto(m.Columns)
+		if err != nil {
+			return nil, err
+		}
+		plan.Cost = cost
+		for x, i := range cacheable {
+			c := chunks[i]
+			plan.Assignments = append(plan.Assignments, StaticAssignment{
+				Array: c.array, Chunk: c.chunk, Bytes: c.bytes,
+				Placement: InColumn, Column: assign[x], EstimatedAccesses: c.est.Accesses,
+			})
+		}
+	}
+	return plan, nil
+}

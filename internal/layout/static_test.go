@@ -1,0 +1,145 @@
+package layout
+
+import (
+	"testing"
+
+	"colcache/internal/ir"
+)
+
+// hotColdProgram: a hot coefficient table read in a tight loop, a streamed
+// input, and a rarely-touched error buffer.
+func hotColdProgram() *ir.Program {
+	return &ir.Program{
+		Arrays: []ir.ArrayDecl{
+			{Name: "coeff", Bytes: 256},
+			{Name: "input", Bytes: 2048},
+			{Name: "errbuf", Bytes: 128},
+		},
+		Body: []ir.Stmt{
+			ir.Loop{Count: 64, Body: []ir.Stmt{
+				ir.Loop{Count: 8, Body: []ir.Stmt{
+					ir.Access{Array: "input"},
+					ir.Access{Array: "coeff"},
+					ir.Compute{Instrs: 2},
+				}},
+				ir.Branch{Prob: 0.1, Then: []ir.Stmt{
+					ir.Access{Array: "errbuf", Write: true},
+				}},
+			}},
+		},
+	}
+}
+
+func TestBuildStaticBasics(t *testing.T) {
+	plan, err := BuildStatic(hotColdProgram(), Machine{Columns: 4, ColumnBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// input (2048B) splits into 4 chunks; coeff and errbuf stay whole.
+	var chunks, whole int
+	for _, a := range plan.Assignments {
+		if a.Chunk >= 0 {
+			chunks++
+		} else {
+			whole++
+		}
+	}
+	if chunks != 4 || whole != 2 {
+		t.Errorf("chunks=%d whole=%d: %+v", chunks, whole, plan.Assignments)
+	}
+	// Everything placed in columns (no scratchpad configured).
+	for _, a := range plan.Assignments {
+		if a.Placement != InColumn {
+			t.Errorf("%s#%d placed %s", a.Array, a.Chunk, a.Placement)
+		}
+		if a.Column < 0 || a.Column >= 4 {
+			t.Errorf("column %d out of range", a.Column)
+		}
+	}
+	// coeff is the hottest array: estimated accesses must dominate.
+	if col := plan.ColumnOf("coeff", -1); col < 0 {
+		t.Error("coeff not assigned")
+	}
+	if plan.ColumnOf("missing", -1) != -1 {
+		t.Error("phantom lookup succeeded")
+	}
+}
+
+func TestBuildStaticScratchpadPacking(t *testing.T) {
+	plan, err := BuildStatic(hotColdProgram(), Machine{Columns: 2, ColumnBytes: 512, ScratchpadBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The densest array (coeff: 512 accesses / 256B) takes the scratchpad.
+	found := false
+	for _, a := range plan.Assignments {
+		if a.Array == "coeff" {
+			if a.Placement != InScratchpad {
+				t.Errorf("coeff placed %s", a.Placement)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("coeff missing from plan")
+	}
+	if plan.ScratchUsed != 256 {
+		t.Errorf("scratch used=%d", plan.ScratchUsed)
+	}
+}
+
+func TestBuildStaticNoCache(t *testing.T) {
+	plan, err := BuildStatic(hotColdProgram(), Machine{Columns: 0, ScratchpadBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Placement == InColumn {
+			t.Errorf("%s in a column with no cache", a.Array)
+		}
+	}
+	// Something must be uncached (total footprint 2432 > 512 pad).
+	var uncached int
+	for _, a := range plan.Assignments {
+		if a.Placement == Uncached {
+			uncached++
+		}
+	}
+	if uncached == 0 {
+		t.Error("nothing uncached despite overflowing the pad")
+	}
+}
+
+func TestBuildStaticValidation(t *testing.T) {
+	if _, err := BuildStatic(hotColdProgram(), Machine{Columns: -1}); err == nil {
+		t.Error("negative machine accepted")
+	}
+	bad := &ir.Program{Body: []ir.Stmt{ir.Access{Array: "ghost"}}}
+	if _, err := BuildStatic(bad, Machine{Columns: 2, ColumnBytes: 512}); err == nil {
+		t.Error("invalid IR accepted")
+	}
+}
+
+func TestBuildStaticSeparatesConflicting(t *testing.T) {
+	// Two hot arrays accessed in the same loop must land in different
+	// columns when two are available.
+	p := &ir.Program{
+		Arrays: []ir.ArrayDecl{{Name: "x", Bytes: 256}, {Name: "y", Bytes: 256}},
+		Body: []ir.Stmt{
+			ir.Loop{Count: 100, Body: []ir.Stmt{
+				ir.Access{Array: "x"},
+				ir.Access{Array: "y"},
+			}},
+		},
+	}
+	plan, err := BuildStatic(p, Machine{Columns: 2, ColumnBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ColumnOf("x", -1) == plan.ColumnOf("y", -1) {
+		t.Errorf("conflicting arrays share a column: %+v", plan.Assignments)
+	}
+	if plan.Cost != 0 {
+		t.Errorf("cost=%d want 0", plan.Cost)
+	}
+}

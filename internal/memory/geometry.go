@@ -1,0 +1,117 @@
+// Package memory provides address arithmetic shared by the cache, TLB and
+// memory-system models: cache-line and page decomposition of addresses for a
+// power-of-two geometry.
+//
+// All simulated addresses are 64-bit byte addresses. A Geometry fixes the
+// cache-line size and the virtual-memory page size; every other component
+// derives its indexing from it so the whole machine agrees on where lines
+// and pages fall.
+package memory
+
+import "fmt"
+
+// Addr is a simulated byte address.
+type Addr = uint64
+
+// Geometry describes the fixed power-of-two sizes of the memory system.
+type Geometry struct {
+	LineBytes int // cache-line size in bytes
+	PageBytes int // virtual-memory page size in bytes
+
+	lineShift uint
+	pageShift uint
+}
+
+// NewGeometry validates sizes and precomputes shifts. LineBytes and PageBytes
+// must be powers of two and a page must hold at least one line.
+func NewGeometry(lineBytes, pageBytes int) (Geometry, error) {
+	if !IsPow2(lineBytes) || lineBytes <= 0 {
+		return Geometry{}, fmt.Errorf("memory: line size %d is not a positive power of two", lineBytes)
+	}
+	if !IsPow2(pageBytes) || pageBytes <= 0 {
+		return Geometry{}, fmt.Errorf("memory: page size %d is not a positive power of two", pageBytes)
+	}
+	if pageBytes < lineBytes {
+		return Geometry{}, fmt.Errorf("memory: page size %d smaller than line size %d", pageBytes, lineBytes)
+	}
+	return Geometry{
+		LineBytes: lineBytes,
+		PageBytes: pageBytes,
+		lineShift: Log2(lineBytes),
+		pageShift: Log2(pageBytes),
+	}, nil
+}
+
+// MustGeometry is NewGeometry that panics on invalid sizes; for tests and
+// package-level defaults where the sizes are compile-time constants.
+func MustGeometry(lineBytes, pageBytes int) Geometry {
+	g, err := NewGeometry(lineBytes, pageBytes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// LineNumber returns the cache-line number containing addr.
+func (g Geometry) LineNumber(addr Addr) uint64 { return addr >> g.lineShift }
+
+// LineBase returns the first byte address of the line containing addr.
+func (g Geometry) LineBase(addr Addr) Addr { return addr &^ (uint64(g.LineBytes) - 1) }
+
+// LineOffset returns the byte offset of addr within its line.
+func (g Geometry) LineOffset(addr Addr) int { return int(addr & (uint64(g.LineBytes) - 1)) }
+
+// PageNumber returns the page number containing addr.
+func (g Geometry) PageNumber(addr Addr) uint64 { return addr >> g.pageShift }
+
+// PageBase returns the first byte address of the page containing addr.
+func (g Geometry) PageBase(addr Addr) Addr { return addr &^ (uint64(g.PageBytes) - 1) }
+
+// PageOffset returns the byte offset of addr within its page.
+func (g Geometry) PageOffset(addr Addr) int { return int(addr & (uint64(g.PageBytes) - 1)) }
+
+// LinesPerPage reports how many cache lines a page holds.
+func (g Geometry) LinesPerPage() int { return g.PageBytes / g.LineBytes }
+
+// PagesCovering returns the page numbers of every page overlapped by the
+// byte range [base, base+size).
+func (g Geometry) PagesCovering(base Addr, size uint64) []uint64 {
+	if size == 0 {
+		return nil
+	}
+	first := g.PageNumber(base)
+	last := g.PageNumber(base + size - 1)
+	pages := make([]uint64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		pages = append(pages, p)
+	}
+	return pages
+}
+
+// LinesCovering returns the line numbers of every line overlapped by the
+// byte range [base, base+size).
+func (g Geometry) LinesCovering(base Addr, size uint64) []uint64 {
+	if size == 0 {
+		return nil
+	}
+	first := g.LineNumber(base)
+	last := g.LineNumber(base + size - 1)
+	lines := make([]uint64, 0, last-first+1)
+	for l := first; l <= last; l++ {
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// IsPow2 reports whether v is a power of two. Zero and negatives are not.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)) for v > 0.
+func Log2(v int) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}

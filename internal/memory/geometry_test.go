@@ -1,0 +1,164 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		line, page int
+		ok         bool
+	}{
+		{32, 4096, true},
+		{16, 256, true},
+		{1, 1, true},
+		{0, 4096, false},
+		{-32, 4096, false},
+		{33, 4096, false},
+		{32, 0, false},
+		{32, 100, false},
+		{64, 32, false}, // page smaller than line
+	}
+	for _, c := range cases {
+		_, err := NewGeometry(c.line, c.page)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGeometry(%d,%d): err=%v, want ok=%v", c.line, c.page, err, c.ok)
+		}
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(3,4) did not panic")
+		}
+	}()
+	MustGeometry(3, 4)
+}
+
+func TestLineMath(t *testing.T) {
+	g := MustGeometry(32, 4096)
+	cases := []struct {
+		addr       Addr
+		lineNum    uint64
+		lineBase   Addr
+		lineOffset int
+	}{
+		{0, 0, 0, 0},
+		{31, 0, 0, 31},
+		{32, 1, 32, 0},
+		{4095, 127, 4064, 31},
+		{4096, 128, 4096, 0},
+		{0xdeadbeef, 0xdeadbeef >> 5, 0xdeadbee0, 0x0f},
+	}
+	for _, c := range cases {
+		if got := g.LineNumber(c.addr); got != c.lineNum {
+			t.Errorf("LineNumber(%#x)=%d want %d", c.addr, got, c.lineNum)
+		}
+		if got := g.LineBase(c.addr); got != c.lineBase {
+			t.Errorf("LineBase(%#x)=%#x want %#x", c.addr, got, c.lineBase)
+		}
+		if got := g.LineOffset(c.addr); got != c.lineOffset {
+			t.Errorf("LineOffset(%#x)=%d want %d", c.addr, got, c.lineOffset)
+		}
+	}
+}
+
+func TestPageMath(t *testing.T) {
+	g := MustGeometry(32, 4096)
+	if got := g.PageNumber(4095); got != 0 {
+		t.Errorf("PageNumber(4095)=%d want 0", got)
+	}
+	if got := g.PageNumber(4096); got != 1 {
+		t.Errorf("PageNumber(4096)=%d want 1", got)
+	}
+	if got := g.PageBase(5000); got != 4096 {
+		t.Errorf("PageBase(5000)=%d want 4096", got)
+	}
+	if got := g.PageOffset(5000); got != 904 {
+		t.Errorf("PageOffset(5000)=%d want 904", got)
+	}
+	if got := g.LinesPerPage(); got != 128 {
+		t.Errorf("LinesPerPage=%d want 128", got)
+	}
+}
+
+func TestPagesCovering(t *testing.T) {
+	g := MustGeometry(32, 256)
+	if got := g.PagesCovering(0, 0); got != nil {
+		t.Errorf("empty range gave %v", got)
+	}
+	if got := g.PagesCovering(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("1-byte range gave %v", got)
+	}
+	if got := g.PagesCovering(255, 2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("straddling range gave %v", got)
+	}
+	if got := g.PagesCovering(256, 256); len(got) != 1 || got[0] != 1 {
+		t.Errorf("exact page gave %v", got)
+	}
+	if got := g.PagesCovering(100, 1000); len(got) != 5 {
+		t.Errorf("wide range gave %d pages, want 5", len(got))
+	}
+}
+
+func TestLinesCovering(t *testing.T) {
+	g := MustGeometry(32, 256)
+	if got := g.LinesCovering(16, 32); len(got) != 2 {
+		t.Errorf("straddling line range gave %v", got)
+	}
+	if got := g.LinesCovering(32, 32); len(got) != 1 || got[0] != 1 {
+		t.Errorf("exact line gave %v", got)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024, 1 << 30} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d)=false", v)
+		}
+	}
+	for _, v := range []int{0, -1, -2, 3, 6, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d)=true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for shift := uint(0); shift < 40; shift++ {
+		if got := Log2(1 << shift); got != shift {
+			t.Errorf("Log2(1<<%d)=%d", shift, got)
+		}
+	}
+}
+
+// Property: for any address and any power-of-two geometry,
+// LineBase(a) <= a < LineBase(a)+LineBytes and offset is consistent.
+func TestLineDecompositionProperty(t *testing.T) {
+	f := func(addr uint64, lineShift uint8) bool {
+		shift := uint(lineShift%12) + 1 // lines 2..4096 bytes
+		g := MustGeometry(1<<shift, 1<<(shift+2))
+		base := g.LineBase(addr)
+		off := g.LineOffset(addr)
+		return base+uint64(off) == addr && off < g.LineBytes && base%uint64(g.LineBytes) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: page decomposition is consistent and page contains its lines.
+func TestPageDecompositionProperty(t *testing.T) {
+	f := func(addr uint64) bool {
+		g := MustGeometry(32, 4096)
+		pb := g.PageBase(addr)
+		return pb+uint64(g.PageOffset(addr)) == addr &&
+			g.PageNumber(pb) == g.PageNumber(addr) &&
+			g.LineNumber(addr)/uint64(g.LinesPerPage()) == g.PageNumber(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a named contiguous byte range of the simulated address space,
+// typically one program variable (array, table, buffer) placed by the
+// allocator below.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr Addr) bool { return addr >= r.Base && addr < r.End() }
+
+func (r Region) String() string {
+	return fmt.Sprintf("%s[0x%x..0x%x)", r.Name, r.Base, r.End())
+}
+
+// Space is a bump allocator for the simulated address space. Workloads use
+// it to lay out their variables; the resulting regions double as the
+// address→variable map consumed by the profiler and the layout algorithm.
+type Space struct {
+	next    Addr
+	regions []Region
+}
+
+// NewSpace returns a Space whose first allocation starts at base.
+func NewSpace(base Addr) *Space { return &Space{next: base} }
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 or 1 means
+// byte-aligned) and records the region under name. Names need not be unique,
+// but lookups by name return the first match.
+func (s *Space) Alloc(name string, size uint64, align uint64) Region {
+	if align > 1 {
+		if align&(align-1) != 0 {
+			panic(fmt.Sprintf("memory: alignment %d is not a power of two", align))
+		}
+		s.next = (s.next + align - 1) &^ (align - 1)
+	}
+	r := Region{Name: name, Base: s.next, Size: size}
+	s.next += size
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Regions returns all allocated regions in allocation order.
+func (s *Space) Regions() []Region { return s.regions }
+
+// Find returns the region containing addr, if any.
+func (s *Space) Find(addr Addr) (Region, bool) {
+	// Regions are allocated in increasing address order, so binary search.
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	if i < len(s.regions) && s.regions[i].Contains(addr) {
+		return s.regions[i], true
+	}
+	return Region{}, false
+}
+
+// ByName returns the first region allocated under name.
+func (s *Space) ByName(name string) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Footprint returns the total bytes allocated, ignoring alignment gaps.
+func (s *Space) Footprint() uint64 {
+	var total uint64
+	for _, r := range s.regions {
+		total += r.Size
+	}
+	return total
+}

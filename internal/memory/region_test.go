@@ -1,0 +1,84 @@
+package memory
+
+import "testing"
+
+func TestSpaceAllocSequential(t *testing.T) {
+	s := NewSpace(0x1000)
+	a := s.Alloc("a", 100, 0)
+	b := s.Alloc("b", 50, 0)
+	if a.Base != 0x1000 || a.Size != 100 {
+		t.Errorf("a=%v", a)
+	}
+	if b.Base != 0x1000+100 {
+		t.Errorf("b.Base=%#x want %#x", b.Base, 0x1000+100)
+	}
+	if s.Footprint() != 150 {
+		t.Errorf("Footprint=%d want 150", s.Footprint())
+	}
+}
+
+func TestSpaceAlign(t *testing.T) {
+	s := NewSpace(0)
+	s.Alloc("a", 3, 0)
+	b := s.Alloc("b", 8, 64)
+	if b.Base != 64 {
+		t.Errorf("aligned Base=%d want 64", b.Base)
+	}
+	c := s.Alloc("c", 1, 1)
+	if c.Base != 72 {
+		t.Errorf("byte-aligned Base=%d want 72", c.Base)
+	}
+}
+
+func TestSpaceAlignPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc with align=3 did not panic")
+		}
+	}()
+	NewSpace(0).Alloc("x", 1, 3)
+}
+
+func TestSpaceFind(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc("a", 100, 0)
+	s.Alloc("gap", 0, 0) // zero-size region
+	b := s.Alloc("b", 100, 256)
+
+	if r, ok := s.Find(a.Base + 99); !ok || r.Name != "a" {
+		t.Errorf("Find inside a gave %v,%v", r, ok)
+	}
+	if _, ok := s.Find(150); ok {
+		t.Error("Find in alignment gap succeeded")
+	}
+	if r, ok := s.Find(b.Base); !ok || r.Name != "b" {
+		t.Errorf("Find at b.Base gave %v,%v", r, ok)
+	}
+	if _, ok := s.Find(b.End()); ok {
+		t.Error("Find at End() succeeded; ranges are half-open")
+	}
+}
+
+func TestSpaceByName(t *testing.T) {
+	s := NewSpace(0)
+	s.Alloc("x", 10, 0)
+	s.Alloc("y", 10, 0)
+	if r, ok := s.ByName("y"); !ok || r.Base != 10 {
+		t.Errorf("ByName(y)=%v,%v", r, ok)
+	}
+	if _, ok := s.ByName("z"); ok {
+		t.Error("ByName(z) found a region")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "r", Base: 10, Size: 5}
+	for a, want := range map[Addr]bool{9: false, 10: true, 14: true, 15: false} {
+		if r.Contains(a) != want {
+			t.Errorf("Contains(%d)=%v want %v", a, !want, want)
+		}
+	}
+	if r.End() != 15 {
+		t.Errorf("End=%d", r.End())
+	}
+}

@@ -1,0 +1,253 @@
+package memsys
+
+import (
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/vm"
+)
+
+func smallConfig() Config {
+	return Config{
+		Geometry: memory.MustGeometry(32, 256),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:   DefaultTiming,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := smallConfig()
+	cfg.Cache.LineBytes = 64
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+	cfg = smallConfig()
+	cfg.TLB = vm.TLBConfig{Entries: 3, Ways: 1}
+	if _, err := New(cfg); err == nil {
+		t.Error("bad TLB config accepted")
+	}
+}
+
+func TestAccessTimingHitMiss(t *testing.T) {
+	s := MustNew(smallConfig())
+	// Cold miss: 1 (hit latency) + 20 (miss penalty) = 21 cycles.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 21 {
+		t.Errorf("miss cycles=%d want 21", c)
+	}
+	// Hit: 1 cycle.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 1 {
+		t.Errorf("hit cycles=%d want 1", c)
+	}
+	// Think time adds NonMemInstr cycles each.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read, Think: 5}); c != 6 {
+		t.Errorf("think+hit cycles=%d want 6", c)
+	}
+	st := s.Stats()
+	if st.Instructions != 8 { // 3 accesses + 5 think
+		t.Errorf("instructions=%d want 8", st.Instructions)
+	}
+	if st.Cycles != 28 {
+		t.Errorf("cycles=%d want 28", st.Cycles)
+	}
+	wantCPI := 28.0 / 8.0
+	if st.CPI() != wantCPI {
+		t.Errorf("CPI=%v want %v", st.CPI(), wantCPI)
+	}
+}
+
+func TestWritebackTiming(t *testing.T) {
+	s := MustNew(smallConfig())
+	setStride := uint64(32 * 16)
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Write}) // dirty line in set 0
+	for i := uint64(1); i < 4; i++ {
+		s.Access(memtrace.Access{Addr: i * setStride, Op: memtrace.Read})
+	}
+	// 5th distinct line evicts the dirty line: 1+20+5 = 26 cycles.
+	if c := s.Access(memtrace.Access{Addr: 4 * setStride, Op: memtrace.Read}); c != 26 {
+		t.Errorf("dirty-eviction cycles=%d want 26", c)
+	}
+}
+
+func TestScratchpadBypass(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ScratchpadBytes = 512
+	s := MustNew(cfg)
+	r := memory.Region{Name: "hot", Base: 0x8000, Size: 256}
+	if err := s.Scratchpad().Place(r); err != nil {
+		t.Fatal(err)
+	}
+	// Every access, including the first, is a single cycle: no cold misses.
+	for i := 0; i < 4; i++ {
+		if c := s.Access(memtrace.Access{Addr: 0x8000 + uint64(i*64), Op: memtrace.Read}); c != 1 {
+			t.Errorf("scratchpad access %d cost %d cycles", i, c)
+		}
+	}
+	st := s.Stats()
+	if st.ScratchpadAccesses != 4 || st.Cache.Accesses != 0 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+func TestUncachedAccess(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.PageTable().SetUncachedRange(0, 256, true)
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 20 {
+		t.Errorf("uncached cycles=%d want 20", c)
+	}
+	if s.Stats().Cache.Accesses != 0 {
+		t.Error("uncached access reached the cache")
+	}
+	if s.Stats().UncachedAccesses != 1 {
+		t.Error("uncached access not counted")
+	}
+}
+
+func TestTLBMissPenalty(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Timing.TLBMiss = 30
+	s := MustNew(cfg)
+	// Cold: TLB miss (30) + cache miss (21) = 51.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 51 {
+		t.Errorf("cold cycles=%d want 51", c)
+	}
+	// Warm TLB, warm cache: 1.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 1 {
+		t.Errorf("warm cycles=%d want 1", c)
+	}
+}
+
+func TestMapRegionIsolation(t *testing.T) {
+	s := MustNew(smallConfig())
+	// Region A: 2 pages mapped exclusively to column 0.
+	a := memory.Region{Name: "A", Base: 0, Size: 512}
+	if _, err := s.MapRegion(a, replacement.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Default tint shrinks to the other columns.
+	if err := s.Tints().SetMask(0, replacement.Of(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm region A (512B = 16 lines = exactly column 0).
+	for off := uint64(0); off < 512; off += 32 {
+		s.Access(memtrace.Access{Addr: off, Op: memtrace.Read})
+	}
+	// Thrash with 1000 other lines.
+	for i := uint64(0); i < 1000; i++ {
+		s.Access(memtrace.Access{Addr: 0x100000 + i*32, Op: memtrace.Read})
+	}
+	// Region A must be fully resident: re-touch costs 16 hits.
+	s.ResetStats()
+	for off := uint64(0); off < 512; off += 32 {
+		s.Access(memtrace.Access{Addr: off, Op: memtrace.Read})
+	}
+	if st := s.Stats(); st.Cache.Misses != 0 {
+		t.Errorf("isolated region suffered %d misses", st.Cache.Misses)
+	}
+}
+
+func TestMapRegionErrors(t *testing.T) {
+	s := MustNew(smallConfig())
+	r := memory.Region{Name: "r", Base: 0, Size: 32}
+	if _, err := s.MapRegion(r, replacement.Of(9)); err == nil {
+		t.Error("mask beyond columns accepted")
+	}
+}
+
+func TestRemapTintTakesEffectWithoutFlush(t *testing.T) {
+	s := MustNew(smallConfig())
+	r := memory.Region{Name: "r", Base: 0, Size: 256}
+	id, err := s.MapRegion(r, replacement.Of(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if w := s.Cache().WayOf(0); w != 0 {
+		t.Fatalf("filled way %d want 0", w)
+	}
+	// Cheap repartitioning: one table write, no TLB flush needed.
+	if err := s.RemapTint(id, replacement.Of(3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().Invalidate(0)
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if w := s.Cache().WayOf(0); w != 3 {
+		t.Errorf("after remap filled way %d want 3", w)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	s := MustNew(smallConfig())
+	r := memory.Region{Name: "r", Base: 0x100, Size: 100} // spans 4 lines
+	s.Preload(r)
+	for _, ln := range s.Geometry().LinesCovering(r.Base, r.Size) {
+		if _, hit := s.Cache().Probe(ln * 32); !hit {
+			t.Errorf("line %d not resident after preload", ln)
+		}
+	}
+}
+
+func TestRunAndReset(t *testing.T) {
+	s := MustNew(smallConfig())
+	tr := memtrace.Trace{
+		{Addr: 0, Op: memtrace.Read},
+		{Addr: 0, Op: memtrace.Read},
+	}
+	cycles := s.Run(tr)
+	if cycles != 22 {
+		t.Errorf("Run cycles=%d want 22", cycles)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Cycles != 0 || st.Instructions != 0 {
+		t.Errorf("reset incomplete: %+v", st)
+	}
+	// Contents survive ResetStats.
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}); c != 1 {
+		t.Errorf("contents lost: %d cycles", c)
+	}
+}
+
+func TestAddCycles(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.AddCycles(100)
+	if s.Stats().Cycles != 100 {
+		t.Errorf("cycles=%d", s.Stats().Cycles)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if s.Stats().String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestWriteThroughStoreTiming(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cache.Write = cache.WriteThroughNoAllocate
+	cfg.Timing.WriteThroughStore = 10
+	s := MustNew(cfg)
+	// Load to allocate, then a store hit: 1 (hit) + 10 (bus trip) = 11.
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if c := s.Access(memtrace.Access{Addr: 0, Op: memtrace.Write}); c != 11 {
+		t.Errorf("WT store hit cost %d want 11", c)
+	}
+	// Store miss (no allocate): 1 + 20 (miss) + 10 = 31.
+	if c := s.Access(memtrace.Access{Addr: 1 << 16, Op: memtrace.Write}); c != 31 {
+		t.Errorf("WT store miss cost %d want 31", c)
+	}
+	// Write-back machines never pay it.
+	cfg2 := smallConfig()
+	cfg2.Timing.WriteThroughStore = 10
+	s2 := MustNew(cfg2)
+	s2.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if c := s2.Access(memtrace.Access{Addr: 0, Op: memtrace.Write}); c != 1 {
+		t.Errorf("WB store hit cost %d want 1", c)
+	}
+}

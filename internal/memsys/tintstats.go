@@ -1,0 +1,103 @@
+package memsys
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"colcache/internal/tint"
+)
+
+// Per-tint statistics: when enabled, the machine attributes every cached
+// access to the tint that governed it, giving the per-partition hit-rate
+// observability a software-managed cache needs ("is my mapping actually
+// working?").
+
+// TintStats counts one tint's activity.
+type TintStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses/accesses, or 0.
+func (s TintStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// EnablePerTintStats turns on per-tint attribution (off by default: it
+// costs a map update per access).
+func (s *System) EnablePerTintStats() {
+	if s.tintStats == nil {
+		s.tintStats = make(map[tint.Tint]*TintStats)
+	}
+}
+
+// TintStats returns a snapshot of per-tint counters, keyed by tint. Empty
+// unless EnablePerTintStats was called.
+func (s *System) TintStats() map[tint.Tint]TintStats {
+	out := make(map[tint.Tint]TintStats, len(s.tintStats))
+	for id, st := range s.tintStats {
+		out[id] = *st
+	}
+	return out
+}
+
+func (s *System) noteTintAccess(id tint.Tint, miss bool) {
+	if s.tintStats == nil {
+		return
+	}
+	st := s.tintStats[id]
+	if st == nil {
+		st = &TintStats{}
+		s.tintStats[id] = st
+	}
+	st.Accesses++
+	if miss {
+		st.Misses++
+	}
+}
+
+// Describe renders the machine's current software-visible state: the tint
+// table, per-tint statistics (if enabled), scratchpad contents and cache
+// occupancy — the "what did I program this machine to do" debugging view.
+func (s *System) Describe() string {
+	var b strings.Builder
+	cfg := s.cache.Config()
+	fmt.Fprintf(&b, "cache: %d sets × %d columns × %dB = %dB, policy %s\n",
+		cfg.NumSets, cfg.NumWays, cfg.LineBytes, cfg.SizeBytes(), cfg.Policy)
+	fmt.Fprintf(&b, "pages: %dB, %d tinted page-table entries\n", s.g.PageBytes, s.pt.EntryCount())
+	b.WriteString("tints:\n")
+	stats := s.TintStats()
+	for _, id := range s.tints.Tints() {
+		fmt.Fprintf(&b, "  %-12s -> columns %0*b", s.tints.Name(id), cfg.NumWays, uint64(s.tints.Mask(id)))
+		if st, ok := stats[id]; ok && st.Accesses > 0 {
+			fmt.Fprintf(&b, "  (%d accesses, %.1f%% miss)", st.Accesses, 100*st.MissRate())
+		}
+		b.WriteString("\n")
+	}
+	if s.scratch.Capacity() > 0 {
+		fmt.Fprintf(&b, "scratchpad: %d/%d bytes used\n", s.scratch.Used(), s.scratch.Capacity())
+		for _, r := range s.scratch.Regions() {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	if s.l2 != nil {
+		l2cfg := s.l2.cache.Config()
+		fmt.Fprintf(&b, "L2: %dB, %d-way, masked=%v\n", l2cfg.SizeBytes(), l2cfg.NumWays, s.l2.masked)
+	}
+	fmt.Fprintf(&b, "resident lines: %d/%d\n", s.cache.ResidentLines(), cfg.NumSets*cfg.NumWays)
+	return b.String()
+}
+
+// sortedTints returns tint ids in ascending order (helper for tests).
+func sortedTints(m map[tint.Tint]TintStats) []tint.Tint {
+	out := make([]tint.Tint, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,94 @@
+package memsys
+
+import (
+	"strings"
+	"testing"
+
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+func TestPerTintStatsDisabledByDefault(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if got := s.TintStats(); len(got) != 0 {
+		t.Errorf("stats collected while disabled: %v", got)
+	}
+}
+
+func TestPerTintStatsAttribution(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.EnablePerTintStats()
+	r := memory.Region{Name: "r", Base: 0, Size: 256}
+	id, err := s.MapRegion(r, replacement.Of(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 accesses to the mapped region (1 miss + 1 hit), 1 elsewhere.
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	s.Access(memtrace.Access{Addr: 1 << 20, Op: memtrace.Read})
+
+	stats := s.TintStats()
+	got, ok := stats[id]
+	if !ok {
+		t.Fatalf("no stats for tint %d: %v", id, stats)
+	}
+	if got.Accesses != 2 || got.Misses != 1 {
+		t.Errorf("tint stats=%+v want 2/1", got)
+	}
+	if got.MissRate() != 0.5 {
+		t.Errorf("miss rate=%v", got.MissRate())
+	}
+	def := stats[tint.Default]
+	if def.Accesses != 1 || def.Misses != 1 {
+		t.Errorf("default tint stats=%+v want 1/1", def)
+	}
+	ids := sortedTints(stats)
+	if len(ids) != 2 || ids[0] != tint.Default {
+		t.Errorf("sorted ids=%v", ids)
+	}
+	var zero TintStats
+	if zero.MissRate() != 0 {
+		t.Error("zero stats miss rate")
+	}
+}
+
+func TestPerTintStatsSkipScratchpadAndUncached(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ScratchpadBytes = 512
+	s := MustNew(cfg)
+	s.EnablePerTintStats()
+	s.Scratchpad().Place(memory.Region{Name: "pad", Base: 1 << 16, Size: 256})
+	s.PageTable().SetUncachedRange(1<<17, 256, true)
+	s.Access(memtrace.Access{Addr: 1 << 16, Op: memtrace.Read})
+	s.Access(memtrace.Access{Addr: 1 << 17, Op: memtrace.Read})
+	if got := s.TintStats(); len(got) != 0 {
+		t.Errorf("non-cache accesses attributed to tints: %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ScratchpadBytes = 1024
+	s := MustNew(cfg)
+	s.EnablePerTintStats()
+	r := memory.Region{Name: "stream", Base: 0, Size: 256}
+	if _, err := s.MapRegion(r, replacement.Of(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Scratchpad().Place(memory.Region{Name: "pad", Base: 1 << 16, Size: 512})
+	if err := s.EnableL2(l2Config(), 10, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+
+	d := s.Describe()
+	for _, want := range []string{"cache:", "tints:", "stream", "scratchpad: 512/1024", "L2:", "resident lines: 1/"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

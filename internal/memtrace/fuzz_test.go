@@ -1,0 +1,60 @@
+package memtrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadText: arbitrary input must never panic, and anything that parses
+// must round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("R 100 5\nW ff\n")
+	f.Add("# comment\n\nr 0\n")
+	f.Add("R zz\n")
+	f.Add("W 1 2 3 4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadText(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			t.Fatalf("WriteText failed on parsed trace: %v", err)
+		}
+		tr2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(tr2) != len(tr) {
+			t.Fatalf("round trip changed length: %d vs %d", len(tr), len(tr2))
+		}
+		for i := range tr {
+			if tr[i] != tr2[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, tr[i], tr2[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic; valid parses must
+// re-encode to the identical byte stream.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBinary(&seed, Trace{{Addr: 1, Op: Read, Think: 2}, {Addr: 99, Op: Write}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("CCTRACE1"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), in) {
+			t.Fatalf("binary round trip not identical")
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package memtrace
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/memory"
+)
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses     int64
+	Reads        int64
+	Writes       int64
+	Instructions int64
+	UniqueLines  int
+	UniquePages  int
+	MinAddr      memory.Addr
+	MaxAddr      memory.Addr
+}
+
+// Summarize computes Stats for t under geometry g.
+func Summarize(t Trace, g memory.Geometry) Stats {
+	s := Stats{Accesses: int64(len(t))}
+	if len(t) == 0 {
+		return s
+	}
+	lines := make(map[uint64]struct{})
+	pages := make(map[uint64]struct{})
+	s.MinAddr = t[0].Addr
+	for _, a := range t {
+		if a.Op == Read {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		s.Instructions += int64(a.Think) + 1
+		lines[g.LineNumber(a.Addr)] = struct{}{}
+		pages[g.PageNumber(a.Addr)] = struct{}{}
+		if a.Addr < s.MinAddr {
+			s.MinAddr = a.Addr
+		}
+		if a.Addr > s.MaxAddr {
+			s.MaxAddr = a.Addr
+		}
+	}
+	s.UniqueLines = len(lines)
+	s.UniquePages = len(pages)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d (R=%d W=%d) instrs=%d lines=%d pages=%d range=[0x%x,0x%x]",
+		s.Accesses, s.Reads, s.Writes, s.Instructions, s.UniqueLines, s.UniquePages, s.MinAddr, s.MaxAddr)
+}
+
+// RegionCounts tallies accesses per named region. Accesses that fall outside
+// every region are counted under the empty name.
+func RegionCounts(t Trace, regions []memory.Region) map[string]int64 {
+	// Sort a copy by base for binary search.
+	sorted := make([]memory.Region, len(regions))
+	copy(sorted, regions)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	counts := make(map[string]int64)
+	for _, a := range t {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].End() > a.Addr })
+		if i < len(sorted) && sorted[i].Contains(a.Addr) {
+			counts[sorted[i].Name]++
+		} else {
+			counts[""]++
+		}
+	}
+	return counts
+}
+
+// FilterRegion returns the sub-trace of accesses that fall inside r,
+// preserving order. Think time of dropped accesses is folded into the next
+// kept access so instruction counts stay faithful.
+func FilterRegion(t Trace, r memory.Region) Trace {
+	var out Trace
+	var pending uint32
+	for _, a := range t {
+		if r.Contains(a.Addr) {
+			a.Think += pending
+			pending = 0
+			out = append(out, a)
+		} else {
+			pending += a.Think + 1
+		}
+	}
+	return out
+}
+
+// Rebase returns a copy of t with delta added to every address. Used to give
+// each job in a multitasking mix a disjoint address space.
+func Rebase(t Trace, delta uint64) Trace {
+	out := make(Trace, len(t))
+	for i, a := range t {
+		a.Addr += delta
+		out[i] = a
+	}
+	return out
+}
+
+// Interleave merges traces round-robin in chunks of quantum instructions,
+// modeling what a shared memory system observes under multiprogramming.
+// Each trace is consumed once (no cyclic replay); when one runs out the
+// rest continue. Quantum must be at least 1.
+func Interleave(quantum int64, traces ...Trace) Trace {
+	if quantum < 1 || len(traces) == 0 {
+		return nil
+	}
+	pos := make([]int, len(traces))
+	var total int
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	for {
+		advanced := false
+		for i, t := range traces {
+			var ran int64
+			for pos[i] < len(t) && ran < quantum {
+				a := t[pos[i]]
+				out = append(out, a)
+				ran += int64(a.Think) + 1
+				pos[i]++
+				advanced = true
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+}
+
+// ReuseDistance summarizes the temporal locality of a trace: for each
+// access, the number of distinct cache lines touched since the previous
+// access to the same line (∞ for first touches). A cache of associativity ×
+// sets ≥ d lines captures, under LRU, every reuse at distance < d, so the
+// histogram predicts miss rates across cache sizes.
+type ReuseDistance struct {
+	// Histogram[b] counts reuses with distance in [2^b, 2^(b+1)); bucket 0
+	// holds distances 0 and 1.
+	Histogram []int64
+	// ColdMisses counts first touches (infinite distance).
+	ColdMisses int64
+	// Accesses is the trace length.
+	Accesses int64
+}
+
+// HitRateAt estimates the LRU hit rate of a fully-associative cache holding
+// `lines` lines: the fraction of accesses whose reuse distance is below it.
+func (r ReuseDistance) HitRateAt(lines int) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	var hits int64
+	for b, n := range r.Histogram {
+		// Bucket b spans [2^b, 2^(b+1)); count it if fully below `lines`.
+		if (int64(1) << uint(b+1)) <= int64(lines) {
+			hits += n
+		}
+	}
+	return float64(hits) / float64(r.Accesses)
+}
+
+// ReuseDistances computes the line-granular reuse-distance histogram of t
+// under geometry g, using the classic stack algorithm (exact, O(N·D) worst
+// case with a move-to-front list; traces here are small enough).
+func ReuseDistances(t Trace, g memory.Geometry) ReuseDistance {
+	r := ReuseDistance{Accesses: int64(len(t))}
+	// Move-to-front stack of line numbers; depth of a line = #distinct
+	// lines above it.
+	var stack []uint64
+	pos := make(map[uint64]int) // line -> index in stack (approximate; fixed on access)
+	bucketOf := func(d int) int {
+		b := 0
+		for d >= 2 {
+			d >>= 1
+			b++
+		}
+		return b
+	}
+	for _, a := range t {
+		ln := g.LineNumber(a.Addr)
+		idx, seen := pos[ln]
+		if !seen || idx >= len(stack) || stack[idx] != ln {
+			// Either cold, or the cached index is stale — search.
+			found := -1
+			for i, l := range stack {
+				if l == ln {
+					found = i
+					break
+				}
+			}
+			idx, seen = found, found >= 0
+		}
+		if !seen {
+			r.ColdMisses++
+			stack = append([]uint64{ln}, stack...)
+		} else {
+			d := idx
+			b := bucketOf(d)
+			for len(r.Histogram) <= b {
+				r.Histogram = append(r.Histogram, 0)
+			}
+			r.Histogram[b]++
+			copy(stack[1:idx+1], stack[:idx])
+			stack[0] = ln
+		}
+		// Cached positions go stale as the stack shifts; refresh the moved
+		// line's entry (others are validated on use).
+		pos[ln] = 0
+	}
+	return r
+}

@@ -1,0 +1,284 @@
+package memtrace
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Think(3)
+	r.Load(0x100)
+	r.Store(0x200)
+	r.Think(-5) // ignored
+	r.Think(2)
+	r.Load(0x100)
+
+	tr := r.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("len=%d want 3", len(tr))
+	}
+	want := Trace{
+		{Addr: 0x100, Op: Read, Think: 3},
+		{Addr: 0x200, Op: Write, Think: 0},
+		{Addr: 0x100, Op: Read, Think: 2},
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Errorf("access %d = %+v want %+v", i, tr[i], want[i])
+		}
+	}
+	if got := tr.Instructions(); got != 8 { // 3 accesses + 5 think
+		t.Errorf("Instructions=%d want 8", got)
+	}
+	if tr.Reads() != 2 || tr.Writes() != 1 {
+		t.Errorf("Reads=%d Writes=%d", tr.Reads(), tr.Writes())
+	}
+}
+
+func TestRecorderRegionHelpers(t *testing.T) {
+	var r Recorder
+	reg := memory.Region{Name: "v", Base: 0x1000, Size: 64}
+	r.LoadRegion(reg, 4)
+	r.StoreRegion(reg, 8)
+	tr := r.Trace()
+	if tr[0].Addr != 0x1004 || tr[1].Addr != 0x1008 {
+		t.Errorf("addrs=%x,%x", tr[0].Addr, tr[1].Addr)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Think(5)
+	r.Load(1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	r.Load(2)
+	if tr := r.Trace(); tr[0].Think != 0 {
+		t.Errorf("think survived Reset: %d", tr[0].Think)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	tr := Trace{
+		{Addr: 0}, {Addr: 31}, // same line
+		{Addr: 32}, // next line
+		{Addr: 1000},
+	}
+	if got := tr.Footprint(g); got != 3 {
+		t.Errorf("Footprint=%d want 3", got)
+	}
+}
+
+func TestSliceClamps(t *testing.T) {
+	tr := Trace{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	if got := tr.Slice(-5, 2); len(got) != 2 {
+		t.Errorf("Slice(-5,2) len=%d", len(got))
+	}
+	if got := tr.Slice(1, 99); len(got) != 2 {
+		t.Errorf("Slice(1,99) len=%d", len(got))
+	}
+	if got := tr.Slice(2, 1); got != nil {
+		t.Errorf("Slice(2,1)=%v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Trace{{Addr: 1}}
+	b := Trace{{Addr: 2}, {Addr: 3}}
+	c := Concat(a, b, nil)
+	if len(c) != 3 || c[2].Addr != 3 {
+		t.Errorf("Concat=%v", c)
+	}
+}
+
+func TestStatsSummarize(t *testing.T) {
+	g := memory.MustGeometry(32, 256)
+	tr := Trace{
+		{Addr: 0, Op: Read, Think: 2},
+		{Addr: 300, Op: Write},
+		{Addr: 10, Op: Read},
+	}
+	s := Summarize(tr, g)
+	if s.Accesses != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.Instructions != 5 {
+		t.Errorf("Instructions=%d want 5", s.Instructions)
+	}
+	if s.UniqueLines != 2 || s.UniquePages != 2 {
+		t.Errorf("lines=%d pages=%d", s.UniqueLines, s.UniquePages)
+	}
+	if s.MinAddr != 0 || s.MaxAddr != 300 {
+		t.Errorf("range=[%d,%d]", s.MinAddr, s.MaxAddr)
+	}
+	empty := Summarize(nil, g)
+	if empty.Accesses != 0 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+}
+
+func TestRegionCounts(t *testing.T) {
+	regions := []memory.Region{
+		{Name: "a", Base: 0, Size: 100},
+		{Name: "b", Base: 200, Size: 100},
+	}
+	tr := Trace{{Addr: 5}, {Addr: 50}, {Addr: 250}, {Addr: 150}}
+	got := RegionCounts(tr, regions)
+	if got["a"] != 2 || got["b"] != 1 || got[""] != 1 {
+		t.Errorf("counts=%v", got)
+	}
+}
+
+func TestFilterRegionPreservesInstructionCount(t *testing.T) {
+	r := memory.Region{Name: "r", Base: 100, Size: 100}
+	tr := Trace{
+		{Addr: 0, Think: 5},
+		{Addr: 110, Think: 1},
+		{Addr: 50, Think: 2},
+		{Addr: 120, Think: 0},
+	}
+	f := FilterRegion(tr, r)
+	if len(f) != 2 {
+		t.Fatalf("len=%d want 2", len(f))
+	}
+	// Dropped access 0 contributes 5+1=6 folded into first kept access.
+	if f[0].Think != 7 {
+		t.Errorf("f[0].Think=%d want 7", f[0].Think)
+	}
+	// Dropped access at addr 50 contributes 2+1=3 folded into next.
+	if f[1].Think != 3 {
+		t.Errorf("f[1].Think=%d want 3", f[1].Think)
+	}
+	if f.Instructions() != tr.Instructions() {
+		t.Errorf("instructions not preserved: %d vs %d", f.Instructions(), tr.Instructions())
+	}
+}
+
+func TestRebase(t *testing.T) {
+	tr := Trace{{Addr: 1}, {Addr: 2}}
+	out := Rebase(tr, 0x1000)
+	if out[0].Addr != 0x1001 || out[1].Addr != 0x1002 {
+		t.Errorf("Rebase=%v", out)
+	}
+	if tr[0].Addr != 1 {
+		t.Error("Rebase mutated its input")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := Trace{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	b := Trace{{Addr: 101}, {Addr: 102}}
+	got := Interleave(1, a, b)
+	want := []uint64{1, 101, 2, 102, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Addr != w {
+			t.Errorf("got[%d]=%d want %d", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestInterleaveQuantumRespectsThink(t *testing.T) {
+	// Each access of a is 5 instructions; quantum 5 → one access per turn.
+	a := Trace{{Addr: 1, Think: 4}, {Addr: 2, Think: 4}}
+	b := Trace{{Addr: 101}, {Addr: 102}}
+	got := Interleave(5, a, b)
+	// a[0] (5 instructions fills its turn), then all of b (2 instructions,
+	// under quantum), then a[1].
+	wantAddrs := []uint64{1, 101, 102, 2}
+	if len(got) != len(wantAddrs) {
+		t.Fatalf("len=%d want %d: %v", len(got), len(wantAddrs), got)
+	}
+	for i, w := range wantAddrs {
+		if got[i].Addr != w {
+			t.Errorf("got[%d]=%d want %d", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestInterleaveEdgeCases(t *testing.T) {
+	if got := Interleave(0, Trace{{Addr: 1}}); got != nil {
+		t.Error("quantum 0 produced output")
+	}
+	if got := Interleave(1); got != nil {
+		t.Error("no traces produced output")
+	}
+	a := Trace{{Addr: 1}}
+	if got := Interleave(10, a, nil, Trace{}); len(got) != 1 {
+		t.Errorf("empty traces mishandled: %v", got)
+	}
+	// All accesses preserved.
+	big := Interleave(3, Trace{{Addr: 1}, {Addr: 2}}, Trace{{Addr: 3}})
+	if int64(len(big)) != 3 {
+		t.Errorf("lost accesses: %d", len(big))
+	}
+}
+
+func TestReuseDistances(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	// Lines A B A B: both reuses at distance 1 (one distinct line between).
+	tr := Trace{{Addr: 0}, {Addr: 32}, {Addr: 0}, {Addr: 32}}
+	r := ReuseDistances(tr, g)
+	if r.ColdMisses != 2 || r.Accesses != 4 {
+		t.Errorf("cold=%d accesses=%d", r.ColdMisses, r.Accesses)
+	}
+	if len(r.Histogram) == 0 || r.Histogram[0] != 2 {
+		t.Errorf("histogram=%v", r.Histogram)
+	}
+	// A fully-associative cache of 2 lines captures both reuses.
+	if hr := r.HitRateAt(2); hr != 0.5 {
+		t.Errorf("HitRateAt(2)=%v want 0.5", hr)
+	}
+}
+
+func TestReuseDistancesStreaming(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	var tr Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, Access{Addr: uint64(i * 32)})
+	}
+	r := ReuseDistances(tr, g)
+	if r.ColdMisses != 100 {
+		t.Errorf("stream cold=%d want 100", r.ColdMisses)
+	}
+	if r.HitRateAt(1<<20) != 0 {
+		t.Error("stream has hits?")
+	}
+}
+
+func TestReuseDistancesLoop(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	var tr Trace
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 8; i++ {
+			tr = append(tr, Access{Addr: uint64(i * 32)})
+		}
+	}
+	r := ReuseDistances(tr, g)
+	if r.ColdMisses != 8 {
+		t.Errorf("cold=%d want 8", r.ColdMisses)
+	}
+	// All 24 reuses at distance 7 (< 8 lines): an 8-line cache catches all.
+	if hr := r.HitRateAt(16); hr != 24.0/32.0 {
+		t.Errorf("HitRateAt(16)=%v want 0.75", hr)
+	}
+	// A 4-line cache catches none (distance 7 ≥ 4).
+	if hr := r.HitRateAt(4); hr != 0 {
+		t.Errorf("HitRateAt(4)=%v want 0", hr)
+	}
+}
+
+func TestReuseDistanceEmpty(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	r := ReuseDistances(nil, g)
+	if r.HitRateAt(100) != 0 || r.Accesses != 0 {
+		t.Errorf("empty=%+v", r)
+	}
+}

@@ -1,0 +1,139 @@
+// Package pagecolor implements page coloring, the software-only baseline
+// the paper compares against (§5.1): the OS chooses physical page frames so
+// that a virtual region maps onto a chosen slice ("color") of a physically
+// indexed cache. Coloring provides a subset of column caching's abilities:
+//
+//   - it can isolate regions in a direct-mapped (or set-indexed) cache
+//     without any hardware support, but
+//   - remapping a region to a different part of the cache requires copying
+//     the memory to differently-colored frames (column caching remaps with
+//     one table write), and
+//   - it partitions sets, not ways, so it wastes associativity in
+//     set-associative caches.
+//
+// The Mapper models the OS's frame allocator and page table; traces are run
+// through Translate before hitting a physically indexed cache model.
+package pagecolor
+
+import (
+	"fmt"
+
+	"colcache/internal/memory"
+)
+
+// Mapper assigns physical frames to virtual pages by color. A color is the
+// slice of the cache a frame lands in: frame f has color f mod Colors.
+type Mapper struct {
+	pageBytes uint64
+	colors    int
+	nextFrame []uint64          // per color: how many frames of it are handed out
+	table     map[uint64]uint64 // virtual page -> physical frame
+	copied    uint64            // bytes copied by Recolor calls
+}
+
+// NewMapper builds a mapper for a physically indexed cache of cacheBytes
+// with the given page size. The number of colors is cacheBytes/pageBytes;
+// both must be powers of two with at least one color.
+func NewMapper(pageBytes, cacheBytes int) (*Mapper, error) {
+	if !memory.IsPow2(pageBytes) || !memory.IsPow2(cacheBytes) {
+		return nil, fmt.Errorf("pagecolor: sizes must be powers of two (page %d, cache %d)", pageBytes, cacheBytes)
+	}
+	if cacheBytes < pageBytes {
+		return nil, fmt.Errorf("pagecolor: cache %d smaller than a page %d", cacheBytes, pageBytes)
+	}
+	colors := cacheBytes / pageBytes
+	return &Mapper{
+		pageBytes: uint64(pageBytes),
+		colors:    colors,
+		nextFrame: make([]uint64, colors),
+		table:     make(map[uint64]uint64),
+	}, nil
+}
+
+// Colors returns the number of page colors.
+func (m *Mapper) Colors() int { return m.colors }
+
+// CopiedBytes returns the total bytes Recolor has copied — the cost the
+// paper holds against page coloring.
+func (m *Mapper) CopiedBytes() uint64 { return m.copied }
+
+// frameOf allocates the next free frame of the given color.
+func (m *Mapper) frameOf(color int) uint64 {
+	f := m.nextFrame[color]*uint64(m.colors) + uint64(color)
+	m.nextFrame[color]++
+	return f
+}
+
+// MapRegion assigns every page of r a frame of the single given color, so
+// the whole region lands in one cache slice. Pages already mapped are
+// remapped (without a copy — use Recolor for the honest accounting).
+func (m *Mapper) MapRegion(r memory.Region, color int) error {
+	if color < 0 || color >= m.colors {
+		return fmt.Errorf("pagecolor: color %d outside [0,%d)", color, m.colors)
+	}
+	for _, vp := range m.pages(r) {
+		m.table[vp] = m.frameOf(color)
+	}
+	return nil
+}
+
+// MapRegionStriped assigns r's pages round-robin across the given colors —
+// the usual OS policy ("bin hopping") that spreads a large region over a
+// slice of the cache.
+func (m *Mapper) MapRegionStriped(r memory.Region, colors []int) error {
+	if len(colors) == 0 {
+		return fmt.Errorf("pagecolor: no colors given")
+	}
+	for _, c := range colors {
+		if c < 0 || c >= m.colors {
+			return fmt.Errorf("pagecolor: color %d outside [0,%d)", c, m.colors)
+		}
+	}
+	for i, vp := range m.pages(r) {
+		m.table[vp] = m.frameOf(colors[i%len(colors)])
+	}
+	return nil
+}
+
+func (m *Mapper) pages(r memory.Region) []uint64 {
+	if r.Size == 0 {
+		return nil
+	}
+	first := r.Base / m.pageBytes
+	last := (r.Base + r.Size - 1) / m.pageBytes
+	out := make([]uint64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Translate converts a virtual address to the physical address the cache
+// indexes. Unmapped pages are mapped on first touch, striped across all
+// colors (the default allocator).
+func (m *Mapper) Translate(va memory.Addr) memory.Addr {
+	vp := va / m.pageBytes
+	pf, ok := m.table[vp]
+	if !ok {
+		pf = m.frameOf(int(vp) % m.colors)
+		m.table[vp] = pf
+	}
+	return pf*m.pageBytes + va%m.pageBytes
+}
+
+// ColorOf returns the color of the physical address pa.
+func (m *Mapper) ColorOf(pa memory.Addr) int {
+	return int(pa / m.pageBytes % uint64(m.colors))
+}
+
+// Recolor moves region r to frames of the new color, copying every byte —
+// this is the operation column caching performs with a single tint-table
+// write, and the copy is the cost the paper's §5.1 comparison highlights.
+// It returns the number of bytes copied.
+func (m *Mapper) Recolor(r memory.Region, color int) (uint64, error) {
+	if err := m.MapRegion(r, color); err != nil {
+		return 0, err
+	}
+	m.copied += r.Size
+	return r.Size, nil
+}

@@ -1,0 +1,224 @@
+// Package profile implements the paper's profile-based weight computation
+// (paper §3.1.1): run the program on representative data to get a sequence
+// of variable accesses, derive each variable's life-time interval
+// I(v) = [first, last], and for each pair of variables compute the number of
+// potentially conflicting accesses in the interval where both are live —
+// w(vi, vj) = MIN(n_i^j, n_j^i), where n_i^j counts vi's accesses during the
+// intersection of the two life-times.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+)
+
+// VarProfile is the access profile of one variable (or chunk of one).
+type VarProfile struct {
+	Region   memory.Region
+	Accesses int64
+	First    int64 // index in the trace of the first access, -1 if never
+	Last     int64 // index of the last access
+	times    []int64
+}
+
+// Density returns accesses per byte — the greedy scratchpad-packing metric.
+func (v *VarProfile) Density() float64 {
+	if v.Region.Size == 0 {
+		return 0
+	}
+	return float64(v.Accesses) / float64(v.Region.Size)
+}
+
+// Live reports whether the variable is live at trace time t.
+func (v *VarProfile) Live(t int64) bool {
+	return v.Accesses > 0 && t >= v.First && t <= v.Last
+}
+
+// AccessesIn counts the variable's accesses with trace index in [lo, hi].
+func (v *VarProfile) AccessesIn(lo, hi int64) int64 {
+	if lo > hi {
+		return 0
+	}
+	i := sort.Search(len(v.times), func(i int) bool { return v.times[i] >= lo })
+	j := sort.Search(len(v.times), func(i int) bool { return v.times[i] > hi })
+	return int64(j - i)
+}
+
+// Profile holds the profiles of every variable of a program run.
+type Profile struct {
+	vars   []*VarProfile
+	byName map[string]int
+}
+
+// Build profiles trace against the given variable regions. Accesses that
+// fall outside every region are ignored (stack, code — not laid out).
+// Regions must not overlap.
+func Build(trace memtrace.Trace, vars []memory.Region) *Profile {
+	sorted := make([]memory.Region, len(vars))
+	copy(sorted, vars)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+
+	p := &Profile{byName: make(map[string]int, len(vars))}
+	for i, r := range sorted {
+		p.vars = append(p.vars, &VarProfile{Region: r, First: -1, Last: -1})
+		p.byName[r.Name] = i
+	}
+	for t, a := range trace {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].End() > a.Addr })
+		if i >= len(sorted) || !sorted[i].Contains(a.Addr) {
+			continue
+		}
+		vp := p.vars[i]
+		if vp.First < 0 {
+			vp.First = int64(t)
+		}
+		vp.Last = int64(t)
+		vp.Accesses++
+		vp.times = append(vp.times, int64(t))
+	}
+	return p
+}
+
+// Vars returns all profiles, ordered by region base address.
+func (p *Profile) Vars() []*VarProfile { return p.vars }
+
+// Get returns the profile of the named variable.
+func (p *Profile) Get(name string) (*VarProfile, bool) {
+	i, ok := p.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return p.vars[i], true
+}
+
+// MustGet is Get that panics for unknown names.
+func (p *Profile) MustGet(name string) *VarProfile {
+	v, ok := p.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("profile: unknown variable %q", name))
+	}
+	return v
+}
+
+// Weight computes the paper's conflict weight between two variables: the
+// minimum of the two access counts within the intersection of their
+// life-times, or 0 when the life-times are disjoint or either variable is
+// never accessed.
+func Weight(a, b *VarProfile) int64 {
+	if a.Accesses == 0 || b.Accesses == 0 {
+		return 0
+	}
+	lo := a.First
+	if b.First > lo {
+		lo = b.First
+	}
+	hi := a.Last
+	if b.Last < hi {
+		hi = b.Last
+	}
+	if lo > hi {
+		return 0 // disjoint life-times: safe to share a column
+	}
+	na := a.AccessesIn(lo, hi)
+	nb := b.AccessesIn(lo, hi)
+	if na < nb {
+		return na
+	}
+	return nb
+}
+
+// WeightByName is Weight addressed by variable names.
+func (p *Profile) WeightByName(a, b string) int64 {
+	return Weight(p.MustGet(a), p.MustGet(b))
+}
+
+// SplitRegions subdivides every region larger than chunkBytes into
+// consecutive chunks of at most chunkBytes, named name#0, name#1, …
+// (paper §3.1 step 1: a variable larger than a column is split into
+// subarrays, each of which fits a column). Regions that already fit are
+// passed through unchanged.
+func SplitRegions(vars []memory.Region, chunkBytes uint64) []memory.Region {
+	if chunkBytes == 0 {
+		out := make([]memory.Region, len(vars))
+		copy(out, vars)
+		return out
+	}
+	var out []memory.Region
+	for _, r := range vars {
+		if r.Size <= chunkBytes {
+			out = append(out, r)
+			continue
+		}
+		n := 0
+		for off := uint64(0); off < r.Size; off += chunkBytes {
+			size := chunkBytes
+			if off+size > r.Size {
+				size = r.Size - off
+			}
+			out = append(out, memory.Region{
+				Name: fmt.Sprintf("%s#%d", r.Name, n),
+				Base: r.Base + off,
+				Size: size,
+			})
+			n++
+		}
+	}
+	return out
+}
+
+// ParentName returns the original variable name of a chunk name produced by
+// SplitRegions ("coef#2" → "coef"); names without a chunk suffix are
+// returned unchanged.
+func ParentName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '#' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Merge combines several variable profiles into one pseudo-variable profile
+// — the paper's §3.1 aggregation step, where a set of small variables is
+// packed into a single column-assigned unit. The merged profile's size is
+// the sum of sizes, its access times are the union (kept sorted), and its
+// life-time spans the members'. The Region of the result carries the given
+// name and a zero base: it is a virtual grouping, not an address range.
+func Merge(name string, members []*VarProfile) *VarProfile {
+	out := &VarProfile{Region: memory.Region{Name: name}, First: -1, Last: -1}
+	for _, m := range members {
+		out.Region.Size += m.Region.Size
+		if m.Accesses == 0 {
+			continue
+		}
+		out.Accesses += m.Accesses
+		if out.First < 0 || m.First < out.First {
+			out.First = m.First
+		}
+		if m.Last > out.Last {
+			out.Last = m.Last
+		}
+		out.times = mergeSorted(out.times, m.times)
+	}
+	return out
+}
+
+// mergeSorted merges two ascending int64 slices.
+func mergeSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

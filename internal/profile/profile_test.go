@@ -1,0 +1,276 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+)
+
+func regions() []memory.Region {
+	return []memory.Region{
+		{Name: "a", Base: 0, Size: 100},
+		{Name: "b", Base: 100, Size: 100},
+		{Name: "c", Base: 200, Size: 100},
+	}
+}
+
+func TestBuildBasics(t *testing.T) {
+	tr := memtrace.Trace{
+		{Addr: 10},  // a @0
+		{Addr: 110}, // b @1
+		{Addr: 20},  // a @2
+		{Addr: 500}, // outside — ignored
+		{Addr: 120}, // b @4
+	}
+	p := Build(tr, regions())
+	a := p.MustGet("a")
+	if a.Accesses != 2 || a.First != 0 || a.Last != 2 {
+		t.Errorf("a=%+v", a)
+	}
+	b := p.MustGet("b")
+	if b.Accesses != 2 || b.First != 1 || b.Last != 4 {
+		t.Errorf("b=%+v", b)
+	}
+	c := p.MustGet("c")
+	if c.Accesses != 0 || c.First != -1 {
+		t.Errorf("c=%+v", c)
+	}
+	if _, ok := p.Get("zzz"); ok {
+		t.Error("phantom variable")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Build(nil, nil).MustGet("missing")
+}
+
+func TestAccessesIn(t *testing.T) {
+	tr := memtrace.Trace{
+		{Addr: 0}, {Addr: 110}, {Addr: 1}, {Addr: 111}, {Addr: 2},
+	}
+	p := Build(tr, regions())
+	a := p.MustGet("a") // accesses at t=0,2,4
+	cases := []struct{ lo, hi, want int64 }{
+		{0, 4, 3},
+		{1, 3, 1},
+		{2, 2, 1},
+		{3, 3, 0},
+		{5, 10, 0},
+		{3, 1, 0}, // inverted
+	}
+	for _, c := range cases {
+		if got := a.AccessesIn(c.lo, c.hi); got != c.want {
+			t.Errorf("AccessesIn(%d,%d)=%d want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestWeightDisjointLifetimes(t *testing.T) {
+	// a live [0,1], b live [2,3]: disjoint, weight 0.
+	tr := memtrace.Trace{
+		{Addr: 0}, {Addr: 1}, {Addr: 110}, {Addr: 111},
+	}
+	p := Build(tr, regions())
+	if w := p.WeightByName("a", "b"); w != 0 {
+		t.Errorf("disjoint weight=%d", w)
+	}
+}
+
+func TestWeightInterleaved(t *testing.T) {
+	// a at t=0,2,4; b at t=1,3. Overlap [max(0,1), min(4,3)] = [1,3].
+	// a has 1 access in [1,3] (t=2), b has 2 → weight = 1.
+	tr := memtrace.Trace{
+		{Addr: 0}, {Addr: 110}, {Addr: 1}, {Addr: 111}, {Addr: 2},
+	}
+	p := Build(tr, regions())
+	if w := p.WeightByName("a", "b"); w != 1 {
+		t.Errorf("weight=%d want 1", w)
+	}
+}
+
+func TestWeightNeverAccessed(t *testing.T) {
+	tr := memtrace.Trace{{Addr: 0}}
+	p := Build(tr, regions())
+	if w := p.WeightByName("a", "c"); w != 0 {
+		t.Errorf("weight with dead var=%d", w)
+	}
+}
+
+func TestWeightSymmetricProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		tr := make(memtrace.Trace, len(addrs))
+		for i, a := range addrs {
+			tr[i] = memtrace.Access{Addr: uint64(a) % 300}
+		}
+		p := Build(tr, regions())
+		names := []string{"a", "b", "c"}
+		for _, x := range names {
+			for _, y := range names {
+				if x == y {
+					continue
+				}
+				if p.WeightByName(x, y) != p.WeightByName(y, x) {
+					return false
+				}
+				// Weight can never exceed either variable's total accesses.
+				if p.WeightByName(x, y) > p.MustGet(x).Accesses {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	tr := memtrace.Trace{{Addr: 0}, {Addr: 1}, {Addr: 2}, {Addr: 110}}
+	p := Build(tr, regions())
+	if d := p.MustGet("a").Density(); d != 0.03 {
+		t.Errorf("density=%v want 0.03", d)
+	}
+	zero := &VarProfile{Region: memory.Region{Size: 0}}
+	if zero.Density() != 0 {
+		t.Error("zero-size density not 0")
+	}
+}
+
+func TestLive(t *testing.T) {
+	tr := memtrace.Trace{{Addr: 110}, {Addr: 0}, {Addr: 111}, {Addr: 1}}
+	p := Build(tr, regions())
+	a := p.MustGet("a") // live [1,3]
+	for tt, want := range map[int64]bool{0: false, 1: true, 3: true, 4: false} {
+		if a.Live(tt) != want {
+			t.Errorf("Live(%d)=%v", tt, !want)
+		}
+	}
+	if p.MustGet("c").Live(0) {
+		t.Error("never-accessed variable is live")
+	}
+}
+
+func TestSplitRegions(t *testing.T) {
+	vars := []memory.Region{
+		{Name: "small", Base: 0, Size: 100},
+		{Name: "big", Base: 512, Size: 1100},
+	}
+	out := SplitRegions(vars, 512)
+	if len(out) != 4 {
+		t.Fatalf("chunks=%d want 4", len(out))
+	}
+	if out[0].Name != "small" || out[0].Size != 100 {
+		t.Errorf("out[0]=%v", out[0])
+	}
+	wantBig := []struct {
+		name string
+		base uint64
+		size uint64
+	}{
+		{"big#0", 512, 512},
+		{"big#1", 1024, 512},
+		{"big#2", 1536, 76},
+	}
+	for i, w := range wantBig {
+		c := out[i+1]
+		if c.Name != w.name || c.Base != w.base || c.Size != w.size {
+			t.Errorf("chunk %d = %v want %+v", i, c, w)
+		}
+	}
+	// Chunk bytes must exactly tile the parent.
+	var total uint64
+	for _, c := range out[1:] {
+		total += c.Size
+	}
+	if total != 1100 {
+		t.Errorf("chunks cover %d bytes want 1100", total)
+	}
+}
+
+func TestSplitRegionsZeroChunk(t *testing.T) {
+	vars := regions()
+	out := SplitRegions(vars, 0)
+	if len(out) != 3 {
+		t.Errorf("zero chunk size split: %v", out)
+	}
+}
+
+func TestParentName(t *testing.T) {
+	for in, want := range map[string]string{
+		"coef#2": "coef", "coef": "coef", "a#b#3": "a#b", "": "",
+	} {
+		if got := ParentName(in); got != want {
+			t.Errorf("ParentName(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestChunkProfilesPartitionParent(t *testing.T) {
+	// Accesses to a split variable distribute over its chunks and sum to
+	// the parent's count.
+	parent := []memory.Region{{Name: "v", Base: 0, Size: 1024}}
+	var tr memtrace.Trace
+	for i := 0; i < 64; i++ {
+		tr = append(tr, memtrace.Access{Addr: uint64(i * 16)})
+	}
+	chunks := SplitRegions(parent, 256)
+	p := Build(tr, chunks)
+	var total int64
+	for _, vp := range p.Vars() {
+		if vp.Accesses != 16 {
+			t.Errorf("chunk %s accesses=%d want 16", vp.Region.Name, vp.Accesses)
+		}
+		total += vp.Accesses
+	}
+	if total != 64 {
+		t.Errorf("total=%d", total)
+	}
+}
+
+func TestMergeProfiles(t *testing.T) {
+	tr := memtrace.Trace{
+		{Addr: 0},   // a @0
+		{Addr: 110}, // b @1
+		{Addr: 1},   // a @2
+		{Addr: 210}, // c @3
+		{Addr: 120}, // b @4
+	}
+	p := Build(tr, regions())
+	merged := Merge("scalars", []*VarProfile{p.MustGet("a"), p.MustGet("c")})
+	if merged.Region.Name != "scalars" || merged.Region.Size != 200 {
+		t.Errorf("merged region=%v", merged.Region)
+	}
+	if merged.Accesses != 3 || merged.First != 0 || merged.Last != 3 {
+		t.Errorf("merged=%+v", merged)
+	}
+	// Access times are the sorted union: overlap counting works.
+	if got := merged.AccessesIn(1, 3); got != 2 {
+		t.Errorf("AccessesIn(1,3)=%d want 2", got)
+	}
+	// Weight between the merged pseudo-variable and b reflects the union:
+	// overlap [1,3] holds 2 merged accesses and 1 of b's → MIN = 1.
+	if w := Weight(merged, p.MustGet("b")); w != 1 {
+		t.Errorf("weight=%d want 1", w)
+	}
+}
+
+func TestMergeSkipsDeadMembers(t *testing.T) {
+	tr := memtrace.Trace{{Addr: 0}}
+	p := Build(tr, regions())
+	merged := Merge("m", []*VarProfile{p.MustGet("a"), p.MustGet("c")})
+	if merged.Accesses != 1 || merged.First != 0 || merged.Last != 0 {
+		t.Errorf("merged=%+v", merged)
+	}
+	empty := Merge("e", nil)
+	if empty.Accesses != 0 || empty.Live(0) {
+		t.Errorf("empty merge=%+v", empty)
+	}
+}

@@ -1,0 +1,197 @@
+package replacement
+
+// treePLRU implements tree-based pseudo-LRU, the policy most hardware
+// actually ships. Each set keeps numWays-1 direction bits arranged as a
+// binary tree; Touch flips the bits along the access path away from the way,
+// Victim follows the bits toward the pseudo-LRU leaf. Masked victims walk
+// the tree but force turns toward subtrees that still contain permitted
+// ways, which is exactly how a masked hardware PLRU behaves.
+//
+// numWays must be a power of two for the tree shape to be well formed; New
+// validates this.
+type treePLRU struct {
+	numWays int
+	bits    [][]bool // [set][node]; node 0 is the root
+}
+
+// NewTreePLRU returns a tree pseudo-LRU policy. numWays must be a power of
+// two; anything else panics rather than silently degrading, because a
+// malformed tree would skew experiments.
+func NewTreePLRU(numSets, numWays int) Policy {
+	if numWays&(numWays-1) != 0 || numWays == 0 {
+		panic("replacement: tree PLRU requires a power-of-two way count")
+	}
+	p := &treePLRU{numWays: numWays}
+	p.bits = make([][]bool, numSets)
+	for i := range p.bits {
+		p.bits[i] = make([]bool, numWays-1)
+	}
+	return p
+}
+
+func (p *treePLRU) Touch(set, way int) {
+	if p.numWays == 1 {
+		return
+	}
+	node, lo, hi := 0, 0, p.numWays
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			// Accessed left: point the bit right (away from the access).
+			p.bits[set][node] = true
+			node, hi = 2*node+1, mid
+		} else {
+			p.bits[set][node] = false
+			node, lo = 2*node+2, mid
+		}
+	}
+}
+
+// subtreeMask returns the portion of mask covering ways [lo, hi).
+func subtreeMask(mask Mask, lo, hi int) Mask {
+	return mask & (Range(lo, hi))
+}
+
+func (p *treePLRU) Victim(set int, mask Mask, valid func(int) bool) int {
+	mask = normalize(mask, p.numWays)
+	if w := invalidPermitted(p.numWays, mask, valid); w >= 0 {
+		return w
+	}
+	node, lo, hi := 0, 0, p.numWays
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		goRight := p.bits[set][node]
+		// Force the turn if the preferred subtree holds no permitted way.
+		if goRight && subtreeMask(mask, mid, hi) == 0 {
+			goRight = false
+		} else if !goRight && subtreeMask(mask, lo, mid) == 0 {
+			goRight = true
+		}
+		if goRight {
+			node, lo = 2*node+2, mid
+		} else {
+			node, hi = 2*node+1, mid
+		}
+	}
+	return lo
+}
+
+func (p *treePLRU) Invalidate(set, way int) {}
+
+func (p *treePLRU) Reset() {
+	for i := range p.bits {
+		for j := range p.bits[i] {
+			p.bits[i][j] = false
+		}
+	}
+}
+
+func (p *treePLRU) Name() string { return string(TreePLRU) }
+
+// fifo replaces ways in fill order. Each set keeps the fill time per way;
+// hits do not update it.
+type fifo struct {
+	numWays int
+	filled  [][]uint64
+	clock   []uint64
+	present [][]bool
+}
+
+// NewFIFO returns a first-in-first-out policy.
+func NewFIFO(numSets, numWays int) Policy {
+	p := &fifo{numWays: numWays}
+	p.filled = make([][]uint64, numSets)
+	p.present = make([][]bool, numSets)
+	for i := range p.filled {
+		p.filled[i] = make([]uint64, numWays)
+		p.present[i] = make([]bool, numWays)
+	}
+	p.clock = make([]uint64, numSets)
+	return p
+}
+
+func (p *fifo) Touch(set, way int) {
+	// Only the first touch after an invalidate (i.e. the fill) advances the
+	// queue position; hits leave FIFO order alone.
+	if p.present[set][way] {
+		return
+	}
+	p.clock[set]++
+	p.filled[set][way] = p.clock[set]
+	p.present[set][way] = true
+}
+
+func (p *fifo) Victim(set int, mask Mask, valid func(int) bool) int {
+	mask = normalize(mask, p.numWays)
+	if w := invalidPermitted(p.numWays, mask, valid); w >= 0 {
+		return w
+	}
+	best, bestT := -1, ^uint64(0)
+	for w := 0; w < p.numWays; w++ {
+		if !mask.Has(w) {
+			continue
+		}
+		if t := p.filled[set][w]; t < bestT {
+			best, bestT = w, t
+		}
+	}
+	if best >= 0 {
+		p.present[set][best] = false
+	}
+	return best
+}
+
+func (p *fifo) Invalidate(set, way int) { p.present[set][way] = false; p.filled[set][way] = 0 }
+
+func (p *fifo) Reset() {
+	for i := range p.filled {
+		for w := range p.filled[i] {
+			p.filled[i][w] = 0
+			p.present[i][w] = false
+		}
+		p.clock[i] = 0
+	}
+}
+
+func (p *fifo) Name() string { return string(FIFO) }
+
+// random picks a uniformly random permitted way using a small deterministic
+// xorshift generator, so runs are reproducible for a given seed.
+type random struct {
+	numWays int
+	seed    uint64
+	state   uint64
+}
+
+// NewRandom returns a seeded random-replacement policy.
+func NewRandom(numSets, numWays int, seed uint64) Policy {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &random{numWays: numWays, seed: seed, state: seed}
+}
+
+func (p *random) next() uint64 {
+	// xorshift64*
+	x := p.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (p *random) Touch(set, way int) {}
+
+func (p *random) Victim(set int, mask Mask, valid func(int) bool) int {
+	mask = normalize(mask, p.numWays)
+	if w := invalidPermitted(p.numWays, mask, valid); w >= 0 {
+		return w
+	}
+	ways := mask.Ways(p.numWays)
+	return ways[int(p.next()%uint64(len(ways)))]
+}
+
+func (p *random) Invalidate(set, way int) {}
+func (p *random) Reset()                  { p.state = p.seed }
+func (p *random) Name() string            { return string(Random) }

@@ -1,0 +1,135 @@
+// Package replacement implements cache replacement policies that honor
+// column restrictions. This is the paper's "modified replacement unit": on a
+// miss the unit receives a bit vector of permissible columns (ways) from the
+// TLB and must choose its victim from within that set (paper §2.1, Fig. 2).
+//
+// Every policy implements the same two-step protocol: Touch on each access to
+// update recency state, Victim on a miss to pick the way to replace. Victim
+// is always given the permissible-column mask; a policy must never return a
+// way outside the mask.
+package replacement
+
+import "fmt"
+
+// Mask is a bit vector over the ways of a set: bit w set means way w is a
+// permissible replacement target. The all-ones mask reproduces a standard
+// set-associative cache.
+type Mask uint64
+
+// All returns the mask permitting every one of n ways.
+func All(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// Of returns the mask permitting exactly the listed ways.
+func Of(ways ...int) Mask {
+	var m Mask
+	for _, w := range ways {
+		m |= 1 << uint(w)
+	}
+	return m
+}
+
+// Range returns the mask permitting ways [lo, hi).
+func Range(lo, hi int) Mask {
+	var m Mask
+	for w := lo; w < hi; w++ {
+		m |= 1 << uint(w)
+	}
+	return m
+}
+
+// Has reports whether way w is permitted.
+func (m Mask) Has(w int) bool { return m&(1<<uint(w)) != 0 }
+
+// Count returns the number of permitted ways.
+func (m Mask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Ways returns the permitted way indexes in ascending order, considering
+// only the first n ways.
+func (m Mask) Ways(n int) []int {
+	var out []int
+	for w := 0; w < n; w++ {
+		if m.Has(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (m Mask) String() string { return fmt.Sprintf("%b", uint64(m)) }
+
+// Policy is the per-cache replacement state machine. Implementations keep
+// independent state per set.
+type Policy interface {
+	// Touch notes that way in set was just accessed (hit or fill).
+	Touch(set, way int)
+	// Victim selects the way to replace in set, restricted to ways allowed
+	// by mask. valid reports whether a way currently holds a valid line;
+	// policies must prefer an invalid permitted way when one exists.
+	Victim(set int, mask Mask, valid func(way int) bool) int
+	// Invalidate notes that way in set no longer holds a line.
+	Invalidate(set, way int)
+	// Reset clears all state, as after a whole-cache flush.
+	Reset()
+	// Name identifies the policy for reports.
+	Name() string
+}
+
+// Kind names a built-in policy for configuration.
+type Kind string
+
+const (
+	LRU      Kind = "lru"
+	TreePLRU Kind = "plru"
+	FIFO     Kind = "fifo"
+	Random   Kind = "random"
+)
+
+// New constructs a policy of the given kind for a cache with numSets sets of
+// numWays ways. Random policies are seeded deterministically so simulations
+// are reproducible.
+func New(kind Kind, numSets, numWays int) (Policy, error) {
+	switch kind {
+	case LRU:
+		return NewLRU(numSets, numWays), nil
+	case TreePLRU:
+		return NewTreePLRU(numSets, numWays), nil
+	case FIFO:
+		return NewFIFO(numSets, numWays), nil
+	case Random:
+		return NewRandom(numSets, numWays, 1), nil
+	default:
+		return nil, fmt.Errorf("replacement: unknown policy kind %q", kind)
+	}
+}
+
+// invalidPermitted returns the lowest permitted invalid way, or -1.
+func invalidPermitted(numWays int, mask Mask, valid func(int) bool) int {
+	for w := 0; w < numWays; w++ {
+		if mask.Has(w) && !valid(w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// normalize widens an empty or out-of-range mask to all ways. An all-zero
+// bit vector never arrives from a well-formed tint table, but the replacement
+// unit must still make progress if it does: we fall back to the whole set.
+func normalize(mask Mask, numWays int) Mask {
+	mask &= All(numWays)
+	if mask == 0 {
+		return All(numWays)
+	}
+	return mask
+}

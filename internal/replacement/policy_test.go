@@ -1,0 +1,343 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskHelpers(t *testing.T) {
+	if All(4) != 0b1111 {
+		t.Errorf("All(4)=%b", All(4))
+	}
+	if All(64) != ^Mask(0) {
+		t.Errorf("All(64)=%x", All(64))
+	}
+	if All(70) != ^Mask(0) {
+		t.Errorf("All(70)=%x", All(70))
+	}
+	if Of(0, 2) != 0b101 {
+		t.Errorf("Of(0,2)=%b", Of(0, 2))
+	}
+	if Range(1, 3) != 0b110 {
+		t.Errorf("Range(1,3)=%b", Range(1, 3))
+	}
+	if Range(2, 2) != 0 {
+		t.Errorf("Range(2,2)=%b", Range(2, 2))
+	}
+	m := Of(1, 3)
+	if !m.Has(1) || m.Has(0) || m.Count() != 2 {
+		t.Errorf("mask ops wrong for %b", m)
+	}
+	ws := m.Ways(4)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 3 {
+		t.Errorf("Ways=%v", ws)
+	}
+}
+
+func TestNewKinds(t *testing.T) {
+	for _, k := range []Kind{LRU, TreePLRU, FIFO, Random} {
+		p, err := New(k, 4, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if p.Name() != string(k) {
+			t.Errorf("Name=%s want %s", p.Name(), k)
+		}
+	}
+	if _, err := New("bogus", 4, 4); err == nil {
+		t.Error("New(bogus) succeeded")
+	}
+}
+
+// allValid returns a valid func reporting every way occupied.
+func allValid(int) bool { return true }
+
+func TestLRUVictimOrder(t *testing.T) {
+	p := NewLRU(1, 4)
+	// Fill in order 0,1,2,3 then touch 0 again: LRU order is 1,2,3,0.
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	p.Touch(0, 0)
+	if v := p.Victim(0, All(4), allValid); v != 1 {
+		t.Errorf("victim=%d want 1", v)
+	}
+	p.Touch(0, 1)
+	if v := p.Victim(0, All(4), allValid); v != 2 {
+		t.Errorf("victim=%d want 2", v)
+	}
+}
+
+func TestLRUMaskRestriction(t *testing.T) {
+	p := NewLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	// Way 0 is globally LRU, but mask excludes it.
+	if v := p.Victim(0, Of(2, 3), allValid); v != 2 {
+		t.Errorf("victim=%d want 2 (LRU within mask)", v)
+	}
+}
+
+func TestLRUPrefersInvalid(t *testing.T) {
+	p := NewLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	valid := func(w int) bool { return w != 2 }
+	if v := p.Victim(0, All(4), valid); v != 2 {
+		t.Errorf("victim=%d want invalid way 2", v)
+	}
+	// But an invalid way outside the mask must not be chosen.
+	if v := p.Victim(0, Of(1, 3), valid); v != 1 {
+		t.Errorf("victim=%d want 1", v)
+	}
+}
+
+func TestLRUInvalidateResetsRecency(t *testing.T) {
+	p := NewLRU(1, 2)
+	p.Touch(0, 0)
+	p.Touch(0, 1)
+	p.Invalidate(0, 1)
+	if v := p.Victim(0, All(2), allValid); v != 1 {
+		t.Errorf("victim=%d want 1 (stamp reset)", v)
+	}
+}
+
+func TestEmptyMaskFallsBackToAllWays(t *testing.T) {
+	for _, k := range []Kind{LRU, TreePLRU, FIFO, Random} {
+		p, _ := New(k, 2, 4)
+		p.Touch(0, 0)
+		v := p.Victim(0, 0, allValid)
+		if v < 0 || v >= 4 {
+			t.Errorf("%s: victim=%d outside set", k, v)
+		}
+	}
+}
+
+func TestTreePLRUBasic(t *testing.T) {
+	p := NewTreePLRU(1, 4)
+	// Touch 0,1,2,3 in order; PLRU bits now point at way 0's side last
+	// touched... verify the victim is a permitted way and changes as we
+	// touch.
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	v := p.Victim(0, All(4), allValid)
+	if v < 0 || v > 3 {
+		t.Fatalf("victim=%d", v)
+	}
+	// After touching every way, the most recent (3) must not be the victim.
+	if v == 3 {
+		t.Errorf("PLRU chose most recently used way")
+	}
+}
+
+func TestTreePLRUMaskForcesSubtree(t *testing.T) {
+	p := NewTreePLRU(1, 4)
+	p.Touch(0, 2)
+	p.Touch(0, 3)
+	// Mask allows only right-half ways {2,3} even though the tree prefers
+	// the left half (untouched).
+	v := p.Victim(0, Of(2, 3), allValid)
+	if v != 2 && v != 3 {
+		t.Errorf("victim=%d escaped mask", v)
+	}
+	// And the reverse.
+	v = p.Victim(0, Of(0, 1), allValid)
+	if v != 0 && v != 1 {
+		t.Errorf("victim=%d escaped mask", v)
+	}
+}
+
+func TestTreePLRUPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 3 ways")
+		}
+	}()
+	NewTreePLRU(1, 3)
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	p := NewFIFO(1, 3)
+	valid := map[int]bool{}
+	validFn := func(w int) bool { return valid[w] }
+	// Fill 0,1,2.
+	for w := 0; w < 3; w++ {
+		p.Touch(0, w)
+		valid[w] = true
+	}
+	// Re-touch way 0 repeatedly (hits) — FIFO must still evict way 0 first.
+	p.Touch(0, 0)
+	p.Touch(0, 0)
+	if v := p.Victim(0, All(3), validFn); v != 0 {
+		t.Errorf("victim=%d want 0", v)
+	}
+	// Refill way 0; next victim is way 1.
+	valid[0] = false
+	p.Touch(0, 0)
+	valid[0] = true
+	if v := p.Victim(0, All(3), validFn); v != 1 {
+		t.Errorf("victim=%d want 1", v)
+	}
+}
+
+func TestRandomDeterministicAndMasked(t *testing.T) {
+	p1 := NewRandom(1, 8, 42)
+	p2 := NewRandom(1, 8, 42)
+	for i := 0; i < 100; i++ {
+		v1 := p1.Victim(0, Of(1, 3, 5), allValid)
+		v2 := p2.Victim(0, Of(1, 3, 5), allValid)
+		if v1 != v2 {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, v1, v2)
+		}
+		if v1 != 1 && v1 != 3 && v1 != 5 {
+			t.Fatalf("victim %d outside mask", v1)
+		}
+	}
+}
+
+// Property: every policy always returns a victim inside the (normalized)
+// mask, for arbitrary touch histories.
+func TestVictimAlwaysInMaskProperty(t *testing.T) {
+	const numWays = 8
+	for _, kind := range []Kind{LRU, TreePLRU, FIFO, Random} {
+		kind := kind
+		f := func(touches []uint8, rawMask uint16) bool {
+			p, err := New(kind, 4, numWays)
+			if err != nil {
+				return false
+			}
+			for _, tc := range touches {
+				p.Touch(int(tc)%4, int(tc/4)%numWays)
+			}
+			mask := Mask(rawMask)
+			eff := normalize(mask, numWays)
+			for set := 0; set < 4; set++ {
+				v := p.Victim(set, mask, allValid)
+				if v < 0 || v >= numWays || !eff.Has(v) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+// Property: with some ways invalid, policies prefer an invalid permitted way.
+func TestVictimPrefersInvalidProperty(t *testing.T) {
+	const numWays = 4
+	for _, kind := range []Kind{LRU, TreePLRU, FIFO, Random} {
+		kind := kind
+		f := func(validBits uint8, rawMask uint8) bool {
+			p, _ := New(kind, 1, numWays)
+			for w := 0; w < numWays; w++ {
+				p.Touch(0, w)
+			}
+			valid := func(w int) bool { return validBits&(1<<uint(w)) != 0 }
+			mask := normalize(Mask(rawMask), numWays)
+			v := p.Victim(0, mask, valid)
+			if !mask.Has(v) {
+				return false
+			}
+			// If any permitted way is invalid, the victim must be invalid.
+			anyInvalid := false
+			for w := 0; w < numWays; w++ {
+				if mask.Has(w) && !valid(w) {
+					anyInvalid = true
+				}
+			}
+			if anyInvalid && valid(v) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestStampsForTest(t *testing.T) {
+	p := NewLRU(1, 4)
+	p.Touch(0, 3)
+	p.Touch(0, 1)
+	order := StampsForTest(p, 0, 4)
+	// Never-touched ways 0,2 first (stamp 0), then 3, then 1.
+	if order[2] != 3 || order[3] != 1 {
+		t.Errorf("order=%v", order)
+	}
+	if StampsForTest(NewFIFO(1, 4), 0, 4) != nil {
+		t.Error("StampsForTest on non-LRU returned data")
+	}
+}
+
+func TestResetClearsAllPolicies(t *testing.T) {
+	for _, kind := range []Kind{LRU, TreePLRU, FIFO, Random} {
+		p, _ := New(kind, 2, 4)
+		for w := 0; w < 4; w++ {
+			p.Touch(0, w)
+		}
+		p.Reset()
+		// After reset, victim selection behaves as on a fresh policy: with
+		// all ways valid, the choice matches a brand-new instance.
+		fresh, _ := New(kind, 2, 4)
+		got := p.Victim(0, All(4), allValid)
+		want := fresh.Victim(0, All(4), allValid)
+		if got != want {
+			t.Errorf("%s: post-reset victim %d != fresh victim %d", kind, got, want)
+		}
+	}
+}
+
+func TestInvalidateNoOpsAreSafe(t *testing.T) {
+	// PLRU and Random keep no per-line state; Invalidate must be a safe
+	// no-op. FIFO must clear the slot's presence.
+	for _, kind := range []Kind{TreePLRU, Random, FIFO} {
+		p, _ := New(kind, 1, 4)
+		p.Touch(0, 2)
+		p.Invalidate(0, 2)
+		v := p.Victim(0, All(4), func(w int) bool { return w != 2 })
+		if v != 2 {
+			t.Errorf("%s: invalid way not preferred after Invalidate: %d", kind, v)
+		}
+	}
+}
+
+func TestFIFORefillAfterVictim(t *testing.T) {
+	p := NewFIFO(1, 2)
+	valid := map[int]bool{}
+	validFn := func(w int) bool { return valid[w] }
+	p.Touch(0, 0)
+	valid[0] = true
+	p.Touch(0, 1)
+	valid[1] = true
+	// Victim pops way 0 from the queue; refilling it re-queues it last.
+	if v := p.Victim(0, All(2), validFn); v != 0 {
+		t.Fatalf("victim=%d", v)
+	}
+	valid[0] = false
+	p.Touch(0, 0)
+	valid[0] = true
+	if v := p.Victim(0, All(2), validFn); v != 1 {
+		t.Errorf("victim=%d want 1 (way 0 just refilled)", v)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if Of(0, 2).String() != "101" {
+		t.Errorf("String=%s", Of(0, 2).String())
+	}
+}
+
+func TestRandomZeroSeed(t *testing.T) {
+	p := NewRandom(1, 4, 0)
+	v := p.Victim(0, All(4), allValid)
+	if v < 0 || v > 3 {
+		t.Errorf("victim=%d", v)
+	}
+}

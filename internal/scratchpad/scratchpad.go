@@ -1,0 +1,97 @@
+// Package scratchpad models dedicated on-chip SRAM in a separate address
+// region — the conventional embedded-systems alternative to a cache that the
+// paper's Figure 4 experiment partitions against (after Panda, Dutt and
+// Nicolau). Data resident in the scratchpad is accessed in a fixed single
+// latency with no misses, which is exactly why real-time designers use it:
+// performance is completely predictable once data is placed there.
+package scratchpad
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/memory"
+)
+
+// Scratchpad is a set of address regions served by dedicated SRAM. Placement
+// is a compile-time decision in this model: data assigned to the scratchpad
+// is there from the start (no cold misses), matching the paper's observation
+// that scratchpad assignment "avoids cold misses".
+type Scratchpad struct {
+	capacity uint64
+	used     uint64
+	regions  []memory.Region
+	accesses int64
+}
+
+// New returns a scratchpad with the given byte capacity. Capacity 0 is a
+// valid scratchpad that holds nothing.
+func New(capacity uint64) *Scratchpad {
+	return &Scratchpad{capacity: capacity}
+}
+
+// Capacity returns the configured size in bytes.
+func (s *Scratchpad) Capacity() uint64 { return s.capacity }
+
+// Used returns the bytes consumed by placed regions.
+func (s *Scratchpad) Used() uint64 { return s.used }
+
+// Free returns the remaining bytes.
+func (s *Scratchpad) Free() uint64 { return s.capacity - s.used }
+
+// Place assigns region r to the scratchpad. It fails if the region does not
+// fit in the remaining capacity — a region that does not fit must stay in
+// cacheable memory or be subdivided by the caller (paper §1.1).
+func (s *Scratchpad) Place(r memory.Region) error {
+	if r.Size > s.Free() {
+		return fmt.Errorf("scratchpad: %s (%d bytes) does not fit in %d free bytes", r.Name, r.Size, s.Free())
+	}
+	s.used += r.Size
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	return nil
+}
+
+// Remove evicts the region named name from the scratchpad, reporting whether
+// it was present. Used when re-running placement for a new partition.
+func (s *Scratchpad) Remove(name string) bool {
+	for i, r := range s.regions {
+		if r.Name == name {
+			s.used -= r.Size
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear evicts every region.
+func (s *Scratchpad) Clear() {
+	s.regions = nil
+	s.used = 0
+}
+
+// Contains reports whether addr is served by the scratchpad.
+func (s *Scratchpad) Contains(addr memory.Addr) bool {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	return i < len(s.regions) && s.regions[i].Contains(addr)
+}
+
+// Note records one access for statistics.
+func (s *Scratchpad) Note() { s.accesses++ }
+
+// Accesses returns the number of accesses served.
+func (s *Scratchpad) Accesses() int64 { return s.accesses }
+
+// Regions returns the placed regions sorted by base address.
+func (s *Scratchpad) Regions() []memory.Region { return s.regions }
+
+// CopyCost returns the cycle cost of DMA-copying a region of size bytes in
+// or out of the scratchpad, given the per-line transfer cost; software must
+// pay this when it swaps data through a dedicated scratchpad explicitly
+// (paper §1.1: "moving data between scratchpad memory and standard memory
+// requires explicit copies").
+func CopyCost(size uint64, lineBytes, perLineCycles int) int64 {
+	lines := (size + uint64(lineBytes) - 1) / uint64(lineBytes)
+	return int64(lines) * int64(perLineCycles)
+}

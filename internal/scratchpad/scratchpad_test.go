@@ -1,0 +1,96 @@
+package scratchpad
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+)
+
+func TestPlacementCapacity(t *testing.T) {
+	s := New(1024)
+	if s.Capacity() != 1024 || s.Used() != 0 || s.Free() != 1024 {
+		t.Fatalf("fresh pad: cap=%d used=%d free=%d", s.Capacity(), s.Used(), s.Free())
+	}
+	a := memory.Region{Name: "a", Base: 0, Size: 600}
+	b := memory.Region{Name: "b", Base: 1000, Size: 600}
+	if err := s.Place(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(b); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if s.Free() != 424 {
+		t.Errorf("free=%d want 424", s.Free())
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(1 << 20)
+	s.Place(memory.Region{Name: "a", Base: 100, Size: 50})
+	s.Place(memory.Region{Name: "b", Base: 300, Size: 50})
+	for addr, want := range map[uint64]bool{
+		99: false, 100: true, 149: true, 150: false,
+		299: false, 300: true, 349: true, 350: false,
+	} {
+		if got := s.Contains(addr); got != want {
+			t.Errorf("Contains(%d)=%v want %v", addr, got, want)
+		}
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	s := New(1000)
+	s.Place(memory.Region{Name: "a", Base: 0, Size: 100})
+	s.Place(memory.Region{Name: "b", Base: 200, Size: 100})
+	if !s.Remove("a") {
+		t.Error("Remove(a) failed")
+	}
+	if s.Remove("a") {
+		t.Error("double Remove succeeded")
+	}
+	if s.Used() != 100 || s.Contains(50) {
+		t.Errorf("used=%d contains(50)=%v", s.Used(), s.Contains(50))
+	}
+	s.Clear()
+	if s.Used() != 0 || len(s.Regions()) != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	s := New(10)
+	s.Note()
+	s.Note()
+	if s.Accesses() != 2 {
+		t.Errorf("accesses=%d", s.Accesses())
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if err := s.Place(memory.Region{Name: "a", Size: 1}); err == nil {
+		t.Error("placement into zero-capacity pad succeeded")
+	}
+	if s.Contains(0) {
+		t.Error("empty pad contains an address")
+	}
+	// Zero-size region fits anywhere, including a full pad.
+	if err := s.Place(memory.Region{Name: "z", Size: 0}); err != nil {
+		t.Errorf("zero-size region rejected: %v", err)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	if got := CopyCost(0, 32, 20); got != 0 {
+		t.Errorf("CopyCost(0)=%d", got)
+	}
+	if got := CopyCost(1, 32, 20); got != 20 {
+		t.Errorf("CopyCost(1)=%d want 20 (one line)", got)
+	}
+	if got := CopyCost(64, 32, 20); got != 40 {
+		t.Errorf("CopyCost(64)=%d want 40", got)
+	}
+	if got := CopyCost(65, 32, 20); got != 60 {
+		t.Errorf("CopyCost(65)=%d want 60 (rounds up)", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package tint implements the paper's tint indirection (paper §2.2, Fig. 3).
+//
+// Pages are not mapped to column bit vectors directly; they are mapped to a
+// tint — a virtual grouping of address regions — and tints are independently
+// mapped to column bit vectors in a small table. Remapping a tint to a new
+// set of columns is a single table write and takes effect on the very next
+// replacement decision; re-tinting a page is the expensive operation because
+// it must touch page-table entries and flush TLB entries.
+package tint
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/replacement"
+)
+
+// Tint identifies a virtual grouping of address regions. Tint 0 is the
+// default tint ("red" in the paper's example): unless remapped it permits
+// every column, which makes the cache behave as a plain set-associative
+// cache.
+type Tint uint16
+
+// Default is the tint every page starts with.
+const Default Tint = 0
+
+// Table maps tints to permissible-column bit vectors. The zero value is not
+// usable; construct with NewTable.
+type Table struct {
+	numColumns int
+	masks      map[Tint]replacement.Mask
+	names      map[Tint]string
+	nextID     Tint
+	remaps     int64 // tint→mask table writes, the cheap operation
+}
+
+// NewTable returns a tint table for a cache with numColumns columns. The
+// default tint starts mapped to all columns.
+func NewTable(numColumns int) *Table {
+	t := &Table{
+		numColumns: numColumns,
+		masks:      make(map[Tint]replacement.Mask),
+		names:      make(map[Tint]string),
+		nextID:     1,
+	}
+	t.masks[Default] = replacement.All(numColumns)
+	t.names[Default] = "default"
+	return t
+}
+
+// NumColumns returns the column count the table was built for.
+func (t *Table) NumColumns() int { return t.numColumns }
+
+// NewTint allocates a fresh tint with the given debug name, initially mapped
+// to all columns.
+func (t *Table) NewTint(name string) Tint {
+	id := t.nextID
+	t.nextID++
+	t.masks[id] = replacement.All(t.numColumns)
+	t.names[id] = name
+	return id
+}
+
+// SetMask remaps a tint to a new column bit vector. This is the paper's fast
+// repartitioning operation: one table write, effective immediately, with no
+// page-table or TLB activity. An error is returned for unknown tints or
+// masks that reference columns beyond the table's width.
+func (t *Table) SetMask(id Tint, mask replacement.Mask) error {
+	if _, ok := t.masks[id]; !ok {
+		return fmt.Errorf("tint: unknown tint %d", id)
+	}
+	if mask&^replacement.All(t.numColumns) != 0 {
+		return fmt.Errorf("tint: mask %b references columns beyond the %d available", mask, t.numColumns)
+	}
+	if mask == 0 {
+		return fmt.Errorf("tint: empty column mask for tint %d", id)
+	}
+	t.masks[id] = mask
+	t.remaps++
+	return nil
+}
+
+// Mask returns the column bit vector a tint currently maps to. Unknown tints
+// resolve to the default tint's mask so a stale tint can never wedge the
+// replacement unit.
+func (t *Table) Mask(id Tint) replacement.Mask {
+	if m, ok := t.masks[id]; ok {
+		return m
+	}
+	return t.masks[Default]
+}
+
+// Name returns the debug name of a tint.
+func (t *Table) Name(id Tint) string {
+	if n, ok := t.names[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("tint%d", id)
+}
+
+// Remaps returns how many tint→mask writes have occurred; experiments use
+// this to count repartitioning cost (paper Fig. 3 economy argument).
+func (t *Table) Remaps() int64 { return t.remaps }
+
+// Tints returns all allocated tints in ascending order.
+func (t *Table) Tints() []Tint {
+	out := make([]Tint, 0, len(t.masks))
+	for id := range t.masks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	s := ""
+	for _, id := range t.Tints() {
+		s += fmt.Sprintf("%-12s -> %0*b\n", t.Name(id), t.numColumns, uint64(t.masks[id]))
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package tint
+
+import (
+	"strings"
+	"testing"
+
+	"colcache/internal/replacement"
+)
+
+func TestDefaultTintMapsAllColumns(t *testing.T) {
+	tab := NewTable(4)
+	if got := tab.Mask(Default); got != replacement.All(4) {
+		t.Errorf("default mask=%b want %b", got, replacement.All(4))
+	}
+	if tab.NumColumns() != 4 {
+		t.Errorf("NumColumns=%d", tab.NumColumns())
+	}
+}
+
+func TestNewTintAllocation(t *testing.T) {
+	tab := NewTable(4)
+	a := tab.NewTint("stream")
+	b := tab.NewTint("table")
+	if a == b || a == Default || b == Default {
+		t.Errorf("tint ids collide: %d %d", a, b)
+	}
+	if tab.Name(a) != "stream" || tab.Name(b) != "table" {
+		t.Errorf("names: %q %q", tab.Name(a), tab.Name(b))
+	}
+	// Fresh tints start permissive.
+	if tab.Mask(a) != replacement.All(4) {
+		t.Errorf("fresh tint mask=%b", tab.Mask(a))
+	}
+}
+
+func TestSetMask(t *testing.T) {
+	tab := NewTable(4)
+	a := tab.NewTint("a")
+	if err := tab.SetMask(a, replacement.Of(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Mask(a) != replacement.Of(1) {
+		t.Errorf("mask=%b", tab.Mask(a))
+	}
+	if tab.Remaps() != 1 {
+		t.Errorf("remaps=%d", tab.Remaps())
+	}
+}
+
+func TestSetMaskErrors(t *testing.T) {
+	tab := NewTable(4)
+	a := tab.NewTint("a")
+	if err := tab.SetMask(Tint(99), replacement.Of(0)); err == nil {
+		t.Error("unknown tint accepted")
+	}
+	if err := tab.SetMask(a, replacement.Of(4)); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := tab.SetMask(a, 0); err == nil {
+		t.Error("empty mask accepted")
+	}
+}
+
+func TestUnknownTintResolvesToDefault(t *testing.T) {
+	tab := NewTable(4)
+	if err := tab.SetMask(Default, replacement.Of(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Mask(Tint(12345)); got != replacement.Of(0, 1) {
+		t.Errorf("stale tint mask=%b want default's", got)
+	}
+	if !strings.HasPrefix(tab.Name(Tint(12345)), "tint") {
+		t.Errorf("unknown tint name=%q", tab.Name(Tint(12345)))
+	}
+}
+
+func TestTintsSortedAndString(t *testing.T) {
+	tab := NewTable(2)
+	tab.NewTint("b")
+	tab.NewTint("c")
+	ids := tab.Tints()
+	if len(ids) != 3 {
+		t.Fatalf("len=%d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("unsorted: %v", ids)
+		}
+	}
+	s := tab.String()
+	if !strings.Contains(s, "default") || !strings.Contains(s, "b") {
+		t.Errorf("String()=%q", s)
+	}
+}
+
+// TestFig3TintEconomy reproduces the paper's Figure 3 argument: giving one
+// page its own column via tints costs two small-table writes (new tint's
+// mask + shrinking the default's mask) plus one page-table entry, whereas
+// raw bit vectors in PTEs would require rewriting every page's entry.
+func TestFig3TintEconomy(t *testing.T) {
+	const pages = 20
+	const columns = 20
+
+	// Tint scheme: all 20 pages start red (default). To give page 0 its own
+	// column: allocate tint blue for page 0 (1 PTE write), set blue's mask
+	// (1 table write), and shrink red's mask (1 table write).
+	tab := NewTable(columns)
+	blue := tab.NewTint("blue")
+	if err := tab.SetMask(blue, replacement.Of(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetMask(Default, replacement.All(columns)&^replacement.Of(1)); err != nil {
+		t.Fatal(err)
+	}
+	tintTableWrites := tab.Remaps()
+	tintPTEWrites := int64(1) // only page 0's entry changes
+
+	// Raw-bit-vector scheme: every page's PTE holds the vector, so removing
+	// column 1 from the other 19 pages plus dedicating page 0 rewrites all
+	// 20 entries.
+	rawPTEWrites := int64(pages)
+
+	if tintTableWrites != 2 {
+		t.Errorf("tint table writes=%d want 2", tintTableWrites)
+	}
+	if tintPTEWrites+tintTableWrites >= rawPTEWrites {
+		t.Errorf("tint scheme (%d writes) not cheaper than raw vectors (%d writes)",
+			tintPTEWrites+tintTableWrites, rawPTEWrites)
+	}
+}

@@ -1,0 +1,99 @@
+// Package vm implements the virtual-memory substrate column caching rides
+// on: a page table whose entries carry a tint, and a set-associative TLB
+// that caches those entries. This is the first of the paper's three hardware
+// modifications — "the TLB must be modified to store the mapping
+// information" (paper §2.1) — plus the page-table plumbing needed to re-tint
+// regions and account for the flushes that re-tinting requires (paper §2.2).
+package vm
+
+import (
+	"colcache/internal/memory"
+	"colcache/internal/tint"
+)
+
+// PTE is a page-table entry. The simulator does not translate addresses
+// (traces are physical); the entry exists to carry per-page cache-management
+// state, exactly the extension the paper makes to a conventional PTE.
+type PTE struct {
+	Tint     tint.Tint
+	Uncached bool // bypass the cache entirely, like the existing uncached bit
+}
+
+// PageTable maps page numbers to PTEs. Pages without an explicit entry have
+// the default tint, so the table only stores exceptions.
+type PageTable struct {
+	g       memory.Geometry
+	entries map[uint64]PTE
+	writes  int64 // entry updates, the paper's Fig. 3 cost metric
+}
+
+// NewPageTable returns an empty page table under geometry g.
+func NewPageTable(g memory.Geometry) *PageTable {
+	return &PageTable{g: g, entries: make(map[uint64]PTE)}
+}
+
+// Geometry returns the table's geometry.
+func (pt *PageTable) Geometry() memory.Geometry { return pt.g }
+
+// Lookup returns the PTE for the page containing addr.
+func (pt *PageTable) Lookup(addr memory.Addr) PTE {
+	return pt.entries[pt.g.PageNumber(addr)]
+}
+
+// LookupPage returns the PTE for page number pn.
+func (pt *PageTable) LookupPage(pn uint64) PTE { return pt.entries[pn] }
+
+// SetTintPage re-tints a single page and reports whether the entry changed.
+func (pt *PageTable) SetTintPage(pn uint64, id tint.Tint) bool {
+	e := pt.entries[pn]
+	if e.Tint == id {
+		return false
+	}
+	e.Tint = id
+	pt.entries[pn] = e
+	pt.writes++
+	return true
+}
+
+// SetTintRange re-tints every page overlapping [base, base+size) and returns
+// the page numbers whose entries actually changed — the caller must flush or
+// update those pages' TLB entries (paper §2.2).
+func (pt *PageTable) SetTintRange(base memory.Addr, size uint64, id tint.Tint) []uint64 {
+	var changed []uint64
+	for _, pn := range pt.g.PagesCovering(base, size) {
+		if pt.SetTintPage(pn, id) {
+			changed = append(changed, pn)
+		}
+	}
+	return changed
+}
+
+// SetUncachedRange marks pages overlapping [base, base+size) as uncached.
+func (pt *PageTable) SetUncachedRange(base memory.Addr, size uint64, uncached bool) []uint64 {
+	var changed []uint64
+	for _, pn := range pt.g.PagesCovering(base, size) {
+		e := pt.entries[pn]
+		if e.Uncached == uncached {
+			continue
+		}
+		e.Uncached = uncached
+		pt.entries[pn] = e
+		pt.writes++
+		changed = append(changed, pn)
+	}
+	return changed
+}
+
+// Writes returns the number of page-table entry updates performed; the
+// Fig. 3 experiment compares this count for tint-based vs raw-bit-vector
+// remapping schemes.
+func (pt *PageTable) Writes() int64 { return pt.writes }
+
+// EntryCount returns how many pages carry non-default entries.
+func (pt *PageTable) EntryCount() int { return len(pt.entries) }
+
+// Reset drops all entries and counters.
+func (pt *PageTable) Reset() {
+	pt.entries = make(map[uint64]PTE)
+	pt.writes = 0
+}

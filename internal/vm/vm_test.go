@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"colcache/internal/memory"
+	"colcache/internal/tint"
+)
+
+var g = memory.MustGeometry(32, 256)
+
+func TestPageTableDefaults(t *testing.T) {
+	pt := NewPageTable(g)
+	e := pt.Lookup(0x1234)
+	if e.Tint != tint.Default || e.Uncached {
+		t.Errorf("default PTE=%+v", e)
+	}
+	if pt.EntryCount() != 0 {
+		t.Error("default lookup materialized an entry")
+	}
+}
+
+func TestSetTintRange(t *testing.T) {
+	pt := NewPageTable(g)
+	changed := pt.SetTintRange(100, 300, tint.Tint(5)) // pages 0 and 1
+	if len(changed) != 2 || changed[0] != 0 || changed[1] != 1 {
+		t.Errorf("changed=%v", changed)
+	}
+	if pt.Lookup(150).Tint != 5 || pt.Lookup(300).Tint != 5 {
+		t.Error("tint not applied")
+	}
+	if pt.Lookup(512).Tint != tint.Default {
+		t.Error("tint leaked past range")
+	}
+	// Idempotent: re-tinting to the same value changes nothing.
+	if got := pt.SetTintRange(100, 300, tint.Tint(5)); len(got) != 0 {
+		t.Errorf("idempotent retint changed %v", got)
+	}
+	if pt.Writes() != 2 {
+		t.Errorf("writes=%d want 2", pt.Writes())
+	}
+}
+
+func TestSetUncachedRange(t *testing.T) {
+	pt := NewPageTable(g)
+	pt.SetUncachedRange(0, 256, true)
+	if !pt.Lookup(10).Uncached {
+		t.Error("uncached bit not set")
+	}
+	if got := pt.SetUncachedRange(0, 256, true); len(got) != 0 {
+		t.Error("idempotent set changed entries")
+	}
+	pt.SetUncachedRange(0, 256, false)
+	if pt.Lookup(10).Uncached {
+		t.Error("uncached bit not cleared")
+	}
+}
+
+func TestPageTableReset(t *testing.T) {
+	pt := NewPageTable(g)
+	pt.SetTintPage(3, 7)
+	pt.Reset()
+	if pt.EntryCount() != 0 || pt.Writes() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestTLBConfigValidation(t *testing.T) {
+	pt := NewPageTable(g)
+	bad := []TLBConfig{
+		{Entries: 0, Ways: 1},
+		{Entries: 3, Ways: 1},
+		{Entries: 8, Ways: 0},
+		{Entries: 8, Ways: 3},
+		{Entries: 24, Ways: 2},
+	}
+	for _, c := range bad {
+		if _, err := NewTLB(c, pt); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := NewTLB(TLBConfig{Entries: 8, Ways: 2}, pt); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	pt := NewPageTable(g)
+	pt.SetTintPage(0, 3)
+	tlb := MustNewTLB(TLBConfig{Entries: 4, Ways: 4}, pt)
+
+	pte, hit := tlb.Lookup(10)
+	if hit {
+		t.Error("cold lookup hit")
+	}
+	if pte.Tint != 3 {
+		t.Errorf("walked tint=%d want 3", pte.Tint)
+	}
+	if _, hit := tlb.Lookup(20); !hit {
+		t.Error("second lookup to same page missed")
+	}
+	s := tlb.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats=%+v", s)
+	}
+}
+
+func TestTLBCachesStaleEntry(t *testing.T) {
+	// A TLB entry installed before a page-table change keeps serving the old
+	// tint until flushed — exactly why re-tinting must flush (paper §2.2).
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 4, Ways: 4}, pt)
+	tlb.Lookup(0) // installs tint=Default
+	pt.SetTintPage(0, 9)
+	if pte, hit := tlb.Lookup(0); !hit || pte.Tint != tint.Default {
+		t.Errorf("expected stale entry, got hit=%v tint=%d", hit, pte.Tint)
+	}
+	tlb.FlushPage(0)
+	if pte, hit := tlb.Lookup(0); hit || pte.Tint != 9 {
+		t.Errorf("after flush: hit=%v tint=%d", hit, pte.Tint)
+	}
+}
+
+func TestTLBEvictionLRU(t *testing.T) {
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 2, Ways: 2}, pt)
+	tlb.Lookup(0 * 256)
+	tlb.Lookup(1 * 256)
+	tlb.Lookup(0 * 256) // page 0 now MRU
+	tlb.Lookup(2 * 256) // evicts page 1
+	if !tlb.Resident(0) {
+		t.Error("MRU page evicted")
+	}
+	if tlb.Resident(1) {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestTLBFlushAll(t *testing.T) {
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 8, Ways: 2}, pt)
+	tlb.Lookup(0)
+	tlb.Lookup(1000)
+	tlb.FlushAll()
+	if tlb.Resident(0) || tlb.Resident(g.PageNumber(1000)) {
+		t.Error("FlushAll left entries")
+	}
+}
+
+func TestRetintFlushesChangedPages(t *testing.T) {
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 8, Ways: 8}, pt)
+	tlb.Lookup(0)
+	tlb.Lookup(256)
+	tlb.Lookup(512)
+	n := Retint(pt, tlb, 0, 512, tint.Tint(4)) // pages 0,1
+	if n != 2 {
+		t.Errorf("retinted %d pages want 2", n)
+	}
+	if tlb.Resident(0) || tlb.Resident(1) {
+		t.Error("changed pages not flushed")
+	}
+	if !tlb.Resident(2) {
+		t.Error("unchanged page flushed")
+	}
+	if pte, _ := tlb.Lookup(0); pte.Tint != 4 {
+		t.Errorf("refill tint=%d", pte.Tint)
+	}
+}
+
+// Property: the TLB is a transparent cache of the page table — a lookup
+// always returns exactly what a direct page-table walk would, provided
+// changed pages are flushed (Retint does this).
+func TestTLBTransparencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pt := NewPageTable(g)
+		tlb := MustNewTLB(TLBConfig{Entries: 4, Ways: 2}, pt)
+		for _, op := range ops {
+			page := uint64(op % 32)
+			addr := page * 256
+			switch (op / 32) % 3 {
+			case 0:
+				pte, _ := tlb.Lookup(addr)
+				if pte != pt.LookupPage(page) {
+					return false
+				}
+			case 1:
+				Retint(pt, tlb, addr, 256, tint.Tint(op%7))
+			case 2:
+				tlb.FlushAll()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASIDTagging(t *testing.T) {
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 8, Ways: 8}, pt)
+	// Install page 0 under ASID 0.
+	tlb.Lookup(0)
+	if _, hit := tlb.Lookup(0); !hit {
+		t.Fatal("warm lookup missed")
+	}
+	// Switch ASID: the entry stops matching (no flush needed)...
+	tlb.SetASID(1)
+	if _, hit := tlb.Lookup(0); hit {
+		t.Error("entry matched across ASIDs")
+	}
+	// ...but switching back finds the original entry still resident.
+	tlb.SetASID(0)
+	if _, hit := tlb.Lookup(0); !hit {
+		t.Error("original ASID's entry lost")
+	}
+	if tlb.ASID() != 0 {
+		t.Errorf("ASID=%d", tlb.ASID())
+	}
+}
+
+func TestASIDAvoidsFlushCost(t *testing.T) {
+	pt := NewPageTable(g)
+	// Two "processes" alternating over the same 4 pages each, 16-entry TLB.
+	flushTLB := MustNewTLB(TLBConfig{Entries: 16, Ways: 16}, pt)
+	asidTLB := MustNewTLB(TLBConfig{Entries: 16, Ways: 16}, pt)
+	for round := 0; round < 10; round++ {
+		for proc := 0; proc < 2; proc++ {
+			flushTLB.FlushAll()
+			asidTLB.SetASID(uint16(proc))
+			for p := 0; p < 4; p++ {
+				addr := uint64(proc)<<20 + uint64(p)*256
+				flushTLB.Lookup(addr)
+				asidTLB.Lookup(addr)
+			}
+		}
+	}
+	if f, a := flushTLB.Stats().Misses, asidTLB.Stats().Misses; a >= f {
+		t.Errorf("ASID misses %d not fewer than flush misses %d", a, f)
+	}
+	// With 16 entries and 8 live pages, ASIDs settle at compulsory misses.
+	if a := asidTLB.Stats().Misses; a != 8 {
+		t.Errorf("ASID misses=%d want 8 (compulsory only)", a)
+	}
+}

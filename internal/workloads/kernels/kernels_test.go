@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"testing"
+
+	"colcache/internal/memtrace"
+)
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	cfg := MatMulConfig{N: 8, Seed: 3}
+	got := MatMulValues(cfg)
+	a, b, _ := matmulInit(cfg.withDefaults())
+	n := 8
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want int64
+			for k := 0; k < n; k++ {
+				want += int64(a[i*n+k]) * int64(b[k*n+j])
+			}
+			if got[i*n+j] != int32(want) {
+				t.Fatalf("C[%d][%d]=%d want %d", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestMatMulTraceShape(t *testing.T) {
+	p := MatMul(MatMulConfig{N: 4})
+	counts := memtrace.RegionCounts(p.Trace, p.Vars)
+	// n³ reads of a and b each, n² writes of c.
+	if counts["a"] != 64 || counts["b"] != 64 || counts["c"] != 16 {
+		t.Errorf("counts=%v", counts)
+	}
+	if counts[""] != 0 {
+		t.Errorf("%d accesses outside variables", counts[""])
+	}
+}
+
+func TestFIRAgainstNaive(t *testing.T) {
+	cfg := FIRConfig{Samples: 64, Taps: 8, Seed: 5}
+	got := FIRValues(cfg)
+	x, h, _ := firInit(cfg.withDefaults())
+	for i := range got {
+		var want int64
+		for tap := 0; tap < 8; tap++ {
+			want += int64(x[i+tap]) * int64(h[tap])
+		}
+		if got[i] != int32(want>>4) {
+			t.Fatalf("y[%d]=%d want %d", i, got[i], int32(want>>4))
+		}
+	}
+}
+
+func TestFIRTraceShape(t *testing.T) {
+	cfg := FIRConfig{Samples: 64, Taps: 8}
+	p := FIR(cfg)
+	counts := memtrace.RegionCounts(p.Trace, p.Vars)
+	outs := int64(64 - 8 + 1)
+	if counts["x"] != outs*8 || counts["h"] != outs*8 || counts["y"] != outs {
+		t.Errorf("counts=%v", counts)
+	}
+}
+
+func TestHistogramSumsToSamples(t *testing.T) {
+	cfg := HistogramConfig{Samples: 1000, Seed: 11}
+	bins := HistogramValues(cfg)
+	var total int64
+	for _, b := range bins {
+		if b < 0 {
+			t.Fatalf("negative bin %d", b)
+		}
+		total += int64(b)
+	}
+	if total != 1000 {
+		t.Errorf("bin total=%d want 1000", total)
+	}
+}
+
+func TestHistogramTraceShape(t *testing.T) {
+	cfg := HistogramConfig{Samples: 100}
+	p := Histogram(cfg)
+	counts := memtrace.RegionCounts(p.Trace, p.Vars)
+	if counts["data"] != 100 {
+		t.Errorf("data accesses=%d", counts["data"])
+	}
+	// Each sample does a bin read + bin write.
+	if counts["bins"] != 200 {
+		t.Errorf("bins accesses=%d", counts["bins"])
+	}
+	if p.Trace.Writes() != 100 {
+		t.Errorf("writes=%d want 100", p.Trace.Writes())
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a1 := MatMulValues(MatMulConfig{N: 6, Seed: 2})
+	a2 := MatMulValues(MatMulConfig{N: 6, Seed: 2})
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("matmul nondeterministic")
+		}
+	}
+	b1 := FIRValues(FIRConfig{Samples: 40, Taps: 4, Seed: 2})
+	b2 := FIRValues(FIRConfig{Samples: 40, Taps: 4, Seed: 3})
+	same := true
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("fir identical across different seeds")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if p := MatMul(MatMulConfig{}); p.DataBytes() != 3*16*16*4 {
+		t.Errorf("matmul default footprint %d", p.DataBytes())
+	}
+	if p := FIR(FIRConfig{}); len(p.Vars) != 3 {
+		t.Errorf("fir vars=%d", len(p.Vars))
+	}
+	if p := Histogram(HistogramConfig{}); len(p.Trace) != 3*4096 {
+		t.Errorf("histogram accesses=%d", len(p.Trace))
+	}
+}

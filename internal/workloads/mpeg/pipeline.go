@@ -1,0 +1,122 @@
+package mpeg
+
+import (
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+	"colcache/internal/workloads"
+)
+
+// Pipeline builds the three decoder routines as a single streaming
+// application with *shared* variables: each macroblock flows dequant →
+// idct → plus through one shared coefficient buffer, with a shared
+// prediction frame. Unlike the standalone kernels (disjoint variables, used
+// by Figure 4), the pipeline's routines contend for the same buffers with
+// different companions per phase — the situation the paper's §3.2 dynamic
+// layout targets ("if procedures share variables, and the access patterns
+// corresponding to these shared variables change from procedure to
+// procedure, it is worthwhile to consider remapping").
+//
+// Per phase, the shared block buffer's hot companion changes:
+//
+//	dequant: block ↔ qmat        (quantizer matrix)
+//	idct:    block ↔ cos, tmp    (basis table, intermediate)
+//	plus:    block ↔ pred, clip  (prediction pixels, saturation table)
+//
+// PipelinePhase carries one routine's trace and variable set, ready for
+// layout.BuildDynamic.
+type PipelinePhase struct {
+	Name string
+	Prog *workloads.Program
+	Vars []memory.Region
+}
+
+// Pipeline generates the three phases over shared buffers. Blocks are
+// processed in batches (one phase pass per batch would be the streaming
+// formulation; for layout purposes each routine's whole run is one phase,
+// as in the paper's procedure-level granularity).
+func Pipeline(cfg Config) []PipelinePhase {
+	cfg = cfg.withDefaults()
+	nb := cfg.IdctBlocks
+
+	// One shared address space for the whole application.
+	env := workloads.NewEnv(0x10000)
+	block := env.Space.Alloc("block", uint64(nb)*64*2, 64) // shared int16 coefficient/pixel stream
+	qmat := env.Space.Alloc("qmat", 64*2, 64)              // dequant's table
+	qscale := env.Space.Alloc("qscale", uint64(nb)*2, 64)  // per-block scales
+	cosT := env.Space.Alloc("cos", 64*4, 64)               // idct's basis
+	tmp := env.Space.Alloc("tmp", 64*4, 64)                // idct's intermediate
+	pred := env.Space.Alloc("pred", uint64(nb)*64, 64)     // plus's prediction pixels
+	clip := env.Space.Alloc("clip", 512, 64)               // plus's saturation table
+	allVars := env.Space.Regions()
+
+	// Shared real data.
+	dq := dequantInit(Config{DequantBlocks: nb, Seed: cfg.Seed})
+	id := idctInit(Config{IdctBlocks: nb, Seed: cfg.Seed})
+	pl := plusInit(Config{PlusBlocks: nb, Seed: cfg.Seed})
+	// The pipeline operates on one shared block array: seed it with the
+	// dequant inputs.
+	blockV := dq.coef
+
+	var phases []PipelinePhase
+
+	// Phase 1: dequant over the shared block buffer.
+	env.Rec.Reset()
+	dequantRun(nb, dequantData{qmat: dq.qmat, qscale: dq.qscale, coef: blockV},
+		probe{env.Rec}, qmat, qscale, block)
+	phases = append(phases, PipelinePhase{
+		Name: "dequant",
+		Prog: &workloads.Program{Name: "dequant", Trace: snapshot(env.Rec.Trace()), Vars: allVars},
+		Vars: allVars,
+	})
+
+	// Phase 2: idct in place on the same buffer.
+	env.Rec.Reset()
+	idctRun(nb, idctData{cos: id.cos, tmp: id.tmp, blocks: blockV},
+		probe{env.Rec}, cosT, tmp, block)
+	phases = append(phases, PipelinePhase{
+		Name: "idct",
+		Prog: &workloads.Program{Name: "idct", Trace: snapshot(env.Rec.Trace()), Vars: allVars},
+		Vars: allVars,
+	})
+
+	// Phase 3: plus — add the reconstructed residuals to the prediction.
+	env.Rec.Reset()
+	plusPipelineRun(nb, pl.pred, blockV, pl.clip, probe{env.Rec}, pred, block, clip)
+	phases = append(phases, PipelinePhase{
+		Name: "plus",
+		Prog: &workloads.Program{Name: "plus", Trace: snapshot(env.Rec.Trace()), Vars: allVars},
+		Vars: allVars,
+	})
+	return phases
+}
+
+// plusPipelineRun is the motion-compensation add reading residuals from the
+// shared int16 block buffer (rather than a private residual array).
+func plusPipelineRun(nb int, predV []uint8, blockV []int16, clipV []uint8, p probe, predR, blockR, clipR memory.Region) {
+	for b := 0; b < nb; b++ {
+		p.think(4)
+		for i := 0; i < 64; i++ {
+			off := uint64(b*64 + i)
+			p.load(predR, off)
+			p.load(blockR, off*2)
+			p.think(2)
+			idx := int(predV[b*64+i]) + int(blockV[b*64+i]) + 128
+			if idx < 0 {
+				idx = 0
+			} else if idx > 511 {
+				idx = 511
+			}
+			p.load(clipR, uint64(idx))
+			predV[b*64+i] = clipV[idx]
+			p.store(predR, off)
+		}
+	}
+}
+
+// snapshot copies a recorder's trace so later Reset calls cannot alias
+// earlier phases.
+func snapshot(t memtrace.Trace) memtrace.Trace {
+	out := make(memtrace.Trace, len(t))
+	copy(out, t)
+	return out
+}

@@ -1,0 +1,90 @@
+package synth
+
+import (
+	"testing"
+
+	"colcache/internal/memtrace"
+)
+
+func TestStream(t *testing.T) {
+	p := Stream(0, 256, 4, 2)
+	if len(p.Trace) != 2*64 {
+		t.Errorf("accesses=%d want 128", len(p.Trace))
+	}
+	if p.Trace[0].Addr != 0 || p.Trace[1].Addr != 4 {
+		t.Errorf("stride wrong: %x %x", p.Trace[0].Addr, p.Trace[1].Addr)
+	}
+	if p.Trace.Writes() != 0 {
+		t.Error("stream contains writes")
+	}
+}
+
+func TestStrided(t *testing.T) {
+	p := Strided(0, 1024, 256, 1)
+	if len(p.Trace) != 4 {
+		t.Fatalf("accesses=%d want 4", len(p.Trace))
+	}
+	for i, a := range p.Trace {
+		if a.Addr != uint64(i*256) {
+			t.Errorf("access %d at %#x", i, a.Addr)
+		}
+	}
+}
+
+func TestRandomInBoundsAndDeterministic(t *testing.T) {
+	p1 := Random(0x1000, 512, 100, 7)
+	p2 := Random(0x1000, 512, 100, 7)
+	if len(p1.Trace) != 100 {
+		t.Fatalf("accesses=%d", len(p1.Trace))
+	}
+	reg := p1.Vars[0]
+	for i := range p1.Trace {
+		if !reg.Contains(p1.Trace[i].Addr) {
+			t.Fatalf("access %d at %#x outside buffer", i, p1.Trace[i].Addr)
+		}
+		if p1.Trace[i] != p2.Trace[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	p3 := Random(0x1000, 512, 100, 8)
+	same := true
+	for i := range p1.Trace {
+		if p1.Trace[i] != p3.Trace[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestRandomZeroSeedUsesDefault(t *testing.T) {
+	p := Random(0, 512, 10, 0)
+	if len(p.Trace) != 10 {
+		t.Errorf("accesses=%d", len(p.Trace))
+	}
+}
+
+func TestPointerChaseVisitsAllNodes(t *testing.T) {
+	const nodes = 16
+	p := PointerChase(0, nodes, 64, nodes, 3)
+	seen := make(map[uint64]bool)
+	for _, a := range p.Trace {
+		seen[a.Addr/64] = true
+	}
+	// Sattolo's permutation is a single cycle, so nodes hops visit all nodes.
+	if len(seen) != nodes {
+		t.Errorf("visited %d distinct nodes want %d", len(seen), nodes)
+	}
+}
+
+func TestWriteSweep(t *testing.T) {
+	p := WriteSweep(0, 128, 4, 1)
+	if p.Trace.Reads() != 0 || p.Trace.Writes() != 32 {
+		t.Errorf("R=%d W=%d", p.Trace.Reads(), p.Trace.Writes())
+	}
+	if got := memtrace.RegionCounts(p.Trace, p.Vars)[""]; got != 0 {
+		t.Errorf("%d accesses outside buffer", got)
+	}
+}

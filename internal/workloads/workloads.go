@@ -1,0 +1,70 @@
+// Package workloads defines the common shape of the benchmark programs that
+// drive the experiments: a program is a memory-reference trace plus the
+// address map of the variables it touches, so the layout algorithm can
+// reason about which variable each access belongs to.
+//
+// The kernels in the sub-packages perform their real computation on Go data
+// while recording the address of every simulated array reference, so the
+// traces are the genuine reference streams of the algorithms, and the
+// kernels themselves are testable against reference implementations.
+package workloads
+
+import (
+	"fmt"
+
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+)
+
+// Program is a workload ready to run on the simulator.
+type Program struct {
+	Name  string
+	Trace memtrace.Trace
+	Vars  []memory.Region // every simulated variable, in allocation order
+}
+
+// Var returns the named variable's region.
+func (p *Program) Var(name string) (memory.Region, bool) {
+	for _, r := range p.Vars {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return memory.Region{}, false
+}
+
+// MustVar is Var that panics when the variable is missing; for experiment
+// code whose variable set is fixed.
+func (p *Program) MustVar(name string) memory.Region {
+	r, ok := p.Var(name)
+	if !ok {
+		panic(fmt.Sprintf("workloads: program %s has no variable %q", p.Name, name))
+	}
+	return r
+}
+
+// DataBytes returns the total footprint of the program's variables.
+func (p *Program) DataBytes() uint64 {
+	var total uint64
+	for _, r := range p.Vars {
+		total += r.Size
+	}
+	return total
+}
+
+// Env couples an address-space allocator with a trace recorder; kernels
+// allocate their variables and record their references through it.
+type Env struct {
+	Space *memory.Space
+	Rec   *memtrace.Recorder
+}
+
+// NewEnv returns an Env allocating from base.
+func NewEnv(base memory.Addr) *Env {
+	return &Env{Space: memory.NewSpace(base), Rec: &memtrace.Recorder{}}
+}
+
+// Finish packages the recorded trace and variables into a Program.
+func (e *Env) Finish(name string) *Program {
+	return &Program{Name: name, Trace: e.Rec.Trace(), Vars: e.Space.Regions()}
+}
