@@ -1,0 +1,33 @@
+# The CI workflow (.github/workflows/ci.yml) invokes these same targets,
+# so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race lint bench smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One iteration of every benchmark: a smoke gate that keeps bench_test.go
+# compiling and executing, not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Trimmed end-to-end run of the paper's full evaluation, including the
+# shape checks against the paper's qualitative claims.
+smoke:
+	$(GO) run ./cmd/paperbench -quick
+
+ci: build lint test race bench smoke

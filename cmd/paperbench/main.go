@@ -4,19 +4,30 @@
 //
 // Usage:
 //
-//	paperbench [-experiment fig4|fig5|ablations|all] [-quick]
+//	paperbench [-experiment fig4|fig5|ablations|all] [-quick] [-jobs N]
 //
 // -quick trims the Figure 5 quantum sweep for a fast run; the default runs
 // the paper's full 1..1M axis.
+//
+// The experiments are independent simulations, so they fan out across a
+// bounded worker pool: the top-level sections run concurrently into
+// per-section buffers, and the inner sweeps (the Figure 4 partition grid,
+// the Figure 5 quantum grid, the ablations) are parallelized inside
+// internal/experiments. Output is assembled in a fixed order, so any -jobs
+// value emits byte-identical text; -jobs 1 reproduces a fully serial run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"colcache/internal/experiments"
+	"colcache/internal/runner"
 	"colcache/internal/workloads/gzipsim"
 	"colcache/internal/workloads/mpeg"
 )
@@ -25,46 +36,84 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	jsonPath := flag.String("json", "", "write all results as JSON to this file instead of tables")
+	jobs := flag.Int("jobs", 0, "parallel workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
+	experiments.SetWorkers(*jobs)
+
 	if *jsonPath != "" {
-		if !runJSON(*jsonPath, *quick) {
-			os.Exit(1)
+		if err := runJSON(*jsonPath, *quick, *jobs); err != nil {
+			fail(err)
 		}
 		return
 	}
 
-	ok := true
+	var sections []func(w io.Writer) (bool, error)
 	switch *experiment {
 	case "fig4":
-		ok = runFig4()
+		sections = append(sections, runFig4)
 	case "fig5":
-		ok = runFig5(*quick)
+		sections = append(sections, fig5Section(*quick))
 	case "ablations":
-		ok = runAblations()
+		sections = append(sections, ablationsSection(*jobs))
 	case "comparisons":
-		ok = runComparisons()
+		sections = append(sections, comparisonsSection(*jobs))
 	case "all":
-		ok = runFig4()
-		ok = runFig5(*quick) && ok
-		ok = runAblations() && ok
-		ok = runComparisons() && ok
+		sections = append(sections,
+			runFig4,
+			fig5Section(*quick),
+			ablationsSection(*jobs),
+			comparisonsSection(*jobs),
+		)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+
+	ok, err := runSections(os.Stdout, sections, *jobs)
+	if err != nil {
+		fail(err)
 	}
 	if !ok {
 		os.Exit(1)
 	}
 }
 
-func report(problems []string) bool {
+// runSections fans the sections out across a bounded pool, each writing to
+// its own buffer, then emits the buffers in section order so the output is
+// identical at any pool width.
+func runSections(w io.Writer, sections []func(io.Writer) (bool, error), jobs int) (bool, error) {
+	type result struct {
+		text []byte
+		ok   bool
+	}
+	results, err := runner.Map(context.Background(), sections,
+		func(_ context.Context, section func(io.Writer) (bool, error), _ int) (result, error) {
+			var buf bytes.Buffer
+			ok, err := section(&buf)
+			return result{buf.Bytes(), ok}, err
+		},
+		runner.Options{Workers: jobs})
+	if err != nil {
+		return false, err
+	}
+	allOK := true
+	for _, r := range results {
+		if _, err := w.Write(r.text); err != nil {
+			return false, err
+		}
+		allOK = allOK && r.ok
+	}
+	return allOK, nil
+}
+
+func report(w io.Writer, problems []string) bool {
 	if len(problems) == 0 {
-		fmt.Println("shape check: all of the paper's qualitative claims hold")
+		fmt.Fprintln(w, "shape check: all of the paper's qualitative claims hold")
 		return true
 	}
 	for _, p := range problems {
-		fmt.Printf("shape check FAILED: %s\n", p)
+		fmt.Fprintf(w, "shape check FAILED: %s\n", p)
 	}
 	return false
 }
@@ -74,155 +123,207 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runFig4() bool {
-	fmt.Println("=== Figure 4: scratchpad vs cache partitioning (MPEG routines) ===")
+func runFig4(w io.Writer) (bool, error) {
+	fmt.Fprintln(w, "=== Figure 4: scratchpad vs cache partitioning (MPEG routines) ===")
 	data, err := experiments.RunFig4(experiments.DefaultFig4Config)
 	if err != nil {
-		fail(err)
+		return false, err
 	}
 	for _, t := range data.Tables() {
-		t.Write(os.Stdout)
-		fmt.Println()
+		t.Write(w)
+		fmt.Fprintln(w)
 	}
-	fmt.Printf("remap overhead included in the dynamic result: %d cycles\n", data.RemapOverheadCycles)
-	return report(data.Verify())
+	fmt.Fprintf(w, "remap overhead included in the dynamic result: %d cycles\n", data.RemapOverheadCycles)
+	return report(w, data.Verify()), nil
 }
 
-func runFig5(quick bool) bool {
-	fmt.Println("=== Figure 5: multitasking CPI vs context-switch quantum (3× gzip) ===")
-	cfg := experiments.DefaultFig5Config
-	if quick {
-		cfg.Quanta = []int64{1, 64, 4096, 262144, 1048576}
-		cfg.TargetInstructions = 1 << 19
-	}
-	data, err := experiments.RunFig5(cfg)
-	if err != nil {
-		fail(err)
-	}
-	data.Table().Write(os.Stdout)
-	fmt.Println()
-	return report(data.Verify())
+// quickFig5Config trims the quantum sweep for -quick runs.
+func quickFig5Config(cfg experiments.Fig5Config) experiments.Fig5Config {
+	cfg.Quanta = []int64{1, 64, 4096, 262144, 1048576}
+	cfg.TargetInstructions = 1 << 19
+	return cfg
 }
 
-func runAblations() bool {
-	ok := true
-	fmt.Println("=== Ablations ===")
-
-	pol, err := experiments.RunPolicyAblation()
-	if err != nil {
-		fail(err)
+func fig5Section(quick bool) func(io.Writer) (bool, error) {
+	return func(w io.Writer) (bool, error) {
+		fmt.Fprintln(w, "=== Figure 5: multitasking CPI vs context-switch quantum (3× gzip) ===")
+		cfg := experiments.DefaultFig5Config
+		if quick {
+			cfg = quickFig5Config(cfg)
+		}
+		data, err := experiments.RunFig5(cfg)
+		if err != nil {
+			return false, err
+		}
+		data.Table().Write(w)
+		fmt.Fprintln(w)
+		return report(w, data.Verify()), nil
 	}
-	experiments.PolicyAblationTable(pol).Write(os.Stdout)
-	for _, r := range pol {
-		if r.MappedCPI >= r.SharedCPI {
-			fmt.Printf("shape check FAILED: policy %s shows no isolation benefit\n", r.Policy)
+}
+
+func ablationsSection(jobs int) func(io.Writer) (bool, error) {
+	return func(w io.Writer) (bool, error) {
+		fmt.Fprintln(w, "=== Ablations ===")
+		units := []func(io.Writer) (bool, error){
+			func(w io.Writer) (bool, error) {
+				pol, err := experiments.RunPolicyAblation()
+				if err != nil {
+					return false, err
+				}
+				experiments.PolicyAblationTable(pol).Write(w)
+				ok := true
+				for _, r := range pol {
+					if r.MappedCPI >= r.SharedCPI {
+						fmt.Fprintf(w, "shape check FAILED: policy %s shows no isolation benefit\n", r.Policy)
+						ok = false
+					}
+				}
+				fmt.Fprintln(w)
+				return ok, nil
+			},
+			func(w io.Writer) (bool, error) {
+				pen, err := experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80})
+				if err != nil {
+					return false, err
+				}
+				experiments.MissPenaltyAblationTable(pen).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				tlb, err := experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30)
+				if err != nil {
+					return false, err
+				}
+				experiments.TLBAblationTable(tlb).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				mask, err := experiments.RunMaskGranularityAblation()
+				if err != nil {
+					return false, err
+				}
+				experiments.MaskGranularityAblationTable(mask).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				en, err := experiments.RunEnergyAblation()
+				if err != nil {
+					return false, err
+				}
+				experiments.EnergyAblationTable(en).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				wp, err := experiments.RunWritePolicyAblation()
+				if err != nil {
+					return false, err
+				}
+				experiments.WritePolicyAblationTable(wp).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				jcfg := experiments.DefaultJitterConfig
+				jit, err := experiments.RunJitter(jcfg)
+				if err != nil {
+					return false, err
+				}
+				experiments.JitterTable(jit, jcfg).Write(w)
+				fmt.Fprintln(w)
+				if jit[1].MaxCPI-jit[1].MinCPI > 0.02 {
+					fmt.Fprintln(w, "shape check FAILED: mapped CPI not immune to quantum jitter")
+					return false, nil
+				}
+				return true, nil
+			},
+		}
+		ok, err := runSections(w, units, jobs)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			fmt.Fprintln(w, "shape check: ablation expectations hold")
+		}
+		return ok, nil
+	}
+}
+
+func comparisonsSection(jobs int) func(io.Writer) (bool, error) {
+	return func(w io.Writer) (bool, error) {
+		fmt.Fprintln(w, "=== Related-work comparisons (paper §5.1) ===")
+
+		// The units run concurrently, each into its own buffer; the
+		// cross-unit shape checks read their captured results after the
+		// pool has drained.
+		var (
+			pc []experiments.PageColorComparison
+			gr []experiments.GranularityComparison
+		)
+		units := []func(io.Writer) (bool, error){
+			func(w io.Writer) (bool, error) {
+				var err error
+				if pc, err = experiments.RunPageColorComparison(); err != nil {
+					return false, err
+				}
+				experiments.PageColorComparisonTable(pc).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				var err error
+				if gr, err = experiments.RunGranularityComparison(); err != nil {
+					return false, err
+				}
+				experiments.GranularityComparisonTable(gr).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				pipeRows, pipeDecisions, err := experiments.RunPipelineDynamic(mpeg.DefaultConfig)
+				if err != nil {
+					return false, err
+				}
+				experiments.PipelineTable(pipeRows, pipeDecisions).Write(w)
+				experiments.PipelineDecisionsTable(pipeDecisions).Write(w)
+				fmt.Fprintln(w)
+				if pipeRows[2].Cycles >= pipeRows[1].Cycles {
+					fmt.Fprintln(w, "shape check FAILED: dynamic layout not better than static on the pipeline")
+					return false, nil
+				}
+				return true, nil
+			},
+			func(w io.Writer) (bool, error) {
+				job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+				l2, err := experiments.RunL2Comparison(job.Trace)
+				if err != nil {
+					return false, err
+				}
+				experiments.L2ComparisonTable(l2).Write(w)
+				fmt.Fprintln(w)
+				return true, nil
+			},
+		}
+		ok, err := runSections(w, units, jobs)
+		if err != nil {
+			return false, err
+		}
+		if pc[0].RemapCost < 100*pc[1].RemapCost {
+			fmt.Fprintln(w, "shape check FAILED: page-coloring remap not ≫ column remap")
 			ok = false
 		}
+		if gr[2].TableMisses*5 >= gr[1].TableMisses {
+			fmt.Fprintln(w, "shape check FAILED: region tints did not beat process masks")
+			ok = false
+		}
+		if ok {
+			fmt.Fprintln(w, "shape check: comparison expectations hold")
+		}
+		return ok, nil
 	}
-	fmt.Println()
-
-	pen, err := experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80})
-	if err != nil {
-		fail(err)
-	}
-	experiments.MissPenaltyAblationTable(pen).Write(os.Stdout)
-	fmt.Println()
-
-	tlb, err := experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30)
-	if err != nil {
-		fail(err)
-	}
-	experiments.TLBAblationTable(tlb).Write(os.Stdout)
-	fmt.Println()
-
-	mask, err := experiments.RunMaskGranularityAblation()
-	if err != nil {
-		fail(err)
-	}
-	experiments.MaskGranularityAblationTable(mask).Write(os.Stdout)
-	fmt.Println()
-
-	en, err := experiments.RunEnergyAblation()
-	if err != nil {
-		fail(err)
-	}
-	experiments.EnergyAblationTable(en).Write(os.Stdout)
-	fmt.Println()
-
-	wp, err := experiments.RunWritePolicyAblation()
-	if err != nil {
-		fail(err)
-	}
-	experiments.WritePolicyAblationTable(wp).Write(os.Stdout)
-	fmt.Println()
-
-	jcfg := experiments.DefaultJitterConfig
-	jit, err := experiments.RunJitter(jcfg)
-	if err != nil {
-		fail(err)
-	}
-	experiments.JitterTable(jit, jcfg).Write(os.Stdout)
-	fmt.Println()
-	if jit[1].MaxCPI-jit[1].MinCPI > 0.02 {
-		fmt.Println("shape check FAILED: mapped CPI not immune to quantum jitter")
-		ok = false
-	}
-	if ok {
-		fmt.Println("shape check: ablation expectations hold")
-	}
-	return ok
-}
-
-func runComparisons() bool {
-	ok := true
-	fmt.Println("=== Related-work comparisons (paper §5.1) ===")
-
-	pc, err := experiments.RunPageColorComparison()
-	if err != nil {
-		fail(err)
-	}
-	experiments.PageColorComparisonTable(pc).Write(os.Stdout)
-	fmt.Println()
-
-	gr, err := experiments.RunGranularityComparison()
-	if err != nil {
-		fail(err)
-	}
-	experiments.GranularityComparisonTable(gr).Write(os.Stdout)
-	fmt.Println()
-
-	pipeRows, pipeDecisions, err := experiments.RunPipelineDynamic(mpeg.DefaultConfig)
-	if err != nil {
-		fail(err)
-	}
-	experiments.PipelineTable(pipeRows, pipeDecisions).Write(os.Stdout)
-	experiments.PipelineDecisionsTable(pipeDecisions).Write(os.Stdout)
-	fmt.Println()
-	if pipeRows[2].Cycles >= pipeRows[1].Cycles {
-		fmt.Println("shape check FAILED: dynamic layout not better than static on the pipeline")
-		ok = false
-	}
-
-	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
-	l2, err := experiments.RunL2Comparison(job.Trace)
-	if err != nil {
-		fail(err)
-	}
-	experiments.L2ComparisonTable(l2).Write(os.Stdout)
-	fmt.Println()
-
-	if pc[0].RemapCost < 100*pc[1].RemapCost {
-		fmt.Println("shape check FAILED: page-coloring remap not ≫ column remap")
-		ok = false
-	}
-	if gr[2].TableMisses*5 >= gr[1].TableMisses {
-		fmt.Println("shape check FAILED: region tints did not beat process masks")
-		ok = false
-	}
-	if ok {
-		fmt.Println("shape check: comparison expectations hold")
-	}
-	return ok
 }
 
 // jsonResults collects every experiment's structured data for -json output.
@@ -242,66 +343,67 @@ type jsonResults struct {
 	ShapeChecksPassed bool                                  `json:"shapeChecksPassed"`
 }
 
-// runJSON regenerates everything and writes one JSON document to path.
-func runJSON(path string, quick bool) bool {
-	res := jsonResults{ShapeChecksPassed: true}
-	fail2 := func(err error) {
-		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-		os.Exit(1)
+// runJSON regenerates everything and writes one JSON document to path. The
+// tasks fan out across the worker pool, each filling its own field of res,
+// and the document is marshaled after the pool drains — so the JSON too is
+// identical at any -jobs value.
+func runJSON(path string, quick bool, jobs int) error {
+	res := jsonResults{}
+	fig4OK, fig5OK := false, false
+	tasks := []func() error{
+		func() (err error) {
+			if res.Fig4, err = experiments.RunFig4(experiments.DefaultFig4Config); err == nil {
+				fig4OK = len(res.Fig4.Verify()) == 0
+			}
+			return err
+		},
+		func() (err error) {
+			cfg5 := experiments.DefaultFig5Config
+			if quick {
+				cfg5 = quickFig5Config(cfg5)
+			}
+			if res.Fig5, err = experiments.RunFig5(cfg5); err == nil {
+				fig5OK = len(res.Fig5.Verify()) == 0
+			}
+			return err
+		},
+		func() (err error) { res.Policy, err = experiments.RunPolicyAblation(); return },
+		func() (err error) {
+			res.MissPenalty, err = experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80})
+			return
+		},
+		func() (err error) { res.TLB, err = experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30); return },
+		func() (err error) { res.Mask, err = experiments.RunMaskGranularityAblation(); return },
+		func() (err error) { res.WritePolicy, err = experiments.RunWritePolicyAblation(); return },
+		func() (err error) { res.Jitter, err = experiments.RunJitter(experiments.DefaultJitterConfig); return },
+		func() (err error) { res.PageColor, err = experiments.RunPageColorComparison(); return },
+		func() (err error) { res.Granularity, err = experiments.RunGranularityComparison(); return },
+		func() (err error) {
+			job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
+			res.L2, err = experiments.RunL2Comparison(job.Trace)
+			return err
+		},
+		func() (err error) { res.Pipeline, _, err = experiments.RunPipelineDynamic(mpeg.DefaultConfig); return },
 	}
-	var err error
-	if res.Fig4, err = experiments.RunFig4(experiments.DefaultFig4Config); err != nil {
-		fail2(err)
+	if _, err := runner.Map(context.Background(), tasks,
+		func(_ context.Context, task func() error, _ int) (struct{}, error) {
+			return struct{}{}, task()
+		},
+		runner.Options{Workers: jobs}); err != nil {
+		return err
 	}
-	res.ShapeChecksPassed = res.ShapeChecksPassed && len(res.Fig4.Verify()) == 0
-	cfg5 := experiments.DefaultFig5Config
-	if quick {
-		cfg5.Quanta = []int64{1, 64, 4096, 262144, 1048576}
-		cfg5.TargetInstructions = 1 << 19
-	}
-	if res.Fig5, err = experiments.RunFig5(cfg5); err != nil {
-		fail2(err)
-	}
-	res.ShapeChecksPassed = res.ShapeChecksPassed && len(res.Fig5.Verify()) == 0
-	if res.Policy, err = experiments.RunPolicyAblation(); err != nil {
-		fail2(err)
-	}
-	if res.MissPenalty, err = experiments.RunMissPenaltyAblation([]int{5, 10, 20, 40, 80}); err != nil {
-		fail2(err)
-	}
-	if res.TLB, err = experiments.RunTLBAblation([]int{8, 16, 32, 64, 128}, 30); err != nil {
-		fail2(err)
-	}
-	if res.Mask, err = experiments.RunMaskGranularityAblation(); err != nil {
-		fail2(err)
-	}
-	if res.WritePolicy, err = experiments.RunWritePolicyAblation(); err != nil {
-		fail2(err)
-	}
-	if res.Jitter, err = experiments.RunJitter(experiments.DefaultJitterConfig); err != nil {
-		fail2(err)
-	}
-	if res.PageColor, err = experiments.RunPageColorComparison(); err != nil {
-		fail2(err)
-	}
-	if res.Granularity, err = experiments.RunGranularityComparison(); err != nil {
-		fail2(err)
-	}
-	job := gzipsim.Job(gzipsim.Config{WindowBytes: 4096}, 0)
-	if res.L2, err = experiments.RunL2Comparison(job.Trace); err != nil {
-		fail2(err)
-	}
-	if res.Pipeline, _, err = experiments.RunPipelineDynamic(mpeg.DefaultConfig); err != nil {
-		fail2(err)
-	}
+	res.ShapeChecksPassed = fig4OK && fig5OK
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		fail2(err)
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fail2(err)
+		return err
 	}
 	fmt.Printf("paperbench: wrote %s (%d bytes)\n", path, len(data))
-	return res.ShapeChecksPassed
+	if !res.ShapeChecksPassed {
+		return fmt.Errorf("shape checks failed (see %s)", path)
+	}
+	return nil
 }

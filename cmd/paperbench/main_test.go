@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"colcache/internal/experiments"
+)
+
+// TestRunSectionsOrderAndAggregation checks the property the -jobs flag
+// relies on: sections execute concurrently into buffers but the assembled
+// output is in section order, with the ok flags ANDed.
+func TestRunSectionsOrderAndAggregation(t *testing.T) {
+	makeSection := func(i int, ok bool) func(io.Writer) (bool, error) {
+		return func(w io.Writer) (bool, error) {
+			// Earlier sections sleep longer, so completion order is the
+			// reverse of section order when run concurrently.
+			time.Sleep(time.Duration(5-i) * time.Millisecond)
+			fmt.Fprintf(w, "section %d\n", i)
+			return ok, nil
+		}
+	}
+	for _, jobs := range []int{1, 4} {
+		var buf bytes.Buffer
+		ok, err := runSections(&buf, []func(io.Writer) (bool, error){
+			makeSection(0, true), makeSection(1, false), makeSection(2, true), makeSection(3, true),
+		}, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if ok {
+			t.Errorf("jobs=%d: failing section not reflected in aggregate", jobs)
+		}
+		want := "section 0\nsection 1\nsection 2\nsection 3\n"
+		if buf.String() != want {
+			t.Errorf("jobs=%d: output out of order:\n%q", jobs, buf.String())
+		}
+	}
+}
+
+// TestRunSectionsError checks that a section error aborts the run.
+func TestRunSectionsError(t *testing.T) {
+	boom := errors.New("section failed")
+	var buf bytes.Buffer
+	_, err := runSections(&buf, []func(io.Writer) (bool, error){
+		func(w io.Writer) (bool, error) { fmt.Fprintln(w, "fine"); return true, nil },
+		func(io.Writer) (bool, error) { return false, boom },
+	}, 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+}
+
+// TestRunSectionsPanicContained checks that a panicking section surfaces
+// as an error rather than crashing the bench.
+func TestRunSectionsPanicContained(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := runSections(&buf, []func(io.Writer) (bool, error){
+		func(io.Writer) (bool, error) { panic("experiment exploded") },
+	}, 2)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error = %v, want contained panic", err)
+	}
+}
+
+// TestQuickFig5Config checks that -quick trims the sweep without touching
+// the other parameters.
+func TestQuickFig5Config(t *testing.T) {
+	full := experiments.DefaultFig5Config
+	cfg := quickFig5Config(full)
+	if len(cfg.Quanta) != 5 || cfg.TargetInstructions != 1<<19 {
+		t.Errorf("quick config = %d quanta, %d instructions", len(cfg.Quanta), cfg.TargetInstructions)
+	}
+	if cfg.Ways != full.Ways || cfg.LineBytes != full.LineBytes {
+		t.Error("quick config changed machine parameters")
+	}
+}

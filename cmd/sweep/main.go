@@ -11,9 +11,14 @@
 // penalty, 64B pages) and can be overridden with -ways/-sets/-line/-penalty.
 // With -layout the paper's data layout algorithm places the workload's
 // variables before each run; otherwise the cache is unmanaged.
+//
+// Sweep points are independent machines and run on a bounded worker pool
+// (-jobs N; 0 = one worker per CPU, 1 = serial). The CSV rows come out in
+// sweep order and are byte-identical at any -jobs value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,7 @@ import (
 	"colcache/internal/layout"
 	"colcache/internal/memory"
 	"colcache/internal/memsys"
+	"colcache/internal/runner"
 	"colcache/internal/workloads"
 	"colcache/internal/workloads/gzipsim"
 	"colcache/internal/workloads/kernels"
@@ -44,6 +50,7 @@ func main() {
 	penalty := flag.Int("penalty", 20, "miss penalty cycles")
 	page := flag.Int("page", 64, "page bytes")
 	useLayout := flag.Bool("layout", false, "apply the data layout algorithm before each run")
+	jobs := flag.Int("jobs", 0, "parallel sweep points (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	prog, err := buildWorkload(*workload)
@@ -58,27 +65,42 @@ func main() {
 	}
 
 	f := fixed{ways: *ways, sets: *sets, line: *line, penalty: *penalty, page: *page, useLayout: *useLayout}
-	fmt.Println("param,value,cycles,instructions,cpi,missrate")
-	for _, v := range values {
-		cfg := f
-		switch param {
-		case "ways":
-			cfg.ways = v
-		case "sets":
-			cfg.sets = v
-		case "line":
-			cfg.line = v
-		case "penalty":
-			cfg.penalty = v
-		}
-		cycles, st, err := run(prog, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %s=%d: %v\n", param, v, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s,%d,%d,%d,%.4f,%.4f\n",
-			param, v, cycles, st.Instructions, st.CPI(), st.Cache.MissRate())
+	rows, err := sweepRows(prog, f, param, values, *jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
 	}
+	fmt.Println("param,value,cycles,instructions,cpi,missrate")
+	for _, row := range rows {
+		fmt.Print(row)
+	}
+}
+
+// sweepRows runs every sweep point on a bounded worker pool (each point
+// builds its own memsys.System; the workload is shared read-only) and
+// returns one CSV line per point, in sweep order regardless of jobs.
+func sweepRows(prog *workloads.Program, f fixed, param string, values []int, jobs int) ([]string, error) {
+	return runner.Map(context.Background(), values,
+		func(_ context.Context, v, _ int) (string, error) {
+			cfg := f
+			switch param {
+			case "ways":
+				cfg.ways = v
+			case "sets":
+				cfg.sets = v
+			case "line":
+				cfg.line = v
+			case "penalty":
+				cfg.penalty = v
+			}
+			cycles, st, err := run(prog, cfg)
+			if err != nil {
+				return "", fmt.Errorf("%s=%d: %w", param, v, err)
+			}
+			return fmt.Sprintf("%s,%d,%d,%d,%.4f,%.4f\n",
+				param, v, cycles, st.Instructions, st.CPI(), st.Cache.MissRate()), nil
+		},
+		runner.Options{Workers: jobs})
 }
 
 func parseSweep(spec string) (string, []int, error) {

@@ -58,3 +58,38 @@ func TestRunSweepPoint(t *testing.T) {
 		t.Error("bad geometry accepted")
 	}
 }
+
+// TestSweepRowsParallelDeterminism checks the -jobs guarantee: the CSV
+// rows are identical whether the sweep points run serially or on a pool.
+func TestSweepRowsParallelDeterminism(t *testing.T) {
+	prog, _ := buildWorkload("idct")
+	f := fixed{ways: 4, sets: 16, line: 32, penalty: 20, page: 64, useLayout: true}
+	values := []int{1, 2, 4, 8}
+	serial, err := sweepRows(prog, f, "ways", values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweepRows(prog, f, "ways", values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(values) || len(parallel) != len(values) {
+		t.Fatalf("row counts %d/%d, want %d", len(serial), len(parallel), len(values))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs:\nserial:   %q\nparallel: %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestSweepRowsError checks that a failing sweep point aborts the sweep
+// with the point identified.
+func TestSweepRowsError(t *testing.T) {
+	prog, _ := buildWorkload("dequant")
+	f := fixed{ways: 4, sets: 16, line: 32, penalty: 20, page: 64}
+	// line=33 is invalid geometry, so the second point fails.
+	if _, err := sweepRows(prog, f, "line", []int{32, 33}, 2); err == nil {
+		t.Error("invalid sweep point did not error")
+	}
+}

@@ -33,42 +33,50 @@ type PolicyAblation struct {
 func RunPolicyAblation() ([]PolicyAblation, error) {
 	jobA := gzipsim.Job(gzipsim.Config{WindowBytes: 8 * 1024}, 0)
 	jobB := gzipsim.Job(gzipsim.Config{WindowBytes: 8 * 1024, Seed: 2}, 1<<32)
-	var out []PolicyAblation
-	for _, kind := range []replacement.Kind{replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random} {
-		row := PolicyAblation{Policy: kind}
+	kinds := []replacement.Kind{replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random}
+	type point struct {
+		kind   replacement.Kind
+		mapped bool
+	}
+	var grid []point
+	for _, kind := range kinds {
 		for _, mapped := range []bool{false, true} {
-			sys, err := memsys.New(memsys.Config{
-				Geometry: memory.MustGeometry(32, 4096),
-				Cache:    cache.Config{LineBytes: 32, NumSets: 128, NumWays: 4, Policy: kind},
-				Timing:   memsys.DefaultTiming,
-			})
-			if err != nil {
-				return nil, err
+			grid = append(grid, point{kind, mapped})
+		}
+	}
+	cpis, err := sweepMap(grid, func(p point, _ int) (float64, error) {
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(32, 4096),
+			Cache:    cache.Config{LineBytes: 32, NumSets: 128, NumWays: 4, Policy: p.kind},
+			Timing:   memsys.DefaultTiming,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if p.mapped {
+			base, size := jobSpan(jobA)
+			if _, err := sys.MapRegion(memory.Region{Name: "A", Base: base, Size: size}, replacement.Range(0, 3)); err != nil {
+				return 0, err
 			}
-			if mapped {
-				base, size := jobSpan(jobA)
-				if _, err := sys.MapRegion(memory.Region{Name: "A", Base: base, Size: size}, replacement.Range(0, 3)); err != nil {
-					return nil, err
-				}
-				base, size = jobSpan(jobB)
-				if _, err := sys.MapRegion(memory.Region{Name: "B", Base: base, Size: size}, replacement.Range(3, 4)); err != nil {
-					return nil, err
-				}
-			}
-			rr, err := sched.NewRoundRobin(sys, 64)
-			if err != nil {
-				return nil, err
-			}
-			rr.Add(&sched.Job{Name: "A", Trace: jobA.Trace, TargetInstructions: 1 << 18})
-			rr.Add(&sched.Job{Name: "B", Trace: jobB.Trace, TargetInstructions: 1 << 18})
-			cpi := rr.Run()[0].CPI()
-			if mapped {
-				row.MappedCPI = cpi
-			} else {
-				row.SharedCPI = cpi
+			base, size = jobSpan(jobB)
+			if _, err := sys.MapRegion(memory.Region{Name: "B", Base: base, Size: size}, replacement.Range(3, 4)); err != nil {
+				return 0, err
 			}
 		}
-		out = append(out, row)
+		rr, err := sched.NewRoundRobin(sys, 64)
+		if err != nil {
+			return 0, err
+		}
+		rr.Add(&sched.Job{Name: "A", Trace: jobA.Trace, TargetInstructions: 1 << 18})
+		rr.Add(&sched.Job{Name: "B", Trace: jobB.Trace, TargetInstructions: 1 << 18})
+		return rr.Run()[0].CPI(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []PolicyAblation
+	for i, kind := range kinds {
+		out = append(out, PolicyAblation{Policy: kind, SharedCPI: cpis[2*i], MappedCPI: cpis[2*i+1]})
 	}
 	return out, nil
 }
@@ -98,20 +106,30 @@ type MissPenaltyAblation struct {
 
 // RunMissPenaltyAblation sweeps the miss penalty.
 func RunMissPenaltyAblation(penalties []int) ([]MissPenaltyAblation, error) {
-	var out []MissPenaltyAblation
 	prog := mpeg.Dequant(mpeg.DefaultConfig)
+	columns := DefaultFig4Config.Columns
+	type point struct {
+		penalty, k int
+	}
+	var grid []point
 	for _, pen := range penalties {
-		cfg := DefaultFig4Config
-		cfg.Timing.MissPenalty = pen
-		cfg.Timing.Uncached = pen
-		sweep := RoutineSweep{Name: prog.Name, Cycles: make([]int64, cfg.Columns+1)}
-		for k := 0; k <= cfg.Columns; k++ {
-			cycles, _, err := runPartition(cfg, prog, k)
-			if err != nil {
-				return nil, err
-			}
-			sweep.Cycles[k] = cycles
+		for k := 0; k <= columns; k++ {
+			grid = append(grid, point{pen, k})
 		}
+	}
+	cycles, err := sweepMap(grid, func(p point, _ int) (int64, error) {
+		cfg := DefaultFig4Config
+		cfg.Timing.MissPenalty = p.penalty
+		cfg.Timing.Uncached = p.penalty
+		c, _, err := runPartition(cfg, prog, p.k)
+		return c, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MissPenaltyAblation
+	for i, pen := range penalties {
+		sweep := RoutineSweep{Name: prog.Name, Cycles: cycles[i*(columns+1) : (i+1)*(columns+1)]}
 		out = append(out, MissPenaltyAblation{MissPenalty: pen, Sweep: sweep})
 	}
 	return out, nil
@@ -153,8 +171,7 @@ type TLBAblation struct {
 // RunTLBAblation sweeps TLB reach.
 func RunTLBAblation(entries []int, walkPenalty int) ([]TLBAblation, error) {
 	prog := mpeg.Idct(mpeg.DefaultConfig)
-	var out []TLBAblation
-	for _, n := range entries {
+	return sweepMap(entries, func(n, _ int) (TLBAblation, error) {
 		timing := memsys.DefaultTiming
 		timing.TLBMiss = walkPenalty
 		sys, err := memsys.New(memsys.Config{
@@ -164,19 +181,18 @@ func RunTLBAblation(entries []int, walkPenalty int) ([]TLBAblation, error) {
 			Timing:   timing,
 		})
 		if err != nil {
-			return nil, err
+			return TLBAblation{}, err
 		}
 		sys.Run(prog.Trace)
 		st := sys.Stats()
-		out = append(out, TLBAblation{
+		return TLBAblation{
 			TLBEntries:  n,
 			WalkPenalty: walkPenalty,
 			CPI:         st.CPI(),
 			TLBHitRate:  st.TLB.HitRate(),
 			CacheMisses: st.Cache.Misses,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // TLBAblationTable renders the sweep.
@@ -222,29 +238,27 @@ func RunMaskGranularityAblation() ([]MaskGranularityAblation, error) {
 		{"blocks aggregated into 2 columns", [3]replacement.Mask{replacement.Of(0), replacement.Of(1), replacement.Of(2, 3)}},
 		{"no mapping (all columns for all)", [3]replacement.Mask{replacement.All(4), replacement.All(4), replacement.All(4)}},
 	}
-	var out []MaskGranularityAblation
-	for _, sh := range shapes {
+	return sweepMap(shapes, func(sh shape, _ int) (MaskGranularityAblation, error) {
 		sys, err := memsys.New(memsys.Config{
 			Geometry: memory.MustGeometry(32, 64),
 			Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
 			Timing:   memsys.DefaultTiming,
 		})
 		if err != nil {
-			return nil, err
+			return MaskGranularityAblation{}, err
 		}
 		for i, r := range []memory.Region{cos, tmp, blocks} {
 			if _, err := sys.MapRegion(r, sh.masks[i]); err != nil {
-				return nil, err
+				return MaskGranularityAblation{}, err
 			}
 		}
 		cycles := sys.Run(prog.Trace)
-		out = append(out, MaskGranularityAblation{
+		return MaskGranularityAblation{
 			Description: sh.desc,
 			Cycles:      cycles,
 			Misses:      sys.Stats().Cache.Misses,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // MaskGranularityAblationTable renders the comparison.
@@ -275,8 +289,8 @@ type WritePolicyAblation struct {
 // whose bins are read-modify-write hot data.
 func RunWritePolicyAblation() ([]WritePolicyAblation, error) {
 	prog := kernels.Histogram(kernels.HistogramConfig{})
-	var out []WritePolicyAblation
-	for _, wp := range []cache.WritePolicy{cache.WriteBackAllocate, cache.WriteThroughNoAllocate} {
+	policies := []cache.WritePolicy{cache.WriteBackAllocate, cache.WriteThroughNoAllocate}
+	return sweepMap(policies, func(wp cache.WritePolicy, _ int) (WritePolicyAblation, error) {
 		timing := memsys.DefaultTiming
 		// Sustained stores cannot hide the bus trip under write-through.
 		timing.WriteThroughStore = timing.MissPenalty / 2
@@ -286,20 +300,19 @@ func RunWritePolicyAblation() ([]WritePolicyAblation, error) {
 			Timing:   timing,
 		})
 		if err != nil {
-			return nil, err
+			return WritePolicyAblation{}, err
 		}
 		cycles := sys.Run(prog.Trace)
 		// Flush so write-back's coalesced dirty lines are accounted.
 		sys.FlushCache()
 		st := sys.Stats()
-		out = append(out, WritePolicyAblation{
+		return WritePolicyAblation{
 			Policy:     wp.String(),
 			Cycles:     cycles,
 			Writebacks: st.Cache.Writebacks,
 			MissRate:   st.Cache.MissRate(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // WritePolicyAblationTable renders the comparison.
@@ -327,47 +340,63 @@ type EnergyAblation struct {
 // RunEnergyAblation sweeps the dequant and idct partitions, in picojoules.
 func RunEnergyAblation() ([]EnergyAblation, error) {
 	cfg := DefaultFig4Config
-	var out []EnergyAblation
-	for _, prog := range []*workloads.Program{mpeg.Dequant(cfg.MPEG), mpeg.Idct(cfg.MPEG)} {
-		row := EnergyAblation{Routine: prog.Name, EnergyPJ: make([]int64, cfg.Columns+1)}
+	progs := []*workloads.Program{mpeg.Dequant(cfg.MPEG), mpeg.Idct(cfg.MPEG)}
+	type point struct {
+		prog *workloads.Program
+		k    int
+	}
+	var grid []point
+	for _, prog := range progs {
 		for k := 0; k <= cfg.Columns; k++ {
-			scratchBytes := uint64(cfg.Columns-k) * uint64(cfg.ColumnBytes)
-			ways := k
-			if ways == 0 {
-				ways = 1
-			}
-			sys, err := memsys.New(memsys.Config{
-				Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
-				Cache: cache.Config{
-					LineBytes: cfg.LineBytes,
-					NumSets:   cfg.ColumnBytes / cfg.LineBytes,
-					NumWays:   ways,
-				},
-				Timing:          cfg.Timing,
-				ScratchpadBytes: scratchBytes,
-			})
-			if err != nil {
-				return nil, err
-			}
-			plan, err := layout.Build(layout.Request{
-				Trace: prog.Trace,
-				Vars:  prog.Vars,
-				Machine: layout.Machine{
-					Columns:         k,
-					ColumnBytes:     cfg.ColumnBytes,
-					ScratchpadBytes: scratchBytes,
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := layout.Apply(plan, sys, 0); err != nil {
-				return nil, err
-			}
-			sys.Run(prog.Trace)
-			row.EnergyPJ[k] = sys.EnergyPJ()
+			grid = append(grid, point{prog, k})
 		}
-		out = append(out, row)
+	}
+	energies, err := sweepMap(grid, func(p point, _ int) (int64, error) {
+		scratchBytes := uint64(cfg.Columns-p.k) * uint64(cfg.ColumnBytes)
+		ways := p.k
+		if ways == 0 {
+			ways = 1
+		}
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+			Cache: cache.Config{
+				LineBytes: cfg.LineBytes,
+				NumSets:   cfg.ColumnBytes / cfg.LineBytes,
+				NumWays:   ways,
+			},
+			Timing:          cfg.Timing,
+			ScratchpadBytes: scratchBytes,
+		})
+		if err != nil {
+			return 0, err
+		}
+		plan, err := layout.Build(layout.Request{
+			Trace: p.prog.Trace,
+			Vars:  p.prog.Vars,
+			Machine: layout.Machine{
+				Columns:         p.k,
+				ColumnBytes:     cfg.ColumnBytes,
+				ScratchpadBytes: scratchBytes,
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := layout.Apply(plan, sys, 0); err != nil {
+			return 0, err
+		}
+		sys.Run(p.prog.Trace)
+		return sys.EnergyPJ(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []EnergyAblation
+	for i, prog := range progs {
+		out = append(out, EnergyAblation{
+			Routine:  prog.Name,
+			EnergyPJ: energies[i*(cfg.Columns+1) : (i+1)*(cfg.Columns+1)],
+		})
 	}
 	return out, nil
 }

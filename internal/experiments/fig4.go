@@ -122,18 +122,42 @@ func RunFig4(cfg Fig4Config) (*Fig4Data, error) {
 		mpeg.Idct(cfg.MPEG),
 	}
 	data := &Fig4Data{Config: cfg, Total: make([]int64, cfg.Columns+1)}
+
+	// Every (routine, partition) point is an independent machine; fan the
+	// grid out and assemble the sweeps in order afterwards.
+	type point struct {
+		prog *workloads.Program
+		k    int
+	}
+	var grid []point
+	for _, prog := range progs {
+		for k := 0; k <= cfg.Columns; k++ {
+			grid = append(grid, point{prog, k})
+		}
+	}
+	type measure struct {
+		cycles, remap int64
+	}
+	results, err := sweepMap(grid, func(p point, _ int) (measure, error) {
+		cycles, remap, err := runPartition(cfg, p.prog, p.k)
+		if err != nil {
+			return measure{}, fmt.Errorf("experiments: fig4 %s k=%d: %w", p.prog.Name, p.k, err)
+		}
+		return measure{cycles, remap}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	remapWork := make([][]int64, len(progs))
 	for i, prog := range progs {
 		sweep := RoutineSweep{Name: prog.Name, Cycles: make([]int64, cfg.Columns+1)}
 		remapWork[i] = make([]int64, cfg.Columns+1)
 		for k := 0; k <= cfg.Columns; k++ {
-			cycles, remap, err := runPartition(cfg, prog, k)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 %s k=%d: %w", prog.Name, k, err)
-			}
-			sweep.Cycles[k] = cycles
-			data.Total[k] += cycles
-			remapWork[i][k] = remap
+			m := results[i*(cfg.Columns+1)+k]
+			sweep.Cycles[k] = m.cycles
+			data.Total[k] += m.cycles
+			remapWork[i][k] = m.remap
 		}
 		data.Routines = append(data.Routines, sweep)
 	}

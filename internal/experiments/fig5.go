@@ -105,62 +105,82 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 		jobs[i] = gzipsim.Job(g, memory.Addr(i)<<32)
 	}
 
-	data := &Fig5Data{Config: cfg}
+	// Every (cache size, mapping, quantum) point is an independent
+	// machine; fan the whole grid out and assemble the curves in order
+	// afterwards. The job programs are shared read-only: the scheduler
+	// keeps per-run positions in its own sched.Job structs.
+	type point struct {
+		cacheBytes int
+		mapped     bool
+		quantum    int64
+	}
+	var grid []point
 	for _, cacheBytes := range cfg.CacheBytes {
-		numSets := cacheBytes / (cfg.LineBytes * cfg.Ways)
 		for _, mapped := range []bool{false, true} {
-			curve := Fig5Curve{CacheBytes: cacheBytes, Mapped: mapped}
 			for _, q := range cfg.Quanta {
-				sys, err := memsys.New(memsys.Config{
-					Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
-					Cache: cache.Config{
-						LineBytes: cfg.LineBytes,
-						NumSets:   numSets,
-						NumWays:   cfg.Ways,
-					},
-					Timing: cfg.Timing,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if mapped {
-					// Job A is critical: it exclusively owns a large
-					// fraction of the columns; B and C share the rest.
-					own := cfg.MappedColumnsForA
-					if own < 1 || own >= cfg.Ways {
-						own = cfg.Ways / 2
-					}
-					aMask := replacement.Range(0, own)
-					bcMask := replacement.Range(own, cfg.Ways)
-					base, size := jobSpan(jobs[0])
-					if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size}, aMask); err != nil {
-						return nil, err
-					}
-					for i := 1; i < 3; i++ {
-						base, size := jobSpan(jobs[i])
-						if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size}, bcMask); err != nil {
-							return nil, err
-						}
-					}
-				}
-				rr, err := sched.NewRoundRobin(sys, q)
-				if err != nil {
-					return nil, err
-				}
-				for i, p := range jobs {
-					if err := rr.Add(&sched.Job{
-						Name:               fmt.Sprintf("job%c", 'A'+i),
-						Trace:              p.Trace,
-						TargetInstructions: cfg.TargetInstructions,
-					}); err != nil {
-						return nil, err
-					}
-				}
-				stats := rr.Run()
-				curve.Points = append(curve.Points, Fig5Point{Quantum: q, CPI: stats[0].CPI()})
+				grid = append(grid, point{cacheBytes, mapped, q})
 			}
-			data.Curves = append(data.Curves, curve)
 		}
+	}
+	cpis, err := sweepMap(grid, func(p point, _ int) (float64, error) {
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+			Cache: cache.Config{
+				LineBytes: cfg.LineBytes,
+				NumSets:   p.cacheBytes / (cfg.LineBytes * cfg.Ways),
+				NumWays:   cfg.Ways,
+			},
+			Timing: cfg.Timing,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if p.mapped {
+			// Job A is critical: it exclusively owns a large fraction of
+			// the columns; B and C share the rest.
+			own := cfg.MappedColumnsForA
+			if own < 1 || own >= cfg.Ways {
+				own = cfg.Ways / 2
+			}
+			aMask := replacement.Range(0, own)
+			bcMask := replacement.Range(own, cfg.Ways)
+			base, size := jobSpan(jobs[0])
+			if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size}, aMask); err != nil {
+				return 0, err
+			}
+			for i := 1; i < 3; i++ {
+				base, size := jobSpan(jobs[i])
+				if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size}, bcMask); err != nil {
+					return 0, err
+				}
+			}
+		}
+		rr, err := sched.NewRoundRobin(sys, p.quantum)
+		if err != nil {
+			return 0, err
+		}
+		for i, prog := range jobs {
+			if err := rr.Add(&sched.Job{
+				Name:               fmt.Sprintf("job%c", 'A'+i),
+				Trace:              prog.Trace,
+				TargetInstructions: cfg.TargetInstructions,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return rr.Run()[0].CPI(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	data := &Fig5Data{Config: cfg}
+	for i := 0; i < len(grid); i += len(cfg.Quanta) {
+		curve := Fig5Curve{CacheBytes: grid[i].cacheBytes, Mapped: grid[i].mapped}
+		for j, q := range cfg.Quanta {
+			curve.Points = append(curve.Points, Fig5Point{Quantum: q, CPI: cpis[i+j]})
+		}
+		data.Curves = append(data.Curves, curve)
 	}
 	return data, nil
 }

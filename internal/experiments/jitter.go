@@ -75,51 +75,66 @@ func RunJitter(cfg JitterConfig) ([]JitterResult, error) {
 	}
 	numSets := cfg.CacheBytes / (cfg.LineBytes * cfg.Ways)
 
-	var out []JitterResult
+	// Every (configuration, seed) run is an independent machine; fan the
+	// grid out and summarize per configuration afterwards.
+	type point struct {
+		mapped bool
+		seed   int
+	}
+	var grid []point
 	for _, mapped := range []bool{false, true} {
-		var cpis []float64
 		for seed := 1; seed <= cfg.Seeds; seed++ {
-			sys, err := memsys.New(memsys.Config{
-				Geometry: memory.MustGeometry(cfg.LineBytes, 4096),
-				Cache:    cache.Config{LineBytes: cfg.LineBytes, NumSets: numSets, NumWays: cfg.Ways},
-				Timing:   memsys.DefaultTiming,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if mapped {
-				own := cfg.MappedColumnsForA
-				base, size := jobSpan(jobs[0])
-				if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size},
-					replacement.Range(0, own)); err != nil {
-					return nil, err
-				}
-				for i := 1; i < 3; i++ {
-					base, size := jobSpan(jobs[i])
-					if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size},
-						replacement.Range(own, cfg.Ways)); err != nil {
-						return nil, err
-					}
-				}
-			}
-			rr, err := sched.NewRoundRobin(sys, cfg.NominalQuantum)
-			if err != nil {
-				return nil, err
-			}
-			rr.JitterFrac = cfg.JitterFrac
-			rr.JitterSeed = uint64(seed) * 0x9e3779b97f4a7c15
-			for i, p := range jobs {
-				if err := rr.Add(&sched.Job{
-					Name:               fmt.Sprintf("job%c", 'A'+i),
-					Trace:              p.Trace,
-					TargetInstructions: cfg.TargetInstructions,
-				}); err != nil {
-					return nil, err
-				}
-			}
-			cpis = append(cpis, rr.Run()[0].CPI())
+			grid = append(grid, point{mapped, seed})
 		}
-		out = append(out, summarizeJitter(mapped, cpis))
+	}
+	cpis, err := sweepMap(grid, func(p point, _ int) (float64, error) {
+		sys, err := memsys.New(memsys.Config{
+			Geometry: memory.MustGeometry(cfg.LineBytes, 4096),
+			Cache:    cache.Config{LineBytes: cfg.LineBytes, NumSets: numSets, NumWays: cfg.Ways},
+			Timing:   memsys.DefaultTiming,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if p.mapped {
+			own := cfg.MappedColumnsForA
+			base, size := jobSpan(jobs[0])
+			if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size},
+				replacement.Range(0, own)); err != nil {
+				return 0, err
+			}
+			for i := 1; i < 3; i++ {
+				base, size := jobSpan(jobs[i])
+				if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size},
+					replacement.Range(own, cfg.Ways)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		rr, err := sched.NewRoundRobin(sys, cfg.NominalQuantum)
+		if err != nil {
+			return 0, err
+		}
+		rr.JitterFrac = cfg.JitterFrac
+		rr.JitterSeed = uint64(p.seed) * 0x9e3779b97f4a7c15
+		for i, prog := range jobs {
+			if err := rr.Add(&sched.Job{
+				Name:               fmt.Sprintf("job%c", 'A'+i),
+				Trace:              prog.Trace,
+				TargetInstructions: cfg.TargetInstructions,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return rr.Run()[0].CPI(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []JitterResult
+	for i, mapped := range []bool{false, true} {
+		out = append(out, summarizeJitter(mapped, cpis[i*cfg.Seeds:(i+1)*cfg.Seeds]))
 	}
 	return out, nil
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+
+	"colcache/internal/runner"
+)
+
+// The experiment inner sweeps (Figure 4 partitions, Figure 5 quantum grid,
+// the ablations) fan out over independent sweep points, each building its
+// own memsys.System; this file holds the package-wide worker-pool width
+// they share. Results are always assembled in input order, so the tables
+// are byte-identical at any width.
+
+// numWorkers is the pool width: 0 means one worker per CPU, 1 means
+// serial. Atomic so a caller may set it while experiments launched earlier
+// are still running (paperbench sets it once at startup; tests toggle it).
+var numWorkers atomic.Int64
+
+// SetWorkers bounds the concurrency of every experiment in this package.
+// n <= 0 restores the default (one worker per CPU); n == 1 reproduces the
+// serial loops.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	numWorkers.Store(int64(n))
+}
+
+// Workers reports the current pool width; 0 means one worker per CPU.
+func Workers() int { return int(numWorkers.Load()) }
+
+// sweepMap fans fn out over jobs with the package worker setting,
+// fail-fast, returning results in input order.
+func sweepMap[In, Out any](jobs []In, fn func(job In, index int) (Out, error)) ([]Out, error) {
+	return runner.Map(context.Background(), jobs,
+		func(_ context.Context, job In, index int) (Out, error) { return fn(job, index) },
+		runner.Options{Workers: Workers()})
+}

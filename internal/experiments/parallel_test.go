@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism checks the determinism guarantee behind the
+// -jobs flag: every experiment must produce identical data at any worker
+// count. The serial run (workers=1) is the reference; the wide run
+// (workers=4) exercises the concurrent paths — including under -race,
+// which matters on single-CPU machines where the default width is 1.
+func TestParallelDeterminism(t *testing.T) {
+	defer SetWorkers(0)
+
+	fig5cfg := fig5TestConfig()
+	fig5cfg.Quanta = []int64{1, 16384}
+	fig5cfg.TargetInstructions = 1 << 17
+	jitterCfg := DefaultJitterConfig
+	jitterCfg.TargetInstructions = 1 << 16
+	jitterCfg.Seeds = 3
+
+	checks := []struct {
+		name string
+		run  func() (any, error)
+	}{
+		{"fig4", func() (any, error) { return RunFig4(DefaultFig4Config) }},
+		{"fig5", func() (any, error) { return RunFig5(fig5cfg) }},
+		{"policy", func() (any, error) { return RunPolicyAblation() }},
+		{"missPenalty", func() (any, error) { return RunMissPenaltyAblation([]int{5, 40}) }},
+		{"tlb", func() (any, error) { return RunTLBAblation([]int{8, 64}, 30) }},
+		{"mask", func() (any, error) { return RunMaskGranularityAblation() }},
+		{"writePolicy", func() (any, error) { return RunWritePolicyAblation() }},
+		{"energy", func() (any, error) { return RunEnergyAblation() }},
+		{"jitter", func() (any, error) { return RunJitter(jitterCfg) }},
+	}
+	for _, c := range checks {
+		t.Run(c.name, func(t *testing.T) {
+			SetWorkers(1)
+			serial, err := c.run()
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			SetWorkers(4)
+			parallel, err := c.run()
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("results differ between 1 and 4 workers:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestSetWorkersClamp checks the knob's edge cases.
+func TestSetWorkersClamp(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(-5)
+	if Workers() != 0 {
+		t.Errorf("Workers() = %d after SetWorkers(-5), want 0", Workers())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", Workers())
+	}
+}
+
+// TestSweepMapPropagatesErrors checks that an experiment error surfaces
+// from the pool with the sweep point attached, at either width.
+func TestSweepMapPropagatesErrors(t *testing.T) {
+	defer SetWorkers(0)
+	boom := errors.New("bad sweep point")
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		_, err := sweepMap([]int{1, 2, 3}, func(v, _ int) (int, error) {
+			if v == 2 {
+				return 0, boom
+			}
+			return v, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error = %v, want %v", workers, err, boom)
+		}
+	}
+}

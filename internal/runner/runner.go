@@ -1,0 +1,255 @@
+// Package runner fans independent simulation jobs out across a bounded
+// worker pool while keeping the results deterministic: Map returns its
+// outputs in input order no matter how the scheduler interleaves the
+// workers, so a sweep run on sixteen cores emits byte-identical tables to
+// the same sweep run serially.
+//
+// Every experiment job in this repository builds its own memsys.System, so
+// jobs share no mutable state; the runner only has to guarantee ordering,
+// bounded concurrency, and containment — a panicking job becomes an error
+// result rather than a crashed sweep.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// ErrorPolicy selects how Map reacts to a failing job.
+type ErrorPolicy int
+
+const (
+	// FailFast cancels the remaining jobs as soon as any job errors and
+	// returns that first error. With Workers == 1 this is exactly a serial
+	// loop's behavior: the error of the earliest failing job.
+	FailFast ErrorPolicy = iota
+	// CollectAll runs every job to completion and returns all errors,
+	// joined in job order, each wrapped in a *JobError carrying its index.
+	CollectAll
+)
+
+// Options configure Map.
+type Options struct {
+	// Workers bounds how many jobs run concurrently. Zero or negative
+	// means runtime.NumCPU(). One runs the jobs serially in the calling
+	// goroutine, reproducing a plain loop exactly.
+	Workers int
+	// Policy is FailFast unless set to CollectAll.
+	Policy ErrorPolicy
+	// Progress, when non-nil, is called after each job finishes with the
+	// count of completed jobs and the total. Calls are serialized, so the
+	// callback needs no locking of its own; completion order is
+	// scheduler-dependent when Workers > 1.
+	Progress func(done, total int)
+}
+
+// DefaultWorkers is the pool width used when Options.Workers is zero:
+// one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// PanicError is a recovered job panic. The job's index, the panic value,
+// and the goroutine stack at the point of the panic are preserved so a
+// failing sweep point is diagnosable after the sweep completes.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v", e.Index, e.Value)
+}
+
+// JobError ties an error to the index of the job that produced it; Map
+// wraps every job failure in one so CollectAll callers can attribute
+// errors to sweep points.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Map runs fn once per element of jobs on a pool of opts.Workers
+// goroutines and returns the outputs in input order: out[i] is fn's result
+// for jobs[i]. fn receives a context that is canceled when the sweep is
+// abandoned (parent cancellation, or a FailFast error elsewhere), the job,
+// and the job's index.
+//
+// A panic inside fn is recovered into a *PanicError for that job rather
+// than crashing the program. Under FailFast the first error (in completion
+// order; in job order when Workers == 1) is returned and the remaining
+// jobs are skipped; under CollectAll every job runs and the joined errors
+// are returned. Either way the returned slice always has len(jobs)
+// entries — slots whose job failed or was skipped hold Out's zero value.
+func Map[In, Out any](ctx context.Context, jobs []In, fn func(ctx context.Context, job In, index int) (Out, error), opts Options) ([]Out, error) {
+	out := make([]Out, len(jobs))
+	if len(jobs) == 0 {
+		return out, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		// A plain loop, but on a fresh goroutine: deeply nested callers
+		// (paperbench sections run sweeps inside sweeps) otherwise churn
+		// the calling goroutine's stack through grow/shrink cycles, which
+		// costs several percent on simulation-bound jobs.
+		errc := make(chan error, 1)
+		go func() { errc <- mapSerial(ctx, jobs, fn, opts, out) }()
+		return out, <-errc
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex // guards done, firstErr, errs
+		done      int
+		firstErr  error
+		errs      []error
+		wg        sync.WaitGroup
+		indexChan = make(chan int)
+	)
+	fail := func(index int, err error) {
+		je := asJobError(index, err)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = je
+		}
+		errs = append(errs, je)
+		mu.Unlock()
+		if opts.Policy == FailFast {
+			cancel()
+		}
+	}
+
+	// Feeder: hand out indices until they run out or the sweep is canceled.
+	go func() {
+		defer close(indexChan)
+		for i := range jobs {
+			select {
+			case indexChan <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexChan {
+				res, err := runOne(ctx, fn, jobs[i], i)
+				if err != nil {
+					fail(i, err)
+				} else {
+					out[i] = res
+				}
+				mu.Lock()
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(jobs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if opts.Policy == FailFast {
+		if firstErr != nil {
+			return out, firstErr
+		}
+		return out, ctx.Err()
+	}
+	// CollectAll: report in job order, not completion order, so the error
+	// text is deterministic.
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return out, joinOrdered(errs)
+}
+
+// mapSerial is the Workers == 1 path: a plain loop in the calling
+// goroutine, with the same panic containment and error policies.
+func mapSerial[In, Out any](ctx context.Context, jobs []In, fn func(context.Context, In, int) (Out, error), opts Options, out []Out) error {
+	var errs []error
+	for i := range jobs {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		res, err := runOne(ctx, fn, jobs[i], i)
+		if err != nil {
+			je := asJobError(i, err)
+			if opts.Policy == FailFast {
+				return je
+			}
+			errs = append(errs, je)
+		} else {
+			out[i] = res
+		}
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(jobs))
+		}
+	}
+	return joinOrdered(errs)
+}
+
+// runOne invokes fn for one job, converting a panic into a *PanicError.
+func runOne[In, Out any](ctx context.Context, fn func(context.Context, In, int) (Out, error), job In, index int) (out Out, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job, index)
+}
+
+// asJobError wraps err with its job index; *PanicError already carries
+// one and is passed through.
+func asJobError(index int, err error) error {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &JobError{Index: index, Err: err}
+}
+
+// joinOrdered joins errors sorted by job index (context errors, which have
+// no index, sort last).
+func joinOrdered(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	ordered := make([]error, len(errs))
+	copy(ordered, errs)
+	index := func(err error) int {
+		var je *JobError
+		if errors.As(err, &je) {
+			return je.Index
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			return pe.Index
+		}
+		return int(^uint(0) >> 1)
+	}
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && index(ordered[j]) < index(ordered[j-1]); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	return errors.Join(ordered...)
+}

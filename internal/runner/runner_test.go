@@ -1,0 +1,290 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering checks that results come back in input order no matter
+// how the workers interleave: jobs finish in scrambled order (later jobs
+// sleep less) but out[i] must still correspond to jobs[i].
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			jobs := make([]int, 50)
+			for i := range jobs {
+				jobs[i] = i
+			}
+			out, err := Map(context.Background(), jobs, func(_ context.Context, job, i int) (int, error) {
+				// Early jobs sleep longer, so completion order is roughly
+				// the reverse of input order when workers > 1.
+				time.Sleep(time.Duration(len(jobs)-i) * 10 * time.Microsecond)
+				return job * job, nil
+			}, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != len(jobs) {
+				t.Fatalf("got %d results, want %d", len(out), len(jobs))
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestMapSerialEquivalence checks that Workers == 1 reproduces a plain
+// loop exactly: same results, same error, and progress callbacks in strict
+// input order.
+func TestMapSerialEquivalence(t *testing.T) {
+	jobs := []string{"a", "bb", "ccc", "dddd"}
+	var loopOut []int
+	for _, j := range jobs {
+		loopOut = append(loopOut, len(j))
+	}
+
+	var order []int
+	out, err := Map(context.Background(), jobs, func(_ context.Context, job string, i int) (int, error) {
+		return len(job), nil
+	}, Options{Workers: 1, Progress: func(done, total int) {
+		if total != len(jobs) {
+			t.Errorf("progress total = %d, want %d", total, len(jobs))
+		}
+		order = append(order, done)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if out[i] != loopOut[i] {
+			t.Errorf("out[%d] = %d, plain loop got %d", i, out[i], loopOut[i])
+		}
+		if order[i] != i+1 {
+			t.Errorf("progress call %d reported done=%d, want %d", i, order[i], i+1)
+		}
+	}
+}
+
+// TestMapWorkerBound checks that no more than Workers jobs are in flight
+// at once.
+func TestMapWorkerBound(t *testing.T) {
+	const workers = 3
+	var inFlight, maxSeen atomic.Int64
+	jobs := make([]struct{}, 40)
+	_, err := Map(context.Background(), jobs, func(context.Context, struct{}, int) (struct{}, error) {
+		n := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	}, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSeen.Load(); got > workers {
+		t.Errorf("saw %d jobs in flight, worker bound is %d", got, workers)
+	}
+}
+
+// TestMapPanicBecomesError checks that a panicking job is contained as a
+// *PanicError for that job, with the other jobs unaffected.
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			jobs := []int{0, 1, 2, 3}
+			out, err := Map(context.Background(), jobs, func(_ context.Context, job, i int) (int, error) {
+				if job == 2 {
+					panic("sweep point exploded")
+				}
+				return job + 10, nil
+			}, Options{Workers: workers, Policy: CollectAll})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v does not unwrap to *PanicError", err)
+			}
+			if pe.Index != 2 || pe.Value != "sweep point exploded" {
+				t.Errorf("panic error = {index %d, value %v}", pe.Index, pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("panic stack not captured")
+			}
+			for _, i := range []int{0, 1, 3} {
+				if out[i] != i+10 {
+					t.Errorf("out[%d] = %d, want %d (other jobs must survive a panic)", i, out[i], i+10)
+				}
+			}
+		})
+	}
+}
+
+// TestMapFailFast checks that the first error cancels the rest of the
+// sweep: the remaining jobs observe a canceled context or never run.
+func TestMapFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	start := make(chan struct{})
+	_, err := Map(context.Background(), jobs, func(ctx context.Context, job, i int) (int, error) {
+		ran.Add(1)
+		if job == 0 {
+			close(start)
+			return 0, boom
+		}
+		<-start
+		// After job 0 fails, every surviving job should see cancellation
+		// promptly.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(2 * time.Second):
+			t.Error("job context not canceled after failure")
+			return 0, nil
+		}
+	}, Options{Workers: 4})
+	if !errors.Is(err, boom) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want the job error or cancellation", err)
+	}
+	var je *JobError
+	if errors.Is(err, boom) && (!errors.As(err, &je) || je.Index != 0) {
+		t.Errorf("boom not attributed to job 0: %v", err)
+	}
+	if n := ran.Load(); n == int64(len(jobs)) {
+		t.Error("fail-fast ran every job")
+	}
+}
+
+// TestMapCancellation cancels the parent context mid-sweep and checks that
+// Map returns promptly with the context error.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	jobs := make([]int, 1000)
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, jobs, func(ctx context.Context, _, i int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		}, Options{Workers: 2})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("result slice has %d slots, want %d even when canceled", len(out), len(jobs))
+	}
+	if n := ran.Load(); n == int64(len(jobs)) {
+		t.Error("cancellation did not stop the sweep")
+	}
+}
+
+// TestMapCollectAll checks that CollectAll runs everything and joins the
+// errors in job order regardless of completion order.
+func TestMapCollectAll(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5}
+	var ran atomic.Int64
+	out, err := Map(context.Background(), jobs, func(_ context.Context, job, i int) (int, error) {
+		ran.Add(1)
+		if job%2 == 1 {
+			// Odd jobs fail, later ones faster than earlier ones.
+			time.Sleep(time.Duration(len(jobs)-job) * time.Millisecond)
+			return 0, fmt.Errorf("odd job %d", job)
+		}
+		return job * 10, nil
+	}, Options{Workers: 3, Policy: CollectAll})
+	if n := ran.Load(); n != int64(len(jobs)) {
+		t.Fatalf("CollectAll ran %d of %d jobs", n, len(jobs))
+	}
+	for _, i := range []int{0, 2, 4} {
+		if out[i] != i*10 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i*10)
+		}
+	}
+	if err == nil {
+		t.Fatal("want joined errors")
+	}
+	// Job order in the message: 1 before 3 before 5.
+	text := err.Error()
+	i1, i3, i5 := strings.Index(text, "job 1"), strings.Index(text, "job 3"), strings.Index(text, "job 5")
+	if i1 < 0 || i3 < 0 || i5 < 0 || !(i1 < i3 && i3 < i5) {
+		t.Errorf("errors not joined in job order: %q", text)
+	}
+}
+
+// TestMapProgress checks that the progress callback is serialized and
+// counts every job exactly once.
+func TestMapProgress(t *testing.T) {
+	jobs := make([]struct{}, 64)
+	var mu sync.Mutex
+	var calls []int
+	_, err := Map(context.Background(), jobs, func(context.Context, struct{}, int) (struct{}, error) {
+		return struct{}{}, nil
+	}, Options{Workers: 8, Progress: func(done, total int) {
+		mu.Lock()
+		calls = append(calls, done)
+		mu.Unlock()
+		if total != len(jobs) {
+			t.Errorf("total = %d, want %d", total, len(jobs))
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(jobs) {
+		t.Fatalf("%d progress calls for %d jobs", len(calls), len(jobs))
+	}
+	// The callback is serialized under the runner's lock, so the done
+	// counts must be exactly 1..n in order.
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress call %d reported done=%d, want %d", i, d, i+1)
+		}
+	}
+}
+
+// TestMapEmptyAndZero covers the degenerate inputs.
+func TestMapEmptyAndZero(t *testing.T) {
+	out, err := Map(context.Background(), nil, func(context.Context, int, int) (int, error) {
+		t.Error("fn called for empty jobs")
+		return 0, nil
+	}, Options{})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty map: out=%v err=%v", out, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Map[int, int](ctx, nil, nil, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("empty map on canceled context: err=%v, want Canceled", err)
+	}
+}
