@@ -13,6 +13,12 @@
 // -quantum, per-job masks by -jobmask idx:col[,col...]) and per-job CPI is
 // reported — a Figure 5-style experiment on user traces.
 //
+// With -adaptive the online controller (internal/controller) takes over the
+// tint table: every tint — one per -map region, plus the default tint — is
+// watched by a shadow-tag utility monitor, and at every -epoch accesses the
+// columns are redistributed by marginal utility. The per-epoch decision log
+// and the remap count are printed after the run.
+//
 // Example: isolate a stream at 0x1000 (4KB) in column 0 of a 16KB cache:
 //
 //	colsim -ways 4 -sets 128 -map 1000:1000:0 trace.txt
@@ -26,6 +32,7 @@ import (
 	"strings"
 
 	"colcache/internal/cache"
+	"colcache/internal/controller"
 	"colcache/internal/layout"
 	"colcache/internal/memory"
 	"colcache/internal/memsys"
@@ -87,6 +94,9 @@ func main() {
 		describe  = flag.Bool("describe", false, "print the machine's mapping state after the run")
 		reuse     = flag.Bool("reuse", false, "print the trace's reuse-distance histogram and LRU hit-rate estimates")
 		planPath  = flag.String("plan", "", "apply a saved layout plan (from layouttool -o) before the run")
+		adaptive  = flag.Bool("adaptive", false, "let the online controller redistribute columns across tints at epoch boundaries")
+		epoch     = flag.Int64("epoch", 4096, "adaptive decision interval in cache accesses")
+		minGain   = flag.Int64("mingain", 16, "adaptive hysteresis: predicted sampled-hit gain required to remap")
 	)
 	var maps mapFlag
 	flag.Var(&maps, "map", "map hex-base:hex-size:col[,col...] to columns (repeatable)")
@@ -147,6 +157,15 @@ func main() {
 		}
 	}
 
+	var ctl *controller.Controller
+	if *adaptive {
+		ctl, err = attachAdaptive(sys, *sets, *lineBytes, *ways, *epoch, *minGain)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Printf("cache:        %d sets × %d ways × %dB = %dB, policy %s\n",
 		*sets, *ways, *lineBytes, *sets**ways**lineBytes, *policy)
 	if len(traces) == 1 {
@@ -181,12 +200,46 @@ func main() {
 			fmt.Println(st)
 		}
 	}
+	if ctl != nil {
+		ctl.FinishEpoch()
+		printDecisions(sys, ctl)
+	}
 	if *describe {
 		fmt.Print(sys.Describe())
 	}
 	if *reuse {
 		printReuse(tr, g)
 	}
+}
+
+// attachAdaptive puts every tint in the table — the default tint included,
+// so unmapped pages keep a share — under the online controller's management
+// and hooks the controller to the machine.
+func attachAdaptive(sys *memsys.System, sets, lineBytes, ways int, epoch, minGain int64) (*controller.Controller, error) {
+	tints := sys.Tints().Tints()
+	if len(tints) > ways {
+		return nil, fmt.Errorf("adaptive: %d tints but only %d columns", len(tints), ways)
+	}
+	specs := make([]controller.Spec, len(tints))
+	for i, id := range tints {
+		specs[i] = controller.Spec{ID: id, Min: 1, Max: ways}
+	}
+	ctl, err := controller.New(sys.Tints(), sets, lineBytes, specs,
+		controller.Config{EpochAccesses: epoch, MinGainHits: minGain})
+	if err != nil {
+		return nil, err
+	}
+	sys.SetAccessObserver(ctl)
+	return ctl, nil
+}
+
+// printDecisions renders the controller's epoch log and remap economy.
+func printDecisions(sys *memsys.System, ctl *controller.Controller) {
+	fmt.Println("adaptive decisions:")
+	for _, d := range ctl.Decisions() {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Printf("tint remaps:  %d table writes\n", sys.Tints().Remaps())
 }
 
 // printReuse renders the reuse-distance histogram and the LRU hit rates it

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+)
 
 func TestMapFlagParsing(t *testing.T) {
 	var m mapFlag
@@ -38,6 +45,56 @@ func TestMapFlagErrors(t *testing.T) {
 		if err := m.Set(in); err == nil {
 			t.Errorf("Set(%q) succeeded", in)
 		}
+	}
+}
+
+func adaptiveTestSystem(t *testing.T, ways int) *memsys.System {
+	t.Helper()
+	sys, err := memsys.New(memsys.Config{
+		Geometry: memory.MustGeometry(32, 4096),
+		Cache:    cache.Config{LineBytes: 32, NumSets: 16, NumWays: ways},
+		Timing:   memsys.DefaultTiming,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAttachAdaptiveManagesAllTints(t *testing.T) {
+	sys := adaptiveTestSystem(t, 4)
+	if _, err := sys.MapRegion(memory.Region{Name: "r", Base: 0, Size: 4096}, replacement.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := attachAdaptive(sys, 16, 32, 4, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default tint + mapped tint, every column owned by exactly one.
+	if got := ctl.Specs(); len(got) != 2 {
+		t.Fatalf("managed tints = %d, want 2", len(got))
+	}
+	total := 0
+	for _, a := range ctl.Allocations() {
+		total += a
+	}
+	if total != 4 {
+		t.Errorf("initial allocation covers %d of 4 columns", total)
+	}
+}
+
+func TestAttachAdaptiveTooManyTints(t *testing.T) {
+	sys := adaptiveTestSystem(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := sys.MapRegion(memory.Region{Name: "r", Base: memory.Addr(i) << 20, Size: 4096},
+			replacement.Of(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 tints (default + 2 mapped) onto 2 columns cannot keep everyone's
+	// one-column minimum.
+	if _, err := attachAdaptive(sys, 16, 32, 2, 1024, 16); err == nil {
+		t.Error("over-subscribed adaptive setup accepted")
 	}
 }
 

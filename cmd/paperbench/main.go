@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-experiment fig4|fig5|ablations|all] [-quick] [-jobs N]
+//	paperbench [-experiment fig4|fig5|ablations|comparisons|adaptive|all] [-quick] [-jobs N]
 //
 // -quick trims the Figure 5 quantum sweep for a fast run; the default runs
 // the paper's full 1..1M axis.
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, adaptive, all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	jsonPath := flag.String("json", "", "write all results as JSON to this file instead of tables")
 	jobs := flag.Int("jobs", 0, "parallel workers (0 = one per CPU, 1 = serial)")
@@ -58,12 +58,15 @@ func main() {
 		sections = append(sections, ablationsSection(*jobs))
 	case "comparisons":
 		sections = append(sections, comparisonsSection(*jobs))
+	case "adaptive":
+		sections = append(sections, adaptiveSection(*quick))
 	case "all":
 		sections = append(sections,
 			runFig4,
 			fig5Section(*quick),
 			ablationsSection(*jobs),
 			comparisonsSection(*jobs),
+			adaptiveSection(*quick),
 		)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *experiment)
@@ -157,6 +160,33 @@ func fig5Section(quick bool) func(io.Writer) (bool, error) {
 		}
 		data.Table().Write(w)
 		fmt.Fprintln(w)
+		return report(w, data.Verify()), nil
+	}
+}
+
+// quickAdaptiveConfig trims the adaptive scenarios for -quick runs.
+func quickAdaptiveConfig(cfg experiments.AdaptiveConfig) experiments.AdaptiveConfig {
+	cfg.Phases = 4
+	cfg.Passes = 24
+	cfg.CoRunTarget = 1 << 16
+	return cfg
+}
+
+func adaptiveSection(quick bool) func(io.Writer) (bool, error) {
+	return func(w io.Writer) (bool, error) {
+		fmt.Fprintln(w, "=== Adaptive control: online column allocation vs static layouts ===")
+		cfg := experiments.DefaultAdaptiveConfig
+		if quick {
+			cfg = quickAdaptiveConfig(cfg)
+		}
+		data, err := experiments.RunAdaptive(cfg)
+		if err != nil {
+			return false, err
+		}
+		for _, t := range data.Tables() {
+			t.Write(w)
+			fmt.Fprintln(w)
+		}
 		return report(w, data.Verify()), nil
 	}
 }
@@ -340,6 +370,7 @@ type jsonResults struct {
 	Granularity       []experiments.GranularityComparison   `json:"granularityComparison,omitempty"`
 	L2                []experiments.L2Comparison            `json:"l2Comparison,omitempty"`
 	Pipeline          []experiments.PipelineResult          `json:"pipelineDynamic,omitempty"`
+	Adaptive          *experiments.AdaptiveData             `json:"adaptive,omitempty"`
 	ShapeChecksPassed bool                                  `json:"shapeChecksPassed"`
 }
 
@@ -349,7 +380,7 @@ type jsonResults struct {
 // identical at any -jobs value.
 func runJSON(path string, quick bool, jobs int) error {
 	res := jsonResults{}
-	fig4OK, fig5OK := false, false
+	fig4OK, fig5OK, adaptiveOK := false, false, false
 	tasks := []func() error{
 		func() (err error) {
 			if res.Fig4, err = experiments.RunFig4(experiments.DefaultFig4Config); err == nil {
@@ -384,6 +415,16 @@ func runJSON(path string, quick bool, jobs int) error {
 			return err
 		},
 		func() (err error) { res.Pipeline, _, err = experiments.RunPipelineDynamic(mpeg.DefaultConfig); return },
+		func() (err error) {
+			cfgA := experiments.DefaultAdaptiveConfig
+			if quick {
+				cfgA = quickAdaptiveConfig(cfgA)
+			}
+			if res.Adaptive, err = experiments.RunAdaptive(cfgA); err == nil {
+				adaptiveOK = len(res.Adaptive.Verify()) == 0
+			}
+			return err
+		},
 	}
 	if _, err := runner.Map(context.Background(), tasks,
 		func(_ context.Context, task func() error, _ int) (struct{}, error) {
@@ -392,7 +433,7 @@ func runJSON(path string, quick bool, jobs int) error {
 		runner.Options{Workers: jobs}); err != nil {
 		return err
 	}
-	res.ShapeChecksPassed = fig4OK && fig5OK
+	res.ShapeChecksPassed = fig4OK && fig5OK && adaptiveOK
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

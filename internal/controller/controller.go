@@ -1,0 +1,384 @@
+// Package controller implements the online half of the paper's
+// software-controlled cache: an epoch-based controller that watches each
+// managed tint through a shadow-tag utility monitor (internal/umon) and, at
+// every epoch boundary, redistributes the cache's columns across tints by
+// marginal utility. Applying a new allocation uses nothing but
+// tint.Table.SetMask — the paper's single-table-write repartitioning
+// operation (§2.2) — so a decision costs one table write per moved tint and
+// takes effect on the next replacement.
+//
+// The controller deliberately does not import internal/memsys: the machine
+// drives it through the memsys.AccessObserver interface, which the
+// Controller satisfies, so the dependency points from the machine to the
+// observer and the controller stays reusable against any access source.
+//
+// The allocator is the greedy lookahead of utility-based cache
+// partitioning: starting every tint at its minimum, it repeatedly gives the
+// span of columns with the highest marginal hits-per-column to the tint that
+// wants it most, under per-tint min/max bounds. A hysteresis threshold (a
+// minimum predicted sampled-hit gain) keeps the allocation parked when the
+// monitors see no meaningful imbalance, preventing remap thrash on noise.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+	"colcache/internal/umon"
+)
+
+// Spec bounds one managed tint's allocation.
+type Spec struct {
+	ID tint.Tint
+	// Min and Max bound the columns the allocator may give this tint.
+	// Min must be at least 1: a tint mapped to zero columns would leave the
+	// replacement unit no victim.
+	Min, Max int
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// EpochAccesses is the decision interval, counted in observed accesses
+	// of managed tints.
+	EpochAccesses int64
+	// MinGainHits is the hysteresis threshold: a candidate allocation is
+	// applied only when the monitors predict at least this many additional
+	// sampled hits per epoch over keeping the current one. 0 defaults to 1,
+	// so a zero-gain shuffle never costs a remap.
+	MinGainHits int64
+	// SampleEvery thins the shadow-tag monitors to every n'th set (see
+	// umon.Config); 0 monitors every set.
+	SampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinGainHits <= 0 {
+		c.MinGainHits = 1
+	}
+	return c
+}
+
+// TintEpoch is one managed tint's slice of a Decision.
+type TintEpoch struct {
+	Name     string  // tint debug name
+	Columns  int     // allocation in force for the NEXT epoch
+	Accesses int64   // observed accesses this epoch
+	Misses   int64   // observed misses this epoch
+	MissRate float64 // Misses/Accesses, 0 when idle
+}
+
+// Decision records one epoch boundary for the observability log.
+type Decision struct {
+	Epoch   int  // 0-based epoch index
+	Applied bool // whether the allocation changed
+	// Gain is the predicted sampled-hit improvement of the chosen
+	// allocation over the previous one (0 when the allocator already agreed
+	// with the current split).
+	Gain   int64
+	Remaps int // SetMask writes this decision performed
+	Tints  []TintEpoch
+}
+
+// String renders a decision as a one-line log entry.
+func (d Decision) String() string {
+	s := fmt.Sprintf("epoch %d:", d.Epoch)
+	for _, t := range d.Tints {
+		s += fmt.Sprintf(" %s=%d(%.1f%% miss)", t.Name, t.Columns, 100*t.MissRate)
+	}
+	if d.Applied {
+		s += fmt.Sprintf("  [remapped ×%d, predicted +%d hits]", d.Remaps, d.Gain)
+	} else {
+		s += "  [held]"
+	}
+	return s
+}
+
+// Controller is the epoch-based column-allocation controller. It is not
+// safe for concurrent use; it rides the single-ported simulated machine.
+type Controller struct {
+	table *tint.Table
+	cfg   Config
+	specs []Spec
+	index map[tint.Tint]int // tint → position in specs
+	mons  []*umon.Monitor
+
+	alloc     []int // current columns per managed tint, specs order
+	epochAcc  []int64
+	epochMiss []int64
+	seen      int64
+	epoch     int
+	remaps    int64
+	log       []Decision
+}
+
+// New builds a controller managing the given tints of table, for a cache
+// with cacheSets sets of lineBytes lines. The specs' minima must fit within
+// the table's columns and the maxima must be able to cover them, so every
+// column always belongs to exactly one managed tint. The initial allocation
+// (an even split respecting the bounds) is applied immediately.
+func New(table *tint.Table, cacheSets, lineBytes int, specs []Spec, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if table == nil {
+		return nil, fmt.Errorf("controller: nil tint table")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("controller: no tints to manage")
+	}
+	if cfg.EpochAccesses < 1 {
+		return nil, fmt.Errorf("controller: epoch length %d < 1 access", cfg.EpochAccesses)
+	}
+	columns := table.NumColumns()
+	specs = append([]Spec(nil), specs...)
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	index := make(map[tint.Tint]int, len(specs))
+	sumMin, sumMax := 0, 0
+	for i, sp := range specs {
+		if sp.Min < 1 {
+			return nil, fmt.Errorf("controller: tint %s min %d < 1 (a tint must keep at least one column)",
+				table.Name(sp.ID), sp.Min)
+		}
+		if sp.Max < sp.Min || sp.Max > columns {
+			return nil, fmt.Errorf("controller: tint %s bounds [%d,%d] invalid for %d columns",
+				table.Name(sp.ID), sp.Min, sp.Max, columns)
+		}
+		if _, dup := index[sp.ID]; dup {
+			return nil, fmt.Errorf("controller: tint %s listed twice", table.Name(sp.ID))
+		}
+		index[sp.ID] = i
+		sumMin += sp.Min
+		sumMax += sp.Max
+	}
+	if sumMin > columns {
+		return nil, fmt.Errorf("controller: minima need %d columns, cache has %d", sumMin, columns)
+	}
+	if sumMax < columns {
+		return nil, fmt.Errorf("controller: maxima cover only %d of %d columns", sumMax, columns)
+	}
+	c := &Controller{
+		table:     table,
+		cfg:       cfg,
+		specs:     specs,
+		index:     index,
+		mons:      make([]*umon.Monitor, len(specs)),
+		alloc:     make([]int, len(specs)),
+		epochAcc:  make([]int64, len(specs)),
+		epochMiss: make([]int64, len(specs)),
+	}
+	for i := range specs {
+		m, err := umon.New(umon.Config{
+			NumSets:     cacheSets,
+			LineBytes:   lineBytes,
+			Depth:       columns,
+			SampleEvery: cfg.SampleEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.mons[i] = m
+	}
+	// Even initial split under the bounds: everyone starts at Min, then the
+	// leftovers go round-robin in tint order.
+	for i, sp := range specs {
+		c.alloc[i] = sp.Min
+	}
+	for left := columns - sumMin; left > 0; {
+		gave := false
+		for i := range c.specs {
+			if left == 0 {
+				break
+			}
+			if c.alloc[i] < c.specs[i].Max {
+				c.alloc[i]++
+				left--
+				gave = true
+			}
+		}
+		if !gave {
+			break
+		}
+	}
+	if _, err := c.apply(c.alloc); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ObserveAccess feeds one cached access; it satisfies
+// memsys.AccessObserver. Accesses of unmanaged tints are ignored. Crossing
+// the epoch boundary triggers a decision, whose remaps take effect on the
+// very next replacement.
+func (c *Controller) ObserveAccess(id tint.Tint, addr memory.Addr, miss bool) {
+	i, ok := c.index[id]
+	if !ok {
+		return
+	}
+	c.mons[i].Observe(addr)
+	c.epochAcc[i]++
+	if miss {
+		c.epochMiss[i]++
+	}
+	c.seen++
+	if c.seen >= c.cfg.EpochAccesses {
+		c.decide()
+	}
+}
+
+// FinishEpoch forces a decision on whatever partial epoch has accumulated;
+// callers use it at the end of a run so the log covers the whole trace. It
+// is a no-op when no access has been observed since the last boundary.
+func (c *Controller) FinishEpoch() {
+	if c.seen > 0 {
+		c.decide()
+	}
+}
+
+// decide runs the allocator on this epoch's monitor data, applies the result
+// if it clears the hysteresis threshold, logs the decision, and opens the
+// next epoch.
+func (c *Controller) decide() {
+	target := c.allocate()
+	gain := c.predictedHits(target) - c.predictedHits(c.alloc)
+	applied, remapsThis := false, 0
+	if !equalInts(target, c.alloc) && gain >= c.cfg.MinGainHits {
+		n, err := c.apply(target)
+		// SetMask can only fail on masks the controller never builds
+		// (empty, out of range); treat failure as holding the allocation.
+		if err == nil {
+			copy(c.alloc, target)
+			applied, remapsThis = true, n
+		}
+	}
+	d := Decision{Epoch: c.epoch, Applied: applied, Remaps: remapsThis, Tints: make([]TintEpoch, len(c.specs))}
+	if applied {
+		d.Gain = gain
+	}
+	for i, sp := range c.specs {
+		te := TintEpoch{
+			Name:     c.table.Name(sp.ID),
+			Columns:  c.alloc[i],
+			Accesses: c.epochAcc[i],
+			Misses:   c.epochMiss[i],
+		}
+		if te.Accesses > 0 {
+			te.MissRate = float64(te.Misses) / float64(te.Accesses)
+		}
+		d.Tints[i] = te
+	}
+	c.log = append(c.log, d)
+	c.epoch++
+	c.seen = 0
+	for i := range c.specs {
+		c.epochAcc[i], c.epochMiss[i] = 0, 0
+		c.mons[i].ResetEpoch()
+	}
+}
+
+// allocate runs the greedy lookahead: starting from the minima, repeatedly
+// hand the span of columns with the best marginal sampled-hits-per-column to
+// its tint. Ties go to the lowest tint and the shortest span, keeping the
+// result deterministic.
+func (c *Controller) allocate() []int {
+	columns := c.table.NumColumns()
+	a := make([]int, len(c.specs))
+	left := columns
+	for i, sp := range c.specs {
+		a[i] = sp.Min
+		left -= sp.Min
+	}
+	for left > 0 {
+		best, bestSpan := -1, 0
+		var bestMU float64 = -1
+		for i, sp := range c.specs {
+			maxSpan := sp.Max - a[i]
+			if maxSpan > left {
+				maxSpan = left
+			}
+			base := c.mons[i].Hits(a[i])
+			for k := 1; k <= maxSpan; k++ {
+				mu := float64(c.mons[i].Hits(a[i]+k)-base) / float64(k)
+				if mu > bestMU {
+					best, bestSpan, bestMU = i, k, mu
+				}
+			}
+		}
+		if best < 0 {
+			// Everyone is at Max; impossible when sum(Max) ≥ columns, but
+			// never loop forever.
+			break
+		}
+		a[best] += bestSpan
+		left -= bestSpan
+	}
+	return a
+}
+
+// predictedHits sums the monitors' hit estimates under an allocation.
+func (c *Controller) predictedHits(a []int) int64 {
+	var n int64
+	for i, m := range c.mons {
+		n += m.Hits(a[i])
+	}
+	return n
+}
+
+// apply maps the allocation onto contiguous column ranges in tint order and
+// writes only the masks that changed, returning how many table writes it
+// performed.
+func (c *Controller) apply(a []int) (int, error) {
+	writes := 0
+	start := 0
+	for i, sp := range c.specs {
+		mask := replacement.Range(start, start+a[i])
+		start += a[i]
+		if c.table.Mask(sp.ID) == mask {
+			continue
+		}
+		if err := c.table.SetMask(sp.ID, mask); err != nil {
+			return writes, err
+		}
+		writes++
+		c.remaps++
+	}
+	return writes, nil
+}
+
+// Allocations returns the current columns per managed tint, in ascending
+// tint order (matching Specs).
+func (c *Controller) Allocations() []int {
+	out := make([]int, len(c.alloc))
+	copy(out, c.alloc)
+	return out
+}
+
+// Specs returns the managed tints' bounds in ascending tint order.
+func (c *Controller) Specs() []Spec {
+	out := make([]Spec, len(c.specs))
+	copy(out, c.specs)
+	return out
+}
+
+// Remaps returns the total SetMask writes the controller has issued,
+// including the initial split.
+func (c *Controller) Remaps() int64 { return c.remaps }
+
+// Decisions returns the epoch-by-epoch decision log.
+func (c *Controller) Decisions() []Decision {
+	out := make([]Decision, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

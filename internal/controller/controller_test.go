@@ -1,0 +1,231 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+const (
+	testSets = 16
+	testLine = 32
+	testWays = 8
+)
+
+// newTable builds a tint table with two managed tints a and b.
+func newTable(t *testing.T) (*tint.Table, tint.Tint, tint.Tint) {
+	t.Helper()
+	tb := tint.NewTable(testWays)
+	return tb, tb.NewTint("a"), tb.NewTint("b")
+}
+
+// addrFor builds an address in the given set with the given tag for the
+// test geometry.
+func addrFor(set int, tag uint64) memory.Addr {
+	return memory.Addr((tag<<4 | uint64(set)) << 5)
+}
+
+func newController(t *testing.T, tb *tint.Table, specs []Spec, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(tb, testSets, testLine, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInitialEvenSplit(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 1, 7}}, Config{EpochAccesses: 100})
+	if got := c.Allocations(); got[0] != 4 || got[1] != 4 {
+		t.Fatalf("initial allocation = %v, want [4 4]", got)
+	}
+	if tb.Mask(a) != replacement.Range(0, 4) || tb.Mask(b) != replacement.Range(4, 8) {
+		t.Errorf("initial masks = %v / %v, want contiguous halves", tb.Mask(a), tb.Mask(b))
+	}
+	if c.Remaps() == 0 {
+		t.Error("initial split should count its table writes")
+	}
+}
+
+// TestShiftTowardUtility drives tint a with a working set needing 6 columns
+// and tint b with a single line, and checks the first epoch boundary moves
+// columns to a.
+func TestShiftTowardUtility(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 1, 7}}, Config{EpochAccesses: 4096})
+	// Tint a cycles 6 tags per set: hits only with ≥6 columns.
+	for pass := 0; pass < 4; pass++ {
+		for set := 0; set < testSets; set++ {
+			for tag := uint64(0); tag < 6; tag++ {
+				c.ObserveAccess(a, addrFor(set, tag), pass == 0)
+			}
+		}
+		// Tint b re-touches one line per set: content with 1 column.
+		for set := 0; set < testSets; set++ {
+			c.ObserveAccess(b, addrFor(set, 100), pass == 0)
+		}
+	}
+	c.FinishEpoch()
+	dec := c.Decisions()
+	if len(dec) == 0 {
+		t.Fatal("no decisions logged")
+	}
+	last := dec[len(dec)-1]
+	alloc := c.Allocations()
+	if alloc[0] < 6 {
+		t.Errorf("tint a allocation = %d, want ≥6 (decisions: %v)", alloc[0], dec)
+	}
+	if alloc[0]+alloc[1] != testWays {
+		t.Errorf("allocation %v does not cover the %d columns", alloc, testWays)
+	}
+	if !last.Applied && dec[0].Epoch == last.Epoch {
+		t.Errorf("no epoch applied a remap: %v", dec)
+	}
+	if tb.Mask(a).Count() != alloc[0] || tb.Mask(b).Count() != alloc[1] {
+		t.Errorf("masks (%v,%v) disagree with allocations %v", tb.Mask(a), tb.Mask(b), alloc)
+	}
+	// Decision log carries per-tint epoch stats.
+	if last.Tints[0].Name != "a" || last.Tints[0].Accesses == 0 {
+		t.Errorf("decision log missing tint stats: %+v", last)
+	}
+	if !strings.Contains(last.String(), "a=") {
+		t.Errorf("decision String() = %q", last.String())
+	}
+}
+
+// TestHysteresisHoldsOnNoise checks a huge MinGainHits parks the allocation
+// even under imbalance.
+func TestHysteresisHoldsOnNoise(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 1, 7}},
+		Config{EpochAccesses: 256, MinGainHits: 1 << 40})
+	before := c.Allocations()
+	for pass := 0; pass < 8; pass++ {
+		for set := 0; set < testSets; set++ {
+			for tag := uint64(0); tag < 6; tag++ {
+				c.ObserveAccess(a, addrFor(set, tag), false)
+			}
+		}
+	}
+	c.FinishEpoch()
+	if got := c.Allocations(); !equalInts(got, before) {
+		t.Errorf("allocation moved %v → %v despite hysteresis", before, got)
+	}
+	for _, d := range c.Decisions() {
+		if d.Applied {
+			t.Errorf("decision applied under infinite hysteresis: %v", d)
+		}
+	}
+}
+
+// TestIdleTintKeepsMin checks a tint with zero utility is pushed to its
+// minimum, never to zero columns.
+func TestIdleTintKeepsMin(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 2, 7}}, Config{EpochAccesses: 2048})
+	for pass := 0; pass < 4; pass++ {
+		for set := 0; set < testSets; set++ {
+			for tag := uint64(0); tag < 6; tag++ {
+				c.ObserveAccess(a, addrFor(set, tag), false)
+			}
+		}
+	}
+	c.FinishEpoch()
+	alloc := c.Allocations()
+	if alloc[1] != 2 {
+		t.Errorf("idle tint b allocation = %d, want its min 2", alloc[1])
+	}
+	if tb.Mask(b).Count() != 2 {
+		t.Errorf("idle tint b mask %v, want 2 columns", tb.Mask(b))
+	}
+	if tb.Mask(b) == 0 {
+		t.Fatal("idle tint mapped to zero columns")
+	}
+}
+
+// TestUnmanagedTintIgnored checks accesses of tints outside the specs do
+// not advance the epoch.
+func TestUnmanagedTintIgnored(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 1, 7}}, Config{EpochAccesses: 4})
+	for i := 0; i < 100; i++ {
+		c.ObserveAccess(tint.Default, addrFor(0, uint64(i)), true)
+	}
+	if len(c.Decisions()) != 0 {
+		t.Errorf("unmanaged accesses produced %d decisions", len(c.Decisions()))
+	}
+}
+
+func TestFinishEpochOnEmptyEpochIsNoop(t *testing.T) {
+	tb, a, b := newTable(t)
+	c := newController(t, tb, []Spec{{a, 1, 7}, {b, 1, 7}}, Config{EpochAccesses: 10})
+	c.FinishEpoch()
+	if len(c.Decisions()) != 0 {
+		t.Errorf("FinishEpoch on an empty epoch logged %d decisions", len(c.Decisions()))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tb, a, b := newTable(t)
+	cases := []struct {
+		name  string
+		specs []Spec
+		cfg   Config
+	}{
+		{"no tints", nil, Config{EpochAccesses: 10}},
+		{"zero min", []Spec{{a, 0, 4}, {b, 1, 7}}, Config{EpochAccesses: 10}},
+		{"max over columns", []Spec{{a, 1, 9}, {b, 1, 7}}, Config{EpochAccesses: 10}},
+		{"max under min", []Spec{{a, 3, 2}, {b, 1, 7}}, Config{EpochAccesses: 10}},
+		{"duplicate tint", []Spec{{a, 1, 7}, {a, 1, 7}}, Config{EpochAccesses: 10}},
+		{"minima overflow", []Spec{{a, 5, 7}, {b, 5, 7}}, Config{EpochAccesses: 10}},
+		{"maxima underflow", []Spec{{a, 1, 3}, {b, 1, 3}}, Config{EpochAccesses: 10}},
+		{"no epoch", []Spec{{a, 1, 7}, {b, 1, 7}}, Config{}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tb, testSets, testLine, tc.specs, tc.cfg); err == nil {
+			t.Errorf("%s: New succeeded, want error", tc.name)
+		}
+	}
+	if _, err := New(nil, testSets, testLine, []Spec{{a, 1, 7}}, Config{EpochAccesses: 10}); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+// TestDeterminism re-runs an identical access stream and expects identical
+// decision logs — the property the parallel experiment runner relies on.
+func TestDeterminism(t *testing.T) {
+	run := func() []Decision {
+		tb := tint.NewTable(testWays)
+		a, b := tb.NewTint("a"), tb.NewTint("b")
+		c, err := New(tb, testSets, testLine, []Spec{{a, 1, 7}, {b, 1, 7}}, Config{EpochAccesses: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 8192; i++ {
+			state ^= state >> 12
+			state ^= state << 25
+			state ^= state >> 27
+			id, n := a, state%5
+			if i%3 == 0 {
+				id, n = b, state%11
+			}
+			c.ObserveAccess(id, addrFor(int(state>>8)%testSets, n), state&1 == 0)
+		}
+		c.FinishEpoch()
+		return c.Decisions()
+	}
+	d1, d2 := run(), run()
+	if len(d1) != len(d2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].String() != d2[i].String() {
+			t.Errorf("epoch %d differs:\n%s\n%s", i, d1[i], d2[i])
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/controller"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/replacement"
+	"colcache/internal/sched"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/mpeg"
+	"colcache/internal/workloads/synth"
+)
+
+// The adaptive-control experiment exercises the runtime half of the paper:
+// where every other experiment computes a column layout offline and holds
+// it for the whole run, here the epoch-based controller
+// (internal/controller) watches shadow-tag utility monitors and remaps
+// tints with tint.Table.SetMask while the workload runs.
+//
+// Two scenarios:
+//
+//   - Phase shift: a synthetic two-region workload whose hot working set
+//     alternates between the regions. Each region alone overflows any
+//     static share that also serves the other phase, so the best static
+//     whole-run split thrashes through half the run; the controller follows
+//     the phases and must deliver a lower overall miss rate than the best
+//     static split — the experiment's headline claim.
+//
+//   - Multiprogrammed co-run: an MPEG routine and a gzip job round-robin on
+//     one cache, the controller balancing columns between the two programs'
+//     tints against a sweep of static splits.
+
+// AdaptiveConfig parameterizes both scenarios.
+type AdaptiveConfig struct {
+	LineBytes int
+	PageBytes int
+	Sets      int
+	Ways      int
+	Timing    memsys.Timing
+
+	// Phase-shift workload: two RegionBytes regions, Phases phases of
+	// Passes sweeps each, plus Touches stray reads of the cold region per
+	// pass.
+	RegionBytes uint64
+	Phases      int
+	Passes      int
+	Touches     int
+
+	// Controller knobs (shared by both scenarios).
+	EpochAccesses int64
+	MinGainHits   int64
+
+	// Co-run scenario: mpeg idct + gzip round-robin.
+	MPEG         mpeg.Config
+	Gzip         gzipsim.Config
+	CoRunQuantum int64
+	CoRunTarget  int64
+}
+
+// DefaultAdaptiveConfig runs a 16KB, 8-column cache. The 12KB regions need
+// 6 of the 8 columns when hot, so no static split can hold both phases.
+var DefaultAdaptiveConfig = AdaptiveConfig{
+	LineBytes:     32,
+	PageBytes:     4096,
+	Sets:          64,
+	Ways:          8,
+	Timing:        memsys.DefaultTiming,
+	RegionBytes:   12 * 1024,
+	Phases:        6,
+	Passes:        40,
+	Touches:       8,
+	EpochAccesses: 2048,
+	MinGainHits:   16,
+	MPEG:          mpeg.DefaultConfig,
+	Gzip:          gzipsim.Config{WindowBytes: 4096},
+	CoRunQuantum:  4096,
+	CoRunTarget:   1 << 18,
+}
+
+// AdaptiveRun is one configuration's whole-run measurement.
+type AdaptiveRun struct {
+	Label    string
+	Accesses int64
+	Misses   int64
+	MissRate float64
+	CPI      float64
+	// Remaps counts every tint-table write of the run: the two initial
+	// MapRegion writes, and for adaptive runs the controller's epoch
+	// decisions on top.
+	Remaps int64
+}
+
+// AdaptiveData is the experiment's full dataset.
+type AdaptiveData struct {
+	Config         AdaptiveConfig
+	PhaseStatic    []AdaptiveRun // one per static split, A = 1..Ways-1 columns
+	PhaseAdaptive  AdaptiveRun
+	PhaseDecisions []controller.Decision
+	CoRunStatic    []AdaptiveRun // one per static split, mpeg = 1..Ways-1 columns
+	CoRunAdaptive  AdaptiveRun
+	CoRunDecisions []controller.Decision
+}
+
+// BestPhaseStatic returns the index of the lowest-miss-rate static split of
+// the phase-shift scenario.
+func (d *AdaptiveData) BestPhaseStatic() int {
+	best := 0
+	for i, r := range d.PhaseStatic {
+		if r.MissRate < d.PhaseStatic[best].MissRate {
+			best = i
+		}
+	}
+	return best
+}
+
+// newAdaptiveSystem builds the scenario machine.
+func newAdaptiveSystem(cfg AdaptiveConfig) (*memsys.System, error) {
+	return memsys.New(memsys.Config{
+		Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+		Cache: cache.Config{
+			LineBytes: cfg.LineBytes,
+			NumSets:   cfg.Sets,
+			NumWays:   cfg.Ways,
+		},
+		Timing: cfg.Timing,
+	})
+}
+
+// attachController maps the two regions to fresh tints, hands them to a new
+// controller and hooks it to the machine. The even initial split the
+// controller applies is the adaptive run's starting point.
+func attachController(sys *memsys.System, cfg AdaptiveConfig, a, b memory.Region) (*controller.Controller, error) {
+	half := replacement.Range(0, cfg.Ways/2)
+	otherHalf := replacement.Range(cfg.Ways/2, cfg.Ways)
+	ta, err := sys.MapRegion(a, half)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := sys.MapRegion(b, otherHalf)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(sys.Tints(), cfg.Sets, cfg.LineBytes,
+		[]controller.Spec{
+			{ID: ta, Min: 1, Max: cfg.Ways - 1},
+			{ID: tb, Min: 1, Max: cfg.Ways - 1},
+		},
+		controller.Config{EpochAccesses: cfg.EpochAccesses, MinGainHits: cfg.MinGainHits})
+	if err != nil {
+		return nil, err
+	}
+	sys.SetAccessObserver(ctl)
+	return ctl, nil
+}
+
+// runOf summarizes a finished machine.
+func runOf(label string, sys *memsys.System) AdaptiveRun {
+	st := sys.Stats()
+	return AdaptiveRun{
+		Label:    label,
+		Accesses: st.Cache.Accesses,
+		Misses:   st.Cache.Misses,
+		MissRate: st.Cache.MissRate(),
+		CPI:      st.CPI(),
+		Remaps:   sys.Tints().Remaps(),
+	}
+}
+
+// RunAdaptive produces the full dataset.
+func RunAdaptive(cfg AdaptiveConfig) (*AdaptiveData, error) {
+	if cfg.Ways < 4 {
+		return nil, fmt.Errorf("experiments: adaptive needs ≥4 ways, got %d", cfg.Ways)
+	}
+	prog := synth.PhaseShift(0, cfg.RegionBytes, cfg.Phases, cfg.Passes, cfg.Touches, cfg.LineBytes, 1)
+	regionA, regionB := prog.MustVar("phaseA"), prog.MustVar("phaseB")
+
+	mpegProg := mpeg.Idct(cfg.MPEG)
+	gzipProg := gzipsim.Job(cfg.Gzip, 1<<32)
+
+	type result struct {
+		run       AdaptiveRun
+		decisions []controller.Decision
+	}
+	// Every grid point is an independent machine: the static splits of both
+	// scenarios plus the two adaptive runs all fan out together. split is
+	// the columns of the first tint (phaseA / mpeg); 0 means adaptive.
+	type point struct {
+		corun bool
+		split int
+	}
+	var grid []point
+	for _, corun := range []bool{false, true} {
+		for split := 0; split < cfg.Ways; split++ {
+			grid = append(grid, point{corun, split})
+		}
+	}
+	results, err := sweepMap(grid, func(p point, _ int) (result, error) {
+		sys, err := newAdaptiveSystem(cfg)
+		if err != nil {
+			return result{}, err
+		}
+		var (
+			ctl   *controller.Controller
+			label string
+		)
+		firstRegion, secondRegion := regionA, regionB
+		if p.corun {
+			base, size := jobSpan(mpegProg)
+			firstRegion = memory.Region{Name: "mpeg", Base: base, Size: size}
+			base, size = jobSpan(gzipProg)
+			secondRegion = memory.Region{Name: "gzip", Base: base, Size: size}
+		}
+		if p.split == 0 {
+			label = "adaptive"
+			if ctl, err = attachController(sys, cfg, firstRegion, secondRegion); err != nil {
+				return result{}, err
+			}
+		} else {
+			label = fmt.Sprintf("static %d+%d", p.split, cfg.Ways-p.split)
+			if _, err := sys.MapRegion(firstRegion, replacement.Range(0, p.split)); err != nil {
+				return result{}, err
+			}
+			if _, err := sys.MapRegion(secondRegion, replacement.Range(p.split, cfg.Ways)); err != nil {
+				return result{}, err
+			}
+		}
+		if p.corun {
+			rr, err := sched.NewRoundRobin(sys, cfg.CoRunQuantum)
+			if err != nil {
+				return result{}, err
+			}
+			if err := rr.Add(&sched.Job{Name: "mpeg", Trace: mpegProg.Trace, TargetInstructions: cfg.CoRunTarget}); err != nil {
+				return result{}, err
+			}
+			if err := rr.Add(&sched.Job{Name: "gzip", Trace: gzipProg.Trace, TargetInstructions: cfg.CoRunTarget}); err != nil {
+				return result{}, err
+			}
+			rr.Run()
+		} else {
+			sys.Run(prog.Trace)
+		}
+		res := result{}
+		if ctl != nil {
+			ctl.FinishEpoch()
+			res.decisions = ctl.Decisions()
+		}
+		res.run = runOf(label, sys)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	data := &AdaptiveData{Config: cfg}
+	half := len(grid) / 2
+	for i, r := range results[:half] {
+		if grid[i].split == 0 {
+			data.PhaseAdaptive = r.run
+			data.PhaseDecisions = r.decisions
+		} else {
+			data.PhaseStatic = append(data.PhaseStatic, r.run)
+		}
+	}
+	for i, r := range results[half:] {
+		if grid[half+i].split == 0 {
+			data.CoRunAdaptive = r.run
+			data.CoRunDecisions = r.decisions
+		} else {
+			data.CoRunStatic = append(data.CoRunStatic, r.run)
+		}
+	}
+	return data, nil
+}
+
+// summaryTable renders one scenario's static sweep against its adaptive
+// run, marking the best static split.
+func summaryTable(title, firstTint string, static []AdaptiveRun, adaptive AdaptiveRun) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"allocation (" + firstTint + "+other)", "accesses", "miss rate", "CPI", "remaps"},
+	}
+	best := 0
+	for i, r := range static {
+		if r.MissRate < static[best].MissRate {
+			best = i
+		}
+	}
+	for i, r := range static {
+		label := r.Label
+		if i == best {
+			label += " (best static)"
+		}
+		t.AddRow(label, fmt.Sprintf("%d", r.Accesses), fmt.Sprintf("%.2f%%", 100*r.MissRate),
+			fmt.Sprintf("%.3f", r.CPI), fmt.Sprintf("%d", r.Remaps))
+	}
+	t.AddRow(adaptive.Label, fmt.Sprintf("%d", adaptive.Accesses), fmt.Sprintf("%.2f%%", 100*adaptive.MissRate),
+		fmt.Sprintf("%.3f", adaptive.CPI), fmt.Sprintf("%d", adaptive.Remaps))
+	return t
+}
+
+// decisionsTable renders the per-epoch controller log: allocations, per-tint
+// miss rates and their deltas against the previous epoch, remap counts.
+func decisionsTable(title string, decisions []controller.Decision) *Table {
+	t := &Table{Title: title}
+	if len(decisions) == 0 {
+		t.Headers = []string{"epoch"}
+		return t
+	}
+	t.Headers = []string{"epoch"}
+	for _, te := range decisions[0].Tints {
+		t.Headers = append(t.Headers, te.Name+" cols", te.Name+" miss", te.Name+" Δmiss")
+	}
+	t.Headers = append(t.Headers, "applied", "remaps")
+	for i, d := range decisions {
+		row := []string{fmt.Sprintf("%d", d.Epoch)}
+		for j, te := range d.Tints {
+			delta := te.MissRate
+			if i > 0 && j < len(decisions[i-1].Tints) {
+				delta = te.MissRate - decisions[i-1].Tints[j].MissRate
+			}
+			row = append(row,
+				fmt.Sprintf("%d", te.Columns),
+				fmt.Sprintf("%.1f%%", 100*te.MissRate),
+				fmt.Sprintf("%+.1f%%", 100*delta))
+		}
+		applied := "-"
+		if d.Applied {
+			applied = "yes"
+		}
+		row = append(row, applied, fmt.Sprintf("%d", d.Remaps))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// controllerSummaryTable compresses a long decision log to its outcome.
+func controllerSummaryTable(title string, decisions []controller.Decision) *Table {
+	t := &Table{Title: title, Headers: []string{"epochs", "remap decisions", "table writes", "final allocation"}}
+	applied, writes := 0, 0
+	final := "-"
+	for _, d := range decisions {
+		if d.Applied {
+			applied++
+		}
+		writes += d.Remaps
+		var s string
+		for _, te := range d.Tints {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%d", te.Name, te.Columns)
+		}
+		final = s
+	}
+	t.AddRow(fmt.Sprintf("%d", len(decisions)), fmt.Sprintf("%d", applied), fmt.Sprintf("%d", writes), final)
+	return t
+}
+
+// Tables renders the dataset for paperbench.
+func (d *AdaptiveData) Tables() []*Table {
+	return []*Table{
+		summaryTable("Phase-shift workload: static splits vs adaptive controller", "phaseA", d.PhaseStatic, d.PhaseAdaptive),
+		decisionsTable("Phase-shift adaptive decision log (per epoch)", d.PhaseDecisions),
+		summaryTable("mpeg+gzip co-run: static splits vs adaptive controller", "mpeg", d.CoRunStatic, d.CoRunAdaptive),
+		controllerSummaryTable("mpeg+gzip co-run controller summary", d.CoRunDecisions),
+	}
+}
+
+// Verify checks the experiment's qualitative claims, returning violated
+// expectations (empty = all hold).
+func (d *AdaptiveData) Verify() []string {
+	var problems []string
+	if len(d.PhaseStatic) == 0 || len(d.CoRunStatic) == 0 {
+		return []string{"adaptive: missing static sweeps"}
+	}
+	best := d.PhaseStatic[d.BestPhaseStatic()]
+	if d.PhaseAdaptive.MissRate >= best.MissRate {
+		problems = append(problems, fmt.Sprintf(
+			"adaptive miss rate %.2f%% not below best static (%s, %.2f%%) on the phase workload",
+			100*d.PhaseAdaptive.MissRate, best.Label, 100*best.MissRate))
+	}
+	if len(d.PhaseDecisions) < 2 {
+		problems = append(problems, "adaptive: phase run logged fewer than 2 epochs")
+	}
+	appliedOne := false
+	for _, dec := range d.PhaseDecisions {
+		if dec.Applied {
+			appliedOne = true
+			break
+		}
+	}
+	if !appliedOne {
+		problems = append(problems, "adaptive: controller never remapped on the phase workload")
+	}
+	worst := d.CoRunStatic[0]
+	for _, r := range d.CoRunStatic[1:] {
+		if r.MissRate > worst.MissRate {
+			worst = r
+		}
+	}
+	if d.CoRunAdaptive.MissRate >= worst.MissRate {
+		problems = append(problems, fmt.Sprintf(
+			"adaptive co-run miss rate %.2f%% not below the worst static split (%s, %.2f%%)",
+			100*d.CoRunAdaptive.MissRate, worst.Label, 100*worst.MissRate))
+	}
+	return problems
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// adaptiveTestConfig trims the default scenario so the unit tests stay
+// fast while keeping the phase structure that makes adaptation win.
+func adaptiveTestConfig() AdaptiveConfig {
+	cfg := DefaultAdaptiveConfig
+	cfg.Phases = 4
+	cfg.Passes = 24
+	cfg.CoRunTarget = 1 << 16
+	return cfg
+}
+
+func TestRunAdaptiveShapes(t *testing.T) {
+	data, err := RunAdaptive(adaptiveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := data.Verify(); len(problems) != 0 {
+		t.Fatalf("shape checks failed: %v", problems)
+	}
+	if len(data.PhaseStatic) != data.Config.Ways-1 {
+		t.Errorf("static sweep has %d points, want %d", len(data.PhaseStatic), data.Config.Ways-1)
+	}
+	best := data.PhaseStatic[data.BestPhaseStatic()]
+	t.Logf("phase: best static %s %.2f%%, adaptive %.2f%% (remaps %d, %d epochs)",
+		best.Label, 100*best.MissRate, 100*data.PhaseAdaptive.MissRate,
+		data.PhaseAdaptive.Remaps, len(data.PhaseDecisions))
+	// The decision log must carry per-epoch allocations summing to the
+	// cache's columns and per-tint stats.
+	for _, dec := range data.PhaseDecisions {
+		total := 0
+		for _, te := range dec.Tints {
+			total += te.Columns
+		}
+		if total != data.Config.Ways {
+			t.Errorf("epoch %d allocation covers %d of %d columns", dec.Epoch, total, data.Config.Ways)
+		}
+	}
+}
+
+func TestAdaptiveTables(t *testing.T) {
+	data, err := RunAdaptive(adaptiveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := data.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("Tables() = %d tables, want 4", len(tables))
+	}
+	var b strings.Builder
+	for _, tab := range tables {
+		if err := tab.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{"best static", "adaptive", "Δmiss", "final allocation", "phaseA", "mpeg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+func TestRunAdaptiveRejectsTinyCache(t *testing.T) {
+	cfg := adaptiveTestConfig()
+	cfg.Ways = 2
+	if _, err := RunAdaptive(cfg); err == nil {
+		t.Error("2-way cache accepted")
+	}
+}

@@ -20,6 +20,7 @@ func TestParallelDeterminism(t *testing.T) {
 	jitterCfg := DefaultJitterConfig
 	jitterCfg.TargetInstructions = 1 << 16
 	jitterCfg.Seeds = 3
+	adaptiveCfg := adaptiveTestConfig()
 
 	checks := []struct {
 		name string
@@ -34,6 +35,7 @@ func TestParallelDeterminism(t *testing.T) {
 		{"writePolicy", func() (any, error) { return RunWritePolicyAblation() }},
 		{"energy", func() (any, error) { return RunEnergyAblation() }},
 		{"jitter", func() (any, error) { return RunJitter(jitterCfg) }},
+		{"adaptive", func() (any, error) { return RunAdaptive(adaptiveCfg) }},
 	}
 	for _, c := range checks {
 		t.Run(c.name, func(t *testing.T) {

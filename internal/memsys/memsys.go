@@ -84,6 +84,15 @@ func (s Stats) String() string {
 		s.Instructions, s.Cycles, s.CPI(), s.MemAccesses, s.ScratchpadAccesses, s.Cache, 100*s.TLB.HitRate())
 }
 
+// AccessObserver receives every access that reaches the cache, after it
+// resolved, attributed to the tint that governed its replacement mask.
+// Scratchpad and uncached accesses bypass the cache and are not reported.
+// Observers may remap tints from inside the callback (the adaptive
+// controller does); the new masks apply from the next access on.
+type AccessObserver interface {
+	ObserveAccess(id tint.Tint, addr memory.Addr, miss bool)
+}
+
 // System is the simulated machine. It is not safe for concurrent use.
 type System struct {
 	g         memory.Geometry
@@ -95,6 +104,7 @@ type System struct {
 	timing    Timing
 	l2        *l2
 	tintStats map[tint.Tint]*TintStats
+	observer  AccessObserver
 	energy    Energy
 	energyPJ  int64
 
@@ -168,6 +178,12 @@ func (s *System) Scratchpad() *scratchpad.Scratchpad { return s.scratch }
 
 // Timing returns the machine's cycle costs.
 func (s *System) Timing() Timing { return s.timing }
+
+// SetAccessObserver registers o to receive every cached access; nil
+// detaches. This is the hook the adaptive column-allocation controller
+// (internal/controller) rides: the machine pushes tint-attributed accesses
+// out, so the controller never needs to import the machine.
+func (s *System) SetAccessObserver(o AccessObserver) { s.observer = o }
 
 // Stats snapshots all counters.
 func (s *System) Stats() Stats {
@@ -247,6 +263,9 @@ func (s *System) access(a memtrace.Access, override replacement.Mask) int64 {
 		res = s.cache.Read(a.Addr, mask)
 	}
 	s.noteTintAccess(pte.Tint, !res.Hit)
+	if s.observer != nil {
+		s.observer.ObserveAccess(pte.Tint, a.Addr, !res.Hit)
+	}
 	s.cycles += int64(s.timing.CacheHit)
 	l2Miss := false
 	if !res.Hit {

@@ -1,0 +1,82 @@
+package memsys
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+// recordingObserver captures every ObserveAccess call.
+type recordingObserver struct {
+	ids    []tint.Tint
+	addrs  []memory.Addr
+	misses []bool
+}
+
+func (r *recordingObserver) ObserveAccess(id tint.Tint, addr memory.Addr, miss bool) {
+	r.ids = append(r.ids, id)
+	r.addrs = append(r.addrs, addr)
+	r.misses = append(r.misses, miss)
+}
+
+func TestAccessObserverSeesCachedAccesses(t *testing.T) {
+	s := MustNew(smallConfig())
+	r := memory.Region{Name: "r", Base: 0, Size: 256}
+	id, err := s.MapRegion(r, replacement.Of(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	s.SetAccessObserver(obs)
+
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})       // miss, mapped tint
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})       // hit, mapped tint
+	s.Access(memtrace.Access{Addr: 1 << 20, Op: memtrace.Read}) // miss, default tint
+
+	if len(obs.ids) != 3 {
+		t.Fatalf("observed %d accesses, want 3", len(obs.ids))
+	}
+	if obs.ids[0] != id || obs.ids[1] != id || obs.ids[2] != tint.Default {
+		t.Errorf("tint attribution = %v, want [%d %d %d]", obs.ids, id, id, tint.Default)
+	}
+	if obs.addrs[2] != 1<<20 {
+		t.Errorf("addr[2] = %#x, want %#x", obs.addrs[2], 1<<20)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if obs.misses[i] != want[i] {
+			t.Errorf("miss[%d] = %v, want %v", i, obs.misses[i], want[i])
+		}
+	}
+}
+
+func TestAccessObserverSkipsScratchpadAndUncached(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ScratchpadBytes = 512
+	s := MustNew(cfg)
+	s.Scratchpad().Place(memory.Region{Name: "pad", Base: 1 << 16, Size: 256})
+	s.PageTable().SetUncachedRange(1<<17, 256, true)
+	obs := &recordingObserver{}
+	s.SetAccessObserver(obs)
+
+	s.Access(memtrace.Access{Addr: 1 << 16, Op: memtrace.Read}) // scratchpad
+	s.Access(memtrace.Access{Addr: 1 << 17, Op: memtrace.Read}) // uncached
+	if len(obs.ids) != 0 {
+		t.Errorf("observer saw %d non-cache accesses", len(obs.ids))
+	}
+}
+
+func TestAccessObserverDetach(t *testing.T) {
+	s := MustNew(smallConfig())
+	obs := &recordingObserver{}
+	s.SetAccessObserver(obs)
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	s.SetAccessObserver(nil)
+	s.Access(memtrace.Access{Addr: 64, Op: memtrace.Read})
+	if len(obs.ids) != 1 {
+		t.Errorf("observed %d accesses after detach, want 1", len(obs.ids))
+	}
+}

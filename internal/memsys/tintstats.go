@@ -45,6 +45,21 @@ func (s *System) TintStats() map[tint.Tint]TintStats {
 	return out
 }
 
+// ResetTintStats returns the per-tint counters accumulated since the last
+// reset and clears them, so callers sampling at interval boundaries (the
+// adaptive controller's epochs, a monitoring loop) read per-interval deltas
+// instead of differencing cumulative counters. Attribution stays enabled;
+// like TintStats, the snapshot is empty unless EnablePerTintStats was
+// called.
+func (s *System) ResetTintStats() map[tint.Tint]TintStats {
+	out := make(map[tint.Tint]TintStats, len(s.tintStats))
+	for id, st := range s.tintStats {
+		out[id] = *st
+		*st = TintStats{}
+	}
+	return out
+}
+
 func (s *System) noteTintAccess(id tint.Tint, miss bool) {
 	if s.tintStats == nil {
 		return

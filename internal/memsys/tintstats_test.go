@@ -70,6 +70,41 @@ func TestPerTintStatsSkipScratchpadAndUncached(t *testing.T) {
 	}
 }
 
+func TestResetTintStats(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.EnablePerTintStats()
+	r := memory.Region{Name: "r", Base: 0, Size: 256}
+	id, err := s.MapRegion(r, replacement.Of(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}) // miss
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}) // hit
+
+	snap := s.ResetTintStats()
+	if got := snap[id]; got.Accesses != 2 || got.Misses != 1 {
+		t.Errorf("snapshot=%+v want 2/1", got)
+	}
+	// Counters are cleared but attribution stays on: the next interval
+	// starts from zero.
+	if after := s.TintStats()[id]; after.Accesses != 0 || after.Misses != 0 {
+		t.Errorf("counters not cleared: %+v", after)
+	}
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read}) // hit
+	snap = s.ResetTintStats()
+	if got := snap[id]; got.Accesses != 1 || got.Misses != 0 {
+		t.Errorf("second interval=%+v want 1/0", got)
+	}
+}
+
+func TestResetTintStatsDisabled(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	if got := s.ResetTintStats(); len(got) != 0 {
+		t.Errorf("snapshot while disabled: %v", got)
+	}
+}
+
 func TestDescribe(t *testing.T) {
 	cfg := smallConfig()
 	cfg.ScratchpadBytes = 1024

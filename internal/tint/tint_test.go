@@ -61,6 +61,32 @@ func TestSetMaskErrors(t *testing.T) {
 	}
 }
 
+// TestSetMaskRejectsEmptyMask is the regression test for the all-zero
+// column mask: a tint mapped to no columns would leave the replacement unit
+// with no permissible victim. The write must fail atomically — the previous
+// mask stays in force and the remap counter does not advance.
+func TestSetMaskRejectsEmptyMask(t *testing.T) {
+	tab := NewTable(4)
+	a := tab.NewTint("a")
+	if err := tab.SetMask(a, replacement.Of(2)); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Remaps()
+	if err := tab.SetMask(a, 0); err == nil {
+		t.Fatal("all-zero mask accepted")
+	}
+	if got := tab.Mask(a); got != replacement.Of(2) {
+		t.Errorf("mask after rejected write = %b, want %b unchanged", got, replacement.Of(2))
+	}
+	if tab.Remaps() != before {
+		t.Errorf("remaps advanced on a rejected write: %d → %d", before, tab.Remaps())
+	}
+	// The default tint is equally protected.
+	if err := tab.SetMask(Default, 0); err == nil {
+		t.Error("all-zero mask accepted for the default tint")
+	}
+}
+
 func TestUnknownTintResolvesToDefault(t *testing.T) {
 	tab := NewTable(4)
 	if err := tab.SetMask(Default, replacement.Of(0, 1)); err != nil {

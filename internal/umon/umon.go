@@ -1,0 +1,177 @@
+// Package umon implements shadow-tag utility monitors: small sampled-set
+// LRU tag stacks that estimate, for one tint's reference stream, how many
+// hits the tint would see with any number of columns — without running a
+// separate simulation per candidate allocation.
+//
+// The mechanism is the UMON of utility-based cache partitioning: every
+// sampled set keeps a stack of recently seen tags ordered by recency. An
+// access that finds its tag at stack depth d would hit in any allocation of
+// more than d columns, so a histogram of stack distances, summed from the
+// top, yields the hit curve hits(k) for k = 1..depth in one pass over the
+// stream. The controller compares the marginal slope of these curves across
+// tints to decide where the next column is worth the most.
+//
+// Monitors are deliberately cheap: only every SampleEvery'th set keeps a
+// stack, so the estimates are sampled counts, comparable across tints that
+// share the same sampling. The monitor is a shadow structure — it never
+// touches the real cache and sees only the addresses the machine routes to
+// its tint.
+package umon
+
+import (
+	"fmt"
+
+	"colcache/internal/memory"
+)
+
+// Config sizes a monitor. The geometry must mirror the monitored cache so
+// shadow sets align with real sets.
+type Config struct {
+	NumSets   int // sets of the monitored cache (power of two)
+	LineBytes int // cache line size (power of two)
+	// Depth is the tag-stack depth per sampled set: the largest column
+	// allocation the monitor can evaluate (usually the cache's total ways).
+	Depth int
+	// SampleEvery keeps a stack only for sets whose index is a multiple of
+	// it; 1 (the default when 0) monitors every set.
+	SampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if !memory.IsPow2(c.NumSets) || c.NumSets <= 0 {
+		return fmt.Errorf("umon: set count %d is not a positive power of two", c.NumSets)
+	}
+	if !memory.IsPow2(c.LineBytes) || c.LineBytes <= 0 {
+		return fmt.Errorf("umon: line size %d is not a positive power of two", c.LineBytes)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("umon: stack depth %d < 1", c.Depth)
+	}
+	return nil
+}
+
+// Monitor is one tint's shadow-tag monitor. It is not safe for concurrent
+// use; the simulated machine is single-ported.
+type Monitor struct {
+	cfg       Config
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+
+	// stacks[sampled set index] is the set's tag stack, most recent first.
+	stacks map[int][]uint64
+	// hist[d] counts sampled accesses whose tag sat at stack depth d: they
+	// would hit with any allocation of at least d+1 columns.
+	hist []int64
+	// misses counts sampled accesses whose tag was not on the stack at all
+	// (cold, or reused beyond Depth) — misses at every allocation.
+	misses  int64
+	sampled int64
+}
+
+// New builds a monitor.
+func New(cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:       cfg,
+		lineShift: memory.Log2(cfg.LineBytes),
+		setShift:  memory.Log2(cfg.NumSets),
+		setMask:   uint64(cfg.NumSets) - 1,
+		stacks:    make(map[int][]uint64),
+		hist:      make([]int64, cfg.Depth),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Monitor {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the monitor's configuration (with defaults applied).
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Observe feeds one access of the monitored tint. Addresses outside the
+// sampled sets are ignored.
+func (m *Monitor) Observe(addr memory.Addr) {
+	lineNum := uint64(addr) >> m.lineShift
+	set := int(lineNum & m.setMask)
+	if set%m.cfg.SampleEvery != 0 {
+		return
+	}
+	tag := lineNum >> m.setShift
+	m.sampled++
+	stack := m.stacks[set]
+	for d, t := range stack {
+		if t == tag {
+			m.hist[d]++
+			// Move to front.
+			copy(stack[1:d+1], stack[:d])
+			stack[0] = tag
+			return
+		}
+	}
+	m.misses++
+	if len(stack) < m.cfg.Depth {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack)
+	stack[0] = tag
+	m.stacks[set] = stack
+}
+
+// Hits estimates the sampled hits this epoch had the tint owned `ways`
+// columns. Values beyond the stack depth saturate at Hits(Depth).
+func (m *Monitor) Hits(ways int) int64 {
+	if ways > m.cfg.Depth {
+		ways = m.cfg.Depth
+	}
+	var n int64
+	for d := 0; d < ways; d++ {
+		n += m.hist[d]
+	}
+	return n
+}
+
+// Sampled returns how many accesses landed in sampled sets this epoch.
+func (m *Monitor) Sampled() int64 { return m.sampled }
+
+// Misses returns the sampled accesses that would miss at any allocation
+// this epoch (cold lines and reuse beyond the stack depth).
+func (m *Monitor) Misses() int64 { return m.misses }
+
+// Histogram returns a copy of the stack-distance histogram.
+func (m *Monitor) Histogram() []int64 {
+	out := make([]int64, len(m.hist))
+	copy(out, m.hist)
+	return out
+}
+
+// ResetEpoch clears the histogram and counters while keeping the tag stacks
+// warm, so the next epoch's estimates see steady-state recency rather than a
+// wave of artificial cold misses.
+func (m *Monitor) ResetEpoch() {
+	for i := range m.hist {
+		m.hist[i] = 0
+	}
+	m.misses, m.sampled = 0, 0
+}
+
+// Reset clears everything, including the tag stacks.
+func (m *Monitor) Reset() {
+	m.stacks = make(map[int][]uint64)
+	m.ResetEpoch()
+}

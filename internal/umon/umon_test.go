@@ -1,0 +1,121 @@
+package umon
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+)
+
+// addrFor builds an address landing in the given set with the given tag for
+// a 16-set, 32B-line geometry.
+func addrFor(set int, tag uint64) memory.Addr {
+	return memory.Addr((tag<<4 | uint64(set)) << 5)
+}
+
+func TestStackDistanceHistogram(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 4})
+	// Tags A B C, then A again: A is at stack depth 2 → hit with ≥3 ways.
+	m.Observe(addrFor(0, 1))
+	m.Observe(addrFor(0, 2))
+	m.Observe(addrFor(0, 3))
+	m.Observe(addrFor(0, 1))
+	if got := m.Misses(); got != 3 {
+		t.Errorf("Misses() = %d, want 3 cold", got)
+	}
+	if got := m.Hits(2); got != 0 {
+		t.Errorf("Hits(2) = %d, want 0 (reuse distance is 2)", got)
+	}
+	for _, ways := range []int{3, 4, 10} {
+		if got := m.Hits(ways); got != 1 {
+			t.Errorf("Hits(%d) = %d, want 1", ways, got)
+		}
+	}
+	if got := m.Sampled(); got != 4 {
+		t.Errorf("Sampled() = %d, want 4", got)
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 4})
+	// A B A B: after the cold pair, each re-reference is at depth 1.
+	m.Observe(addrFor(3, 1))
+	m.Observe(addrFor(3, 2))
+	m.Observe(addrFor(3, 1))
+	m.Observe(addrFor(3, 2))
+	if got := m.Hits(1); got != 0 {
+		t.Errorf("Hits(1) = %d, want 0", got)
+	}
+	if got := m.Hits(2); got != 2 {
+		t.Errorf("Hits(2) = %d, want 2", got)
+	}
+}
+
+func TestDepthEviction(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 2})
+	// A B C pushes A off a depth-2 stack; re-referencing A misses again.
+	m.Observe(addrFor(0, 1))
+	m.Observe(addrFor(0, 2))
+	m.Observe(addrFor(0, 3))
+	m.Observe(addrFor(0, 1))
+	if got := m.Misses(); got != 4 {
+		t.Errorf("Misses() = %d, want 4 (deep reuse counts as miss)", got)
+	}
+	if got := m.Hits(2); got != 0 {
+		t.Errorf("Hits(2) = %d, want 0", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 4, SampleEvery: 4})
+	for set := 0; set < 16; set++ {
+		m.Observe(addrFor(set, 7))
+	}
+	// Only sets 0, 4, 8, 12 are monitored.
+	if got := m.Sampled(); got != 4 {
+		t.Errorf("Sampled() = %d, want 4", got)
+	}
+}
+
+func TestResetEpochKeepsStacksWarm(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 4})
+	m.Observe(addrFor(0, 9))
+	m.ResetEpoch()
+	if m.Sampled() != 0 || m.Misses() != 0 {
+		t.Fatalf("counters not cleared: sampled=%d misses=%d", m.Sampled(), m.Misses())
+	}
+	m.Observe(addrFor(0, 9))
+	if got := m.Hits(1); got != 1 {
+		t.Errorf("Hits(1) = %d after warm reset, want 1 (stack kept)", got)
+	}
+	m.Reset()
+	m.Observe(addrFor(0, 9))
+	if got := m.Misses(); got != 1 {
+		t.Errorf("Misses() = %d after full reset, want 1 (stack dropped)", got)
+	}
+}
+
+func TestHistogramCopy(t *testing.T) {
+	m := MustNew(Config{NumSets: 16, LineBytes: 32, Depth: 3})
+	m.Observe(addrFor(0, 1))
+	m.Observe(addrFor(0, 1))
+	h := m.Histogram()
+	if len(h) != 3 || h[0] != 1 {
+		t.Fatalf("Histogram() = %v, want [1 0 0]", h)
+	}
+	h[0] = 99
+	if m.Hits(1) != 1 {
+		t.Error("Histogram() aliases internal state")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumSets: 3, LineBytes: 32, Depth: 4},  // non-pow2 sets
+		{NumSets: 16, LineBytes: 33, Depth: 4}, // non-pow2 line
+		{NumSets: 16, LineBytes: 32, Depth: 0}, // no depth
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+}

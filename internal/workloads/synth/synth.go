@@ -96,6 +96,37 @@ func PointerChase(base memory.Addr, nodes int, nodeBytes uint64, hops int, seed 
 	return env.Finish("chase")
 }
 
+// PhaseShift builds a two-region workload whose hot working set alternates
+// between the regions phase by phase: in even phases region "phaseA" is
+// swept line by line passes times while "phaseB" receives only touches
+// random reads per pass, and odd phases swap the roles. No single static
+// column split serves both phases when each region alone overflows its
+// share — the workload the adaptive column-allocation controller exists
+// for.
+func PhaseShift(base memory.Addr, regionBytes uint64, phases, passes, touches, lineBytes int, seed int64) *workloads.Program {
+	env := workloads.NewEnv(base)
+	a := env.Space.Alloc("phaseA", regionBytes, 64)
+	b := env.Space.Alloc("phaseB", regionBytes, 64)
+	rng := newXorshift(seed)
+	for ph := 0; ph < phases; ph++ {
+		hot, cold := a, b
+		if ph%2 == 1 {
+			hot, cold = b, a
+		}
+		for p := 0; p < passes; p++ {
+			for off := uint64(0); off < regionBytes; off += uint64(lineBytes) {
+				env.Rec.Think(1)
+				env.Rec.LoadRegion(hot, off)
+			}
+			for i := 0; i < touches; i++ {
+				env.Rec.Think(1)
+				env.Rec.LoadRegion(cold, rng.next()%regionBytes)
+			}
+		}
+	}
+	return env.Finish("phaseshift")
+}
+
 // WriteSweep builds a workload that writes every element of a buffer,
 // passes times — a dirty-line generator for writeback experiments.
 func WriteSweep(base memory.Addr, size uint64, elem int, passes int) *workloads.Program {

@@ -31,6 +31,40 @@ func TestStrided(t *testing.T) {
 	}
 }
 
+func TestPhaseShift(t *testing.T) {
+	const (
+		regionBytes = 1024
+		phases      = 4
+		passes      = 2
+		touches     = 3
+		line        = 32
+	)
+	p := PhaseShift(0, regionBytes, phases, passes, touches, line, 1)
+	wantLen := phases * passes * (regionBytes/line + touches)
+	if len(p.Trace) != wantLen {
+		t.Errorf("accesses=%d want %d", len(p.Trace), wantLen)
+	}
+	if len(p.Vars) != 2 || p.Vars[0].Name != "phaseA" || p.Vars[1].Name != "phaseB" {
+		t.Fatalf("vars=%v want phaseA+phaseB", p.Vars)
+	}
+	a, b := p.Vars[0], p.Vars[1]
+	// Even phases sweep A, odd phases sweep B.
+	if got := p.Trace[0].Addr; got < a.Base || got >= a.End() {
+		t.Errorf("phase 0 starts at %#x, outside phaseA %v", got, a)
+	}
+	perPhase := passes * (regionBytes/line + touches)
+	if got := p.Trace[perPhase].Addr; got < b.Base || got >= b.End() {
+		t.Errorf("phase 1 starts at %#x, outside phaseB %v", got, b)
+	}
+	// Deterministic.
+	p2 := PhaseShift(0, regionBytes, phases, passes, touches, line, 1)
+	for i := range p.Trace {
+		if p.Trace[i] != p2.Trace[i] {
+			t.Fatalf("trace not deterministic at access %d", i)
+		}
+	}
+}
+
 func TestRandomInBoundsAndDeterministic(t *testing.T) {
 	p1 := Random(0x1000, 512, 100, 7)
 	p2 := Random(0x1000, 512, 100, 7)
