@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench smoke ci
+.PHONY: build test race lint bench smoke servebench ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,20 @@ bench:
 smoke:
 	$(GO) run ./cmd/paperbench -quick
 
-ci: build lint test race bench smoke
+# Serving benchmark: boot colserved, hammer it with colload, verify the
+# metrics ledger closes, and leave the report in BENCH_PR3.json.
+SERVE_ADDR    ?= 127.0.0.1:8344
+SERVE_CLIENTS ?= 200
+SERVE_SECS    ?= 5s
+servebench:
+	$(GO) build -o /tmp/colserved ./cmd/colserved
+	$(GO) build -o /tmp/colload ./cmd/colload
+	/tmp/colserved -addr $(SERVE_ADDR) -quiet & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	/tmp/colload -base http://$(SERVE_ADDR) -c $(SERVE_CLIENTS) -duration $(SERVE_SECS) -out BENCH_PR3.json
+
+ci: build lint test race bench smoke servebench

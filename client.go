@@ -1,0 +1,268 @@
+package colcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"colcache/internal/memtrace"
+)
+
+// Client is a programmatic caller of a colserved instance. The zero value
+// is not usable; construct with NewClient. Methods are safe for concurrent
+// use — the load generator (cmd/colload) drives one Client from hundreds
+// of goroutines.
+type Client struct {
+	base string
+	http *http.Client
+	// PollInterval is the status-poll period of Wait (default 5ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a Client for the colserved instance at baseURL
+// (e.g. "http://127.0.0.1:8344"). httpClient may be nil for a default with
+// a 30s request timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient, PollInterval: 5 * time.Millisecond}
+}
+
+// OverloadedError reports a 429 (queue full) or 503 (draining) answer: the
+// submission was NOT accepted and may be retried after RetryAfter.
+type OverloadedError struct {
+	StatusCode int
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("colserved overloaded (HTTP %d, retry after %s): %s", e.StatusCode, e.RetryAfter, e.Message)
+}
+
+// StatusError is any other non-2xx answer.
+type StatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("colserved: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// JobFailedError is returned by the synchronous helpers when the job
+// reached a terminal state other than done.
+type JobFailedError struct {
+	Info JobInfo
+}
+
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("job %s %s: %s", e.Info.ID, e.Info.State, e.Info.Error)
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var apiErr APIError
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr); err == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		retry := time.Duration(apiErr.RetryAfterSeconds) * time.Second
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		if retry <= 0 {
+			retry = time.Second
+		}
+		return &OverloadedError{StatusCode: resp.StatusCode, RetryAfter: retry, Message: msg}
+	}
+	return &StatusError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// SubmitSimulate enqueues one simulation and returns its queued JobInfo.
+func (c *Client) SubmitSimulate(ctx context.Context, spec SimSpec) (JobInfo, error) {
+	return c.submitJSON(ctx, "/v1/simulate", spec)
+}
+
+// SubmitSweep enqueues a parameter sweep and returns its queued JobInfo.
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (JobInfo, error) {
+	return c.submitJSON(ctx, "/v1/sweep", spec)
+}
+
+func (c *Client) submitJSON(ctx context.Context, path string, spec any) (JobInfo, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	var info JobInfo
+	err = c.do(ctx, http.MethodPost, path, "application/json", bytes.NewReader(body), &info)
+	return info, err
+}
+
+// SubmitTrace enqueues a simulation of an uploaded binary trace: the body
+// is the compact CCTRACE1 format, streamed and size-checked by the server,
+// with the machine selected by query parameters.
+func (c *Client) SubmitTrace(ctx context.Context, label string, m MachineSpec, t Trace) (JobInfo, error) {
+	var buf bytes.Buffer
+	if err := memtrace.WriteBinary(&buf, t); err != nil {
+		return JobInfo{}, err
+	}
+	q := url.Values{}
+	set := func(k string, v int) {
+		if v != 0 {
+			q.Set(k, strconv.Itoa(v))
+		}
+	}
+	set("line", m.LineBytes)
+	set("sets", m.Sets)
+	set("ways", m.Ways)
+	set("page", m.PageBytes)
+	set("penalty", m.MissPenalty)
+	if m.Policy != "" {
+		q.Set("policy", m.Policy)
+	}
+	if label != "" {
+		q.Set("label", label)
+	}
+	path := "/v1/simulate"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, path, "application/octet-stream", &buf, &info)
+	return info, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), "", nil, &info)
+	return info, err
+}
+
+// Jobs lists recent jobs and live queue counts.
+func (c *Client) Jobs(ctx context.Context) (JobList, error) {
+	var list JobList
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", "", nil, &list)
+	return list, err
+}
+
+// Wait polls a job until it reaches a terminal state (done, failed,
+// canceled) and returns its final JobInfo. The error is non-nil only for
+// transport or HTTP failures — inspect the returned state for the job's
+// own outcome, or use the synchronous helpers.
+func (c *Client) Wait(ctx context.Context, id string) (JobInfo, error) {
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		switch info.State {
+		case StateDone, StateFailed, StateCanceled:
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Simulate submits spec and waits for the result.
+func (c *Client) Simulate(ctx context.Context, spec SimSpec) (SimResult, error) {
+	info, err := c.SubmitSimulate(ctx, spec)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return c.waitResult(ctx, info.ID)
+}
+
+func (c *Client) waitResult(ctx context.Context, id string) (SimResult, error) {
+	info, err := c.Wait(ctx, id)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if info.State != StateDone || info.Result == nil {
+		return SimResult{}, &JobFailedError{Info: info}
+	}
+	return *info.Result, nil
+}
+
+// Sweep submits spec and waits for the batched results.
+func (c *Client) Sweep(ctx context.Context, spec SweepSpec) (SweepResult, error) {
+	info, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	final, err := c.Wait(ctx, info.ID)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	if final.State != StateDone || final.Sweep == nil {
+		return SweepResult{}, &JobFailedError{Info: final}
+	}
+	return *final.Sweep, nil
+}
+
+// Healthz checks the liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,249 @@
+// Command colload drives a colserved instance with concurrent simulate
+// requests and reports throughput, latency percentiles, and the
+// backpressure behavior it observed.
+//
+// Usage:
+//
+//	colload -base http://127.0.0.1:8344 [-c 200] [-duration 5s] [-out BENCH_PR3.json]
+//
+// Each of -c workers loops: submit a small simulation, poll it to a
+// terminal state, record the end-to-end latency. A 429 answer counts as a
+// shed and the worker honors Retry-After before retrying; any other error,
+// any failed job, or any accepted job that vanishes is a hard error.
+// After the run colload scrapes /metrics and cross-checks the server's
+// ledger against its own counts: accepted must equal done+failed+canceled,
+// and the server's done count must cover every completion colload saw.
+// Exit status is non-zero on any error or ledger mismatch.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	colcache "colcache"
+)
+
+type report struct {
+	Concurrency   int              `json:"concurrency"`
+	Duration      float64          `json:"duration_seconds"`
+	Submitted     int64            `json:"submitted"`
+	Accepted      int64            `json:"accepted"`
+	Rejected      int64            `json:"rejected"` // 429 sheds (not errors)
+	Completed     int64            `json:"completed"`
+	Errors        int64            `json:"errors"`
+	Throughput    float64          `json:"jobs_per_second"`
+	LatencyP50Ms  float64          `json:"latency_p50_ms"`
+	LatencyP90Ms  float64          `json:"latency_p90_ms"`
+	LatencyP99Ms  float64          `json:"latency_p99_ms"`
+	LatencyMaxMs  float64          `json:"latency_max_ms"`
+	ServerLedger  map[string]int64 `json:"server_ledger,omitempty"`
+	LedgerMatches bool             `json:"ledger_matches"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("colload", flag.ContinueOnError)
+	var (
+		base     = fs.String("base", "http://127.0.0.1:8344", "colserved base URL")
+		conc     = fs.Int("c", 200, "concurrent clients")
+		duration = fs.Duration("duration", 5*time.Second, "load duration")
+		out      = fs.String("out", "", "write the JSON report here")
+		workload = fs.String("workload", "stream", "workload each request simulates")
+		size     = fs.Uint64("size", 2048, "workload size_bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	client := colcache.NewClient(*base, &http.Client{Timeout: 30 * time.Second})
+
+	// Fail fast if the server isn't there.
+	pingCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := client.Healthz(pingCtx); err != nil {
+		log.Printf("colload: %s unreachable: %v", *base, err)
+		return 1
+	}
+
+	spec := colcache.SimSpec{
+		Machine:  colcache.MachineSpec{Sets: 16, Ways: 4},
+		Workload: &colcache.WorkloadSpec{Name: *workload, SizeBytes: *size, Passes: 1},
+	}
+
+	var submitted, accepted, rejected, completed, errCount atomic.Int64
+	var mu sync.Mutex
+	var latencies []float64 // milliseconds
+
+	deadline := time.Now().Add(*duration)
+	runCtx, stopLoad := context.WithDeadline(context.Background(), deadline)
+	defer stopLoad()
+
+	var wg sync.WaitGroup
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := spec
+			s.Label = fmt.Sprintf("colload-%d", c)
+			for runCtx.Err() == nil {
+				start := time.Now()
+				submitted.Add(1)
+				info, err := client.SubmitSimulate(runCtx, s)
+				if err != nil {
+					var oe *colcache.OverloadedError
+					if errors.As(err, &oe) {
+						rejected.Add(1)
+						select {
+						case <-runCtx.Done():
+						case <-time.After(oe.RetryAfter):
+						}
+						continue
+					}
+					if runCtx.Err() != nil {
+						return
+					}
+					errCount.Add(1)
+					log.Printf("colload: client %d submit: %v", c, err)
+					return
+				}
+				accepted.Add(1)
+				// Poll to terminal even past the load deadline: an accepted
+				// job must never be abandoned, that's the contract under test.
+				final, err := client.Wait(context.Background(), info.ID)
+				if err != nil {
+					errCount.Add(1)
+					log.Printf("colload: client %d job %s: %v", c, info.ID, err)
+					return
+				}
+				if final.State != colcache.StateDone {
+					errCount.Add(1)
+					log.Printf("colload: client %d job %s ended %s: %s", c, info.ID, final.State, final.Error)
+					return
+				}
+				completed.Add(1)
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				mu.Lock()
+				latencies = append(latencies, ms)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(deadline.Add(-*duration))
+
+	rep := report{
+		Concurrency: *conc,
+		Duration:    elapsed.Seconds(),
+		Submitted:   submitted.Load(),
+		Accepted:    accepted.Load(),
+		Rejected:    rejected.Load(),
+		Completed:   completed.Load(),
+		Errors:      errCount.Load(),
+	}
+	if rep.Duration > 0 {
+		rep.Throughput = float64(rep.Completed) / rep.Duration
+	}
+	sort.Float64s(latencies)
+	rep.LatencyP50Ms = percentile(latencies, 0.50)
+	rep.LatencyP90Ms = percentile(latencies, 0.90)
+	rep.LatencyP99Ms = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMaxMs = latencies[n-1]
+	}
+
+	// Cross-check the server's ledger against what we observed.
+	ledger, err := scrapeLedger(client)
+	if err != nil {
+		log.Printf("colload: metrics scrape: %v", err)
+		errCount.Add(1)
+		rep.Errors = errCount.Load()
+	} else {
+		rep.ServerLedger = ledger
+		rep.LedgerMatches = checkLedger(ledger, rep)
+		if !rep.LedgerMatches {
+			log.Printf("colload: ledger mismatch: server %v vs observed accepted=%d rejected=%d completed=%d",
+				ledger, rep.Accepted, rep.Rejected, rep.Completed)
+		}
+	}
+
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Printf("colload: write %s: %v", *out, err)
+			return 1
+		}
+	}
+	if rep.Errors > 0 || !rep.LedgerMatches || rep.Completed == 0 {
+		return 1
+	}
+	return 0
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+var ledgerRe = regexp.MustCompile(`(?m)^colserved_jobs_total\{kind="simulate",outcome="(\w+)"\} (\d+)$`)
+
+// scrapeLedger pulls the simulate-job counters out of /metrics.
+func scrapeLedger(client *colcache.Client) (map[string]int64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ledger := map[string]int64{}
+	for _, m := range ledgerRe.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %v", m[0], err)
+		}
+		ledger[m[1]] = v
+	}
+	return ledger, nil
+}
+
+// checkLedger verifies the server's books against colload's observations.
+// Other clients may be hitting the server, so the server counts must be
+// at least ours; the accepted = terminal identity must hold exactly once
+// the queue is idle (all our jobs were polled to completion).
+func checkLedger(ledger map[string]int64, rep report) bool {
+	if ledger["accepted"] < rep.Accepted {
+		return false
+	}
+	if ledger["rejected"] < rep.Rejected {
+		return false
+	}
+	if ledger["done"] < rep.Completed {
+		return false
+	}
+	return ledger["accepted"] == ledger["done"]+ledger["failed"]+ledger["canceled"]
+}

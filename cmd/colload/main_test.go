@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"colcache/internal/service"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	sort.Float64s(vals)
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0.5, 3}, {0.9, 5}, {0.99, 5}, {0.2, 1}}
+	for _, tc := range cases {
+		if got := percentile(vals, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestCheckLedger(t *testing.T) {
+	rep := report{Accepted: 10, Rejected: 2, Completed: 10}
+	ok := map[string]int64{"accepted": 10, "rejected": 2, "done": 10}
+	if !checkLedger(ok, rep) {
+		t.Fatal("closed ledger rejected")
+	}
+	open := map[string]int64{"accepted": 10, "rejected": 2, "done": 9}
+	if checkLedger(open, rep) {
+		t.Fatal("open ledger accepted")
+	}
+	short := map[string]int64{"accepted": 9, "rejected": 2, "done": 9}
+	if checkLedger(short, rep) {
+		t.Fatal("server missing accepted jobs but ledger passed")
+	}
+	drained := map[string]int64{"accepted": 12, "rejected": 2, "done": 10, "canceled": 2}
+	if !checkLedger(drained, rep) {
+		t.Fatal("ledger with canceled jobs rejected")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if got := run([]string{"-no-such-flag"}); got != 2 {
+		t.Fatalf("run = %d, want 2", got)
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	if got := run([]string{"-base", "http://127.0.0.1:1", "-c", "1", "-duration", "100ms"}); got != 1 {
+		t.Fatalf("run = %d, want 1", got)
+	}
+}
+
+// TestLoadAgainstService drives a real in-process service and checks the
+// report: completions happened, the ledger closed, and the JSON artifact
+// landed.
+func TestLoadAgainstService(t *testing.T) {
+	srv := service.New(service.Config{Workers: 4, QueueDepth: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		ts.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code := run([]string{"-base", ts.URL, "-c", "16", "-duration", "500ms", "-out", out})
+	if code != 0 {
+		t.Fatalf("colload exited %d", code)
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, blob)
+	}
+	if rep.Completed == 0 || rep.Accepted != rep.Completed {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !rep.LedgerMatches {
+		t.Fatalf("ledger mismatch: %+v", rep)
+	}
+	if rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Fatalf("bad latency stats: %+v", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+}

@@ -1,0 +1,126 @@
+// Command colserved serves the column-cache simulator over HTTP: a
+// long-running daemon with a bounded job queue, explicit backpressure, and
+// live Prometheus-text metrics.
+//
+// Usage:
+//
+//	colserved [-addr :8344] [-workers N] [-queue N] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/simulate   submit one simulation (JSON SimSpec, or a binary
+//	                    CCTRACE1 trace as application/octet-stream with the
+//	                    machine in query parameters) → 202 + JobInfo
+//	POST /v1/sweep      submit a batched parameter sweep → 202 + JobInfo
+//	GET  /v1/jobs/{id}  poll a job; terminal documents carry the result
+//	GET  /v1/jobs       recent jobs and live queue counts
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       liveness (503 while draining)
+//
+// A full queue answers 429 with Retry-After; on SIGTERM/SIGINT the server
+// stops accepting work (503), hands queued jobs back as canceled+retriable,
+// lets in-flight simulations finish inside the -drain budget, then cancels
+// stragglers through the simulation loop's cooperative checkpoints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"colcache/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("colserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8344", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent jobs (default: NumCPU)")
+		queue      = fs.Int("queue", 256, "max queued jobs before 429")
+		sweepW     = fs.Int("sweep-workers", 4, "per-sweep inner parallelism cap")
+		jobTimeout = fs.Duration("job-timeout", 120*time.Second, "per-job execution budget")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+		maxTrace   = fs.Int("max-trace", 4<<20, "max accesses per trace (uploaded or generated)")
+		maxBody    = fs.Int64("max-body", 32<<20, "max request body bytes")
+		maxPoints  = fs.Int("max-sweep-points", 512, "max expanded points per sweep")
+		retain     = fs.Int("retain", 16384, "job documents kept for polling")
+		checkEvery = fs.Int("check-every", 0, "simulation cancellation stride (default 4096)")
+		quiet      = fs.Bool("quiet", false, "suppress request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SweepWorkers:   *sweepW,
+		JobTimeout:     *jobTimeout,
+		MaxBodyBytes:   *maxBody,
+		Limits:         service.Limits{MaxTraceAccesses: *maxTrace},
+		MaxSweepPoints: *maxPoints,
+		RetainJobs:     *retain,
+		CheckEvery:     *checkEvery,
+	})
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("colserved: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logf("colserved: listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Printf("colserved: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logf("colserved: signal received, draining (budget %s)", *drain)
+
+	// Drain the job queue first so /v1/jobs stays pollable while in-flight
+	// work completes, then close the listener.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if drainErr != nil {
+		log.Printf("colserved: drain: %v", drainErr)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("colserved: shutdown: %v", err)
+		return 1
+	}
+	<-errc // Serve has returned
+	if drainErr != nil {
+		return 1
+	}
+	logf("colserved: drained cleanly")
+	return 0
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	colcache "colcache"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestBadFlags(t *testing.T) {
+	if got := run([]string{"-definitely-not-a-flag"}); got != 2 {
+		t.Fatalf("run = %d, want 2", got)
+	}
+}
+
+// TestServeSubmitAndSigterm boots the daemon, runs one job through it, and
+// shuts it down with a real SIGTERM — the full lifecycle a supervisor sees.
+func TestServeSubmitAndSigterm(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-workers", "2", "-queue", "8", "-drain", "10s", "-quiet"})
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	var up bool
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never became healthy")
+	}
+
+	spec := colcache.SimSpec{
+		Label:    "lifecycle",
+		Workload: &colcache.WorkloadSpec{Name: "stream", SizeBytes: 2048, Passes: 1},
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info colcache.JobInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var final colcache.JobInfo
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		r2, err := client.Get(base + "/v1/jobs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r2.Body).Decode(&final)
+		r2.Body.Close()
+		if final.State == colcache.StateDone {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.State != colcache.StateDone || final.Result == nil || final.Result.Cycles <= 0 {
+		t.Fatalf("job: %+v", final)
+	}
+
+	// Metrics are served and carry the job.
+	r3, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(r3.Body)
+	r3.Body.Close()
+	if want := fmt.Sprintf(`colserved_jobs_total{kind="simulate",outcome="done"} %d`, 1); !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("scrape missing %q", want)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -167,7 +167,12 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns the event counters accumulated so far.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	// Returned by value: the snapshot is a detached copy, never a live
+	// pointer into the cache, so holding one across later accesses (or
+	// publishing one to a metrics scraper) is safe.
+	return c.stats
+}
 
 // ResetStats zeroes the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/runner"
+)
+
+// Spec-driven invocation: the serving layer (internal/service) and any
+// future batch frontend describe an experiment as data — build a machine,
+// run a trace — instead of calling a bespoke RunFigN function. RunSpecs is
+// the shared executor: a bounded, cancelable fan-out whose per-point
+// machinery (fresh System per job, ordered results, panic containment)
+// matches what the figure experiments get from sweepMap.
+
+// SpecJob is one self-contained simulation point.
+type SpecJob struct {
+	// Label names the point in results and error messages.
+	Label string
+	// Build constructs the machine and the trace to run through it. It is
+	// called on the worker goroutine, so expensive trace synthesis
+	// parallelizes with the other points.
+	Build func() (*memsys.System, memtrace.Trace, error)
+	// After, when non-nil, runs on the worker after the trace completes,
+	// with the finished machine — the hook for composing a richer result
+	// (per-tint stats, controller decisions) while the machine is hot.
+	After func(sys *memsys.System, res *SpecResult) error
+}
+
+// SpecResult is one point's outcome.
+type SpecResult struct {
+	Label  string
+	Cycles int64
+	Stats  memsys.Stats
+	// Extra carries whatever the job's After hook attached.
+	Extra any
+}
+
+// RunSpecs executes every job on a bounded pool, honoring ctx cancellation
+// inside each simulation loop (memsys.RunContext), and returns results in
+// job order. workers <= 0 means one per CPU; checkEvery is the
+// cancellation stride (0 = memsys.DefaultCheckEvery). progress, when
+// non-nil, is called after each point completes. Fail-fast: the first
+// failing point cancels the rest.
+func RunSpecs(ctx context.Context, jobs []SpecJob, workers, checkEvery int, progress func(done, total int)) ([]SpecResult, error) {
+	return runner.Map(ctx, jobs,
+		func(ctx context.Context, job SpecJob, _ int) (SpecResult, error) {
+			sys, tr, err := job.Build()
+			if err != nil {
+				return SpecResult{}, err
+			}
+			cycles, err := sys.RunContext(ctx, tr, memsys.RunOptions{CheckEvery: checkEvery})
+			if err != nil {
+				return SpecResult{}, err
+			}
+			res := SpecResult{Label: job.Label, Cycles: cycles, Stats: sys.Stats()}
+			if job.After != nil {
+				if err := job.After(sys, &res); err != nil {
+					return SpecResult{}, err
+				}
+			}
+			return res, nil
+		},
+		runner.Options{Workers: workers, Progress: progress})
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/workloads/synth"
+)
+
+func specJob(label string, sets int) SpecJob {
+	return SpecJob{
+		Label: label,
+		Build: func() (*memsys.System, memtrace.Trace, error) {
+			sys, err := memsys.New(memsys.Config{
+				Geometry: memory.MustGeometry(32, 4096),
+				Cache:    cache.Config{LineBytes: 32, NumSets: sets, NumWays: 4},
+				Timing:   memsys.DefaultTiming,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys, synth.Stream(0, 1<<14, 4, 2).Trace, nil
+		},
+	}
+}
+
+func TestRunSpecsOrderedAndDeterministic(t *testing.T) {
+	jobs := []SpecJob{specJob("a", 16), specJob("b", 32), specJob("c", 64), specJob("d", 128)}
+	serial, err := RunSpecs(context.Background(), jobs, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int
+	parallel, err := RunSpecs(context.Background(), jobs, 4, 0, func(d, total int) {
+		done = d
+		if total != len(jobs) {
+			t.Errorf("progress total = %d, want %d", total, len(jobs))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != len(jobs) {
+		t.Fatalf("progress reported %d done, want %d", done, len(jobs))
+	}
+	for i := range jobs {
+		if serial[i].Label != jobs[i].Label || parallel[i].Label != jobs[i].Label {
+			t.Fatalf("result %d out of order: %q / %q", i, serial[i].Label, parallel[i].Label)
+		}
+		if serial[i].Cycles != parallel[i].Cycles || serial[i].Stats != parallel[i].Stats {
+			t.Fatalf("point %d differs serial vs parallel: %+v vs %+v", i, serial[i], parallel[i])
+		}
+		if serial[i].Cycles == 0 {
+			t.Fatalf("point %d ran no cycles", i)
+		}
+	}
+	// Doubling the cache monotonically helps a repeated stream.
+	for i := 1; i < len(serial); i++ {
+		if serial[i].Stats.Cache.Misses > serial[i-1].Stats.Cache.Misses {
+			t.Fatalf("misses rose with cache size: %v", serial)
+		}
+	}
+}
+
+func TestRunSpecsAfterHookAndFailure(t *testing.T) {
+	ok := specJob("ok", 16)
+	ok.After = func(sys *memsys.System, res *SpecResult) error {
+		res.Extra = sys.Tints().NumColumns()
+		return nil
+	}
+	bad := SpecJob{
+		Label: "bad",
+		Build: func() (*memsys.System, memtrace.Trace, error) {
+			return nil, nil, fmt.Errorf("no such workload")
+		},
+	}
+	res, err := RunSpecs(context.Background(), []SpecJob{ok}, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Extra != 4 {
+		t.Fatalf("After hook result = %v, want 4", res[0].Extra)
+	}
+	if _, err := RunSpecs(context.Background(), []SpecJob{ok, bad}, 2, 0, nil); err == nil {
+		t.Fatal("failing job did not surface an error")
+	}
+}
+
+func TestRunSpecsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSpecs(ctx, []SpecJob{specJob("a", 16)}, 1, 64, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -9,6 +9,7 @@
 package memsys
 
 import (
+	"context"
 	"fmt"
 
 	"colcache/internal/cache"
@@ -185,7 +186,10 @@ func (s *System) Timing() Timing { return s.timing }
 // out, so the controller never needs to import the machine.
 func (s *System) SetAccessObserver(o AccessObserver) { s.observer = o }
 
-// Stats snapshots all counters.
+// Stats snapshots all counters. The snapshot is a detached copy — value
+// types all the way down, no pointers into the live machine — so it can be
+// published to another goroutine (a metrics scraper, a job-status handler)
+// while the simulation keeps running.
 func (s *System) Stats() Stats {
 	return Stats{
 		Instructions:       s.instructions,
@@ -295,6 +299,56 @@ func (s *System) Run(t memtrace.Trace) int64 {
 		total += s.Access(a)
 	}
 	return total
+}
+
+// RunOptions parameterize RunContext.
+type RunOptions struct {
+	// CheckEvery is the cooperative-cancellation stride: the context is
+	// polled and OnCheckpoint fired every CheckEvery accesses. Zero or
+	// negative means DefaultCheckEvery. Small strides bound cancellation
+	// latency; large ones keep the hot loop branch-free longer.
+	CheckEvery int
+	// OnCheckpoint, when non-nil, receives the number of accesses executed
+	// so far and a detached Stats snapshot at every checkpoint and once
+	// more after the final access. It runs on the simulation goroutine;
+	// publish the snapshot under your own lock if another goroutine reads
+	// it.
+	OnCheckpoint func(done int, st Stats)
+}
+
+// DefaultCheckEvery is the RunContext cancellation stride when
+// RunOptions.CheckEvery is zero.
+const DefaultCheckEvery = 4096
+
+// RunContext executes the trace like Run but cooperatively: every
+// opts.CheckEvery accesses it polls ctx and reports progress, so a serving
+// layer can cancel a simulation mid-trace (request timeout, client gone,
+// shutdown) and scrape live statistics without touching the simulation's
+// own state. Returns the cycles consumed so far and ctx.Err() if canceled.
+func (s *System) RunContext(ctx context.Context, t memtrace.Trace, opts RunOptions) (int64, error) {
+	every := opts.CheckEvery
+	if every <= 0 {
+		every = DefaultCheckEvery
+	}
+	var total int64
+	for i, a := range t {
+		total += s.Access(a)
+		if (i+1)%every == 0 {
+			if err := ctx.Err(); err != nil {
+				if opts.OnCheckpoint != nil {
+					opts.OnCheckpoint(i+1, s.Stats())
+				}
+				return total, err
+			}
+			if opts.OnCheckpoint != nil {
+				opts.OnCheckpoint(i+1, s.Stats())
+			}
+		}
+	}
+	if opts.OnCheckpoint != nil {
+		opts.OnCheckpoint(len(t), s.Stats())
+	}
+	return total, ctx.Err()
 }
 
 // MapRegion allocates a tint named after the region, re-tints the region's

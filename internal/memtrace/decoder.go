@@ -1,0 +1,104 @@
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming access to the binary trace format, for readers that must not
+// trust the sender: a service decoding an uploaded trace needs a record
+// cap enforced while reading (not after buffering the whole body) and
+// must treat every malformed input as an error, never a panic.
+
+// ErrTraceTooLarge is returned (wrapped) when a decode exceeds its record
+// limit.
+var ErrTraceTooLarge = errors.New("memtrace: trace exceeds record limit")
+
+// Decoder reads binary-format accesses one record at a time.
+type Decoder struct {
+	br      *bufio.Reader
+	started bool
+	count   int64
+	err     error
+}
+
+// NewDecoder returns a Decoder reading the binary format from r. The magic
+// header is consumed and checked on the first Next call.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReader(r)}
+}
+
+// Next returns the next access. It returns io.EOF at a clean end of
+// stream; any other error (bad magic, truncated record, invalid op byte)
+// is terminal and repeated by later calls.
+func (d *Decoder) Next() (Access, error) {
+	if d.err != nil {
+		return Access{}, d.err
+	}
+	if !d.started {
+		d.started = true
+		magic := make([]byte, len(binaryMagic))
+		if _, err := io.ReadFull(d.br, magic); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				d.err = fmt.Errorf("memtrace: reading magic: %w", io.ErrUnexpectedEOF)
+			} else {
+				d.err = fmt.Errorf("memtrace: reading magic: %w", err)
+			}
+			return Access{}, d.err
+		}
+		if string(magic) != binaryMagic {
+			d.err = fmt.Errorf("memtrace: bad magic %q", magic)
+			return Access{}, d.err
+		}
+	}
+	var rec [13]byte
+	_, err := io.ReadFull(d.br, rec[:])
+	if err == io.EOF {
+		d.err = io.EOF
+		return Access{}, io.EOF
+	}
+	if err != nil {
+		d.err = fmt.Errorf("memtrace: truncated record %d: %w", d.count, err)
+		return Access{}, d.err
+	}
+	op := Op(rec[12])
+	if op != Read && op != Write {
+		d.err = fmt.Errorf("memtrace: record %d: invalid op byte %d", d.count, rec[12])
+		return Access{}, d.err
+	}
+	d.count++
+	return Access{
+		Addr:  binary.LittleEndian.Uint64(rec[0:8]),
+		Think: binary.LittleEndian.Uint32(rec[8:12]),
+		Op:    op,
+	}, nil
+}
+
+// Decoded reports how many records Next has successfully returned.
+func (d *Decoder) Decoded() int64 { return d.count }
+
+// ReadBinaryLimit decodes a binary trace of at most maxAccesses records,
+// streaming: the limit is enforced as records arrive, so an oversized or
+// adversarial body never materializes past the cap. maxAccesses <= 0 means
+// no limit (equivalent to ReadBinary). A trace with more records fails
+// with an error wrapping ErrTraceTooLarge.
+func ReadBinaryLimit(r io.Reader, maxAccesses int) (Trace, error) {
+	d := NewDecoder(r)
+	var t Trace
+	for {
+		a, err := d.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if maxAccesses > 0 && len(t) >= maxAccesses {
+			return nil, fmt.Errorf("%w (limit %d)", ErrTraceTooLarge, maxAccesses)
+		}
+		t = append(t, a)
+	}
+}

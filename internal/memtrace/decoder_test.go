@@ -1,0 +1,110 @@
+package memtrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(n int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		op := Read
+		if i%3 == 0 {
+			op = Write
+		}
+		t[i] = Access{Addr: uint64(i) * 64, Think: uint32(i % 7), Op: op}
+	}
+	return t
+}
+
+func TestDecoderMatchesReadBinary(t *testing.T) {
+	tr := sampleTrace(100)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	var got Trace
+	for {
+		a, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after %d records: %v", d.Decoded(), err)
+		}
+		got = append(got, a)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if d.Decoded() != int64(len(want)) {
+		t.Fatalf("Decoded() = %d, want %d", d.Decoded(), len(want))
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	var valid bytes.Buffer
+	WriteBinary(&valid, sampleTrace(3))
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("CCT")},
+		{"bad magic", []byte("NOTATRACEXXXXXXXXXXXXXXXX")},
+		{"truncated record", valid.Bytes()[:len(valid.Bytes())-5]},
+		{"bad op", append(append([]byte{}, valid.Bytes()...), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 99)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(bytes.NewReader(tc.in))
+			var err error
+			for err == nil {
+				_, err = d.Next()
+			}
+			if err == io.EOF {
+				t.Fatalf("decoder accepted malformed input %q", tc.in)
+			}
+			// The error must be sticky.
+			if _, err2 := d.Next(); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("error not sticky: %v then %v", err, err2)
+			}
+		})
+	}
+}
+
+func TestReadBinaryLimit(t *testing.T) {
+	tr := sampleTrace(50)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadBinaryLimit(bytes.NewReader(buf.Bytes()), 50)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("at-limit decode: %d records, err %v", len(got), err)
+	}
+	got, err = ReadBinaryLimit(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("unlimited decode: %d records, err %v", len(got), err)
+	}
+	if _, err = ReadBinaryLimit(bytes.NewReader(buf.Bytes()), 49); !errors.Is(err, ErrTraceTooLarge) {
+		t.Fatalf("over-limit decode err = %v, want ErrTraceTooLarge", err)
+	}
+	if !strings.Contains(err.Error(), "49") {
+		t.Fatalf("limit missing from error: %v", err)
+	}
+}

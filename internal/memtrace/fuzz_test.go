@@ -36,6 +36,55 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+// FuzzDecoder: the streaming decoder must never panic on arbitrary bytes
+// and must agree with the batch ReadBinary on every input — same records on
+// success, an error on exactly the inputs ReadBinary rejects. This is the
+// decode path a service runs on uploaded request bodies, so "malformed
+// input errors, never panics" is a hard requirement.
+func FuzzDecoder(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBinary(&seed, Trace{{Addr: 7, Op: Write, Think: 1}, {Addr: 0xdeadbeef, Op: Read}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("CCTRACE1"))
+	f.Add([]byte("CCTRACE1\x00\x01"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		batch, batchErr := ReadBinary(bytes.NewReader(in))
+
+		d := NewDecoder(bytes.NewReader(in))
+		var stream Trace
+		var streamErr error
+		for {
+			a, err := d.Next()
+			if err != nil {
+				if err.Error() != "EOF" {
+					streamErr = err
+				}
+				break
+			}
+			stream = append(stream, a)
+		}
+
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("decoder disagreement: batch err %v, stream err %v", batchErr, streamErr)
+		}
+		if batchErr != nil {
+			return
+		}
+		if len(stream) != len(batch) {
+			t.Fatalf("stream decoded %d records, batch %d", len(stream), len(batch))
+		}
+		for i := range batch {
+			if stream[i] != batch[i] {
+				t.Fatalf("record %d: stream %+v, batch %+v", i, stream[i], batch[i])
+			}
+		}
+		if _, err := ReadBinaryLimit(bytes.NewReader(in), len(batch)); err != nil {
+			t.Fatalf("ReadBinaryLimit at exact size failed: %v", err)
+		}
+	})
+}
+
 // FuzzReadBinary: arbitrary bytes must never panic; valid parses must
 // re-encode to the identical byte stream.
 func FuzzReadBinary(f *testing.F) {

@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool is the persistent sibling of Map: where Map fans a known batch out
+// and returns, a Pool serves an open-ended stream of jobs arriving one at a
+// time — the execution engine of a long-running service. It bounds both the
+// number of jobs running concurrently and the number waiting, so a caller
+// that outruns the pool gets an immediate ErrSaturated to convert into
+// backpressure (HTTP 429) instead of an unbounded in-memory queue.
+//
+// A Pool drains in two steps: Drain stops intake, hands back the jobs that
+// never started (so the caller can fail them with a retriable status), and
+// waits for the running ones to complete; Kill cancels the context the
+// running jobs were given, for when the drain deadline expires.
+type Pool[T any] struct {
+	run    func(ctx context.Context, job T)
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []T
+	depth    int
+	running  int
+	draining bool
+}
+
+var (
+	// ErrSaturated is returned by TrySubmit when the pending queue is at
+	// its depth limit; the caller should shed load.
+	ErrSaturated = errors.New("runner: pool saturated")
+	// ErrPoolClosed is returned by TrySubmit after Drain began.
+	ErrPoolClosed = errors.New("runner: pool closed")
+)
+
+// NewPool starts workers goroutines executing submitted jobs via run, with
+// at most depth jobs waiting. workers <= 0 means DefaultWorkers();
+// depth <= 0 means 1. run receives a context that is canceled only by
+// Kill — a drain deliberately lets running jobs finish.
+func NewPool[T any](workers, depth int, run func(ctx context.Context, job T)) *Pool[T] {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool[T]{run: run, ctx: ctx, cancel: cancel, depth: depth}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool[T]) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.draining {
+			p.cond.Wait()
+		}
+		if p.draining {
+			// Leave whatever is still pending for Drain to hand back.
+			p.mu.Unlock()
+			return
+		}
+		job := p.pending[0]
+		p.pending = p.pending[1:]
+		p.running++
+		p.mu.Unlock()
+
+		p.run(p.ctx, job)
+
+		p.mu.Lock()
+		p.running--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// TrySubmit enqueues job, or reports why it cannot: ErrSaturated when the
+// pending queue is full, ErrPoolClosed after Drain. It never blocks.
+func (p *Pool[T]) TrySubmit(job T) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return ErrPoolClosed
+	}
+	if len(p.pending) >= p.depth {
+		return ErrSaturated
+	}
+	p.pending = append(p.pending, job)
+	p.cond.Signal()
+	return nil
+}
+
+// Pending reports how many jobs are waiting to start.
+func (p *Pool[T]) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Running reports how many jobs are executing right now.
+func (p *Pool[T]) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Drain stops intake, returns every job that had not started (in submit
+// order), and waits until the running jobs complete or ctx expires —
+// whichever comes first. On ctx expiry the still-running jobs keep their
+// uncanceled context; call Kill to cancel them. Drain is idempotent; later
+// calls return no discarded jobs.
+func (p *Pool[T]) Drain(ctx context.Context) ([]T, error) {
+	p.mu.Lock()
+	p.draining = true
+	discarded := p.pending
+	p.pending = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	// Wake the cond waiter below when ctx expires.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	for p.running > 0 && ctx.Err() == nil {
+		p.cond.Wait()
+	}
+	still := p.running
+	p.mu.Unlock()
+	if still > 0 {
+		return discarded, ctx.Err()
+	}
+	return discarded, nil
+}
+
+// Kill cancels the context every running job was given. It does not wait;
+// follow with Drain (already-drained pools return immediately once the
+// canceled jobs exit).
+func (p *Pool[T]) Kill() { p.cancel() }

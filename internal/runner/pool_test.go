@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryAcceptedJob(t *testing.T) {
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	p := NewPool(4, 64, func(_ context.Context, job int) {
+		done.Add(int64(job))
+		wg.Done()
+	})
+	want := int64(0)
+	for i := 1; i <= 50; i++ {
+		wg.Add(1)
+		for {
+			err := p.TrySubmit(i)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		want += int64(i)
+	}
+	wg.Wait()
+	if got := done.Load(); got != want {
+		t.Fatalf("job sum = %d, want %d", got, want)
+	}
+	if _, err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestPoolSaturationAndClose(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	p := NewPool(1, 2, func(_ context.Context, _ int) {
+		started <- struct{}{}
+		<-block
+	})
+	if err := p.TrySubmit(0); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker now busy; queue is empty
+	if err := p.TrySubmit(1); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if err := p.TrySubmit(2); err != nil {
+		t.Fatalf("third submit: %v", err)
+	}
+	if err := p.TrySubmit(3); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("submit beyond depth: err = %v, want ErrSaturated", err)
+	}
+	if got := p.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	if got := p.Running(); got != 1 {
+		t.Fatalf("Running = %d, want 1", got)
+	}
+
+	// Drain with the worker still blocked: pending jobs come back, and the
+	// deadline fires because the running job never finishes.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	discarded, err := p.Drain(ctx)
+	if len(discarded) != 2 || discarded[0] != 1 || discarded[1] != 2 {
+		t.Fatalf("discarded = %v, want [1 2]", discarded)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v, want deadline exceeded", err)
+	}
+	if err := p.TrySubmit(9); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after drain: err = %v, want ErrPoolClosed", err)
+	}
+	close(block)
+	if _, err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestPoolDrainWaitsForInFlight(t *testing.T) {
+	var finished atomic.Bool
+	release := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool(1, 4, func(_ context.Context, _ int) {
+		close(started)
+		<-release
+		finished.Store(true)
+	})
+	if err := p.TrySubmit(1); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if _, err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !finished.Load() {
+		t.Fatal("drain returned before the in-flight job completed")
+	}
+}
+
+func TestPoolKillCancelsJobContext(t *testing.T) {
+	canceled := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool(1, 1, func(ctx context.Context, _ int) {
+		close(started)
+		<-ctx.Done()
+		close(canceled)
+	})
+	if err := p.TrySubmit(1); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	p.Kill()
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("job context not canceled by Kill")
+	}
+	if _, err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -83,8 +83,15 @@ func (s *Scratchpad) Note() { s.accesses++ }
 // Accesses returns the number of accesses served.
 func (s *Scratchpad) Accesses() int64 { return s.accesses }
 
-// Regions returns the placed regions sorted by base address.
-func (s *Scratchpad) Regions() []memory.Region { return s.regions }
+// Regions returns a copy of the placed regions sorted by base address. A
+// copy, not the live slice: snapshot accessors across the simulator return
+// detached data so a metrics scrape or job inspection taken mid-simulation
+// can never alias state the simulation goroutine is still mutating.
+func (s *Scratchpad) Regions() []memory.Region {
+	out := make([]memory.Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
 
 // CopyCost returns the cycle cost of DMA-copying a region of size bytes in
 // or out of the scratchpad, given the per-line transfer cost; software must

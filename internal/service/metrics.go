@@ -1,0 +1,280 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hand-rolled Prometheus text exposition (no client library — the repo is
+// stdlib-only). Three primitives cover colserved's needs: labeled
+// counters, gauges computed at scrape time, and fixed-bucket histograms.
+// Everything is atomic or mutex-guarded so the simulation workers and the
+// scrape handler never race.
+
+// counterVec is a counter family with one label set per child.
+type counterVec struct {
+	name, help string
+	labels     []string // label names, fixed order
+	mu         sync.Mutex
+	children   map[string]*atomic.Int64 // key = joined label values
+}
+
+func newCounterVec(name, help string, labels ...string) *counterVec {
+	return &counterVec{name: name, help: help, labels: labels, children: make(map[string]*atomic.Int64)}
+}
+
+func (c *counterVec) with(values ...string) *atomic.Int64 {
+	if len(values) != len(c.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d labels, got %d", c.name, len(c.labels), len(values)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	child, ok := c.children[key]
+	if !ok {
+		child = &atomic.Int64{}
+		c.children[key] = child
+	}
+	return child
+}
+
+// Add increments the child for the given label values.
+func (c *counterVec) Add(delta int64, values ...string) { c.with(values...).Add(delta) }
+
+// Get reads a child's value (0 if never touched).
+func (c *counterVec) Get(values ...string) int64 { return c.with(values...).Load() }
+
+func (c *counterVec) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.children))
+	for k := range c.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := c.children[k].Load()
+		fmt.Fprintf(w, "%s%s %d\n", c.name, renderLabels(c.labels, splitKey(k, len(c.labels))), v)
+	}
+	c.mu.Unlock()
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x00' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}
+
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	s := "{"
+	for i := range names {
+		if i > 0 {
+			s += ","
+		}
+		s += names[i] + `="` + values[i] + `"`
+	}
+	return s + "}"
+}
+
+// histogram is a fixed-bucket cumulative histogram of float64 samples.
+type histogram struct {
+	name, help string
+	labels     []string
+	bounds     []float64 // upper bounds, ascending; +Inf implicit
+
+	mu       sync.Mutex
+	children map[string]*histChild
+}
+
+type histChild struct {
+	counts  []atomic.Int64 // one per bound, plus +Inf at the end
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// defLatencyBounds suit request/job latencies from tens of microseconds to
+// tens of seconds.
+var defLatencyBounds = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(name, help string, bounds []float64, labels ...string) *histogram {
+	return &histogram{name: name, help: help, labels: labels, bounds: bounds, children: make(map[string]*histChild)}
+}
+
+func (h *histogram) child(values ...string) *histChild {
+	if len(values) != len(h.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d labels, got %d", h.name, len(h.labels), len(values)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.children[key]
+	if !ok {
+		c = &histChild{counts: make([]atomic.Int64, len(h.bounds)+1)}
+		h.children[key] = c
+	}
+	return c
+}
+
+// Observe records one sample for the given label values.
+func (h *histogram) Observe(v float64, values ...string) {
+	c := h.child(values...)
+	idx := sort.SearchFloat64s(h.bounds, v)
+	c.counts[idx].Add(1)
+	c.count.Add(1)
+	for {
+		old := c.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads a child's total sample count.
+func (h *histogram) Count(values ...string) int64 { return h.child(values...).count.Load() }
+
+func (h *histogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.children))
+	for k := range h.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := h.children[k]
+		values := splitKey(k, len(h.labels))
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += c.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+				renderLabels(append(append([]string{}, h.labels...), "le"),
+					append(append([]string{}, values...), formatBound(b))), cum)
+		}
+		cum += c.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+			renderLabels(append(append([]string{}, h.labels...), "le"),
+				append(append([]string{}, values...), "+Inf")), cum)
+		sum := math.Float64frombits(c.sumBits.Load())
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, renderLabels(h.labels, values), sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, renderLabels(h.labels, values), c.count.Load())
+	}
+	h.mu.Unlock()
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// Metrics is colserved's registry.
+type Metrics struct {
+	// jobs_total{kind,outcome}: accepted, rejected (shed with 429/503),
+	// done, failed, canceled. accepted = done + failed + canceled once the
+	// server is idle — the invariant colload cross-checks.
+	Jobs *counterVec
+	// http_requests_total{path,code}
+	HTTPRequests *counterVec
+	// request latency histogram per path.
+	RequestSeconds *histogram
+	// end-to-end job latency (submit to terminal state) per kind.
+	JobSeconds *histogram
+	// simulation work counters, for cycles/sec rates.
+	SimCycles   atomic.Int64
+	SimAccesses atomic.Int64
+
+	start time.Time
+
+	// scrape-to-scrape rate state for the cycles/sec gauge.
+	scrapeMu   sync.Mutex
+	lastScrape time.Time
+	lastCycles int64
+	lastRate   float64
+}
+
+// NewMetrics builds the registry.
+func NewMetrics() *Metrics {
+	now := time.Now()
+	return &Metrics{
+		Jobs:           newCounterVec("colserved_jobs_total", "Jobs by kind and outcome (accepted, rejected, done, failed, canceled).", "kind", "outcome"),
+		HTTPRequests:   newCounterVec("colserved_http_requests_total", "HTTP requests by path and status code.", "path", "code"),
+		RequestSeconds: newHistogram("colserved_request_seconds", "HTTP request latency by path.", defLatencyBounds, "path"),
+		JobSeconds:     newHistogram("colserved_job_seconds", "Job latency from submission to terminal state, by kind.", defLatencyBounds, "kind"),
+		start:          now,
+		lastScrape:     now,
+	}
+}
+
+// Gauges are the live values rendered at scrape time; the server supplies
+// them so the registry needs no back-pointer.
+type Gauges struct {
+	QueueDepth int
+	Running    int
+	Draining   bool
+}
+
+// Write renders the whole registry in Prometheus text exposition format.
+func (m *Metrics) Write(w io.Writer, g Gauges) {
+	m.Jobs.write(w)
+	m.HTTPRequests.write(w)
+	m.RequestSeconds.write(w)
+	m.JobSeconds.write(w)
+
+	fmt.Fprintf(w, "# HELP colserved_queue_depth Jobs waiting to start.\n# TYPE colserved_queue_depth gauge\ncolserved_queue_depth %d\n", g.QueueDepth)
+	fmt.Fprintf(w, "# HELP colserved_jobs_running Jobs executing right now.\n# TYPE colserved_jobs_running gauge\ncolserved_jobs_running %d\n", g.Running)
+	draining := 0
+	if g.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP colserved_draining Whether the server is draining.\n# TYPE colserved_draining gauge\ncolserved_draining %d\n", draining)
+
+	cycles := m.SimCycles.Load()
+	accesses := m.SimAccesses.Load()
+	fmt.Fprintf(w, "# HELP colserved_sim_cycles_total Simulated cycles executed.\n# TYPE colserved_sim_cycles_total counter\ncolserved_sim_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "# HELP colserved_sim_accesses_total Simulated memory accesses executed.\n# TYPE colserved_sim_accesses_total counter\ncolserved_sim_accesses_total %d\n", accesses)
+
+	// cycles/sec over the interval since the previous scrape (whole-process
+	// average on the first scrape).
+	m.scrapeMu.Lock()
+	now := time.Now()
+	dt := now.Sub(m.lastScrape).Seconds()
+	if dt > 0.01 {
+		m.lastRate = float64(cycles-m.lastCycles) / dt
+		m.lastScrape = now
+		m.lastCycles = cycles
+	}
+	rate := m.lastRate
+	m.scrapeMu.Unlock()
+	fmt.Fprintf(w, "# HELP colserved_sim_cycles_per_second Simulated cycles per wall-clock second, over the last scrape interval.\n# TYPE colserved_sim_cycles_per_second gauge\ncolserved_sim_cycles_per_second %g\n", rate)
+
+	fmt.Fprintf(w, "# HELP colserved_uptime_seconds Seconds since the server started.\n# TYPE colserved_uptime_seconds gauge\ncolserved_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

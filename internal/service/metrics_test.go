@@ -1,0 +1,117 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVec(t *testing.T) {
+	c := newCounterVec("test_total", "help", "kind", "outcome")
+	c.Add(3, "simulate", "done")
+	c.Add(1, "simulate", "failed")
+	c.Add(2, "sweep", "done")
+	if got := c.Get("simulate", "done"); got != 3 {
+		t.Fatalf("Get = %d, want 3", got)
+	}
+	if got := c.Get("never", "touched"); got != 0 {
+		t.Fatalf("untouched child = %d, want 0", got)
+	}
+	var b strings.Builder
+	c.write(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_total counter",
+		`test_total{kind="simulate",outcome="done"} 3`,
+		`test_total{kind="simulate",outcome="failed"} 1`,
+		`test_total{kind="sweep",outcome="done"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram("lat_seconds", "help", []float64{0.01, 0.1, 1}, "path")
+	h.Observe(0.005, "/a") // bucket le=0.01
+	h.Observe(0.05, "/a")  // le=0.1
+	h.Observe(0.05, "/a")
+	h.Observe(5, "/a") // +Inf only
+	if got := h.Count("/a"); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	var b strings.Builder
+	h.write(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{path="/a",le="0.01"} 1`,
+		`lat_seconds_bucket{path="/a",le="0.1"} 3`,
+		`lat_seconds_bucket{path="/a",le="1"} 3`,
+		`lat_seconds_bucket{path="/a",le="+Inf"} 4`,
+		`lat_seconds_count{path="/a"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Sum: 0.005 + 0.05 + 0.05 + 5 = 5.105
+	if !strings.Contains(out, `lat_seconds_sum{path="/a"} 5.105`) {
+		t.Errorf("bad sum in:\n%s", out)
+	}
+}
+
+// TestHistogramConcurrentSum drives the CAS float64 sum from many
+// goroutines; the total must be exact for values that add without rounding.
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := newHistogram("x", "h", defLatencyBounds)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	c := h.child()
+	if got := c.count.Load(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	sum := math.Float64frombits(c.sumBits.Load())
+	if sum != workers*per*0.5 {
+		t.Fatalf("sum = %v, want %v", sum, workers*per*0.5)
+	}
+}
+
+func TestMetricsWrite(t *testing.T) {
+	m := NewMetrics()
+	m.Jobs.Add(5, "simulate", "accepted")
+	m.Jobs.Add(5, "simulate", "done")
+	m.SimCycles.Add(1234)
+	m.SimAccesses.Add(100)
+	m.RequestSeconds.Observe(0.002, "/v1/simulate")
+
+	var b strings.Builder
+	m.Write(&b, Gauges{QueueDepth: 3, Running: 2, Draining: true})
+	out := b.String()
+	for _, want := range []string{
+		`colserved_jobs_total{kind="simulate",outcome="accepted"} 5`,
+		"colserved_queue_depth 3",
+		"colserved_jobs_running 2",
+		"colserved_draining 1",
+		"colserved_sim_cycles_total 1234",
+		"colserved_sim_accesses_total 100",
+		"colserved_sim_cycles_per_second",
+		"colserved_uptime_seconds",
+		"# TYPE colserved_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}

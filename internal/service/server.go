@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	colcache "colcache"
+	"colcache/internal/experiments"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/runner"
+)
+
+// Config parameterizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing jobs (default: NumCPU).
+	Workers int
+	// QueueDepth bounds jobs waiting to start; a submission past the limit
+	// is shed with 429 + Retry-After (default 256).
+	QueueDepth int
+	// SweepWorkers caps one sweep job's inner fan-out (default 4). A sweep
+	// occupies a single queue worker; its points parallelize inside it.
+	SweepWorkers int
+	// MaxBodyBytes bounds any request body (default 32 MiB).
+	MaxBodyBytes int64
+	// Limits bound what one spec may ask for.
+	Limits Limits
+	// MaxSweepPoints bounds the expanded point count of one sweep
+	// (default 512).
+	MaxSweepPoints int
+	// JobTimeout bounds one job's execution (default 120s).
+	JobTimeout time.Duration
+	// RetainJobs bounds how many jobs the store keeps; oldest terminal
+	// jobs are evicted first, queued/running never (default 16384).
+	RetainJobs int
+	// CheckEvery is the simulation cancellation/checkpoint stride
+	// (default memsys.DefaultCheckEvery).
+	CheckEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	c.Limits = c.Limits.withDefaults()
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 512
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 16384
+	}
+	return c
+}
+
+// Server is the colserved HTTP service: a bounded job queue in front of
+// the simulation substrates, with live metrics.
+type Server struct {
+	cfg       Config
+	store     *store
+	pool      *runner.Pool[*Job]
+	metrics   *Metrics
+	mux       *http.ServeMux
+	draining  chan struct{} // closed when Drain begins
+	drainOnce sync.Once
+
+	// testHook, when set, runs at the head of every job; tests use it to
+	// pin a job in the running state deterministically.
+	testHook func(ctx context.Context, j *Job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		store:    newStore(cfg.RetainJobs),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+	}
+	s.pool = runner.NewPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+
+	s.mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	s.mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (tests and embedding servers read it).
+func (s *Server) MetricsRegistry() *Metrics { return s.metrics }
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain gracefully shuts the queue down: new submissions are shed with
+// 503, jobs that never started are canceled with a retriable status, and
+// in-flight jobs get until ctx expires to complete — after which their
+// contexts are canceled and the cooperative simulation loop stops them at
+// the next checkpoint. Returns nil when everything settled inside the
+// deadline.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	discarded, err := s.pool.Drain(ctx)
+	for _, j := range discarded {
+		j.finish(colcache.StateCanceled, true, "server draining before the job started; resubmit", nil, nil)
+		s.metrics.Jobs.Add(1, j.Kind, "canceled")
+		s.observeJobLatency(j)
+	}
+	if err != nil {
+		// Deadline passed with jobs still running: cancel their contexts
+		// and give the cooperative loops a moment to unwind.
+		s.pool.Kill()
+		grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err2 := s.pool.Drain(grace); err2 != nil {
+			return fmt.Errorf("drain: %d jobs still running after cancellation: %w", s.pool.Running(), err2)
+		}
+		return err
+	}
+	return nil
+}
+
+// --- job execution -----------------------------------------------------------
+
+func (s *Server) runJob(poolCtx context.Context, j *Job) {
+	ctx, cancel := context.WithTimeout(poolCtx, s.cfg.JobTimeout)
+	defer cancel()
+	if s.testHook != nil {
+		s.testHook(ctx, j)
+	}
+
+	var err error
+	switch j.Kind {
+	case "sweep":
+		err = s.runSweep(ctx, j)
+	default:
+		err = s.runSimulate(ctx, j)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			j.finish(colcache.StateCanceled, true, "canceled during server drain", nil, nil)
+			s.metrics.Jobs.Add(1, j.Kind, "canceled")
+		case errors.Is(err, context.DeadlineExceeded):
+			j.finish(colcache.StateFailed, false, fmt.Sprintf("job exceeded timeout %s", s.cfg.JobTimeout), nil, nil)
+			s.metrics.Jobs.Add(1, j.Kind, "failed")
+		default:
+			j.finish(colcache.StateFailed, false, err.Error(), nil, nil)
+			s.metrics.Jobs.Add(1, j.Kind, "failed")
+		}
+	} else {
+		s.metrics.Jobs.Add(1, j.Kind, "done")
+	}
+	s.observeJobLatency(j)
+}
+
+func (s *Server) observeJobLatency(j *Job) {
+	if d, ok := j.latency(); ok {
+		s.metrics.JobSeconds.Observe(d.Seconds(), j.Kind)
+	}
+}
+
+func (s *Server) runSimulate(ctx context.Context, j *Job) error {
+	b, err := BuildSim(j.Spec, j.Upload, s.cfg.Limits)
+	if err != nil {
+		return err
+	}
+	j.setRunning(b.Sys)
+	total := int64(len(b.Trace))
+	var lastCycles, lastAccesses int64
+	cycles, err := b.Sys.RunContext(ctx, b.Trace, memsys.RunOptions{
+		CheckEvery: s.cfg.CheckEvery,
+		OnCheckpoint: func(done int, st memsys.Stats) {
+			s.metrics.SimCycles.Add(st.Cycles - lastCycles)
+			s.metrics.SimAccesses.Add(st.MemAccesses - lastAccesses)
+			lastCycles, lastAccesses = st.Cycles, st.MemAccesses
+			p := colcache.JobProgress{
+				AccessesDone:  int64(done),
+				AccessesTotal: total,
+				Cycles:        st.Cycles,
+				CacheMissRate: st.Cache.MissRate(),
+			}
+			if b.Ctl != nil {
+				p.Decisions = len(b.Ctl.Decisions())
+			}
+			j.publishProgress(p)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res := Result(j.Spec.Label, b, cycles, j.Spec.Machine)
+	j.finish(colcache.StateDone, false, "", &res, nil)
+	return nil
+}
+
+// expandSweep crosses the base spec with the non-empty axes.
+func expandSweep(sw colcache.SweepSpec, maxPoints int) ([]colcache.SimSpec, error) {
+	// Axis entries must be explicit: a zero would silently decay to the
+	// machine default and mislabel the point.
+	for _, v := range sw.Sets {
+		if v <= 0 {
+			return nil, fmt.Errorf("sets axis value %d: want > 0", v)
+		}
+	}
+	for _, v := range sw.Ways {
+		if v <= 0 {
+			return nil, fmt.Errorf("ways axis value %d: want > 0", v)
+		}
+	}
+	for _, v := range sw.MissPenalties {
+		if v <= 0 {
+			return nil, fmt.Errorf("miss_penalties axis value %d: want > 0", v)
+		}
+	}
+	for _, v := range sw.Policies {
+		if v == "" {
+			return nil, fmt.Errorf("policies axis has an empty entry")
+		}
+	}
+	sets := sw.Sets
+	if len(sets) == 0 {
+		sets = []int{sw.Base.Machine.Sets}
+	}
+	ways := sw.Ways
+	if len(ways) == 0 {
+		ways = []int{sw.Base.Machine.Ways}
+	}
+	policies := sw.Policies
+	if len(policies) == 0 {
+		policies = []string{sw.Base.Machine.Policy}
+	}
+	penalties := sw.MissPenalties
+	if len(penalties) == 0 {
+		penalties = []int{sw.Base.Machine.MissPenalty}
+	}
+	var workloads []*colcache.WorkloadSpec
+	if len(sw.Workloads) == 0 {
+		workloads = []*colcache.WorkloadSpec{sw.Base.Workload}
+	} else {
+		for i := range sw.Workloads {
+			workloads = append(workloads, &sw.Workloads[i])
+		}
+	}
+
+	n := len(sets) * len(ways) * len(policies) * len(penalties) * len(workloads)
+	if n == 0 {
+		return nil, fmt.Errorf("sweep expands to zero points")
+	}
+	if n > maxPoints {
+		return nil, fmt.Errorf("sweep expands to %d points, limit %d", n, maxPoints)
+	}
+	var out []colcache.SimSpec
+	for _, wl := range workloads {
+		for _, st := range sets {
+			for _, wy := range ways {
+				for _, pol := range policies {
+					for _, pen := range penalties {
+						spec := sw.Base
+						spec.Machine.Sets = st
+						spec.Machine.Ways = wy
+						spec.Machine.Policy = pol
+						spec.Machine.MissPenalty = pen
+						if wl != nil {
+							w := *wl
+							spec.Workload = &w
+						}
+						m := machineWithDefaults(spec.Machine)
+						label := fmt.Sprintf("sets=%d ways=%d policy=%s penalty=%d", m.Sets, m.Ways, m.Policy, m.MissPenalty)
+						if wl != nil {
+							label = "wl=" + wl.Name + " " + label
+						}
+						spec.Label = label
+						out = append(out, spec)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) runSweep(ctx context.Context, j *Job) error {
+	points, err := expandSweep(*j.SweepSpec, s.cfg.MaxSweepPoints)
+	if err != nil {
+		return err
+	}
+	for i := range points {
+		if err := ValidateSim(points[i], false, s.cfg.Limits); err != nil {
+			return fmt.Errorf("point %q: %w", points[i].Label, err)
+		}
+	}
+	j.setRunning(nil)
+	j.publishProgress(colcache.JobProgress{PointsTotal: len(points)})
+
+	workers := j.SweepSpec.Workers
+	if workers <= 0 || workers > s.cfg.SweepWorkers {
+		workers = s.cfg.SweepWorkers
+	}
+	jobs := make([]experiments.SpecJob, len(points))
+	for i := range points {
+		spec := points[i]
+		jobs[i] = experiments.SpecJob{
+			Label: spec.Label,
+			Build: func() (*memsys.System, memtrace.Trace, error) {
+				b, err := BuildSim(spec, nil, s.cfg.Limits)
+				if err != nil {
+					return nil, nil, err
+				}
+				return b.Sys, b.Trace, nil
+			},
+			After: func(sys *memsys.System, res *experiments.SpecResult) error {
+				s.metrics.SimCycles.Add(res.Stats.Cycles)
+				s.metrics.SimAccesses.Add(res.Stats.MemAccesses)
+				// Rebuild the wire result from the finished machine.
+				b := &Built{Sys: sys}
+				if spec.Workload != nil {
+					b.Workload = spec.Workload.Name
+				}
+				r := Result(spec.Label, b, res.Cycles, spec.Machine)
+				r.TraceAccesses = res.Stats.MemAccesses
+				res.Extra = colcache.SweepPoint{Label: spec.Label, Machine: spec.Machine, Result: r}
+				return nil
+			},
+		}
+	}
+	results, err := experiments.RunSpecs(ctx, jobs, workers, s.cfg.CheckEvery, func(done, total int) {
+		j.publishProgress(colcache.JobProgress{PointsDone: done, PointsTotal: total})
+	})
+	if err != nil {
+		// Unwrap the runner's job attribution so context errors keep their
+		// identity for the canceled/timeout classification above.
+		return err
+	}
+	sweep := &colcache.SweepResult{Points: make([]colcache.SweepPoint, len(results))}
+	for i, r := range results {
+		sweep.Points[i] = r.Extra.(colcache.SweepPoint)
+	}
+	j.finish(colcache.StateDone, false, "", nil, sweep)
+	return nil
+}
+
+// --- HTTP handlers -----------------------------------------------------------
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-path request counting and latency
+// observation, using the route pattern (not the raw URL) as the label so
+// cardinality stays bounded.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.RequestSeconds.Observe(time.Since(start).Seconds(), pattern)
+		s.metrics.HTTPRequests.Add(1, pattern, strconv.Itoa(rec.code))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, colcache.APIError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeShed answers a shed submission (full queue or draining) with the
+// explicit backpressure contract: status + Retry-After.
+func writeShed(w http.ResponseWriter, code int, retryAfter int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, code, colcache.APIError{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+// submit queues a prepared job, converting pool saturation into 429 and
+// drain into 503.
+func (s *Server) submit(w http.ResponseWriter, j *Job) {
+	if s.isDraining() {
+		s.metrics.Jobs.Add(1, j.Kind, "rejected")
+		writeShed(w, http.StatusServiceUnavailable, 1, "server draining")
+		return
+	}
+	j.state = colcache.StateQueued
+	j.Submitted = time.Now()
+	s.store.add(j)
+	if err := s.pool.TrySubmit(j); err != nil {
+		s.store.remove(j.ID)
+		s.metrics.Jobs.Add(1, j.Kind, "rejected")
+		if errors.Is(err, runner.ErrPoolClosed) {
+			writeShed(w, http.StatusServiceUnavailable, 1, "server draining")
+		} else {
+			writeShed(w, http.StatusTooManyRequests, 1,
+				fmt.Sprintf("queue full (%d waiting)", s.pool.Pending()))
+		}
+		return
+	}
+	s.metrics.Jobs.Add(1, j.Kind, "accepted")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	j := &Job{Kind: "simulate"}
+
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		// Binary trace upload: machine via query parameters, body streamed
+		// through the size-limited decoder — an oversized or malformed
+		// trace is rejected without ever being fully buffered.
+		spec, err := machineFromQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad query: %v", err)
+			return
+		}
+		j.Spec = spec
+		if err := ValidateSim(spec, true, s.cfg.Limits); err != nil {
+			writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+			return
+		}
+		tr, err := memtrace.ReadBinaryLimit(r.Body, s.cfg.Limits.MaxTraceAccesses)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, memtrace.ErrTraceTooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, "bad trace: %v", err)
+			return
+		}
+		if len(tr) == 0 {
+			writeError(w, http.StatusBadRequest, "empty trace")
+			return
+		}
+		j.Upload = tr
+		s.submit(w, j)
+		return
+	}
+
+	var spec colcache.SimSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := ValidateSim(spec, false, s.cfg.Limits); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	j.Spec = spec
+	s.submit(w, j)
+}
+
+// machineFromQuery parses the octet-stream submission's machine selection.
+func machineFromQuery(r *http.Request) (colcache.SimSpec, error) {
+	q := r.URL.Query()
+	var spec colcache.SimSpec
+	geti := func(key string) (int, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.Atoi(v)
+	}
+	var err error
+	if spec.Machine.LineBytes, err = geti("line"); err != nil {
+		return spec, fmt.Errorf("line: %v", err)
+	}
+	if spec.Machine.Sets, err = geti("sets"); err != nil {
+		return spec, fmt.Errorf("sets: %v", err)
+	}
+	if spec.Machine.Ways, err = geti("ways"); err != nil {
+		return spec, fmt.Errorf("ways: %v", err)
+	}
+	if spec.Machine.PageBytes, err = geti("page"); err != nil {
+		return spec, fmt.Errorf("page: %v", err)
+	}
+	if spec.Machine.MissPenalty, err = geti("penalty"); err != nil {
+		return spec, fmt.Errorf("penalty: %v", err)
+	}
+	spec.Machine.Policy = q.Get("policy")
+	spec.Label = q.Get("label")
+	return spec, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var spec colcache.SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	points, err := expandSweep(spec, s.cfg.MaxSweepPoints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep: %v", err)
+		return
+	}
+	for i := range points {
+		if err := ValidateSim(points[i], false, s.cfg.Limits); err != nil {
+			writeError(w, http.StatusBadRequest, "bad sweep point %q: %v", points[i].Label, err)
+			return
+		}
+	}
+	s.submit(w, &Job{Kind: "sweep", SweepSpec: &spec, Spec: spec.Base})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	recent := s.store.recent(100)
+	list := colcache.JobList{
+		Queued:  s.pool.Pending(),
+		Running: s.pool.Running(),
+		Jobs:    make([]colcache.JobInfo, len(recent)),
+	}
+	for i, j := range recent {
+		list.Jobs[i] = j.Info()
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Write(w, Gauges{
+		QueueDepth: s.pool.Pending(),
+		Running:    s.pool.Running(),
+		Draining:   s.isDraining(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeShed(w, http.StatusServiceUnavailable, 1, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

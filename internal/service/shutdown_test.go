@@ -1,0 +1,164 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	colcache "colcache"
+)
+
+// drainFixture builds a one-worker server with the first job pinned in the
+// running state and n more queued behind it. Returns the pinned job's ID,
+// the queued IDs, and the release gate.
+func drainFixture(t *testing.T, n int) (*Server, *httptest.Server, string, []string, chan struct{}) {
+	t.Helper()
+	srv := New(Config{Workers: 1, QueueDepth: n + 1})
+	gate := make(chan struct{})
+	srv.testHook = func(ctx context.Context, j *Job) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	submit := func(label string) string {
+		resp, body := postJSON(t, ts, "/v1/simulate", tinySpec(label))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: HTTP %d: %s", label, resp.StatusCode, body)
+		}
+		var info colcache.JobInfo
+		json.Unmarshal(body, &info)
+		return info.ID
+	}
+	pinned := submit("pinned")
+	for deadline := time.Now().Add(5 * time.Second); srv.pool.Running() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("pinned job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var queued []string
+	for i := 0; i < n; i++ {
+		queued = append(queued, submit(fmt.Sprintf("queued%d", i)))
+	}
+	return srv, ts, pinned, queued, gate
+}
+
+// TestGracefulDrain: the in-flight job completes, queued jobs come back
+// canceled+retriable, and new submissions are shed with 503 while the
+// drain runs and after it.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts, pinned, queued, gate := drainFixture(t, 3)
+	defer ts.Close()
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- srv.Drain(ctx)
+	}()
+	// Wait until the drain has begun, then release the pinned job.
+	for deadline := time.Now().Add(5 * time.Second); !srv.isDraining(); {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A submission against a draining server sheds with 503 + Retry-After.
+	b, _ := json.Marshal(tinySpec("late"))
+	resp, err := ts.Client().Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	close(gate)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// In-flight job finished its work.
+	if final := waitTerminal(t, ts, pinned); final.State != colcache.StateDone {
+		t.Fatalf("pinned job: %+v", final)
+	}
+	// Queued jobs were handed back, retriable.
+	for _, id := range queued {
+		final := waitTerminal(t, ts, id)
+		if final.State != colcache.StateCanceled || !final.Retriable {
+			t.Fatalf("queued job %s: state=%s retriable=%v", id, final.State, final.Retriable)
+		}
+		if final.Error == "" {
+			t.Fatalf("queued job %s: no explanation", id)
+		}
+	}
+
+	// healthz reports draining; metrics still serve and the ledger closes.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	m := srv.MetricsRegistry()
+	acc := m.Jobs.Get("simulate", "accepted")
+	term := m.Jobs.Get("simulate", "done") + m.Jobs.Get("simulate", "failed") + m.Jobs.Get("simulate", "canceled")
+	if acc != term || acc != int64(1+len(queued)) {
+		t.Fatalf("ledger: accepted %d terminal %d", acc, term)
+	}
+}
+
+// TestDrainDeadlineKillsStuckJob: a job that ignores the gate until its
+// context is canceled forces the drain past its deadline; Drain must kill
+// the pool and still return with the job terminal.
+func TestDrainDeadlineKillsStuckJob(t *testing.T) {
+	srv, ts, pinned, _, _ := drainFixture(t, 0)
+	defer ts.Close()
+	// The fixture hook already blocks until ctx.Done() if the gate never
+	// closes — exactly a stuck job that only honors cancellation.
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := srv.Drain(ctx)
+	if err == nil {
+		t.Fatal("drain of a stuck job reported success")
+	}
+
+	final := waitTerminal(t, ts, pinned)
+	if final.State != colcache.StateCanceled {
+		t.Fatalf("stuck job after kill: %+v", final)
+	}
+	if srv.pool.Running() != 0 {
+		t.Fatalf("%d jobs still running after kill", srv.pool.Running())
+	}
+}
+
+// TestDrainIdempotent: draining twice is safe and the second call returns
+// promptly.
+func TestDrainIdempotent(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Drain(ctx); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		cancel()
+	}
+}

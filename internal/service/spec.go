@@ -1,0 +1,426 @@
+// Package service implements colserved: simulation-as-a-service on top of
+// the colcache substrates. It turns the one-shot CLI pipeline (build a
+// machine, run a trace, print stats) into a long-running daemon with a
+// bounded job queue, explicit backpressure, cooperative cancellation
+// plumbed into the simulation loop, graceful drain, and a hand-rolled
+// Prometheus-text metrics endpoint.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	colcache "colcache"
+	"colcache/internal/cache"
+	"colcache/internal/controller"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/workloads"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/kernels"
+	"colcache/internal/workloads/mpeg"
+	"colcache/internal/workloads/synth"
+)
+
+// Limits bound what a single spec may ask for; they are the service's
+// defense against a request that is expensive rather than malformed.
+type Limits struct {
+	MaxTraceAccesses int // records per trace, uploaded or generated
+	MaxSets          int
+	MaxWays          int
+}
+
+// DefaultLimits is what Config.withDefaults installs.
+var DefaultLimits = Limits{
+	MaxTraceAccesses: 4 << 20,
+	MaxSets:          1 << 16,
+	MaxWays:          64,
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxTraceAccesses == 0 {
+		l.MaxTraceAccesses = DefaultLimits.MaxTraceAccesses
+	}
+	if l.MaxSets == 0 {
+		l.MaxSets = DefaultLimits.MaxSets
+	}
+	if l.MaxWays == 0 {
+		l.MaxWays = DefaultLimits.MaxWays
+	}
+	return l
+}
+
+func machineWithDefaults(m colcache.MachineSpec) colcache.MachineSpec {
+	if m.LineBytes == 0 {
+		m.LineBytes = 32
+	}
+	if m.Sets == 0 {
+		m.Sets = 16
+	}
+	if m.Ways == 0 {
+		m.Ways = 4
+	}
+	if m.PageBytes == 0 {
+		m.PageBytes = 4096
+	}
+	if m.Policy == "" {
+		m.Policy = string(replacement.LRU)
+	}
+	if m.MissPenalty == 0 {
+		m.MissPenalty = 20
+	}
+	return m
+}
+
+// ValidateMachine checks a machine spec against the limits without
+// building anything; submission-time rejection keeps garbage out of the
+// queue.
+func ValidateMachine(m colcache.MachineSpec, lim Limits) error {
+	m = machineWithDefaults(m)
+	lim = lim.withDefaults()
+	if !memory.IsPow2(m.LineBytes) || m.LineBytes < 8 || m.LineBytes > 4096 {
+		return fmt.Errorf("line_bytes %d: want a power of two in [8,4096]", m.LineBytes)
+	}
+	if !memory.IsPow2(m.Sets) || m.Sets < 1 || m.Sets > lim.MaxSets {
+		return fmt.Errorf("sets %d: want a power of two in [1,%d]", m.Sets, lim.MaxSets)
+	}
+	if m.Ways < 1 || m.Ways > lim.MaxWays {
+		return fmt.Errorf("ways %d: want [1,%d]", m.Ways, lim.MaxWays)
+	}
+	if !memory.IsPow2(m.PageBytes) || m.PageBytes < m.LineBytes {
+		return fmt.Errorf("page_bytes %d: want a power of two >= line_bytes", m.PageBytes)
+	}
+	switch replacement.Kind(m.Policy) {
+	case replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random:
+	default:
+		return fmt.Errorf("unknown policy %q", m.Policy)
+	}
+	if m.MissPenalty < 0 || m.MissPenalty > 1<<20 {
+		return fmt.Errorf("miss_penalty %d out of range", m.MissPenalty)
+	}
+	return nil
+}
+
+// ValidateSim checks a full simulate spec. hasUpload reports whether a
+// binary trace body accompanies the spec (the octet-stream path).
+func ValidateSim(spec colcache.SimSpec, hasUpload bool, lim Limits) error {
+	if err := ValidateMachine(spec.Machine, lim); err != nil {
+		return err
+	}
+	sources := 0
+	if spec.Workload != nil {
+		sources++
+	}
+	if spec.TraceText != "" {
+		sources++
+	}
+	if hasUpload {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("want exactly one trace source (workload, trace_text, or binary upload), got %d", sources)
+	}
+	if spec.Workload != nil {
+		if err := validateWorkload(*spec.Workload, lim); err != nil {
+			return err
+		}
+	}
+	m := machineWithDefaults(spec.Machine)
+	for i, mp := range spec.Maps {
+		if mp.Size == 0 {
+			return fmt.Errorf("maps[%d]: zero size", i)
+		}
+		if len(mp.Columns) == 0 {
+			return fmt.Errorf("maps[%d]: no columns", i)
+		}
+		for _, c := range mp.Columns {
+			if c < 0 || c >= m.Ways {
+				return fmt.Errorf("maps[%d]: column %d outside [0,%d)", i, c, m.Ways)
+			}
+		}
+	}
+	if spec.Adaptive != nil {
+		if len(spec.Maps)+1 > m.Ways {
+			return fmt.Errorf("adaptive: %d tints but only %d columns", len(spec.Maps)+1, m.Ways)
+		}
+	}
+	return nil
+}
+
+// workloadCaps bounds generator parameters so a single spec cannot demand
+// an absurd trace; the trace-length limit is enforced again after
+// generation.
+func validateWorkload(w colcache.WorkloadSpec, lim Limits) error {
+	lim = lim.withDefaults()
+	switch w.Name {
+	case "stream", "strided", "random", "chase", "phaseshift", "writesweep",
+		"matmul", "fir", "histogram", "mpeg-dequant", "mpeg-plus", "mpeg-idct", "gzip":
+	default:
+		return fmt.Errorf("unknown workload %q (want one of stream, strided, random, chase, phaseshift, writesweep, matmul, fir, histogram, mpeg-dequant, mpeg-plus, mpeg-idct, gzip)", w.Name)
+	}
+	if w.N < 0 || w.N > lim.MaxTraceAccesses {
+		return fmt.Errorf("workload n %d out of [0,%d]", w.N, lim.MaxTraceAccesses)
+	}
+	if w.SizeBytes > 1<<28 {
+		return fmt.Errorf("workload size_bytes %d exceeds %d", w.SizeBytes, 1<<28)
+	}
+	if w.Passes < 0 || w.Passes > 1024 {
+		return fmt.Errorf("workload passes %d out of [0,1024]", w.Passes)
+	}
+	if w.Phases < 0 || w.Phases > 1024 {
+		return fmt.Errorf("workload phases %d out of [0,1024]", w.Phases)
+	}
+	if w.Taps < 0 || w.Taps > 1<<16 {
+		return fmt.Errorf("workload taps %d out of [0,%d]", w.Taps, 1<<16)
+	}
+	if w.Bins < 0 || w.Bins > 1<<20 {
+		return fmt.Errorf("workload bins %d out of [0,%d]", w.Bins, 1<<20)
+	}
+	if w.Name == "matmul" && w.N > 512 {
+		return fmt.Errorf("matmul n %d exceeds 512", w.N)
+	}
+	if w.Name == "fir" {
+		// The kernel needs at least one full filter window of samples.
+		samples, taps := w.N, w.Taps
+		if samples <= 0 {
+			samples = 1024
+		}
+		if taps <= 0 {
+			taps = 32
+		}
+		if samples < taps {
+			return fmt.Errorf("fir: n %d shorter than taps %d", samples, taps)
+		}
+	}
+	return nil
+}
+
+// BuildWorkload synthesizes the named workload's trace. Deterministic in
+// the spec.
+func BuildWorkload(w colcache.WorkloadSpec, lineBytes int) (*workloads.Program, error) {
+	n := w.N
+	size := w.SizeBytes
+	passes := w.Passes
+	seed := w.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	orDefault := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	orDefaultU := func(v *uint64, d uint64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	switch w.Name {
+	case "stream":
+		orDefaultU(&size, 1<<16)
+		orDefault(&passes, 2)
+		return synth.Stream(0, size, 4, passes), nil
+	case "strided":
+		orDefaultU(&size, 1<<16)
+		orDefault(&passes, 2)
+		stride := w.Stride
+		orDefaultU(&stride, 128)
+		return synth.Strided(0, size, stride, passes), nil
+	case "random":
+		orDefaultU(&size, 1<<20)
+		orDefault(&n, 20000)
+		return synth.Random(0, size, n, seed), nil
+	case "chase":
+		orDefault(&n, 20000)
+		return synth.PointerChase(0, 1024, 64, n, seed), nil
+	case "phaseshift":
+		orDefaultU(&size, 4096)
+		phases := w.Phases
+		orDefault(&phases, 4)
+		orDefault(&passes, 2)
+		return synth.PhaseShift(0, size, phases, passes, 64, lineBytes, seed), nil
+	case "writesweep":
+		orDefaultU(&size, 1<<16)
+		orDefault(&passes, 2)
+		return synth.WriteSweep(0, size, 4, passes), nil
+	case "matmul":
+		return kernels.MatMul(kernels.MatMulConfig{N: n, Seed: seed}), nil
+	case "fir":
+		return kernels.FIR(kernels.FIRConfig{Samples: n, Taps: w.Taps, Seed: seed}), nil
+	case "histogram":
+		return kernels.Histogram(kernels.HistogramConfig{Samples: n, Bins: w.Bins, Seed: seed}), nil
+	case "mpeg-dequant":
+		return mpeg.Dequant(mpeg.Config{DequantBlocks: n, Seed: seed}), nil
+	case "mpeg-plus":
+		return mpeg.Plus(mpeg.Config{PlusBlocks: n, Seed: seed}), nil
+	case "mpeg-idct":
+		return mpeg.Idct(mpeg.Config{IdctBlocks: n, Seed: seed}), nil
+	case "gzip":
+		cfg := gzipsim.Config{Seed: seed}
+		if size != 0 {
+			cfg.WindowBytes = int(size)
+		}
+		return gzipsim.Job(cfg, 0), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", w.Name)
+}
+
+// Built is a ready-to-run simulation: the machine, its trace, and the
+// attached adaptive controller (nil unless requested).
+type Built struct {
+	Sys      *memsys.System
+	Trace    memtrace.Trace
+	Ctl      *controller.Controller
+	Workload string
+}
+
+// BuildSim constructs the machine and trace a validated spec describes.
+// upload, when non-nil, is the pre-decoded binary trace of an octet-stream
+// submission.
+func BuildSim(spec colcache.SimSpec, upload memtrace.Trace, lim Limits) (*Built, error) {
+	lim = lim.withDefaults()
+	m := machineWithDefaults(spec.Machine)
+	g, err := memory.NewGeometry(m.LineBytes, m.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	timing := memsys.DefaultTiming
+	timing.MissPenalty = m.MissPenalty
+	sys, err := memsys.New(memsys.Config{
+		Geometry: g,
+		Cache: cache.Config{
+			LineBytes: m.LineBytes,
+			NumSets:   m.Sets,
+			NumWays:   m.Ways,
+			Policy:    replacement.Kind(m.Policy),
+		},
+		Timing: timing,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Built{Sys: sys}
+	switch {
+	case upload != nil:
+		b.Trace = upload
+		b.Workload = "upload"
+	case spec.TraceText != "":
+		tr, err := memtrace.ReadText(strings.NewReader(spec.TraceText))
+		if err != nil {
+			return nil, err
+		}
+		b.Trace = tr
+		b.Workload = "inline"
+	case spec.Workload != nil:
+		prog, err := BuildWorkload(*spec.Workload, m.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		b.Trace = prog.Trace
+		b.Workload = spec.Workload.Name
+	default:
+		return nil, fmt.Errorf("no trace source")
+	}
+	if len(b.Trace) > lim.MaxTraceAccesses {
+		return nil, fmt.Errorf("%w (limit %d)", memtrace.ErrTraceTooLarge, lim.MaxTraceAccesses)
+	}
+
+	for i, mp := range spec.Maps {
+		name := mp.Name
+		if name == "" {
+			name = fmt.Sprintf("map%d@%x", i, mp.Base)
+		}
+		r := memory.Region{Name: name, Base: mp.Base, Size: mp.Size}
+		if _, err := sys.MapRegion(r, replacement.Of(mp.Columns...)); err != nil {
+			return nil, err
+		}
+	}
+
+	if spec.Adaptive != nil {
+		a := *spec.Adaptive
+		if a.EpochAccesses <= 0 {
+			a.EpochAccesses = 4096
+		}
+		if a.MinGainHits <= 0 {
+			a.MinGainHits = 16
+		}
+		tints := sys.Tints().Tints()
+		specs := make([]controller.Spec, len(tints))
+		for i, id := range tints {
+			specs[i] = controller.Spec{ID: id, Min: 1, Max: m.Ways}
+		}
+		ctl, err := controller.New(sys.Tints(), m.Sets, m.LineBytes, specs, controller.Config{
+			EpochAccesses: a.EpochAccesses,
+			MinGainHits:   a.MinGainHits,
+			SampleEvery:   a.SampleEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.SetAccessObserver(ctl)
+		b.Ctl = ctl
+	}
+	return b, nil
+}
+
+// TintViews renders the machine's current tint table through the
+// thread-safe snapshot — callable while the simulation runs.
+func TintViews(sys *memsys.System, ways int) []colcache.TintView {
+	table := sys.Tints()
+	snap := table.Snapshot()
+	ids := table.Tints()
+	out := make([]colcache.TintView, 0, len(ids))
+	for _, id := range ids {
+		mask, ok := snap[id]
+		if !ok {
+			continue
+		}
+		var cols []int
+		for c := 0; c < ways; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				cols = append(cols, c)
+			}
+		}
+		out = append(out, colcache.TintView{Name: table.Name(id), Mask: uint64(mask), Columns: cols})
+	}
+	return out
+}
+
+// Result composes the final SimResult from a finished run.
+func Result(label string, b *Built, cycles int64, m colcache.MachineSpec) colcache.SimResult {
+	st := b.Sys.Stats()
+	mm := machineWithDefaults(m)
+	res := colcache.SimResult{
+		Label:         label,
+		Workload:      b.Workload,
+		TraceAccesses: int64(len(b.Trace)),
+		Instructions:  st.Instructions,
+		Cycles:        cycles,
+		CPI:           st.CPI(),
+		Cache: colcache.CacheCounters{
+			Accesses:   st.Cache.Accesses,
+			Hits:       st.Cache.Hits,
+			Misses:     st.Cache.Misses,
+			Evictions:  st.Cache.Evictions,
+			Writebacks: st.Cache.Writebacks,
+			Fills:      st.Cache.Fills,
+			MissRate:   st.Cache.MissRate(),
+		},
+		TLBHitRate: st.TLB.HitRate(),
+		Remaps:     b.Sys.Tints().Remaps(),
+		Tints:      TintViews(b.Sys, mm.Ways),
+	}
+	if b.Ctl != nil {
+		b.Ctl.FinishEpoch()
+		decisions := b.Ctl.Decisions()
+		ar := &colcache.AdaptiveResult{Epochs: len(decisions), Remaps: b.Ctl.Remaps()}
+		for _, d := range decisions {
+			ar.Decisions = append(ar.Decisions, d.String())
+		}
+		res.Adaptive = ar
+	}
+	return res
+}

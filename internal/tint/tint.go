@@ -6,11 +6,20 @@
 // set of columns is a single table write and takes effect on the very next
 // replacement decision; re-tinting a page is the expensive operation because
 // it must touch page-table entries and flush TLB entries.
+//
+// The table is safe for concurrent use: the adaptive controller rewrites
+// masks from the simulation goroutine while a service handler inspects the
+// table for a live job view. Reads are lock-free (one atomic load — the
+// replacement hot path consults Mask on every access); writers serialize on
+// a mutex and publish a fresh immutable snapshot, so a reader never observes
+// a half-applied remap.
 package tint
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"colcache/internal/replacement"
 )
@@ -24,27 +33,49 @@ type Tint uint16
 // Default is the tint every page starts with.
 const Default Tint = 0
 
+// tableState is one immutable published version of the table. Writers copy,
+// mutate the copy, and swap the pointer; readers work on whichever version
+// they loaded.
+type tableState struct {
+	masks  map[Tint]replacement.Mask
+	names  map[Tint]string
+	nextID Tint
+}
+
+func (st *tableState) clone() *tableState {
+	next := &tableState{
+		masks:  make(map[Tint]replacement.Mask, len(st.masks)+1),
+		names:  make(map[Tint]string, len(st.names)+1),
+		nextID: st.nextID,
+	}
+	for id, m := range st.masks {
+		next.masks[id] = m
+	}
+	for id, n := range st.names {
+		next.names[id] = n
+	}
+	return next
+}
+
 // Table maps tints to permissible-column bit vectors. The zero value is not
 // usable; construct with NewTable.
 type Table struct {
 	numColumns int
-	masks      map[Tint]replacement.Mask
-	names      map[Tint]string
-	nextID     Tint
-	remaps     int64 // tint→mask table writes, the cheap operation
+	state      atomic.Pointer[tableState]
+	mu         sync.Mutex   // serializes writers (NewTint, SetMask)
+	remaps     atomic.Int64 // tint→mask table writes, the cheap operation
 }
 
 // NewTable returns a tint table for a cache with numColumns columns. The
 // default tint starts mapped to all columns.
 func NewTable(numColumns int) *Table {
-	t := &Table{
-		numColumns: numColumns,
-		masks:      make(map[Tint]replacement.Mask),
-		names:      make(map[Tint]string),
-		nextID:     1,
+	t := &Table{numColumns: numColumns}
+	st := &tableState{
+		masks:  map[Tint]replacement.Mask{Default: replacement.All(numColumns)},
+		names:  map[Tint]string{Default: "default"},
+		nextID: 1,
 	}
-	t.masks[Default] = replacement.All(numColumns)
-	t.names[Default] = "default"
+	t.state.Store(st)
 	return t
 }
 
@@ -54,10 +85,14 @@ func (t *Table) NumColumns() int { return t.numColumns }
 // NewTint allocates a fresh tint with the given debug name, initially mapped
 // to all columns.
 func (t *Table) NewTint(name string) Tint {
-	id := t.nextID
-	t.nextID++
-	t.masks[id] = replacement.All(t.numColumns)
-	t.names[id] = name
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := t.state.Load().clone()
+	id := next.nextID
+	next.nextID++
+	next.masks[id] = replacement.All(t.numColumns)
+	next.names[id] = name
+	t.state.Store(next)
 	return id
 }
 
@@ -66,17 +101,22 @@ func (t *Table) NewTint(name string) Tint {
 // page-table or TLB activity. An error is returned for unknown tints or
 // masks that reference columns beyond the table's width.
 func (t *Table) SetMask(id Tint, mask replacement.Mask) error {
-	if _, ok := t.masks[id]; !ok {
-		return fmt.Errorf("tint: unknown tint %d", id)
-	}
 	if mask&^replacement.All(t.numColumns) != 0 {
 		return fmt.Errorf("tint: mask %b references columns beyond the %d available", mask, t.numColumns)
 	}
 	if mask == 0 {
 		return fmt.Errorf("tint: empty column mask for tint %d", id)
 	}
-	t.masks[id] = mask
-	t.remaps++
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.state.Load()
+	if _, ok := cur.masks[id]; !ok {
+		return fmt.Errorf("tint: unknown tint %d", id)
+	}
+	next := cur.clone()
+	next.masks[id] = mask
+	t.state.Store(next)
+	t.remaps.Add(1)
 	return nil
 }
 
@@ -84,15 +124,16 @@ func (t *Table) SetMask(id Tint, mask replacement.Mask) error {
 // resolve to the default tint's mask so a stale tint can never wedge the
 // replacement unit.
 func (t *Table) Mask(id Tint) replacement.Mask {
-	if m, ok := t.masks[id]; ok {
+	st := t.state.Load()
+	if m, ok := st.masks[id]; ok {
 		return m
 	}
-	return t.masks[Default]
+	return st.masks[Default]
 }
 
 // Name returns the debug name of a tint.
 func (t *Table) Name(id Tint) string {
-	if n, ok := t.names[id]; ok {
+	if n, ok := t.state.Load().names[id]; ok {
 		return n
 	}
 	return fmt.Sprintf("tint%d", id)
@@ -100,23 +141,46 @@ func (t *Table) Name(id Tint) string {
 
 // Remaps returns how many tint→mask writes have occurred; experiments use
 // this to count repartitioning cost (paper Fig. 3 economy argument).
-func (t *Table) Remaps() int64 { return t.remaps }
+func (t *Table) Remaps() int64 { return t.remaps.Load() }
 
 // Tints returns all allocated tints in ascending order.
 func (t *Table) Tints() []Tint {
-	out := make([]Tint, 0, len(t.masks))
-	for id := range t.masks {
+	st := t.state.Load()
+	out := make([]Tint, 0, len(st.masks))
+	for id := range st.masks {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// Snapshot returns a consistent copy of the tint→mask table: every entry is
+// from the same published version, unlike a loop over Tints and Mask, which
+// could interleave with a concurrent remap.
+func (t *Table) Snapshot() map[Tint]replacement.Mask {
+	st := t.state.Load()
+	out := make(map[Tint]replacement.Mask, len(st.masks))
+	for id, m := range st.masks {
+		out[id] = m
+	}
+	return out
+}
+
 // String renders the table for debugging.
 func (t *Table) String() string {
+	st := t.state.Load()
+	ids := make([]Tint, 0, len(st.masks))
+	for id := range st.masks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	s := ""
-	for _, id := range t.Tints() {
-		s += fmt.Sprintf("%-12s -> %0*b\n", t.Name(id), t.numColumns, uint64(t.masks[id]))
+	for _, id := range ids {
+		name, ok := st.names[id]
+		if !ok {
+			name = fmt.Sprintf("tint%d", id)
+		}
+		s += fmt.Sprintf("%-12s -> %0*b\n", name, t.numColumns, uint64(st.masks[id]))
 	}
 	return s
 }

@@ -1,0 +1,98 @@
+package tint
+
+import (
+	"sync"
+	"testing"
+
+	"colcache/internal/replacement"
+)
+
+// TestTableConcurrentRemapAndRead is the -race regression for the serving
+// layer: the adaptive controller rewrites masks (SetMask) from the
+// simulation goroutine while a live job inspection reads the table
+// (Mask/Tints/Name/Snapshot/String) from an HTTP handler. The table must
+// stay consistent — a reader sees only fully applied remaps and never a
+// zero mask.
+func TestTableConcurrentRemapAndRead(t *testing.T) {
+	const columns = 8
+	tb := NewTable(columns)
+	ids := []Tint{Default, tb.NewTint("a"), tb.NewTint("b"), tb.NewTint("c")}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: constant remapping, plus occasional tint allocation.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			masks := []replacement.Mask{
+				replacement.Of(0, 1), replacement.Of(2, 3),
+				replacement.Of(4, 5, 6), replacement.All(columns),
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[i%len(ids)]
+				if err := tb.SetMask(id, masks[(i+w)%len(masks)]); err != nil {
+					t.Errorf("SetMask(%d): %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tb.NewTint("dyn")
+		}
+	}()
+
+	// Readers: the live /v1/jobs/{id} inspection surface.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range ids {
+					if m := tb.Mask(id); m == 0 {
+						t.Error("reader observed a zero mask")
+						return
+					}
+				}
+				snap := tb.Snapshot()
+				for id, m := range snap {
+					if m == 0 {
+						t.Errorf("snapshot has zero mask for tint %d", id)
+						return
+					}
+				}
+				_ = tb.Tints()
+				_ = tb.String()
+				_ = tb.Name(ids[i%len(ids)])
+				_ = tb.Remaps()
+			}
+		}()
+	}
+
+	// Let them collide until the writers have demonstrably run; spinning on
+	// a fixed iteration count can outrun goroutine scheduling.
+	for tb.Remaps() < 1000 {
+		_ = tb.Mask(Default)
+	}
+	close(stop)
+	wg.Wait()
+
+	if tb.Remaps() == 0 {
+		t.Fatal("no remaps recorded; the writers never ran")
+	}
+}
