@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench smoke servebench ci
+.PHONY: build test race lint bench smoke servebench conformance cover ci
 
 build:
 	$(GO) build ./...
@@ -46,4 +46,27 @@ servebench:
 	done; \
 	/tmp/colload -base http://$(SERVE_ADDR) -c $(SERVE_CLIENTS) -duration $(SERVE_SECS) -out BENCH_PR3.json
 
-ci: build lint test race bench smoke servebench
+# Differential conformance: the naive reference model in internal/oracle is
+# driven in lockstep with the production stack over the committed golden
+# traces plus CONFORM_N seeded random trace/config combinations, all under
+# the race detector. A failing run minimizes the case to conform-repro.json.
+CONFORM_N    ?= 1000
+CONFORM_SEED ?= 1
+conformance:
+	$(GO) test -race ./internal/oracle ./internal/conform ./cmd/conform
+	$(GO) build -race -o /tmp/conform ./cmd/conform
+	/tmp/conform -n $(CONFORM_N) -seed $(CONFORM_SEED) -golden internal/conform/testdata/golden
+
+# Coverage gate for the packages the conformance harness is responsible
+# for: the column-cache core must stay at or above 85% statement coverage.
+COVER_PKGS = colcache/internal/cache colcache/internal/replacement colcache/internal/tint
+cover:
+	@$(GO) test -cover $(COVER_PKGS) | awk ' \
+		/coverage:/ { \
+			pct = 0 + substr($$5, 1, length($$5)-1); \
+			printf "%-40s %s\n", $$2, $$5; \
+			if (pct < 85.0) { bad = 1 } \
+		} \
+		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
+
+ci: build lint test race bench smoke servebench conformance cover

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colcache/internal/conform"
+)
+
+func TestRunSweepPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "25", "-jobs", "4", "-golden", ""}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "25 cases agree") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "case.json")
+	if err := conform.WriteCase(path, conform.NewCase(5)); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunReplayDivergence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	c := conform.NewCase(5)
+	c.Script = append(c.Script, conform.Step{Op: "bogus"})
+	if err := conform.WriteCase(path, c); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("stray arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 2 {
+		t.Fatalf("missing replay file: exit %d, want 2", code)
+	}
+}
+
+func TestRunGoldenDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "5", "-jobs", "2",
+		"-golden", filepath.Join("..", "..", "internal", "conform", "testdata", "golden")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}

@@ -154,6 +154,31 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// NewWithPolicy builds a cache from cfg but with the given replacement
+// policy instead of constructing one from cfg.Policy. This is the seam the
+// conformance harness uses to inject deliberately buggy victim selection
+// (mutation checks that prove the differential oracle catches divergence),
+// and it lets experiments plug in policies the registry doesn't know.
+func NewWithPolicy(cfg Config, pol replacement.Policy) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	c := &Cache{
+		cfg:       cfg,
+		policy:    pol,
+		lineShift: memory.Log2(cfg.LineBytes),
+		setMask:   uint64(cfg.NumSets) - 1,
+	}
+	c.sets = make([][]line, cfg.NumSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.NumWays)
+	}
+	return c, nil
+}
+
 // MustNew is New that panics on error, for tests and fixed configurations.
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
@@ -328,6 +353,39 @@ func (c *Cache) ResidentInColumns(mask replacement.Mask) int {
 		}
 	}
 	return n
+}
+
+// LineState is a detached copy of one line's metadata, for external
+// inspection of cache contents. Live cache inspection is what makes
+// eviction behavior verifiable from outside (cf. arXiv:2007.12271); the
+// conformance harness compares these against the reference model line by
+// line.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// LineAt returns a copy of the line metadata at (set, way). It performs no
+// replacement-state or statistics updates, so inspecting the cache never
+// perturbs the simulation.
+func (c *Cache) LineAt(set, way int) LineState {
+	l := c.sets[set][way]
+	return LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty}
+}
+
+// SnapshotSets returns a detached copy of every line's metadata, indexed
+// [set][way]. The copy shares nothing with the live cache, so it can be
+// held across later accesses or published to another goroutine.
+func (c *Cache) SnapshotSets() [][]LineState {
+	out := make([][]LineState, len(c.sets))
+	for s := range c.sets {
+		out[s] = make([]LineState, len(c.sets[s]))
+		for w := range c.sets[s] {
+			out[s][w] = c.LineAt(s, w)
+		}
+	}
+	return out
 }
 
 // WayOf returns the way where addr currently resides, or -1. Alias for

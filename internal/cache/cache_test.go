@@ -389,3 +389,69 @@ func TestRatesOnEmptyStats(t *testing.T) {
 		t.Error("empty rates nonzero")
 	}
 }
+
+func TestLineAtAndSnapshotSets(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	c.Read(0, all)   // set 0
+	c.Write(32, all) // set 1, dirty under write-back
+	before := c.Stats()
+
+	l := c.LineAt(1, 0)
+	if !l.Valid || !l.Dirty {
+		t.Fatalf("LineAt(1,0) = %+v, want a valid dirty line", l)
+	}
+	if c.LineAt(0, 1).Valid {
+		t.Fatal("LineAt(0,1) claims a line that was never filled")
+	}
+	if c.Stats() != before {
+		t.Fatal("inspection perturbed statistics")
+	}
+
+	snap := c.SnapshotSets()
+	if len(snap) != cfg4way().NumSets || len(snap[0]) != cfg4way().NumWays {
+		t.Fatalf("snapshot shape %dx%d", len(snap), len(snap[0]))
+	}
+	if !snap[1][0].Valid || !snap[1][0].Dirty {
+		t.Fatalf("snapshot[1][0] = %+v", snap[1][0])
+	}
+	// The snapshot is detached: later cache activity must not show through,
+	// and mutating it must not reach the cache.
+	tag := snap[0][0].Tag
+	snap[0][0].Tag = ^uint64(0)
+	c.Read(64, all)
+	if got := c.LineAt(0, 0).Tag; got != tag {
+		t.Fatalf("snapshot mutation reached the cache: tag %#x", got)
+	}
+	if snap[2][0].Valid {
+		t.Fatal("snapshot picked up an access made after it was taken")
+	}
+}
+
+func TestNewWithPolicy(t *testing.T) {
+	if _, err := NewWithPolicy(cfg4way(), nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	bad := cfg4way()
+	bad.NumSets = 3 // not a power of two
+	if _, err := NewWithPolicy(bad, replacement.NewLRU(3, 4)); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	// A cache built through the seam behaves identically to New with the
+	// same policy kind.
+	pol := replacement.NewLRU(cfg4way().NumSets, cfg4way().NumWays)
+	a, err := NewWithPolicy(cfg4way(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustNew(cfg4way())
+	all := replacement.All(4)
+	for i := uint64(0); i < 200; i++ {
+		addr := memory.Addr((i * 2654435761) % 4096)
+		ra := a.Read(addr, all)
+		rb := b.Read(addr, all)
+		if ra != rb {
+			t.Fatalf("access %d: NewWithPolicy cache %+v, New cache %+v", i, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package conform is the differential conformance harness for the
+// column-cache core: it drives the optimized production stack (cache,
+// replacement, tint, vm, memsys) and the deliberately naive reference model
+// in internal/oracle in lockstep over the same script, and reports the
+// first step at which they disagree — on hit/miss, victim way, writeback,
+// cycle count, TLB behavior, per-tint attribution, or raw cache contents.
+//
+// A script is more than a memory trace: it interleaves accesses with the
+// software operations the paper's mechanism exists for — instant tint
+// remaps (SetMask), page re-tinting, ASID switches, cache flushes, and
+// prefetch-style installs — so repartitioning-while-resident is exercised,
+// not just steady-state replacement.
+//
+// Cases are JSON-serializable so a failing case can be minimized and
+// committed as a repro file.
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/oracle"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+	"colcache/internal/vm"
+)
+
+// TintSpec declares one tint created at setup; its id is its index + 1
+// (tint 0 is the built-in default).
+type TintSpec struct {
+	Mask uint64
+}
+
+// RegionSpec declares one address region configured at setup.
+type RegionSpec struct {
+	Base uint64
+	Size uint64
+	// Tint re-tints the region's pages at setup; 0 leaves them default.
+	Tint uint16
+	// Uncached marks the region's pages cache-bypassing.
+	Uncached bool
+	// Scratch places the region in dedicated scratchpad SRAM.
+	Scratch bool
+}
+
+// Config fixes one machine configuration under test. The timing fields that
+// are not listed use memsys.DefaultTiming values on both sides.
+type Config struct {
+	LineBytes int
+	NumSets   int
+	NumWays   int
+	PageBytes int
+	Policy    string
+	// WriteThrough selects write-through/no-allocate instead of the default
+	// write-back/allocate.
+	WriteThrough bool
+	TLBEntries   int
+	TLBWays      int
+
+	TLBMissCycles          int
+	WriteThroughStoreCycle int
+
+	Tints   []TintSpec
+	Regions []RegionSpec
+}
+
+// Step is one scripted operation.
+type Step struct {
+	// Op is one of "read", "write", "setmask", "retint", "asid", "flush",
+	// "install".
+	Op    string
+	Addr  uint64 `json:",omitempty"`
+	Think uint32 `json:",omitempty"`
+	Tint  uint16 `json:",omitempty"`
+	Mask  uint64 `json:",omitempty"`
+	Base  uint64 `json:",omitempty"`
+	Size  uint64 `json:",omitempty"`
+	ASID  uint16 `json:",omitempty"`
+}
+
+// Case is one self-contained conformance run: a configuration plus the
+// script driven through it.
+type Case struct {
+	Name   string
+	Seed   int64 `json:",omitempty"`
+	Config Config
+	Script []Step
+}
+
+// timing returns the production timing for c: the defaults with the two
+// case-varied fields applied.
+func (c Config) timing() memsys.Timing {
+	t := memsys.DefaultTiming
+	t.TLBMiss = c.TLBMissCycles
+	t.WriteThroughStore = c.WriteThroughStoreCycle
+	return t
+}
+
+// oracleTiming mirrors timing() field by field into the oracle's own type.
+func (c Config) oracleTiming() oracle.Timing {
+	t := c.timing()
+	return oracle.Timing{
+		NonMemInstr:       t.NonMemInstr,
+		CacheHit:          t.CacheHit,
+		MissPenalty:       t.MissPenalty,
+		Writeback:         t.Writeback,
+		ScratchpadHit:     t.ScratchpadHit,
+		Uncached:          t.Uncached,
+		TLBMiss:           t.TLBMiss,
+		WriteThroughStore: t.WriteThroughStore,
+	}
+}
+
+func (c Config) writePolicy() cache.WritePolicy {
+	if c.WriteThrough {
+		return cache.WriteThroughNoAllocate
+	}
+	return cache.WriteBackAllocate
+}
+
+// buildProduction assembles the production machine for c, with per-tint
+// statistics enabled.
+func buildProduction(c Config) (*memsys.System, error) {
+	g, err := memory.NewGeometry(c.LineBytes, c.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	var scratchBytes uint64
+	for _, r := range c.Regions {
+		if r.Scratch {
+			scratchBytes += r.Size
+		}
+	}
+	sys, err := memsys.New(memsys.Config{
+		Geometry: g,
+		Cache: cache.Config{
+			LineBytes: c.LineBytes,
+			NumSets:   c.NumSets,
+			NumWays:   c.NumWays,
+			Policy:    replacement.Kind(c.Policy),
+			Write:     c.writePolicy(),
+		},
+		TLB:             vm.TLBConfig{Entries: c.TLBEntries, Ways: c.TLBWays},
+		Timing:          c.timing(),
+		ScratchpadBytes: scratchBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.EnablePerTintStats()
+	for i, ts := range c.Tints {
+		id := sys.Tints().NewTint(fmt.Sprintf("tint%d", i+1))
+		if id != tint.Tint(i+1) {
+			return nil, fmt.Errorf("conform: tint id %d, want %d", id, i+1)
+		}
+		if err := sys.Tints().SetMask(id, replacement.Mask(ts.Mask)); err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range c.Regions {
+		reg := memory.Region{Name: fmt.Sprintf("r%d", i), Base: r.Base, Size: r.Size}
+		switch {
+		case r.Scratch:
+			if err := sys.Scratchpad().Place(reg); err != nil {
+				return nil, err
+			}
+		case r.Uncached:
+			sys.PageTable().SetUncachedRange(reg.Base, reg.Size, true)
+		default:
+			if r.Tint != 0 {
+				vm.Retint(sys.PageTable(), sys.TLB(), reg.Base, reg.Size, tint.Tint(r.Tint))
+			}
+		}
+	}
+	return sys, nil
+}
+
+// buildOracle assembles the reference machine for c, mirroring
+// buildProduction operation for operation.
+func buildOracle(c Config) (*oracle.System, error) {
+	orc, err := oracle.NewSystem(oracle.SystemConfig{
+		Cache: oracle.Config{
+			LineBytes:    c.LineBytes,
+			NumSets:      c.NumSets,
+			NumWays:      c.NumWays,
+			Policy:       c.Policy,
+			WriteThrough: c.WriteThrough,
+		},
+		PageBytes:  c.PageBytes,
+		TLBEntries: c.TLBEntries,
+		TLBWays:    c.TLBWays,
+		Timing:     c.oracleTiming(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ts := range c.Tints {
+		orc.DefineTint(uint16(i+1), ts.Mask)
+	}
+	for _, r := range c.Regions {
+		switch {
+		case r.Scratch:
+			orc.PlaceScratch(r.Base, r.Size)
+		case r.Uncached:
+			orc.SetUncached(r.Base, r.Size)
+		default:
+			if r.Tint != 0 {
+				orc.Retint(r.Base, r.Size, r.Tint)
+			}
+		}
+	}
+	return orc, nil
+}
+
+// WriteCase serializes c to path as indented JSON.
+func WriteCase(path string, c Case) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCase loads a case written by WriteCase.
+func ReadCase(path string) (Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Case{}, fmt.Errorf("conform: parsing %s: %w", path, err)
+	}
+	return c, nil
+}

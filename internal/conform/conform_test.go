@@ -1,0 +1,221 @@
+package conform
+
+import (
+	"path/filepath"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/oracle"
+	"colcache/internal/replacement"
+)
+
+// TestRandomCases is the property sweep: seeded cases across geometry ×
+// policy × tint-table × remap-timing axes must agree step for step.
+func TestRandomCases(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		c := NewCase(seed)
+		t.Run(c.Name, func(t *testing.T) {
+			if d := Run(c, Options{}); d != nil {
+				t.Fatal(d.Error())
+			}
+		})
+	}
+}
+
+// TestCacheLevelCases runs the cache-level driver across every policy and
+// geometry corner, including single-way caches.
+func TestCacheLevelCases(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	geoms := []struct{ lineBytes, numSets, numWays int }{
+		{16, 4, 1},
+		{32, 8, 2},
+		{32, 16, 4},
+		{64, 32, 8},
+	}
+	for _, kind := range []replacement.Kind{replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random} {
+		for _, g := range geoms {
+			for seed := int64(1); seed <= int64(n); seed++ {
+				prod := mustCache(t, g.lineBytes, g.numSets, g.numWays, kind)
+				ref := mustOracleCache(t, g.lineBytes, g.numSets, g.numWays, string(kind))
+				steps := NewCacheSteps(seed, g.lineBytes, g.numSets, g.numWays)
+				name := string(kind)
+				if d := CompareCaches(name, prod, ref, steps, 32); d != nil {
+					t.Fatalf("%s %dx%dx%d seed %d: %s", kind, g.numSets, g.numWays, g.lineBytes, seed, d.Detail)
+				}
+			}
+		}
+	}
+}
+
+func mustCache(t *testing.T, lineBytes, numSets, numWays int, kind replacement.Kind) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{LineBytes: lineBytes, NumSets: numSets, NumWays: numWays, Policy: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustOracleCache(t *testing.T, lineBytes, numSets, numWays int, policy string) *oracle.Cache {
+	t.Helper()
+	c, err := oracle.NewCache(oracle.Config{LineBytes: lineBytes, NumSets: numSets, NumWays: numWays, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGoldenTraces replays the committed workload traces through the full
+// policy × write-mode matrix.
+func TestGoldenTraces(t *testing.T) {
+	cases, err := GoldenCases(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if d := Run(c, Options{}); d != nil {
+				t.Fatal(d.Error())
+			}
+		})
+	}
+}
+
+// maskIgnoringPolicy wraps a real policy but ignores the column mask on
+// every nth Victim call — the classic column-caching bug where the
+// replacement unit falls back to plain LRU. The harness must catch it.
+type maskIgnoringPolicy struct {
+	replacement.Policy
+	n     int
+	calls int
+}
+
+func (p *maskIgnoringPolicy) Victim(set int, mask replacement.Mask, valid func(way int) bool) int {
+	p.calls++
+	if p.calls%p.n == 0 {
+		mask = ^replacement.Mask(0)
+	}
+	return p.Policy.Victim(set, mask, valid)
+}
+
+// TestMutationCaught injects a victim-selection bug through the
+// NewWithPolicy seam and asserts the differential driver reports it. A
+// harness that cannot see this bug is not testing anything.
+func TestMutationCaught(t *testing.T) {
+	const lineBytes, numSets, numWays = 32, 16, 4
+	caught := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		inner := replacement.NewLRU(numSets, numWays)
+		prod, err := cache.NewWithPolicy(cache.Config{
+			LineBytes: lineBytes, NumSets: numSets, NumWays: numWays,
+			Policy: replacement.LRU,
+		}, &maskIgnoringPolicy{Policy: inner, n: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := mustOracleCache(t, lineBytes, numSets, numWays, "lru")
+		steps := NewCacheSteps(seed, lineBytes, numSets, numWays)
+		if d := CompareCaches("mutant", prod, ref, steps, 16); d != nil {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("mask-ignoring victim selection survived 20 differential runs undetected")
+	}
+	t.Logf("mutation caught in %d/20 runs", caught)
+}
+
+// TestMinimize shrinks a failing case and checks the result still fails
+// and got smaller. The failure is planted mid-script (a step the driver
+// rejects), so both the truncation and deletion phases have work to do.
+func TestMinimize(t *testing.T) {
+	c := NewCase(3)
+	if d := Run(c, Options{}); d != nil {
+		t.Fatalf("seed case must pass before corruption: %s", d.Detail)
+	}
+	bad := c
+	bad.Name = "forced-divergence"
+	mid := len(c.Script) / 2
+	bad.Script = append(append(append([]Step{}, c.Script[:mid]...), Step{Op: "bogus"}), c.Script[mid:]...)
+
+	min, d := Minimize(bad, Options{})
+	if d == nil {
+		t.Fatal("Minimize lost the failure")
+	}
+	if len(min.Script) != 1 || min.Script[0].Op != "bogus" {
+		t.Fatalf("expected the single planted step to survive, got %d steps: %+v", len(min.Script), min.Script)
+	}
+	if d2 := Run(min, Options{}); d2 == nil {
+		t.Fatal("minimized case no longer fails")
+	}
+
+	// A passing case must come back untouched.
+	if got, d := Minimize(c, Options{}); d != nil || len(got.Script) != len(c.Script) {
+		t.Fatalf("passing case was modified by Minimize (d=%v)", d)
+	}
+}
+
+// TestScratchpadExclusivity is the paper's scratchpad-emulation property
+// (§2.3): lines owned by a tint with a private column, once resident, are
+// never evicted by other tints' traffic.
+func TestScratchpadExclusivity(t *testing.T) {
+	const lineBytes, numSets, numWays = 32, 16, 4
+	prod := mustCache(t, lineBytes, numSets, numWays, replacement.LRU)
+
+	// Tint A owns way 0 exclusively; everyone else gets ways 1-3.
+	maskA := replacement.Of(0)
+	maskB := replacement.Range(1, numWays)
+
+	// Preload one line per set for tint A.
+	base := uint64(0)
+	for s := 0; s < numSets; s++ {
+		res := prod.Fill(base+uint64(s*lineBytes), maskA)
+		if !res.Filled || res.Way != 0 {
+			t.Fatalf("set %d: preload fill got %+v", s, res)
+		}
+	}
+	// Heavy foreign traffic under mask B across many conflicting lines.
+	span := uint64(8 * numSets * numWays * lineBytes)
+	for i := uint64(0); i < 4096; i++ {
+		addr := 0x100000 + (i*2654435761)%span
+		addr -= addr % uint64(lineBytes)
+		if res := prod.Write(addr, maskB); res.Filled && res.Way == 0 {
+			t.Fatalf("foreign write %#x filled way 0, evicting the private column", addr)
+		}
+	}
+	// Every preloaded line must still be resident in way 0.
+	for s := 0; s < numSets; s++ {
+		addr := base + uint64(s*lineBytes)
+		if w := prod.WayOf(addr); w != 0 {
+			t.Fatalf("set %d: preloaded line %#x no longer in way 0 (WayOf=%d)", s, addr, w)
+		}
+	}
+}
+
+// TestReproRoundTrip checks WriteCase/ReadCase preserve a case exactly
+// enough to reproduce its run.
+func TestReproRoundTrip(t *testing.T) {
+	c := NewCase(11)
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteCase(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || len(got.Script) != len(c.Script) {
+		t.Fatalf("round trip changed case: %q/%d steps vs %q/%d", got.Name, len(got.Script), c.Name, len(c.Script))
+	}
+	if d := Run(got, Options{}); d != nil {
+		t.Fatalf("round-tripped case diverged: %s", d.Detail)
+	}
+}

@@ -1,0 +1,78 @@
+package conform
+
+import (
+	"bytes"
+	"testing"
+
+	"colcache/internal/memtrace"
+)
+
+// fuzzConfigs is the fixed matrix every fuzzed trace runs under: one
+// multi-column and one single-column partition, write-back and
+// write-through.
+func fuzzConfigs() []Config {
+	base := Config{
+		LineBytes:     32,
+		NumSets:       16,
+		NumWays:       4,
+		PageBytes:     512,
+		TLBEntries:    8,
+		TLBWays:       2,
+		TLBMissCycles: 4,
+		Tints:         []TintSpec{{Mask: 0b0011}, {Mask: 0b0100}},
+		Regions: []RegionSpec{
+			{Base: 0x0000, Size: 0x8000, Tint: 1},
+			{Base: 0x8000, Size: 0x8000, Tint: 2},
+		},
+	}
+	wt := base
+	wt.WriteThrough = true
+	wt.Policy = "fifo"
+	base.Policy = "lru"
+	return []Config{base, wt}
+}
+
+// FuzzConform feeds arbitrary bytes through the CCTRACE1 decoder; every
+// trace that decodes is replayed differentially. The harness must never
+// report a divergence (the two machines are consistent by construction) and
+// neither side may panic, whatever the access pattern.
+func FuzzConform(f *testing.F) {
+	// Seed: a small valid trace touching both tint regions.
+	var buf bytes.Buffer
+	if err := memtrace.WriteBinary(&buf, memtrace.Trace{
+		{Addr: 0x0040, Op: memtrace.Read},
+		{Addr: 0x8040, Op: memtrace.Write, Think: 2},
+		{Addr: 0x0040, Op: memtrace.Read},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CCTRACE1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := memtrace.ReadBinaryLimit(bytes.NewReader(data), 4096)
+		if err != nil {
+			return // malformed input is the decoder's fuzz target's business
+		}
+		if len(tr) > 512 {
+			tr = tr[:512]
+		}
+		script := make([]Step, 0, len(tr))
+		for _, a := range tr {
+			op := "read"
+			if a.Op == memtrace.Write {
+				op = "write"
+			}
+			// Clamp into the configured address space so the page map stays
+			// bounded; think times are clamped to keep runs fast.
+			script = append(script, Step{Op: op, Addr: a.Addr & 0xFFFF, Think: a.Think % 8})
+		}
+		for _, cfg := range fuzzConfigs() {
+			c := Case{Name: "fuzz", Config: cfg, Script: script}
+			if d := Run(c, Options{ContentCheckEvery: 32}); d != nil {
+				t.Fatal(d.Error())
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Seeded random case generation: one int64 seed fully determines a machine
+// configuration and a script, so CI can re-run the exact combination that
+// failed and the minimizer can shrink it. The axes swept — geometry, policy,
+// write mode, TLB shape, tint-table layout, and remap timing — are the ones
+// the paper's correctness argument quantifies over.
+
+// maskPattern draws a column bit vector for a cache with numWays ways.
+// Patterns deliberately include the degenerate shapes the satellite tests
+// foreground: a single column, a contiguous partition, and dense random
+// vectors. The result is never zero.
+func maskPattern(r *rand.Rand, numWays int) uint64 {
+	all := uint64(1)<<uint(numWays) - 1
+	switch r.Intn(4) {
+	case 0: // single column
+		return 1 << uint(r.Intn(numWays))
+	case 1: // contiguous range
+		lo := r.Intn(numWays)
+		hi := lo + 1 + r.Intn(numWays-lo)
+		var m uint64
+		for w := lo; w < hi; w++ {
+			m |= 1 << uint(w)
+		}
+		return m
+	case 2: // random nonzero
+		for {
+			if m := r.Uint64() & all; m != 0 {
+				return m
+			}
+		}
+	default: // every column — the plain set-associative degenerate case
+		return all
+	}
+}
+
+// narrowMask clears one permitted column, if more than one remains.
+func narrowMask(r *rand.Rand, mask uint64, numWays int) uint64 {
+	var set []int
+	for w := 0; w < numWays; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			set = append(set, w)
+		}
+	}
+	if len(set) <= 1 {
+		return mask
+	}
+	return mask &^ (1 << uint(set[r.Intn(len(set))]))
+}
+
+// NewCase derives a full configuration and script from seed.
+func NewCase(seed int64) Case {
+	r := rand.New(rand.NewSource(seed))
+
+	lineBytes := []int{16, 32, 64}[r.Intn(3)]
+	numSets := []int{4, 8, 16, 32, 64}[r.Intn(5)]
+	numWays := []int{1, 2, 4, 8}[r.Intn(4)]
+	pageBytes := []int{256, 512, 1024, 4096}[r.Intn(4)]
+	policy := []string{"lru", "plru", "fifo", "random"}[r.Intn(4)]
+	tlbEntries := []int{8, 16, 32, 64}[r.Intn(4)]
+	tlbWays := []int{1, 2, 4, tlbEntries}[r.Intn(4)]
+	if tlbWays > tlbEntries {
+		tlbWays = tlbEntries
+	}
+
+	cfg := Config{
+		LineBytes:              lineBytes,
+		NumSets:                numSets,
+		NumWays:                numWays,
+		PageBytes:              pageBytes,
+		Policy:                 policy,
+		WriteThrough:           r.Intn(4) == 0,
+		TLBEntries:             tlbEntries,
+		TLBWays:                tlbWays,
+		TLBMissCycles:          r.Intn(9),
+		WriteThroughStoreCycle: r.Intn(4),
+	}
+
+	// Tints with random column vectors.
+	numTints := 1 + r.Intn(3)
+	for t := 0; t < numTints; t++ {
+		cfg.Tints = append(cfg.Tints, TintSpec{Mask: maskPattern(r, numWays)})
+	}
+
+	// Regions: one per tint, plus occasionally an uncached range and a
+	// scratchpad range, laid out back to back on page boundaries.
+	next := uint64(pageBytes) // leave page 0 untinted
+	alloc := func(pages int) (base, size uint64) {
+		base = next
+		size = uint64(pages * pageBytes)
+		next += size
+		return base, size
+	}
+	for t := 0; t < numTints; t++ {
+		base, size := alloc(1 + r.Intn(4))
+		cfg.Regions = append(cfg.Regions, RegionSpec{Base: base, Size: size, Tint: uint16(t + 1)})
+	}
+	if r.Intn(8) == 0 {
+		base, size := alloc(1 + r.Intn(2))
+		cfg.Regions = append(cfg.Regions, RegionSpec{Base: base, Size: size, Uncached: true})
+	}
+	if r.Intn(4) == 0 {
+		base, size := alloc(1 + r.Intn(2))
+		cfg.Regions = append(cfg.Regions, RegionSpec{Base: base, Size: size, Scratch: true})
+	}
+	span := next
+
+	// Script: a locality-biased access stream with software operations
+	// injected at a per-case cadence. remapEvery == 0 means a static
+	// partition for the whole run.
+	n := 400 + r.Intn(800)
+	remapEvery := 0
+	if r.Intn(4) != 0 {
+		remapEvery = 40 + r.Intn(160)
+	}
+
+	// Each region gets a hot window about two columns wide so replacement
+	// decisions actually contend.
+	hotLines := 2 * numSets
+	pickAddr := func() uint64 {
+		if r.Intn(10) == 0 {
+			return uint64(r.Int63n(int64(span))) // anywhere, incl. page 0
+		}
+		reg := cfg.Regions[r.Intn(len(cfg.Regions))]
+		window := uint64(hotLines * lineBytes)
+		if window > reg.Size {
+			window = reg.Size
+		}
+		return reg.Base + uint64(r.Int63n(int64(window)))
+	}
+
+	var script []Step
+	asid := uint16(0)
+	for i := 0; i < n; i++ {
+		if remapEvery > 0 && i > 0 && i%remapEvery == 0 {
+			switch p := r.Intn(20); {
+			case p < 12: // remap a tint's columns
+				id := uint16(r.Intn(numTints + 1)) // 0 remaps the default tint
+				var mask uint64
+				if r.Intn(2) == 0 && id > 0 {
+					mask = narrowMask(r, cfg.Tints[id-1].Mask, numWays)
+				} else {
+					mask = maskPattern(r, numWays)
+				}
+				script = append(script, Step{Op: "setmask", Tint: id, Mask: mask})
+			case p < 15: // re-tint a region's pages
+				reg := cfg.Regions[r.Intn(len(cfg.Regions))]
+				if !reg.Scratch && !reg.Uncached {
+					script = append(script, Step{
+						Op: "retint", Base: reg.Base, Size: reg.Size,
+						Tint: uint16(r.Intn(numTints + 1)),
+					})
+				}
+			case p < 17: // context switch
+				asid ^= 1
+				script = append(script, Step{Op: "asid", ASID: asid})
+			case p < 18: // whole-cache flush
+				script = append(script, Step{Op: "flush"})
+			default: // prefetch-style install
+				script = append(script, Step{Op: "install", Addr: pickAddr()})
+			}
+		}
+		op := "read"
+		if r.Intn(10) < 3 {
+			op = "write"
+		}
+		script = append(script, Step{Op: op, Addr: pickAddr(), Think: uint32(r.Intn(4))})
+	}
+
+	return Case{
+		Name:   fmt.Sprintf("seed-%d-%s-%dx%dx%d", seed, policy, numSets, numWays, lineBytes),
+		Seed:   seed,
+		Config: cfg,
+		Script: script,
+	}
+}
+
+// NewCacheSteps derives a cache-level differential script from seed for a
+// cache with the given geometry: demand reads/writes, prefetch fills,
+// invalidates and flushes under a palette of partition masks plus
+// occasional one-off vectors, confined to a working set that keeps sets
+// contended.
+func NewCacheSteps(seed int64, lineBytes, numSets, numWays int) []CacheStep {
+	r := rand.New(rand.NewSource(seed))
+	all := uint64(1)<<uint(numWays) - 1
+	palette := []uint64{all, maskPattern(r, numWays), maskPattern(r, numWays)}
+	span := uint64(4 * numSets * numWays * lineBytes)
+
+	n := 300 + r.Intn(500)
+	steps := make([]CacheStep, 0, n)
+	for i := 0; i < n; i++ {
+		mask := palette[r.Intn(len(palette))]
+		if r.Intn(16) == 0 {
+			mask = maskPattern(r, numWays)
+		}
+		addr := uint64(r.Int63n(int64(span)))
+		switch p := r.Intn(20); {
+		case p < 10:
+			steps = append(steps, CacheStep{Op: "read", Addr: addr, Mask: mask})
+		case p < 16:
+			steps = append(steps, CacheStep{Op: "write", Addr: addr, Mask: mask})
+		case p < 18:
+			steps = append(steps, CacheStep{Op: "fill", Addr: addr, Mask: mask})
+		case p < 19:
+			steps = append(steps, CacheStep{Op: "invalidate", Addr: addr})
+		default:
+			steps = append(steps, CacheStep{Op: "flush"})
+		}
+	}
+	return steps
+}

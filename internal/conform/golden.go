@@ -1,0 +1,140 @@
+package conform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"colcache/internal/memtrace"
+)
+
+// Golden traces: small committed workload traces (text CCTRACE format)
+// that every conformance run replays through the full policy × write-mode
+// matrix. They pin down real access patterns — strided kernels, hash
+// tables, zig-zag block walks — that the random generator only samples.
+
+// GoldenConfigs returns the configuration matrix golden traces run under:
+// every replacement policy crossed with both write modes, on a fixed
+// two-tint partition whose regions are derived from the trace's own span.
+func GoldenConfigs(tr memtrace.Trace) []Config {
+	lo, hi := traceSpan(tr)
+	const pageBytes = 1024
+	base := lo &^ uint64(pageBytes-1)
+	end := (hi + pageBytes) &^ uint64(pageBytes-1)
+	mid := (base + (end-base)/2) &^ uint64(pageBytes-1)
+	if mid <= base {
+		mid = base + pageBytes
+	}
+	if mid >= end {
+		end = mid + pageBytes
+	}
+
+	var out []Config
+	for _, policy := range []string{"lru", "plru", "fifo", "random"} {
+		for _, wt := range []bool{false, true} {
+			out = append(out, Config{
+				LineBytes:              32,
+				NumSets:                32,
+				NumWays:                4,
+				PageBytes:              pageBytes,
+				Policy:                 policy,
+				WriteThrough:           wt,
+				TLBEntries:             16,
+				TLBWays:                4,
+				TLBMissCycles:          4,
+				WriteThroughStoreCycle: 2,
+				Tints:                  []TintSpec{{Mask: 0b0011}, {Mask: 0b1100}},
+				Regions: []RegionSpec{
+					{Base: base, Size: mid - base, Tint: 1},
+					{Base: mid, Size: end - mid, Tint: 2},
+				},
+			})
+		}
+	}
+	return out
+}
+
+func traceSpan(tr memtrace.Trace) (lo, hi uint64) {
+	lo, hi = ^uint64(0), 0
+	for _, a := range tr {
+		if a.Addr < lo {
+			lo = a.Addr
+		}
+		if a.Addr > hi {
+			hi = a.Addr
+		}
+	}
+	if lo > hi {
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}
+
+// goldenScript turns a trace into a script with mid-run repartitioning
+// injected: a narrowing remap at one third, a rotation plus a cache flush
+// at two thirds — so each golden trace also exercises
+// repartition-while-resident on a real access pattern.
+func goldenScript(tr memtrace.Trace) []Step {
+	script := make([]Step, 0, len(tr)+3)
+	third := len(tr) / 3
+	for i, a := range tr {
+		if third > 0 && i == third {
+			script = append(script, Step{Op: "setmask", Tint: 1, Mask: 0b0001})
+		}
+		if third > 0 && i == 2*third {
+			script = append(script,
+				Step{Op: "setmask", Tint: 2, Mask: 0b0110},
+				Step{Op: "flush"})
+		}
+		op := "read"
+		if a.Op == memtrace.Write {
+			op = "write"
+		}
+		script = append(script, Step{Op: op, Addr: a.Addr, Think: a.Think})
+	}
+	return script
+}
+
+// GoldenCases loads every *.trace file under dir and expands it into one
+// case per matrix configuration.
+func GoldenCases(dir string) ([]Case, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("conform: no golden traces under %s", dir)
+	}
+	sort.Strings(paths)
+	var cases []Case
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := memtrace.ReadText(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: %w", path, err)
+		}
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("conform: %s: empty trace", path)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".trace")
+		script := goldenScript(tr)
+		for _, cfg := range GoldenConfigs(tr) {
+			wt := "wb"
+			if cfg.WriteThrough {
+				wt = "wt"
+			}
+			cases = append(cases, Case{
+				Name:   fmt.Sprintf("golden-%s-%s-%s", name, cfg.Policy, wt),
+				Config: cfg,
+				Script: script,
+			})
+		}
+	}
+	return cases, nil
+}

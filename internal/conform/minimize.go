@@ -1,0 +1,64 @@
+package conform
+
+// Trace minimization: a failing random case has hundreds of steps, most of
+// them irrelevant. Minimize shrinks the script while preserving the
+// failure, so the committed repro is small enough to read. The algorithm is
+// the usual two-phase reduction: truncate to the failing step, then
+// greedily delete chunks (halving the chunk size down to single steps) as
+// long as the case still fails.
+
+// MinimizeBudget bounds how many harness runs a minimization may spend.
+const MinimizeBudget = 2000
+
+// Minimize returns a smaller case that still fails, or c unchanged if it
+// passes. The result's divergence is returned alongside it.
+func Minimize(c Case, opts Options) (Case, *Divergence) {
+	div := Run(c, opts)
+	if div == nil {
+		return c, nil
+	}
+	runs := 0
+	stillFails := func(script []Step) *Divergence {
+		if runs >= MinimizeBudget {
+			return nil
+		}
+		runs++
+		trial := c
+		trial.Script = script
+		return Run(trial, opts)
+	}
+
+	// Phase 1: everything after the failing step is noise. (Step -1 means
+	// the end-of-run check failed, so the whole script is load-bearing.)
+	script := c.Script
+	if div.Step >= 0 && div.Step+1 < len(script) {
+		if d := stillFails(script[:div.Step+1]); d != nil {
+			script, div = script[:div.Step+1], d
+		}
+	}
+
+	// Phase 2: chunked deletion, ddmin-style.
+	for chunk := len(script) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(script); {
+			end := start + chunk
+			if end > len(script) {
+				end = len(script)
+			}
+			trial := make([]Step, 0, len(script)-(end-start))
+			trial = append(trial, script[:start]...)
+			trial = append(trial, script[end:]...)
+			if d := stillFails(trial); d != nil {
+				script, div = trial, d
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start = end
+			}
+		}
+	}
+
+	out := c
+	out.Script = script
+	out.Name = c.Name + "-min"
+	div.Case = out.Name
+	return out, div
+}

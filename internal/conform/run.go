@@ -1,0 +1,487 @@
+package conform
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/oracle"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+	"colcache/internal/vm"
+)
+
+// Divergence is the first disagreement between the production stack and the
+// oracle (or a violated standing invariant) while running a case. A nil
+// *Divergence means full agreement.
+type Divergence struct {
+	Case   string
+	Step   int // index into the script; -1 for an end-of-run check
+	Detail string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("conform: case %q diverged at step %d: %s", d.Case, d.Step, d.Detail)
+}
+
+// Options tune a run.
+type Options struct {
+	// ContentCheckEvery compares full cache contents, per-tint statistics
+	// and the tint table every N access steps (always after non-access
+	// steps and at the end). Zero means DefaultContentCheckEvery.
+	ContentCheckEvery int
+}
+
+// DefaultContentCheckEvery is the content-comparison stride.
+const DefaultContentCheckEvery = 64
+
+// obsEvent is one AccessObserver callback captured from the production
+// machine.
+type obsEvent struct {
+	id   tint.Tint
+	addr memory.Addr
+	miss bool
+}
+
+type recorder struct {
+	events []obsEvent
+}
+
+func (r *recorder) ObserveAccess(id tint.Tint, addr memory.Addr, miss bool) {
+	r.events = append(r.events, obsEvent{id: id, addr: addr, miss: miss})
+}
+
+// runState carries the driver-side ledger used for conservation checks.
+type runState struct {
+	wtNoAllocMisses  int64 // write-through write misses: no fill
+	installFills     int64 // fills from install steps: no miss
+	flushWritebacks  int64 // writebacks charged by flush steps
+	expectedResident int64
+}
+
+// Run drives c through both machines and returns the first divergence, or
+// nil if they agree step for step.
+func Run(c Case, opts Options) *Divergence {
+	every := opts.ContentCheckEvery
+	if every <= 0 {
+		every = DefaultContentCheckEvery
+	}
+	fail := func(step int, format string, args ...any) *Divergence {
+		return &Divergence{Case: c.Name, Step: step, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	sys, err := buildProduction(c.Config)
+	if err != nil {
+		return fail(-1, "building production machine: %v", err)
+	}
+	orc, err := buildOracle(c.Config)
+	if err != nil {
+		return fail(-1, "building oracle machine: %v", err)
+	}
+	rec := &recorder{}
+	sys.SetAccessObserver(rec)
+
+	var ledger runState
+	accessSteps := 0
+	for i, st := range c.Script {
+		var d *Divergence
+		switch st.Op {
+		case "read", "write":
+			d = stepAccess(c, i, st, sys, orc, rec, &ledger)
+			accessSteps++
+			if d == nil && accessSteps%every == 0 {
+				d = checkState(c, i, sys, orc, &ledger)
+			}
+		case "setmask":
+			errP := sys.RemapTint(tint.Tint(st.Tint), replacement.Mask(st.Mask))
+			errO := orc.SetMask(st.Tint, st.Mask)
+			if (errP == nil) != (errO == nil) {
+				d = fail(i, "setmask(%d, %b): production err %v, oracle err %v", st.Tint, st.Mask, errP, errO)
+			} else if d = checkState(c, i, sys, orc, &ledger); d != nil {
+				// Paper §2.2: an instant remap must never corrupt resident
+				// state; the full-content check right after the table write
+				// is what enforces it.
+				d.Detail = "after setmask: " + d.Detail
+			}
+		case "retint":
+			nP := vm.Retint(sys.PageTable(), sys.TLB(), st.Base, st.Size, tint.Tint(st.Tint))
+			nO := orc.Retint(st.Base, st.Size, st.Tint)
+			if nP != nO {
+				d = fail(i, "retint [%#x,+%d) → %d: production rewrote %d pages, oracle %d", st.Base, st.Size, st.Tint, nP, nO)
+			} else if d = checkState(c, i, sys, orc, &ledger); d != nil {
+				// The cumulative TLB flush counters compared inside
+				// checkState verify both sides dropped the same number of
+				// stale translations.
+				d.Detail = "after retint: " + d.Detail
+			}
+		case "asid":
+			sys.TLB().SetASID(st.ASID)
+			orc.SetASID(st.ASID)
+		case "flush":
+			before := sys.Stats().Cache.Writebacks
+			obefore := orc.Stats().Cache.Writebacks
+			sys.FlushCache()
+			orc.FlushCache()
+			wbP := sys.Stats().Cache.Writebacks - before
+			wbO := orc.Stats().Cache.Writebacks - obefore
+			if wbP != wbO {
+				d = fail(i, "flush: production wrote back %d dirty lines, oracle %d", wbP, wbO)
+			} else {
+				ledger.flushWritebacks += wbP
+				ledger.expectedResident = 0
+				if d = checkState(c, i, sys, orc, &ledger); d != nil {
+					d.Detail = "after flush: " + d.Detail
+				}
+			}
+		case "install":
+			d = stepInstall(c, i, st, sys, orc, &ledger)
+		default:
+			d = fail(i, "unknown step op %q", st.Op)
+		}
+		if d != nil {
+			return d
+		}
+	}
+	return checkState(c, -1, sys, orc, &ledger)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// normalizedHas reports whether way is in mask after the production
+// normalization (empty or out-of-range masks widen to all ways).
+func normalizedHas(mask uint64, numWays, way int) bool {
+	m := replacement.Mask(mask) & replacement.All(numWays)
+	if m == 0 {
+		m = replacement.All(numWays)
+	}
+	return m.Has(way)
+}
+
+func stepAccess(c Case, i int, st Step, sys *memsys.System, orc *oracle.System, rec *recorder, ledger *runState) *Divergence {
+	fail := func(format string, args ...any) *Divergence {
+		return &Divergence{Case: c.Name, Step: i, Detail: fmt.Sprintf(format, args...)}
+	}
+	write := st.Op == "write"
+	op := memtrace.Read
+	if write {
+		op = memtrace.Write
+	}
+
+	before := sys.Stats()
+	rec.events = rec.events[:0]
+	cyc := sys.Access(memtrace.Access{Addr: st.Addr, Op: op, Think: st.Think})
+	ores := orc.Access(st.Addr, write, st.Think)
+	after := sys.Stats()
+
+	if cyc != ores.Cycles {
+		return fail("%s %#x: production took %d cycles, oracle %d", st.Op, st.Addr, cyc, ores.Cycles)
+	}
+	if got := after.Cycles - before.Cycles; got != cyc {
+		return fail("%s %#x: Access returned %d cycles but counter advanced %d", st.Op, st.Addr, cyc, got)
+	}
+	if got, want := after.Instructions-before.Instructions, int64(st.Think)+1; got != want {
+		return fail("%s %#x: instruction delta %d, want %d", st.Op, st.Addr, got, want)
+	}
+	if got := after.MemAccesses - before.MemAccesses; got != 1 {
+		return fail("%s %#x: memory-access delta %d, want 1", st.Op, st.Addr, got)
+	}
+	if got, want := after.ScratchpadAccesses-before.ScratchpadAccesses, b2i(ores.Scratchpad); got != want {
+		return fail("%s %#x: scratchpad delta %d, oracle says %d", st.Op, st.Addr, got, want)
+	}
+	if got, want := after.UncachedAccesses-before.UncachedAccesses, b2i(ores.Uncached); got != want {
+		return fail("%s %#x: uncached delta %d, oracle says %d", st.Op, st.Addr, got, want)
+	}
+
+	// TLB: consulted for everything except scratchpad regions.
+	dTLB := func(get func(s memsys.Stats) int64) int64 { return get(after) - get(before) }
+	if got, want := dTLB(func(s memsys.Stats) int64 { return s.TLB.Accesses }), b2i(!ores.Scratchpad); got != want {
+		return fail("%s %#x: TLB access delta %d, want %d", st.Op, st.Addr, got, want)
+	}
+	if got, want := dTLB(func(s memsys.Stats) int64 { return s.TLB.Hits }), b2i(!ores.Scratchpad && ores.TLBHit); got != want {
+		return fail("%s %#x: TLB hit delta %d, oracle TLB hit=%v", st.Op, st.Addr, got, ores.TLBHit)
+	}
+
+	// Cache event deltas, field by field.
+	type ev struct {
+		name string
+		got  int64
+		want int64
+	}
+	evs := []ev{
+		{"accesses", after.Cache.Accesses - before.Cache.Accesses, b2i(ores.Cached)},
+		{"hits", after.Cache.Hits - before.Cache.Hits, b2i(ores.Cached && ores.Cache.Hit)},
+		{"misses", after.Cache.Misses - before.Cache.Misses, b2i(ores.Cached && !ores.Cache.Hit)},
+		{"evictions", after.Cache.Evictions - before.Cache.Evictions, b2i(ores.Cache.Evicted)},
+		{"writebacks", after.Cache.Writebacks - before.Cache.Writebacks, b2i(ores.Cache.Writeback)},
+		{"fills", after.Cache.Fills - before.Cache.Fills, b2i(ores.Cache.Filled)},
+	}
+	for _, e := range evs {
+		if e.got != e.want {
+			return fail("%s %#x: cache %s delta %d, oracle says %d (oracle result %+v)",
+				st.Op, st.Addr, e.name, e.got, e.want, ores.Cache)
+		}
+	}
+
+	// Observer: exactly one tint-attributed event per cached access.
+	if ores.Cached {
+		if len(rec.events) != 1 {
+			return fail("%s %#x: %d observer events for one cached access", st.Op, st.Addr, len(rec.events))
+		}
+		e := rec.events[0]
+		if uint16(e.id) != ores.Tint || e.addr != st.Addr || e.miss != !ores.Cache.Hit {
+			return fail("%s %#x: observer saw tint=%d addr=%#x miss=%v, oracle tint=%d miss=%v",
+				st.Op, st.Addr, e.id, e.addr, e.miss, ores.Tint, !ores.Cache.Hit)
+		}
+	} else if len(rec.events) != 0 {
+		return fail("%s %#x: %d observer events for a bypassing access", st.Op, st.Addr, len(rec.events))
+	}
+
+	// Way agreement and the paper's central invariant: the victim of a fill
+	// is always inside the requesting tint's column vector.
+	if ores.Cached && (ores.Cache.Hit || ores.Cache.Filled) {
+		pw := sys.Cache().WayOf(st.Addr)
+		if pw != ores.Cache.Way {
+			return fail("%s %#x: resides in production way %d, oracle way %d", st.Op, st.Addr, pw, ores.Cache.Way)
+		}
+		if ores.Cache.Filled && !normalizedHas(ores.Mask, c.Config.NumWays, pw) {
+			return fail("%s %#x: filled way %d outside tint %d's column vector %b",
+				st.Op, st.Addr, pw, ores.Tint, ores.Mask)
+		}
+	}
+
+	// Ledger bookkeeping for the conservation checks.
+	if ores.Cached && !ores.Cache.Hit && !ores.Cache.Filled {
+		ledger.wtNoAllocMisses++
+	}
+	ledger.expectedResident += b2i(ores.Cache.Filled) - b2i(ores.Cache.Evicted)
+	return nil
+}
+
+func stepInstall(c Case, i int, st Step, sys *memsys.System, orc *oracle.System, ledger *runState) *Divergence {
+	fail := func(format string, args ...any) *Divergence {
+		return &Divergence{Case: c.Name, Step: i, Detail: fmt.Sprintf(format, args...)}
+	}
+	// The mask an install runs under is the page's tint mask; both sides
+	// receive the identical vector, resolved once through the page table.
+	_, mask := orc.ResolveMask(st.Addr)
+	before := sys.Stats()
+	res := sys.InstallLine(st.Addr, replacement.Mask(mask))
+	ores := orc.Install(st.Addr, mask)
+	after := sys.Stats()
+
+	if res.Hit != ores.Hit || res.Filled != ores.Filled || res.Evicted != ores.Evicted || res.Writeback != ores.Writeback {
+		return fail("install %#x: production %+v, oracle %+v", st.Addr, res, ores)
+	}
+	if ores.Filled && res.Way != ores.Way {
+		return fail("install %#x: production way %d, oracle way %d", st.Addr, res.Way, ores.Way)
+	}
+	if got := after.Cache.Accesses - before.Cache.Accesses; got != 0 {
+		return fail("install %#x: counted %d demand accesses", st.Addr, got)
+	}
+	if got, want := after.Cache.Fills-before.Cache.Fills, b2i(ores.Filled); got != want {
+		return fail("install %#x: fill delta %d, want %d", st.Addr, got, want)
+	}
+	if got := after.TLB.Accesses - before.TLB.Accesses; got != 0 {
+		return fail("install %#x: touched the TLB (%d accesses)", st.Addr, got)
+	}
+	if ores.Filled && !normalizedHas(mask, c.Config.NumWays, ores.Way) {
+		return fail("install %#x: filled way %d outside column vector %b", st.Addr, ores.Way, mask)
+	}
+	if ores.Filled {
+		ledger.installFills++
+	}
+	ledger.expectedResident += b2i(ores.Filled) - b2i(ores.Evicted)
+	return nil
+}
+
+// checkState compares full cache contents, per-tint statistics, the tint
+// table, TLB counters, page-table write counts, and the stats conservation
+// ledger.
+func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger *runState) *Divergence {
+	fail := func(format string, args ...any) *Divergence {
+		return &Divergence{Case: c.Name, Step: step, Detail: fmt.Sprintf(format, args...)}
+	}
+	oc := orc.Cache()
+	for set := 0; set < c.Config.NumSets; set++ {
+		for way := 0; way < c.Config.NumWays; way++ {
+			p := sys.Cache().LineAt(set, way)
+			o := oc.LineAt(set, way)
+			if p.Valid != o.Valid || (p.Valid && (p.Tag != o.Tag || p.Dirty != o.Dirty)) {
+				return fail("set %d way %d: production {tag=%#x valid=%v dirty=%v}, oracle {tag=%#x valid=%v dirty=%v}",
+					set, way, p.Tag, p.Valid, p.Dirty, o.Tag, o.Valid, o.Dirty)
+			}
+		}
+	}
+
+	ps := sys.Stats()
+	os := orc.Stats()
+	type cmp struct {
+		name string
+		p, o int64
+	}
+	cmps := []cmp{
+		{"cycles", ps.Cycles, os.Cycles},
+		{"instructions", ps.Instructions, os.Instructions},
+		{"memaccesses", ps.MemAccesses, os.MemAccesses},
+		{"scratchpad", ps.ScratchpadAccesses, os.ScratchpadAccesses},
+		{"uncached", ps.UncachedAccesses, os.UncachedAccesses},
+		{"cache.accesses", ps.Cache.Accesses, os.Cache.Accesses},
+		{"cache.hits", ps.Cache.Hits, os.Cache.Hits},
+		{"cache.misses", ps.Cache.Misses, os.Cache.Misses},
+		{"cache.evictions", ps.Cache.Evictions, os.Cache.Evictions},
+		{"cache.writebacks", ps.Cache.Writebacks, os.Cache.Writebacks},
+		{"cache.fills", ps.Cache.Fills, os.Cache.Fills},
+		{"tlb.accesses", ps.TLB.Accesses, os.TLB.Accesses},
+		{"tlb.hits", ps.TLB.Hits, os.TLB.Hits},
+		{"tlb.misses", ps.TLB.Misses, os.TLB.Misses},
+		{"tlb.flushes", ps.TLB.Flushes, os.TLB.Flushes},
+		{"pagetable.writes", sys.PageTable().Writes(), orc.PageWrites()},
+	}
+	for _, x := range cmps {
+		if x.p != x.o {
+			return fail("%s: production %d, oracle %d", x.name, x.p, x.o)
+		}
+	}
+
+	// Tint table agreement.
+	snap := sys.Tints().Snapshot()
+	omasks := orc.Masks()
+	if len(snap) != len(omasks) {
+		return fail("tint table has %d entries, oracle %d", len(snap), len(omasks))
+	}
+	for id, m := range snap {
+		if om, ok := omasks[uint16(id)]; !ok || uint64(m) != om {
+			return fail("tint %d: production mask %b, oracle %b (known=%v)", id, m, om, ok)
+		}
+	}
+
+	// Per-tint attribution agreement.
+	pts := sys.TintStats()
+	ots := orc.TintStats()
+	for id, st := range pts {
+		o := ots[uint16(id)]
+		if st.Accesses != o.Accesses || st.Misses != o.Misses {
+			return fail("tint %d stats: production %d/%d acc/miss, oracle %d/%d",
+				id, st.Accesses, st.Misses, o.Accesses, o.Misses)
+		}
+	}
+	for id := range ots {
+		if _, ok := pts[tint.Tint(id)]; !ok && (ots[id].Accesses != 0 || ots[id].Misses != 0) {
+			return fail("tint %d has oracle stats %+v but no production entry", id, ots[id])
+		}
+	}
+
+	// Conservation ledger (paper-mandated: fills = misses, evictions ≤
+	// fills — stated here with the write-through and install corrections).
+	if got, want := ps.Cache.Fills, ps.Cache.Misses-ledger.wtNoAllocMisses+ledger.installFills; got != want {
+		return fail("ledger: fills=%d but misses-wtNoAlloc+installs=%d", got, want)
+	}
+	if ps.Cache.Evictions > ps.Cache.Fills {
+		return fail("ledger: evictions=%d exceed fills=%d", ps.Cache.Evictions, ps.Cache.Fills)
+	}
+	if ps.Cache.Writebacks > ps.Cache.Evictions+ledger.flushWritebacks {
+		return fail("ledger: writebacks=%d exceed evictions=%d plus flush writebacks=%d",
+			ps.Cache.Writebacks, ps.Cache.Evictions, ledger.flushWritebacks)
+	}
+	if got := int64(sys.Cache().ResidentLines()); got != ledger.expectedResident {
+		return fail("ledger: %d resident lines, fills-evictions says %d", got, ledger.expectedResident)
+	}
+	if got := int64(oc.ResidentLines()); got != ledger.expectedResident {
+		return fail("ledger: oracle has %d resident lines, fills-evictions says %d", got, ledger.expectedResident)
+	}
+	return nil
+}
+
+// CacheStep is one operation of the cache-level differential driver, which
+// exercises the paths memsys never issues (explicit invalidates, fills of
+// resident lines) and is the seam mutation checks inject bugs through.
+type CacheStep struct {
+	// Op is "read", "write", "fill", "invalidate" or "flush".
+	Op   string
+	Addr uint64
+	Mask uint64
+}
+
+// CompareCaches drives prod and ref in lockstep over steps, comparing every
+// result field (including victim way and evicted tag) and the full cache
+// contents every checkEvery steps and at the end. name labels divergences.
+func CompareCaches(name string, prod *cache.Cache, ref *oracle.Cache, steps []CacheStep, checkEvery int) *Divergence {
+	if checkEvery <= 0 {
+		checkEvery = DefaultContentCheckEvery
+	}
+	fail := func(step int, format string, args ...any) *Divergence {
+		return &Divergence{Case: name, Step: step, Detail: fmt.Sprintf(format, args...)}
+	}
+	cfg := prod.Config()
+	content := func(step int) *Divergence {
+		for set := 0; set < cfg.NumSets; set++ {
+			for way := 0; way < cfg.NumWays; way++ {
+				p := prod.LineAt(set, way)
+				o := ref.LineAt(set, way)
+				if p.Valid != o.Valid || (p.Valid && (p.Tag != o.Tag || p.Dirty != o.Dirty)) {
+					return fail(step, "set %d way %d: production {tag=%#x valid=%v dirty=%v}, oracle {tag=%#x valid=%v dirty=%v}",
+						set, way, p.Tag, p.Valid, p.Dirty, o.Tag, o.Valid, o.Dirty)
+				}
+			}
+		}
+		pst, ost := prod.Stats(), ref.Stats()
+		if pst.Accesses != ost.Accesses || pst.Hits != ost.Hits || pst.Misses != ost.Misses ||
+			pst.Evictions != ost.Evictions || pst.Writebacks != ost.Writebacks || pst.Fills != ost.Fills {
+			return fail(step, "stats: production %+v, oracle %+v", pst, ost)
+		}
+		return nil
+	}
+
+	for i, st := range steps {
+		var pres cache.Result
+		var ores oracle.Result
+		switch st.Op {
+		case "read":
+			pres = prod.Read(st.Addr, replacement.Mask(st.Mask))
+			ores = ref.Access(st.Addr, false, st.Mask)
+		case "write":
+			pres = prod.Write(st.Addr, replacement.Mask(st.Mask))
+			ores = ref.Access(st.Addr, true, st.Mask)
+		case "fill":
+			pres = prod.Fill(st.Addr, replacement.Mask(st.Mask))
+			ores = ref.Fill(st.Addr, st.Mask)
+		case "invalidate":
+			dp := prod.Invalidate(st.Addr)
+			do := ref.Invalidate(st.Addr)
+			if dp != do {
+				return fail(i, "invalidate %#x: production dropped=%v, oracle dropped=%v", st.Addr, dp, do)
+			}
+			continue
+		case "flush":
+			prod.FlushAll()
+			ref.FlushAll()
+			if d := content(i); d != nil {
+				return d
+			}
+			continue
+		default:
+			return fail(i, "unknown cache step op %q", st.Op)
+		}
+		if pres.Hit != ores.Hit || pres.Way != ores.Way || pres.Filled != ores.Filled ||
+			pres.Evicted != ores.Evicted || pres.Writeback != ores.Writeback ||
+			(pres.Evicted && pres.EvictedTag != ores.EvictedTag) {
+			return fail(i, "%s %#x mask=%b: production %+v, oracle %+v", st.Op, st.Addr, st.Mask, pres, ores)
+		}
+		if pres.Filled && !normalizedHas(st.Mask, cfg.NumWays, pres.Way) {
+			return fail(i, "%s %#x: victim way %d outside mask %b", st.Op, st.Addr, pres.Way, st.Mask)
+		}
+		if (i+1)%checkEvery == 0 {
+			if d := content(i); d != nil {
+				return d
+			}
+		}
+	}
+	return content(len(steps) - 1)
+}

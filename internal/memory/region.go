@@ -51,8 +51,15 @@ func (s *Space) Alloc(name string, size uint64, align uint64) Region {
 	return r
 }
 
-// Regions returns all allocated regions in allocation order.
-func (s *Space) Regions() []Region { return s.regions }
+// Regions returns all allocated regions in allocation order. The result is
+// a copy, not the live slice: snapshot accessors across the simulator
+// return detached data, so a caller holding the result across later Alloc
+// calls can never alias (or be clobbered by) the space's internal state.
+func (s *Space) Regions() []Region {
+	out := make([]Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
 
 // Find returns the region containing addr, if any.
 func (s *Space) Find(addr Addr) (Region, bool) {

@@ -82,3 +82,23 @@ func TestRegionContains(t *testing.T) {
 		t.Errorf("End=%d", r.End())
 	}
 }
+
+func TestRegionsReturnsDetachedCopy(t *testing.T) {
+	s := NewSpace(0)
+	s.Alloc("a", 16, 0)
+	s.Alloc("b", 16, 0)
+	got := s.Regions()
+	got[0].Name = "clobbered"
+	got = append(got[:1], Region{Name: "junk", Base: 999, Size: 1})
+	_ = got
+	if r, ok := s.ByName("a"); !ok || r.Name != "a" {
+		t.Fatalf("mutating the returned slice changed the space: %v %v", r, ok)
+	}
+	again := s.Regions()
+	if len(again) != 2 || again[0].Name != "a" || again[1].Name != "b" {
+		t.Fatalf("space regions corrupted: %v", again)
+	}
+	if _, ok := s.Find(5); !ok {
+		t.Fatal("Find broken after caller mutation")
+	}
+}

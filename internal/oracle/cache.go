@@ -1,0 +1,243 @@
+// Package oracle is the independent witness for the column-cache core: a
+// deliberately naive re-implementation of the simulator's memory system —
+// explicit per-set recency lists, straight-line victim searches, integer
+// division instead of shift arithmetic, and no code or state shared with
+// internal/cache, internal/replacement, internal/tint or internal/vm.
+//
+// It exists so internal/conform can drive the optimized production stack
+// and this reference in lockstep and flag the first step where they
+// disagree. The approach follows the argument of "Observing the Invisible"
+// (arXiv:2007.12271) — trusting eviction behavior requires an independent
+// observer of cache state — and the validation style of the way-memoization
+// work (arXiv:0710.4703), which checks way-restricted lookups against an
+// unrestricted reference.
+//
+// Nothing here is written for speed, and nothing here may import the
+// packages it checks.
+package oracle
+
+import "fmt"
+
+// Config describes the reference cache. Policy is one of "lru", "plru",
+// "fifo", "random" — the same names internal/replacement registers.
+type Config struct {
+	LineBytes    int
+	NumSets      int
+	NumWays      int
+	Policy       string
+	WriteThrough bool // write-through/no-allocate instead of write-back/allocate
+}
+
+// Line is the metadata of one cache line.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// Stats mirrors the production cache's event counters.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	Fills      int64
+}
+
+// Result reports what one cache operation did.
+type Result struct {
+	Hit        bool
+	Way        int // way hit or filled; -1 for a write-through miss
+	Filled     bool
+	Evicted    bool
+	Writeback  bool
+	EvictedTag uint64
+}
+
+// Cache is the naive reference column cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	pol   policy
+	stats Stats
+
+	// invalidated counts lines dropped via Invalidate, for the conservation
+	// ledger: resident == fills - evictions - invalidated (between flushes).
+	invalidated int64
+}
+
+// NewCache builds the reference cache.
+func NewCache(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.NumSets <= 0 {
+		return nil, fmt.Errorf("oracle: bad geometry %d sets × %dB lines", cfg.NumSets, cfg.LineBytes)
+	}
+	if cfg.NumWays < 1 || cfg.NumWays > 64 {
+		return nil, fmt.Errorf("oracle: way count %d outside [1,64]", cfg.NumWays)
+	}
+	pol := newPolicy(cfg.Policy, cfg.NumSets, cfg.NumWays)
+	if pol == nil {
+		return nil, fmt.Errorf("oracle: unknown policy %q", cfg.Policy)
+	}
+	c := &Cache{cfg: cfg, pol: pol}
+	c.sets = make([][]Line, cfg.NumSets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.NumWays)
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Invalidated returns how many lines Invalidate has dropped.
+func (c *Cache) Invalidated() int64 { return c.invalidated }
+
+// LineAt returns a copy of the line metadata at (set, way).
+func (c *Cache) LineAt(set, way int) Line { return c.sets[set][way] }
+
+// setAndTag decomposes addr with plain integer arithmetic — deliberately no
+// shifts or masks, so a bug in the production bit twiddling cannot repeat
+// here.
+func (c *Cache) setAndTag(addr uint64) (int, uint64) {
+	lineNum := addr / uint64(c.cfg.LineBytes)
+	return int(lineNum % uint64(c.cfg.NumSets)), lineNum / uint64(c.cfg.NumSets)
+}
+
+// permitted expands a column bit vector into an explicit boolean per way,
+// applying the production normalization: columns beyond the way count are
+// ignored, and an effectively empty vector widens to every way.
+func (c *Cache) permitted(mask uint64) []bool {
+	out := make([]bool, c.cfg.NumWays)
+	any := false
+	for w := 0; w < c.cfg.NumWays; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			out[w] = true
+			any = true
+		}
+	}
+	if !any {
+		for w := range out {
+			out[w] = true
+		}
+	}
+	return out
+}
+
+func (c *Cache) valids(set int) []bool {
+	out := make([]bool, c.cfg.NumWays)
+	for w := range out {
+		out[w] = c.sets[set][w].Valid
+	}
+	return out
+}
+
+// lookup finds addr's way in its set, or -1.
+func (c *Cache) lookup(set int, tag uint64) int {
+	for w := 0; w < c.cfg.NumWays; w++ {
+		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Access performs one demand load or store of addr restricted to mask.
+func (c *Cache) Access(addr uint64, write bool, mask uint64) Result {
+	c.stats.Accesses++
+	set, tag := c.setAndTag(addr)
+
+	if w := c.lookup(set, tag); w >= 0 {
+		c.stats.Hits++
+		c.pol.touch(set, w)
+		if write && !c.cfg.WriteThrough {
+			c.sets[set][w].Dirty = true
+		}
+		return Result{Hit: true, Way: w}
+	}
+
+	c.stats.Misses++
+	if write && c.cfg.WriteThrough {
+		return Result{Hit: false, Way: -1}
+	}
+	return c.fill(set, tag, write && !c.cfg.WriteThrough, mask)
+}
+
+// Fill installs addr's line without counting a demand access — the prefetch
+// path. A resident line is left untouched (no recency update, matching the
+// production Fill).
+func (c *Cache) Fill(addr uint64, mask uint64) Result {
+	set, tag := c.setAndTag(addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		return Result{Hit: true, Way: w}
+	}
+	return c.fill(set, tag, false, mask)
+}
+
+// fill victimizes a permitted way and installs (tag, dirty) there.
+func (c *Cache) fill(set int, tag uint64, dirty bool, mask uint64) Result {
+	w := c.pol.victim(set, c.permitted(mask), c.valids(set))
+	res := Result{Hit: false, Way: w, Filled: true}
+	if c.sets[set][w].Valid {
+		res.Evicted = true
+		res.EvictedTag = c.sets[set][w].Tag
+		c.stats.Evictions++
+		if c.sets[set][w].Dirty {
+			res.Writeback = true
+			c.stats.Writebacks++
+		}
+	}
+	c.sets[set][w] = Line{Tag: tag, Valid: true, Dirty: dirty}
+	c.stats.Fills++
+	c.pol.touch(set, w)
+	return res
+}
+
+// Invalidate drops addr's line if resident, without writeback.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.setAndTag(addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		c.sets[set][w] = Line{}
+		c.pol.invalidate(set, w)
+		c.invalidated++
+		return true
+	}
+	return false
+}
+
+// FlushAll invalidates every line, counting writebacks for dirty ones, and
+// resets replacement state.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid && c.sets[s][w].Dirty {
+				c.stats.Writebacks++
+			}
+			c.sets[s][w] = Line{}
+		}
+	}
+	c.pol.reset()
+}
+
+// ResidentLines counts valid lines.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Probe reports addr's way without touching policy state or counters.
+func (c *Cache) Probe(addr uint64) (int, bool) {
+	set, tag := c.setAndTag(addr)
+	w := c.lookup(set, tag)
+	return w, w >= 0
+}

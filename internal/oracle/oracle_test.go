@@ -1,0 +1,282 @@
+package oracle
+
+import "testing"
+
+// addrFor builds the address that maps to (set, tag) for geometry (lineBytes,
+// numSets).
+func addrFor(lineBytes, numSets, set int, tag uint64) uint64 {
+	return (tag*uint64(numSets) + uint64(set)) * uint64(lineBytes)
+}
+
+func newTestCache(t *testing.T, policy string, ways int) *Cache {
+	t.Helper()
+	c, err := NewCache(Config{LineBytes: 16, NumSets: 4, NumWays: ways, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	c := newTestCache(t, "lru", 4)
+	all := uint64(0b1111)
+	// Fill ways 0..3 with tags 0..3; access order is also fill order.
+	for tag := uint64(0); tag < 4; tag++ {
+		res := c.Access(addrFor(16, 4, 0, tag), false, all)
+		if res.Hit || res.Way != int(tag) {
+			t.Fatalf("fill %d: got %+v", tag, res)
+		}
+	}
+	// Re-touch tag 0 so tag 1 is now least recent.
+	if res := c.Access(addrFor(16, 4, 0, 0), false, all); !res.Hit {
+		t.Fatalf("expected hit on tag 0: %+v", res)
+	}
+	res := c.Access(addrFor(16, 4, 0, 9), false, all)
+	if !res.Evicted || res.EvictedTag != 1 {
+		t.Fatalf("expected tag 1 evicted, got %+v", res)
+	}
+}
+
+func TestLRUMaskedVictim(t *testing.T) {
+	c := newTestCache(t, "lru", 4)
+	for tag := uint64(0); tag < 4; tag++ {
+		c.Access(addrFor(16, 4, 0, tag), false, 0b1111)
+	}
+	// Restrict to ways {2,3}: the least recent of those (way 2, tag 2) goes.
+	res := c.Access(addrFor(16, 4, 0, 9), false, 0b1100)
+	if res.Way != 2 || res.EvictedTag != 2 {
+		t.Fatalf("masked victim: got %+v, want way 2 evicting tag 2", res)
+	}
+}
+
+func TestFIFOHitsDoNotReorder(t *testing.T) {
+	c := newTestCache(t, "fifo", 2)
+	all := uint64(0b11)
+	c.Access(addrFor(16, 4, 0, 0), false, all)
+	c.Access(addrFor(16, 4, 0, 1), false, all)
+	// Hit tag 0 repeatedly; under FIFO it is still the first out.
+	for i := 0; i < 5; i++ {
+		c.Access(addrFor(16, 4, 0, 0), false, all)
+	}
+	res := c.Access(addrFor(16, 4, 0, 2), false, all)
+	if res.EvictedTag != 0 {
+		t.Fatalf("FIFO evicted tag %d, want 0: %+v", res.EvictedTag, res)
+	}
+}
+
+func TestPLRUForcedTurn(t *testing.T) {
+	c := newTestCache(t, "plru", 4)
+	all := uint64(0b1111)
+	for tag := uint64(0); tag < 4; tag++ {
+		c.Access(addrFor(16, 4, 0, tag), false, all)
+	}
+	// After touching 0,1,2,3 in order every pointer aims left: victim is 0.
+	res := c.Access(addrFor(16, 4, 0, 9), false, all)
+	if res.Way != 0 {
+		t.Fatalf("PLRU unmasked victim way %d, want 0", res.Way)
+	}
+	// Restricted to the right subtree the root turn is forced: victim is 2.
+	res = c.Access(addrFor(16, 4, 0, 10), false, 0b1100)
+	if res.Way != 2 {
+		t.Fatalf("PLRU forced-turn victim way %d, want 2", res.Way)
+	}
+}
+
+func TestRandomStaysInMask(t *testing.T) {
+	c := newTestCache(t, "random", 8)
+	mask := uint64(0b10100100) // ways 2, 5, 7
+	for i := uint64(0); i < 200; i++ {
+		res := c.Access(addrFor(16, 4, 1, 100+i), false, mask)
+		if res.Filled && res.Way != 2 && res.Way != 5 && res.Way != 7 {
+			t.Fatalf("random victim way %d outside mask %b", res.Way, mask)
+		}
+	}
+}
+
+func TestInvalidWayPreferred(t *testing.T) {
+	for _, policy := range []string{"lru", "plru", "fifo", "random"} {
+		c := newTestCache(t, policy, 4)
+		c.Access(addrFor(16, 4, 0, 0), false, 0b0001) // way 0 valid
+		// Ways 1-3 invalid; mask {0,3} must pick invalid way 3, not evict.
+		res := c.Access(addrFor(16, 4, 0, 1), false, 0b1001)
+		if res.Way != 3 || res.Evicted {
+			t.Fatalf("%s: got %+v, want fill into invalid way 3 with no eviction", policy, res)
+		}
+	}
+}
+
+func TestEmptyMaskWidens(t *testing.T) {
+	c := newTestCache(t, "lru", 4)
+	res := c.Access(addrFor(16, 4, 0, 0), false, 0)
+	if !res.Filled || res.Way != 0 {
+		t.Fatalf("empty mask: got %+v", res)
+	}
+	// Bits above the way count are ignored; all-high mask acts empty → all.
+	res = c.Access(addrFor(16, 4, 0, 1), false, 0xF0)
+	if !res.Filled || res.Way != 1 {
+		t.Fatalf("out-of-range mask: got %+v", res)
+	}
+}
+
+func TestWriteBackDirtyAndWriteback(t *testing.T) {
+	c := newTestCache(t, "lru", 1)
+	a := addrFor(16, 4, 2, 0)
+	b := addrFor(16, 4, 2, 1)
+	c.Access(a, true, 1) // write-allocate, dirty
+	res := c.Access(b, false, 1)
+	if !res.Evicted || !res.Writeback || res.EvictedTag != 0 {
+		t.Fatalf("dirty eviction: got %+v", res)
+	}
+	if st := c.Stats(); st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c, err := NewCache(Config{LineBytes: 16, NumSets: 4, NumWays: 2, Policy: "lru", WriteThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Access(addrFor(16, 4, 0, 0), true, 0b11)
+	if res.Hit || res.Filled || res.Way != -1 {
+		t.Fatalf("write-through write miss must not allocate: %+v", res)
+	}
+	// A read installs the line; a subsequent write hits it but never dirties.
+	c.Access(addrFor(16, 4, 0, 0), false, 0b11)
+	res = c.Access(addrFor(16, 4, 0, 0), true, 0b11)
+	if !res.Hit || c.LineAt(0, res.Way).Dirty {
+		t.Fatalf("write-through hit dirtied the line: %+v", res)
+	}
+	c.Access(addrFor(16, 4, 0, 1), false, 0b01) // evict from way 0
+	if st := c.Stats(); st.Writebacks != 0 {
+		t.Fatalf("write-through cache performed %d writebacks", st.Writebacks)
+	}
+}
+
+func TestFillDoesNotCountDemand(t *testing.T) {
+	c := newTestCache(t, "lru", 2)
+	res := c.Fill(addrFor(16, 4, 0, 0), 0b11)
+	if !res.Filled {
+		t.Fatalf("prefetch fill: got %+v", res)
+	}
+	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 || st.Fills != 1 {
+		t.Fatalf("prefetch fill counted demand events: %+v", st)
+	}
+	// A fill of a resident line is a no-op that reports the way.
+	res = c.Fill(addrFor(16, 4, 0, 0), 0b11)
+	if !res.Hit || res.Filled {
+		t.Fatalf("resident fill: got %+v", res)
+	}
+}
+
+func TestSystemScratchpadAndUncached(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cache:      Config{LineBytes: 16, NumSets: 4, NumWays: 2, Policy: "lru"},
+		PageBytes:  256,
+		TLBEntries: 4,
+		TLBWays:    2,
+		Timing: Timing{NonMemInstr: 1, CacheHit: 1, MissPenalty: 20, Writeback: 5,
+			ScratchpadHit: 1, Uncached: 20, TLBMiss: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.PlaceScratch(0x1000, 256)
+	sys.SetUncached(0x2000, 256)
+
+	r := sys.Access(0x1010, false, 0)
+	if !r.Scratchpad || r.Cached || r.Cycles != 1 {
+		t.Fatalf("scratchpad access: %+v", r)
+	}
+	if st := sys.TLBStats(); st.Accesses != 0 {
+		t.Fatalf("scratchpad access consulted the TLB: %+v", st)
+	}
+
+	r = sys.Access(0x2010, false, 0)
+	if !r.Uncached || r.Cached {
+		t.Fatalf("uncached access: %+v", r)
+	}
+	// Uncached still pays the TLB walk on first touch: 4 + 20. (The access
+	// instruction itself costs the uncached latency, not NonMemInstr.)
+	if r.Cycles != 24 {
+		t.Fatalf("uncached cycles = %d, want 24", r.Cycles)
+	}
+
+	// Plain cached miss then hit: TLBMiss + CacheHit + MissPenalty, then
+	// CacheHit alone.
+	r = sys.Access(0x3000, false, 0)
+	if r.Cache.Hit || r.Cycles != 4+1+20 {
+		t.Fatalf("cold miss: %+v", r)
+	}
+	r = sys.Access(0x3000, false, 0)
+	if !r.Cache.Hit || !r.TLBHit || r.Cycles != 1 {
+		t.Fatalf("warm hit: %+v", r)
+	}
+}
+
+func TestSystemSetMaskAndRetint(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cache:      Config{LineBytes: 16, NumSets: 4, NumWays: 4, Policy: "lru"},
+		PageBytes:  256,
+		TLBEntries: 4,
+		TLBWays:    2,
+		Timing:     Timing{NonMemInstr: 1, CacheHit: 1, MissPenalty: 20, Writeback: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.DefineTint(1, 0b0011)
+	if n := sys.Retint(0x1000, 512, 1); n != 2 {
+		t.Fatalf("retint rewrote %d pages, want 2", n)
+	}
+	tintID, mask := sys.ResolveMask(0x1000)
+	if tintID != 1 || mask != 0b0011 {
+		t.Fatalf("resolve: tint %d mask %b", tintID, mask)
+	}
+	if err := sys.SetMask(1, 0b1100); err != nil {
+		t.Fatal(err)
+	}
+	if _, mask = sys.ResolveMask(0x1000); mask != 0b1100 {
+		t.Fatalf("mask after SetMask: %b", mask)
+	}
+	if err := sys.SetMask(1, 0); err == nil {
+		t.Fatal("zero mask accepted")
+	}
+	if err := sys.SetMask(1, 0b10000); err == nil {
+		t.Fatal("out-of-width mask accepted")
+	}
+	if err := sys.SetMask(9, 0b0001); err == nil {
+		t.Fatal("unknown tint accepted")
+	}
+}
+
+func TestSystemRetintDropsAllASIDCopies(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cache:      Config{LineBytes: 16, NumSets: 4, NumWays: 4, Policy: "lru"},
+		PageBytes:  256,
+		TLBEntries: 8,
+		TLBWays:    4,
+		Timing:     Timing{NonMemInstr: 1, CacheHit: 1, MissPenalty: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.DefineTint(1, 0b0001)
+	// Cache the page's translation under two ASIDs.
+	sys.Access(0x1000, false, 0)
+	sys.SetASID(1)
+	sys.Access(0x1000, false, 0)
+	flushesBefore := sys.TLBStats().Flushes
+	sys.Retint(0x1000, 256, 1)
+	if got := sys.TLBStats().Flushes - flushesBefore; got != 2 {
+		t.Fatalf("retint flushed %d TLB entries, want 2 (one per ASID)", got)
+	}
+	// Both ASIDs must now miss and re-walk.
+	if r := sys.Access(0x1000, false, 0); r.TLBHit || r.Tint != 1 {
+		t.Fatalf("ASID 1 after retint: %+v", r)
+	}
+	sys.SetASID(0)
+	if r := sys.Access(0x1000, false, 0); r.TLBHit || r.Tint != 1 {
+		t.Fatalf("ASID 0 after retint: %+v", r)
+	}
+}

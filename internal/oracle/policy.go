@@ -1,0 +1,319 @@
+package oracle
+
+// Naive replacement policies. Each one is written the obvious way — explicit
+// per-set recency lists and queues, an explicit pointer tree for PLRU,
+// linear scans everywhere — so that a reader can check it against the
+// paper's prose directly. None of this code is shared with
+// internal/replacement; agreement between the two is what internal/conform
+// verifies.
+//
+// The contract mirrors the production protocol exactly:
+//   - touch is called on every hit and after every fill;
+//   - victim is called on a miss that allocates, with the permissible-column
+//     set and the current validity of each way, and must prefer a permitted
+//     invalid way (lowest index) when one exists;
+//   - invalidate is called when a line is dropped without replacement;
+//   - reset is called after a whole-cache flush.
+
+type policy interface {
+	touch(set, way int)
+	victim(set int, permitted, valid []bool) int
+	invalidate(set, way int)
+	reset()
+	name() string
+}
+
+func newPolicy(kind string, numSets, numWays int) policy {
+	switch kind {
+	case "lru":
+		return newLRUList(numSets, numWays)
+	case "plru":
+		return newPLRUTree(numSets, numWays)
+	case "fifo":
+		return newFIFOQueue(numSets, numWays)
+	case "random":
+		// Seed 1 matches replacement.New, which seeds its generator with 1
+		// so simulations are reproducible.
+		return newRandomPick(numWays, 1)
+	default:
+		return nil
+	}
+}
+
+// lowestPermittedInvalid returns the lowest-indexed permitted way that does
+// not currently hold a valid line, or -1.
+func lowestPermittedInvalid(permitted, valid []bool) int {
+	for w := range permitted {
+		if permitted[w] && !valid[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+// remove deletes the first occurrence of way from list.
+func remove(list []int, way int) []int {
+	for i, w := range list {
+		if w == way {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func contains(list []int, way int) bool {
+	for _, w := range list {
+		if w == way {
+			return true
+		}
+	}
+	return false
+}
+
+// lruList is least-recently-used with an explicit recency list per set,
+// ordered least- to most-recently touched. Ways not on the list have never
+// been touched (or were invalidated), which makes them older than every
+// listed way; ties among them go to the lowest index, matching the
+// production policy's zero-stamp tie-break.
+type lruList struct {
+	numWays int
+	order   [][]int
+}
+
+func newLRUList(numSets, numWays int) *lruList {
+	return &lruList{numWays: numWays, order: make([][]int, numSets)}
+}
+
+func (p *lruList) touch(set, way int) {
+	p.order[set] = append(remove(p.order[set], way), way)
+}
+
+func (p *lruList) victim(set int, permitted, valid []bool) int {
+	if w := lowestPermittedInvalid(permitted, valid); w >= 0 {
+		return w
+	}
+	// Never-touched permitted ways are the oldest; lowest index wins.
+	for w := 0; w < p.numWays; w++ {
+		if permitted[w] && !contains(p.order[set], w) {
+			return w
+		}
+	}
+	// Otherwise the least recently touched permitted way.
+	for _, w := range p.order[set] {
+		if permitted[w] {
+			return w
+		}
+	}
+	panic("oracle: lru victim with no permitted way")
+}
+
+func (p *lruList) invalidate(set, way int) { p.order[set] = remove(p.order[set], way) }
+
+func (p *lruList) reset() {
+	for i := range p.order {
+		p.order[i] = nil
+	}
+}
+
+func (p *lruList) name() string { return "lru" }
+
+// fifoQueue replaces in fill order with an explicit per-set queue. A hit on
+// a queued way changes nothing; a touch on an unqueued way is the fill and
+// appends it. Choosing a victim dequeues it — the production policy clears
+// its presence bit the same way — and the subsequent fill's touch re-appends
+// it at the tail.
+type fifoQueue struct {
+	numWays int
+	queue   [][]int
+}
+
+func newFIFOQueue(numSets, numWays int) *fifoQueue {
+	return &fifoQueue{numWays: numWays, queue: make([][]int, numSets)}
+}
+
+func (p *fifoQueue) touch(set, way int) {
+	if !contains(p.queue[set], way) {
+		p.queue[set] = append(p.queue[set], way)
+	}
+}
+
+func (p *fifoQueue) victim(set int, permitted, valid []bool) int {
+	if w := lowestPermittedInvalid(permitted, valid); w >= 0 {
+		return w
+	}
+	// A valid way that is not queued was never filled as far as the policy
+	// knows; its fill time is zero, older than every queued way. Unreachable
+	// through the cache's access protocol, but kept for exact equivalence
+	// with the production stamp comparison.
+	for w := 0; w < p.numWays; w++ {
+		if permitted[w] && !contains(p.queue[set], w) {
+			return w
+		}
+	}
+	for i, w := range p.queue[set] {
+		if permitted[w] {
+			p.queue[set] = append(p.queue[set][:i], p.queue[set][i+1:]...)
+			return w
+		}
+	}
+	panic("oracle: fifo victim with no permitted way")
+}
+
+func (p *fifoQueue) invalidate(set, way int) { p.queue[set] = remove(p.queue[set], way) }
+
+func (p *fifoQueue) reset() {
+	for i := range p.queue {
+		p.queue[i] = nil
+	}
+}
+
+func (p *fifoQueue) name() string { return "fifo" }
+
+// plruNode is one node of an explicit tree-PLRU tree over the ways [lo, hi).
+// Leaves (hi-lo == 1) have nil children. pointRight is the direction the
+// pseudo-LRU walk takes from this node; a touch points the node away from
+// the touched way.
+type plruNode struct {
+	lo, hi      int
+	left, right *plruNode
+	pointRight  bool
+}
+
+func buildPLRUTree(lo, hi int) *plruNode {
+	n := &plruNode{lo: lo, hi: hi}
+	if hi-lo > 1 {
+		mid := (lo + hi) / 2
+		n.left = buildPLRUTree(lo, mid)
+		n.right = buildPLRUTree(mid, hi)
+	}
+	return n
+}
+
+// plruTree is tree pseudo-LRU with one explicit pointer tree per set.
+type plruTree struct {
+	numWays int
+	roots   []*plruNode
+}
+
+func newPLRUTree(numSets, numWays int) *plruTree {
+	if numWays&(numWays-1) != 0 || numWays == 0 {
+		panic("oracle: tree PLRU requires a power-of-two way count")
+	}
+	p := &plruTree{numWays: numWays, roots: make([]*plruNode, numSets)}
+	for i := range p.roots {
+		p.roots[i] = buildPLRUTree(0, numWays)
+	}
+	return p
+}
+
+func (p *plruTree) touch(set, way int) {
+	n := p.roots[set]
+	for n.left != nil {
+		if way < n.left.hi {
+			n.pointRight = true
+			n = n.left
+		} else {
+			n.pointRight = false
+			n = n.right
+		}
+	}
+}
+
+// anyPermitted reports whether any way in [lo, hi) is permitted.
+func anyPermitted(permitted []bool, lo, hi int) bool {
+	for w := lo; w < hi; w++ {
+		if permitted[w] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *plruTree) victim(set int, permitted, valid []bool) int {
+	if w := lowestPermittedInvalid(permitted, valid); w >= 0 {
+		return w
+	}
+	n := p.roots[set]
+	for n.left != nil {
+		goRight := n.pointRight
+		// Force the turn when the preferred subtree holds no permitted way.
+		if goRight && !anyPermitted(permitted, n.right.lo, n.right.hi) {
+			goRight = false
+		} else if !goRight && !anyPermitted(permitted, n.left.lo, n.left.hi) {
+			goRight = true
+		}
+		if goRight {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return n.lo
+}
+
+func (p *plruTree) invalidate(set, way int) {}
+
+func (p *plruTree) reset() {
+	for _, root := range p.roots {
+		var clear func(*plruNode)
+		clear = func(n *plruNode) {
+			if n == nil {
+				return
+			}
+			n.pointRight = false
+			clear(n.left)
+			clear(n.right)
+		}
+		clear(root)
+	}
+}
+
+func (p *plruTree) name() string { return "plru" }
+
+// randomPick picks a uniformly random permitted way. The generator is the
+// same xorshift64* the production policy uses, with the same seed, because
+// victim-for-victim equivalence requires drawing the identical sequence;
+// the independence is in the selection code around it.
+type randomPick struct {
+	numWays int
+	seed    uint64
+	state   uint64
+}
+
+func newRandomPick(numWays int, seed uint64) *randomPick {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &randomPick{numWays: numWays, seed: seed, state: seed}
+}
+
+func (p *randomPick) next() uint64 {
+	x := p.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (p *randomPick) touch(set, way int) {}
+
+func (p *randomPick) victim(set int, permitted, valid []bool) int {
+	if w := lowestPermittedInvalid(permitted, valid); w >= 0 {
+		return w
+	}
+	var ways []int
+	for w := 0; w < p.numWays; w++ {
+		if permitted[w] {
+			ways = append(ways, w)
+		}
+	}
+	if len(ways) == 0 {
+		panic("oracle: random victim with no permitted way")
+	}
+	return ways[int(p.next()%uint64(len(ways)))]
+}
+
+func (p *randomPick) invalidate(set, way int) {}
+func (p *randomPick) reset()                  { p.state = p.seed }
+func (p *randomPick) name() string            { return "random" }

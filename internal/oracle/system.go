@@ -1,0 +1,388 @@
+package oracle
+
+import "fmt"
+
+// Timing mirrors the production machine's cycle costs. The fields are a
+// copy, not an import: the oracle re-derives every cycle count from the
+// paper's timing model so an accounting bug in memsys cannot repeat here.
+type Timing struct {
+	NonMemInstr       int
+	CacheHit          int
+	MissPenalty       int
+	Writeback         int
+	ScratchpadHit     int
+	Uncached          int
+	TLBMiss           int
+	WriteThroughStore int
+}
+
+// SystemConfig assembles a reference System.
+type SystemConfig struct {
+	Cache      Config
+	PageBytes  int
+	TLBEntries int
+	TLBWays    int
+	Timing     Timing
+}
+
+// pte carries the per-page cache-management state: the page's tint and the
+// uncached bit.
+type pte struct {
+	tint     uint16
+	uncached bool
+}
+
+// tlbEntry is one cached translation. Entries live in per-set slices kept
+// in least- to most-recently-used order, so the LRU victim is always the
+// slice head — an explicit recency list instead of stamps.
+type tlbEntry struct {
+	pn   uint64
+	asid uint16
+	e    pte
+}
+
+// TLBStats mirrors the production TLB counters.
+type TLBStats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	Flushes  int64
+}
+
+// TintStats counts one tint's cached accesses and misses.
+type TintStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// scratchRegion is one dedicated-SRAM address range.
+type scratchRegion struct {
+	base, size uint64
+}
+
+// StepResult reports everything one access did, for step-level comparison
+// against the production machine.
+type StepResult struct {
+	Scratchpad bool
+	Uncached   bool
+	TLBHit     bool
+	Tint       uint16
+	Mask       uint64
+	Cache      Result // zero unless the access reached the cache
+	Cached     bool   // the access reached the cache
+	Cycles     int64
+}
+
+// System is the naive reference memory system: scratchpad check, TLB with
+// tint-extended PTEs, column cache, flat timing model.
+type System struct {
+	cfg     SystemConfig
+	cache   *Cache
+	masks   map[uint16]uint64 // tint → permissible-column bit vector
+	pages   map[uint64]pte    // page number → entry; absent means default
+	tlbSets [][]tlbEntry
+	tlbWays int
+	asid    uint16
+	scratch []scratchRegion
+
+	tlbStats   TLBStats
+	tintStats  map[uint16]*TintStats
+	pageWrites int64
+
+	instructions int64
+	cycles       int64
+	memAccesses  int64
+	scratchAcc   int64
+	uncachedAcc  int64
+}
+
+// SystemStats aggregates the machine-level counters the harness compares.
+type SystemStats struct {
+	Instructions       int64
+	Cycles             int64
+	MemAccesses        int64
+	ScratchpadAccesses int64
+	UncachedAccesses   int64
+	Cache              Stats
+	TLB                TLBStats
+}
+
+// NewSystem builds the reference machine. Tint 0 (the default tint) starts
+// mapped to every column, like the production table.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	c, err := NewCache(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PageBytes < cfg.Cache.LineBytes {
+		return nil, fmt.Errorf("oracle: page size %d smaller than line size %d", cfg.PageBytes, cfg.Cache.LineBytes)
+	}
+	if cfg.TLBEntries <= 0 || cfg.TLBWays <= 0 || cfg.TLBEntries%cfg.TLBWays != 0 {
+		return nil, fmt.Errorf("oracle: bad TLB shape %d entries × %d ways", cfg.TLBEntries, cfg.TLBWays)
+	}
+	allColumns := uint64(0)
+	for w := 0; w < cfg.Cache.NumWays; w++ {
+		allColumns |= 1 << uint(w)
+	}
+	s := &System{
+		cfg:       cfg,
+		cache:     c,
+		masks:     map[uint16]uint64{0: allColumns},
+		pages:     make(map[uint64]pte),
+		tlbWays:   cfg.TLBWays,
+		tintStats: make(map[uint16]*TintStats),
+	}
+	s.tlbSets = make([][]tlbEntry, cfg.TLBEntries/cfg.TLBWays)
+	return s, nil
+}
+
+// Cache returns the reference cache.
+func (s *System) Cache() *Cache { return s.cache }
+
+// Stats snapshots the machine counters.
+func (s *System) Stats() SystemStats {
+	return SystemStats{
+		Instructions:       s.instructions,
+		Cycles:             s.cycles,
+		MemAccesses:        s.memAccesses,
+		ScratchpadAccesses: s.scratchAcc,
+		UncachedAccesses:   s.uncachedAcc,
+		Cache:              s.cache.Stats(),
+		TLB:                s.tlbStats,
+	}
+}
+
+// TintStats returns a copy of the per-tint counters.
+func (s *System) TintStats() map[uint16]TintStats {
+	out := make(map[uint16]TintStats, len(s.tintStats))
+	for id, st := range s.tintStats {
+		out[id] = *st
+	}
+	return out
+}
+
+// Masks returns a copy of the tint → column-vector table.
+func (s *System) Masks() map[uint16]uint64 {
+	out := make(map[uint16]uint64, len(s.masks))
+	for id, m := range s.masks {
+		out[id] = m
+	}
+	return out
+}
+
+// PageWrites returns the page-table entry updates performed.
+func (s *System) PageWrites() int64 { return s.pageWrites }
+
+// DefineTint registers a tint with the given column vector, mirroring
+// NewTint + SetMask on the production table.
+func (s *System) DefineTint(id uint16, mask uint64) { s.masks[id] = mask }
+
+// SetMask remaps a registered tint, the paper's cheap repartitioning write.
+func (s *System) SetMask(id uint16, mask uint64) error {
+	if _, ok := s.masks[id]; !ok {
+		return fmt.Errorf("oracle: unknown tint %d", id)
+	}
+	if mask == 0 {
+		return fmt.Errorf("oracle: empty column mask for tint %d", id)
+	}
+	for w := s.cache.cfg.NumWays; w < 64; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			return fmt.Errorf("oracle: mask %b references columns beyond the %d available", mask, s.cache.cfg.NumWays)
+		}
+	}
+	s.masks[id] = mask
+	return nil
+}
+
+// maskOf resolves a tint to its column vector; unknown tints resolve to the
+// default tint's vector, like the production table.
+func (s *System) maskOf(id uint16) uint64 {
+	if m, ok := s.masks[id]; ok {
+		return m
+	}
+	return s.masks[0]
+}
+
+// ResolveMask returns the tint and column vector governing addr according
+// to the page table (not the TLB) — the harness uses it to pick the mask
+// for explicit install steps.
+func (s *System) ResolveMask(addr uint64) (uint16, uint64) {
+	e := s.pages[addr/uint64(s.cfg.PageBytes)]
+	return e.tint, s.maskOf(e.tint)
+}
+
+// pagesCovering lists the page numbers overlapping [base, base+size).
+func (s *System) pagesCovering(base, size uint64) []uint64 {
+	if size == 0 {
+		return nil
+	}
+	var out []uint64
+	for pn := base / uint64(s.cfg.PageBytes); pn <= (base+size-1)/uint64(s.cfg.PageBytes); pn++ {
+		out = append(out, pn)
+	}
+	return out
+}
+
+// Retint is the paper §2.2 re-tinting operation: rewrite the entries of the
+// pages overlapping [base, base+size) and flush every TLB copy of each page
+// that changed. Returns the number of pages rewritten.
+func (s *System) Retint(base, size uint64, id uint16) int {
+	changed := 0
+	for _, pn := range s.pagesCovering(base, size) {
+		e := s.pages[pn]
+		if e.tint == id {
+			continue
+		}
+		e.tint = id
+		s.pages[pn] = e
+		s.pageWrites++
+		changed++
+		s.flushPage(pn)
+	}
+	return changed
+}
+
+// SetUncached marks the pages overlapping [base, base+size) uncached. Like
+// the production page table's SetUncachedRange it does not flush TLB
+// copies, so it is only safe before the first access — which is the only
+// time the conformance harness applies it.
+func (s *System) SetUncached(base, size uint64) int {
+	changed := 0
+	for _, pn := range s.pagesCovering(base, size) {
+		e := s.pages[pn]
+		if e.uncached {
+			continue
+		}
+		e.uncached = true
+		s.pages[pn] = e
+		s.pageWrites++
+		changed++
+	}
+	return changed
+}
+
+// flushPage drops every TLB copy of page pn, across ASIDs: the page table
+// is shared, so a re-tint must invalidate all cached translations of the
+// page or a stale tint would keep governing replacement.
+func (s *System) flushPage(pn uint64) {
+	set := s.tlbSets[pn%uint64(len(s.tlbSets))]
+	kept := set[:0]
+	for _, e := range set {
+		if e.pn == pn {
+			s.tlbStats.Flushes++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.tlbSets[pn%uint64(len(s.tlbSets))] = kept
+}
+
+// SetASID switches the address-space identifier; entries under other ASIDs
+// stay resident but stop matching.
+func (s *System) SetASID(id uint16) { s.asid = id }
+
+// PlaceScratch dedicates [base, base+size) to the scratchpad.
+func (s *System) PlaceScratch(base, size uint64) {
+	s.scratch = append(s.scratch, scratchRegion{base: base, size: size})
+}
+
+func (s *System) inScratch(addr uint64) bool {
+	for _, r := range s.scratch {
+		if addr >= r.base && addr < r.base+r.size {
+			return true
+		}
+	}
+	return false
+}
+
+// tlbLookup resolves page pn through the naive TLB: a linear search of the
+// set's recency list, hit moves the entry to the tail, miss walks the page
+// table and installs at the tail, evicting the head when the set is full.
+func (s *System) tlbLookup(pn uint64) (pte, bool) {
+	s.tlbStats.Accesses++
+	idx := pn % uint64(len(s.tlbSets))
+	set := s.tlbSets[idx]
+	for i, e := range set {
+		if e.pn == pn && e.asid == s.asid {
+			s.tlbStats.Hits++
+			set = append(append(set[:i:i], set[i+1:]...), e)
+			s.tlbSets[idx] = set
+			return e.e, true
+		}
+	}
+	s.tlbStats.Misses++
+	e := s.pages[pn]
+	if len(set) == s.tlbWays {
+		set = set[1:]
+	}
+	s.tlbSets[idx] = append(set, tlbEntry{pn: pn, asid: s.asid, e: e})
+	return e, false
+}
+
+// Access executes one trace access (think non-memory instructions, then the
+// reference itself) and reports everything it did.
+func (s *System) Access(addr uint64, write bool, think uint32) StepResult {
+	t := s.cfg.Timing
+	start := s.cycles
+	s.instructions += int64(think) + 1
+	s.cycles += int64(think) * int64(t.NonMemInstr)
+	s.memAccesses++
+
+	if s.inScratch(addr) {
+		s.scratchAcc++
+		s.cycles += int64(t.ScratchpadHit)
+		return StepResult{Scratchpad: true, Cycles: s.cycles - start}
+	}
+
+	e, tlbHit := s.tlbLookup(addr / uint64(s.cfg.PageBytes))
+	if !tlbHit {
+		s.cycles += int64(t.TLBMiss)
+	}
+	if e.uncached {
+		s.uncachedAcc++
+		s.cycles += int64(t.Uncached)
+		return StepResult{Uncached: true, TLBHit: tlbHit, Cycles: s.cycles - start}
+	}
+
+	mask := s.maskOf(e.tint)
+	res := s.cache.Access(addr, write, mask)
+	if write && s.cfg.Cache.WriteThrough {
+		s.cycles += int64(t.WriteThroughStore)
+	}
+	st := s.tintStats[e.tint]
+	if st == nil {
+		st = &TintStats{}
+		s.tintStats[e.tint] = st
+	}
+	st.Accesses++
+	if !res.Hit {
+		st.Misses++
+	}
+	s.cycles += int64(t.CacheHit)
+	if !res.Hit {
+		s.cycles += int64(t.MissPenalty)
+		if res.Writeback {
+			s.cycles += int64(t.Writeback)
+		}
+	}
+	return StepResult{
+		TLBHit: tlbHit,
+		Tint:   e.tint,
+		Mask:   mask,
+		Cache:  res,
+		Cached: true,
+		Cycles: s.cycles - start,
+	}
+}
+
+// Install fills addr's line under mask without a demand access or TLB
+// activity — the production InstallLine path.
+func (s *System) Install(addr uint64, mask uint64) Result {
+	return s.cache.Fill(addr, mask)
+}
+
+// FlushCache writes back and invalidates the whole cache.
+func (s *System) FlushCache() { s.cache.FlushAll() }
+
+// TLBStats returns the TLB counters.
+func (s *System) TLBStats() TLBStats { return s.tlbStats }

@@ -82,8 +82,14 @@ func Build(trace memtrace.Trace, vars []memory.Region) *Profile {
 	return p
 }
 
-// Vars returns all profiles, ordered by region base address.
-func (p *Profile) Vars() []*VarProfile { return p.vars }
+// Vars returns all profiles, ordered by region base address. The slice is
+// a copy, so callers can reorder or truncate it without corrupting the
+// profile's index; the *VarProfile entries themselves are shared.
+func (p *Profile) Vars() []*VarProfile {
+	out := make([]*VarProfile, len(p.vars))
+	copy(out, p.vars)
+	return out
+}
 
 // Get returns the profile of the named variable.
 func (p *Profile) Get(name string) (*VarProfile, bool) {

@@ -274,3 +274,28 @@ func TestMergeSkipsDeadMembers(t *testing.T) {
 		t.Errorf("empty merge=%+v", empty)
 	}
 }
+
+func TestVarsReturnsDetachedCopy(t *testing.T) {
+	regions := []memory.Region{
+		{Name: "a", Base: 0, Size: 16},
+		{Name: "b", Base: 16, Size: 16},
+	}
+	tr := memtrace.Trace{{Addr: 0}, {Addr: 16}, {Addr: 4}}
+	p := Build(tr, regions)
+	got := p.Vars()
+	if len(got) != 2 {
+		t.Fatalf("Vars: %d entries", len(got))
+	}
+	// Reordering or truncating the caller's slice must not corrupt the
+	// profile's name index.
+	got[0], got[1] = got[1], got[0]
+	got = got[:1]
+	_ = got
+	va, ok := p.Get("a")
+	if !ok || va.Region.Name != "a" || va.Accesses != 2 {
+		t.Fatalf("Get(a) after caller mutation: %+v, %v", va, ok)
+	}
+	if again := p.Vars(); len(again) != 2 || again[0].Region.Name != "a" {
+		t.Fatalf("Vars order corrupted: %v", again)
+	}
+}

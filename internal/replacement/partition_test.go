@@ -1,0 +1,154 @@
+package replacement
+
+import "testing"
+
+// Table-driven partition behavior across every policy: single-column masks,
+// disjoint partitions, and masks narrowed while lines are resident. These
+// schedules double as fixtures for the naive reference model in
+// internal/oracle — the conformance harness replays equivalent scripts and
+// must see identical victims.
+
+// partAllValid treats every way as holding a valid line, forcing a real
+// replacement decision.
+func partAllValid(int) bool { return true }
+
+// policies returns one fresh instance of each policy for a 4-set, 4-way
+// cache.
+func policies() []struct {
+	name string
+	pol  Policy
+} {
+	return []struct {
+		name string
+		pol  Policy
+	}{
+		{"lru", NewLRU(4, 4)},
+		{"plru", NewTreePLRU(4, 4)},
+		{"fifo", NewFIFO(4, 4)},
+		{"random", NewRandom(4, 4, 1)},
+	}
+}
+
+// touchAll fills a set in way order, as a cold cache would.
+func touchAll(p Policy, set, ways int) {
+	for w := 0; w < ways; w++ {
+		p.Touch(set, w)
+	}
+}
+
+func TestSingleColumnMask(t *testing.T) {
+	// With exactly one permitted column there is no decision to make: every
+	// policy must return that way, whatever its recency state says.
+	for _, tc := range policies() {
+		t.Run(tc.name, func(t *testing.T) {
+			touchAll(tc.pol, 0, 4)
+			for want := 0; want < 4; want++ {
+				for round := 0; round < 3; round++ {
+					if got := tc.pol.Victim(0, Of(want), partAllValid); got != want {
+						t.Fatalf("mask %b: victim %d, want %d", uint64(Of(want)), got, want)
+					}
+					tc.pol.Touch(0, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDisjointPartitions(t *testing.T) {
+	// Two tints split the set {0,1} / {2,3}: victims under one partition
+	// must never land in the other, no matter how the schedule interleaves.
+	left, right := Of(0, 1), Of(2, 3)
+	for _, tc := range policies() {
+		t.Run(tc.name, func(t *testing.T) {
+			touchAll(tc.pol, 1, 4)
+			for i := 0; i < 64; i++ {
+				mask := left
+				if i%2 == 1 {
+					mask = right
+				}
+				got := tc.pol.Victim(1, mask, partAllValid)
+				if !mask.Has(got) {
+					t.Fatalf("round %d: victim %d outside partition %b", i, got, uint64(mask))
+				}
+				tc.pol.Touch(1, got)
+			}
+		})
+	}
+}
+
+func TestMaskNarrowingWhileResident(t *testing.T) {
+	// A tint's mask shrinks from {0,1,2,3} to {3} while its lines are
+	// resident (the paper's instant-repartition case). Policy state built
+	// under the wide mask must not leak victims outside the narrowed one.
+	for _, tc := range policies() {
+		t.Run(tc.name, func(t *testing.T) {
+			touchAll(tc.pol, 2, 4)
+			// Build recency pressure that, unmasked, would pick way 0.
+			tc.pol.Touch(2, 3)
+			tc.pol.Touch(2, 2)
+			tc.pol.Touch(2, 1)
+			narrow := Of(3)
+			if got := tc.pol.Victim(2, narrow, partAllValid); got != 3 {
+				t.Fatalf("narrowed mask: victim %d, want 3", got)
+			}
+		})
+	}
+}
+
+func TestExactVictimsUnderPartition(t *testing.T) {
+	// Deterministic policies must pick the exact way their discipline
+	// names inside the partition, not merely any permitted way.
+	t.Run("lru", func(t *testing.T) {
+		p := NewLRU(4, 4)
+		touchAll(p, 0, 4) // recency 0 < 1 < 2 < 3
+		if got := p.Victim(0, Of(2, 3), partAllValid); got != 2 {
+			t.Fatalf("LRU victim %d, want least-recent permitted way 2", got)
+		}
+		p.Touch(0, 2)
+		if got := p.Victim(0, Of(2, 3), partAllValid); got != 3 {
+			t.Fatalf("after touching 2: LRU victim %d, want 3", got)
+		}
+	})
+	t.Run("fifo", func(t *testing.T) {
+		p := NewFIFO(4, 4)
+		touchAll(p, 0, 4) // fill order 0,1,2,3
+		// Hits must not advance the queue.
+		p.Touch(0, 1)
+		p.Touch(0, 1)
+		if got := p.Victim(0, Of(1, 2), partAllValid); got != 1 {
+			t.Fatalf("FIFO victim %d, want first-filled permitted way 1", got)
+		}
+	})
+	t.Run("plru", func(t *testing.T) {
+		p := NewTreePLRU(4, 4)
+		touchAll(p, 0, 4) // all pointers aim at way 0
+		if got := p.Victim(0, All(4), partAllValid); got != 0 {
+			t.Fatalf("PLRU unmasked victim %d, want 0", got)
+		}
+		// Forcing the walk into the right subtree lands on way 2.
+		if got := p.Victim(0, Of(2, 3), partAllValid); got != 2 {
+			t.Fatalf("PLRU forced-turn victim %d, want 2", got)
+		}
+	})
+}
+
+func TestInvalidPermittedWayWins(t *testing.T) {
+	// Every policy must prefer the lowest permitted invalid way over
+	// evicting a valid line, even when its own state points elsewhere.
+	validExcept := func(invalid int) func(int) bool {
+		return func(w int) bool { return w != invalid }
+	}
+	for _, tc := range policies() {
+		t.Run(tc.name, func(t *testing.T) {
+			touchAll(tc.pol, 3, 4)
+			if got := tc.pol.Victim(3, Of(1, 3), validExcept(3)); got != 3 {
+				t.Fatalf("victim %d, want invalid permitted way 3", got)
+			}
+			// An invalid way outside the mask must not be chosen.
+			got := tc.pol.Victim(3, Of(1), validExcept(3))
+			if got != 1 {
+				t.Fatalf("victim %d, want 1 (invalid way 3 is outside the mask)", got)
+			}
+		})
+	}
+}

@@ -138,19 +138,25 @@ func (t *TLB) SetASID(id uint16) { t.asid = id }
 // ASID returns the current address-space identifier.
 func (t *TLB) ASID() uint16 { return t.asid }
 
-// FlushPage invalidates the entry for page pn if present, and reports
-// whether one was dropped. Re-tinting a page must flush (or update) its TLB
-// entry so the new tint is observed.
+// FlushPage invalidates every entry for page pn, and reports whether any
+// was dropped. Re-tinting a page must flush (or update) its TLB entries so
+// the new tint is observed — every entry, across ASIDs: the page table is
+// shared and physically tagged, so a page looked up under two ASIDs has two
+// cached copies, and leaving either one valid would let a stale tint keep
+// governing replacement after a Retint. (Found by the differential
+// conformance oracle: the first-match-only flush this replaces diverged
+// from the reference model on ASID-switching scripts.)
 func (t *TLB) FlushPage(pn uint64) bool {
 	set := t.sets[t.setOf(pn)]
+	any := false
 	for i := range set {
 		if set[i].valid && set[i].pn == pn {
 			set[i].valid = false
 			t.stats.Flushes++
-			return true
+			any = true
 		}
 	}
-	return false
+	return any
 }
 
 // FlushAll invalidates every entry, as on a context switch without ASIDs.

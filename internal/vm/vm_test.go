@@ -245,3 +245,31 @@ func TestASIDAvoidsFlushCost(t *testing.T) {
 		t.Errorf("ASID misses=%d want 8 (compulsory only)", a)
 	}
 }
+
+func TestFlushPageDropsAllASIDCopies(t *testing.T) {
+	// The same page can be resident under several ASIDs at once. A re-tint
+	// must drop every copy: a first-match-only flush leaves the other ASID
+	// serving the stale tint after it switches back in. (Regression test for
+	// the bug found by the differential conformance oracle.)
+	pt := NewPageTable(g)
+	tlb := MustNewTLB(TLBConfig{Entries: 8, Ways: 4}, pt)
+	tlb.Lookup(0) // ASID 0 caches page 0
+	tlb.SetASID(1)
+	tlb.Lookup(0) // ASID 1 caches page 0
+
+	flushesBefore := tlb.Stats().Flushes
+	pt.SetTintPage(0, 9)
+	if !tlb.FlushPage(0) {
+		t.Fatal("FlushPage found nothing to drop")
+	}
+	if got := tlb.Stats().Flushes - flushesBefore; got != 2 {
+		t.Fatalf("FlushPage dropped %d entries, want 2 (one per ASID)", got)
+	}
+	if pte, hit := tlb.Lookup(0); hit || pte.Tint != 9 {
+		t.Fatalf("ASID 1 after flush: hit=%v tint=%d, want re-walked tint 9", hit, pte.Tint)
+	}
+	tlb.SetASID(0)
+	if pte, hit := tlb.Lookup(0); hit || pte.Tint != 9 {
+		t.Fatalf("ASID 0 after flush: hit=%v tint=%d, want re-walked tint 9", hit, pte.Tint)
+	}
+}
