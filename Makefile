@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench smoke servebench conformance cover ci
+.PHONY: build test race lint bench smoke servebench conformance cover multicore ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,19 @@ conformance:
 	$(GO) build -race -o /tmp/conform ./cmd/conform
 	/tmp/conform -n $(CONFORM_N) -seed $(CONFORM_SEED) -golden internal/conform/testdata/golden
 
+# Multicore gates: the MSI coherence protocol under -race (including the
+# seeded random invariant sweep), the cycle-interleaved stepper's
+# determinism (the interference study must be byte-identical at any -jobs
+# value), and a throughput snapshot at 1/2/4/8 cores in BENCH_PR5.json.
+multicore:
+	$(GO) test -race ./internal/multicore
+	$(GO) build -o /tmp/paperbench ./cmd/paperbench
+	/tmp/paperbench -experiment multicore -jobs 1 > /tmp/mc-serial.txt
+	/tmp/paperbench -experiment multicore -jobs 8 > /tmp/mc-parallel.txt
+	cmp /tmp/mc-serial.txt /tmp/mc-parallel.txt
+	/tmp/paperbench -quick -mcscale BENCH_PR5.json
+	test -s BENCH_PR5.json
+
 # Coverage gate for the packages the conformance harness is responsible
 # for: the column-cache core must stay at or above 85% statement coverage.
 COVER_PKGS = colcache/internal/cache colcache/internal/replacement colcache/internal/tint
@@ -69,4 +82,4 @@ cover:
 		} \
 		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
 
-ci: build lint test race bench smoke servebench conformance cover
+ci: build lint test race bench smoke servebench conformance cover multicore

@@ -69,17 +69,41 @@ type AdaptiveSpec struct {
 	SampleEvery   int   `json:"sample_every,omitempty"`   // monitor set sampling (default every set)
 }
 
+// CoreSpec is one core of a multicore simulation: the workload generating
+// its private trace and the shared-L2 columns it may replace into (empty
+// means every column).
+type CoreSpec struct {
+	Workload WorkloadSpec `json:"workload"`
+	Columns  []int        `json:"columns,omitempty"`
+}
+
+// MulticoreSpec turns a simulate job into a multicore co-run: each core
+// replays its own workload trace through a private L1 column cache (the
+// machine spec's geometry), over a snooping write-invalidate MSI bus into a
+// shared column-partitioned L2. By default each core's trace is shifted
+// into its own 4 GiB address window so the co-run contends only for
+// capacity; SharedAddresses leaves the workloads' native addresses in
+// place, so overlapping footprints exercise the coherence protocol.
+type MulticoreSpec struct {
+	Cores           []CoreSpec `json:"cores"`
+	L2Sets          int        `json:"l2_sets,omitempty"`       // default 64
+	L2Ways          int        `json:"l2_ways,omitempty"`       // default 8
+	L2HitCycles     int        `json:"l2_hit_cycles,omitempty"` // default 6
+	SharedAddresses bool       `json:"shared_addresses,omitempty"`
+}
+
 // SimSpec is the body of POST /v1/simulate: one machine, one trace source.
-// Exactly one of Workload or TraceText must be set (an octet-stream upload
-// is the third source; see Client.SubmitTrace).
+// Exactly one of Workload, TraceText, or Multicore must be set (an
+// octet-stream upload is the fourth source; see Client.SubmitTrace).
 type SimSpec struct {
 	Label    string        `json:"label,omitempty"`
 	Machine  MachineSpec   `json:"machine"`
 	Workload *WorkloadSpec `json:"workload,omitempty"`
 	// TraceText is an inline trace in the text format "R|W hex-addr [think]".
-	TraceText string        `json:"trace_text,omitempty"`
-	Maps      []MapSpec     `json:"maps,omitempty"`
-	Adaptive  *AdaptiveSpec `json:"adaptive,omitempty"`
+	TraceText string         `json:"trace_text,omitempty"`
+	Maps      []MapSpec      `json:"maps,omitempty"`
+	Adaptive  *AdaptiveSpec  `json:"adaptive,omitempty"`
+	Multicore *MulticoreSpec `json:"multicore,omitempty"`
 }
 
 // SweepSpec is the body of POST /v1/sweep: a base spec crossed with
@@ -124,19 +148,54 @@ type AdaptiveResult struct {
 	Decisions []string `json:"decisions,omitempty"`
 }
 
+// BusCounters report coherence traffic on a multicore run's shared bus.
+type BusCounters struct {
+	Reads          int64 `json:"reads"`  // BusRd
+	ReadXs         int64 `json:"readxs"` // BusRdX
+	Upgrades       int64 `json:"upgrades"`
+	Invalidations  int64 `json:"invalidations"`
+	Interventions  int64 `json:"interventions"`
+	WritebackRaces int64 `json:"writeback_races"`
+}
+
+// CoreResult is one core's share of a multicore result.
+type CoreResult struct {
+	Workload          string        `json:"workload"`
+	Instructions      int64         `json:"instructions"`
+	Cycles            int64         `json:"cycles"`
+	CPI               float64       `json:"cpi"`
+	L1                CacheCounters `json:"l1"`
+	L2Accesses        int64         `json:"l2_accesses"`
+	L2Misses          int64         `json:"l2_misses"`
+	InvalidationsRecv int64         `json:"invalidations_recv"`
+	Interventions     int64         `json:"interventions"`
+	Upgrades          int64         `json:"upgrades"`
+	Columns           []int         `json:"columns,omitempty"` // final shared-L2 mask
+}
+
+// MulticoreResult reports a multicore co-run: per-core counters, bus
+// traffic, and the shared L2. The enclosing SimResult carries the
+// aggregates (makespan cycles, summed instructions, summed L1 counters).
+type MulticoreResult struct {
+	Cores []CoreResult  `json:"cores"`
+	Bus   BusCounters   `json:"bus"`
+	L2    CacheCounters `json:"l2"`
+}
+
 // SimResult is one finished simulation.
 type SimResult struct {
-	Label         string          `json:"label,omitempty"`
-	Workload      string          `json:"workload,omitempty"`
-	TraceAccesses int64           `json:"trace_accesses"`
-	Instructions  int64           `json:"instructions"`
-	Cycles        int64           `json:"cycles"`
-	CPI           float64         `json:"cpi"`
-	Cache         CacheCounters   `json:"cache"`
-	TLBHitRate    float64         `json:"tlb_hit_rate"`
-	Remaps        int64           `json:"remaps"`
-	Tints         []TintView      `json:"tints,omitempty"`
-	Adaptive      *AdaptiveResult `json:"adaptive,omitempty"`
+	Label         string           `json:"label,omitempty"`
+	Workload      string           `json:"workload,omitempty"`
+	TraceAccesses int64            `json:"trace_accesses"`
+	Instructions  int64            `json:"instructions"`
+	Cycles        int64            `json:"cycles"`
+	CPI           float64          `json:"cpi"`
+	Cache         CacheCounters    `json:"cache"`
+	TLBHitRate    float64          `json:"tlb_hit_rate"`
+	Remaps        int64            `json:"remaps"`
+	Tints         []TintView       `json:"tints,omitempty"`
+	Adaptive      *AdaptiveResult  `json:"adaptive,omitempty"`
+	Multicore     *MulticoreResult `json:"multicore,omitempty"`
 }
 
 // SweepPoint is one point of a sweep result.
@@ -178,7 +237,7 @@ type JobProgress struct {
 // JobInfo is the status document of GET /v1/jobs/{id}.
 type JobInfo struct {
 	ID          string       `json:"id"`
-	Kind        string       `json:"kind"` // "simulate" or "sweep"
+	Kind        string       `json:"kind"` // "simulate", "multicore" or "sweep"
 	Label       string       `json:"label,omitempty"`
 	State       string       `json:"state"`
 	Retriable   bool         `json:"retriable,omitempty"`

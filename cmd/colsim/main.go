@@ -19,6 +19,13 @@
 // columns are redistributed by marginal utility. The per-epoch decision log
 // and the remap count are printed after the run.
 //
+// With -cores N the traces instead run on an N-core machine
+// (internal/multicore): each core replays one trace through a private L1
+// kept coherent by a snooping MSI bus over a shared, column-partitioned L2
+// (-l2sets/-l2ways/-l2hit). One trace per core; a single trace is replicated
+// to every core in disjoint 4GB address windows. -l2cols core:col[,col...]
+// restricts a core's L2 replacement to the given columns (repeatable).
+//
 // Example: isolate a stream at 0x1000 (4KB) in column 0 of a 16KB cache:
 //
 //	colsim -ways 4 -sets 128 -map 1000:1000:0 trace.txt
@@ -37,6 +44,7 @@ import (
 	"colcache/internal/memory"
 	"colcache/internal/memsys"
 	"colcache/internal/memtrace"
+	"colcache/internal/multicore"
 	"colcache/internal/replacement"
 	"colcache/internal/sched"
 	"colcache/internal/workloads/synth"
@@ -97,11 +105,17 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "let the online controller redistribute columns across tints at epoch boundaries")
 		epoch     = flag.Int64("epoch", 4096, "adaptive decision interval in cache accesses")
 		minGain   = flag.Int64("mingain", 16, "adaptive hysteresis: predicted sampled-hit gain required to remap")
+		cores     = flag.Int("cores", 0, "multicore mode: cores with private L1s over a shared snooped L2 (0 = single-core)")
+		l2sets    = flag.Int("l2sets", 64, "multicore mode: shared L2 sets (power of two)")
+		l2ways    = flag.Int("l2ways", 8, "multicore mode: shared L2 ways = columns")
+		l2hit     = flag.Int("l2hit", 6, "multicore mode: L2 hit cycles")
 	)
 	var maps mapFlag
 	flag.Var(&maps, "map", "map hex-base:hex-size:col[,col...] to columns (repeatable)")
 	var jobMasks jobMaskFlag
 	flag.Var(&jobMasks, "jobmask", "per-job column mask idx:col[,col...] (repeatable, multi-trace mode)")
+	var l2cols jobMaskFlag
+	flag.Var(&l2cols, "l2cols", "multicore mode: restrict a core's L2 columns, core:col[,col...] (repeatable)")
 	flag.Parse()
 
 	traces, err := loadTraces(*synthKind, *synthN, *binary)
@@ -110,6 +124,15 @@ func main() {
 		os.Exit(1)
 	}
 	tr := traces[0]
+
+	if *cores > 0 {
+		if err := runMulticore(traces, *cores, *lineBytes, *sets, *ways, *pageBytes,
+			*policy, *penalty, *l2sets, *l2ways, *l2hit, l2cols); err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	timing := memsys.DefaultTiming
 	timing.MissPenalty = *penalty
@@ -210,6 +233,82 @@ func main() {
 	if *reuse {
 		printReuse(tr, g)
 	}
+}
+
+// runMulticore executes the -cores path: one trace per core through private
+// L1 column caches kept coherent over a shared column-partitioned L2.
+func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageBytes int,
+	policy string, penalty, l2sets, l2ways, l2hit int, l2cols jobMaskFlag) error {
+	switch {
+	case len(traces) == 1 && cores > 1:
+		// Replicate the single trace into disjoint per-core address windows.
+		base := traces[0]
+		traces = make([]memtrace.Trace, cores)
+		for i := range traces {
+			tr := make(memtrace.Trace, len(base))
+			shift := uint64(i) << 32
+			for k, a := range base {
+				a.Addr += shift
+				tr[k] = a
+			}
+			traces[i] = tr
+		}
+	case len(traces) != cores:
+		return fmt.Errorf("multicore: %d cores but %d traces", cores, len(traces))
+	}
+	g, err := memory.NewGeometry(lineBytes, pageBytes)
+	if err != nil {
+		return err
+	}
+	timing := memsys.DefaultTiming
+	timing.MissPenalty = penalty
+	m, err := multicore.New(multicore.Config{
+		Geometry: g,
+		L1: cache.Config{
+			LineBytes: lineBytes,
+			NumSets:   sets,
+			NumWays:   ways,
+			Policy:    replacement.Kind(policy),
+		},
+		L2: cache.Config{
+			LineBytes: lineBytes,
+			NumSets:   l2sets,
+			NumWays:   l2ways,
+			Policy:    replacement.Kind(policy),
+		},
+		Timing:      timing,
+		L2HitCycles: l2hit,
+		Traces:      traces,
+	})
+	if err != nil {
+		return err
+	}
+	for i, mask := range l2cols.masks {
+		if i >= m.NumCores() {
+			return fmt.Errorf("-l2cols core %d out of range (%d cores)", i, m.NumCores())
+		}
+		if err := m.SetL2Mask(i, mask); err != nil {
+			return err
+		}
+	}
+	if err := m.Run(); err != nil {
+		return err
+	}
+	st := m.Stats()
+	fmt.Printf("machine:      %d cores, L1 %d×%d×%dB private, L2 %d×%d×%dB shared\n",
+		m.NumCores(), sets, ways, lineBytes, l2sets, l2ways, lineBytes)
+	for i, cs := range st.Cores {
+		fmt.Printf("core%d:        instrs=%d cycles=%d CPI=%.3f l1{%s} l2acc=%d l2miss=%d inv=%d int=%d upg=%d mask=%s\n",
+			i, cs.Instructions, cs.Cycles, cs.CPI(), cs.L1,
+			cs.L2Accesses, cs.L2Misses, cs.InvalidationsRecv, cs.Interventions, cs.Upgrades,
+			m.L2Mask(i))
+	}
+	fmt.Printf("bus:          rd=%d rdx=%d upgr=%d inv=%d int=%d races=%d\n",
+		st.Bus.Reads, st.Bus.ReadXs, st.Bus.Upgrades,
+		st.Bus.Invalidations, st.Bus.Interventions, st.Bus.WritebackRaces)
+	fmt.Printf("L2:           %s\n", st.L2)
+	fmt.Printf("makespan:     %d cycles (aggregate CPI %.3f)\n", st.Cycles, st.CPI())
+	return nil
 }
 
 // attachAdaptive puts every tint in the table — the default tint included,

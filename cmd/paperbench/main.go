@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-experiment fig4|fig5|ablations|comparisons|adaptive|all] [-quick] [-jobs N]
+//	paperbench [-experiment fig4|fig5|ablations|comparisons|adaptive|multicore|all] [-quick] [-jobs N] [-mcscale file.json]
 //
 // -quick trims the Figure 5 quantum sweep for a fast run; the default runs
 // the paper's full 1..1M axis.
@@ -33,13 +33,21 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, adaptive, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4, fig5, ablations, comparisons, adaptive, multicore, all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	jsonPath := flag.String("json", "", "write all results as JSON to this file instead of tables")
 	jobs := flag.Int("jobs", 0, "parallel workers (0 = one per CPU, 1 = serial)")
+	mcscale := flag.String("mcscale", "", "measure multicore stepper throughput at 1/2/4/8 cores and write JSON to this file")
 	flag.Parse()
 
 	experiments.SetWorkers(*jobs)
+
+	if *mcscale != "" {
+		if err := runScaling(*mcscale, *quick); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runJSON(*jsonPath, *quick, *jobs); err != nil {
@@ -60,6 +68,8 @@ func main() {
 		sections = append(sections, comparisonsSection(*jobs))
 	case "adaptive":
 		sections = append(sections, adaptiveSection(*quick))
+	case "multicore":
+		sections = append(sections, multicoreSection)
 	case "all":
 		sections = append(sections,
 			runFig4,
@@ -67,6 +77,7 @@ func main() {
 			ablationsSection(*jobs),
 			comparisonsSection(*jobs),
 			adaptiveSection(*quick),
+			multicoreSection,
 		)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *experiment)
@@ -160,8 +171,49 @@ func fig5Section(quick bool) func(io.Writer) (bool, error) {
 		}
 		data.Table().Write(w)
 		fmt.Fprintln(w)
+		data.EnergyTable().Write(w)
+		fmt.Fprintln(w)
 		return report(w, data.Verify()), nil
 	}
+}
+
+// multicoreSection runs the cross-core interference study. The default
+// config is already a sub-second run, so -quick does not trim it: shorter
+// co-runs lose the re-touch passes that carry the interference signal.
+func multicoreSection(w io.Writer) (bool, error) {
+	fmt.Fprintln(w, "=== Multicore: cross-core interference over a shared column L2 ===")
+	data, err := experiments.RunMulticore(experiments.DefaultMulticoreConfig)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range data.Tables() {
+		t.Write(w)
+		fmt.Fprintln(w)
+	}
+	return report(w, data.Verify()), nil
+}
+
+// runScaling measures the stepper's simulated-cycles-per-second at growing
+// core counts and writes the JSON record CI archives (BENCH_PR5.json).
+func runScaling(path string, quick bool) error {
+	per := 400000
+	if quick {
+		per = 100000
+	}
+	rows, err := experiments.RunMulticoreScaling([]int{1, 2, 4, 8}, per)
+	if err != nil {
+		return err
+	}
+	experiments.ScalingTable(rows).Write(os.Stdout)
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("paperbench: wrote %s (%d bytes)\n", path, len(data)+1)
+	return nil
 }
 
 // quickAdaptiveConfig trims the adaptive scenarios for -quick runs.
@@ -371,6 +423,7 @@ type jsonResults struct {
 	L2                []experiments.L2Comparison            `json:"l2Comparison,omitempty"`
 	Pipeline          []experiments.PipelineResult          `json:"pipelineDynamic,omitempty"`
 	Adaptive          *experiments.AdaptiveData             `json:"adaptive,omitempty"`
+	Multicore         *experiments.MulticoreData            `json:"multicore,omitempty"`
 	ShapeChecksPassed bool                                  `json:"shapeChecksPassed"`
 }
 
@@ -380,7 +433,7 @@ type jsonResults struct {
 // identical at any -jobs value.
 func runJSON(path string, quick bool, jobs int) error {
 	res := jsonResults{}
-	fig4OK, fig5OK, adaptiveOK := false, false, false
+	fig4OK, fig5OK, adaptiveOK, multicoreOK := false, false, false, false
 	tasks := []func() error{
 		func() (err error) {
 			if res.Fig4, err = experiments.RunFig4(experiments.DefaultFig4Config); err == nil {
@@ -425,6 +478,12 @@ func runJSON(path string, quick bool, jobs int) error {
 			}
 			return err
 		},
+		func() (err error) {
+			if res.Multicore, err = experiments.RunMulticore(experiments.DefaultMulticoreConfig); err == nil {
+				multicoreOK = len(res.Multicore.Verify()) == 0
+			}
+			return err
+		},
 	}
 	if _, err := runner.Map(context.Background(), tasks,
 		func(_ context.Context, task func() error, _ int) (struct{}, error) {
@@ -433,7 +492,7 @@ func runJSON(path string, quick bool, jobs int) error {
 		runner.Options{Workers: jobs}); err != nil {
 		return err
 	}
-	res.ShapeChecksPassed = fig4OK && fig5OK && adaptiveOK
+	res.ShapeChecksPassed = fig4OK && fig5OK && adaptiveOK && multicoreOK
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	tracegen -workload dequant|plus|idct|gzip|matmul|fir|histogram|stream|random
-//	         [-o trace.txt] [-binary] [-vars] [-seed N] [-n N]
+//	         [-o trace.txt] [-binary] [-vars] [-seed N] [-n N] [-shards K]
+//
+// With -shards K the trace is dealt round-robin into K per-core shard files
+// named by inserting the shard index before the output extension
+// (trace.0.txt … trace.K-1.txt) — ready to feed colsim -cores K, which
+// interleaves its per-core streams by cycle count just as the round-robin
+// deal interleaves by position.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"colcache/internal/memtrace"
 	"colcache/internal/workloads"
@@ -30,12 +37,28 @@ func main() {
 	printVars := flag.Bool("vars", false, "print the variable map to stderr")
 	seed := flag.Int64("seed", 1, "workload input seed")
 	n := flag.Int("n", 0, "size knob: blocks, window bytes, samples or accesses (workload default if 0)")
+	shards := flag.Int("shards", 0, "deal the trace round-robin into this many per-core shard files (requires -o)")
 	flag.Parse()
 
 	prog, err := build(*workload, *seed, *n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *shards > 1 {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -shards needs -o to name the shard files")
+			os.Exit(2)
+		}
+		paths, err := writeShards(*out, prog.Trace, *shards, *binary)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %s: %d accesses dealt into %d shards (%s … %s)\n",
+			prog.Name, len(prog.Trace), *shards, paths[0], paths[len(paths)-1])
+		return
 	}
 
 	var w io.Writer = os.Stdout
@@ -64,6 +87,51 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %s: %d accesses, %d instructions, %d variables\n",
 		prog.Name, len(prog.Trace), prog.Trace.Instructions(), len(prog.Vars))
+}
+
+// shardTraces deals tr round-robin into k per-core traces: access i goes to
+// shard i%k, preserving each shard's program order.
+func shardTraces(tr memtrace.Trace, k int) []memtrace.Trace {
+	out := make([]memtrace.Trace, k)
+	for i := range out {
+		out[i] = make(memtrace.Trace, 0, (len(tr)+k-1)/k)
+	}
+	for i, a := range tr {
+		out[i%k] = append(out[i%k], a)
+	}
+	return out
+}
+
+// shardPath inserts the shard index before the path's extension:
+// trace.txt → trace.2.txt, trace → trace.2.
+func shardPath(path string, i int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%d%s", path[:len(path)-len(ext)], i, ext)
+}
+
+// writeShards deals tr into k shard files and returns their paths.
+func writeShards(path string, tr memtrace.Trace, k int, binary bool) ([]string, error) {
+	var paths []string
+	for i, shard := range shardTraces(tr, k) {
+		p := shardPath(path, i)
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, err
+		}
+		if binary {
+			err = memtrace.WriteBinary(f, shard)
+		} else {
+			err = memtrace.WriteText(f, shard)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
 }
 
 func build(workload string, seed int64, n int) (*workloads.Program, error) {

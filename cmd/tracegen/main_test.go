@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colcache/internal/memtrace"
+)
 
 func TestBuildWorkloads(t *testing.T) {
 	for _, w := range []string{"dequant", "plus", "idct", "gzip", "matmul", "fir", "histogram", "stream", "random"} {
@@ -29,5 +36,74 @@ func TestBuildErrors(t *testing.T) {
 	}
 	if _, err := build("nope", 1, 0); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+func TestShardTracesDealRoundRobin(t *testing.T) {
+	p, err := build("idct", 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	shards := shardTraces(p.Trace, k)
+	if len(shards) != k {
+		t.Fatalf("got %d shards, want %d", len(shards), k)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != len(p.Trace) {
+		t.Fatalf("shards hold %d accesses, trace has %d", total, len(p.Trace))
+	}
+	// Re-interleave and compare to the original order.
+	pos := make([]int, k)
+	for i, want := range p.Trace {
+		s := i % k
+		if got := shards[s][pos[s]]; got != want {
+			t.Fatalf("access %d: shard %d holds %+v, want %+v", i, s, got, want)
+		}
+		pos[s]++
+	}
+}
+
+func TestWriteShardsBinaryRoundTrip(t *testing.T) {
+	p, err := build("gzip", 1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace[:9001] // odd length: shards of unequal size
+	dir := t.TempDir()
+	base := filepath.Join(dir, "trace.bin")
+	k := 3
+	paths, err := writeShards(base, tr, k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != k {
+		t.Fatalf("wrote %d shard files, want %d", len(paths), k)
+	}
+	want := shardTraces(tr, k)
+	for i, path := range paths {
+		if filepath.Base(path) != fmt.Sprintf("trace.%d.bin", i) {
+			t.Errorf("shard %d named %s", i, filepath.Base(path))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := memtrace.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("shard %d: %d accesses, want %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("shard %d access %d: %+v != %+v", i, j, got[j], want[i][j])
+			}
+		}
 	}
 }

@@ -74,6 +74,7 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty bool
+	aux   uint8 // caller-defined per-line state (e.g. coherence); zeroed with the line
 }
 
 // Stats counts cache events.
@@ -364,6 +365,7 @@ type LineState struct {
 	Tag   uint64
 	Valid bool
 	Dirty bool
+	Aux   uint8
 }
 
 // LineAt returns a copy of the line metadata at (set, way). It performs no
@@ -371,7 +373,39 @@ type LineState struct {
 // perturbs the simulation.
 func (c *Cache) LineAt(set, way int) LineState {
 	l := c.sets[set][way]
-	return LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty}
+	return LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Aux: l.aux}
+}
+
+// AuxAt returns the auxiliary per-line state at (set, way). The cache never
+// interprets aux; it belongs to the layer above (a coherence controller
+// stores MSI line states here). Aux is zeroed whenever the line is refilled,
+// invalidated, or flushed, so stale protocol state cannot survive the line
+// it described.
+func (c *Cache) AuxAt(set, way int) uint8 { return c.sets[set][way].aux }
+
+// SetAux stores auxiliary per-line state at (set, way).
+func (c *Cache) SetAux(set, way int, v uint8) { c.sets[set][way].aux = v }
+
+// SetLineDirty overrides the dirty bit at (set, way). A coherence controller
+// needs this seam for the M→S downgrade: after an intervention writes the
+// modified data back, the local copy stays resident but is clean — a state
+// the normal access path can never produce.
+func (c *Cache) SetLineDirty(set, way int, dirty bool) {
+	c.sets[set][way].dirty = dirty
+}
+
+// SetTagOf returns the (set, tag) pair indexing addr, and AddrOfTag inverts
+// it; together they let an external controller walk snapshots and translate
+// line coordinates back to addresses without duplicating index math.
+func (c *Cache) SetTagOf(addr memory.Addr) (set int, tag uint64) {
+	return c.setIndex(addr)
+}
+
+// AddrOfTag reconstructs the base address of the line with the given tag in
+// the given set.
+func (c *Cache) AddrOfTag(set int, tag uint64) memory.Addr {
+	return memory.Addr(tag)<<memory.Log2(c.cfg.NumSets)<<c.lineShift |
+		memory.Addr(set)<<c.lineShift
 }
 
 // SnapshotSets returns a detached copy of every line's metadata, indexed

@@ -64,6 +64,16 @@ type Config struct {
 	TLBMissCycles          int
 	WriteThroughStoreCycle int
 
+	// EnableL2 attaches a unified write-back second level below the column
+	// cache on both sides. It shares the L1's line size and replacement
+	// policy; L2Masked applies the tint-derived column vector at the L2 as
+	// well (the memsys masked mode).
+	EnableL2    bool `json:",omitempty"`
+	L2Sets      int  `json:",omitempty"`
+	L2Ways      int  `json:",omitempty"`
+	L2HitCycles int  `json:",omitempty"`
+	L2Masked    bool `json:",omitempty"`
+
 	Tints   []TintSpec
 	Regions []RegionSpec
 }
@@ -151,6 +161,17 @@ func buildProduction(c Config) (*memsys.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.EnableL2 {
+		l2cfg := cache.Config{
+			LineBytes: c.LineBytes,
+			NumSets:   c.L2Sets,
+			NumWays:   c.L2Ways,
+			Policy:    replacement.Kind(c.Policy),
+		}
+		if err := sys.EnableL2(l2cfg, c.L2HitCycles, c.L2Masked); err != nil {
+			return nil, err
+		}
+	}
 	sys.EnablePerTintStats()
 	for i, ts := range c.Tints {
 		id := sys.Tints().NewTint(fmt.Sprintf("tint%d", i+1))
@@ -197,6 +218,17 @@ func buildOracle(c Config) (*oracle.System, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.EnableL2 {
+		l2cfg := oracle.Config{
+			LineBytes: c.LineBytes,
+			NumSets:   c.L2Sets,
+			NumWays:   c.L2Ways,
+			Policy:    c.Policy,
+		}
+		if err := orc.EnableL2(l2cfg, c.L2HitCycles, c.L2Masked); err != nil {
+			return nil, err
+		}
 	}
 	for i, ts := range c.Tints {
 		orc.DefineTint(uint16(i+1), ts.Mask)

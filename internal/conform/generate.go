@@ -81,6 +81,17 @@ func NewCase(seed int64) Case {
 		WriteThroughStoreCycle: r.Intn(4),
 	}
 
+	// Second level: one in three machines deepens the hierarchy, and half
+	// of those apply the tint's column vector at the L2 too (the masked
+	// mode the paper's "hierarchy-depth-agnostic" reading of §2.2 allows).
+	if r.Intn(3) == 0 {
+		cfg.EnableL2 = true
+		cfg.L2Sets = numSets * []int{2, 4}[r.Intn(2)]
+		cfg.L2Ways = numWays * []int{1, 2}[r.Intn(2)]
+		cfg.L2HitCycles = 1 + r.Intn(6)
+		cfg.L2Masked = r.Intn(2) == 0
+	}
+
 	// Tints with random column vectors.
 	numTints := 1 + r.Intn(3)
 	for t := 0; t < numTints; t++ {
@@ -172,8 +183,15 @@ func NewCase(seed int64) Case {
 		script = append(script, Step{Op: op, Addr: pickAddr(), Think: uint32(r.Intn(4))})
 	}
 
+	name := fmt.Sprintf("seed-%d-%s-%dx%dx%d", seed, policy, numSets, numWays, lineBytes)
+	if cfg.EnableL2 {
+		name += "-l2"
+		if cfg.L2Masked {
+			name += "m"
+		}
+	}
 	return Case{
-		Name:   fmt.Sprintf("seed-%d-%s-%dx%dx%d", seed, policy, numSets, numWays, lineBytes),
+		Name:   name,
 		Seed:   seed,
 		Config: cfg,
 		Script: script,

@@ -16,8 +16,9 @@ import (
 // tables, zig-zag block walks — that the random generator only samples.
 
 // GoldenConfigs returns the configuration matrix golden traces run under:
-// every replacement policy crossed with both write modes, on a fixed
-// two-tint partition whose regions are derived from the trace's own span.
+// every replacement policy crossed with both write modes and with/without a
+// masked second level, on a fixed two-tint partition whose regions are
+// derived from the trace's own span.
 func GoldenConfigs(tr memtrace.Trace) []Config {
 	lo, hi := traceSpan(tr)
 	const pageBytes = 1024
@@ -34,23 +35,35 @@ func GoldenConfigs(tr memtrace.Trace) []Config {
 	var out []Config
 	for _, policy := range []string{"lru", "plru", "fifo", "random"} {
 		for _, wt := range []bool{false, true} {
-			out = append(out, Config{
-				LineBytes:              32,
-				NumSets:                32,
-				NumWays:                4,
-				PageBytes:              pageBytes,
-				Policy:                 policy,
-				WriteThrough:           wt,
-				TLBEntries:             16,
-				TLBWays:                4,
-				TLBMissCycles:          4,
-				WriteThroughStoreCycle: 2,
-				Tints:                  []TintSpec{{Mask: 0b0011}, {Mask: 0b1100}},
-				Regions: []RegionSpec{
-					{Base: base, Size: mid - base, Tint: 1},
-					{Base: mid, Size: end - mid, Tint: 2},
-				},
-			})
+			for _, l2 := range []bool{false, true} {
+				cfg := Config{
+					LineBytes:              32,
+					NumSets:                32,
+					NumWays:                4,
+					PageBytes:              pageBytes,
+					Policy:                 policy,
+					WriteThrough:           wt,
+					TLBEntries:             16,
+					TLBWays:                4,
+					TLBMissCycles:          4,
+					WriteThroughStoreCycle: 2,
+					Tints:                  []TintSpec{{Mask: 0b0011}, {Mask: 0b1100}},
+					Regions: []RegionSpec{
+						{Base: base, Size: mid - base, Tint: 1},
+						{Base: mid, Size: end - mid, Tint: 2},
+					},
+				}
+				if l2 {
+					// Masked L2: the tint vectors above restrict the
+					// wider second level too.
+					cfg.EnableL2 = true
+					cfg.L2Sets = 64
+					cfg.L2Ways = 8
+					cfg.L2HitCycles = 3
+					cfg.L2Masked = true
+				}
+				out = append(out, cfg)
+			}
 		}
 	}
 	return out
@@ -129,8 +142,12 @@ func GoldenCases(dir string) ([]Case, error) {
 			if cfg.WriteThrough {
 				wt = "wt"
 			}
+			caseName := fmt.Sprintf("golden-%s-%s-%s", name, cfg.Policy, wt)
+			if cfg.EnableL2 {
+				caseName += "-l2m"
+			}
 			cases = append(cases, Case{
-				Name:   fmt.Sprintf("golden-%s-%s-%s", name, cfg.Policy, wt),
+				Name:   caseName,
 				Config: cfg,
 				Script: script,
 			})

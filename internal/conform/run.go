@@ -320,6 +320,21 @@ func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger
 		}
 	}
 
+	// L2 contents, line by line, when a second level is attached.
+	if c.Config.EnableL2 {
+		pl2, ol2 := sys.L2Cache(), orc.L2()
+		for set := 0; set < c.Config.L2Sets; set++ {
+			for way := 0; way < c.Config.L2Ways; way++ {
+				p := pl2.LineAt(set, way)
+				o := ol2.LineAt(set, way)
+				if p.Valid != o.Valid || (p.Valid && (p.Tag != o.Tag || p.Dirty != o.Dirty)) {
+					return fail("L2 set %d way %d: production {tag=%#x valid=%v dirty=%v}, oracle {tag=%#x valid=%v dirty=%v}",
+						set, way, p.Tag, p.Valid, p.Dirty, o.Tag, o.Valid, o.Dirty)
+				}
+			}
+		}
+	}
+
 	ps := sys.Stats()
 	os := orc.Stats()
 	type cmp struct {
@@ -343,6 +358,17 @@ func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger
 		{"tlb.misses", ps.TLB.Misses, os.TLB.Misses},
 		{"tlb.flushes", ps.TLB.Flushes, os.TLB.Flushes},
 		{"pagetable.writes", sys.PageTable().Writes(), orc.PageWrites()},
+	}
+	if c.Config.EnableL2 {
+		ol2 := orc.L2().Stats()
+		cmps = append(cmps,
+			cmp{"l2.accesses", ps.L2.Accesses, ol2.Accesses},
+			cmp{"l2.hits", ps.L2.Hits, ol2.Hits},
+			cmp{"l2.misses", ps.L2.Misses, ol2.Misses},
+			cmp{"l2.evictions", ps.L2.Evictions, ol2.Evictions},
+			cmp{"l2.writebacks", ps.L2.Writebacks, ol2.Writebacks},
+			cmp{"l2.fills", ps.L2.Fills, ol2.Fills},
+		)
 	}
 	for _, x := range cmps {
 		if x.p != x.o {
@@ -395,6 +421,17 @@ func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger
 	}
 	if got := int64(oc.ResidentLines()); got != ledger.expectedResident {
 		return fail("ledger: oracle has %d resident lines, fills-evictions says %d", got, ledger.expectedResident)
+	}
+
+	// L2 conservation: the write-back L2 allocates on every miss and is
+	// never flushed or installed into, so fills = misses exactly.
+	if c.Config.EnableL2 {
+		if ps.L2.Fills != ps.L2.Misses {
+			return fail("L2 ledger: fills=%d but misses=%d", ps.L2.Fills, ps.L2.Misses)
+		}
+		if ps.L2.Evictions > ps.L2.Fills {
+			return fail("L2 ledger: evictions=%d exceed fills=%d", ps.L2.Evictions, ps.L2.Fills)
+		}
 	}
 	return nil
 }

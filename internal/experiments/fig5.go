@@ -48,10 +48,13 @@ var DefaultFig5Config = Fig5Config{
 	Timing:             memsys.DefaultTiming,
 }
 
-// Fig5Point is one measurement.
+// Fig5Point is one measurement: job A's cycles and memory-system energy per
+// instruction at one quantum — the two currencies the Figure 4 sweep also
+// reports.
 type Fig5Point struct {
 	Quantum int64
 	CPI     float64
+	EPI     float64 // picojoules per instruction
 }
 
 // Fig5Curve is one of the figure's four curves.
@@ -122,7 +125,10 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 			}
 		}
 	}
-	cpis, err := sweepMap(grid, func(p point, _ int) (float64, error) {
+	type measure struct {
+		cpi, epi float64
+	}
+	points, err := sweepMap(grid, func(p point, _ int) (measure, error) {
 		sys, err := memsys.New(memsys.Config{
 			Geometry: memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
 			Cache: cache.Config{
@@ -133,7 +139,7 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 			Timing: cfg.Timing,
 		})
 		if err != nil {
-			return 0, err
+			return measure{}, err
 		}
 		if p.mapped {
 			// Job A is critical: it exclusively owns a large fraction of
@@ -146,18 +152,18 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 			bcMask := replacement.Range(own, cfg.Ways)
 			base, size := jobSpan(jobs[0])
 			if _, err := sys.MapRegion(memory.Region{Name: "jobA", Base: base, Size: size}, aMask); err != nil {
-				return 0, err
+				return measure{}, err
 			}
 			for i := 1; i < 3; i++ {
 				base, size := jobSpan(jobs[i])
 				if _, err := sys.MapRegion(memory.Region{Name: fmt.Sprintf("job%c", 'A'+i), Base: base, Size: size}, bcMask); err != nil {
-					return 0, err
+					return measure{}, err
 				}
 			}
 		}
 		rr, err := sched.NewRoundRobin(sys, p.quantum)
 		if err != nil {
-			return 0, err
+			return measure{}, err
 		}
 		for i, prog := range jobs {
 			if err := rr.Add(&sched.Job{
@@ -165,10 +171,11 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 				Trace:              prog.Trace,
 				TargetInstructions: cfg.TargetInstructions,
 			}); err != nil {
-				return 0, err
+				return measure{}, err
 			}
 		}
-		return rr.Run()[0].CPI(), nil
+		jobA := rr.Run()[0]
+		return measure{cpi: jobA.CPI(), epi: jobA.EPI()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -178,7 +185,7 @@ func RunFig5(cfg Fig5Config) (*Fig5Data, error) {
 	for i := 0; i < len(grid); i += len(cfg.Quanta) {
 		curve := Fig5Curve{CacheBytes: grid[i].cacheBytes, Mapped: grid[i].mapped}
 		for j, q := range cfg.Quanta {
-			curve.Points = append(curve.Points, Fig5Point{Quantum: q, CPI: cpis[i+j]})
+			curve.Points = append(curve.Points, Fig5Point{Quantum: q, CPI: points[i+j].cpi, EPI: points[i+j].epi})
 		}
 		data.Curves = append(data.Curves, curve)
 	}
@@ -199,6 +206,26 @@ func (d *Fig5Data) Table() *Table {
 		row := []string{fmt.Sprintf("%d", q)}
 		for _, c := range d.Curves {
 			row = append(row, fmt.Sprintf("%.3f", c.Points[qi].CPI))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// EnergyTable renders the same grid in the second currency: job A's
+// memory-system energy per instruction (picojoules).
+func (d *Fig5Data) EnergyTable() *Table {
+	t := &Table{
+		Title:   "Figure 5 (energy): job A pJ/instr vs context-switch time quantum",
+		Headers: []string{"quantum"},
+	}
+	for _, c := range d.Curves {
+		t.Headers = append(t.Headers, c.Label())
+	}
+	for qi, q := range d.Config.Quanta {
+		row := []string{fmt.Sprintf("%d", q)}
+		for _, c := range d.Curves {
+			row = append(row, fmt.Sprintf("%.1f", c.Points[qi].EPI))
 		}
 		t.AddRow(row...)
 	}
@@ -241,9 +268,13 @@ func (d *Fig5Data) Verify() []string {
 		if std.Points[0].CPI <= std.Points[n-1].CPI {
 			problems = append(problems, fmt.Sprintf("gzip.%dk: small-quantum CPI not worse than batch", bytes/1024))
 		}
-		// Mapped: better than standard at the smallest quantum.
+		// Mapped: better than standard at the smallest quantum — in both
+		// currencies, since the avoided misses are also avoided DRAM energy.
 		if mapped.Points[0].CPI >= std.Points[0].CPI {
 			problems = append(problems, fmt.Sprintf("gzip.%dk mapped: no improvement at small quantum", bytes/1024))
+		}
+		if mapped.Points[0].EPI >= std.Points[0].EPI {
+			problems = append(problems, fmt.Sprintf("gzip.%dk mapped: no energy improvement at small quantum", bytes/1024))
 		}
 		// Mapped: much less variation across quanta than standard.
 		if span(mapped) >= span(std)/2 {

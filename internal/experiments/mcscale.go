@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/multicore"
+	"colcache/internal/workloads/mpeg"
+)
+
+// Multicore stepper throughput: how fast the deterministic cycle-interleaved
+// stepper simulates as the core count grows. The stepper is serial by design
+// (determinism), so simulated cycles per wall-clock second should stay
+// roughly flat per access while total simulated work scales with cores —
+// this is the scaling record CI tracks, not a correctness experiment.
+
+// ScalingResult is one core count's throughput measurement.
+type ScalingResult struct {
+	Cores        int     `json:"cores"`
+	Accesses     int64   `json:"accesses"`     // total trace accesses simulated
+	SimCycles    int64   `json:"simCycles"`    // makespan of the co-run
+	WallSeconds  float64 `json:"wallSeconds"`  // host time for the Run
+	CyclesPerSec float64 `json:"cyclesPerSec"` // SimCycles / WallSeconds
+}
+
+// RunMulticoreScaling measures stepper throughput at each core count. Every
+// core replays the same idct trace (per-core seeds, disjoint 4GB address
+// windows) so the per-core work is identical across machine sizes.
+func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult, error) {
+	var out []ScalingResult
+	for _, n := range coreCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: scaling needs ≥1 core, got %d", n)
+		}
+		traces := make([]memtrace.Trace, n)
+		for i := range traces {
+			cfg := mpeg.DefaultConfig
+			cfg.Seed = int64(i + 1)
+			base := mpeg.Idct(cfg).Trace
+			tr := make(memtrace.Trace, accessesPerCore)
+			shift := uint64(i) << 32 // disjoint per-core address windows
+			for k := range tr {
+				tr[k] = base[k%len(base)]
+				tr[k].Addr += shift
+			}
+			traces[i] = tr
+		}
+		m, err := multicore.New(multicore.Config{
+			Geometry:    memory.MustGeometry(32, 4096),
+			L1:          cache.Config{LineBytes: 32, NumSets: 16, NumWays: 2},
+			L2:          cache.Config{LineBytes: 32, NumSets: 64, NumWays: 8},
+			Timing:      memsys.DefaultTiming,
+			L2HitCycles: 6,
+			Traces:      traces,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		st := m.Stats()
+		r := ScalingResult{
+			Cores:       n,
+			Accesses:    int64(n) * int64(accessesPerCore),
+			SimCycles:   st.Cycles,
+			WallSeconds: wall,
+		}
+		if wall > 0 {
+			r.CyclesPerSec = float64(r.SimCycles) / wall
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ScalingTable renders the scaling sweep.
+func ScalingTable(rows []ScalingResult) *Table {
+	t := &Table{
+		Title:   "Multicore stepper throughput",
+		Headers: []string{"cores", "accesses", "sim cycles", "wall s", "sim cycles/s"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.Accesses),
+			fmt.Sprintf("%d", r.SimCycles), fmt.Sprintf("%.3f", r.WallSeconds),
+			fmt.Sprintf("%.0f", r.CyclesPerSec))
+	}
+	return t
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colcache/internal/cache"
+	"colcache/internal/controller"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/multicore"
+	"colcache/internal/replacement"
+	"colcache/internal/workloads/gzipsim"
+	"colcache/internal/workloads/mpeg"
+)
+
+// The cross-core interference study: an MPEG idct and a gzip job run
+// *concurrently* on two cores with private L1s over one shared L2 — the
+// parallel sibling of the Figure 5 time-sliced co-run. gzip streams a
+// working set much larger than the L2 through it; idct keeps a small
+// reusable set that a shared LRU L2 cannot protect. The experiment measures
+// the co-run under three shared-L2 regimes:
+//
+//   - unpartitioned: both cores replace anywhere (a conventional shared L2),
+//   - static column splits: each core owns a fixed share of the L2 columns,
+//   - adaptive: the PR 2 epoch controller steers the per-core column masks
+//     from shadow-tag utility monitors while the co-run executes.
+//
+// The claim under test is the paper's isolation argument lifted to a
+// multicore LLC: restricting the streaming core's columns must cut the
+// co-run miss rate below the unpartitioned baseline, and the controller
+// must find such a split on its own.
+
+// MulticoreConfig parameterizes the interference study.
+type MulticoreConfig struct {
+	LineBytes   int
+	PageBytes   int
+	L1Sets      int
+	L1Ways      int
+	L2Sets      int
+	L2Ways      int
+	L2HitCycles int
+	Timing      memsys.Timing
+
+	MPEG mpeg.Config
+	Gzip gzipsim.Config
+	// GzipAccesses caps the gzip core's trace (0 = the full job).
+	GzipAccesses int
+	// MPEGAccesses tiles the idct trace cyclically to this many accesses.
+	// gzip's misses make its cycle clock run ~4× faster per access, so the
+	// idct core needs ~4× the accesses for the two traces to overlap in
+	// simulated time — without overlap there is no interference to measure.
+	MPEGAccesses int
+
+	// Controller knobs for the adaptive regime.
+	EpochAccesses int64
+	MinGainHits   int64
+}
+
+// DefaultMulticoreConfig pairs 1KB private L1s with a 16KB 8-column shared
+// L2. idct transforms 48 blocks — a ~6.5KB set it re-touches every pass,
+// needing three of the 2KB L2 columns to stay resident. gzip streams its
+// input, prev-chain and output arrays through the L2 (the pollution), while
+// its capacity-sensitive reuse — the 2KB head table plus the recent window —
+// fits comfortably in the five columns a good split leaves it.
+var DefaultMulticoreConfig = MulticoreConfig{
+	LineBytes:     32,
+	PageBytes:     4096,
+	L1Sets:        16,
+	L1Ways:        2,
+	L2Sets:        64,
+	L2Ways:        8,
+	L2HitCycles:   6,
+	Timing:        memsys.DefaultTiming,
+	MPEG:          mpeg.Config{IdctBlocks: 48},
+	Gzip:          gzipsim.Config{WindowBytes: 8192, HashBits: 9},
+	GzipAccesses:  120000,
+	MPEGAccesses:  480000,
+	EpochAccesses: 1024,
+	MinGainHits:   16,
+}
+
+// MulticoreRun is one regime's whole-run measurement.
+type MulticoreRun struct {
+	Label      string
+	L2Accesses int64
+	L2Misses   int64
+	L2MissRate float64
+	MPEGMisses int64 // idct core's share of the L2 misses
+	GzipMisses int64
+	Cycles     int64 // makespan
+	Remaps     int64 // L2 tint-table writes (adaptive: controller decisions)
+	Bus        multicore.BusStats
+}
+
+// MulticoreData is the experiment's full dataset.
+type MulticoreData struct {
+	Config        MulticoreConfig
+	Unpartitioned MulticoreRun
+	Static        []MulticoreRun // one per split, mpeg = 1..L2Ways-1 columns
+	Adaptive      MulticoreRun
+	Decisions     []controller.Decision
+}
+
+// BestStatic returns the index of the lowest-miss-rate static split.
+func (d *MulticoreData) BestStatic() int {
+	best := 0
+	for i, r := range d.Static {
+		if r.L2MissRate < d.Static[best].L2MissRate {
+			best = i
+		}
+	}
+	return best
+}
+
+// newMulticoreMachine assembles the two-core machine for one regime.
+func newMulticoreMachine(cfg MulticoreConfig) (*multicore.Machine, error) {
+	mpegProg := mpeg.Idct(cfg.MPEG)
+	gzipProg := gzipsim.Job(cfg.Gzip, 1<<32)
+	mpegTrace, gzipTrace := mpegProg.Trace, gzipProg.Trace
+	if cfg.GzipAccesses > 0 && len(gzipTrace) > cfg.GzipAccesses {
+		gzipTrace = gzipTrace[:cfg.GzipAccesses]
+	}
+	if cfg.MPEGAccesses > 0 {
+		tiled := make(memtrace.Trace, cfg.MPEGAccesses)
+		for i := range tiled {
+			tiled[i] = mpegTrace[i%len(mpegTrace)]
+		}
+		mpegTrace = tiled
+	}
+	return multicore.New(multicore.Config{
+		Geometry:    memory.MustGeometry(cfg.LineBytes, cfg.PageBytes),
+		L1:          cache.Config{LineBytes: cfg.LineBytes, NumSets: cfg.L1Sets, NumWays: cfg.L1Ways},
+		L2:          cache.Config{LineBytes: cfg.LineBytes, NumSets: cfg.L2Sets, NumWays: cfg.L2Ways},
+		Timing:      cfg.Timing,
+		L2HitCycles: cfg.L2HitCycles,
+		Traces:      []memtrace.Trace{mpegTrace, gzipTrace},
+	})
+}
+
+// runMulticore executes one regime to completion and summarizes it.
+func runMulticore(label string, m *multicore.Machine) (MulticoreRun, error) {
+	if err := m.Run(); err != nil {
+		return MulticoreRun{}, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return MulticoreRun{}, err
+	}
+	st := m.Stats()
+	run := MulticoreRun{
+		Label:      label,
+		L2Accesses: st.L2.Accesses,
+		L2Misses:   st.L2.Misses,
+		L2MissRate: st.L2.MissRate(),
+		MPEGMisses: st.Cores[0].L2Misses,
+		GzipMisses: st.Cores[1].L2Misses,
+		Cycles:     st.Cycles,
+		Remaps:     m.L2Tints().Remaps(),
+		Bus:        st.Bus,
+	}
+	return run, nil
+}
+
+// RunMulticore produces the full dataset.
+func RunMulticore(cfg MulticoreConfig) (*MulticoreData, error) {
+	if cfg.L2Ways < 4 {
+		return nil, fmt.Errorf("experiments: multicore needs ≥4 L2 ways, got %d", cfg.L2Ways)
+	}
+	type result struct {
+		run       MulticoreRun
+		decisions []controller.Decision
+	}
+	// split is the idct core's L2 columns: -1 = unpartitioned, 0 = adaptive.
+	var grid []int
+	grid = append(grid, -1, 0)
+	for split := 1; split < cfg.L2Ways; split++ {
+		grid = append(grid, split)
+	}
+	results, err := sweepMap(grid, func(split int, _ int) (result, error) {
+		m, err := newMulticoreMachine(cfg)
+		if err != nil {
+			return result{}, err
+		}
+		switch {
+		case split < 0:
+			run, err := runMulticore("unpartitioned", m)
+			return result{run: run}, err
+		case split == 0:
+			ctl, err := controller.New(m.L2Tints(), cfg.L2Sets, cfg.LineBytes,
+				[]controller.Spec{
+					{ID: m.L2Tint(0), Min: 1, Max: cfg.L2Ways - 1},
+					{ID: m.L2Tint(1), Min: 1, Max: cfg.L2Ways - 1},
+				},
+				controller.Config{EpochAccesses: cfg.EpochAccesses, MinGainHits: cfg.MinGainHits})
+			if err != nil {
+				return result{}, err
+			}
+			m.SetL2Observer(ctl)
+			run, err := runMulticore("adaptive", m)
+			if err != nil {
+				return result{}, err
+			}
+			ctl.FinishEpoch()
+			return result{run: run, decisions: ctl.Decisions()}, nil
+		default:
+			if err := m.SetL2Mask(0, replacement.Range(0, split)); err != nil {
+				return result{}, err
+			}
+			if err := m.SetL2Mask(1, replacement.Range(split, cfg.L2Ways)); err != nil {
+				return result{}, err
+			}
+			run, err := runMulticore(fmt.Sprintf("static %d+%d", split, cfg.L2Ways-split), m)
+			return result{run: run}, err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := &MulticoreData{Config: cfg}
+	data.Unpartitioned = results[0].run
+	data.Adaptive = results[1].run
+	data.Decisions = results[1].decisions
+	for _, r := range results[2:] {
+		data.Static = append(data.Static, r.run)
+	}
+	return data, nil
+}
+
+// Table renders the regime comparison.
+func (d *MulticoreData) Table() *Table {
+	t := &Table{
+		Title:   "Cross-core interference: mpeg idct ∥ gzip over a shared L2 (mpeg+gzip columns)",
+		Headers: []string{"shared-L2 regime", "L2 accesses", "L2 misses", "miss rate", "mpeg misses", "gzip misses", "cycles", "remaps"},
+	}
+	row := func(r MulticoreRun, tag string) {
+		t.AddRow(r.Label+tag, fmt.Sprintf("%d", r.L2Accesses), fmt.Sprintf("%d", r.L2Misses),
+			fmt.Sprintf("%.2f%%", 100*r.L2MissRate), fmt.Sprintf("%d", r.MPEGMisses),
+			fmt.Sprintf("%d", r.GzipMisses), fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Remaps))
+	}
+	row(d.Unpartitioned, "")
+	best := d.BestStatic()
+	for i, r := range d.Static {
+		tag := ""
+		if i == best {
+			tag = " (best static)"
+		}
+		row(r, tag)
+	}
+	row(d.Adaptive, "")
+	return t
+}
+
+// BusTable renders the coherence traffic of the unpartitioned run — the new
+// machinery's visible footprint (the co-run shares no data, so invalidations
+// and interventions must stay at zero while reads flow).
+func (d *MulticoreData) BusTable() *Table {
+	t := &Table{
+		Title:   "Bus traffic (unpartitioned regime)",
+		Headers: []string{"BusRd", "BusRdX", "BusUpgr", "invalidations", "interventions", "wb races"},
+	}
+	b := d.Unpartitioned.Bus
+	t.AddRow(fmt.Sprintf("%d", b.Reads), fmt.Sprintf("%d", b.ReadXs), fmt.Sprintf("%d", b.Upgrades),
+		fmt.Sprintf("%d", b.Invalidations), fmt.Sprintf("%d", b.Interventions), fmt.Sprintf("%d", b.WritebackRaces))
+	return t
+}
+
+// Tables renders the dataset for paperbench.
+func (d *MulticoreData) Tables() []*Table {
+	return []*Table{
+		d.Table(),
+		d.BusTable(),
+		controllerSummaryTable("Adaptive shared-L2 controller summary", d.Decisions),
+	}
+}
+
+// Verify checks the experiment's qualitative claims, returning violated
+// expectations (empty = all hold).
+func (d *MulticoreData) Verify() []string {
+	var problems []string
+	if len(d.Static) == 0 {
+		return []string{"multicore: missing static sweep"}
+	}
+	best := d.Static[d.BestStatic()]
+	if best.L2MissRate >= d.Unpartitioned.L2MissRate {
+		problems = append(problems, fmt.Sprintf(
+			"multicore: best static split (%s, %.2f%%) not below unpartitioned L2 miss rate (%.2f%%)",
+			best.Label, 100*best.L2MissRate, 100*d.Unpartitioned.L2MissRate))
+	}
+	if d.Adaptive.L2MissRate >= d.Unpartitioned.L2MissRate {
+		problems = append(problems, fmt.Sprintf(
+			"multicore: adaptive (%.2f%%) not below unpartitioned L2 miss rate (%.2f%%)",
+			100*d.Adaptive.L2MissRate, 100*d.Unpartitioned.L2MissRate))
+	}
+	// Partitioning's mechanism: the streaming core's pollution is what the
+	// columns remove, so mpeg's own L2 misses must drop.
+	if best.MPEGMisses >= d.Unpartitioned.MPEGMisses {
+		problems = append(problems, fmt.Sprintf(
+			"multicore: best static split did not protect mpeg (misses %d vs unpartitioned %d)",
+			best.MPEGMisses, d.Unpartitioned.MPEGMisses))
+	}
+	// The co-run shares no lines, so coherence traffic must be pure BusRd/
+	// BusRdX — any invalidation or intervention would be a protocol bug.
+	for _, r := range append([]MulticoreRun{d.Unpartitioned, d.Adaptive}, d.Static...) {
+		if r.Bus.Invalidations != 0 || r.Bus.Interventions != 0 || r.Bus.WritebackRaces != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"multicore: %s: coherence traffic on disjoint data (inv=%d int=%d races=%d)",
+				r.Label, r.Bus.Invalidations, r.Bus.Interventions, r.Bus.WritebackRaces))
+		}
+	}
+	if len(d.Decisions) < 2 {
+		problems = append(problems, "multicore: adaptive run logged fewer than 2 epochs")
+	}
+	return problems
+}

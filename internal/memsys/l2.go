@@ -83,6 +83,15 @@ func (s *System) L2Stats() cache.Stats {
 // HasL2 reports whether a second level is attached.
 func (s *System) HasL2() bool { return s.l2 != nil }
 
+// L2Cache returns the attached second-level cache, or nil. The conformance
+// harness inspects it line by line against the reference model's L2.
+func (s *System) L2Cache() *cache.Cache {
+	if s.l2 == nil {
+		return nil
+	}
+	return s.l2.cache
+}
+
 // l2Access handles an L1 miss (and the L1's writeback victim, if any) at
 // the second level, returning the cycles consumed below the L1 and whether
 // the L2 also missed.

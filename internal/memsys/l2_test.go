@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"strings"
 	"testing"
 
 	"colcache/internal/cache"
@@ -164,5 +165,37 @@ func TestEvictedAddrReconstruction(t *testing.T) {
 	s.Access(memtrace.Access{Addr: addr, Op: memtrace.Read})
 	if s.L2Stats().Hits != before+1 {
 		t.Error("writeback address reconstruction failed: L2 missed the victim")
+	}
+}
+
+// Stats must surface the L2 counters when an L2 is attached — both in the
+// struct and in the rendered String — and stay silent about them otherwise.
+func TestStatsReportL2(t *testing.T) {
+	plain := MustNew(smallConfig())
+	plain.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	st := plain.Stats()
+	if st.HasL2 || st.L2.Accesses != 0 {
+		t.Errorf("no-L2 machine reports L2 stats: %+v", st.L2)
+	}
+	if strings.Contains(st.String(), "l2{") {
+		t.Errorf("no-L2 String mentions an L2: %s", st)
+	}
+
+	s := sysWithL2(t, false)
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	s.Access(memtrace.Access{Addr: 0, Op: memtrace.Read})
+	st = s.Stats()
+	if !st.HasL2 {
+		t.Fatal("L2 machine reports HasL2=false")
+	}
+	if st.L2 != s.L2Stats() {
+		t.Errorf("Stats.L2 %+v != L2Stats() %+v", st.L2, s.L2Stats())
+	}
+	if st.L2.Accesses != 1 || st.L2.Misses != 1 {
+		t.Errorf("L2 counters: %+v", st.L2)
+	}
+	rendered := st.String()
+	if !strings.Contains(rendered, "l2{acc=1 hit=0 miss=1") {
+		t.Errorf("String omits the L2 counters: %s", rendered)
 	}
 }

@@ -70,6 +70,10 @@ type Stats struct {
 	UncachedAccesses   int64
 	Cache              cache.Stats
 	TLB                vm.TLBStats
+	// L2 holds the second-level counters and HasL2 whether one is attached;
+	// the zero value means a machine with no L2.
+	L2    cache.Stats
+	HasL2 bool
 }
 
 // CPI returns cycles per instruction, the paper's Figure 5 metric.
@@ -81,8 +85,12 @@ func (s Stats) CPI() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("instrs=%d cycles=%d CPI=%.3f mem=%d scratch=%d cache{%s} tlb{hit=%.2f%%}",
-		s.Instructions, s.Cycles, s.CPI(), s.MemAccesses, s.ScratchpadAccesses, s.Cache, 100*s.TLB.HitRate())
+	out := fmt.Sprintf("instrs=%d cycles=%d CPI=%.3f mem=%d scratch=%d cache{%s}",
+		s.Instructions, s.Cycles, s.CPI(), s.MemAccesses, s.ScratchpadAccesses, s.Cache)
+	if s.HasL2 {
+		out += fmt.Sprintf(" l2{%s}", s.L2)
+	}
+	return out + fmt.Sprintf(" tlb{hit=%.2f%%}", 100*s.TLB.HitRate())
 }
 
 // AccessObserver receives every access that reaches the cache, after it
@@ -191,7 +199,7 @@ func (s *System) SetAccessObserver(o AccessObserver) { s.observer = o }
 // published to another goroutine (a metrics scraper, a job-status handler)
 // while the simulation keeps running.
 func (s *System) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Instructions:       s.instructions,
 		Cycles:             s.cycles,
 		MemAccesses:        s.memAccesses,
@@ -200,6 +208,11 @@ func (s *System) Stats() Stats {
 		Cache:              s.cache.Stats(),
 		TLB:                s.tlb.Stats(),
 	}
+	if s.l2 != nil {
+		st.L2 = s.l2.cache.Stats()
+		st.HasL2 = true
+	}
+	return st
 }
 
 // ResetStats zeroes counters without touching cache/TLB contents, so

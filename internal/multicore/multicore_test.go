@@ -1,0 +1,253 @@
+package multicore
+
+import (
+	"reflect"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+func testConfig(traces ...memtrace.Trace) Config {
+	return Config{
+		Geometry:    memory.MustGeometry(32, 1024),
+		L1:          cache.Config{LineBytes: 32, NumSets: 8, NumWays: 2},
+		L2:          cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:      memsys.DefaultTiming,
+		L2HitCycles: 4,
+		Traces:      traces,
+		Checks:      true,
+	}
+}
+
+func read(addr uint64) memtrace.Access  { return memtrace.Access{Addr: addr, Op: memtrace.Read} }
+func write(addr uint64) memtrace.Access { return memtrace.Access{Addr: addr, Op: memtrace.Write} }
+
+func mustRun(t *testing.T, m *Machine) Stats {
+	t.Helper()
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	return m.Stats()
+}
+
+// A producer-consumer handoff: core 0 dirties a line, core 1 reads it. The
+// read must trigger an intervention that flushes the modified data to the
+// shared L2 and downgrades the producer's copy to clean Shared.
+func TestIntervention(t *testing.T) {
+	m := MustNew(testConfig(
+		memtrace.Trace{write(0x100)},
+		memtrace.Trace{read(0x40), read(0x100)},
+	))
+	st := mustRun(t, m)
+	if st.Bus.Interventions != 1 {
+		t.Fatalf("interventions = %d, want 1", st.Bus.Interventions)
+	}
+	if st.Cores[1].Interventions != 1 {
+		t.Errorf("core 1 interventions = %d, want 1", st.Cores[1].Interventions)
+	}
+	// The producer's copy must survive, clean and Shared.
+	w, ok := m.L1(0).Probe(0x100)
+	if !ok {
+		t.Fatal("producer lost its copy")
+	}
+	set, _ := m.L1(0).SetTagOf(0x100)
+	if l := m.L1(0).LineAt(set, w); l.Dirty || l.Aux != StateShared {
+		t.Errorf("producer copy dirty=%v state=%s, want clean Shared", l.Dirty, StateName(l.Aux))
+	}
+	// The flushed data landed in the L2, so the consumer's fetch hit there.
+	if st.Cores[1].L2Misses != 1 { // the 0x40 fetch; 0x100 must hit
+		t.Errorf("consumer L2 misses = %d, want 1 (only the private line)", st.Cores[1].L2Misses)
+	}
+	if st.DirtyCreated != 1 || st.DirtyRetired != 1 {
+		t.Errorf("ledger created=%d retired=%d, want 1/1", st.DirtyCreated, st.DirtyRetired)
+	}
+}
+
+// A write hit on a Shared line must upgrade without refetching and destroy
+// the other sharers' copies.
+func TestUpgradeInvalidatesSharers(t *testing.T) {
+	m := MustNew(testConfig(
+		memtrace.Trace{read(0x200), write(0x200)},
+		memtrace.Trace{read(0x200)},
+	))
+	st := mustRun(t, m)
+	if st.Bus.Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", st.Bus.Upgrades)
+	}
+	if st.Bus.Invalidations != 1 || st.Cores[1].InvalidationsRecv != 1 {
+		t.Fatalf("invalidations bus=%d core1=%d, want 1/1", st.Bus.Invalidations, st.Cores[1].InvalidationsRecv)
+	}
+	if _, ok := m.L1(1).Probe(0x200); ok {
+		t.Error("stale sharer survived the upgrade")
+	}
+	w, _ := m.L1(0).Probe(0x200)
+	set, _ := m.L1(0).SetTagOf(0x200)
+	if l := m.L1(0).LineAt(set, w); !l.Dirty || l.Aux != StateModified {
+		t.Errorf("writer's copy dirty=%v state=%s, want Modified", l.Dirty, StateName(l.Aux))
+	}
+}
+
+// Two cores writing the same line: the second write's BusRdX must flush the
+// first writer's modified data (the writeback race) before invalidating it.
+func TestWritebackRace(t *testing.T) {
+	m := MustNew(testConfig(
+		memtrace.Trace{write(0x300)},
+		memtrace.Trace{read(0x40), write(0x300)},
+	))
+	st := mustRun(t, m)
+	if st.Bus.WritebackRaces != 1 {
+		t.Fatalf("writeback races = %d, want 1", st.Bus.WritebackRaces)
+	}
+	if _, ok := m.L1(0).Probe(0x300); ok {
+		t.Error("first writer kept its copy past a BusRdX")
+	}
+	// Ownership moved: exactly one Modified copy remains, so the ledger
+	// holds one outstanding dirty line.
+	if st.DirtyCreated != 2 || st.DirtyRetired != 1 {
+		t.Errorf("ledger created=%d retired=%d, want 2/1", st.DirtyCreated, st.DirtyRetired)
+	}
+}
+
+// The stepper's arbitration is fixed: equal clocks resolve to the lowest
+// core index, so identical machines interleave identically.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Machine {
+		return MustNew(testConfig(
+			synthTrace(1, 400, 0x0, 0x800),
+			synthTrace(2, 400, 0x400, 0xc00),
+			synthTrace(3, 400, 0x0, 0xc00),
+		))
+	}
+	a, b := mk(), mk()
+	sa, sb := mustRun(t, a), mustRun(t, b)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("identical machines diverged:\n%+v\n%+v", sa, sb)
+	}
+	if snapA, snapB := a.L2().SnapshotSets(), b.L2().SnapshotSets(); !reflect.DeepEqual(snapA, snapB) {
+		t.Fatal("identical machines left different L2 contents")
+	}
+}
+
+// Per-core L2 column masks confine each core's shared-L2 footprint.
+func TestL2Partitioning(t *testing.T) {
+	m := MustNew(testConfig(
+		synthTrace(4, 600, 0x0, 0x1000),
+		synthTrace(5, 600, 0x2000, 0x3000), // disjoint addresses: no sharing
+	))
+	if err := m.SetL2Mask(0, replacement.Range(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetL2Mask(1, replacement.Range(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	l2 := m.L2()
+	total := l2.ResidentLines()
+	if total == 0 {
+		t.Fatal("empty L2 after 1200 accesses")
+	}
+	inA := l2.ResidentInColumns(replacement.Range(0, 2))
+	inB := l2.ResidentInColumns(replacement.Range(2, 4))
+	if inA+inB != total {
+		t.Fatalf("resident lines %d outside both partitions", total-inA-inB)
+	}
+	if inA == 0 || inB == 0 {
+		t.Fatalf("one partition empty: A=%d B=%d", inA, inB)
+	}
+}
+
+// The L2 observer sees every shared-L2 access attributed to the issuing
+// core's L2 tint — the hook the adaptive controller rides.
+type recordingObserver struct {
+	perTint map[tint.Tint]int64
+}
+
+func (o *recordingObserver) ObserveAccess(id tint.Tint, _ memory.Addr, _ bool) {
+	o.perTint[id]++
+}
+
+func TestL2Observer(t *testing.T) {
+	m := MustNew(testConfig(
+		synthTrace(6, 300, 0x0, 0x1000),
+		synthTrace(7, 300, 0x0, 0x1000),
+	))
+	obs := &recordingObserver{perTint: make(map[tint.Tint]int64)}
+	m.SetL2Observer(obs)
+	st := mustRun(t, m)
+	for i := 0; i < m.NumCores(); i++ {
+		if obs.perTint[m.L2Tint(i)] != st.Cores[i].L2Accesses {
+			t.Errorf("core %d: observer saw %d accesses, stats say %d",
+				i, obs.perTint[m.L2Tint(i)], st.Cores[i].L2Accesses)
+		}
+	}
+}
+
+// MapRegion applies a column mask inside one core's private L1 without
+// affecting the others.
+func TestMapRegionPerCore(t *testing.T) {
+	m := MustNew(testConfig(
+		synthTrace(8, 500, 0x0, 0x400),
+		synthTrace(9, 500, 0x0, 0x400),
+	))
+	if _, err := m.MapRegion(0, memory.Region{Name: "r", Base: 0, Size: 0x400}, replacement.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	if n := m.L1(0).ResidentInColumns(replacement.Of(1)); n != 0 {
+		t.Errorf("core 0 leaked %d lines outside its single column", n)
+	}
+	if n := m.L1(1).ResidentInColumns(replacement.Of(1)); n == 0 {
+		t.Error("core 1's unrestricted L1 never used way 1")
+	}
+}
+
+// The checker must reject hand-broken protocol state, or the sweep proves
+// nothing.
+func TestCheckerCatchesViolations(t *testing.T) {
+	m := MustNew(testConfig(memtrace.Trace{write(0x100)}, memtrace.Trace{read(0x40)}))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := m.L1(0).SetTagOf(0x100)
+	w, _ := m.L1(0).Probe(0x100)
+
+	// Dirty line downgraded without clearing dirty: dirty ⇔ Modified broken.
+	m.L1(0).SetAux(set, w, StateShared)
+	if err := m.CheckInvariants(); err == nil {
+		t.Error("dirty Shared line not rejected")
+	}
+	m.L1(0).SetAux(set, w, StateModified)
+
+	// A second Modified copy of the same line: SWMR broken.
+	m.L1(1).Write(0x100, replacement.All(2))
+	set1, _ := m.L1(1).SetTagOf(0x100)
+	w1, _ := m.L1(1).Probe(0x100)
+	m.L1(1).SetAux(set1, w1, StateModified)
+	if err := m.CheckInvariants(); err == nil {
+		t.Error("two Modified copies not rejected")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	base := testConfig(memtrace.Trace{read(0)})
+	for name, mutate := range map[string]func(*Config){
+		"no traces":        func(c *Config) { c.Traces = nil },
+		"line mismatch":    func(c *Config) { c.L2.LineBytes = 64 },
+		"geometry":         func(c *Config) { c.L1.LineBytes = 64; c.L2.LineBytes = 64 },
+		"write-through L1": func(c *Config) { c.L1.Write = cache.WriteThroughNoAllocate },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}

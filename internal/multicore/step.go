@@ -1,0 +1,255 @@
+package multicore
+
+import (
+	"context"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memtrace"
+)
+
+// Step advances the machine by one trace access on the core whose local
+// clock is furthest behind — smallest cycle count, ties broken by lowest
+// core index. This fixed arbitration makes a run a pure function of the
+// configuration and traces: replaying the same inputs interleaves the cores
+// identically regardless of host parallelism.
+//
+// It returns false when every trace is exhausted, and a non-nil error only
+// when Config.Checks is on and a coherence invariant was violated.
+func (m *Machine) Step() (bool, error) {
+	if m.violation != nil {
+		return false, m.violation
+	}
+	var next *core
+	for _, c := range m.cores {
+		if c.pos >= len(c.trace) {
+			continue
+		}
+		if next == nil || c.cycles < next.cycles {
+			next = c
+		}
+	}
+	if next == nil {
+		return false, nil
+	}
+	m.access(next, next.trace[next.pos])
+	next.pos++
+	if m.check != nil {
+		m.violation = m.checkStep()
+	}
+	return true, m.violation
+}
+
+// Run steps the machine until every trace is exhausted (or a check fails).
+func (m *Machine) Run() error {
+	for {
+		more, err := m.Step()
+		if err != nil || !more {
+			return err
+		}
+	}
+}
+
+// RunContext is Run with cooperative cancellation: every checkEvery steps
+// (zero or negative means 4096, memsys's default stride) the context is
+// polled and onCheckpoint, when non-nil, receives the number of steps
+// executed so far.
+func (m *Machine) RunContext(ctx context.Context, checkEvery int, onCheckpoint func(done int64)) error {
+	if checkEvery <= 0 {
+		checkEvery = 4096
+	}
+	var done int64
+	for {
+		more, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			if onCheckpoint != nil {
+				onCheckpoint(done)
+			}
+			return ctx.Err()
+		}
+		done++
+		if done%int64(checkEvery) == 0 {
+			if onCheckpoint != nil {
+				onCheckpoint(done)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// access executes one trace access on core c, including every bus
+// transaction it triggers, and charges the cycles to c's local clock.
+func (m *Machine) access(c *core, a memtrace.Access) {
+	c.instructions += int64(a.Think) + 1
+	c.cycles += int64(a.Think) * int64(m.timing.NonMemInstr)
+	c.memAccesses++
+
+	pte, tlbHit := c.tlb.Lookup(a.Addr)
+	if !tlbHit {
+		c.cycles += int64(m.timing.TLBMiss)
+	}
+	if pte.Uncached {
+		c.uncachedAcc++
+		c.cycles += int64(m.timing.Uncached)
+		return
+	}
+
+	mask := c.tints.Mask(pte.Tint)
+	isWrite := a.Op == memtrace.Write
+	lineAddr := m.g.LineBase(a.Addr)
+	set, _ := c.l1.SetTagOf(a.Addr)
+
+	var res cache.Result
+	if isWrite {
+		res = c.l1.Write(a.Addr, mask)
+	} else {
+		res = c.l1.Read(a.Addr, mask)
+	}
+	c.cycles += int64(m.timing.CacheHit)
+
+	if res.Hit {
+		st := c.l1.AuxAt(set, res.Way)
+		switch {
+		case isWrite && st == StateShared:
+			// BusUpgr: claim ownership without a data transfer. Remote
+			// copies can only be Shared here (SWMR), so no writeback races.
+			m.bus.Upgrades++
+			c.upgrades++
+			m.invalidateRemotes(c, lineAddr)
+			c.l1.SetAux(set, res.Way, StateModified)
+			m.dirtyCreated++
+			m.noteWrite(c, lineAddr)
+		case isWrite:
+			m.noteWrite(c, lineAddr)
+		default:
+			m.noteReadHit(c, lineAddr)
+		}
+		return
+	}
+
+	// L1 miss. The evicted victim leaves first: a dirty (Modified) victim is
+	// written back into the shared L2 under this core's L2 column mask.
+	if res.Evicted {
+		evicted := c.l1.AddrOfTag(set, res.EvictedTag)
+		if res.Writeback {
+			m.l2Install(c, evicted)
+			m.dirtyRetired++
+			c.cycles += int64(m.timing.Writeback)
+		}
+		m.noteDrop(c, evicted)
+	}
+
+	// Bus transaction for the requested line.
+	if isWrite {
+		m.bus.ReadXs++
+		m.invalidateRemotes(c, lineAddr)
+	} else {
+		m.bus.Reads++
+		m.intervene(c, lineAddr)
+	}
+
+	// Fetch through the shared L2 under this core's column mask.
+	l2miss := m.l2Demand(c, a, isWrite)
+
+	if isWrite {
+		c.l1.SetAux(set, res.Way, StateModified)
+		m.dirtyCreated++
+		m.noteWrite(c, lineAddr)
+	} else {
+		c.l1.SetAux(set, res.Way, StateShared)
+		m.noteFill(c, lineAddr)
+	}
+	if m.observer != nil {
+		m.observer.ObserveAccess(c.l2tint, a.Addr, l2miss)
+	}
+}
+
+// invalidateRemotes serves the exclusive half of BusRdX/BusUpgr: every other
+// core's copy of lineAddr is destroyed. A remote Modified copy wins the
+// writeback race — its data is flushed to the shared L2 an instant before
+// the invalidation lands, so modified data is never lost.
+func (m *Machine) invalidateRemotes(req *core, lineAddr memory.Addr) {
+	for _, r := range m.cores {
+		if r == req {
+			continue
+		}
+		w, ok := r.l1.Probe(lineAddr)
+		if !ok {
+			continue
+		}
+		set, _ := r.l1.SetTagOf(lineAddr)
+		if r.l1.AuxAt(set, w) == StateModified {
+			m.l2Install(r, lineAddr)
+			m.dirtyRetired++
+			m.bus.WritebackRaces++
+			req.cycles += int64(m.timing.Writeback)
+		}
+		r.l1.Invalidate(lineAddr)
+		m.bus.Invalidations++
+		r.invalidationsRecv++
+		m.noteDrop(r, lineAddr)
+	}
+}
+
+// intervene serves a BusRd: if some core holds lineAddr Modified, it supplies
+// the data — written back to the shared L2 so the requestor's fill finds it —
+// and downgrades its own copy to Shared (clean). SWMR guarantees at most one
+// such copy exists.
+func (m *Machine) intervene(req *core, lineAddr memory.Addr) {
+	for _, r := range m.cores {
+		if r == req {
+			continue
+		}
+		w, ok := r.l1.Probe(lineAddr)
+		if !ok {
+			continue
+		}
+		set, _ := r.l1.SetTagOf(lineAddr)
+		if r.l1.AuxAt(set, w) != StateModified {
+			continue
+		}
+		m.l2Install(r, lineAddr)
+		m.dirtyRetired++
+		r.l1.SetLineDirty(set, w, false)
+		r.l1.SetAux(set, w, StateShared)
+		m.bus.Interventions++
+		req.interventions++
+		req.cycles += int64(m.timing.Writeback)
+		return
+	}
+}
+
+// l2Install lands a writeback from core c (an evicted dirty victim, an
+// intervention flush, or an invalidation-race flush) in the shared L2 under
+// c's L2 column mask.
+func (m *Machine) l2Install(c *core, lineAddr memory.Addr) {
+	m.l2.Write(lineAddr, m.l2tints.Mask(c.l2tint))
+}
+
+// l2Demand performs core c's demand access at the shared L2, mirroring
+// memsys.l2Access: L2HitCycles on every probe, MissPenalty (plus Writeback
+// for a dirty L2 victim) when the L2 misses too.
+func (m *Machine) l2Demand(c *core, a memtrace.Access, isWrite bool) bool {
+	mask := m.l2tints.Mask(c.l2tint)
+	var res cache.Result
+	if isWrite {
+		res = m.l2.Write(a.Addr, mask)
+	} else {
+		res = m.l2.Read(a.Addr, mask)
+	}
+	c.l2Accesses++
+	c.cycles += int64(m.l2Hit)
+	if !res.Hit {
+		c.l2Misses++
+		c.cycles += int64(m.timing.MissPenalty)
+		if res.Writeback {
+			c.cycles += int64(m.timing.Writeback)
+		}
+	}
+	return !res.Hit
+}

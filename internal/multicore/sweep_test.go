@@ -1,0 +1,172 @@
+package multicore
+
+import (
+	"math/rand"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+)
+
+// synthTrace builds a deterministic mixed read/write trace over [lo, hi),
+// locality-biased so lines are revisited and contested.
+func synthTrace(seed int64, n int, lo, hi uint64) memtrace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(memtrace.Trace, 0, n)
+	addr := lo
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // jump anywhere in the window
+			addr = lo + uint64(rng.Int63n(int64(hi-lo)))
+		case 1: // short stride
+			addr += 8
+			if addr >= hi {
+				addr = lo
+			}
+		default: // revisit a recent neighborhood
+			addr = lo + (addr-lo+uint64(rng.Intn(64)))%(hi-lo)
+		}
+		op := memtrace.Read
+		if rng.Intn(3) == 0 {
+			op = memtrace.Write
+		}
+		tr = append(tr, memtrace.Access{Addr: addr, Op: op, Think: uint32(rng.Intn(3))})
+	}
+	return tr
+}
+
+// The acceptance sweep: hundreds of seeded random machines — core counts,
+// geometries, policies, partition shapes and sharing patterns all drawn from
+// the seed — run to completion with per-step invariant checking on. Every
+// step of every case re-verifies SWMR, stale-sharer freedom, state/dirty
+// consistency and the writeback ledger.
+func TestInvariantSweep(t *testing.T) {
+	cases := 500
+	if testing.Short() {
+		cases = 60
+	}
+	policies := []replacement.Kind{replacement.LRU, replacement.TreePLRU, replacement.FIFO, replacement.Random}
+	for seed := int64(1); seed <= int64(cases); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 2 + rng.Intn(3)
+		lineBytes := 16 << rng.Intn(2)
+		l1Sets := 4 << rng.Intn(2)
+		l1Ways := 1 << rng.Intn(3)
+		l2Sets := l1Sets * 2
+		l2Ways := 2 << rng.Intn(2)
+
+		// A small shared window forces cross-core contention; each core also
+		// gets a private window so evictions and refills churn.
+		sharedLo, sharedHi := uint64(0), uint64(512+rng.Intn(1024))
+		var traces []memtrace.Trace
+		for c := 0; c < cores; c++ {
+			n := 128 + rng.Intn(128)
+			privLo := 0x10000 * uint64(c+1)
+			mixed := make(memtrace.Trace, 0, 2*n)
+			shared := synthTrace(rng.Int63(), n, sharedLo, sharedHi)
+			private := synthTrace(rng.Int63(), n, privLo, privLo+0x800)
+			for i := 0; i < n; i++ {
+				mixed = append(mixed, shared[i], private[i])
+			}
+			traces = append(traces, mixed)
+		}
+
+		cfg := Config{
+			Geometry: memory.MustGeometry(lineBytes, 1024),
+			L1: cache.Config{
+				LineBytes: lineBytes, NumSets: l1Sets, NumWays: l1Ways,
+				Policy: policies[rng.Intn(len(policies))],
+			},
+			L2: cache.Config{
+				LineBytes: lineBytes, NumSets: l2Sets, NumWays: l2Ways,
+				Policy: policies[rng.Intn(len(policies))],
+			},
+			Timing:      memsys.DefaultTiming,
+			L2HitCycles: 1 + rng.Intn(6),
+			Traces:      traces,
+			Checks:      true,
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: New: %v", seed, err)
+		}
+		// Half the cases partition the shared L2 per core; a third of those
+		// repartition mid-run (the paper's cheap SetMask write).
+		partitioned := rng.Intn(2) == 0 && l2Ways >= cores
+		if partitioned {
+			per := l2Ways / cores
+			for c := 0; c < cores; c++ {
+				hi := (c + 1) * per
+				if c == cores-1 {
+					hi = l2Ways
+				}
+				if err := m.SetL2Mask(c, replacement.Range(c*per, hi)); err != nil {
+					t.Fatalf("seed %d: SetL2Mask: %v", seed, err)
+				}
+			}
+		}
+		remapAt := -1
+		if partitioned && rng.Intn(3) == 0 {
+			remapAt = 100 + rng.Intn(200)
+		}
+		steps := 0
+		for {
+			more, err := m.Step()
+			if err != nil {
+				t.Fatalf("seed %d (cores=%d l1=%dx%d l2=%dx%d %s/%s): step %d: %v",
+					seed, cores, l1Sets, l1Ways, l2Sets, l2Ways, cfg.L1.Policy, cfg.L2.Policy, steps, err)
+			}
+			if !more {
+				break
+			}
+			steps++
+			if steps == remapAt {
+				// Rotate the partition: every core's mask moves one column.
+				for c := 0; c < cores; c++ {
+					old := m.L2Mask(c)
+					var rotated replacement.Mask
+					for _, w := range old.Ways(l2Ways) {
+						rotated |= replacement.Of((w + 1) % l2Ways)
+					}
+					if err := m.SetL2Mask(c, rotated); err != nil {
+						t.Fatalf("seed %d: remap: %v", seed, err)
+					}
+				}
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: final: %v", seed, err)
+		}
+		st := m.Stats()
+		if st.Bus.Reads == 0 || st.L2.Accesses == 0 {
+			t.Fatalf("seed %d: degenerate case: no bus/L2 traffic", seed)
+		}
+	}
+}
+
+// The sweep must actually exercise the contested paths it claims to cover:
+// across a handful of seeds, every class of bus transaction has to appear.
+func TestSweepCoversBusTraffic(t *testing.T) {
+	var total BusStats
+	for seed := int64(1); seed <= 20; seed++ {
+		m := MustNew(testConfig(
+			synthTrace(seed, 400, 0, 0x600),
+			synthTrace(seed+1000, 400, 0, 0x600),
+			synthTrace(seed+2000, 400, 0, 0x600),
+		))
+		st := mustRun(t, m)
+		total.Reads += st.Bus.Reads
+		total.ReadXs += st.Bus.ReadXs
+		total.Upgrades += st.Bus.Upgrades
+		total.Invalidations += st.Bus.Invalidations
+		total.Interventions += st.Bus.Interventions
+		total.WritebackRaces += st.Bus.WritebackRaces
+	}
+	if total.Reads == 0 || total.ReadXs == 0 || total.Upgrades == 0 ||
+		total.Invalidations == 0 || total.Interventions == 0 || total.WritebackRaces == 0 {
+		t.Fatalf("bus transaction class never exercised: %+v", total)
+	}
+}

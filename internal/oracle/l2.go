@@ -1,0 +1,66 @@
+package oracle
+
+import "fmt"
+
+// Reference L2. The production machine's optional second level
+// (internal/memsys/l2.go) changes the timing and the traffic below the L1:
+// L1 misses probe the L2, dirty L1 victims land there, and only L2 misses
+// pay the main-memory penalty. This file re-derives that behavior on the
+// naive Cache so the conformance harness can check masked-L2 machines too —
+// including the mode where the tint's column vector restricts L2
+// replacement as well (the "bit vector per level" reading of §2.2).
+
+// EnableL2 attaches a reference second-level cache. hitCycles is charged on
+// every L2 probe; an L2 miss adds the system MissPenalty (plus Writeback if
+// the L2 evicts a dirty line). If masked is true the L1's tint-derived
+// column vector restricts L2 replacement too. The L2 is always
+// write-back/allocate, like the production attachment.
+func (s *System) EnableL2(cfg Config, hitCycles int, masked bool) error {
+	if cfg.LineBytes != s.cfg.Cache.LineBytes {
+		return fmt.Errorf("oracle: L2 line size %d != system line size %d", cfg.LineBytes, s.cfg.Cache.LineBytes)
+	}
+	if cfg.WriteThrough {
+		return fmt.Errorf("oracle: the L2 is write-back by construction")
+	}
+	c, err := NewCache(cfg)
+	if err != nil {
+		return err
+	}
+	s.l2, s.l2Hit, s.l2Masked = c, hitCycles, masked
+	return nil
+}
+
+// L2 returns the reference second-level cache, or nil when none is attached.
+func (s *System) L2() *Cache { return s.l2 }
+
+// l2Access handles an L1 miss (and the L1's dirty victim, if any) at the
+// second level, returning the cycles consumed below the L1.
+func (s *System) l2Access(addr uint64, write bool, l1Mask uint64, l1 Result) int64 {
+	t := s.cfg.Timing
+	l2mask := uint64(1)<<uint(s.l2.cfg.NumWays) - 1
+	if s.l2Masked {
+		l2mask = l1Mask
+	}
+	// The L1's dirty victim is installed in the L2 (write-back path).
+	if l1.Writeback {
+		s.l2.Access(s.evictedAddr(addr, l1.EvictedTag), true, l2mask)
+	}
+	res := s.l2.Access(addr, write, l2mask)
+	cycles := int64(s.l2Hit)
+	if !res.Hit {
+		cycles += int64(t.MissPenalty)
+		if res.Writeback {
+			cycles += int64(t.Writeback)
+		}
+	}
+	return cycles
+}
+
+// evictedAddr reconstructs the byte address of the L1 victim displaced by an
+// access to addr, with plain integer arithmetic — no shifts, mirroring the
+// package's no-shared-bugs rule.
+func (s *System) evictedAddr(addr uint64, evictedTag uint64) uint64 {
+	lineBytes := uint64(s.cfg.Cache.LineBytes)
+	set := (addr / lineBytes) % uint64(s.cfg.Cache.NumSets)
+	return (evictedTag*uint64(s.cfg.Cache.NumSets) + set) * lineBytes
+}

@@ -85,6 +85,10 @@ type System struct {
 	asid    uint16
 	scratch []scratchRegion
 
+	l2       *Cache // optional second level; nil when not attached
+	l2Hit    int
+	l2Masked bool
+
 	tlbStats   TLBStats
 	tintStats  map[uint16]*TintStats
 	pageWrites int64
@@ -360,9 +364,13 @@ func (s *System) Access(addr uint64, write bool, think uint32) StepResult {
 	}
 	s.cycles += int64(t.CacheHit)
 	if !res.Hit {
-		s.cycles += int64(t.MissPenalty)
-		if res.Writeback {
-			s.cycles += int64(t.Writeback)
+		if s.l2 != nil {
+			s.cycles += s.l2Access(addr, write, mask, res)
+		} else {
+			s.cycles += int64(t.MissPenalty)
+			if res.Writeback {
+				s.cycles += int64(t.Writeback)
+			}
 		}
 	}
 	return StepResult{

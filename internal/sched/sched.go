@@ -33,6 +33,7 @@ type Job struct {
 	cycles   int64
 	misses   int64
 	accesses int64
+	energyPJ int64
 }
 
 // Done reports whether the job has reached its target.
@@ -46,6 +47,10 @@ type Stats struct {
 	Accesses     int64
 	Misses       int64
 	Quanta       int64 // times the job was scheduled
+	// EnergyPJ is the memory-system energy the job's own accesses consumed
+	// (memsys.Energy model), so multitasking experiments can plot energy
+	// per job next to CPI per job.
+	EnergyPJ int64
 }
 
 // CPI returns the job's clocks per instruction.
@@ -64,9 +69,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// EPI returns the job's memory-system energy per instruction, in picojoules.
+func (s Stats) EPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.EnergyPJ) / float64(s.Instructions)
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("%s: instrs=%d cycles=%d CPI=%.3f missrate=%.3f quanta=%d",
-		s.Name, s.Instructions, s.Cycles, s.CPI(), s.MissRate(), s.Quanta)
+	return fmt.Sprintf("%s: instrs=%d cycles=%d CPI=%.3f missrate=%.3f EPI=%.1fpJ quanta=%d",
+		s.Name, s.Instructions, s.Cycles, s.CPI(), s.MissRate(), s.EPI(), s.Quanta)
 }
 
 // RoundRobin schedules jobs on a shared machine.
@@ -165,6 +178,7 @@ func (rr *RoundRobin) runQuantum(idx int) bool {
 			j.pos = 0
 		}
 		before := rr.Sys.Stats().Cache.Misses
+		energyBefore := rr.Sys.EnergyPJ()
 		var cyc int64
 		if j.Mask != 0 {
 			cyc = rr.Sys.AccessMasked(a, j.Mask)
@@ -177,6 +191,7 @@ func (rr *RoundRobin) runQuantum(idx int) bool {
 		j.cycles += cyc
 		j.accesses++
 		j.misses += rr.Sys.Stats().Cache.Misses - before
+		j.energyPJ += rr.Sys.EnergyPJ() - energyBefore
 	}
 	return true
 }
@@ -204,6 +219,7 @@ func (rr *RoundRobin) Run() []Stats {
 			Accesses:     j.accesses,
 			Misses:       j.misses,
 			Quanta:       rr.quanta[i],
+			EnergyPJ:     j.energyPJ,
 		}
 	}
 	return out

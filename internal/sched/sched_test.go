@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 
 	"colcache/internal/cache"
@@ -353,5 +354,86 @@ func TestASIDsBeatTLBFlushOnSwitch(t *testing.T) {
 	asidCycles := run(false, true)
 	if asidCycles >= flushCycles {
 		t.Errorf("ASIDs (%d cycles) not cheaper than flushing (%d)", asidCycles, flushCycles)
+	}
+}
+
+// Per-job energy attribution: each scenario's expected picojoules are
+// derived by hand from memsys.DefaultEnergy (TLB=50, walk=1000, cache=500,
+// memory=10000) and the job's hit/miss/page profile.
+func TestPerJobEnergy(t *testing.T) {
+	cases := []struct {
+		name   string
+		trace  memtrace.Trace
+		target int64
+		wantPJ int64
+	}{
+		{
+			// 4 lines in one page, looped twice: 1 page walk, 4 cold
+			// misses, 4 hits.
+			name:   "resident loop",
+			trace:  loopTrace(0, 4, 0),
+			target: 8,
+			wantPJ: 8*50 + 1*1000 + 8*500 + 4*10000,
+		},
+		{
+			// 512 lines (16KB) streamed through the 8KB cache: every
+			// access misses, 4 page walks.
+			name:   "streaming",
+			trace:  loopTrace(0, 512, 0),
+			target: 512,
+			wantPJ: 512*50 + 4*1000 + 512*500 + 512*10000,
+		},
+		{
+			// Think instructions execute no memory accesses: energy must
+			// match the 4-access profile, not the instruction count.
+			name:   "think time",
+			trace:  loopTrace(0, 4, 9),
+			target: 40,
+			wantPJ: 4*50 + 1*1000 + 4*500 + 4*10000,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newSys()
+			rr, err := NewRoundRobin(sys, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rr.Add(&Job{Name: tc.name, Trace: tc.trace, TargetInstructions: tc.target}); err != nil {
+				t.Fatal(err)
+			}
+			st := rr.Run()[0]
+			if st.EnergyPJ != tc.wantPJ {
+				t.Errorf("EnergyPJ = %d, want %d", st.EnergyPJ, tc.wantPJ)
+			}
+			if st.EnergyPJ != sys.EnergyPJ() {
+				t.Errorf("job energy %d != system energy %d", st.EnergyPJ, sys.EnergyPJ())
+			}
+			wantEPI := float64(tc.wantPJ) / float64(st.Instructions)
+			if got := st.EPI(); got != wantEPI {
+				t.Errorf("EPI = %v, want %v", got, wantEPI)
+			}
+		})
+	}
+}
+
+// With two jobs sharing the machine, the per-job energies must partition the
+// system total exactly, and the thrashing job must pay a higher EPI.
+func TestEnergyAttributionAcrossJobs(t *testing.T) {
+	sys := newSys()
+	rr, _ := NewRoundRobin(sys, 128)
+	resident := &Job{Name: "resident", Trace: loopTrace(0, 4, 0), TargetInstructions: 4000}
+	thrash := &Job{Name: "thrash", Trace: loopTrace(1<<20, 1024, 0), TargetInstructions: 4000}
+	rr.Add(resident)
+	rr.Add(thrash)
+	stats := rr.Run()
+	if sum := stats[0].EnergyPJ + stats[1].EnergyPJ; sum != sys.EnergyPJ() {
+		t.Errorf("per-job energies %d don't partition the system total %d", sum, sys.EnergyPJ())
+	}
+	if stats[0].EPI() >= stats[1].EPI() {
+		t.Errorf("resident job EPI %.1f not below thrashing job EPI %.1f", stats[0].EPI(), stats[1].EPI())
+	}
+	if s := stats[1].String(); !strings.Contains(s, "EPI=") {
+		t.Errorf("String omits EPI: %s", s)
 	}
 }

@@ -16,7 +16,7 @@ import (
 // update.
 type Job struct {
 	ID   string
-	Kind string // "simulate" or "sweep"
+	Kind string // "simulate", "multicore" or "sweep"
 
 	// Immutable after submission.
 	Spec      colcache.SimSpec

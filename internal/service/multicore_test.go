@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	colcache "colcache"
+)
+
+func multicoreSpec(label string) colcache.SimSpec {
+	return colcache.SimSpec{
+		Label:   label,
+		Machine: colcache.MachineSpec{Sets: 16, Ways: 2},
+		Multicore: &colcache.MulticoreSpec{
+			Cores: []colcache.CoreSpec{
+				{Workload: colcache.WorkloadSpec{Name: "mpeg-idct", N: 4}, Columns: []int{0, 1, 2}},
+				{Workload: colcache.WorkloadSpec{Name: "gzip", SizeBytes: 8192}, Columns: []int{3, 4, 5, 6, 7}},
+			},
+		},
+	}
+}
+
+func TestMulticoreRoundTrip(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	run := func(label string) colcache.SimResult {
+		resp, body := postJSON(t, ts, "/v1/simulate", multicoreSpec(label))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+		}
+		var info colcache.JobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Kind != "multicore" {
+			t.Fatalf("job kind %q, want multicore", info.Kind)
+		}
+		done := waitTerminal(t, ts, info.ID)
+		if done.State != colcache.StateDone {
+			t.Fatalf("job ended %s: %s", done.State, done.Error)
+		}
+		if done.Result == nil {
+			t.Fatal("terminal job has no result")
+		}
+		return *done.Result
+	}
+
+	res := run("mc")
+	mc := res.Multicore
+	if mc == nil {
+		t.Fatal("result has no multicore block")
+	}
+	if len(mc.Cores) != 2 {
+		t.Fatalf("%d core results, want 2", len(mc.Cores))
+	}
+	if res.Cycles <= 0 || res.Instructions <= 0 || res.TraceAccesses <= 0 {
+		t.Fatalf("degenerate aggregates: %+v", res)
+	}
+	if mc.L2.Accesses == 0 {
+		t.Error("shared L2 saw no traffic")
+	}
+	if got := mc.Cores[0].Columns; len(got) != 3 {
+		t.Errorf("core 0 columns %v, want the 3 requested", got)
+	}
+	// Disjoint address windows: pure capacity sharing, no coherence traffic.
+	if mc.Bus.Invalidations != 0 || mc.Bus.Interventions != 0 || mc.Bus.WritebackRaces != 0 {
+		t.Errorf("disjoint co-run produced coherence traffic: %+v", mc.Bus)
+	}
+	if mc.Bus.Reads == 0 {
+		t.Error("no BusRd traffic at all")
+	}
+
+	// The serial stepper is deterministic: an identical spec replays to the
+	// identical makespan and counters.
+	res2 := run("mc-again")
+	if res2.Cycles != res.Cycles || res2.Cache != res.Cache || res2.Multicore.Bus != res.Multicore.Bus {
+		t.Fatalf("same spec, different outcome: %d vs %d cycles", res2.Cycles, res.Cycles)
+	}
+}
+
+func TestMulticoreSpecValidation(t *testing.T) {
+	lim := DefaultLimits
+	bad := multicoreSpec("bad")
+	bad.Multicore.Cores[0].Columns = []int{9} // outside the default 8-way L2
+	if err := ValidateSim(bad, false, lim); err == nil {
+		t.Error("out-of-range L2 column accepted")
+	}
+
+	twoSources := multicoreSpec("two")
+	twoSources.Workload = &colcache.WorkloadSpec{Name: "stream"}
+	if err := ValidateSim(twoSources, false, lim); err == nil {
+		t.Error("multicore plus workload accepted as a single source")
+	}
+
+	withMaps := multicoreSpec("maps")
+	withMaps.Maps = []colcache.MapSpec{{Base: 0, Size: 4096, Columns: []int{0}}}
+	if err := ValidateSim(withMaps, false, lim); err == nil {
+		t.Error("maps accepted alongside multicore")
+	}
+
+	none := multicoreSpec("ok")
+	if err := ValidateSim(none, false, lim); err != nil {
+		t.Errorf("valid multicore spec rejected: %v", err)
+	}
+}

@@ -164,6 +164,8 @@ func (s *Server) runJob(poolCtx context.Context, j *Job) {
 	switch j.Kind {
 	case "sweep":
 		err = s.runSweep(ctx, j)
+	case "multicore":
+		err = s.runMulticore(ctx, j)
 	default:
 		err = s.runSimulate(ctx, j)
 	}
@@ -221,6 +223,45 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 		return err
 	}
 	res := Result(j.Spec.Label, b, cycles, j.Spec.Machine)
+	j.finish(colcache.StateDone, false, "", &res, nil)
+	return nil
+}
+
+// runMulticore executes a multicore co-run job: the deterministic serial
+// stepper with cooperative cancellation at the same checkpoint stride the
+// single-core path uses.
+func (s *Server) runMulticore(ctx context.Context, j *Job) error {
+	b, err := BuildMulticore(j.Spec, s.cfg.Limits)
+	if err != nil {
+		return err
+	}
+	j.setRunning(nil)
+	var lastCycles, lastAccesses int64
+	err = b.M.RunContext(ctx, s.cfg.CheckEvery, func(done int64) {
+		st := b.M.Stats()
+		var acc, miss, mem int64
+		for _, c := range st.Cores {
+			acc += c.L1.Accesses
+			miss += c.L1.Misses
+			mem += c.MemAccesses
+		}
+		s.metrics.SimCycles.Add(st.Cycles - lastCycles)
+		s.metrics.SimAccesses.Add(mem - lastAccesses)
+		lastCycles, lastAccesses = st.Cycles, mem
+		p := colcache.JobProgress{
+			AccessesDone:  done,
+			AccessesTotal: b.TraceAccesses,
+			Cycles:        st.Cycles,
+		}
+		if acc > 0 {
+			p.CacheMissRate = float64(miss) / float64(acc)
+		}
+		j.publishProgress(p)
+	})
+	if err != nil {
+		return err
+	}
+	res := MulticoreResult(j.Spec.Label, b)
 	j.finish(colcache.StateDone, false, "", &res, nil)
 	return nil
 }
@@ -485,6 +526,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err := ValidateSim(spec, false, s.cfg.Limits); err != nil {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
+	}
+	if spec.Multicore != nil {
+		j.Kind = "multicore"
 	}
 	j.Spec = spec
 	s.submit(w, j)

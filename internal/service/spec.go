@@ -119,13 +119,19 @@ func ValidateSim(spec colcache.SimSpec, hasUpload bool, lim Limits) error {
 	if hasUpload {
 		sources++
 	}
+	if spec.Multicore != nil {
+		sources++
+	}
 	if sources != 1 {
-		return fmt.Errorf("want exactly one trace source (workload, trace_text, or binary upload), got %d", sources)
+		return fmt.Errorf("want exactly one trace source (workload, trace_text, multicore, or binary upload), got %d", sources)
 	}
 	if spec.Workload != nil {
 		if err := validateWorkload(*spec.Workload, lim); err != nil {
 			return err
 		}
+	}
+	if spec.Multicore != nil {
+		return ValidateMulticore(spec, lim)
 	}
 	m := machineWithDefaults(spec.Machine)
 	for i, mp := range spec.Maps {
