@@ -1,9 +1,26 @@
 # The CI workflow (.github/workflows/ci.yml) invokes these same targets,
 # so a green `make ci` locally means a green pipeline.
+#
+# Target map:
+#   build / test / race  - compile and run the suite (plain, then -race)
+#   lint                 - go vet + gofmt + staticcheck (skipped if absent)
+#   bench                - SMOKE gate: one iteration of every benchmark, so
+#                          bench_test.go always compiles and executes; not a
+#                          measurement
+#   benchcore            - MEASURED core benchmarks: stepper cycles/sec at
+#                          1/2/4/8 cores + streaming replay, best-of-3 per
+#                          row, gated against the committed BENCH_CORE.json
+#                          (fail under (1-CORE_TOLERANCE) x baseline)
+#   benchcore-baseline   - re-measure and overwrite BENCH_CORE.json
+#   smoke                - trimmed paperbench run with shape checks
+#   servebench           - colserved under load (BENCH_PR3.json)
+#   conformance / cover  - differential oracle matrix + coverage gate
+#   multicore            - MSI -race sweep, stepper determinism, BENCH_PR5
+#   ci                   - everything CI runs
 
 GO ?= go
 
-.PHONY: build test race lint bench smoke servebench conformance cover multicore ci
+.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench conformance cover multicore ci
 
 build:
 	$(GO) build ./...
@@ -14,16 +31,46 @@ test:
 race:
 	$(GO) test -race ./...
 
+# staticcheck is pinned in CI (see ci.yml); locally it runs when installed
+# and is skipped with a note otherwise, so `make lint` never needs network.
+STATICCHECK_VERSION ?= 2025.1.1
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # One iteration of every benchmark: a smoke gate that keeps bench_test.go
-# compiling and executing, not a measurement.
+# compiling and executing, not a measurement. Measured runs live in
+# benchcore.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Measured core benchmarks: the flat-state hot path's regression gate.
+# paperbench -corebench runs the stepper at 1/2/4/8 cores plus the
+# streaming replay pipeline, keeps the best of CORE_REPS repetitions per
+# row (noisy-runner-safe), writes the snapshot to BENCH_CORE.new.json and
+# fails if any row drops more than CORE_TOLERANCE below the committed
+# BENCH_CORE.json. GOAMD64=v3 is used when the host supports AVX2, matching
+# how the committed baseline was produced.
+CORE_TOLERANCE ?= 0.25
+CORE_REPS      ?= 3
+BENCH_GOAMD64  := $(shell grep -qm1 avx2 /proc/cpuinfo 2>/dev/null && echo v3)
+benchcore:
+	GOAMD64=$(BENCH_GOAMD64) $(GO) build -o /tmp/paperbench-core ./cmd/paperbench
+	/tmp/paperbench-core -corebench BENCH_CORE.new.json -corebaseline BENCH_CORE.json \
+		-coretolerance $(CORE_TOLERANCE) -corereps $(CORE_REPS)
+
+# Re-measure the committed baseline in place (run on a quiet machine, then
+# commit the new BENCH_CORE.json).
+benchcore-baseline:
+	GOAMD64=$(BENCH_GOAMD64) $(GO) build -o /tmp/paperbench-core ./cmd/paperbench
+	/tmp/paperbench-core -corebench BENCH_CORE.json -corereps $(CORE_REPS)
 
 # Trimmed end-to-end run of the paper's full evaluation, including the
 # shape checks against the paper's qualitative claims.
@@ -82,4 +129,4 @@ cover:
 		} \
 		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
 
-ci: build lint test race bench smoke servebench conformance cover multicore
+ci: build lint test race bench benchcore smoke servebench conformance cover multicore

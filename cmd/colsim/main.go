@@ -32,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -96,6 +97,7 @@ func main() {
 		policy    = flag.String("policy", "lru", "replacement policy: lru, plru, fifo, random")
 		penalty   = flag.Int("penalty", 20, "miss penalty cycles")
 		binary    = flag.Bool("binary", false, "trace file is in binary format")
+		stream    = flag.Bool("stream", false, "stream a single -binary trace file through the cache in fixed-size chunks instead of loading it into memory first")
 		synthKind = flag.String("synth", "", "generate a synthetic workload instead of reading a file: stream, random, chase")
 		synthN    = flag.Int("n", 10000, "synthetic workload size (accesses or passes scale)")
 		quantum   = flag.Int64("quantum", 1024, "round-robin quantum in instructions (multi-trace mode)")
@@ -118,12 +120,24 @@ func main() {
 	flag.Var(&l2cols, "l2cols", "multicore mode: restrict a core's L2 columns, core:col[,col...] (repeatable)")
 	flag.Parse()
 
-	traces, err := loadTraces(*synthKind, *synthN, *binary)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
-		os.Exit(1)
+	var (
+		traces []memtrace.Trace
+		tr     memtrace.Trace
+		err    error
+	)
+	if *stream {
+		if !*binary || *synthKind != "" || *cores > 0 || *reuse || flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "colsim: -stream wants exactly one -binary trace file (no -synth, -cores or -reuse)")
+			os.Exit(1)
+		}
+	} else {
+		traces, err = loadTraces(*synthKind, *synthN, *binary)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		tr = traces[0]
 	}
-	tr := traces[0]
 
 	if *cores > 0 {
 		if err := runMulticore(traces, *cores, *lineBytes, *sets, *ways, *pageBytes,
@@ -191,7 +205,25 @@ func main() {
 
 	fmt.Printf("cache:        %d sets × %d ways × %dB = %dB, policy %s\n",
 		*sets, *ways, *lineBytes, *sets**ways**lineBytes, *policy)
-	if len(traces) == 1 {
+	if *stream {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+			os.Exit(1)
+		}
+		done, cycles, err := sys.Replay(context.Background(), memtrace.NewDecoder(f), memsys.ReplayOptions{})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colsim: streaming %s: %v\n", flag.Arg(0), err)
+			os.Exit(1)
+		}
+		st := sys.Stats()
+		fmt.Printf("trace:        %d accesses (streamed)\n", done)
+		fmt.Printf("cycles:       %d\n", cycles)
+		fmt.Printf("CPI:          %.3f\n", st.CPI())
+		fmt.Printf("cache:        %s\n", st.Cache)
+		fmt.Printf("TLB hit rate: %.2f%%\n", 100*st.TLB.HitRate())
+	} else if len(traces) == 1 {
 		cycles := sys.Run(tr)
 		st := sys.Stats()
 		fmt.Printf("trace:        %s\n", memtrace.Summarize(tr, g))

@@ -38,6 +38,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write all results as JSON to this file instead of tables")
 	jobs := flag.Int("jobs", 0, "parallel workers (0 = one per CPU, 1 = serial)")
 	mcscale := flag.String("mcscale", "", "measure multicore stepper throughput at 1/2/4/8 cores and write JSON to this file")
+	corebench := flag.String("corebench", "", "run the core benchmark (stepper at 1/2/4/8 cores + streaming replay, best-of--corereps) and write JSON to this file")
+	corebaseline := flag.String("corebaseline", "", "compare the -corebench run against this committed baseline JSON; exit nonzero on regression")
+	coretolerance := flag.Float64("coretolerance", 0.25, "fractional throughput regression tolerated against -corebaseline")
+	corereps := flag.Int("corereps", 3, "repetitions per -corebench row; the best run is kept")
 	flag.Parse()
 
 	experiments.SetWorkers(*jobs)
@@ -45,6 +49,17 @@ func main() {
 	if *mcscale != "" {
 		if err := runScaling(*mcscale, *quick); err != nil {
 			fail(err)
+		}
+		return
+	}
+
+	if *corebench != "" {
+		ok, err := runCoreBench(*corebench, *corebaseline, *coretolerance, *corereps, *quick)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			os.Exit(1)
 		}
 		return
 	}
@@ -214,6 +229,48 @@ func runScaling(path string, quick bool) error {
 	}
 	fmt.Printf("paperbench: wrote %s (%d bytes)\n", path, len(data)+1)
 	return nil
+}
+
+// runCoreBench measures the core benchmark (best-of-reps per row), writes
+// the snapshot to path, and — when baselinePath is set — gates against the
+// committed baseline: any row more than tolerance below it fails the run.
+func runCoreBench(path, baselinePath string, tolerance float64, reps int, quick bool) (bool, error) {
+	per := 100000
+	if quick {
+		per = 25000
+	}
+	cb, err := experiments.RunCoreBench([]int{1, 2, 4, 8}, per, reps)
+	if err != nil {
+		return false, err
+	}
+	experiments.CoreBenchTable(cb).Write(os.Stdout)
+	data, err := json.MarshalIndent(cb, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return false, err
+	}
+	fmt.Printf("paperbench: wrote %s (%d bytes)\n", path, len(data)+1)
+	if baselinePath == "" {
+		return true, nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline experiments.CoreBench
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	problems := experiments.CompareCoreBench(cb, &baseline, tolerance)
+	for _, p := range problems {
+		fmt.Printf("core bench REGRESSION: %s\n", p)
+	}
+	if len(problems) == 0 {
+		fmt.Printf("core bench: within %.0f%% of %s on every row\n", tolerance*100, baselinePath)
+	}
+	return len(problems) == 0, nil
 }
 
 // quickAdaptiveConfig trims the adaptive scenarios for -quick runs.

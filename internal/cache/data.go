@@ -102,11 +102,11 @@ func (d *DataCache) LoadByte(addr memory.Addr, mask replacement.Mask) (byte, Res
 // Flush writes back all dirty lines and invalidates the cache, preserving
 // backing memory contents.
 func (d *DataCache) Flush() {
-	for s := range d.cache.sets {
-		for w := range d.cache.sets[s] {
-			l := &d.cache.sets[s][w]
-			if l.valid && l.dirty {
-				ln := d.lineNumberOfTag(s, l.tag)
+	for s := 0; s < d.cache.cfg.NumSets; s++ {
+		for w := 0; w < d.cache.numWays; w++ {
+			i := s*d.cache.numWays + w
+			if d.cache.valid[i] && d.cache.dirty[i] {
+				ln := d.lineNumberOfTag(s, d.cache.tags[i])
 				copy(d.backingLine(ln), d.lines[ln])
 			}
 		}

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+	"colcache/internal/replacement"
+)
+
+// Regression tests for the way-memoization invalidation edges: the MRU way
+// hint must never fabricate a hit after the hinted line is invalidated,
+// evicted, or the tint mask narrows. The hint is self-validating — HitFast
+// consults it only together with the live valid bit and tag — so each edge
+// is pinned by driving the edge and then probing through HitFast directly.
+
+func hintCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{LineBytes: 32, NumSets: 4, NumWays: 2, Policy: replacement.LRU, Write: WriteBackAllocate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// addrFor builds an address landing in the given set with the given tag for
+// the 32B×4-set geometry above.
+func addrFor(set, tag int) memory.Addr {
+	return memory.Addr(tag)<<7 | memory.Addr(set)<<5
+}
+
+func TestHintAfterInvalidate(t *testing.T) {
+	c := hintCache(t)
+	mask := replacement.All(2)
+	a := addrFor(1, 3)
+	c.Read(a, mask)
+	set, _ := c.SetTagOf(a)
+	w, _, ok := c.HitFast(a, false)
+	if !ok {
+		t.Fatal("freshly filled line not hinted")
+	}
+	if got := c.HintedWay(set); got != w {
+		t.Fatalf("hint %d, hit way %d", got, w)
+	}
+
+	if !c.Invalidate(a) {
+		t.Fatal("Invalidate missed a resident line")
+	}
+	if _, _, ok := c.HitFast(a, false); ok {
+		t.Fatal("HitFast fabricated a hit on an invalidated line")
+	}
+	// The full path must agree: a read after invalidation is a miss.
+	if res := c.Read(a, mask); res.Hit {
+		t.Fatal("Read hit an invalidated line")
+	}
+}
+
+func TestHintAfterEvictionOfHintedLine(t *testing.T) {
+	c := hintCache(t)
+	mask := replacement.All(2)
+	set := 2
+	a0, a1, a2 := addrFor(set, 1), addrFor(set, 2), addrFor(set, 3)
+
+	c.Read(a0, mask)
+	c.Read(a1, mask)
+	c.Read(a0, mask) // a0 MRU and hinted; a1 is the LRU victim
+	if _, _, ok := c.HitFast(a0, false); !ok {
+		t.Fatal("MRU line not reachable through the hint")
+	}
+
+	// The fill of a2 evicts a1 and repoints the hint at a2's way.
+	if res := c.Read(a2, mask); res.Hit || !res.Evicted {
+		t.Fatalf("expected evicting miss, got %+v", res)
+	}
+	if _, _, ok := c.HitFast(a2, false); !ok {
+		t.Fatal("freshly filled line not hinted after eviction")
+	}
+	if _, _, ok := c.HitFast(a1, false); ok {
+		t.Fatal("HitFast fabricated a hit on the evicted line")
+	}
+	if res := c.Read(a1, mask); res.Hit {
+		t.Fatal("Read hit the evicted line")
+	}
+}
+
+// Narrowing the replacement mask must not disturb hint correctness in
+// either direction: the column mask governs replacement only, so a line
+// resident outside the narrowed mask stays readable — through the hint too
+// — while new fills confine themselves to the mask's columns.
+func TestHintAfterMaskNarrowing(t *testing.T) {
+	c := hintCache(t)
+	set := 0
+	a0, a1 := addrFor(set, 5), addrFor(set, 6)
+
+	// Fill a0 into way 1 only, then narrow future replacement to way 0.
+	c.Read(a0, replacement.Of(1))
+	w0, _, ok := c.HitFast(a0, false)
+	if !ok || w0 != 1 {
+		t.Fatalf("a0 in way %d (hit=%v), want way 1", w0, ok)
+	}
+	narrow := replacement.Of(0)
+
+	// Resident outside the narrow mask: still a hint hit.
+	if _, _, ok := c.HitFast(a0, false); !ok {
+		t.Fatal("mask narrowing broke the hint for a resident line")
+	}
+	if res := c.Read(a0, narrow); !res.Hit {
+		t.Fatal("mask narrowing evicted a resident line from lookup")
+	}
+
+	// A new fill under the narrow mask must land in way 0 and repoint the
+	// hint there, leaving a0's way intact.
+	if res := c.Read(a1, narrow); res.Hit || res.Way != 0 {
+		t.Fatalf("fill under mask {0} landed at %+v, want way 0", res)
+	}
+	if got := c.HintedWay(set); got != 0 {
+		t.Fatalf("hint %d after masked fill, want 0", got)
+	}
+	// a0 is no longer the hinted way, so HitFast declines — and must leave
+	// the fallback to find it still resident in way 1.
+	if _, _, ok := c.HitFast(a0, false); ok {
+		t.Fatal("hint hit for a non-hinted way")
+	}
+	if w, ok := c.Probe(a0); !ok || w != 1 {
+		t.Fatalf("masked fill displaced the unmasked resident line (way %d, ok=%v)", w, ok)
+	}
+}
+
+// A write through the hint must set the dirty bit exactly like the full
+// path, and the aux byte returned must be the line's live value — the seam
+// the multicore MSI controller trusts.
+func TestHintWriteAndAux(t *testing.T) {
+	c := hintCache(t)
+	mask := replacement.All(2)
+	a := addrFor(3, 9)
+	c.Read(a, mask)
+	set, _ := c.SetTagOf(a)
+	w, aux, ok := c.HitFast(a, true)
+	if !ok {
+		t.Fatal("hint missed a resident line")
+	}
+	if aux != 0 {
+		t.Fatalf("fresh line aux %d, want 0", aux)
+	}
+	if !c.LineAt(set, w).Dirty {
+		t.Fatal("write through the hint left the line clean")
+	}
+	c.SetAux(set, w, 2)
+	if _, aux, _ := c.HitFast(a, false); aux != 2 {
+		t.Fatalf("HitFast aux %d, want the live aux 2", aux)
+	}
+}
+
+// HitFast must leave stats untouched when the hint misses: the caller falls
+// back to Read/Write, which does its own accounting, and double-counting
+// would diverge from the oracle.
+func TestHintMissMutatesNothing(t *testing.T) {
+	c := hintCache(t)
+	mask := replacement.All(2)
+	a0, a1 := addrFor(1, 1), addrFor(1, 2)
+	c.Read(a0, mask)
+	c.Read(a1, mask) // hint now points at a1's way
+	before := c.Stats()
+	if _, _, ok := c.HitFast(a0, false); ok {
+		t.Fatal("hint hit for the non-MRU line")
+	}
+	if got := c.Stats(); got != before {
+		t.Fatalf("failed HitFast changed stats: %+v -> %+v", before, got)
+	}
+	if res := c.Read(a0, mask); !res.Hit {
+		t.Fatal("fallback Read missed a resident line")
+	}
+}

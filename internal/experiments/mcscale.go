@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"colcache/internal/cache"
@@ -27,6 +28,22 @@ type ScalingResult struct {
 	CyclesPerSec float64 `json:"cyclesPerSec"` // SimCycles / WallSeconds
 }
 
+// scalingTrace builds core i's benchmark trace: the idct reference stream
+// (per-core seed) tiled to the requested length in a disjoint 4GB address
+// window.
+func scalingTrace(i, accesses int) memtrace.Trace {
+	cfg := mpeg.DefaultConfig
+	cfg.Seed = int64(i + 1)
+	base := mpeg.Idct(cfg).Trace
+	tr := make(memtrace.Trace, accesses)
+	shift := uint64(i) << 32
+	for k := range tr {
+		tr[k] = base[k%len(base)]
+		tr[k].Addr += shift
+	}
+	return tr
+}
+
 // RunMulticoreScaling measures stepper throughput at each core count. Every
 // core replays the same idct trace (per-core seeds, disjoint 4GB address
 // windows) so the per-core work is identical across machine sizes.
@@ -38,16 +55,7 @@ func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult
 		}
 		traces := make([]memtrace.Trace, n)
 		for i := range traces {
-			cfg := mpeg.DefaultConfig
-			cfg.Seed = int64(i + 1)
-			base := mpeg.Idct(cfg).Trace
-			tr := make(memtrace.Trace, accessesPerCore)
-			shift := uint64(i) << 32 // disjoint per-core address windows
-			for k := range tr {
-				tr[k] = base[k%len(base)]
-				tr[k].Addr += shift
-			}
-			traces[i] = tr
+			traces[i] = scalingTrace(i, accessesPerCore)
 		}
 		m, err := multicore.New(multicore.Config{
 			Geometry:    memory.MustGeometry(32, 4096),
@@ -60,6 +68,9 @@ func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult
 		if err != nil {
 			return nil, err
 		}
+		// Trace construction above allocates tens of megabytes; collect now so
+		// a background mark phase does not steal CPU inside the timed window.
+		runtime.GC()
 		start := time.Now()
 		if err := m.Run(); err != nil {
 			return nil, err

@@ -23,6 +23,11 @@ type Decoder struct {
 	started bool
 	count   int64
 	err     error
+	// rec is the scratch buffer every record is read into. As a field it
+	// is allocated once with the Decoder; as a local it would escape
+	// through the io.ReadFull interface call and cost one heap allocation
+	// per record decoded.
+	rec [13]byte
 }
 
 // NewDecoder returns a Decoder reading the binary format from r. The magic
@@ -40,7 +45,7 @@ func (d *Decoder) Next() (Access, error) {
 	}
 	if !d.started {
 		d.started = true
-		magic := make([]byte, len(binaryMagic))
+		magic := d.rec[:len(binaryMagic)]
 		if _, err := io.ReadFull(d.br, magic); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				d.err = fmt.Errorf("memtrace: reading magic: %w", io.ErrUnexpectedEOF)
@@ -54,8 +59,7 @@ func (d *Decoder) Next() (Access, error) {
 			return Access{}, d.err
 		}
 	}
-	var rec [13]byte
-	_, err := io.ReadFull(d.br, rec[:])
+	_, err := io.ReadFull(d.br, d.rec[:])
 	if err == io.EOF {
 		d.err = io.EOF
 		return Access{}, io.EOF
@@ -64,17 +68,41 @@ func (d *Decoder) Next() (Access, error) {
 		d.err = fmt.Errorf("memtrace: truncated record %d: %w", d.count, err)
 		return Access{}, d.err
 	}
-	op := Op(rec[12])
+	op := Op(d.rec[12])
 	if op != Read && op != Write {
-		d.err = fmt.Errorf("memtrace: record %d: invalid op byte %d", d.count, rec[12])
+		d.err = fmt.Errorf("memtrace: record %d: invalid op byte %d", d.count, d.rec[12])
 		return Access{}, d.err
 	}
 	d.count++
 	return Access{
-		Addr:  binary.LittleEndian.Uint64(rec[0:8]),
-		Think: binary.LittleEndian.Uint32(rec[8:12]),
+		Addr:  binary.LittleEndian.Uint64(d.rec[0:8]),
+		Think: binary.LittleEndian.Uint32(d.rec[8:12]),
 		Op:    op,
 	}, nil
+}
+
+// DecodeBatch fills dst with decoded accesses and returns how many it
+// wrote. It returns a short count with a nil error only when the stream
+// ended mid-batch; (0, io.EOF) signals a clean end of stream, and any other
+// error is terminal as for Next. The caller owns dst and reuses it across
+// calls, so a replay loop decodes with zero allocations per record —
+// feeding a simulator chunk-wise instead of paying a call (and its error
+// checks) per access.
+func (d *Decoder) DecodeBatch(dst []Access) (int, error) {
+	for i := range dst {
+		a, err := d.Next()
+		if err == io.EOF {
+			if i > 0 {
+				return i, nil
+			}
+			return 0, io.EOF
+		}
+		if err != nil {
+			return i, err
+		}
+		dst[i] = a
+	}
+	return len(dst), nil
 }
 
 // Decoded reports how many records Next has successfully returned.
@@ -88,17 +116,21 @@ func (d *Decoder) Decoded() int64 { return d.count }
 func ReadBinaryLimit(r io.Reader, maxAccesses int) (Trace, error) {
 	d := NewDecoder(r)
 	var t Trace
+	var chunk [4096]Access
 	for {
-		a, err := d.Next()
+		// Decode through a fixed stack chunk and append chunk-wise: the
+		// limit check runs once per chunk boundary instead of once per
+		// record, and the trace still never grows past limit+chunk.
+		n, err := d.DecodeBatch(chunk[:])
 		if err == io.EOF {
 			return t, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		if maxAccesses > 0 && len(t) >= maxAccesses {
+		if maxAccesses > 0 && len(t)+n > maxAccesses {
 			return nil, fmt.Errorf("%w (limit %d)", ErrTraceTooLarge, maxAccesses)
 		}
-		t = append(t, a)
+		t = append(t, chunk[:n]...)
 	}
 }

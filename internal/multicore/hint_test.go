@@ -1,0 +1,95 @@
+package multicore
+
+import (
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+)
+
+// Regression tests for the way-memoization edges the coherence protocol
+// adds on top of the cache's own: an MSI downgrade leaves the hinted line
+// resident (so the hint must keep working and surface the *new* state), and
+// a remote invalidation destroys it (so the hint must not fabricate a hit).
+// The tests drive m.access directly — white-box, but the exact interleaving
+// is the point.
+
+func hintMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Geometry:    memory.MustGeometry(32, 4096),
+		L1:          cache.Config{LineBytes: 32, NumSets: 4, NumWays: 2},
+		L2:          cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:      memsys.DefaultTiming,
+		L2HitCycles: 6,
+		Traces:      []memtrace.Trace{{}, {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHintSurvivesMSIDowngrade(t *testing.T) {
+	m := hintMachine(t)
+	c0, c1 := m.cores[0], m.cores[1]
+	addr := memory.Addr(0x40)
+
+	// core0 writes: fills Modified, hint points at the line.
+	m.access(c0, memtrace.Access{Addr: addr, Op: memtrace.Write})
+	set, _ := c0.l1.SetTagOf(addr)
+	if w, st, ok := c0.l1.HitFast(addr, false); !ok || st != StateModified {
+		t.Fatalf("after write: hint hit=%v state=%s, want hit in M", ok, StateName(st))
+	} else if c0.l1.HintedWay(set) != w {
+		t.Fatal("hint does not point at the written line")
+	}
+
+	// core1 reads: intervention downgrades core0's copy M→S in place. The
+	// hinted line stays resident, so the hint must still hit — and must
+	// return the downgraded state, not a stale M.
+	m.access(c1, memtrace.Access{Addr: addr, Op: memtrace.Read})
+	if _, st, ok := c0.l1.HitFast(addr, false); !ok {
+		t.Fatal("MSI downgrade broke the hint for a still-resident line")
+	} else if st != StateShared {
+		t.Fatalf("hint returned state %s after downgrade, want S", StateName(st))
+	}
+
+	// core0 writes again through the hint: the Shared state must trigger a
+	// BusUpgr that invalidates core1's copy and leaves core0 Modified.
+	upgrades := m.bus.Upgrades
+	m.access(c0, memtrace.Access{Addr: addr, Op: memtrace.Write})
+	if m.bus.Upgrades != upgrades+1 {
+		t.Fatalf("hint-path write on S: %d upgrades, want %d", m.bus.Upgrades, upgrades+1)
+	}
+	if _, st, ok := c0.l1.HitFast(addr, false); !ok || st != StateModified {
+		t.Fatalf("after upgrade: hint hit=%v state=%s, want hit in M", ok, StateName(st))
+	}
+	if _, ok := c1.l1.Probe(addr); ok {
+		t.Fatal("BusUpgr left the remote copy resident")
+	}
+}
+
+func TestHintDroppedByRemoteInvalidation(t *testing.T) {
+	m := hintMachine(t)
+	c0, c1 := m.cores[0], m.cores[1]
+	addr := memory.Addr(0x80)
+
+	// Both cores read: Shared everywhere, both hints point at the line.
+	m.access(c0, memtrace.Access{Addr: addr, Op: memtrace.Read})
+	m.access(c1, memtrace.Access{Addr: addr, Op: memtrace.Read})
+	if _, _, ok := c1.l1.HitFast(addr, false); !ok {
+		t.Fatal("shared fill not reachable through core1's hint")
+	}
+
+	// core0 writes: BusUpgr invalidates core1's copy. core1's hint must not
+	// fabricate a hit afterwards, in either the fast or the full path.
+	m.access(c0, memtrace.Access{Addr: addr, Op: memtrace.Write})
+	if _, _, ok := c1.l1.HitFast(addr, false); ok {
+		t.Fatal("core1's hint fabricated a hit on an invalidated line")
+	}
+	if _, ok := c1.l1.Probe(addr); ok {
+		t.Fatal("invalidated line still probes resident on core1")
+	}
+}

@@ -89,7 +89,6 @@ type core struct {
 
 	instructions int64
 	cycles       int64
-	memAccesses  int64
 	uncachedAcc  int64
 	l2Accesses   int64
 	l2Misses     int64
@@ -315,7 +314,7 @@ func (m *Machine) Stats() Stats {
 		cs := CoreStats{
 			Instructions:      c.instructions,
 			Cycles:            c.cycles,
-			MemAccesses:       c.memAccesses,
+			MemAccesses:       int64(c.pos), // one access per executed trace entry
 			UncachedAccesses:  c.uncachedAcc,
 			L1:                c.l1.Stats(),
 			TLB:               c.tlb.Stats(),

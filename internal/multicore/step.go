@@ -32,7 +32,8 @@ func (m *Machine) Step() (bool, error) {
 	if next == nil {
 		return false, nil
 	}
-	m.access(next, next.trace[next.pos])
+	next.instructions += int64(next.trace[next.pos].Think) + 1
+	next.cycles += m.access(next, next.trace[next.pos])
 	next.pos++
 	if m.check != nil {
 		m.violation = m.checkStep()
@@ -41,7 +42,46 @@ func (m *Machine) Step() (bool, error) {
 }
 
 // Run steps the machine until every trace is exhausted (or a check fails).
+// With checks off it uses a tight loop that skips Step's per-step violation
+// bookkeeping; the arbitration (min-cycles core, lowest index on ties) is
+// identical, so runs are bit-for-bit the same either way.
 func (m *Machine) Run() error {
+	if m.check == nil && m.violation == nil {
+		if len(m.cores) == 1 {
+			// Single core: no arbitration, so the instruction and cycle
+			// totals can ride in locals (registers) across the whole trace
+			// and land on the core once. access still charges rare-path
+			// cycles (writeback races, L2 demand) to c.cycles directly;
+			// the two pools are disjoint, so the final flush is exact.
+			c := m.cores[0]
+			var ins, cyc int64
+			for _, a := range c.trace[c.pos:] {
+				ins += int64(a.Think) + 1
+				cyc += m.access(c, a)
+			}
+			c.instructions += ins
+			c.cycles += cyc
+			c.pos = len(c.trace)
+			return nil
+		}
+		for {
+			var next *core
+			for _, c := range m.cores {
+				if c.pos >= len(c.trace) {
+					continue
+				}
+				if next == nil || c.cycles < next.cycles {
+					next = c
+				}
+			}
+			if next == nil {
+				return nil
+			}
+			next.instructions += int64(next.trace[next.pos].Think) + 1
+			next.cycles += m.access(next, next.trace[next.pos])
+			next.pos++
+		}
+	}
 	for {
 		more, err := m.Step()
 		if err != nil || !more {
@@ -83,24 +123,57 @@ func (m *Machine) RunContext(ctx context.Context, checkEvery int, onCheckpoint f
 }
 
 // access executes one trace access on core c, including every bus
-// transaction it triggers, and charges the cycles to c's local clock.
-func (m *Machine) access(c *core, a memtrace.Access) {
-	c.instructions += int64(a.Think) + 1
-	c.cycles += int64(a.Think) * int64(m.timing.NonMemInstr)
-	c.memAccesses++
+// transaction it triggers, and returns the cycles to charge to c's local
+// clock. The caller applies the delta (and the instruction count, which is
+// Think+1 by definition) so the single-core replay loop can accumulate both
+// in registers; bus-side charges with no place in the delta — writeback
+// races, interventions, the L2 demand fetch — still land on the cores'
+// clocks directly inside the helpers, which is exact because the caller
+// adds the returned delta before the next arbitration decision. memAccesses
+// needs no counter of its own: every trace entry is one memory access, so
+// Stats derives it from the trace position.
+func (m *Machine) access(c *core, a memtrace.Access) int64 {
+	cyc := int64(a.Think) * int64(m.timing.NonMemInstr)
 
 	pte, tlbHit := c.tlb.Lookup(a.Addr)
 	if !tlbHit {
-		c.cycles += int64(m.timing.TLBMiss)
+		cyc += int64(m.timing.TLBMiss)
 	}
 	if pte.Uncached {
 		c.uncachedAcc++
-		c.cycles += int64(m.timing.Uncached)
-		return
+		return cyc + int64(m.timing.Uncached)
+	}
+
+	isWrite := a.Op == memtrace.Write
+
+	// Fast path: way-memoized L1 hit. The column mask governs replacement
+	// only, so the tint lookup is skipped entirely on a hit, and the
+	// line-address math runs only for the coherence transitions (or the
+	// invariant checker) that need it.
+	if way, st, ok := c.l1.HitFast(a.Addr, isWrite); ok {
+		cyc += int64(m.timing.CacheHit)
+		if isWrite && st == StateShared {
+			// BusUpgr: claim ownership without a data transfer. Remote
+			// copies can only be Shared here (SWMR), so no writeback races.
+			lineAddr := m.g.LineBase(a.Addr)
+			set, _ := c.l1.SetTagOf(a.Addr)
+			m.bus.Upgrades++
+			c.upgrades++
+			m.invalidateRemotes(c, lineAddr)
+			c.l1.SetAux(set, way, StateModified)
+			m.dirtyCreated++
+			m.noteWrite(c, lineAddr)
+		} else if m.check != nil {
+			if isWrite {
+				m.noteWrite(c, m.g.LineBase(a.Addr))
+			} else {
+				m.noteReadHit(c, m.g.LineBase(a.Addr))
+			}
+		}
+		return cyc
 	}
 
 	mask := c.tints.Mask(pte.Tint)
-	isWrite := a.Op == memtrace.Write
 	lineAddr := m.g.LineBase(a.Addr)
 	set, _ := c.l1.SetTagOf(a.Addr)
 
@@ -110,14 +183,13 @@ func (m *Machine) access(c *core, a memtrace.Access) {
 	} else {
 		res = c.l1.Read(a.Addr, mask)
 	}
-	c.cycles += int64(m.timing.CacheHit)
+	cyc += int64(m.timing.CacheHit)
 
 	if res.Hit {
 		st := c.l1.AuxAt(set, res.Way)
 		switch {
 		case isWrite && st == StateShared:
-			// BusUpgr: claim ownership without a data transfer. Remote
-			// copies can only be Shared here (SWMR), so no writeback races.
+			// BusUpgr (hint-missed hit): same transition as the fast path.
 			m.bus.Upgrades++
 			c.upgrades++
 			m.invalidateRemotes(c, lineAddr)
@@ -129,7 +201,7 @@ func (m *Machine) access(c *core, a memtrace.Access) {
 		default:
 			m.noteReadHit(c, lineAddr)
 		}
-		return
+		return cyc
 	}
 
 	// L1 miss. The evicted victim leaves first: a dirty (Modified) victim is
@@ -139,7 +211,7 @@ func (m *Machine) access(c *core, a memtrace.Access) {
 		if res.Writeback {
 			m.l2Install(c, evicted)
 			m.dirtyRetired++
-			c.cycles += int64(m.timing.Writeback)
+			cyc += int64(m.timing.Writeback)
 		}
 		m.noteDrop(c, evicted)
 	}
@@ -167,6 +239,7 @@ func (m *Machine) access(c *core, a memtrace.Access) {
 	if m.observer != nil {
 		m.observer.ObserveAccess(c.l2tint, a.Addr, l2miss)
 	}
+	return cyc
 }
 
 // invalidateRemotes serves the exclusive half of BusRdX/BusUpgr: every other

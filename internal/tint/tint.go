@@ -40,6 +40,11 @@ type tableState struct {
 	masks  map[Tint]replacement.Mask
 	names  map[Tint]string
 	nextID Tint
+	// dense mirrors masks for the replacement hot path: tints are allocated
+	// sequentially from 0 and never deleted, so dense[id] is the mask of
+	// every known tint and a single bounds-checked index replaces the map
+	// lookup on the per-access path. Rebuilt on every published version.
+	dense []replacement.Mask
 }
 
 func (st *tableState) clone() *tableState {
@@ -55,6 +60,15 @@ func (st *tableState) clone() *tableState {
 		next.names[id] = n
 	}
 	return next
+}
+
+// refreshDense rebuilds the dense mask mirror from the map. Must be called
+// on a still-private state before it is published.
+func (st *tableState) refreshDense() {
+	st.dense = make([]replacement.Mask, st.nextID)
+	for id, m := range st.masks {
+		st.dense[id] = m
+	}
 }
 
 // Table maps tints to permissible-column bit vectors. The zero value is not
@@ -75,6 +89,7 @@ func NewTable(numColumns int) *Table {
 		names:  map[Tint]string{Default: "default"},
 		nextID: 1,
 	}
+	st.refreshDense()
 	t.state.Store(st)
 	return t
 }
@@ -92,6 +107,7 @@ func (t *Table) NewTint(name string) Tint {
 	next.nextID++
 	next.masks[id] = replacement.All(t.numColumns)
 	next.names[id] = name
+	next.refreshDense()
 	t.state.Store(next)
 	return id
 }
@@ -115,6 +131,7 @@ func (t *Table) SetMask(id Tint, mask replacement.Mask) error {
 	}
 	next := cur.clone()
 	next.masks[id] = mask
+	next.refreshDense()
 	t.state.Store(next)
 	t.remaps.Add(1)
 	return nil
@@ -125,10 +142,12 @@ func (t *Table) SetMask(id Tint, mask replacement.Mask) error {
 // replacement unit.
 func (t *Table) Mask(id Tint) replacement.Mask {
 	st := t.state.Load()
-	if m, ok := st.masks[id]; ok {
-		return m
+	if int(id) < len(st.dense) {
+		return st.dense[id]
 	}
-	return st.masks[Default]
+	// Unknown tints resolve to the default tint's mask so a stale tint can
+	// never wedge the replacement unit.
+	return st.dense[Default]
 }
 
 // Name returns the debug name of a tint.

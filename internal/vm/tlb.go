@@ -58,12 +58,42 @@ type tlbEntry struct {
 // page table (cost accounted by the memory system) and install the entry,
 // evicting the LRU entry of the set.
 type TLB struct {
-	cfg   TLBConfig
-	pt    *PageTable
-	sets  [][]tlbEntry
-	clock uint64
-	stats TLBStats
-	asid  uint16
+	cfg     TLBConfig
+	pt      *PageTable
+	pgShift uint // page-number shift, mirrored from the geometry
+	sets    [][]tlbEntry
+	asid    uint16
+
+	// Counter economy on the lookup path: clock advances once per Lookup, so
+	// Accesses is derived as clock-clockBase (clockBase snapshots clock at
+	// the last ResetStats) and Hits as Accesses-Misses. Only misses and
+	// flushes keep dedicated counters; the memo hit path writes exactly two
+	// words (clock, entry stamp).
+	clock     uint64
+	clockBase uint64
+	misses    int64
+	flushes   int64
+
+	// Last-translation memo: the entry and page number of the most recent
+	// hit or install. Consecutive accesses to the same page — the common
+	// case at cache-line granularity — skip the associative scan with a
+	// single compare against memoPn. The memo is maintained by invariant
+	// rather than validated per use: every mutation that could make it
+	// stale goes through a TLB method (FlushPage, FlushAll, SetASID, an
+	// install in lookupSlow), and each of those either repoints or drops
+	// it, so memo non-nil implies memo is the live, valid entry for
+	// (memoPn, current ASID). The hit updates the entry's recency stamp
+	// exactly like the scan path. (Sets are allocated once in NewTLB and
+	// never reallocated, so the pointer stays valid for the TLB's
+	// lifetime.)
+	memo   *tlbEntry
+	memoPn uint64
+}
+
+// dropMemo invalidates the last-translation memo.
+func (t *TLB) dropMemo() {
+	t.memo = nil
+	t.memoPn = 0
 }
 
 // NewTLB builds a TLB over page table pt.
@@ -71,7 +101,7 @@ func NewTLB(cfg TLBConfig, pt *PageTable) (*TLB, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	t := &TLB{cfg: cfg, pt: pt}
+	t := &TLB{cfg: cfg, pt: pt, pgShift: memory.Log2(pt.g.PageBytes)}
 	numSets := cfg.Entries / cfg.Ways
 	t.sets = make([][]tlbEntry, numSets)
 	for i := range t.sets {
@@ -90,28 +120,51 @@ func MustNewTLB(cfg TLBConfig, pt *PageTable) *TLB {
 }
 
 // Stats returns the accumulated counters.
-func (t *TLB) Stats() TLBStats { return t.stats }
+func (t *TLB) Stats() TLBStats {
+	acc := int64(t.clock - t.clockBase)
+	return TLBStats{
+		Accesses: acc,
+		Hits:     acc - t.misses,
+		Misses:   t.misses,
+		Flushes:  t.flushes,
+	}
+}
 
 // ResetStats zeroes the counters without dropping entries.
-func (t *TLB) ResetStats() { t.stats = TLBStats{} }
+func (t *TLB) ResetStats() {
+	t.clockBase = t.clock
+	t.misses = 0
+	t.flushes = 0
+}
 
 func (t *TLB) setOf(pn uint64) int { return int(pn % uint64(len(t.sets))) }
 
 // Lookup returns the PTE for the page containing addr and whether it was a
 // TLB hit. On a miss the entry is walked from the page table and installed.
+// The memo fast path lives in this wrapper so it inlines into callers; the
+// associative scan and install stay in lookupSlow.
 func (t *TLB) Lookup(addr memory.Addr) (PTE, bool) {
-	pn := t.pt.g.PageNumber(addr)
-	t.stats.Accesses++
-	set := t.sets[t.setOf(pn)]
+	pn := addr >> t.pgShift
+	if e := t.memo; e != nil && t.memoPn == pn {
+		t.clock++
+		e.stamp = t.clock
+		return e.pte, true
+	}
+	return t.lookupSlow(pn)
+}
+
+func (t *TLB) lookupSlow(pn uint64) (PTE, bool) {
 	t.clock++
+	setIdx := t.setOf(pn)
+	set := t.sets[setIdx]
 	for i := range set {
 		if set[i].valid && set[i].pn == pn && set[i].asid == t.asid {
-			t.stats.Hits++
 			set[i].stamp = t.clock
+			t.memo, t.memoPn = &set[i], pn
 			return set[i].pte, true
 		}
 	}
-	t.stats.Misses++
+	t.misses++
 	pte := t.pt.LookupPage(pn)
 	// Install, evicting LRU (or an invalid slot).
 	victim, best := 0, ^uint64(0)
@@ -125,6 +178,7 @@ func (t *TLB) Lookup(addr memory.Addr) (PTE, bool) {
 		}
 	}
 	set[victim] = tlbEntry{pn: pn, asid: t.asid, pte: pte, valid: true, stamp: t.clock}
+	t.memo, t.memoPn = &set[victim], pn
 	return pte, false
 }
 
@@ -133,7 +187,10 @@ func (t *TLB) Lookup(addr memory.Addr) (PTE, bool) {
 // needs no flush — the alternative to FlushAll on machines whose TLB tags
 // entries (ASIDs change which process's entries are live, not the page
 // table, which in this simulator is shared and physically tagged).
-func (t *TLB) SetASID(id uint16) { t.asid = id }
+func (t *TLB) SetASID(id uint16) {
+	t.asid = id
+	t.dropMemo()
+}
 
 // ASID returns the current address-space identifier.
 func (t *TLB) ASID() uint16 { return t.asid }
@@ -147,12 +204,13 @@ func (t *TLB) ASID() uint16 { return t.asid }
 // conformance oracle: the first-match-only flush this replaces diverged
 // from the reference model on ASID-switching scripts.)
 func (t *TLB) FlushPage(pn uint64) bool {
+	t.dropMemo()
 	set := t.sets[t.setOf(pn)]
 	any := false
 	for i := range set {
 		if set[i].valid && set[i].pn == pn {
 			set[i].valid = false
-			t.stats.Flushes++
+			t.flushes++
 			any = true
 		}
 	}
@@ -161,12 +219,13 @@ func (t *TLB) FlushPage(pn uint64) bool {
 
 // FlushAll invalidates every entry, as on a context switch without ASIDs.
 func (t *TLB) FlushAll() {
+	t.dropMemo()
 	for s := range t.sets {
 		for i := range t.sets[s] {
 			t.sets[s][i].valid = false
 		}
 	}
-	t.stats.Flushes++
+	t.flushes++
 }
 
 // Resident reports whether page pn currently has a valid entry.

@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"testing"
+
+	"colcache/internal/memory"
+	"colcache/internal/tint"
+)
+
+// Regression tests for the last-translation memo's invariant maintenance:
+// the memo is not validated per use, so every mutation path that could make
+// it stale — FlushPage, FlushAll, SetASID, a Retint — must drop it, or a
+// flushed/retinted/foreign-ASID translation would keep hitting.
+
+func memoTLB(t *testing.T) (*PageTable, *TLB) {
+	t.Helper()
+	g := memory.MustGeometry(32, 4096)
+	pt := NewPageTable(g)
+	tlb, err := NewTLB(TLBConfig{Entries: 4, Ways: 4}, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, tlb
+}
+
+func TestMemoHitCounts(t *testing.T) {
+	_, tlb := memoTLB(t)
+	addr := memory.Addr(0x1000)
+	tlb.Lookup(addr) // miss + install
+	tlb.Lookup(addr) // memo hit
+	tlb.Lookup(addr + 4)
+	st := tlb.Stats()
+	if st.Accesses != 3 || st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats %+v, want 3 accesses / 1 miss / 2 hits", st)
+	}
+}
+
+func TestMemoDroppedByFlushPage(t *testing.T) {
+	_, tlb := memoTLB(t)
+	addr := memory.Addr(0x2000)
+	tlb.Lookup(addr)
+	if !tlb.FlushPage(uint64(addr) >> 12) {
+		t.Fatal("FlushPage missed the installed entry")
+	}
+	if _, hit := tlb.Lookup(addr); hit {
+		t.Fatal("memo fabricated a hit after FlushPage")
+	}
+}
+
+func TestMemoDroppedByFlushAll(t *testing.T) {
+	_, tlb := memoTLB(t)
+	addr := memory.Addr(0x3000)
+	tlb.Lookup(addr)
+	tlb.FlushAll()
+	if _, hit := tlb.Lookup(addr); hit {
+		t.Fatal("memo fabricated a hit after FlushAll")
+	}
+}
+
+func TestMemoDroppedBySetASID(t *testing.T) {
+	_, tlb := memoTLB(t)
+	addr := memory.Addr(0x4000)
+	tlb.Lookup(addr)
+	tlb.SetASID(7)
+	if _, hit := tlb.Lookup(addr); hit {
+		t.Fatal("memo leaked a translation across an ASID switch")
+	}
+	// And back: the original ASID's entry is still resident, but the memo
+	// must not have been left pointing at ASID 7's copy.
+	tlb.SetASID(0)
+	if _, hit := tlb.Lookup(addr); !hit {
+		t.Fatal("original ASID's entry lost across the round trip")
+	}
+}
+
+func TestMemoObservesRetint(t *testing.T) {
+	pt, tlb := memoTLB(t)
+	addr := memory.Addr(0x5000)
+	pte, _ := tlb.Lookup(addr)
+	if pte.Tint != 0 {
+		t.Fatalf("fresh page tint %d, want 0", pte.Tint)
+	}
+	tlb.Lookup(addr) // memoize
+	if n := Retint(pt, tlb, addr, 4096, tint.Tint(3)); n != 1 {
+		t.Fatalf("Retint rewrote %d pages, want 1", n)
+	}
+	pte, hit := tlb.Lookup(addr)
+	if hit {
+		t.Fatal("retinted page still hit in the TLB")
+	}
+	if pte.Tint != 3 {
+		t.Fatalf("post-retint tint %d, want 3 — the memo served a stale PTE", pte.Tint)
+	}
+}
+
+func TestMemoFollowsEviction(t *testing.T) {
+	g := memory.MustGeometry(32, 4096)
+	pt := NewPageTable(g)
+	tlb, err := NewTLB(TLBConfig{Entries: 2, Ways: 2}, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := memory.Addr(0x1000), memory.Addr(0x2000), memory.Addr(0x3000)
+	tlb.Lookup(a)
+	tlb.Lookup(b) // TLB full; memo on b
+	tlb.Lookup(c) // evicts a (LRU); memo repoints to c
+	if _, hit := tlb.Lookup(c); !hit {
+		t.Fatal("memo not repointed to the freshly installed entry")
+	}
+	if _, hit := tlb.Lookup(a); hit {
+		t.Fatal("evicted page still hit")
+	}
+}
