@@ -14,13 +14,18 @@
 #   benchcore-baseline   - re-measure and overwrite BENCH_CORE.json
 #   smoke                - trimmed paperbench run with shape checks
 #   servebench           - colserved under load (BENCH_PR3.json)
+#   cachebench           - durable colserved under a zipfian repeated-spec
+#                          load: memoization hit ratio + cached-path
+#                          latency (BENCH_PR7.json)
+#   recovery             - kill -9 a durable colserved mid-work, restart,
+#                          prove no accepted job is lost or duplicated
 #   conformance / cover  - differential oracle matrix + coverage gate
 #   multicore            - MSI -race sweep, stepper determinism, BENCH_PR5
 #   ci                   - everything CI runs
 
 GO ?= go
 
-.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench conformance cover multicore ci
+.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench cachebench recovery conformance cover multicore ci
 
 build:
 	$(GO) build ./...
@@ -93,6 +98,31 @@ servebench:
 	done; \
 	/tmp/colload -base http://$(SERVE_ADDR) -c $(SERVE_CLIENTS) -duration $(SERVE_SECS) -out BENCH_PR3.json
 
+# Memoization benchmark: the same loop against a durable server with a
+# zipfian repeated-spec mix — the report shows the result-cache hit ratio
+# and how much latency the cached path shaves off the simulated one.
+CACHE_ADDR    ?= 127.0.0.1:8345
+CACHE_CLIENTS ?= 64
+CACHE_SECS    ?= 10s
+CACHE_MIX     ?= 16
+cachebench:
+	$(GO) build -o /tmp/colserved ./cmd/colserved
+	$(GO) build -o /tmp/colload ./cmd/colload
+	rm -rf /tmp/colserved-cachebench
+	/tmp/colserved -addr $(CACHE_ADDR) -data-dir /tmp/colserved-cachebench -quiet & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(CACHE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	/tmp/colload -base http://$(CACHE_ADDR) -c $(CACHE_CLIENTS) -duration $(CACHE_SECS) -spec-mix $(CACHE_MIX) -out BENCH_PR7.json
+
+# Crash-recovery gate: the kill -9 integration test builds the real
+# daemon (with -race), SIGKILLs it with queued and in-flight jobs, and
+# asserts the restart finishes every accepted job exactly once.
+recovery:
+	$(GO) test -race -run TestKillDashNineRecovery -v ./cmd/colserved
+
 # Differential conformance: the naive reference model in internal/oracle is
 # driven in lockstep with the production stack over the committed golden
 # traces plus CONFORM_N seeded random trace/config combinations, all under
@@ -117,9 +147,9 @@ multicore:
 	/tmp/paperbench -quick -mcscale BENCH_PR5.json
 	test -s BENCH_PR5.json
 
-# Coverage gate for the packages the conformance harness is responsible
-# for: the column-cache core must stay at or above 85% statement coverage.
-COVER_PKGS = colcache/internal/cache colcache/internal/replacement colcache/internal/tint
+# Coverage gate: the column-cache core packages plus the durability layer
+# (WAL + result cache) must stay at or above 85% statement coverage.
+COVER_PKGS = colcache/internal/cache colcache/internal/replacement colcache/internal/tint colcache/internal/wal colcache/internal/resultcache
 cover:
 	@$(GO) test -cover $(COVER_PKGS) | awk ' \
 		/coverage:/ { \
@@ -129,4 +159,4 @@ cover:
 		} \
 		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
 
-ci: build lint test race bench benchcore smoke servebench conformance cover multicore
+ci: build lint test race bench benchcore smoke servebench cachebench recovery conformance cover multicore

@@ -234,12 +234,19 @@ type JobProgress struct {
 	Tints         []TintView `json:"tints,omitempty"`
 }
 
-// JobInfo is the status document of GET /v1/jobs/{id}.
+// JobInfo is the status document of GET /v1/jobs/{id}. A submission
+// answered from the result cache returns a terminal JobInfo immediately
+// (HTTP 200, Cached true, no ID — there is no job to poll). Digest is the
+// submission's content address: after a drain or crash, a client holding
+// it can poll GET /v1/results/{digest} instead of resubmitting the spec
+// and trace bytes.
 type JobInfo struct {
-	ID          string       `json:"id"`
+	ID          string       `json:"id,omitempty"`
 	Kind        string       `json:"kind"` // "simulate", "multicore" or "sweep"
 	Label       string       `json:"label,omitempty"`
 	State       string       `json:"state"`
+	Cached      bool         `json:"cached,omitempty"`
+	Digest      string       `json:"digest,omitempty"`
 	Retriable   bool         `json:"retriable,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	SubmittedAt time.Time    `json:"submitted_at"`
@@ -255,6 +262,16 @@ type JobList struct {
 	Queued  int       `json:"queued"`
 	Running int       `json:"running"`
 	Jobs    []JobInfo `json:"jobs"`
+}
+
+// StoredResult is the document of GET /v1/results/{digest}: the envelope
+// a finished job leaves in the content-addressed result cache. Exactly
+// one of Result and Sweep is set, matching Kind.
+type StoredResult struct {
+	Kind   string       `json:"kind"` // "simulate", "multicore" or "sweep"
+	Digest string       `json:"digest,omitempty"`
+	Result *SimResult   `json:"result,omitempty"`
+	Sweep  *SweepResult `json:"sweep,omitempty"`
 }
 
 // APIError is the JSON error body every non-2xx response carries.

@@ -208,11 +208,16 @@ func (c *Client) Wait(ctx context.Context, id string) (JobInfo, error) {
 	}
 }
 
-// Simulate submits spec and waits for the result.
+// Simulate submits spec and waits for the result. A server with a warm
+// result cache may answer the submission itself with a terminal document
+// (Cached true); no polling happens then.
 func (c *Client) Simulate(ctx context.Context, spec SimSpec) (SimResult, error) {
 	info, err := c.SubmitSimulate(ctx, spec)
 	if err != nil {
 		return SimResult{}, err
+	}
+	if info.State == StateDone && info.Result != nil {
+		return *info.Result, nil
 	}
 	return c.waitResult(ctx, info.ID)
 }
@@ -228,11 +233,23 @@ func (c *Client) waitResult(ctx context.Context, id string) (SimResult, error) {
 	return *info.Result, nil
 }
 
+// StoredResult fetches a finished result from the server's content-
+// addressed cache by its digest — the recovery path for a client whose
+// job was shed during a drain: the JobInfo's Digest field is the key.
+func (c *Client) StoredResult(ctx context.Context, digest string) (StoredResult, error) {
+	var sr StoredResult
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+url.PathEscape(digest), "", nil, &sr)
+	return sr, err
+}
+
 // Sweep submits spec and waits for the batched results.
 func (c *Client) Sweep(ctx context.Context, spec SweepSpec) (SweepResult, error) {
 	info, err := c.SubmitSweep(ctx, spec)
 	if err != nil {
 		return SweepResult{}, err
+	}
+	if info.State == StateDone && info.Sweep != nil {
+		return *info.Sweep, nil
 	}
 	final, err := c.Wait(ctx, info.ID)
 	if err != nil {

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	colload -base http://127.0.0.1:8344 [-c 200] [-duration 5s] [-out BENCH_PR3.json]
+//	colload -base http://127.0.0.1:8344 [-c 200] [-duration 5s] [-spec-mix 16] [-out BENCH_PR3.json]
 //
 // Each of -c workers loops: submit a small simulation, poll it to a
 // terminal state, record the end-to-end latency. A 429 answer counts as a
 // shed and the worker honors Retry-After before retrying; any other error,
 // any failed job, or any accepted job that vanishes is a hard error.
+//
+// With -spec-mix N each request draws one of N distinct specs from a
+// zipfian popularity distribution — the repeated-submission shape that a
+// durable server's result cache memoizes. Submissions the server answers
+// straight from its cache ("cached": true) are counted and timed
+// separately, so the report shows the hit ratio and how much latency
+// memoization shaves off.
 // After the run colload scrapes /metrics and cross-checks the server's
 // ledger against its own counts: accepted must equal done+failed+canceled,
 // and the server's done count must cover every completion colload saw.
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"regexp"
@@ -37,20 +45,27 @@ import (
 )
 
 type report struct {
-	Concurrency   int              `json:"concurrency"`
-	Duration      float64          `json:"duration_seconds"`
-	Submitted     int64            `json:"submitted"`
-	Accepted      int64            `json:"accepted"`
-	Rejected      int64            `json:"rejected"` // 429 sheds (not errors)
-	Completed     int64            `json:"completed"`
-	Errors        int64            `json:"errors"`
-	Throughput    float64          `json:"jobs_per_second"`
-	LatencyP50Ms  float64          `json:"latency_p50_ms"`
-	LatencyP90Ms  float64          `json:"latency_p90_ms"`
-	LatencyP99Ms  float64          `json:"latency_p99_ms"`
-	LatencyMaxMs  float64          `json:"latency_max_ms"`
-	ServerLedger  map[string]int64 `json:"server_ledger,omitempty"`
-	LedgerMatches bool             `json:"ledger_matches"`
+	Concurrency  int     `json:"concurrency"`
+	SpecMix      int     `json:"spec_mix,omitempty"`
+	Duration     float64 `json:"duration_seconds"`
+	Submitted    int64   `json:"submitted"`
+	Accepted     int64   `json:"accepted"`
+	Rejected     int64   `json:"rejected"` // 429 sheds (not errors)
+	Completed    int64   `json:"completed"`
+	Errors       int64   `json:"errors"`
+	Throughput   float64 `json:"jobs_per_second"` // completed + cache hits
+	LatencyP50Ms float64 `json:"latency_p50_ms"`  // simulated (non-cached) path
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+	// Result-cache observations (durable servers only; zero elsewhere).
+	CacheHits          int64            `json:"cache_hits,omitempty"`
+	CacheHitRatio      float64          `json:"cache_hit_ratio,omitempty"`
+	CachedLatencyP50Ms float64          `json:"cached_latency_p50_ms,omitempty"`
+	CachedLatencyP90Ms float64          `json:"cached_latency_p90_ms,omitempty"`
+	CachedLatencyP99Ms float64          `json:"cached_latency_p99_ms,omitempty"`
+	ServerLedger       map[string]int64 `json:"server_ledger,omitempty"`
+	LedgerMatches      bool             `json:"ledger_matches"`
 }
 
 func main() {
@@ -66,8 +81,13 @@ func run(args []string) int {
 		out      = fs.String("out", "", "write the JSON report here")
 		workload = fs.String("workload", "stream", "workload each request simulates")
 		size     = fs.Uint64("size", 2048, "workload size_bytes")
+		specMix  = fs.Int("spec-mix", 0, "distinct specs drawn zipfian per request (0: one spec)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specMix < 0 {
+		log.Printf("colload: -spec-mix must be >= 0")
 		return 2
 	}
 
@@ -85,10 +105,22 @@ func run(args []string) int {
 		Machine:  colcache.MachineSpec{Sets: 16, Ways: 4},
 		Workload: &colcache.WorkloadSpec{Name: *workload, SizeBytes: *size, Passes: 1},
 	}
+	// The spec mix varies the workload footprint: each rank is a distinct
+	// content address, and the zipfian draw makes low ranks hot — exactly
+	// the repeated-submission shape the result cache memoizes.
+	var specs []colcache.SimSpec
+	for i := 0; i < *specMix; i++ {
+		s := spec
+		w := *s.Workload
+		w.SizeBytes = *size + uint64(i)*64
+		s.Workload = &w
+		specs = append(specs, s)
+	}
 
-	var submitted, accepted, rejected, completed, errCount atomic.Int64
+	var submitted, accepted, rejected, completed, cacheHits, errCount atomic.Int64
 	var mu sync.Mutex
-	var latencies []float64 // milliseconds
+	var latencies []float64       // milliseconds, simulated path
+	var cachedLatencies []float64 // milliseconds, answered from the result cache
 
 	deadline := time.Now().Add(*duration)
 	runCtx, stopLoad := context.WithDeadline(context.Background(), deadline)
@@ -101,7 +133,19 @@ func run(args []string) int {
 			defer wg.Done()
 			s := spec
 			s.Label = fmt.Sprintf("colload-%d", c)
+			// Deterministic per-worker zipf: rank 0 is the hottest spec.
+			var zipf *rand.Zipf
+			if len(specs) > 1 {
+				zipf = rand.NewZipf(rand.New(rand.NewSource(int64(c)+1)), 1.3, 1, uint64(len(specs)-1))
+			}
 			for runCtx.Err() == nil {
+				if zipf != nil {
+					s = specs[zipf.Uint64()]
+					s.Label = fmt.Sprintf("colload-%d", c)
+				} else if len(specs) == 1 {
+					s = specs[0]
+					s.Label = fmt.Sprintf("colload-%d", c)
+				}
 				start := time.Now()
 				submitted.Add(1)
 				info, err := client.SubmitSimulate(runCtx, s)
@@ -121,6 +165,21 @@ func run(args []string) int {
 					errCount.Add(1)
 					log.Printf("colload: client %d submit: %v", c, err)
 					return
+				}
+				if info.Cached {
+					// Served from the result cache: terminal document, no job
+					// to poll, and it must carry a usable result.
+					if info.State != colcache.StateDone || info.Result == nil {
+						errCount.Add(1)
+						log.Printf("colload: client %d cached answer without result: %+v", c, info)
+						return
+					}
+					cacheHits.Add(1)
+					ms := float64(time.Since(start).Microseconds()) / 1000
+					mu.Lock()
+					cachedLatencies = append(cachedLatencies, ms)
+					mu.Unlock()
+					continue
 				}
 				accepted.Add(1)
 				// Poll to terminal even past the load deadline: an accepted
@@ -149,15 +208,20 @@ func run(args []string) int {
 
 	rep := report{
 		Concurrency: *conc,
+		SpecMix:     *specMix,
 		Duration:    elapsed.Seconds(),
 		Submitted:   submitted.Load(),
 		Accepted:    accepted.Load(),
 		Rejected:    rejected.Load(),
 		Completed:   completed.Load(),
+		CacheHits:   cacheHits.Load(),
 		Errors:      errCount.Load(),
 	}
 	if rep.Duration > 0 {
-		rep.Throughput = float64(rep.Completed) / rep.Duration
+		rep.Throughput = float64(rep.Completed+rep.CacheHits) / rep.Duration
+	}
+	if served := rep.Completed + rep.CacheHits; served > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(served)
 	}
 	sort.Float64s(latencies)
 	rep.LatencyP50Ms = percentile(latencies, 0.50)
@@ -166,6 +230,10 @@ func run(args []string) int {
 	if n := len(latencies); n > 0 {
 		rep.LatencyMaxMs = latencies[n-1]
 	}
+	sort.Float64s(cachedLatencies)
+	rep.CachedLatencyP50Ms = percentile(cachedLatencies, 0.50)
+	rep.CachedLatencyP90Ms = percentile(cachedLatencies, 0.90)
+	rep.CachedLatencyP99Ms = percentile(cachedLatencies, 0.99)
 
 	// Cross-check the server's ledger against what we observed.
 	ledger, err := scrapeLedger(client)
@@ -234,7 +302,9 @@ func scrapeLedger(client *colcache.Client) (map[string]int64, error) {
 // checkLedger verifies the server's books against colload's observations.
 // Other clients may be hitting the server, so the server counts must be
 // at least ours; the accepted = terminal identity must hold exactly once
-// the queue is idle (all our jobs were polled to completion).
+// the queue is idle (all our jobs were polled to completion). Cached
+// answers sit outside the identity: they were never accepted into the
+// queue, they have their own outcome counter.
 func checkLedger(ledger map[string]int64, rep report) bool {
 	if ledger["accepted"] < rep.Accepted {
 		return false
@@ -243,6 +313,9 @@ func checkLedger(ledger map[string]int64, rep report) bool {
 		return false
 	}
 	if ledger["done"] < rep.Completed {
+		return false
+	}
+	if ledger["cached"] < rep.CacheHits {
 		return false
 	}
 	return ledger["accepted"] == ledger["done"]+ledger["failed"]+ledger["canceled"]

@@ -102,3 +102,54 @@ func TestLoadAgainstService(t *testing.T) {
 		t.Fatalf("no throughput: %+v", rep)
 	}
 }
+
+// TestZipfMixAgainstDurableService drives the repeated-spec mode against
+// a durable server: the zipfian mix must produce measurable cache hits,
+// hit-ratio accounting, separate cached-path latency percentiles, and a
+// ledger that still closes (cached answers live outside the accepted
+// identity).
+func TestZipfMixAgainstDurableService(t *testing.T) {
+	dur, err := service.OpenDurability(t.TempDir(), "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 4, QueueDepth: 32, Durability: dur})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		ts.Close()
+		dur.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code := run([]string{"-base", ts.URL, "-c", "16", "-duration", "1s", "-spec-mix", "8", "-out", out})
+	if code != 0 {
+		t.Fatalf("colload exited %d", code)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, blob)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("zipf mix produced no cache hits: %+v", rep)
+	}
+	if rep.CacheHitRatio <= 0 || rep.CacheHitRatio >= 1 {
+		t.Fatalf("hit ratio out of range: %+v", rep)
+	}
+	if rep.CachedLatencyP50Ms <= 0 {
+		t.Fatalf("cached latency not measured: %+v", rep)
+	}
+	// Eight distinct specs were all computed at least once.
+	if rep.Completed < 8 {
+		t.Fatalf("mix not fully computed: %+v", rep)
+	}
+	if !rep.LedgerMatches {
+		t.Fatalf("ledger mismatch: %+v", rep)
+	}
+}

@@ -21,6 +21,13 @@
 // stops accepting work (503), hands queued jobs back as canceled+retriable,
 // lets in-flight simulations finish inside the -drain budget, then cancels
 // stragglers through the simulation loop's cooperative checkpoints.
+//
+// With -data-dir the server is durable: every accepted job is committed to
+// a write-ahead log before the 202 leaves, finished results are memoized in
+// a content-addressed cache (identical resubmissions answer instantly with
+// "cached": true), and a restart over the same directory replays the log —
+// queued jobs re-enqueue, in-flight simulations resume from their last
+// checkpoint, and GET /v1/results/{digest} serves memoized results.
 package main
 
 import (
@@ -57,9 +64,31 @@ func run(args []string) int {
 		retain     = fs.Int("retain", 16384, "job documents kept for polling")
 		checkEvery = fs.Int("check-every", 0, "simulation cancellation stride (default 4096)")
 		quiet      = fs.Bool("quiet", false, "suppress request logging")
+		dataDir    = fs.String("data-dir", "", "durability root: WAL + result cache (empty: in-memory)")
+		walPath    = fs.String("wal", "", "write-ahead log path (default <data-dir>/wal.log)")
+		cacheBytes = fs.Int64("result-cache-bytes", 0, "result cache byte budget (default 256 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var dur *service.Durability
+	if *dataDir != "" || *walPath != "" {
+		if *dataDir == "" {
+			log.Printf("colserved: -wal requires -data-dir (the result cache needs a root)")
+			return 2
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Printf("colserved: data dir: %v", err)
+			return 1
+		}
+		var err error
+		dur, err = service.OpenDurability(*dataDir, *walPath, *cacheBytes)
+		if err != nil {
+			log.Printf("colserved: %v", err)
+			return 1
+		}
+		defer dur.Close()
 	}
 
 	srv := service.New(service.Config{
@@ -72,11 +101,17 @@ func run(args []string) int {
 		MaxSweepPoints: *maxPoints,
 		RetainJobs:     *retain,
 		CheckEvery:     *checkEvery,
+		Durability:     dur,
 	})
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	if dur != nil {
+		rec := srv.Recovery()
+		logf("colserved: durable in %s (wal replay: %d requeued, %d resumed from checkpoint, %d already finished, %d dropped)",
+			*dataDir, rec.Requeued, rec.Resumed, rec.Finished, rec.Dropped)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

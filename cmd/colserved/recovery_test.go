@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	colcache "colcache"
+)
+
+// buildColserved compiles the daemon binary once per test run. The race
+// detector is on: the recovery path must be clean under concurrent
+// submissions and replay.
+func buildColserved(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "colserved")
+	args := []string{"build"}
+	// The race detector needs cgo on some platforms; skip it there rather
+	// than fail the build.
+	if runtime.GOOS == "linux" {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "colcache/cmd/colserved")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build colserved: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func waitHealthy(t *testing.T, client *http.Client, base string) {
+	t.Helper()
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+func submitJSON(t *testing.T, client *http.Client, base, path string, spec any) colcache.JobInfo {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info colcache.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit %s: HTTP %d", path, resp.StatusCode)
+	}
+	return info
+}
+
+func jobState(client *http.Client, base, id string) (colcache.JobInfo, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return colcache.JobInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return colcache.JobInfo{}, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var info colcache.JobInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	return info, err
+}
+
+// TestKillDashNineRecovery is the crash-durability contract, end to end:
+// a real colserved process with queued and in-flight jobs dies from
+// SIGKILL — no drain, no final sync beyond the per-accept commits — and a
+// fresh process over the same data dir must finish every accepted job
+// exactly once, under its original ID.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon; skipped in -short")
+	}
+	work := t.TempDir()
+	bin := buildColserved(t, work)
+	dataDir := filepath.Join(work, "data")
+	addr := freePort(t)
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", addr, "-workers", "1", "-queue", "16",
+			"-data-dir", dataDir, "-quiet")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start colserved: %v", err)
+		}
+		return cmd
+	}
+
+	cmd := start()
+	waitHealthy(t, client, base)
+
+	// One deliberately long sweep occupies the single worker; three quick
+	// simulations pile up behind it. All four are acknowledged, so all
+	// four are in the WAL.
+	slow := colcache.SweepSpec{
+		Label: "slow",
+		Base: colcache.SimSpec{
+			Workload: &colcache.WorkloadSpec{Name: "random", SizeBytes: 1 << 20, Passes: 8},
+		},
+		Sets: []int{64, 128, 256, 512},
+		Ways: []int{2, 4, 8},
+	}
+	ids := []string{submitJSON(t, client, base, "/v1/sweep", slow).ID}
+	for i := 0; i < 3; i++ {
+		spec := colcache.SimSpec{
+			Label:    fmt.Sprintf("quick-%d", i),
+			Workload: &colcache.WorkloadSpec{Name: "stream", SizeBytes: uint64(2048 << i), Passes: 1},
+		}
+		ids = append(ids, submitJSON(t, client, base, "/v1/simulate", spec).ID)
+	}
+
+	// Kill once the sweep is demonstrably in flight with the rest queued.
+	var inFlight bool
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		info, err := jobState(client, base, ids[0])
+		if err == nil && info.State == colcache.StateRunning {
+			inFlight = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !inFlight {
+		t.Fatal("sweep never started running")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd.Wait()
+
+	// Restart over the same data dir: replay must hand every accepted job
+	// back to the queue.
+	cmd2 := start()
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		cmd2.Wait()
+	}()
+	waitHealthy(t, client, base)
+
+	for _, id := range ids {
+		var final colcache.JobInfo
+		for deadline := time.Now().Add(90 * time.Second); time.Now().Before(deadline); {
+			info, err := jobState(client, base, id)
+			if err != nil {
+				t.Fatalf("poll %s: %v", id, err)
+			}
+			final = info
+			if info.State == colcache.StateDone || info.State == colcache.StateFailed {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if final.State != colcache.StateDone {
+			t.Fatalf("job %s after recovery: %s: %s", id, final.State, final.Error)
+		}
+		if final.ID != id {
+			t.Fatalf("job identity drifted: %s vs %s", final.ID, id)
+		}
+	}
+
+	// No duplication: the job listing holds each recovered ID exactly
+	// once, and the replay counter matches the four accepted jobs.
+	resp, err := client.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list colcache.JobList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	seen := map[string]int{}
+	for _, j := range list.Jobs {
+		seen[j.ID]++
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Fatalf("job %s appears %d times after recovery", id, seen[id])
+		}
+	}
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := buf.String()
+	var recovered int
+	for _, kind := range []string{"simulate", "sweep", "multicore"} {
+		var n int
+		fmt.Sscanf(metricValue(metrics, fmt.Sprintf(`colserved_jobs_total{kind=%q,outcome="recovered"}`, kind)), "%d", &n)
+		recovered += n
+	}
+	if recovered != len(ids) {
+		t.Fatalf("recovered counter = %d, want %d\n%s", recovered, len(ids), metrics)
+	}
+
+	// Memoization survives the whole ordeal: resubmitting a finished spec
+	// is answered from the cache without a new job.
+	again := submitJSON(t, client, base, "/v1/simulate", colcache.SimSpec{
+		Label:    "quick-0-again",
+		Workload: &colcache.WorkloadSpec{Name: "stream", SizeBytes: 2048, Passes: 1},
+	})
+	if !again.Cached || again.State != colcache.StateDone {
+		t.Fatalf("resubmission not served from cache: %+v", again)
+	}
+}
+
+// metricValue extracts the sample value of a series rendered by the
+// hand-rolled exposition writer ("name{labels} value").
+func metricValue(metrics, series string) string {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			return strings.TrimPrefix(line, series+" ")
+		}
+	}
+	return "0"
+}

@@ -455,3 +455,122 @@ func TestNewWithPolicy(t *testing.T) {
 		}
 	}
 }
+
+// TestFlatPoliciesMatchReference drives every built-in policy kind through
+// the flat fast path and through the replacement-package reference injected
+// via NewWithPolicy, with the same randomized stream of reads, writes,
+// column-restricted masks, invalidates, and whole-cache flushes. Any
+// divergence in per-access results or final line state is a flat-path bug.
+func TestFlatPoliciesMatchReference(t *testing.T) {
+	cfg := cfg4way()
+	mk := map[replacement.Kind]func() replacement.Policy{
+		replacement.LRU:      func() replacement.Policy { return replacement.NewLRU(cfg.NumSets, cfg.NumWays) },
+		replacement.TreePLRU: func() replacement.Policy { return replacement.NewTreePLRU(cfg.NumSets, cfg.NumWays) },
+		replacement.FIFO:     func() replacement.Policy { return replacement.NewFIFO(cfg.NumSets, cfg.NumWays) },
+		replacement.Random:   func() replacement.Policy { return replacement.NewRandom(cfg.NumSets, cfg.NumWays, randomSeed) },
+	}
+	masks := []replacement.Mask{
+		replacement.All(cfg.NumWays),
+		replacement.Mask(0b0011),
+		replacement.Mask(0b1100),
+		replacement.Mask(0b0110),
+		0, // malformed: must widen to all ways
+	}
+	for kind, ref := range mk {
+		t.Run(string(kind), func(t *testing.T) {
+			c := cfg
+			c.Policy = kind
+			flat := MustNew(c)
+			oracle, err := NewWithPolicy(cfg, ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 4000; i++ {
+				addr := memory.Addr(rng.Intn(256) * int(cfg.LineBytes))
+				mask := masks[rng.Intn(len(masks))]
+				var rf, ro Result
+				switch rng.Intn(8) {
+				case 0:
+					rf.Hit = flat.Invalidate(addr)
+					ro.Hit = oracle.Invalidate(addr)
+				case 1:
+					flat.FlushAll()
+					oracle.FlushAll()
+				case 2, 3:
+					rf = flat.Write(addr, mask)
+					ro = oracle.Write(addr, mask)
+				default:
+					rf = flat.Read(addr, mask)
+					ro = oracle.Read(addr, mask)
+				}
+				if rf != ro {
+					t.Fatalf("%s step %d addr %#x mask %04b: flat %+v, reference %+v",
+						kind, i, addr, mask, rf, ro)
+				}
+			}
+			if flat.Stats() != oracle.Stats() {
+				t.Fatalf("%s stats diverged: flat %+v, reference %+v", kind, flat.Stats(), oracle.Stats())
+			}
+			fs, os := flat.SnapshotSets(), oracle.SnapshotSets()
+			for s := range fs {
+				for w := range fs[s] {
+					if fs[s][w] != os[s][w] {
+						t.Fatalf("%s line (%d,%d): flat %+v, reference %+v", kind, s, w, fs[s][w], os[s][w])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPLRUGeometry covers the tree-PLRU constructor constraints and the
+// degenerate single-way tree (touch must be a no-op, victim is way 0).
+func TestPLRUGeometry(t *testing.T) {
+	bad := Config{LineBytes: 32, NumSets: 8, NumWays: 3, Policy: replacement.TreePLRU}
+	if _, err := New(bad); err == nil {
+		t.Fatal("tree PLRU accepted 3 ways")
+	}
+	one := MustNew(Config{LineBytes: 32, NumSets: 8, NumWays: 1, Policy: replacement.TreePLRU})
+	all := replacement.All(1)
+	one.Read(0, all)
+	one.Read(0, all) // hit: exercises the single-way touch early-return
+	if r := one.Read(0x100, all); !r.Evicted || r.Way != 0 {
+		t.Fatalf("single-way eviction: %+v", r)
+	}
+}
+
+// TestLineAccessors covers the per-line seams a coherence controller uses:
+// aux state, dirty override, and the set/tag <-> address index math.
+func TestLineAccessors(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	addr := memory.Addr(0x7e0)
+	r := c.Read(addr, all)
+	set, tag := c.SetTagOf(addr)
+	if got := c.AddrOfTag(set, tag); got != addr&^memory.Addr(c.Config().LineBytes-1) {
+		t.Fatalf("AddrOfTag(%d, %#x) = %#x, want line base of %#x", set, tag, got, addr)
+	}
+	if c.AuxAt(set, r.Way) != 0 {
+		t.Fatal("fresh line has nonzero aux")
+	}
+	c.SetAux(set, r.Way, 7)
+	if c.AuxAt(set, r.Way) != 7 {
+		t.Fatal("aux did not stick")
+	}
+	c.SetLineDirty(set, r.Way, true)
+	if st := c.LineAt(set, r.Way); !st.Dirty || st.Aux != 7 {
+		t.Fatalf("line state %+v after overrides", st)
+	}
+	c.SetLineDirty(set, r.Way, false)
+	if c.LineAt(set, r.Way).Dirty {
+		t.Fatal("dirty override did not clear")
+	}
+	// Invalidate zeroes aux with the line.
+	if !c.Invalidate(addr) {
+		t.Fatal("resident line not invalidated")
+	}
+	if c.AuxAt(set, r.Way) != 0 {
+		t.Fatal("aux survived invalidate")
+	}
+}

@@ -1,0 +1,493 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	colcache "colcache"
+	"colcache/internal/memsys"
+	"colcache/internal/wal"
+)
+
+// newDurable opens a fresh durability layer in dir and builds a server on
+// it. Callers own the drain.
+func newDurable(t *testing.T, dir string, cfg Config) *Server {
+	t.Helper()
+	dur, err := OpenDurability(dir, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Durability = dur
+	return New(cfg)
+}
+
+func TestMemoizationRoundTrip(t *testing.T) {
+	srv := newDurable(t, t.TempDir(), Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// First submission computes.
+	resp, body := postJSON(t, ts, "/v1/simulate", tinySpec("first"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest == "" {
+		t.Fatal("durable submission has no digest")
+	}
+	first := waitTerminal(t, ts, info.ID)
+	if first.State != colcache.StateDone {
+		t.Fatalf("first job: %s: %s", first.State, first.Error)
+	}
+
+	// Identical physics under a different label is served from the cache:
+	// terminal document, no job ID, relabeled result.
+	resp2, body2 := postJSON(t, ts, "/v1/simulate", tinySpec("second"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	var cached colcache.JobInfo
+	if err := json.Unmarshal(body2, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.State != colcache.StateDone {
+		t.Fatalf("want cached terminal document, got cached=%v state=%s", cached.Cached, cached.State)
+	}
+	if cached.ID != "" {
+		t.Fatalf("cached document must not carry a job ID, got %q", cached.ID)
+	}
+	if cached.Digest != info.Digest {
+		t.Fatalf("digest changed: %s vs %s", cached.Digest, info.Digest)
+	}
+	if cached.Result == nil || cached.Result.Label != "second" {
+		t.Fatalf("cached result not relabeled: %+v", cached.Result)
+	}
+	if cached.Result.Cycles != first.Result.Cycles {
+		t.Fatalf("cached cycles %d != computed %d", cached.Result.Cycles, first.Result.Cycles)
+	}
+
+	// The stored envelope is fetchable by digest.
+	rr, err := ts.Client().Get(ts.URL + "/v1/results/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results: HTTP %d", rr.StatusCode)
+	}
+	var sr colcache.StoredResult
+	if err := json.NewDecoder(rr.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Kind != "simulate" || sr.Digest != info.Digest || sr.Result == nil {
+		t.Fatalf("bad stored envelope: %+v", sr)
+	}
+
+	// Metrics account the hit and the cached outcome.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"colserved_result_cache_hits_total",
+		"colserved_result_cache_puts_total 1",
+		"colserved_result_cache_bytes",
+		"colserved_wal_records_total",
+		"colserved_wal_syncs_total",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+	if got := srv.MetricsRegistry().Jobs.Get("simulate", "cached"); got != 1 {
+		t.Fatalf("cached outcome counter = %d, want 1", got)
+	}
+	st := srv.dur.Results.Stats()
+	if st.Hits < 1 || st.Puts < 1 {
+		t.Fatalf("result cache counters: %+v", st)
+	}
+}
+
+func TestSweepMemoization(t *testing.T) {
+	srv := newDurable(t, t.TempDir(), Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sweep := colcache.SweepSpec{
+		Label: "sw",
+		Base:  tinySpec(""),
+		Ways:  []int{2, 4},
+	}
+	resp, body := postJSON(t, ts, "/v1/sweep", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	first := waitTerminal(t, ts, info.ID)
+	if first.State != colcache.StateDone || first.Sweep == nil {
+		t.Fatalf("sweep job: %s: %s", first.State, first.Error)
+	}
+
+	// Different label and worker count, same point set → cached.
+	sweep.Label = "sw2"
+	sweep.Workers = 3
+	resp2, body2 := postJSON(t, ts, "/v1/sweep", sweep)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached sweep: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	var cached colcache.JobInfo
+	if err := json.Unmarshal(body2, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.Sweep == nil || len(cached.Sweep.Points) != len(first.Sweep.Points) {
+		t.Fatalf("bad cached sweep: cached=%v %+v", cached.Cached, cached.Sweep)
+	}
+}
+
+// TestRecoveryRequeuesJournaledJobs simulates a crash with one in-flight
+// and two queued jobs: all three were acknowledged with committed WAL
+// records, so a fresh server over the same data dir must finish all three
+// under their original IDs.
+func TestRecoveryRequeuesJournaledJobs(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newDurable(t, dir, Config{Workers: 1, QueueDepth: 8})
+	// Pin the single worker inside its first job until its context dies,
+	// so the other submissions stay queued.
+	srv1.testHook = func(ctx context.Context, j *Job) { <-ctx.Done() }
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	var ids []string
+	var digests []string
+	for i, size := range []int{2048, 4096, 8192} {
+		spec := tinySpec(fmt.Sprintf("crash-%d", i))
+		spec.Workload.SizeBytes = uint64(size)
+		resp, body := postJSON(t, ts1, "/v1/simulate", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var info colcache.JobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		digests = append(digests, info.Digest)
+	}
+	// One running (pinned), two queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv1.pool.Running() != 1 || srv1.pool.Pending() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never settled: running=%d pending=%d", srv1.pool.Running(), srv1.pool.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// "Crash": drain with an expired deadline — queued jobs are handed
+	// back retriable, the pinned job is killed mid-flight, and no terminal
+	// records reach the WAL.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv1.Drain(expired); err == nil {
+		t.Fatal("drain with expired context should report the killed job")
+	}
+	for _, id := range ids[1:] {
+		j, ok := srv1.store.get(id)
+		if !ok {
+			t.Fatalf("discarded job %s missing from store", id)
+		}
+		info := j.Info()
+		if info.State != colcache.StateCanceled || !info.Retriable {
+			t.Fatalf("discarded job %s: state=%s retriable=%v", id, info.State, info.Retriable)
+		}
+		if !strings.Contains(info.Error, "/v1/results/"+info.Digest) {
+			t.Fatalf("drain message does not name the digest poll URL: %q", info.Error)
+		}
+	}
+	ts1.Close()
+	if err := srv1.dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot over the same data dir: all three jobs replay.
+	srv2 := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	defer srv2.Drain(context.Background())
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if rec := srv2.Recovery(); rec.Requeued != 3 {
+		t.Fatalf("recovery: %+v, want 3 requeued", rec)
+	}
+	for i, id := range ids {
+		info := waitTerminal(t, ts2, id)
+		if info.State != colcache.StateDone || info.Result == nil {
+			t.Fatalf("recovered job %s: %s: %s", id, info.State, info.Error)
+		}
+		if info.Digest != digests[i] {
+			t.Fatalf("job %s digest drifted: %s vs %s", id, info.Digest, digests[i])
+		}
+		if !srv2.dur.Results.Contains(digests[i]) {
+			t.Fatalf("result %s not memoized after recovery", digests[i])
+		}
+	}
+	// Fresh submissions never collide with recovered IDs.
+	resp, body := postJSON(t, ts2, "/v1/simulate", tinySpec("after"))
+	if resp.StatusCode == http.StatusAccepted {
+		var info colcache.JobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if info.ID == id {
+				t.Fatalf("fresh job reused recovered ID %s", id)
+			}
+		}
+		waitTerminal(t, ts2, info.ID)
+	}
+}
+
+// TestResumeFromCheckpoint hand-writes a WAL describing a job that
+// crashed halfway (accepted + started + checkpoint, no terminal record)
+// and proves the rebooted server resumes it to the exact cycle count of
+// an uninterrupted run.
+func TestResumeFromCheckpoint(t *testing.T) {
+	spec := tinySpec("resume")
+	spec.Workload.SizeBytes = 1 << 15
+	spec.Workload.Passes = 2
+	limits := Limits{}.withDefaults()
+
+	// Ground truth: uninterrupted run, plus the cycle count at the cut.
+	b, err := BuildSim(spec, nil, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCycles, err := b.Sys.RunContext(context.Background(), b.Trace, memsys.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(b.Trace) / 2
+	b2, err := BuildSim(spec, nil, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixCycles, err := b2.Sys.RunContext(context.Background(), b2.Trace[:cut], memsys.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the crashed server's log.
+	dir := t.TempDir()
+	log, _, err := wal.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "j00000005"
+	digest := SimDigest(spec, nil)
+	append1 := func(typ byte, m recMeta) {
+		t.Helper()
+		mb, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(wal.Record{Type: typ, Meta: mb}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	append1(recAccepted, recMeta{ID: id, Kind: "simulate", Digest: digest, Spec: &spec})
+	append1(recStarted, recMeta{ID: id})
+	cp := memsys.Checkpoint{Done: int64(cut), Cycles: prefixCycles}
+	append1(recCheckpoint, recMeta{ID: id, Checkpoint: &cp})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rec := srv.Recovery()
+	if rec.Requeued != 1 || rec.Resumed != 1 {
+		t.Fatalf("recovery: %+v, want 1 requeued 1 resumed", rec)
+	}
+	info := waitTerminal(t, ts, id)
+	if info.State != colcache.StateDone || info.Result == nil {
+		t.Fatalf("resumed job: %s: %s", info.State, info.Error)
+	}
+	if info.Result.Cycles != fullCycles {
+		t.Fatalf("resumed run diverged: %d cycles, uninterrupted %d", info.Result.Cycles, fullCycles)
+	}
+	if !srv.dur.Results.Contains(digest) {
+		t.Fatal("resumed result not memoized")
+	}
+}
+
+// TestFinishedJobsAreNotReplayed: a job with a committed terminal record
+// must not come back.
+func TestFinishedJobsAreNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp, body := postJSON(t, ts1, "/v1/simulate", tinySpec("fin"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ts1, info.ID)
+	ts1.Close()
+	if err := srv1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	defer srv2.Drain(context.Background())
+	if rec := srv2.Recovery(); rec.Requeued != 0 {
+		t.Fatalf("finished job replayed: %+v", rec)
+	}
+	// The memoized result survived the reboot.
+	if !srv2.dur.Results.Contains(info.Digest) {
+		t.Fatal("result cache lost the finished result across reboot")
+	}
+}
+
+// TestBootSurvivesCorruption: a torn WAL tail and a flipped bit in a
+// stored result blob — the two disk faults a crash can leave behind —
+// must not take the server down. The torn tail is truncated, the bad
+// blob is quarantined and recomputed on demand.
+func TestBootSurvivesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp, body := postJSON(t, ts1, "/v1/simulate", tinySpec("victim"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ts1, info.ID)
+	ts1.Close()
+	if err := srv1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault 1: a torn tail — half a record's worth of garbage after the
+	// last commit.
+	walFile := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walFile, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0xff, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Fault 2: flip a payload byte in the stored result blob.
+	blobPath := filepath.Join(dir, "results", info.Digest[:2], info.Digest)
+	blob, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x40
+	if err := os.WriteFile(blobPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := newDurable(t, dir, Config{Workers: 2, QueueDepth: 8})
+	defer srv2.Drain(context.Background())
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if ws := srv2.dur.Log.Stats(); ws.Dropped == 0 {
+		t.Fatalf("torn tail not truncated: %+v", ws)
+	}
+
+	// The corrupt blob is detected at first touch, quarantined, and the
+	// resubmission recomputes instead of serving garbage.
+	rr, err := ts2.Client().Get(ts2.URL + "/v1/results/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt blob served: HTTP %d", rr.StatusCode)
+	}
+	if st := srv2.dur.Results.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantine counter: %+v", st)
+	}
+	if _, err := os.Stat(blobPath + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	resp2, body2 := postJSON(t, ts2, "/v1/simulate", tinySpec("victim"))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after quarantine: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	var info2 colcache.JobInfo
+	if err := json.Unmarshal(body2, &info2); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, ts2, info2.ID)
+	if final.State != colcache.StateDone {
+		t.Fatalf("recompute: %s: %s", final.State, final.Error)
+	}
+	if !srv2.dur.Results.Contains(info.Digest) {
+		t.Fatal("recomputed result not re-memoized")
+	}
+}
+
+// TestInMemoryServerHasNoResults: without a durability layer the results
+// endpoint answers 404 and submissions carry no digest.
+func TestInMemoryServerHasNoResults(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/results/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("results on in-memory server: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp2, body := postJSON(t, ts, "/v1/simulate", tinySpec("mem"))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp2.StatusCode, body)
+	}
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != "" {
+		t.Fatalf("in-memory submission grew a digest: %q", info.Digest)
+	}
+	waitTerminal(t, ts, info.ID)
+}

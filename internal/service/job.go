@@ -23,6 +23,12 @@ type Job struct {
 	SweepSpec *colcache.SweepSpec
 	Upload    memtrace.Trace // pre-decoded binary upload, simulate only
 	Submitted time.Time
+	// Digest is the submission's content address (spec + trace), the
+	// result-cache key; empty on a server without durability.
+	Digest string
+	// Resume, set only on a recovered in-flight simulate job, is the WAL
+	// checkpoint execution fast-forwards to before continuing.
+	Resume *memsys.Checkpoint
 
 	mu        sync.Mutex
 	state     string
@@ -102,6 +108,7 @@ func (j *Job) Info() colcache.JobInfo {
 		Kind:        j.Kind,
 		Label:       j.label(),
 		State:       j.state,
+		Digest:      j.Digest,
 		Retriable:   j.retriable,
 		Error:       j.errMsg,
 		SubmittedAt: j.Submitted,
@@ -162,6 +169,28 @@ func (s *store) add(j *Job) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// restore registers a WAL-recovered job under its original ID, so a
+// client that accepted it before the crash can keep polling the same URL.
+func (s *store) restore(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.ID]; ok {
+		return
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+}
+
+// bumpSeq advances the ID sequence past recovered jobs so fresh
+// submissions never collide with journaled IDs.
+func (s *store) bumpSeq(n int64) {
+	s.mu.Lock()
+	if n > s.seq {
+		s.seq = n
+	}
 	s.mu.Unlock()
 }
 

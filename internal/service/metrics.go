@@ -9,6 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"colcache/internal/resultcache"
+	"colcache/internal/wal"
 )
 
 // Hand-rolled Prometheus text exposition (no client library — the repo is
@@ -240,6 +243,10 @@ type Gauges struct {
 	QueueDepth int
 	Running    int
 	Draining   bool
+	// Result and WAL are nil on an in-memory server; a durable server
+	// passes snapshots of the result cache and write-ahead log counters.
+	Result *resultcache.Counters
+	WAL    *wal.Stats
 }
 
 // Write renders the whole registry in Prometheus text exposition format.
@@ -275,6 +282,25 @@ func (m *Metrics) Write(w io.Writer, g Gauges) {
 	rate := m.lastRate
 	m.scrapeMu.Unlock()
 	fmt.Fprintf(w, "# HELP colserved_sim_cycles_per_second Simulated cycles per wall-clock second, over the last scrape interval.\n# TYPE colserved_sim_cycles_per_second gauge\ncolserved_sim_cycles_per_second %g\n", rate)
+
+	if g.Result != nil {
+		rc := g.Result
+		fmt.Fprintf(w, "# HELP colserved_result_cache_hits_total Result cache lookups that returned a stored blob.\n# TYPE colserved_result_cache_hits_total counter\ncolserved_result_cache_hits_total %d\n", rc.Hits)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_misses_total Result cache lookups that found nothing.\n# TYPE colserved_result_cache_misses_total counter\ncolserved_result_cache_misses_total %d\n", rc.Misses)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_puts_total Results stored in the cache.\n# TYPE colserved_result_cache_puts_total counter\ncolserved_result_cache_puts_total %d\n", rc.Puts)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_evictions_total Results evicted to stay under the byte budget.\n# TYPE colserved_result_cache_evictions_total counter\ncolserved_result_cache_evictions_total %d\n", rc.Evictions)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_quarantined_total Stored blobs that failed checksum verification and were quarantined.\n# TYPE colserved_result_cache_quarantined_total counter\ncolserved_result_cache_quarantined_total %d\n", rc.Quarantined)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_bytes Bytes currently stored in the result cache.\n# TYPE colserved_result_cache_bytes gauge\ncolserved_result_cache_bytes %d\n", rc.Bytes)
+		fmt.Fprintf(w, "# HELP colserved_result_cache_entries Results currently indexed.\n# TYPE colserved_result_cache_entries gauge\ncolserved_result_cache_entries %d\n", rc.Entries)
+	}
+	if g.WAL != nil {
+		ws := g.WAL
+		fmt.Fprintf(w, "# HELP colserved_wal_records_total Records appended to the write-ahead log since open.\n# TYPE colserved_wal_records_total counter\ncolserved_wal_records_total %d\n", ws.Records)
+		fmt.Fprintf(w, "# HELP colserved_wal_syncs_total fsync commits of the write-ahead log.\n# TYPE colserved_wal_syncs_total counter\ncolserved_wal_syncs_total %d\n", ws.Syncs)
+		fmt.Fprintf(w, "# HELP colserved_wal_bytes Size of the write-ahead log file.\n# TYPE colserved_wal_bytes gauge\ncolserved_wal_bytes %d\n", ws.Bytes)
+		fmt.Fprintf(w, "# HELP colserved_wal_recovered_records Records replayed from the log at the last open.\n# TYPE colserved_wal_recovered_records gauge\ncolserved_wal_recovered_records %d\n", ws.Recovered)
+		fmt.Fprintf(w, "# HELP colserved_wal_dropped_bytes Bytes of torn or corrupt tail truncated at the last open.\n# TYPE colserved_wal_dropped_bytes gauge\ncolserved_wal_dropped_bytes %d\n", ws.Dropped)
+	}
 
 	fmt.Fprintf(w, "# HELP colserved_uptime_seconds Seconds since the server started.\n# TYPE colserved_uptime_seconds gauge\ncolserved_uptime_seconds %g\n", time.Since(m.start).Seconds())
 }

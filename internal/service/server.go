@@ -43,6 +43,10 @@ type Config struct {
 	// CheckEvery is the simulation cancellation/checkpoint stride
 	// (default memsys.DefaultCheckEvery).
 	CheckEvery int
+	// Durability, when non-nil, turns on the write-ahead log and the
+	// content-addressed result cache (see OpenDurability). Nil keeps the
+	// server fully in-memory.
+	Durability *Durability
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +83,8 @@ type Server struct {
 	pool      *runner.Pool[*Job]
 	metrics   *Metrics
 	mux       *http.ServeMux
+	dur       *Durability // nil on an in-memory server
+	recovery  RecoveryStats
 	draining  chan struct{} // closed when Drain begins
 	drainOnce sync.Once
 
@@ -95,18 +101,32 @@ func New(cfg Config) *Server {
 		store:    newStore(cfg.RetainJobs),
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
+		dur:      cfg.Durability,
 		draining: make(chan struct{}),
 	}
 	s.pool = runner.NewPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+
+	// Boot recovery: replay the WAL before any HTTP traffic — accepted-
+	// but-unrun jobs re-enqueue, in-flight simulate jobs resume from
+	// their last checkpoint, and the log compacts to the survivors.
+	if s.dur != nil {
+		s.recovery = s.recoverJobs(s.dur.pending)
+		s.dur.pending = nil
+	}
 
 	s.mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
+	s.mux.Handle("GET /v1/results/{digest}", s.instrument("/v1/results/{digest}", s.handleResult))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	return s
 }
+
+// Recovery reports what boot replay did (zero value on an in-memory
+// server or a clean boot).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -131,9 +151,27 @@ func (s *Server) isDraining() bool {
 // deadline.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() { close(s.draining) })
+	// On a durable server the WAL gets a final sync no matter how the
+	// drain ends: every record appended so far — accepted records of the
+	// jobs we are about to hand back, checkpoints of the ones we cancel —
+	// must be on stable storage before the process exits, because those
+	// records are exactly what the next boot replays.
+	defer func() {
+		if s.dur != nil {
+			_ = s.dur.Log.Sync()
+		}
+	}()
 	discarded, err := s.pool.Drain(ctx)
 	for _, j := range discarded {
-		j.finish(colcache.StateCanceled, true, "server draining before the job started; resubmit", nil, nil)
+		msg := "server draining before the job started; resubmit"
+		if j.Digest != "" {
+			// The accepted record stays in the WAL: a restart re-enqueues
+			// this job, so the client can poll the result by digest
+			// instead of re-uploading spec and trace bytes.
+			msg = "server draining before the job started; job is journaled — poll /v1/results/" +
+				j.Digest + " after restart, or resubmit"
+		}
+		j.finish(colcache.StateCanceled, true, msg, nil, nil)
 		s.metrics.Jobs.Add(1, j.Kind, "canceled")
 		s.observeJobLatency(j)
 	}
@@ -159,6 +197,7 @@ func (s *Server) runJob(poolCtx context.Context, j *Job) {
 	if s.testHook != nil {
 		s.testHook(ctx, j)
 	}
+	s.appendRecord(recStarted, recMeta{ID: j.ID}, nil, false)
 
 	var err error
 	switch j.Kind {
@@ -172,19 +211,41 @@ func (s *Server) runJob(poolCtx context.Context, j *Job) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
+			// No terminal WAL record: the accepted record (and the
+			// checkpoints journaled so far) keep the job recoverable — a
+			// restart against the same data dir resumes it.
 			j.finish(colcache.StateCanceled, true, "canceled during server drain", nil, nil)
 			s.metrics.Jobs.Add(1, j.Kind, "canceled")
 		case errors.Is(err, context.DeadlineExceeded):
-			j.finish(colcache.StateFailed, false, fmt.Sprintf("job exceeded timeout %s", s.cfg.JobTimeout), nil, nil)
+			msg := fmt.Sprintf("job exceeded timeout %s", s.cfg.JobTimeout)
+			j.finish(colcache.StateFailed, false, msg, nil, nil)
+			s.appendRecord(recFailed, recMeta{ID: j.ID, Msg: msg}, nil, true)
 			s.metrics.Jobs.Add(1, j.Kind, "failed")
 		default:
 			j.finish(colcache.StateFailed, false, err.Error(), nil, nil)
+			s.appendRecord(recFailed, recMeta{ID: j.ID, Msg: err.Error()}, nil, true)
 			s.metrics.Jobs.Add(1, j.Kind, "failed")
 		}
 	} else {
 		s.metrics.Jobs.Add(1, j.Kind, "done")
 	}
 	s.observeJobLatency(j)
+}
+
+// commitResult finishes a successful job: the result is published to
+// pollers, memoized in the content-addressed cache, and the done record
+// committed — after which the job is gone from the WAL's live set.
+func (s *Server) commitResult(j *Job, res *colcache.SimResult, sweep *colcache.SweepResult) {
+	// Durable state first, publication last: a poller that observes the
+	// terminal state and immediately resubmits the same spec must find
+	// the memoized result already in place.
+	if s.dur != nil && j.Digest != "" {
+		if blob := storeResult(j, res, sweep); blob != nil {
+			_ = s.dur.Results.Put(j.Digest, blob, false)
+		}
+		s.appendRecord(recDone, recMeta{ID: j.ID, Digest: j.Digest}, nil, true)
+	}
+	j.finish(colcache.StateDone, false, "", res, sweep)
 }
 
 func (s *Server) observeJobLatency(j *Job) {
@@ -200,8 +261,12 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 	}
 	j.setRunning(b.Sys)
 	total := int64(len(b.Trace))
+	var resume memsys.Checkpoint
+	if j.Resume != nil {
+		resume = *j.Resume
+	}
 	var lastCycles, lastAccesses int64
-	cycles, err := b.Sys.RunContext(ctx, b.Trace, memsys.RunOptions{
+	cycles, err := b.Sys.RunContextFrom(ctx, b.Trace, resume, memsys.RunOptions{
 		CheckEvery: s.cfg.CheckEvery,
 		OnCheckpoint: func(done int, st memsys.Stats) {
 			s.metrics.SimCycles.Add(st.Cycles - lastCycles)
@@ -217,13 +282,20 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 				p.Decisions = len(b.Ctl.Decisions())
 			}
 			j.publishProgress(p)
+			// Journal progress without a sync — a lost checkpoint only
+			// costs recovery time, never correctness. The final position
+			// is skipped: the done record supersedes it.
+			if int64(done) < total {
+				cp := memsys.Checkpoint{Done: int64(done), Cycles: st.Cycles}
+				s.appendRecord(recCheckpoint, recMeta{ID: j.ID, Checkpoint: &cp}, nil, false)
+			}
 		},
 	})
 	if err != nil {
 		return err
 	}
 	res := Result(j.Spec.Label, b, cycles, j.Spec.Machine)
-	j.finish(colcache.StateDone, false, "", &res, nil)
+	s.commitResult(j, &res, nil)
 	return nil
 }
 
@@ -262,7 +334,7 @@ func (s *Server) runMulticore(ctx context.Context, j *Job) error {
 		return err
 	}
 	res := MulticoreResult(j.Spec.Label, b)
-	j.finish(colcache.StateDone, false, "", &res, nil)
+	s.commitResult(j, &res, nil)
 	return nil
 }
 
@@ -408,7 +480,7 @@ func (s *Server) runSweep(ctx context.Context, j *Job) error {
 	for i, r := range results {
 		sweep.Points[i] = r.Extra.(colcache.SweepPoint)
 	}
-	j.finish(colcache.StateDone, false, "", nil, sweep)
+	s.commitResult(j, nil, sweep)
 	return nil
 }
 
@@ -466,8 +538,20 @@ func (s *Server) submit(w http.ResponseWriter, j *Job) {
 	j.state = colcache.StateQueued
 	j.Submitted = time.Now()
 	s.store.add(j)
+	// The accepted record is committed BEFORE the job can start (and
+	// before the 202 leaves): a started or checkpoint record can then
+	// never precede its accepted record in the log, and an acknowledged
+	// submission survives any crash after this point.
+	if s.dur != nil {
+		s.appendRecord(recAccepted,
+			recMeta{ID: j.ID, Kind: j.Kind, Digest: j.Digest, Spec: &j.Spec, Sweep: j.SweepSpec},
+			encodeTrace(j.Upload), true)
+	}
 	if err := s.pool.TrySubmit(j); err != nil {
 		s.store.remove(j.ID)
+		// Neutralize the accepted record — a shed job must not be
+		// resurrected at the next boot.
+		s.appendRecord(recCanceled, recMeta{ID: j.ID, Msg: "queue full"}, nil, true)
 		s.metrics.Jobs.Add(1, j.Kind, "rejected")
 		if errors.Is(err, runner.ErrPoolClosed) {
 			writeShed(w, http.StatusServiceUnavailable, 1, "server draining")
@@ -514,6 +598,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		j.Upload = tr
+		if s.dur != nil {
+			j.Digest = SimDigest(spec, encodeTrace(tr))
+			if s.serveCached(w, j.Kind, j.Digest, spec.Label) {
+				return
+			}
+		}
 		s.submit(w, j)
 		return
 	}
@@ -531,6 +621,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		j.Kind = "multicore"
 	}
 	j.Spec = spec
+	if s.dur != nil {
+		j.Digest = SimDigest(spec, nil)
+		if s.serveCached(w, j.Kind, j.Digest, spec.Label) {
+			return
+		}
+	}
 	s.submit(w, j)
 }
 
@@ -584,7 +680,74 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.submit(w, &Job{Kind: "sweep", SweepSpec: &spec, Spec: spec.Base})
+	j := &Job{Kind: "sweep", SweepSpec: &spec, Spec: spec.Base}
+	if s.dur != nil {
+		j.Digest = SweepDigest(spec)
+		if s.serveCached(w, j.Kind, j.Digest, spec.Label) {
+			return
+		}
+	}
+	s.submit(w, j)
+}
+
+// serveCached answers a submission straight from the result cache,
+// reporting whether it did. The cached document comes back as a terminal
+// JobInfo with Cached set and no ID — nothing was enqueued, there is
+// nothing to poll. The label is re-applied per request: it is
+// presentation, deliberately outside the digest.
+func (s *Server) serveCached(w http.ResponseWriter, kind, digest, label string) bool {
+	if s.dur == nil {
+		return false
+	}
+	blob, ok := s.dur.Results.Get(digest)
+	if !ok {
+		return false
+	}
+	var sr colcache.StoredResult
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		return false
+	}
+	now := time.Now()
+	info := colcache.JobInfo{
+		Kind:        kind,
+		Label:       label,
+		State:       colcache.StateDone,
+		Cached:      true,
+		Digest:      digest,
+		SubmittedAt: now,
+		FinishedAt:  &now,
+	}
+	if sr.Result != nil {
+		res := *sr.Result
+		res.Label = label
+		info.Result = &res
+	}
+	if sr.Sweep != nil {
+		sw := *sr.Sweep
+		info.Sweep = &sw
+	}
+	s.metrics.Jobs.Add(1, kind, "cached")
+	writeJSON(w, http.StatusOK, info)
+	return true
+}
+
+// handleResult serves a finished result out of the content-addressed
+// cache by digest — the poll target for clients whose job was shed
+// during a drain (the retriable JobInfo names the digest).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if s.dur == nil {
+		writeError(w, http.StatusNotFound, "this server has no result cache")
+		return
+	}
+	blob, ok := s.dur.Results.Get(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for digest %q", digest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -612,11 +775,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Write(w, Gauges{
+	g := Gauges{
 		QueueDepth: s.pool.Pending(),
 		Running:    s.pool.Running(),
 		Draining:   s.isDraining(),
-	})
+	}
+	if s.dur != nil {
+		rc := s.dur.Results.Stats()
+		g.Result = &rc
+		ws := s.dur.Log.Stats()
+		g.WAL = &ws
+	}
+	s.metrics.Write(w, g)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,312 @@
+// Package wal is an append-only, CRC-framed, fsync-on-commit write-ahead
+// log. colserved journals its job queue through it: every accepted job is
+// durable before the 202 leaves the server, progress checkpoints ride along
+// uncommitted, and a restart replays the surviving records to rebuild the
+// queue. The package is deliberately generic — records carry an opaque
+// type byte, a small metadata payload (JSON by convention), and an
+// optional bulk blob (trace bytes) — so it knows nothing about jobs.
+//
+// On-disk format:
+//
+//	file   = header record*
+//	header = "COLWAL01" (8 bytes)
+//	record = beLen(4) beCRC(4) payload
+//	payload = type(1) beMetaLen(4) meta blob
+//
+// beLen counts the payload bytes; beCRC is CRC-32C (Castagnoli) over the
+// payload. A record is committed iff it is fully framed and its CRC
+// matches. Open scans the file, returns every committed record, and
+// truncates the file after the last one — a torn tail (partial write at
+// crash) or a corrupted record is dropped, never replayed, and everything
+// after the first bad frame is discarded with it (the log has no resync
+// marker by design; bytes after a bad frame are unattributable).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	header = []byte("COLWAL01")
+	// castagnoli is the CRC-32C table (hardware-accelerated on amd64).
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// ErrNotWAL reports a file that exists but does not start with the WAL
+// header — refusing to append protects whatever the file actually is.
+var ErrNotWAL = errors.New("wal: file is not a COLWAL01 log")
+
+// MaxRecordBytes bounds one record's payload; a frame claiming more is
+// treated as corruption rather than an allocation request.
+const MaxRecordBytes = 256 << 20
+
+// Record is one log entry.
+type Record struct {
+	Type byte
+	Meta []byte // small structured payload, JSON by convention
+	Blob []byte // optional bulk payload (e.g. encoded trace bytes)
+}
+
+// Stats are the log's lifetime counters since Open.
+type Stats struct {
+	Records   int64 // records appended this process
+	Bytes     int64 // current file size
+	Syncs     int64 // fsyncs issued
+	Recovered int64 // committed records found by Open
+	Dropped   int64 // bytes truncated from a torn/corrupt tail
+}
+
+// Log is an open write-ahead log. Append/Sync/Compact are safe for
+// concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64
+	stats Stats
+}
+
+// Open opens (or creates) the log at path, replays the committed records,
+// truncates any torn or corrupt tail, and returns the log positioned for
+// appending.
+func Open(path string) (*Log, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path}
+	recs, good, total, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good < total {
+		// Torn or corrupt tail: drop it so a later Append never extends a
+		// half-record and the next scan sees a clean file.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.stats.Dropped = total - good
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good == 0 {
+		if _, err := f.Write(header); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		good = int64(len(header))
+	}
+	l.size = good
+	l.stats.Bytes = good
+	l.stats.Recovered = int64(len(recs))
+	return l, recs, nil
+}
+
+// scan reads committed records and returns them with the offset after the
+// last good record and the file's total size. A file with a foreign header
+// is an error; a short or CRC-failing record ends the scan.
+func scan(f *os.File) ([]Record, int64, int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	total := info.Size()
+	if total == 0 {
+		return nil, 0, 0, nil
+	}
+	hdr := make([]byte, len(header))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		// Shorter than the header: treat as a torn header, drop everything.
+		return nil, 0, total, nil
+	}
+	if string(hdr) != string(header) {
+		return nil, 0, 0, ErrNotWAL
+	}
+	var recs []Record
+	good := int64(len(header))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return recs, good, total, nil // clean EOF or torn length/CRC
+		}
+		n := binary.BigEndian.Uint32(frame[0:4])
+		crc := binary.BigEndian.Uint32(frame[4:8])
+		if n < 5 || n > MaxRecordBytes {
+			return recs, good, total, nil // corrupt frame
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, good, total, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, good, total, nil // bit rot / torn write
+		}
+		metaLen := binary.BigEndian.Uint32(payload[1:5])
+		if int(metaLen) > len(payload)-5 {
+			return recs, good, total, nil
+		}
+		recs = append(recs, Record{
+			Type: payload[0],
+			Meta: payload[5 : 5+metaLen],
+			Blob: payload[5+metaLen:],
+		})
+		good += 8 + int64(n)
+	}
+}
+
+func encode(r Record) []byte {
+	n := 5 + len(r.Meta) + len(r.Blob)
+	buf := make([]byte, 8+n)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(n))
+	payload := buf[8:]
+	payload[0] = r.Type
+	binary.BigEndian.PutUint32(payload[1:5], uint32(len(r.Meta)))
+	copy(payload[5:], r.Meta)
+	copy(payload[5+len(r.Meta):], r.Blob)
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// Append writes one record. With commit set the record (and everything
+// before it) is fsynced before Append returns — the durability point an
+// accepted job's 202 rides on. Without it the record is buffered by the
+// OS like any write; a crash may drop it, which is fine for progress
+// checkpoints (they only save recovery work).
+func (l *Log) Append(r Record, commit bool) error {
+	if 5+len(r.Meta)+len(r.Blob) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(r.Meta)+len(r.Blob))
+	}
+	buf := encode(r)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	l.size += int64(len(buf))
+	l.stats.Records++
+	l.stats.Bytes = l.size
+	if commit {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.stats.Syncs++
+	}
+	return nil
+}
+
+// Sync flushes everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+// Compact atomically replaces the log's contents with keep: the records
+// are written to a temporary file, fsynced, and renamed over the log.
+// colserved runs this after boot recovery so the log holds only live jobs.
+func (l *Log) Compact(keep []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	size := int64(len(header))
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, r := range keep {
+		buf := encode(r)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return err
+		}
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return err
+	}
+	// Reopen so future appends extend the compacted file, and fsync the
+	// directory so the rename itself survives a crash.
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	l.f = f
+	l.size = size
+	l.stats.Bytes = size
+	l.stats.Syncs++
+	if dir, err := os.Open(filepath.Dir(l.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

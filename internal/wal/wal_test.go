@@ -1,0 +1,376 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, recs
+}
+
+func rec(typ byte, meta, blob string) Record {
+	return Record{Type: typ, Meta: []byte(meta), Blob: []byte(blob)}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []Record{
+		rec(1, `{"id":"j1"}`, ""),
+		rec(2, `{"id":"j1","done":42}`, ""),
+		rec(3, `{"id":"j2"}`, "trace-bytes\x00\x01\x02"),
+		rec(4, "", ""),
+	}
+	for i, r := range want {
+		if err := l.Append(r, i%2 == 0); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openT(t, path)
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type ||
+			!bytes.Equal(got[i].Meta, want[i].Meta) ||
+			!bytes.Equal(got[i].Blob, want[i].Blob) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if l2.Stats().Recovered != int64(len(want)) {
+		t.Fatalf("Recovered = %d, want %d", l2.Stats().Recovered, len(want))
+	}
+}
+
+// A torn tail — the final record truncated mid-payload, as a crash during
+// an append leaves it — must be dropped and the preceding records kept.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(1, fmt.Sprintf(`{"i":%d}`, i), "payload"), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the last record: chop a few bytes off the end of the file.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{3, 9, 17} { // mid-payload, mid-frame, most of the record
+		if err := os.Truncate(path, info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs := openT(t, path)
+		if len(recs) != 4 {
+			t.Fatalf("cut %d: replayed %d records, want 4", cut, len(recs))
+		}
+		if l2.Stats().Dropped == 0 {
+			t.Fatalf("cut %d: no dropped bytes reported", cut)
+		}
+		// The torn tail must be gone from disk: appending and reopening
+		// yields exactly 5 records again.
+		if err := l2.Append(rec(9, `{"fresh":true}`, ""), true); err != nil {
+			t.Fatal(err)
+		}
+		l2.Close()
+		l3, recs3 := openT(t, path)
+		if len(recs3) != 5 || recs3[4].Type != 9 {
+			t.Fatalf("cut %d: after repair+append got %d records (last type %d)", cut, len(recs3), recs3[len(recs3)-1].Type)
+		}
+		l3.Close()
+		// Restore the un-torn 5-record file for the next cut size.
+		restore, _ := openT(t, path)
+		restore.Compact(recs3[:4])
+		restore.Append(rec(1, `{"i":4}`, "payload"), true)
+		restore.Close()
+		info, err = os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A flipped bit inside a committed record fails its CRC; the scan must
+// stop there and quarantine everything from the bad frame on.
+func TestCorruptRecordQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		offsets = append(offsets, l.Stats().Bytes)
+		if err := l.Append(rec(1, fmt.Sprintf(`{"i":%d}`, i), ""), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a byte in record 2's payload.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, offsets[2]+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(recs))
+	}
+	if l2.Stats().Dropped == 0 {
+		t.Fatal("corruption not reported as dropped bytes")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	for i := 0; i < 10; i++ {
+		if err := l.Append(rec(byte(i), fmt.Sprintf(`{"i":%d}`, i), ""), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := l.Stats().Bytes
+	if err := l.Compact([]Record{rec(7, `{"live":true}`, "blob")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if l.Stats().Bytes >= grown {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", grown, l.Stats().Bytes)
+	}
+	// Appends after compaction extend the new file.
+	if err := l.Append(rec(8, `{"after":true}`, ""), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 2 || recs[0].Type != 7 || recs[1].Type != 8 {
+		t.Fatalf("after compact+append: %d records %v", len(recs), recs)
+	}
+	if string(recs[0].Blob) != "blob" {
+		t.Fatalf("blob lost in compaction: %q", recs[0].Blob)
+	}
+}
+
+// A file that is not a WAL must be refused, not overwritten.
+func TestForeignFileRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("precious user data, definitely not a WAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a foreign file")
+	}
+	b, _ := os.ReadFile(path)
+	if !bytes.Contains(b, []byte("precious")) {
+		t.Fatal("foreign file was modified")
+	}
+}
+
+// An empty (zero-byte) file is a fresh log, and a file shorter than the
+// header is treated as torn and reinitialized.
+func TestShortFiles(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{"empty.log": {}, "torn.log": []byte("COLW")} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs := openT(t, path)
+		if len(recs) != 0 {
+			t.Fatalf("%s: %d records from junk", name, len(recs))
+		}
+		if err := l.Append(rec(1, `{}`, ""), true); err != nil {
+			t.Fatalf("%s: append: %v", name, err)
+		}
+		l.Close()
+		l2, recs2 := openT(t, path)
+		if len(recs2) != 1 {
+			t.Fatalf("%s: reopened with %d records, want 1", name, len(recs2))
+		}
+		l2.Close()
+	}
+}
+
+// A frame whose length field claims an absurd size is corruption, not an
+// allocation request.
+func TestHugeLengthFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	if err := l.Append(rec(1, `{"ok":true}`, ""), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Close()
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestSyncAndPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	defer l.Close()
+	if l.Path() != path {
+		t.Fatalf("Path() = %q, want %q", l.Path(), path)
+	}
+	if err := l.Append(rec(1, "m", ""), false); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats().Syncs
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != before+1 {
+		t.Fatalf("Syncs = %d, want %d", got, before+1)
+	}
+	// The uncommitted-then-synced record survives a reopen.
+	l.Close()
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Meta) != "m" {
+		t.Fatalf("after sync+reopen: %v", recs)
+	}
+}
+
+func TestClosedLogRefusesEverything(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(rec(1, "m", ""), true); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync on closed log succeeded")
+	}
+	if err := l.Compact(nil); err == nil {
+		t.Fatal("Compact on closed log succeeded")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	defer l.Close()
+	big := Record{Type: 1, Blob: make([]byte, MaxRecordBytes)}
+	if err := l.Append(big, false); err == nil {
+		t.Fatal("payload over MaxRecordBytes accepted")
+	}
+	if got := l.Stats().Records; got != 0 {
+		t.Fatalf("rejected record counted: %d", got)
+	}
+}
+
+func TestOpenUncreatableDir(t *testing.T) {
+	// The parent "directory" is a regular file: MkdirAll must fail.
+	dir := t.TempDir()
+	parent := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(parent, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(filepath.Join(parent, "wal.log")); err == nil {
+		t.Fatal("Open under a file succeeded")
+	}
+}
+
+func TestCompactEmptyKeepsValidLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	for i := 0; i < 4; i++ {
+		if err := l.Append(rec(byte(i+1), fmt.Sprintf("m%d", i), ""), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Bytes; got != int64(len("COLWAL01")) {
+		t.Fatalf("compacted-to-empty size = %d", got)
+	}
+	// Still appendable, and a reopen sees only the post-compact record.
+	if err := l.Append(rec(9, "after", ""), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].Type != 9 {
+		t.Fatalf("after compact(nil)+append: %v", recs)
+	}
+}
+
+func TestOpenDirectoryPath(t *testing.T) {
+	if _, _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open on a directory succeeded")
+	}
+}
+
+func TestBadMetaLengthDropped(t *testing.T) {
+	// A frame whose CRC is valid but whose inner meta length overruns the
+	// payload: framing is fine, content is nonsense — dropped like any
+	// other corruption.
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	if err := l.Append(rec(1, "ok", ""), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	payload := []byte{7, 0, 0, 0, 99, 'x', 'y'} // claims 99 meta bytes, has 2
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame[:])
+	f.Write(payload)
+	f.Close()
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Meta) != "ok" {
+		t.Fatalf("recs = %v", recs)
+	}
+	if l2.Stats().Dropped == 0 {
+		t.Fatal("bad meta length not counted as dropped bytes")
+	}
+}
