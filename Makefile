@@ -19,13 +19,21 @@
 #                          latency (BENCH_PR7.json)
 #   recovery             - kill -9 a durable colserved mid-work, restart,
 #                          prove no accepted job is lost or duplicated
+#   fabric               - distributed colserved gates: ring/coordinator
+#                          unit tests under -race, then the chaos test
+#                          (3 real workers, SIGKILL one mid-sweep, every
+#                          accepted job still finishes; a joining worker
+#                          remaps only ~1/N of the keyspace)
+#   fabricbench          - coordinator + 3 durable workers under zipfian
+#                          colload -fabric; cluster ledger reconciliation
+#                          (BENCH_PR8.json)
 #   conformance / cover  - differential oracle matrix + coverage gate
 #   multicore            - MSI -race sweep, stepper determinism, BENCH_PR5
 #   ci                   - everything CI runs
 
 GO ?= go
 
-.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench cachebench recovery conformance cover multicore ci
+.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench cachebench recovery fabric fabricbench conformance cover multicore ci
 
 build:
 	$(GO) build ./...
@@ -123,6 +131,50 @@ cachebench:
 recovery:
 	$(GO) test -race -run TestKillDashNineRecovery -v ./cmd/colserved
 
+# Distributed-fabric gates: the consistent-hash ring, registry, and
+# coordinator protocol under -race (including in-process steal and
+# cached-relay tests), the colload digest-retry and -fabric load tests,
+# then the chaos integration test — a real coordinator plus three
+# race-built worker daemons, one SIGKILLed while its sweep is
+# demonstrably running: every accepted job must still reach done (stolen
+# onto ring successors, zero steal failures) and a fourth worker joining
+# afterwards may remap only ~1/N of the keyspace.
+fabric:
+	$(GO) test -race ./internal/fabric ./cmd/colload
+	$(GO) test -race -run TestFabricChaos -v ./cmd/colserved
+
+# Fabric benchmark: a coordinator with three durable workers under a
+# zipfian colload -fabric run; the report (BENCH_PR8.json) carries the
+# per-node job counts and the cross-node ledger reconciliation.
+FABRIC_ADDR    ?= 127.0.0.1:8347
+FABRIC_CLIENTS ?= 64
+FABRIC_SECS    ?= 10s
+FABRIC_MIX     ?= 16
+fabricbench:
+	$(GO) build -o /tmp/colserved ./cmd/colserved
+	$(GO) build -o /tmp/colload ./cmd/colload
+	rm -rf /tmp/colserved-fabric
+	/tmp/colserved -role coordinator -addr $(FABRIC_ADDR) & \
+	cpid=$$!; \
+	wpids=""; \
+	trap 'kill -TERM $$wpids $$cpid 2>/dev/null; wait $$wpids $$cpid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(FABRIC_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	port=8348; \
+	for w in w1 w2 w3; do \
+		/tmp/colserved -role worker -join http://$(FABRIC_ADDR) -addr 127.0.0.1:$$port \
+			-node $$w -data-dir /tmp/colserved-fabric/$$w -quiet & \
+		wpids="$$wpids $$!"; \
+		port=$$((port + 1)); \
+	done; \
+	for i in $$(seq 1 100); do \
+		n=$$(curl -fsS http://$(FABRIC_ADDR)/fabric/v1/nodes 2>/dev/null \
+			| python3 -c "import json,sys; print(sum(1 for w in json.load(sys.stdin)['workers'] if w['alive']))" 2>/dev/null || echo 0); \
+		[ "$$n" = 3 ] && break; sleep 0.1; \
+	done; \
+	/tmp/colload -base http://$(FABRIC_ADDR) -fabric -c $(FABRIC_CLIENTS) -duration $(FABRIC_SECS) -spec-mix $(FABRIC_MIX) -out BENCH_PR8.json
+
 # Differential conformance: the naive reference model in internal/oracle is
 # driven in lockstep with the production stack over the committed golden
 # traces plus CONFORM_N seeded random trace/config combinations, all under
@@ -159,4 +211,4 @@ cover:
 		} \
 		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
 
-ci: build lint test race bench benchcore smoke servebench cachebench recovery conformance cover multicore
+ci: build lint test race bench benchcore smoke servebench cachebench recovery fabric conformance cover multicore

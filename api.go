@@ -247,6 +247,8 @@ type JobInfo struct {
 	State       string       `json:"state"`
 	Cached      bool         `json:"cached,omitempty"`
 	Digest      string       `json:"digest,omitempty"`
+	Node        string       `json:"node,omitempty"`      // fabric: worker the job was routed to
+	Recovered   bool         `json:"recovered,omitempty"` // fabric: job was re-routed off a dead worker
 	Retriable   bool         `json:"retriable,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	SubmittedAt time.Time    `json:"submitted_at"`

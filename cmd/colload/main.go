@@ -42,6 +42,7 @@ import (
 	"time"
 
 	colcache "colcache"
+	"colcache/internal/fabric"
 )
 
 type report struct {
@@ -66,6 +67,15 @@ type report struct {
 	CachedLatencyP99Ms float64          `json:"cached_latency_p99_ms,omitempty"`
 	ServerLedger       map[string]int64 `json:"server_ledger,omitempty"`
 	LedgerMatches      bool             `json:"ledger_matches"`
+	// Digest recoveries: accepted jobs handed back canceled+retriable
+	// (a drain or a failed steal) whose results were nonetheless served
+	// from the content-addressed cache via GET /v1/results/{digest}.
+	DigestRecovered int64 `json:"digest_recovered,omitempty"`
+	// Fabric observations (-fabric runs only).
+	FabricNodes         int              `json:"fabric_nodes,omitempty"`
+	FabricStolen        int64            `json:"fabric_stolen,omitempty"`
+	FabricStealFailures int64            `json:"fabric_steal_failures"`
+	FabricNodeLedgers   map[string]int64 `json:"fabric_node_jobs,omitempty"` // accepted per alive node
 }
 
 func main() {
@@ -82,6 +92,7 @@ func run(args []string) int {
 		workload = fs.String("workload", "stream", "workload each request simulates")
 		size     = fs.Uint64("size", 2048, "workload size_bytes")
 		specMix  = fs.Int("spec-mix", 0, "distinct specs drawn zipfian per request (0: one spec)")
+		fabricFl = fs.Bool("fabric", false, "base is a fabric coordinator: reconcile per-node ledgers instead of /metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,7 +128,7 @@ func run(args []string) int {
 		specs = append(specs, s)
 	}
 
-	var submitted, accepted, rejected, completed, cacheHits, errCount atomic.Int64
+	var submitted, accepted, rejected, completed, cacheHits, digestRecovered, errCount atomic.Int64
 	var mu sync.Mutex
 	var latencies []float64       // milliseconds, simulated path
 	var cachedLatencies []float64 // milliseconds, answered from the result cache
@@ -190,6 +201,21 @@ func run(args []string) int {
 					log.Printf("colload: client %d job %s: %v", c, info.ID, err)
 					return
 				}
+				if final.State == colcache.StateCanceled && final.Retriable {
+					// Shed by a drain (or a steal no worker could absorb).
+					// The terminal document carries the submission's digest:
+					// follow it to the content-addressed cache before
+					// resubmitting — a finished result may already be stored.
+					if final.Digest != "" {
+						sr, err := client.StoredResult(context.Background(), final.Digest)
+						if err == nil && sr.Result != nil {
+							digestRecovered.Add(1)
+							continue
+						}
+					}
+					// Nothing stored: the spec is unchanged, resubmit it.
+					continue
+				}
 				if final.State != colcache.StateDone {
 					errCount.Add(1)
 					log.Printf("colload: client %d job %s ended %s: %s", c, info.ID, final.State, final.Error)
@@ -207,18 +233,19 @@ func run(args []string) int {
 	elapsed := time.Since(deadline.Add(-*duration))
 
 	rep := report{
-		Concurrency: *conc,
-		SpecMix:     *specMix,
-		Duration:    elapsed.Seconds(),
-		Submitted:   submitted.Load(),
-		Accepted:    accepted.Load(),
-		Rejected:    rejected.Load(),
-		Completed:   completed.Load(),
-		CacheHits:   cacheHits.Load(),
-		Errors:      errCount.Load(),
+		Concurrency:     *conc,
+		SpecMix:         *specMix,
+		Duration:        elapsed.Seconds(),
+		Submitted:       submitted.Load(),
+		Accepted:        accepted.Load(),
+		Rejected:        rejected.Load(),
+		Completed:       completed.Load(),
+		CacheHits:       cacheHits.Load(),
+		DigestRecovered: digestRecovered.Load(),
+		Errors:          errCount.Load(),
 	}
 	if rep.Duration > 0 {
-		rep.Throughput = float64(rep.Completed+rep.CacheHits) / rep.Duration
+		rep.Throughput = float64(rep.Completed+rep.CacheHits+rep.DigestRecovered) / rep.Duration
 	}
 	if served := rep.Completed + rep.CacheHits; served > 0 {
 		rep.CacheHitRatio = float64(rep.CacheHits) / float64(served)
@@ -235,18 +262,28 @@ func run(args []string) int {
 	rep.CachedLatencyP90Ms = percentile(cachedLatencies, 0.90)
 	rep.CachedLatencyP99Ms = percentile(cachedLatencies, 0.99)
 
-	// Cross-check the server's ledger against what we observed.
-	ledger, err := scrapeLedger(client)
-	if err != nil {
-		log.Printf("colload: metrics scrape: %v", err)
-		errCount.Add(1)
-		rep.Errors = errCount.Load()
+	// Cross-check the server's ledger against what we observed. Against a
+	// fabric coordinator the books live per node in the heartbeat stream,
+	// not in one /metrics ledger.
+	if *fabricFl {
+		if err := checkFabric(*base, &rep); err != nil {
+			log.Printf("colload: fabric check: %v", err)
+			errCount.Add(1)
+			rep.Errors = errCount.Load()
+		}
 	} else {
-		rep.ServerLedger = ledger
-		rep.LedgerMatches = checkLedger(ledger, rep)
-		if !rep.LedgerMatches {
-			log.Printf("colload: ledger mismatch: server %v vs observed accepted=%d rejected=%d completed=%d",
-				ledger, rep.Accepted, rep.Rejected, rep.Completed)
+		ledger, err := scrapeLedger(client)
+		if err != nil {
+			log.Printf("colload: metrics scrape: %v", err)
+			errCount.Add(1)
+			rep.Errors = errCount.Load()
+		} else {
+			rep.ServerLedger = ledger
+			rep.LedgerMatches = checkLedger(ledger, rep)
+			if !rep.LedgerMatches {
+				log.Printf("colload: ledger mismatch: server %v vs observed accepted=%d rejected=%d completed=%d",
+					ledger, rep.Accepted, rep.Rejected, rep.Completed)
+			}
 		}
 	}
 
@@ -258,7 +295,7 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	if rep.Errors > 0 || !rep.LedgerMatches || rep.Completed == 0 {
+	if rep.Errors > 0 || !rep.LedgerMatches || rep.Completed+rep.DigestRecovered == 0 {
 		return 1
 	}
 	return 0
@@ -276,6 +313,75 @@ func percentile(sorted []float64, p float64) float64 {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// checkFabric reconciles the cluster's books through the coordinator:
+// every alive worker's heartbeat ledger must balance (accepted equals
+// done+failed+canceled), the coordinator must have no pending routed jobs,
+// and no steal may have failed. Heartbeats lag by up to one interval and
+// terminal states land on the last poll, so imbalance is retried for a
+// grace window before it counts as a mismatch.
+func checkFabric(base string, rep *report) error {
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	var lastErr error
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		var cluster fabric.ClusterView
+		resp, err := httpc.Get(base + "/fabric/v1/nodes")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&cluster)
+			resp.Body.Close()
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = reconcileCluster(cluster, rep)
+			if lastErr == nil {
+				rep.LedgerMatches = true
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return lastErr
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func reconcileCluster(cluster fabric.ClusterView, rep *report) error {
+	rep.FabricStolen = cluster.JobsStolen
+	rep.FabricStealFailures = cluster.StealFailures
+	rep.FabricNodes = 0
+	aggregate := map[string]int64{}
+	perNode := map[string]int64{}
+	var unbalanced []string
+	for _, w := range cluster.Workers {
+		if !w.Alive {
+			continue
+		}
+		rep.FabricNodes++
+		perNode[w.Name] = w.Ledger["accepted"]
+		for k, v := range w.Ledger {
+			aggregate[k] += v
+		}
+		if w.Ledger["accepted"] != w.Ledger["done"]+w.Ledger["failed"]+w.Ledger["canceled"] {
+			unbalanced = append(unbalanced, w.Name)
+		}
+	}
+	rep.ServerLedger = aggregate
+	rep.FabricNodeLedgers = perNode
+	if rep.FabricNodes == 0 {
+		return errors.New("no alive workers in the cluster view")
+	}
+	if len(unbalanced) > 0 {
+		return fmt.Errorf("unbalanced node ledgers: %v", unbalanced)
+	}
+	if cluster.StealFailures > 0 {
+		return fmt.Errorf("%d jobs were lost to failed steals", cluster.StealFailures)
+	}
+	if cluster.PendingJobs > 0 {
+		return fmt.Errorf("%d routed jobs still pending at the coordinator", cluster.PendingJobs)
+	}
+	return nil
 }
 
 var ledgerRe = regexp.MustCompile(`(?m)^colserved_jobs_total\{kind="simulate",outcome="(\w+)"\} (\d+)$`)

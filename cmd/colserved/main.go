@@ -5,6 +5,8 @@
 // Usage:
 //
 //	colserved [-addr :8344] [-workers N] [-queue N] [-drain 30s]
+//	colserved -role coordinator [-addr :8340] [-vnodes 64] [-peer-ttl 2s]
+//	colserved -role worker -join http://coord:8340 [-node w1] [-advertise URL]
 //
 // Endpoints:
 //
@@ -28,6 +30,13 @@
 // "cached": true), and a restart over the same directory replays the log —
 // queued jobs re-enqueue, in-flight simulations resume from their last
 // checkpoint, and GET /v1/results/{digest} serves memoized results.
+//
+// With -role the process joins a job fabric. A coordinator serves the same
+// /v1 API but owns no simulator: it routes each submission to the worker
+// that owns the spec's digest on a consistent-hash ring, and steals jobs
+// back from workers that stop heartbeating. A worker is a standalone
+// server that additionally registers with -join's coordinator and renews
+// its ring lease every -heartbeat.
 package main
 
 import (
@@ -39,9 +48,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"colcache/internal/fabric"
 	"colcache/internal/service"
 )
 
@@ -67,8 +78,34 @@ func run(args []string) int {
 		dataDir    = fs.String("data-dir", "", "durability root: WAL + result cache (empty: in-memory)")
 		walPath    = fs.String("wal", "", "write-ahead log path (default <data-dir>/wal.log)")
 		cacheBytes = fs.Int64("result-cache-bytes", 0, "result cache byte budget (default 256 MiB)")
+
+		role      = fs.String("role", "standalone", "process role: standalone, coordinator, or worker")
+		join      = fs.String("join", "", "coordinator base URL (worker role)")
+		node      = fs.String("node", "", "stable ring identity (worker role; default: derived from listen addr)")
+		advertise = fs.String("advertise", "", "base URL the coordinator reaches this worker at (default http://127.0.0.1:<port>)")
+		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval")
+		vnodes    = fs.Int("vnodes", fabric.DefaultVNodes, "virtual nodes per worker on the hash ring (coordinator role)")
+		peerTTL   = fs.Duration("peer-ttl", 2*time.Second, "heartbeat lease before a worker is declared dead (coordinator role)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	switch *role {
+	case "standalone", "worker":
+	case "coordinator":
+		return runCoordinator(*addr, *vnodes, *peerTTL, *maxBody, *retain, logf)
+	default:
+		log.Printf("colserved: unknown -role %q (want standalone, coordinator, or worker)", *role)
+		return 2
+	}
+	if *role == "worker" && *join == "" {
+		log.Printf("colserved: -role worker requires -join <coordinator URL>")
 		return 2
 	}
 
@@ -104,10 +141,6 @@ func run(args []string) int {
 		Durability:     dur,
 	})
 
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
-	}
 	if dur != nil {
 		rec := srv.Recovery()
 		logf("colserved: durable in %s (wal replay: %d requeued, %d resumed from checkpoint, %d already finished, %d dropped)",
@@ -119,6 +152,32 @@ func run(args []string) int {
 		log.Printf("colserved: %v", err)
 		return 1
 	}
+
+	// Worker role: register with the coordinator before serving traffic so
+	// the first routed job never races the first heartbeat.
+	var agent *fabric.Agent
+	if *role == "worker" {
+		name := *node
+		if name == "" {
+			name = "worker-" + ln.Addr().String()
+		}
+		base := *advertise
+		if base == "" {
+			base = advertiseURL(ln.Addr())
+		}
+		agent = fabric.StartAgent(fabric.AgentConfig{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Name:        name,
+			BaseURL:     base,
+			Interval:    *heartbeat,
+			Status:      srv.FabricStatus,
+			Logf:        logf,
+		})
+		srv.SetFabricGauges(agent.Gauges)
+		defer agent.Stop()
+		logf("colserved: worker %s advertising %s to %s", name, base, *join)
+	}
+
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -136,6 +195,12 @@ func run(args []string) int {
 	}
 	stop()
 	logf("colserved: signal received, draining (budget %s)", *drain)
+
+	// Stop heartbeating first so the coordinator routes new work elsewhere
+	// while this worker drains what it already accepted.
+	if agent != nil {
+		agent.Stop()
+	}
 
 	// Drain the job queue first so /v1/jobs stays pollable while in-flight
 	// work completes, then close the listener.
@@ -158,4 +223,64 @@ func run(args []string) int {
 	}
 	logf("colserved: drained cleanly")
 	return 0
+}
+
+// runCoordinator serves the fabric control plane: no simulator, just the
+// ring, the failure detector, and the forwarding /v1 API.
+func runCoordinator(addr string, vnodes int, peerTTL time.Duration, maxBody int64, retain int, logf func(string, ...any)) int {
+	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		VNodes:       vnodes,
+		PeerTTL:      peerTTL,
+		MaxBodyBytes: maxBody,
+		RetainJobs:   retain,
+		Logf:         logf,
+	})
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("colserved: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logf("colserved: coordinator listening on %s (vnodes=%d peer-ttl=%s)", ln.Addr(), vnodes, peerTTL)
+
+	select {
+	case err := <-errc:
+		log.Printf("colserved: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("colserved: shutdown: %v", err)
+		return 1
+	}
+	<-errc
+	logf("colserved: coordinator stopped")
+	return 0
+}
+
+// advertiseURL derives a worker's reachable base URL from its listener:
+// a wildcard host becomes 127.0.0.1 (single-host fabrics are the test and
+// quickstart topology; multi-host deployments pass -advertise).
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	ip := net.ParseIP(host)
+	if host == "" || host == "::" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colcache/internal/service"
+)
+
+// AgentConfig parameterizes a worker's fabric agent.
+type AgentConfig struct {
+	// Coordinator is the control plane's base URL.
+	Coordinator string
+	// Name is this worker's stable ring identity.
+	Name string
+	// BaseURL is where the coordinator reaches this worker's /v1 API.
+	BaseURL string
+	// Interval between heartbeats (default 500ms). The coordinator's
+	// PeerTTL should be a few multiples of this.
+	Interval time.Duration
+	// Status supplies the heartbeat payload: the job ledger by outcome
+	// plus live queue gauges. Nil sends an empty ledger.
+	Status func() (ledger map[string]int64, queued, running int)
+	// Client overrides the HTTP client (default: 5s timeout).
+	Client *http.Client
+	// Logf receives join/failure events (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Agent keeps one worker registered with the coordinator: the first
+// heartbeat joins the ring, the rest renew the lease and carry the
+// worker's ledger. Registration and renewal are the same request, so a
+// coordinator restart heals itself — the next heartbeat re-registers.
+type Agent struct {
+	cfg      AgentConfig
+	stopc    chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	beats    atomic.Int64
+	failures atomic.Int64
+	lastBeat atomic.Int64 // unix nanos of the last successful heartbeat
+}
+
+// StartAgent launches the heartbeat loop (first beat immediate).
+func StartAgent(cfg AgentConfig) *Agent {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &Agent{cfg: cfg, stopc: make(chan struct{}), done: make(chan struct{})}
+	go a.loop()
+	return a
+}
+
+// Stop ends the heartbeat loop. The coordinator will expire the lease
+// and steal any unfinished jobs — an orderly worker drains first, so
+// there is normally nothing to steal.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stopc) })
+	<-a.done
+}
+
+// Gauges renders the agent's state for the worker's /metrics.
+func (a *Agent) Gauges() service.FabricGauges {
+	g := service.FabricGauges{
+		Attached:   a.beats.Load() > 0,
+		Heartbeats: a.beats.Load(),
+		Failures:   a.failures.Load(),
+	}
+	if last := a.lastBeat.Load(); last > 0 {
+		g.LastBeatAgeSeconds = time.Since(time.Unix(0, last)).Seconds()
+	}
+	return g
+}
+
+func (a *Agent) loop() {
+	defer close(a.done)
+	a.beat()
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stopc:
+			return
+		case <-tick.C:
+			a.beat()
+		}
+	}
+}
+
+func (a *Agent) beat() {
+	hb := Heartbeat{Name: a.cfg.Name, BaseURL: a.cfg.BaseURL}
+	if a.cfg.Status != nil {
+		hb.Ledger, hb.Queued, hb.Running = a.cfg.Status()
+	}
+	body, err := json.Marshal(hb)
+	if err != nil {
+		a.failures.Add(1)
+		return
+	}
+	resp, err := a.cfg.Client.Post(a.cfg.Coordinator+"/fabric/v1/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		if a.failures.Add(1) == 1 {
+			a.cfg.Logf("fabric: heartbeat to %s failed: %v (will keep trying)", a.cfg.Coordinator, err)
+		}
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		a.failures.Add(1)
+		return
+	}
+	if a.beats.Add(1) == 1 {
+		a.cfg.Logf("fabric: joined coordinator %s as %s", a.cfg.Coordinator, a.cfg.Name)
+	}
+	a.lastBeat.Store(time.Now().UnixNano())
+}

@@ -1,0 +1,366 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	colcache "colcache"
+	"colcache/internal/service"
+)
+
+// testWorker is one in-process worker: a real service.Server behind an
+// httptest listener, kept registered by a real heartbeat agent.
+type testWorker struct {
+	name  string
+	srv   *service.Server
+	http  *httptest.Server
+	agent *Agent
+}
+
+func (w *testWorker) stop() {
+	if w.agent != nil {
+		w.agent.Stop()
+	}
+	w.http.Close()
+}
+
+// kill simulates a crash: the heartbeats stop and the listener drops
+// connections, with no drain.
+func (w *testWorker) kill() {
+	w.agent.Stop()
+	w.agent = nil
+	w.http.CloseClientConnections()
+	w.http.Close()
+}
+
+func startTestWorker(t *testing.T, coordURL, name string, cfg service.Config) *testWorker {
+	t.Helper()
+	srv := service.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	w := &testWorker{name: name, srv: srv, http: hs}
+	w.agent = StartAgent(AgentConfig{
+		Coordinator: coordURL,
+		Name:        name,
+		BaseURL:     hs.URL,
+		Interval:    50 * time.Millisecond,
+		Status:      srv.FabricStatus,
+	})
+	t.Cleanup(w.stop)
+	return w
+}
+
+func startTestCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, string) {
+	t.Helper()
+	if cfg.PeerTTL == 0 {
+		cfg.PeerTTL = 300 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	coord := NewCoordinator(cfg)
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		coord.Close()
+	})
+	return coord, hs.URL
+}
+
+func waitAlive(t *testing.T, coordURL string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cv := clusterViewOf(t, coordURL)
+		alive := 0
+		for _, w := range cv.Workers {
+			if w.Alive {
+				alive++
+			}
+		}
+		if alive == n {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("cluster never reached %d alive workers", n)
+}
+
+func clusterViewOf(t *testing.T, coordURL string) ClusterView {
+	t.Helper()
+	resp, err := http.Get(coordURL + "/fabric/v1/nodes")
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	defer resp.Body.Close()
+	var cv ClusterView
+	if err := json.NewDecoder(resp.Body).Decode(&cv); err != nil {
+		t.Fatalf("nodes decode: %v", err)
+	}
+	return cv
+}
+
+func streamSpec(size uint64) colcache.SimSpec {
+	return colcache.SimSpec{
+		Machine:  colcache.MachineSpec{Sets: 16, Ways: 4},
+		Workload: &colcache.WorkloadSpec{Name: "stream", SizeBytes: size, Passes: 1},
+	}
+}
+
+func submitVia(t *testing.T, coordURL string, spec colcache.SimSpec) colcache.JobInfo {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(coordURL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var info colcache.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	if info.Digest == "" || info.Node == "" {
+		t.Fatalf("submission missing fabric fields: %+v", info)
+	}
+	return info
+}
+
+func TestCoordinatorRoutesByDigest(t *testing.T) {
+	_, coordURL := startTestCoordinator(t, CoordinatorConfig{})
+	startTestWorker(t, coordURL, "w1", service.Config{})
+	startTestWorker(t, coordURL, "w2", service.Config{})
+	waitAlive(t, coordURL, 2)
+
+	// The same spec routes to the same worker every time: that is the
+	// warm-cache affinity the ring exists for.
+	first := submitVia(t, coordURL, streamSpec(4096))
+	for i := 0; i < 3; i++ {
+		again := submitVia(t, coordURL, streamSpec(4096))
+		if again.Node != first.Node {
+			t.Fatalf("resubmission routed to %s, first went to %s", again.Node, first.Node)
+		}
+		if again.Digest != first.Digest {
+			t.Fatalf("digest changed across identical submissions")
+		}
+	}
+
+	// Distinct specs spread over both workers (12 digests on 2 nodes: the
+	// chance of a one-sided split is ~2^-11 per hash choice, i.e. never —
+	// the hash is deterministic, so this either always passes or the
+	// placement is broken).
+	nodes := map[string]bool{}
+	client := colcache.NewClient(coordURL, nil)
+	var ids []string
+	for i := 0; i < 12; i++ {
+		info := submitVia(t, coordURL, streamSpec(uint64(4096+64*i)))
+		nodes[info.Node] = true
+		if info.ID != "" {
+			ids = append(ids, info.ID)
+		}
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("12 distinct digests landed on %d nodes, want 2", len(nodes))
+	}
+
+	// Every accepted job polls to done through the coordinator, under its
+	// fabric ID.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		final, err := client.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if final.State != colcache.StateDone {
+			t.Fatalf("job %s ended %s: %s", id, final.State, final.Error)
+		}
+		if final.ID != id {
+			t.Fatalf("poll answered ID %s for fabric ID %s", final.ID, id)
+		}
+	}
+
+	cv := clusterViewOf(t, coordURL)
+	if cv.JobsRouted < 13 {
+		t.Fatalf("JobsRouted = %d, want >= 13", cv.JobsRouted)
+	}
+	if cv.StealFailures != 0 || cv.JobsStolen != 0 {
+		t.Fatalf("unexpected stealing on a healthy cluster: %+v", cv)
+	}
+}
+
+func TestCoordinatorStealsFromDeadWorker(t *testing.T) {
+	_, coordURL := startTestCoordinator(t, CoordinatorConfig{PeerTTL: 250 * time.Millisecond})
+	w1 := startTestWorker(t, coordURL, "w1", service.Config{})
+	w2 := startTestWorker(t, coordURL, "w2", service.Config{})
+	waitAlive(t, coordURL, 2)
+
+	// Submit a batch without polling: the coordinator cannot know which
+	// are terminal, so every victim-owned job must be stolen on death.
+	var ids []string
+	victims := 0
+	for i := 0; i < 10; i++ {
+		info := submitVia(t, coordURL, streamSpec(uint64(2048+64*i)))
+		ids = append(ids, info.ID)
+		if info.Node == "w2" {
+			victims++
+		}
+	}
+	if victims == 0 {
+		t.Fatalf("no jobs routed to the victim worker; placement is broken")
+	}
+	w2.kill()
+
+	client := colcache.NewClient(coordURL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		final, err := client.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if final.State != colcache.StateDone {
+			t.Fatalf("job %s ended %s after steal: %s", id, final.State, final.Error)
+		}
+		if final.Node == "w2" {
+			t.Fatalf("job %s reported done on the dead worker", id)
+		}
+	}
+
+	cv := clusterViewOf(t, coordURL)
+	if cv.JobsStolen == 0 {
+		t.Fatalf("no jobs stolen although %d were routed to the dead worker", victims)
+	}
+	if cv.StealFailures != 0 {
+		t.Fatalf("%d steal failures; every job had a live successor", cv.StealFailures)
+	}
+	_ = w1
+}
+
+func TestCoordinatorCachedRelay(t *testing.T) {
+	_, coordURL := startTestCoordinator(t, CoordinatorConfig{})
+	dur, err := service.OpenDurability(t.TempDir(), "", 0)
+	if err != nil {
+		t.Fatalf("durability: %v", err)
+	}
+	t.Cleanup(func() { dur.Close() })
+	startTestWorker(t, coordURL, "w1", service.Config{Durability: dur})
+	waitAlive(t, coordURL, 1)
+
+	info := submitVia(t, coordURL, streamSpec(4096))
+	client := colcache.NewClient(coordURL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.Wait(ctx, info.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	// Resubmission is answered from the worker's result cache and relayed
+	// as a terminal 200 by the coordinator.
+	body, _ := json.Marshal(streamSpec(4096))
+	resp, err := http.Post(coordURL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d, want 200 cached", resp.StatusCode)
+	}
+	var cached colcache.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&cached); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !cached.Cached || cached.Result == nil || cached.Node != "w1" {
+		t.Fatalf("cached relay missing fields: %+v", cached)
+	}
+
+	// The digest read path is proxied with its HTTP cache validators.
+	resp2, err := http.Get(coordURL + "/v1/results/" + info.Digest)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d", resp2.StatusCode)
+	}
+	if et := resp2.Header.Get("ETag"); et != `"`+info.Digest+`"` {
+		t.Fatalf("result ETag = %q, want the digest", et)
+	}
+	if cc := resp2.Header.Get("Cache-Control"); cc == "" {
+		t.Fatal("result missing Cache-Control")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, coordURL+"/v1/results/"+info.Digest, nil)
+	req.Header.Set("If-None-Match", `"`+info.Digest+`"`)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("conditional result: %v", err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional result: HTTP %d, want 304", resp3.StatusCode)
+	}
+}
+
+func TestRegistryLeaseExpiry(t *testing.T) {
+	reg := NewRegistry(100 * time.Millisecond)
+	now := time.Now()
+	if !reg.Upsert(Heartbeat{Name: "a", BaseURL: "http://a"}, now) {
+		t.Fatal("first heartbeat not newly alive")
+	}
+	if reg.Upsert(Heartbeat{Name: "a", BaseURL: "http://a"}, now.Add(50*time.Millisecond)) {
+		t.Fatal("renewal reported newly alive")
+	}
+	if dead := reg.Sweep(now.Add(80 * time.Millisecond)); len(dead) != 0 {
+		t.Fatalf("lease expired early: %v", dead)
+	}
+	dead := reg.Sweep(now.Add(200 * time.Millisecond))
+	if len(dead) != 1 || dead[0] != "a" {
+		t.Fatalf("Sweep = %v, want [a]", dead)
+	}
+	if reg.Alive() != 0 {
+		t.Fatalf("Alive() = %d after expiry", reg.Alive())
+	}
+	// A comeback heartbeat is newly alive again.
+	if !reg.Upsert(Heartbeat{Name: "a", BaseURL: "http://a"}, now.Add(300*time.Millisecond)) {
+		t.Fatal("comeback heartbeat not newly alive")
+	}
+	if !reg.MarkDead("a") || reg.MarkDead("a") {
+		t.Fatal("MarkDead not edge-triggered")
+	}
+}
+
+func TestCoordinatorShedsWithNoWorkers(t *testing.T) {
+	_, coordURL := startTestCoordinator(t, CoordinatorConfig{PeerTTL: 100 * time.Millisecond})
+	body, _ := json.Marshal(streamSpec(4096))
+	resp, err := http.Post(coordURL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty cluster submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 shed missing Retry-After")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if hash64("a", "b") != hash64("a", "b") {
+		t.Fatal("hash64 not deterministic")
+	}
+	if hash64("a", "b") == hash64("ab") {
+		t.Fatal("hash64 joins parts without separation")
+	}
+	if hash64(fmt.Sprintf("k%d", 1)) == hash64(fmt.Sprintf("k%d", 2)) {
+		t.Fatal("distinct keys collided (astronomically unlikely)")
+	}
+}

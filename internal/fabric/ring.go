@@ -1,0 +1,187 @@
+// Package fabric promotes colserved from a single daemon into a
+// coordinator + N worker job fabric. The routing primitive is a
+// consistent-hash ring over the content address that the durability layer
+// already computes for every submission (the SHA-256 digest of the
+// canonicalized spec plus trace bytes): identical submissions land on the
+// worker whose result cache and decoded-trace cache are warm for that
+// key, and — as in Chang et al.'s consistent-hashing mechanism for
+// resizable caches — a node joining or leaving remaps only ~1/N of the
+// keyspace, so warm caches survive membership churn without global
+// invalidation.
+//
+// The pieces:
+//
+//   - Ring: the consistent-hash ring (virtual nodes, binary-search owner
+//     lookup, successor walks for failover).
+//   - Registry: the worker membership table, fed by HTTP heartbeats and
+//     swept by a lease-based failure detector.
+//   - Coordinator: the control plane. It serves the same /v1 data-plane
+//     API as a worker, forwarding each submission to the ring owner of
+//     its digest, and steals the unfinished jobs of a dead worker onto
+//     ring successors so no accepted job is ever lost.
+//   - Agent: the worker-side loop that registers with the coordinator
+//     and keeps the lease alive, carrying the worker's job ledger so the
+//     coordinator can reconcile books across the fleet.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per worker. 64 points per node
+// keeps the per-node keyspace share within a few percent of 1/N while the
+// ring stays small enough that membership changes rebuild it instantly.
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and node names
+// are arbitrary strings; both are positioned by SHA-256, so the routed
+// digests (themselves hex SHA-256) spread uniformly. Safe for concurrent
+// use: lookups take a read lock, membership changes a write lock.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	nodes  map[string]struct{}
+	points []point // sorted by (hash, node)
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (<= 0 means DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// hash64 positions a byte string on the ring.
+func hash64(parts ...string) uint64 {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Add inserts a node (with its virtual points); reports whether it was
+// new.
+func (r *Ring) Add(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return false
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hash64("vnode", node, strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return true
+}
+
+// Remove deletes a node and its points; reports whether it was present.
+func (r *Ring) Remove(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return false
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// VNodes is the configured virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// ownerIdx returns the index of the first point at or clockwise of the
+// key's position (the ring wraps). Callers hold at least a read lock.
+func (r *Ring) ownerIdx(key string) int {
+	h := hash64("key", key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the node responsible for key, or ok=false on an empty
+// ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.ownerIdx(key)].node, true
+}
+
+// Successors walks the ring clockwise from the key's owner and returns up
+// to n distinct nodes in encounter order (the owner first). This is the
+// failover order: a key's blob or job moves to Successors[1] when
+// Successors[0] dies.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i, start := 0, r.ownerIdx(key); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like the digests the coordinator routes: hex content
+		// addresses are themselves uniform, but the ring must not depend
+		// on that — hash64 repositions every key.
+		keys[i] = fmt.Sprintf("digest-%06d", i)
+	}
+	return keys
+}
+
+func TestRingUniformSpread(t *testing.T) {
+	const (
+		nodes  = 8
+		vnodes = 128
+		nkeys  = 20000
+	)
+	r := NewRing(vnodes)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	load := map[string]int{}
+	for _, k := range ringKeys(nkeys) {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q): empty ring", k)
+		}
+		load[owner]++
+	}
+	if len(load) != nodes {
+		t.Fatalf("keys landed on %d of %d nodes", len(load), nodes)
+	}
+	// With 128 vnodes the per-node share should sit well within
+	// [0.6, 1.5] x K/N — loose enough to be seed-independent (the hash is
+	// deterministic), tight enough to catch a broken point placement.
+	fair := float64(nkeys) / nodes
+	for node, n := range load {
+		if f := float64(n); f < 0.6*fair || f > 1.5*fair {
+			t.Errorf("node %s owns %d keys, want within [%.0f, %.0f]", node, n, 0.6*fair, 1.5*fair)
+		}
+	}
+}
+
+func TestRingRemapOnJoin(t *testing.T) {
+	const (
+		nodes  = 8
+		vnodes = 128
+		nkeys  = 20000
+	)
+	r := NewRing(vnodes)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	keys := ringKeys(nkeys)
+	before := make(map[string]string, nkeys)
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Add("joiner")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		// Consistent hashing's defining property: a join moves keys ONLY
+		// onto the joining node. Any other movement invalidates every
+		// warm cache on the rest of the fleet.
+		if after != "joiner" {
+			t.Fatalf("key %q moved %s -> %s on join (not to the joiner)", k, before[k], after)
+		}
+	}
+	// Expected share is K/(N+1); allow a 2x constant for vnode variance.
+	expect := float64(nkeys) / (nodes + 1)
+	if f := float64(moved); f == 0 || f > 2*expect {
+		t.Fatalf("join moved %d keys, want (0, %.0f]", moved, 2*expect)
+	}
+}
+
+func TestRingRemapOnLeave(t *testing.T) {
+	const (
+		nodes  = 8
+		vnodes = 128
+		nkeys  = 20000
+	)
+	r := NewRing(vnodes)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	keys := ringKeys(nkeys)
+	before := make(map[string]string, nkeys)
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	const victim = "w3"
+	r.Remove(victim)
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == victim {
+			if after == victim {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			moved++
+			continue
+		}
+		// Keys not owned by the departing node must not move at all.
+		if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s on unrelated leave", k, before[k], after)
+		}
+	}
+	expect := float64(nkeys) / nodes
+	if f := float64(moved); f == 0 || f > 2*expect {
+		t.Fatalf("leave moved %d keys, want (0, %.0f]", moved, 2*expect)
+	}
+}
+
+func TestRingSuccessorsDistinctAndStable(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	succ := r.Successors("some-digest", 3)
+	if len(succ) != 3 {
+		t.Fatalf("Successors returned %d nodes, want 3", len(succ))
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("duplicate successor %q in %v", s, succ)
+		}
+		seen[s] = true
+	}
+	owner, _ := r.Owner("some-digest")
+	if succ[0] != owner {
+		t.Fatalf("Successors[0] = %q, want the owner %q", succ[0], owner)
+	}
+	// Asking for more successors than members truncates to the member set.
+	if all := r.Successors("some-digest", 99); len(all) != 5 {
+		t.Fatalf("Successors(n>members) returned %d, want 5", len(all))
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if !r.Add("a") || r.Add("a") {
+		t.Fatal("Add not idempotent-aware")
+	}
+	if !r.Remove("a") || r.Remove("a") {
+		t.Fatal("Remove not idempotent-aware")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d after add+remove, want 0", r.Len())
+	}
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	colcache "colcache"
+)
+
+func jobID(t *testing.T, body []byte) string {
+	t.Helper()
+	var info colcache.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil || info.ID == "" {
+		t.Fatalf("no job ID in %s (%v)", body, err)
+	}
+	return info.ID
+}
+
+// TestResultETagAndConditionalGet pins the HTTP cache contract of
+// GET /v1/results/{digest}: the stored envelope is immutable (the digest
+// IS the content), so the response must carry the digest as a strong ETag
+// plus an immutable Cache-Control — and a conditional re-read must be
+// answered 304 without a body. The fabric coordinator forwards these
+// reads between nodes; the validators are what make that forwarding (and
+// any intermediate HTTP cache) free.
+func TestResultETagAndConditionalGet(t *testing.T) {
+	srv := newDurable(t, t.TempDir(), Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/simulate", tinySpec("etag"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	info := waitTerminal(t, ts, jobID(t, body))
+	if info.State != colcache.StateDone || info.Digest == "" {
+		t.Fatalf("job ended %s, digest %q", info.State, info.Digest)
+	}
+
+	rr, err := ts.Client().Get(ts.URL + "/v1/results/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results: HTTP %d", rr.StatusCode)
+	}
+	wantETag := `"` + info.Digest + `"`
+	if et := rr.Header.Get("ETag"); et != wantETag {
+		t.Fatalf("ETag = %q, want %q", et, wantETag)
+	}
+	cc := rr.Header.Get("Cache-Control")
+	if !strings.Contains(cc, "immutable") || !strings.Contains(cc, "max-age") {
+		t.Fatalf("Cache-Control = %q, want immutable with a max-age", cc)
+	}
+
+	// Conditional re-reads: exact match, list form, and wildcard all 304.
+	for _, inm := range []string{wantETag, `"deadbeef", ` + wantETag, "*"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/results/"+info.Digest, nil)
+		req.Header.Set("If-None-Match", inm)
+		cond, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cond.Body.Close()
+		if cond.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: HTTP %d, want 304", inm, cond.StatusCode)
+		}
+		if et := cond.Header.Get("ETag"); et != wantETag {
+			t.Fatalf("304 must repeat the ETag, got %q", et)
+		}
+	}
+
+	// A stale validator still gets the full document.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/results/"+info.Digest, nil)
+	req.Header.Set("If-None-Match", `"0000"`)
+	full, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Body.Close()
+	if full.StatusCode != http.StatusOK {
+		t.Fatalf("mismatched If-None-Match: HTTP %d, want 200", full.StatusCode)
+	}
+}

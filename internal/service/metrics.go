@@ -59,6 +59,18 @@ func (c *counterVec) Add(delta int64, values ...string) { c.with(values...).Add(
 // Get reads a child's value (0 if never touched).
 func (c *counterVec) Get(values ...string) int64 { return c.with(values...).Load() }
 
+// sumBy folds every child into totals keyed by one label's value.
+func (c *counterVec) sumBy(labelIdx int) map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64)
+	for k, child := range c.children {
+		values := splitKey(k, len(c.labels))
+		out[values[labelIdx]] += child.Load()
+	}
+	return out
+}
+
 func (c *counterVec) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
 	c.mu.Lock()
@@ -237,6 +249,21 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// OutcomeTotals sums the jobs ledger over kinds, keyed by outcome
+// (accepted, done, failed, canceled, cached, recovered, rejected) — the
+// payload a fabric worker reports in its heartbeats so the coordinator
+// can reconcile books per node.
+func (m *Metrics) OutcomeTotals() map[string]int64 { return m.Jobs.sumBy(1) }
+
+// FabricGauges is a fabric worker's agent state, rendered on /metrics
+// when the server runs with -role worker.
+type FabricGauges struct {
+	Attached           bool    // at least one heartbeat has been acknowledged
+	Heartbeats         int64   // acknowledged heartbeats
+	Failures           int64   // heartbeats that failed or were rejected
+	LastBeatAgeSeconds float64 // age of the last acknowledged heartbeat
+}
+
 // Gauges are the live values rendered at scrape time; the server supplies
 // them so the registry needs no back-pointer.
 type Gauges struct {
@@ -247,6 +274,8 @@ type Gauges struct {
 	// passes snapshots of the result cache and write-ahead log counters.
 	Result *resultcache.Counters
 	WAL    *wal.Stats
+	// Fabric is nil unless the server is a fabric worker.
+	Fabric *FabricGauges
 }
 
 // Write renders the whole registry in Prometheus text exposition format.
@@ -300,6 +329,18 @@ func (m *Metrics) Write(w io.Writer, g Gauges) {
 		fmt.Fprintf(w, "# HELP colserved_wal_bytes Size of the write-ahead log file.\n# TYPE colserved_wal_bytes gauge\ncolserved_wal_bytes %d\n", ws.Bytes)
 		fmt.Fprintf(w, "# HELP colserved_wal_recovered_records Records replayed from the log at the last open.\n# TYPE colserved_wal_recovered_records gauge\ncolserved_wal_recovered_records %d\n", ws.Recovered)
 		fmt.Fprintf(w, "# HELP colserved_wal_dropped_bytes Bytes of torn or corrupt tail truncated at the last open.\n# TYPE colserved_wal_dropped_bytes gauge\ncolserved_wal_dropped_bytes %d\n", ws.Dropped)
+	}
+
+	if g.Fabric != nil {
+		fg := g.Fabric
+		attached := 0
+		if fg.Attached {
+			attached = 1
+		}
+		fmt.Fprintf(w, "# HELP colserved_fabric_attached Whether this worker has joined a coordinator.\n# TYPE colserved_fabric_attached gauge\ncolserved_fabric_attached %d\n", attached)
+		fmt.Fprintf(w, "# HELP colserved_fabric_heartbeats_total Heartbeats acknowledged by the coordinator.\n# TYPE colserved_fabric_heartbeats_total counter\ncolserved_fabric_heartbeats_total %d\n", fg.Heartbeats)
+		fmt.Fprintf(w, "# HELP colserved_fabric_heartbeat_failures_total Heartbeats that failed or were rejected.\n# TYPE colserved_fabric_heartbeat_failures_total counter\ncolserved_fabric_heartbeat_failures_total %d\n", fg.Failures)
+		fmt.Fprintf(w, "# HELP colserved_fabric_last_heartbeat_age_seconds Age of the last acknowledged heartbeat.\n# TYPE colserved_fabric_last_heartbeat_age_seconds gauge\ncolserved_fabric_last_heartbeat_age_seconds %g\n", fg.LastBeatAgeSeconds)
 	}
 
 	fmt.Fprintf(w, "# HELP colserved_uptime_seconds Seconds since the server started.\n# TYPE colserved_uptime_seconds gauge\ncolserved_uptime_seconds %g\n", time.Since(m.start).Seconds())

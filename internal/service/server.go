@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +89,10 @@ type Server struct {
 	draining  chan struct{} // closed when Drain begins
 	drainOnce sync.Once
 
+	// fabricGauges, when set (before serving traffic), is scraped into
+	// /metrics — the worker role's heartbeat agent supplies it.
+	fabricGauges func() FabricGauges
+
 	// testHook, when set, runs at the head of every job; tests use it to
 	// pin a job in the running state deterministically.
 	testHook func(ctx context.Context, j *Job)
@@ -133,6 +138,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the registry (tests and embedding servers read it).
 func (s *Server) MetricsRegistry() *Metrics { return s.metrics }
+
+// SetFabricGauges installs the fabric-agent gauge source rendered on
+// /metrics. Call before the server takes traffic.
+func (s *Server) SetFabricGauges(fn func() FabricGauges) { s.fabricGauges = fn }
+
+// FabricStatus is the heartbeat payload a fabric worker reports: the job
+// ledger summed by outcome plus the live queue gauges.
+func (s *Server) FabricStatus() (ledger map[string]int64, queued, running int) {
+	return s.metrics.OutcomeTotals(), s.pool.Pending(), s.pool.Running()
+}
 
 func (s *Server) isDraining() bool {
 	select {
@@ -574,7 +589,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// Binary trace upload: machine via query parameters, body streamed
 		// through the size-limited decoder — an oversized or malformed
 		// trace is rejected without ever being fully buffered.
-		spec, err := machineFromQuery(r)
+		spec, err := MachineFromQuery(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad query: %v", err)
 			return
@@ -630,8 +645,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.submit(w, j)
 }
 
-// machineFromQuery parses the octet-stream submission's machine selection.
-func machineFromQuery(r *http.Request) (colcache.SimSpec, error) {
+// MachineFromQuery parses the octet-stream submission's machine
+// selection. Exported for the fabric coordinator, which must compute the
+// same content address the worker will without buffering the trace twice.
+func MachineFromQuery(r *http.Request) (colcache.SimSpec, error) {
 	q := r.URL.Query()
 	var spec colcache.SimSpec
 	geti := func(key string) (int, error) {
@@ -733,7 +750,11 @@ func (s *Server) serveCached(w http.ResponseWriter, kind, digest, label string) 
 
 // handleResult serves a finished result out of the content-addressed
 // cache by digest — the poll target for clients whose job was shed
-// during a drain (the retriable JobInfo names the digest).
+// during a drain (the retriable JobInfo names the digest). The document
+// is immutable by construction (the digest addresses the inputs that
+// produced it), so it carries the strongest cacheability a proxy can
+// honor: Cache-Control immutable plus the digest itself as the ETag —
+// fabric-forwarded reads revalidate with 304s instead of re-downloading.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
 	if s.dur == nil {
@@ -743,6 +764,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	blob, ok := s.dur.Results.Get(digest)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no result for digest %q", digest)
+		return
+	}
+	etag := `"` + digest + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if inm := r.Header.Get("If-None-Match"); inm != "" &&
+		(inm == "*" || strings.Contains(inm, etag)) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -785,6 +814,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.Result = &rc
 		ws := s.dur.Log.Stats()
 		g.WAL = &ws
+	}
+	if s.fabricGauges != nil {
+		fg := s.fabricGauges()
+		g.Fabric = &fg
 	}
 	s.metrics.Write(w, g)
 }
