@@ -7,10 +7,13 @@
 #   bench                - SMOKE gate: one iteration of every benchmark, so
 #                          bench_test.go always compiles and executes; not a
 #                          measurement
-#   benchcore            - MEASURED core benchmarks: stepper cycles/sec at
-#                          1/2/4/8 cores + streaming replay, best-of-3 per
-#                          row, gated against the committed BENCH_CORE.json
-#                          (fail under (1-CORE_TOLERANCE) x baseline)
+#   benchcore            - MEASURED core benchmarks: serial and epoch-
+#                          parallel stepper cycles/sec at 1/2/4/8 cores +
+#                          streaming replay, best-of-3 per row, gated
+#                          against the committed BENCH_CORE.json (fail
+#                          under (1-CORE_TOLERANCE) x baseline, or if the
+#                          parallel stepper loses its structural edge over
+#                          the serial one)
 #   benchcore-baseline   - re-measure and overwrite BENCH_CORE.json
 #   smoke                - trimmed paperbench run with shape checks
 #   servebench           - colserved under load (BENCH_PR3.json)
@@ -178,24 +181,36 @@ fabricbench:
 # Differential conformance: the naive reference model in internal/oracle is
 # driven in lockstep with the production stack over the committed golden
 # traces plus CONFORM_N seeded random trace/config combinations, all under
-# the race detector. A failing run minimizes the case to conform-repro.json.
+# the race detector, plus CONFORM_MC seeded multicore machines run through
+# both the serial and the epoch-parallel stepper and compared on every
+# counter and cache line. A failing run minimizes the case to
+# conform-repro.json.
 CONFORM_N    ?= 1000
+CONFORM_MC   ?= 500
 CONFORM_SEED ?= 1
 conformance:
 	$(GO) test -race ./internal/oracle ./internal/conform ./cmd/conform
 	$(GO) build -race -o /tmp/conform ./cmd/conform
-	/tmp/conform -n $(CONFORM_N) -seed $(CONFORM_SEED) -golden internal/conform/testdata/golden
+	/tmp/conform -n $(CONFORM_N) -mc $(CONFORM_MC) -seed $(CONFORM_SEED) -golden internal/conform/testdata/golden
 
 # Multicore gates: the MSI coherence protocol under -race (including the
-# seeded random invariant sweep), the cycle-interleaved stepper's
-# determinism (the interference study must be byte-identical at any -jobs
-# value), and a throughput snapshot at 1/2/4/8 cores in BENCH_PR5.json.
+# seeded random invariant sweep and the epoch-parallel equivalence tests),
+# the stepper's determinism — the interference study must be byte-identical
+# at any -jobs value, and the epoch-parallel stepper must print the exact
+# serial output at any epoch length — and a throughput snapshot for both
+# steppers at 1/2/4/8 cores in BENCH_PR5.json.
 multicore:
 	$(GO) test -race ./internal/multicore
 	$(GO) build -o /tmp/paperbench ./cmd/paperbench
 	/tmp/paperbench -experiment multicore -jobs 1 > /tmp/mc-serial.txt
 	/tmp/paperbench -experiment multicore -jobs 8 > /tmp/mc-parallel.txt
 	cmp /tmp/mc-serial.txt /tmp/mc-parallel.txt
+	$(GO) build -o /tmp/colsim ./cmd/colsim
+	/tmp/colsim -cores 4 -synth random -n 50000 > /tmp/mc-step-serial.txt
+	/tmp/colsim -cores 4 -synth random -n 50000 -parallel -epoch 1 > /tmp/mc-step-k1.txt
+	/tmp/colsim -cores 4 -synth random -n 50000 -parallel -epoch 64 > /tmp/mc-step-k64.txt
+	cmp /tmp/mc-step-serial.txt /tmp/mc-step-k1.txt
+	cmp /tmp/mc-step-k1.txt /tmp/mc-step-k64.txt
 	/tmp/paperbench -quick -mcscale BENCH_PR5.json
 	test -s BENCH_PR5.json
 

@@ -105,9 +105,10 @@ func main() {
 		reuse     = flag.Bool("reuse", false, "print the trace's reuse-distance histogram and LRU hit-rate estimates")
 		planPath  = flag.String("plan", "", "apply a saved layout plan (from layouttool -o) before the run")
 		adaptive  = flag.Bool("adaptive", false, "let the online controller redistribute columns across tints at epoch boundaries")
-		epoch     = flag.Int64("epoch", 4096, "adaptive decision interval in cache accesses")
+		epoch     = flag.Int64("epoch", 4096, "adaptive decision interval in cache accesses; with -parallel, the lookahead window in simulated cycles")
 		minGain   = flag.Int64("mingain", 16, "adaptive hysteresis: predicted sampled-hit gain required to remap")
 		cores     = flag.Int("cores", 0, "multicore mode: cores with private L1s over a shared snooped L2 (0 = single-core)")
+		parallel  = flag.Bool("parallel", false, "multicore mode: use the epoch-parallel stepper (bit-identical results to serial)")
 		l2sets    = flag.Int("l2sets", 64, "multicore mode: shared L2 sets (power of two)")
 		l2ways    = flag.Int("l2ways", 8, "multicore mode: shared L2 ways = columns")
 		l2hit     = flag.Int("l2hit", 6, "multicore mode: L2 hit cycles")
@@ -141,11 +142,15 @@ func main() {
 
 	if *cores > 0 {
 		if err := runMulticore(traces, *cores, *lineBytes, *sets, *ways, *pageBytes,
-			*policy, *penalty, *l2sets, *l2ways, *l2hit, l2cols); err != nil {
+			*policy, *penalty, *l2sets, *l2ways, *l2hit, l2cols, *parallel, *epoch); err != nil {
 			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *parallel {
+		fmt.Fprintln(os.Stderr, "colsim: -parallel needs multicore mode (-cores N)")
+		os.Exit(1)
 	}
 
 	timing := memsys.DefaultTiming
@@ -268,9 +273,12 @@ func main() {
 }
 
 // runMulticore executes the -cores path: one trace per core through private
-// L1 column caches kept coherent over a shared column-partitioned L2.
+// L1 column caches kept coherent over a shared column-partitioned L2, via
+// the serial stepper or (with -parallel) the bit-identical epoch-parallel
+// stepper.
 func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageBytes int,
-	policy string, penalty, l2sets, l2ways, l2hit int, l2cols jobMaskFlag) error {
+	policy string, penalty, l2sets, l2ways, l2hit int, l2cols jobMaskFlag,
+	parallel bool, epoch int64) error {
 	switch {
 	case len(traces) == 1 && cores > 1:
 		// Replicate the single trace into disjoint per-core address windows.
@@ -323,7 +331,12 @@ func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageByt
 			return err
 		}
 	}
-	if err := m.Run(); err != nil {
+	if parallel {
+		err = m.RunParallel(epoch)
+	} else {
+		err = m.Run()
+	}
+	if err != nil {
 		return err
 	}
 	st := m.Stats()

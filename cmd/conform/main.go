@@ -26,6 +26,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	n := fs.Int("n", 256, "number of seeded random cases")
+	mc := fs.Int("mc", 0, "number of seeded multicore serial-vs-epoch-parallel equivalence cases")
 	seed := fs.Int64("seed", 1, "first random-case seed (cases use seed..seed+n-1)")
 	jobs := fs.Int("jobs", runner.DefaultWorkers(), "cases checked concurrently")
 	golden := fs.String("golden", "internal/conform/testdata/golden", "golden trace directory (empty to skip)")
@@ -105,7 +106,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "conform: %d/%d cases diverged\n", failed, len(cases))
 		return 1
 	}
+
+	// Multicore serial-equivalence sweep: the epoch-parallel stepper against
+	// the serial stepper, every counter and cache line compared.
+	if *mc > 0 {
+		mcs := make([]conform.MCCase, *mc)
+		for i := range mcs {
+			mcs[i] = conform.NewMCCase(*seed + int64(i))
+		}
+		mcDivs, err := runner.Map(context.Background(), mcs,
+			func(_ context.Context, c conform.MCCase, _ int) (*conform.Divergence, error) {
+				return conform.RunMCCase(c), nil
+			},
+			runner.Options{Workers: *jobs})
+		if err != nil {
+			fmt.Fprintf(stderr, "conform: %v\n", err)
+			return 1
+		}
+		mcFailed := 0
+		for _, d := range mcDivs {
+			if d != nil {
+				mcFailed++
+				fmt.Fprintf(stderr, "FAIL %s\n", d.Error())
+			}
+		}
+		if mcFailed > 0 {
+			fmt.Fprintf(stderr, "conform: %d/%d multicore equivalence cases diverged\n", mcFailed, len(mcs))
+			return 1
+		}
+	}
+
 	fmt.Fprintf(stdout, "conform: %d cases agree (%d golden, %d random from seed %d)\n",
 		len(cases), len(cases)-*n, *n, *seed)
+	if *mc > 0 {
+		fmt.Fprintf(stdout, "conform: %d multicore serial-vs-parallel cases agree\n", *mc)
+	}
 	return 0
 }

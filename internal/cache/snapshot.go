@@ -1,0 +1,86 @@
+package cache
+
+// Snapshot is a detached copy of a Cache's complete mutable state: line
+// metadata, way hints, replacement recency and the statistics counters. The
+// epoch-parallel multicore stepper snapshots every cache at each epoch
+// boundary so a conflicting epoch can be rolled back and replayed serially;
+// because the state is flat structure-of-arrays, a snapshot is a handful of
+// contiguous copies, not a pointer-chasing walk. The zero value is ready to
+// be filled by Cache.Snapshot.
+type Snapshot struct {
+	stats    Stats
+	tags     []uint64
+	valid    []bool
+	dirty    []bool
+	aux      []uint8
+	hint     []int32
+	stamp    []uint64
+	clock    []uint64
+	plru     []uint64
+	present  []bool
+	rngState uint64
+}
+
+// cloneInto copies src into dst, reallocating only when the sizes differ, so
+// repeated snapshots of the same cache reuse their buffers.
+func cloneInto[T any](dst, src []T) []T {
+	if src == nil {
+		return nil
+	}
+	if len(dst) != len(src) {
+		dst = make([]T, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+// Snapshottable reports whether the cache's full state can be captured by
+// Snapshot. Only caches running an injected replacement.Policy (NewWithPolicy,
+// the conformance mutation seam) are not: the interface gives no way to copy
+// the policy's internal state.
+func (c *Cache) Snapshottable() bool { return c.kind != kindCustom }
+
+// Snapshot copies the cache's complete mutable state into dst, allocating a
+// new Snapshot (or new buffers) only when dst is nil or shaped for a
+// different cache. It panics for a custom-policy cache — check Snapshottable
+// first. The returned snapshot shares nothing with the live cache.
+func (c *Cache) Snapshot(dst *Snapshot) *Snapshot {
+	if c.kind == kindCustom {
+		panic("cache: Snapshot of a cache with an injected replacement policy")
+	}
+	if dst == nil {
+		dst = &Snapshot{}
+	}
+	dst.stats = c.stats
+	dst.tags = cloneInto(dst.tags, c.tags)
+	dst.valid = cloneInto(dst.valid, c.valid)
+	dst.dirty = cloneInto(dst.dirty, c.dirty)
+	dst.aux = cloneInto(dst.aux, c.aux)
+	dst.hint = cloneInto(dst.hint, c.hint)
+	dst.stamp = cloneInto(dst.stamp, c.stamp)
+	dst.clock = cloneInto(dst.clock, c.clock)
+	dst.plru = cloneInto(dst.plru, c.plru)
+	dst.present = cloneInto(dst.present, c.present)
+	dst.rngState = c.rngState
+	return dst
+}
+
+// Restore copies a snapshot taken from this cache (same configuration) back
+// over the live state, byte for byte. Restoring a snapshot from a cache of a
+// different shape panics via the length checks below.
+func (c *Cache) Restore(s *Snapshot) {
+	if len(s.tags) != len(c.tags) {
+		panic("cache: Restore with a snapshot of a different shape")
+	}
+	c.stats = s.stats
+	copy(c.tags, s.tags)
+	copy(c.valid, s.valid)
+	copy(c.dirty, s.dirty)
+	copy(c.aux, s.aux)
+	copy(c.hint, s.hint)
+	copy(c.stamp, s.stamp)
+	copy(c.clock, s.clock)
+	copy(c.plru, s.plru)
+	copy(c.present, s.present)
+	c.rngState = s.rngState
+}

@@ -1,0 +1,53 @@
+package conform
+
+import "testing"
+
+// The serial-equivalence acceptance sweep: hundreds of seeded machines —
+// geometries, core counts, epoch lengths, replacement policies, L2
+// partitions and mid-run remap schedules all drawn from the seed — run
+// through the serial and epoch-parallel steppers and compared on every
+// counter, the full cache contents and the final column masks, with
+// coherence invariant checks live throughout. Run under -race by `make
+// conformance`, this is also the epoch stepper's data-race stress.
+func TestMulticoreSerialEquivalenceSweep(t *testing.T) {
+	cases := 500
+	if testing.Short() {
+		cases = 60
+	}
+	for seed := int64(1); seed <= int64(cases); seed++ {
+		c := NewMCCase(seed)
+		if d := RunMCCase(c); d != nil {
+			t.Fatalf("seed %d (cores=%d epoch=%d partition=%v remap=%d events): %v",
+				seed, len(c.Cfg.Traces), c.Epoch, c.Partition, len(c.Remap), d)
+		}
+	}
+}
+
+// The sweep's case generator must actually produce the variety it claims:
+// across the first 100 seeds every epoch length in the axis, partitioned and
+// unpartitioned machines, and at least one remap schedule have to appear.
+func TestMCCaseGeneratorCoverage(t *testing.T) {
+	epochs := map[int64]bool{}
+	partitioned, unpartitioned, remapped := 0, 0, 0
+	for seed := int64(1); seed <= 100; seed++ {
+		c := NewMCCase(seed)
+		epochs[c.Epoch] = true
+		if c.Partition != nil {
+			partitioned++
+		} else {
+			unpartitioned++
+		}
+		if len(c.Remap) > 0 {
+			remapped++
+		}
+	}
+	for _, k := range mcEpochs {
+		if !epochs[k] {
+			t.Errorf("epoch length %d never drawn", k)
+		}
+	}
+	if partitioned == 0 || unpartitioned == 0 || remapped == 0 {
+		t.Errorf("axis collapsed: partitioned=%d unpartitioned=%d remapped=%d",
+			partitioned, unpartitioned, remapped)
+	}
+}

@@ -12,11 +12,15 @@ import (
 	"colcache/internal/memtrace"
 )
 
-// Core benchmark: the regression record CI gates on (BENCH_CORE.json). Two
+// Core benchmark: the regression record CI gates on (BENCH_CORE.json). Three
 // measurements of the flat-state hot path:
 //
-//   - the multicore stepper's simulated-cycles-per-second at 1/2/4/8 cores,
-//     the same rows as BENCH_PR5.json so the two files compare directly;
+//   - the serial multicore stepper's simulated-cycles-per-second at 1/2/4/8
+//     cores, the same rows as BENCH_PR5.json so the two files compare
+//     directly;
+//   - the epoch-parallel stepper on the identical workload (bit-identical
+//     results, different wall clock), so the speedup of buffered-epoch
+//     execution over per-access arbitration is itself a gated number;
 //   - the chunked binary-trace replay's accesses-per-second through memsys,
 //     covering the decoder → batch → access pipeline.
 //
@@ -24,11 +28,21 @@ import (
 // see multi-x noise from neighbors, and the maximum over a few repetitions
 // estimates the machine's actual capability far more stably than a mean.
 
+// minParallelAdvantage is the structural floor on the epoch stepper at the
+// largest measured core count: parallel cycles/sec must beat the serial
+// stepper by at least this factor. Even on a single-vCPU host (no lookahead
+// overlap at all) eliminating the serial stepper's per-access O(cores)
+// arbitration scan buys well over this; on real multicore hosts the margin
+// is far larger. The floor catches the epoch stepper silently degrading to
+// per-access serial execution without being tuned to any one machine.
+const minParallelAdvantage = 1.2
+
 // CoreBench is the committed benchmark snapshot.
 type CoreBench struct {
-	Reps    int             `json:"reps"`    // repetitions per row; best kept
-	Stepper []ScalingResult `json:"stepper"` // per core count, same shape as BENCH_PR5
-	Replay  ReplayBench     `json:"replay"`
+	Reps            int             `json:"reps"`                      // repetitions per row; best kept
+	Stepper         []ScalingResult `json:"stepper"`                   // serial rows, same shape as BENCH_PR5
+	StepperParallel []ScalingResult `json:"stepperParallel,omitempty"` // epoch-parallel rows
+	Replay          ReplayBench     `json:"replay"`
 }
 
 // ReplayBench measures the streaming binary-replay pipeline.
@@ -57,6 +71,22 @@ func RunCoreBench(coreCounts []int, accessesPerCore, reps int) (*CoreBench, erro
 			}
 		}
 		out.Stepper = append(out.Stepper, best)
+	}
+	for _, n := range coreCounts {
+		if n < 2 {
+			continue // a 1-core machine falls back to the serial stepper
+		}
+		var best ScalingResult
+		for r := 0; r < reps; r++ {
+			rows, err := RunMulticoreScalingParallel([]int{n}, accessesPerCore, 0)
+			if err != nil {
+				return nil, err
+			}
+			if rows[0].CyclesPerSec > best.CyclesPerSec {
+				best = rows[0]
+			}
+		}
+		out.StepperParallel = append(out.StepperParallel, best)
 	}
 	replay, err := runReplayBench(int64(accessesPerCore), reps)
 	if err != nil {
@@ -109,44 +139,92 @@ func runReplayBench(accesses int64, reps int) (ReplayBench, error) {
 // Rows missing from either side are reported too — a gate that silently
 // skips rows is not a gate.
 func CompareCoreBench(current, baseline *CoreBench, tolerance float64) []string {
-	var problems []string
-	base := make(map[int]ScalingResult, len(baseline.Stepper))
-	for _, r := range baseline.Stepper {
-		base[r.Cores] = r
-	}
-	seen := make(map[int]bool, len(current.Stepper))
-	for _, r := range current.Stepper {
-		seen[r.Cores] = true
-		b, ok := base[r.Cores]
-		if !ok {
-			problems = append(problems, fmt.Sprintf("cores=%d: no baseline row", r.Cores))
-			continue
-		}
-		floor := b.CyclesPerSec * (1 - tolerance)
-		if r.CyclesPerSec < floor {
-			problems = append(problems, fmt.Sprintf(
-				"cores=%d: %.0f cycles/sec is below the regression floor %.0f (baseline %.0f, tolerance %.0f%%)",
-				r.Cores, r.CyclesPerSec, floor, b.CyclesPerSec, tolerance*100))
-		}
-	}
-	for _, r := range baseline.Stepper {
-		if !seen[r.Cores] {
-			problems = append(problems, fmt.Sprintf("cores=%d: baseline row not measured", r.Cores))
-		}
-	}
+	problems := compareRows("serial", current.Stepper, baseline.Stepper, tolerance)
+	problems = append(problems,
+		compareRows("parallel", current.StepperParallel, baseline.StepperParallel, tolerance)...)
 	if floor := baseline.Replay.AccessesPerSec * (1 - tolerance); current.Replay.AccessesPerSec < floor {
 		problems = append(problems, fmt.Sprintf(
 			"replay: %.0f accesses/sec is below the regression floor %.0f (baseline %.0f)",
 			current.Replay.AccessesPerSec, floor, baseline.Replay.AccessesPerSec))
 	}
+	problems = append(problems, checkParallelAdvantage(current)...)
 	return problems
+}
+
+// compareRows gates one stepper's rows against its baseline rows by core
+// count.
+func compareRows(label string, current, baseline []ScalingResult, tolerance float64) []string {
+	var problems []string
+	base := make(map[int]ScalingResult, len(baseline))
+	for _, r := range baseline {
+		base[r.Cores] = r
+	}
+	seen := make(map[int]bool, len(current))
+	for _, r := range current {
+		seen[r.Cores] = true
+		b, ok := base[r.Cores]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s cores=%d: no baseline row", label, r.Cores))
+			continue
+		}
+		floor := b.CyclesPerSec * (1 - tolerance)
+		if r.CyclesPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"%s cores=%d: %.0f cycles/sec is below the regression floor %.0f (baseline %.0f, tolerance %.0f%%)",
+				label, r.Cores, r.CyclesPerSec, floor, b.CyclesPerSec, tolerance*100))
+		}
+	}
+	for _, r := range baseline {
+		if !seen[r.Cores] {
+			problems = append(problems, fmt.Sprintf("%s cores=%d: baseline row not measured", label, r.Cores))
+		}
+	}
+	return problems
+}
+
+// checkParallelAdvantage enforces the structural floor: at the largest core
+// count measured by both steppers, the epoch-parallel stepper must beat the
+// serial stepper by minParallelAdvantage. This is machine-relative (both
+// numbers come from the same run on the same host), so it holds on noisy
+// shared runners where absolute floors cannot.
+func checkParallelAdvantage(cb *CoreBench) []string {
+	serial := make(map[int]ScalingResult, len(cb.Stepper))
+	for _, r := range cb.Stepper {
+		serial[r.Cores] = r
+	}
+	best := -1
+	for _, r := range cb.StepperParallel {
+		if _, ok := serial[r.Cores]; ok && r.Cores > best {
+			best = r.Cores
+		}
+	}
+	if best < 2 {
+		return nil
+	}
+	var par ScalingResult
+	for _, r := range cb.StepperParallel {
+		if r.Cores == best {
+			par = r
+		}
+	}
+	ser := serial[best]
+	if ser.CyclesPerSec <= 0 {
+		return nil
+	}
+	if ratio := par.CyclesPerSec / ser.CyclesPerSec; ratio < minParallelAdvantage {
+		return []string{fmt.Sprintf(
+			"parallel cores=%d: epoch stepper is only %.2fx the serial stepper (%.0f vs %.0f cycles/sec); structural floor is %.1fx",
+			best, ratio, par.CyclesPerSec, ser.CyclesPerSec, minParallelAdvantage)}
+	}
+	return nil
 }
 
 // CoreBenchTable renders the snapshot.
 func CoreBenchTable(cb *CoreBench) *Table {
-	t := ScalingTable(cb.Stepper)
+	rows := append(append([]ScalingResult{}, cb.Stepper...), cb.StepperParallel...)
+	t := ScalingTable(rows)
 	t.Title = fmt.Sprintf("Core benchmark (best of %d)", cb.Reps)
-	t.AddRow("replay", fmt.Sprintf("%d", cb.Replay.Accesses), "-",
+	t.AddRow("replay", "-", fmt.Sprintf("%d", cb.Replay.Accesses), "-",
 		fmt.Sprintf("%.3f", cb.Replay.WallSeconds),
 		fmt.Sprintf("%.0f acc/s", cb.Replay.AccessesPerSec))
 	return t

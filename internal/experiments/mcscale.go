@@ -13,19 +13,24 @@ import (
 	"colcache/internal/workloads/mpeg"
 )
 
-// Multicore stepper throughput: how fast the deterministic cycle-interleaved
-// stepper simulates as the core count grows. The stepper is serial by design
-// (determinism), so simulated cycles per wall-clock second should stay
-// roughly flat per access while total simulated work scales with cores —
-// this is the scaling record CI tracks, not a correctness experiment.
+// Multicore stepper throughput: how fast the machine simulates as the core
+// count grows, for both steppers. The serial stepper arbitrates every single
+// access (an O(cores) scan per access), so its throughput falls as cores are
+// added; the epoch-parallel stepper (multicore.RunParallel) executes each
+// core's window in a tight private loop and pays arbitration only per
+// buffered bus record, producing bit-identical results at a fraction of the
+// cost — plus host-parallel lookahead on multicore machines. Both rows are
+// the scaling record CI tracks, not a correctness experiment.
 
 // ScalingResult is one core count's throughput measurement.
 type ScalingResult struct {
 	Cores        int     `json:"cores"`
-	Accesses     int64   `json:"accesses"`     // total trace accesses simulated
-	SimCycles    int64   `json:"simCycles"`    // makespan of the co-run
-	WallSeconds  float64 `json:"wallSeconds"`  // host time for the Run
-	CyclesPerSec float64 `json:"cyclesPerSec"` // SimCycles / WallSeconds
+	Parallel     bool    `json:"parallel,omitempty"`    // measured with the epoch-parallel stepper
+	EpochCycles  int64   `json:"epochCycles,omitempty"` // epoch length K used when Parallel
+	Accesses     int64   `json:"accesses"`              // total trace accesses simulated
+	SimCycles    int64   `json:"simCycles"`             // makespan of the co-run
+	WallSeconds  float64 `json:"wallSeconds"`           // host time for the Run
+	CyclesPerSec float64 `json:"cyclesPerSec"`          // SimCycles / WallSeconds
 }
 
 // scalingTrace builds core i's benchmark trace: the idct reference stream
@@ -44,10 +49,25 @@ func scalingTrace(i, accesses int) memtrace.Trace {
 	return tr
 }
 
-// RunMulticoreScaling measures stepper throughput at each core count. Every
-// core replays the same idct trace (per-core seeds, disjoint 4GB address
-// windows) so the per-core work is identical across machine sizes.
+// RunMulticoreScaling measures serial-stepper throughput at each core count.
+// Every core replays the same idct trace (per-core seeds, disjoint 4GB
+// address windows) so the per-core work is identical across machine sizes.
 func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult, error) {
+	return runScaling(coreCounts, accessesPerCore, false, 0)
+}
+
+// RunMulticoreScalingParallel measures the same workload through the
+// epoch-parallel stepper with the given epoch length (0 picks
+// multicore.DefaultEpochCycles). Results are bit-identical to the serial
+// stepper's; only the wall clock differs.
+func RunMulticoreScalingParallel(coreCounts []int, accessesPerCore int, epochCycles int64) ([]ScalingResult, error) {
+	if epochCycles <= 0 {
+		epochCycles = multicore.DefaultEpochCycles
+	}
+	return runScaling(coreCounts, accessesPerCore, true, epochCycles)
+}
+
+func runScaling(coreCounts []int, accessesPerCore int, parallel bool, epochCycles int64) ([]ScalingResult, error) {
 	var out []ScalingResult
 	for _, n := range coreCounts {
 		if n < 1 {
@@ -72,7 +92,12 @@ func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult
 		// a background mark phase does not steal CPU inside the timed window.
 		runtime.GC()
 		start := time.Now()
-		if err := m.Run(); err != nil {
+		if parallel {
+			err = m.RunParallel(epochCycles)
+		} else {
+			err = m.Run()
+		}
+		if err != nil {
 			return nil, err
 		}
 		wall := time.Since(start).Seconds()
@@ -82,6 +107,10 @@ func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult
 			Accesses:    int64(n) * int64(accessesPerCore),
 			SimCycles:   st.Cycles,
 			WallSeconds: wall,
+		}
+		if parallel {
+			r.Parallel = true
+			r.EpochCycles = epochCycles
 		}
 		if wall > 0 {
 			r.CyclesPerSec = float64(r.SimCycles) / wall
@@ -95,10 +124,14 @@ func RunMulticoreScaling(coreCounts []int, accessesPerCore int) ([]ScalingResult
 func ScalingTable(rows []ScalingResult) *Table {
 	t := &Table{
 		Title:   "Multicore stepper throughput",
-		Headers: []string{"cores", "accesses", "sim cycles", "wall s", "sim cycles/s"},
+		Headers: []string{"stepper", "cores", "accesses", "sim cycles", "wall s", "sim cycles/s"},
 	}
 	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.Accesses),
+		stepper := "serial"
+		if r.Parallel {
+			stepper = fmt.Sprintf("epoch K=%d", r.EpochCycles)
+		}
+		t.AddRow(stepper, fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.Accesses),
 			fmt.Sprintf("%d", r.SimCycles), fmt.Sprintf("%.3f", r.WallSeconds),
 			fmt.Sprintf("%.0f", r.CyclesPerSec))
 	}

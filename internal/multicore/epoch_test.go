@@ -1,0 +1,330 @@
+package multicore
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"colcache/internal/cache"
+	"colcache/internal/memory"
+	"colcache/internal/memsys"
+	"colcache/internal/memtrace"
+	"colcache/internal/replacement"
+	"colcache/internal/tint"
+)
+
+// dumpLines copies every line's metadata so two machines' cache contents can
+// be compared wholesale.
+func dumpLines(c *cache.Cache) []cache.LineState {
+	cfg := c.Config()
+	out := make([]cache.LineState, 0, cfg.NumSets*cfg.NumWays)
+	for s := 0; s < cfg.NumSets; s++ {
+		for w := 0; w < cfg.NumWays; w++ {
+			out = append(out, c.LineAt(s, w))
+		}
+	}
+	return out
+}
+
+// requireMachinesEqual fails the test unless a and b are observably identical:
+// every counter in Stats, every L1 and L2 line, and every L2 column mask.
+func requireMachinesEqual(t *testing.T, label string, a, b *Machine) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("%s: stats diverge:\nserial:   %+v\nparallel: %+v", label, sa, sb)
+	}
+	for i := 0; i < a.NumCores(); i++ {
+		if la, lb := dumpLines(a.L1(i)), dumpLines(b.L1(i)); !reflect.DeepEqual(la, lb) {
+			t.Fatalf("%s: core %d L1 contents diverge", label, i)
+		}
+		if ma, mb := a.L2Mask(i), b.L2Mask(i); ma != mb {
+			t.Fatalf("%s: core %d L2 mask diverges: %s vs %s", label, i, ma, mb)
+		}
+	}
+	if la, lb := dumpLines(a.L2()), dumpLines(b.L2()); !reflect.DeepEqual(la, lb) {
+		t.Fatalf("%s: L2 contents diverge", label)
+	}
+}
+
+// sharedConfig builds a contended machine config: every core mixes accesses
+// to one shared window with a private window, guaranteeing cross-core bus
+// traffic (and, for the epoch stepper, conflict rollbacks).
+func sharedConfig(seed int64, cores int, checks bool) Config {
+	rng := rand.New(rand.NewSource(seed))
+	var traces []memtrace.Trace
+	for c := 0; c < cores; c++ {
+		n := 200 + rng.Intn(100)
+		privLo := 0x10000 * uint64(c+1)
+		shared := synthTrace(rng.Int63(), n, 0, 0x600)
+		private := synthTrace(rng.Int63(), n, privLo, privLo+0x800)
+		mixed := make(memtrace.Trace, 0, 2*n)
+		for i := 0; i < n; i++ {
+			mixed = append(mixed, shared[i], private[i])
+		}
+		traces = append(traces, mixed)
+	}
+	return Config{
+		Geometry:    memory.MustGeometry(32, 1024),
+		L1:          cache.Config{LineBytes: 32, NumSets: 8, NumWays: 2},
+		L2:          cache.Config{LineBytes: 32, NumSets: 16, NumWays: 4},
+		Timing:      memsys.DefaultTiming,
+		L2HitCycles: 4,
+		Traces:      traces,
+		Checks:      checks,
+	}
+}
+
+// disjointConfig builds a conflict-free machine config: each core works a
+// private 4GB-aligned window, so epochs always merge without rollback (the
+// cores still share the L2).
+func disjointConfig(seed int64, cores int, checks bool) Config {
+	var traces []memtrace.Trace
+	for c := 0; c < cores; c++ {
+		lo := uint64(c+1) << 32
+		traces = append(traces, synthTrace(seed+int64(c)*997, 300, lo, lo+0x1000))
+	}
+	cfg := sharedConfig(seed, cores, checks)
+	cfg.Traces = traces
+	return cfg
+}
+
+// The core equivalence claim: for any epoch length K, the epoch-parallel
+// stepper produces bit-identical machines to the serial stepper — same
+// counters, same cache contents — on both contended (rollback-exercising) and
+// disjoint (merge-exercising) workloads, with invariant checking on and off.
+func TestEpochStepperMatchesSerial(t *testing.T) {
+	epochs := []int64{1, 2, 7, 64, 1024, DefaultEpochCycles}
+	if testing.Short() {
+		epochs = []int64{1, 7, 1024}
+	}
+	builders := []struct {
+		name string
+		cfg  func(seed int64) Config
+	}{
+		{"shared-checks", func(s int64) Config { return sharedConfig(s, 3, true) }},
+		{"shared-nochecks", func(s int64) Config { return sharedConfig(s, 3, false) }},
+		{"disjoint-checks", func(s int64) Config { return disjointConfig(s, 4, true) }},
+		{"disjoint-nochecks", func(s int64) Config { return disjointConfig(s, 4, false) }},
+	}
+	for _, b := range builders {
+		for _, k := range epochs {
+			cfg := b.cfg(42)
+			serial, parallel := MustNew(cfg), MustNew(cfg)
+			if err := serial.Run(); err != nil {
+				t.Fatalf("%s K=%d: serial: %v", b.name, k, err)
+			}
+			if err := parallel.RunParallel(k); err != nil {
+				t.Fatalf("%s K=%d: parallel: %v", b.name, k, err)
+			}
+			requireMachinesEqual(t, b.name+" K="+string(rune('0'+k%10)), serial, parallel)
+			if es := parallel.EpochStats(); es.Epochs == 0 {
+				t.Fatalf("%s K=%d: epoch stepper never ran an epoch", b.name, k)
+			}
+		}
+	}
+}
+
+// Partitioned L2 with a deterministic mid-run remap schedule: the remap fires
+// at the same global L2-access sequence point in both steppers, so the
+// machines must still match exactly.
+func TestEpochStepperMatchesSerialWithRemap(t *testing.T) {
+	cfg := sharedConfig(7, 4, true)
+	sched := []RemapEvent{
+		{AfterL2Accesses: 40, Core: 0, Mask: replacement.Range(2, 4)},
+		{AfterL2Accesses: 40, Core: 1, Mask: replacement.Range(0, 2)},
+		{AfterL2Accesses: 90, Core: 2, Mask: replacement.Of(3)},
+	}
+	for _, k := range []int64{1, 16, 512} {
+		serial, parallel := MustNew(cfg), MustNew(cfg)
+		for _, m := range []*Machine{serial, parallel} {
+			for c := 0; c < 4; c++ {
+				if err := m.SetL2Mask(c, replacement.Range(c, c+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.SetRemapSchedule(sched); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := serial.Run(); err != nil {
+			t.Fatalf("K=%d serial: %v", k, err)
+		}
+		if err := parallel.RunParallel(k); err != nil {
+			t.Fatalf("K=%d parallel: %v", k, err)
+		}
+		requireMachinesEqual(t, "remap", serial, parallel)
+	}
+}
+
+// The merge path must actually be exercised by the disjoint workload and the
+// rollback path by the contended one — otherwise the equivalence test above
+// proves less than it claims.
+func TestEpochStatsExerciseBothPaths(t *testing.T) {
+	m := MustNew(disjointConfig(3, 4, false))
+	if err := m.RunParallel(256); err != nil {
+		t.Fatal(err)
+	}
+	es := m.EpochStats()
+	if es.Epochs == 0 || es.RecordsMerged == 0 {
+		t.Fatalf("disjoint run merged nothing: %+v", es)
+	}
+	if es.ConflictEpochs != 0 {
+		t.Fatalf("disjoint windows produced conflicts: %+v", es)
+	}
+
+	m = MustNew(sharedConfig(3, 3, false))
+	if err := m.RunParallel(256); err != nil {
+		t.Fatal(err)
+	}
+	if es := m.EpochStats(); es.ConflictEpochs == 0 {
+		t.Fatalf("contended run never rolled back: %+v", es)
+	}
+}
+
+// Machines the epoch machinery cannot serve fall back to the serial stepper:
+// a single core, or an attached observer. The fallback must still produce
+// correct results and must not count epochs.
+func TestRunParallelFallsBackToSerial(t *testing.T) {
+	cfg := sharedConfig(5, 1, true)
+	serial, parallel := MustNew(cfg), MustNew(cfg)
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.RunParallel(64); err != nil {
+		t.Fatal(err)
+	}
+	requireMachinesEqual(t, "single-core", serial, parallel)
+	if es := parallel.EpochStats(); es.Epochs != 0 {
+		t.Fatalf("single-core fallback ran epochs: %+v", es)
+	}
+
+	cfg = sharedConfig(5, 2, true)
+	serial, parallel = MustNew(cfg), MustNew(cfg)
+	parallel.SetL2Observer(countingObserver{n: new(int64)})
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.RunParallel(64); err != nil {
+		t.Fatal(err)
+	}
+	if es := parallel.EpochStats(); es.Epochs != 0 {
+		t.Fatalf("observer fallback ran epochs: %+v", es)
+	}
+	requireMachinesEqual(t, "observer", serial, parallel)
+}
+
+type countingObserver struct{ n *int64 }
+
+func (o countingObserver) ObserveAccess(id tint.Tint, addr memory.Addr, miss bool) { *o.n++ }
+
+// Satellite stress test: randomized epoch lengths and core counts with
+// mid-run context cancellation. Cancellation lands only at epoch barriers,
+// which are clean serial-equivalent states, so after a cancel the machine
+// must (a) pass the full invariant walk with a balanced writeback ledger and
+// (b) resume — even under a different epoch length — to a final state
+// bit-identical to a serial run. Run under -race this also hammers the
+// parallel lookahead for data races.
+func TestEpochCancellationStress(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 2 + rng.Intn(3)
+		k1 := int64(1 + rng.Intn(300))
+		k2 := int64(1 + rng.Intn(300))
+		cfg := sharedConfig(seed, cores, true)
+
+		serial, parallel := MustNew(cfg), MustNew(cfg)
+		if err := serial.Run(); err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		err := parallel.RunParallelContext(ctx, k1, 32, func(done int64) {
+			if done > int64(16+rng.Intn(256)) {
+				cancel()
+			}
+		})
+		cancel()
+		if err != nil && err != context.Canceled {
+			t.Fatalf("seed %d: cancelled run: %v", seed, err)
+		}
+		if err == nil && !parallel.Done() {
+			t.Fatalf("seed %d: run stopped without error or completion", seed)
+		}
+		// The interrupted machine must be consistent: every invariant holds
+		// and the ledger balances mid-run.
+		if err := parallel.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: post-cancel invariants: %v", seed, err)
+		}
+		// Resume with a different epoch length and compare against serial.
+		if err := parallel.RunParallel(k2); err != nil {
+			t.Fatalf("seed %d: resume: %v", seed, err)
+		}
+		requireMachinesEqual(t, "stress", serial, parallel)
+	}
+}
+
+// Satellite regression test: the coherence invariant checks must see through
+// the parallel stepper. A test hook corrupts one buffered bus record just
+// before the barrier merge applies it; the checker has to catch the
+// resulting protocol violation at the epoch barrier.
+func TestParallelStepperDetectsInjectedViolations(t *testing.T) {
+	// Injection 1: demote a write miss to a read miss. The lookahead left
+	// the line Modified+dirty in the issuing core's L1, but the merge now
+	// takes the read path — no dirtyCreated — so the writeback ledger breaks.
+	cfg := disjointConfig(11, 2, true)
+	m := MustNew(cfg)
+	injected := false
+	m.testMergeHook = func(coreIdx int, r *epochRec) {
+		if !injected && r.kind == recMiss && r.isWrite {
+			r.isWrite = false
+			injected = true
+		}
+	}
+	err := m.RunParallel(512)
+	if !injected {
+		t.Fatal("hook never saw a write miss")
+	}
+	if err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("corrupted write miss not caught by the ledger check: %v", err)
+	}
+
+	// Injection 2: swallow a BusUpgr — rewrite an upgrade record into a
+	// plain hit note, so the merge never invalidates the remote sharers.
+	// Core 1 reads the line and exits; core 0 spins on private lines long
+	// enough that its eventual upgrade lands in a later epoch (no conflict,
+	// so the merge path — and the hook — actually run), leaving core 1's
+	// stale copy valid alongside core 0's Modified one: an SWMR violation.
+	shared := uint64(0x0)
+	var tr0 memtrace.Trace
+	tr0 = append(tr0, read(shared))
+	for i := 0; i < 300; i++ {
+		tr0 = append(tr0, read(0x20), read(0x40))
+	}
+	tr0 = append(tr0, write(shared))
+	m = MustNew(testConfig(tr0, memtrace.Trace{read(shared)}))
+	injected = false
+	m.testMergeHook = func(coreIdx int, r *epochRec) {
+		if !injected && r.kind == recUpgrade {
+			r.kind = recNote
+			injected = true
+		}
+	}
+	err = m.RunParallel(64)
+	if !injected {
+		t.Fatal("hook never saw an upgrade record")
+	}
+	if err == nil {
+		t.Fatal("swallowed invalidation not caught")
+	}
+	if !strings.Contains(err.Error(), "SWMR") && !strings.Contains(err.Error(), "Modified") &&
+		!strings.Contains(err.Error(), "ledger") && !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("unexpected violation report: %v", err)
+	}
+}

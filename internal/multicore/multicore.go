@@ -10,12 +10,17 @@
 // mask held in a second tint table — the arena the adaptive controller
 // (internal/controller) can steer at runtime.
 //
-// The stepper is deterministic: cores never run on goroutines. Each step
-// picks the core with the smallest local cycle count (ties break to the
-// lowest core index — fixed round-robin arbitration) and executes its next
-// trace access to completion, including every bus transaction it triggers.
-// Runs are therefore reproducible bit-for-bit at any host parallelism; the
-// experiment runner's -jobs knob only fans out across independent machines.
+// The default stepper (Run/RunContext) is serial and deterministic: each
+// step picks the core with the smallest local cycle count (ties break to
+// the lowest core index — fixed round-robin arbitration) and executes its
+// next trace access to completion, including every bus transaction it
+// triggers. The epoch-parallel stepper (RunParallel, see epoch.go) runs
+// each core's lookahead on its own goroutine and replays the buffered bus
+// transactions in exactly that serial arbitration order at epoch barriers,
+// so its results are bit-identical to the serial stepper's for any epoch
+// length. Runs are therefore reproducible bit-for-bit at any host
+// parallelism either way; the experiment runner's -jobs knob only fans out
+// across independent machines.
 package multicore
 
 import (
@@ -180,6 +185,59 @@ type Machine struct {
 
 	check     *checker
 	violation error
+
+	// Deterministic L2 repartition schedule: events fire inside l2Demand at
+	// exact shared-L2 access counts, so the serial and epoch-parallel
+	// steppers apply them at the same global sequence point.
+	remapSched []RemapEvent
+	remapPos   int
+	l2Demands  int64
+
+	// Epoch-parallel stepper state (see epoch.go).
+	estats EpochStats
+
+	// testMergeHook, when non-nil, sees every buffered record just before
+	// the barrier merge applies it. Tests inject coherence-breaking
+	// mutations through it to prove the invariant checker sees through the
+	// parallel path.
+	testMergeHook func(coreIdx int, r *epochRec)
+}
+
+// RemapEvent rewrites core Core's shared-L2 column mask immediately after
+// the machine's AfterL2Accesses-th shared-L2 demand access. A schedule of
+// these events is the deterministic mid-run repartition mechanism: the
+// trigger is a point in the global L2 access order, which the serial and
+// epoch-parallel steppers produce identically, so a schedule never breaks
+// their equivalence the way a wall-clock or per-step trigger would.
+type RemapEvent struct {
+	AfterL2Accesses int64
+	Core            int
+	Mask            replacement.Mask
+}
+
+// SetRemapSchedule installs the deterministic repartition schedule. Events
+// must be sorted by AfterL2Accesses (ties fire in slice order) and name
+// in-range cores and non-empty masks within the L2's way count. Call before
+// running; replacing the schedule mid-run is not supported.
+func (m *Machine) SetRemapSchedule(evs []RemapEvent) error {
+	ways := m.l2.Config().NumWays
+	for i, ev := range evs {
+		if ev.AfterL2Accesses < 1 {
+			return fmt.Errorf("multicore: remap[%d]: AfterL2Accesses %d < 1", i, ev.AfterL2Accesses)
+		}
+		if i > 0 && ev.AfterL2Accesses < evs[i-1].AfterL2Accesses {
+			return fmt.Errorf("multicore: remap[%d]: schedule not sorted", i)
+		}
+		if ev.Core < 0 || ev.Core >= len(m.cores) {
+			return fmt.Errorf("multicore: remap[%d]: core %d out of range", i, ev.Core)
+		}
+		if ev.Mask == 0 || ev.Mask&^replacement.All(ways) != 0 {
+			return fmt.Errorf("multicore: remap[%d]: mask %s outside the L2's %d ways", i, ev.Mask, ways)
+		}
+	}
+	m.remapSched = evs
+	m.remapPos = 0
+	return nil
 }
 
 // New builds a Machine from cfg.

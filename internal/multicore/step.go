@@ -324,5 +324,14 @@ func (m *Machine) l2Demand(c *core, a memtrace.Access, isWrite bool) bool {
 			c.cycles += int64(m.timing.Writeback)
 		}
 	}
+	m.l2Demands++
+	if m.remapSched != nil {
+		for m.remapPos < len(m.remapSched) && m.remapSched[m.remapPos].AfterL2Accesses <= m.l2Demands {
+			ev := m.remapSched[m.remapPos]
+			// Validated by SetRemapSchedule; SetMask cannot fail here.
+			_ = m.l2tints.SetMask(m.cores[ev.Core].l2tint, ev.Mask)
+			m.remapPos++
+		}
+	}
 	return !res.Hit
 }

@@ -84,6 +84,51 @@ func TestMulticoreRoundTrip(t *testing.T) {
 	}
 }
 
+// A parallel: true job must come back bit-identical to the serial run of
+// the same spec — the epoch-parallel stepper's equivalence claim holds
+// through the full service path, at more than one epoch length.
+func TestMulticoreParallelMatchesSerial(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	run := func(label string, spec colcache.SimSpec) colcache.SimResult {
+		resp, body := postJSON(t, ts, "/v1/simulate", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: submit: HTTP %d: %s", label, resp.StatusCode, body)
+		}
+		var info colcache.JobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		done := waitTerminal(t, ts, info.ID)
+		if done.State != colcache.StateDone {
+			t.Fatalf("%s: job ended %s: %s", label, done.State, done.Error)
+		}
+		return *done.Result
+	}
+
+	serial := run("serial", multicoreSpec("serial"))
+	for _, epoch := range []int64{0, 1, 256} {
+		spec := multicoreSpec("parallel")
+		spec.Multicore.Parallel = true
+		spec.Multicore.Epoch = epoch
+		par := run("parallel", spec)
+		if par.Cycles != serial.Cycles || par.Cache != serial.Cache ||
+			par.Multicore.Bus != serial.Multicore.Bus || par.Multicore.L2 != serial.Multicore.L2 {
+			t.Fatalf("epoch=%d: parallel result diverges from serial: %d vs %d cycles",
+				epoch, par.Cycles, serial.Cycles)
+		}
+		for i := range serial.Multicore.Cores {
+			s, p := serial.Multicore.Cores[i], par.Multicore.Cores[i]
+			if s.Cycles != p.Cycles || s.L1 != p.L1 || s.L2Accesses != p.L2Accesses {
+				t.Fatalf("epoch=%d: core %d diverges:\nserial:   %+v\nparallel: %+v", epoch, i, s, p)
+			}
+		}
+	}
+}
+
 func TestMulticoreSpecValidation(t *testing.T) {
 	lim := DefaultLimits
 	bad := multicoreSpec("bad")
@@ -102,6 +147,25 @@ func TestMulticoreSpecValidation(t *testing.T) {
 	withMaps.Maps = []colcache.MapSpec{{Base: 0, Size: 4096, Columns: []int{0}}}
 	if err := ValidateSim(withMaps, false, lim); err == nil {
 		t.Error("maps accepted alongside multicore")
+	}
+
+	epochOnly := multicoreSpec("epoch-only")
+	epochOnly.Multicore.Epoch = 64
+	if err := ValidateSim(epochOnly, false, lim); err == nil {
+		t.Error("epoch without parallel accepted")
+	}
+
+	hugeEpoch := multicoreSpec("huge-epoch")
+	hugeEpoch.Multicore.Parallel = true
+	hugeEpoch.Multicore.Epoch = MaxEpochCycles + 1
+	if err := ValidateSim(hugeEpoch, false, lim); err == nil {
+		t.Error("oversized epoch accepted")
+	}
+
+	okParallel := multicoreSpec("ok-parallel")
+	okParallel.Multicore.Parallel = true
+	if err := ValidateSim(okParallel, false, lim); err != nil {
+		t.Errorf("valid parallel multicore spec rejected: %v", err)
 	}
 
 	none := multicoreSpec("ok")

@@ -314,8 +314,9 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 	return nil
 }
 
-// runMulticore executes a multicore co-run job: the deterministic serial
-// stepper with cooperative cancellation at the same checkpoint stride the
+// runMulticore executes a multicore co-run job — the deterministic serial
+// stepper, or the bit-identical epoch-parallel stepper when the spec asks
+// for it — with cooperative cancellation at the same checkpoint stride the
 // single-core path uses.
 func (s *Server) runMulticore(ctx context.Context, j *Job) error {
 	b, err := BuildMulticore(j.Spec, s.cfg.Limits)
@@ -323,8 +324,14 @@ func (s *Server) runMulticore(ctx context.Context, j *Job) error {
 		return err
 	}
 	j.setRunning(nil)
+	run := b.M.RunContext
+	if b.Parallel {
+		run = func(ctx context.Context, checkEvery int, onCheckpoint func(int64)) error {
+			return b.M.RunParallelContext(ctx, b.Epoch, checkEvery, onCheckpoint)
+		}
+	}
 	var lastCycles, lastAccesses int64
-	err = b.M.RunContext(ctx, s.cfg.CheckEvery, func(done int64) {
+	err = run(ctx, s.cfg.CheckEvery, func(done int64) {
 		st := b.M.Stats()
 		var acc, miss, mem int64
 		for _, c := range st.Cores {
