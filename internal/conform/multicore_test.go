@@ -4,11 +4,14 @@ import "testing"
 
 // The serial-equivalence acceptance sweep: hundreds of seeded machines —
 // geometries, core counts, epoch lengths, replacement policies, L2
-// partitions and mid-run remap schedules all drawn from the seed — run
-// through the serial and epoch-parallel steppers and compared on every
-// counter, the full cache contents and the final column masks, with
-// coherence invariant checks live throughout. Run under -race by `make
-// conformance`, this is also the epoch stepper's data-race stress.
+// partitions, mid-run remap schedules and the Checks mode all drawn from
+// the seed — run through the serial and epoch-parallel steppers and
+// compared on every counter, the full cache contents and the final column
+// masks. Checks-on cases verify coherence invariants live at every barrier;
+// checks-off cases exercise the production merge path (local-hit tails,
+// direct-execution tail-window conflicts) and still end with the full
+// structural invariant walk. Run under -race by `make conformance`, this is
+// also the epoch stepper's data-race stress.
 func TestMulticoreSerialEquivalenceSweep(t *testing.T) {
 	cases := 500
 	if testing.Short() {
@@ -28,7 +31,7 @@ func TestMulticoreSerialEquivalenceSweep(t *testing.T) {
 // unpartitioned machines, and at least one remap schedule have to appear.
 func TestMCCaseGeneratorCoverage(t *testing.T) {
 	epochs := map[int64]bool{}
-	partitioned, unpartitioned, remapped := 0, 0, 0
+	partitioned, unpartitioned, remapped, checksOn, checksOff := 0, 0, 0, 0, 0
 	for seed := int64(1); seed <= 100; seed++ {
 		c := NewMCCase(seed)
 		epochs[c.Epoch] = true
@@ -40,6 +43,11 @@ func TestMCCaseGeneratorCoverage(t *testing.T) {
 		if len(c.Remap) > 0 {
 			remapped++
 		}
+		if c.Cfg.Checks {
+			checksOn++
+		} else {
+			checksOff++
+		}
 	}
 	for _, k := range mcEpochs {
 		if !epochs[k] {
@@ -49,5 +57,11 @@ func TestMCCaseGeneratorCoverage(t *testing.T) {
 	if partitioned == 0 || unpartitioned == 0 || remapped == 0 {
 		t.Errorf("axis collapsed: partitioned=%d unpartitioned=%d remapped=%d",
 			partitioned, unpartitioned, remapped)
+	}
+	// Checks gates two structurally different merge paths (per-hit note
+	// records vs folded local-hit tails); the sweep must run both, and
+	// neither may dwindle to a token share.
+	if checksOn < 25 || checksOff < 25 {
+		t.Errorf("checks axis collapsed: on=%d off=%d", checksOn, checksOff)
 	}
 }

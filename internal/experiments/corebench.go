@@ -34,8 +34,12 @@ import (
 // overlap at all) eliminating the serial stepper's per-access O(cores)
 // arbitration scan buys well over this; on real multicore hosts the margin
 // is far larger. The floor catches the epoch stepper silently degrading to
-// per-access serial execution without being tuned to any one machine.
-const minParallelAdvantage = 1.2
+// per-access serial execution without being tuned to any one machine — so
+// it sits well below the ~1.45x a single-vCPU baseline measures, leaving
+// room for scheduler noise on throttled shared runners that best-of-reps
+// cannot fully absorb, while still failing hard on a true degradation
+// (which lands at 1.0x or below).
+const minParallelAdvantage = 1.05
 
 // CoreBench is the committed benchmark snapshot.
 type CoreBench struct {

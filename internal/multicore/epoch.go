@@ -46,9 +46,10 @@ package multicore
 //     drains while its trace remains is direct-executed through m.access
 //     under the same (clock, index) key — after a conflict check of its
 //     predicted transaction against the cores whose logs are still pending
-//     (cores already fully merged are at their true clocks, so the serial
-//     schedule provably cannot interleave the new access into their
-//     lookahead windows; see mergeEpoch).
+//     and against any drained core whose folded tail of local hits reaches
+//     past the access's serial key (with checks off those hits were
+//     committed unkeyed, so a transaction keyed inside their span could
+//     serially precede them; see mergeEpoch).
 //
 // Every epoch ends with all logs consumed, so every epoch boundary is a
 // clean, fully-merged, serial-equivalent machine state: rollback is always
@@ -132,8 +133,15 @@ type coreLog struct {
 	// pending tracks lines this core's buffered misses will have installed
 	// in the L2 by merge time — the lookahead's fetch-latency estimator
 	// counts their MissPenalty once, not per re-miss.
-	pending  map[memory.Addr]struct{}
-	tail     int64 // local cycles after the last record
+	pending map[memory.Addr]struct{}
+	tail    int64 // local cycles after the last record
+	// tailEnd is the core's clock immediately after the merge folded the
+	// tail in. With checks off the tail is an UNKEYED commit of trailing
+	// local hits whose serial keys reach up to (and, for zero-cost hits, at)
+	// tailEnd; mergeEpoch's direct-execution conflict predicate uses it to
+	// decide whether a new transaction's serial key lands inside that
+	// already-committed span.
+	tailEnd  int64
 	accesses int64
 	active   bool // this core ran a lookahead this epoch
 }
@@ -143,6 +151,7 @@ func (lg *coreLog) reset() {
 	clear(lg.victims)
 	clear(lg.pending)
 	lg.tail = 0
+	lg.tailEnd = 0
 	lg.accesses = 0
 	lg.active = false
 }
@@ -544,14 +553,14 @@ func (m *Machine) lookahead(c *core, lg *coreLog, horizon int64) {
 // Cores that ran no lookahead this epoch are exempt: their L1s are static
 // across the window, and the merge applies every transaction against them
 // in serial key order, so placement inside the window cannot matter. When
-// pendingOnly is non-nil, only cores it reports true for are considered
-// (see mergeEpoch's direct-execution argument).
-func (m *Machine) txConflicts(i int, line memory.Addr, logs []*coreLog, pendingOnly func(j int) bool) bool {
+// consider is non-nil, only active cores it reports true for are examined
+// (see mergeEpoch's direct-execution predicate).
+func (m *Machine) txConflicts(i int, line memory.Addr, logs []*coreLog, consider func(j int) bool) bool {
 	for j, lg := range logs {
 		if j == i || !lg.active {
 			continue
 		}
-		if pendingOnly != nil && !pendingOnly(j) {
+		if consider != nil && !consider(j) {
 			continue
 		}
 		if _, ok := lg.victims[line]; ok {
@@ -601,10 +610,20 @@ func (m *Machine) predictTx(c *core, a memtrace.Access) (memory.Addr, bool) {
 // drained core (log fully applied, tail cycles folded in) is AT its true
 // clock, so when it holds the minimum key its next trace access is the next
 // serial event and can be executed directly with m.access. Its transaction,
-// if any, needs a conflict check only against cores with still-pending
-// records: a fully-merged core's clock is ≥ the current minimum, so the
-// serial schedule places the new access before everything that core has
-// left — nothing interleaves into an already-applied lookahead.
+// if any, is conflict-checked against every core with still-pending records
+// AND every drained core whose tail fold reaches past the access's key:
+// with checks off a core's trailing local hits are committed as one unkeyed
+// tail whose serial keys extend up to tailEnd, so a transaction keyed below
+// tailEnd (or at it, when the tie breaks toward the transaction) could
+// serially land before hits that were already applied — those cores must be
+// probed like any pending one. A drained core whose tailEnd sits at or
+// below the key is provably safe: every access it has committed precedes
+// the new one in the serial schedule, and everything it has left is keyed
+// at or above its clock ≥ the current minimum. Note the tail-window check
+// never misses a post-fold eviction: while tailEnd exceeds the current
+// minimum key, that core cannot yet have direct-executed anything (its
+// first post-fold access is keyed at or above tailEnd), so its L1 and
+// victim set still describe the lookahead window exactly.
 func (m *Machine) mergeEpoch(logs []*coreLog) (bool, error) {
 	remaining := 0
 	for i, lg := range logs {
@@ -622,11 +641,11 @@ func (m *Machine) mergeEpoch(logs []*coreLog) (bool, error) {
 			// No global events: the whole lookahead was local time.
 			m.cores[i].cycles += lg.tail
 			lg.tail = 0
+			lg.tailEnd = m.cores[i].cycles
 		}
 	}
 
 	cur := make([]int, len(logs))
-	pendingOnly := func(j int) bool { return cur[j] < len(logs[j].recs) }
 	for remaining > 0 {
 		best, bestKey, bestRec := -1, int64(0), false
 		for i, c := range m.cores {
@@ -646,7 +665,19 @@ func (m *Machine) mergeEpoch(logs []*coreLog) (bool, error) {
 			// Drained log, trace remaining: direct-execute the next access.
 			a := c.trace[c.pos]
 			if line, tx := m.predictTx(c, a); tx {
-				if m.txConflicts(best, line, logs, pendingOnly) {
+				conflicts := func(j int) bool {
+					if cur[j] < len(logs[j].recs) {
+						return true
+					}
+					// Drained core: its trailing local hits were committed as
+					// one unkeyed tail ending at tailEnd. If that span reaches
+					// past this access's serial key (ties break toward the
+					// lower index), the transaction would serially precede
+					// some of those already-committed hits — check it.
+					te := logs[j].tailEnd
+					return te > bestKey || (te == bestKey && j > best)
+				}
+				if m.txConflicts(best, line, logs, conflicts) {
 					return true, nil
 				}
 			}
@@ -710,6 +741,7 @@ func (m *Machine) mergeEpoch(logs []*coreLog) (bool, error) {
 		if cur[best] == len(lg.recs) {
 			c.cycles += lg.tail
 			lg.tail = 0
+			lg.tailEnd = c.cycles
 		}
 		if m.violation != nil {
 			return false, m.violation

@@ -270,6 +270,79 @@ func TestEpochCancellationStress(t *testing.T) {
 	}
 }
 
+// Regression test for the direct-execution conflict hole: with checks off a
+// drained core's trailing local hits are committed as one unkeyed tail, and a
+// direct-executed transaction keyed inside that span must trigger a rollback
+// — a predicate that only examines cores with still-pending records misses
+// it, silently breaking serial equivalence in exactly the mode benchmarks
+// and production runs use.
+//
+// The machine is hand-built so that, in a single K=256 epoch (DefaultTiming,
+// L2 hit 1 cycle, direct-mapped 4-set L1s, a 1-set/2-way LRU L2):
+//
+//   - core 1 (victim) fills line L, then runs a fetch-underestimation gadget:
+//     read A, evict it from its L1 with A2, re-read A. The lookahead's
+//     pending-set estimator prices the re-miss as an L2 hit (1 cycle), but at
+//     the merge A2's fill has already evicted A from the tiny L2, so the true
+//     cost is 21 — the victim's true clock runs 20 cycles past its optimistic
+//     clock. Its remaining 187 reads of L are local hits folded as one
+//     unkeyed tail whose true serial keys reach 274, past the horizon.
+//   - core 0 (writer) misses one private line, then pads with a Think=233
+//     hit: its lookahead stops exactly at the horizon with one access left —
+//     a write to L — and its log drains at true clock 256, so the merge
+//     direct-executes the write at key 256, inside the victim's tail span.
+//   - core 2 (keeper) runs the same gadget plus 208 padding hits so its
+//     final read is a pending record keyed at 274 > 256, keeping the merge
+//     loop alive long enough for the direct execution to happen at all.
+//
+// Serially the write invalidates the victim's copy of L at key 256, turning
+// its last 19 hits into misses; a merge that commits them as hits diverges.
+// The epoch stepper must detect the overlap and roll the epoch back.
+func TestDirectExecutionConflictsWithFoldedHitTail(t *testing.T) {
+	const (
+		lineL = 0x1000 // victim's hit line, later written by core 0 (L1 set 0)
+		lineA = 0x2040 // victim skew gadget (L1 set 1)
+		lineB = 0x2140 // evicts lineA from the victim's L1 (set 1)
+		lineP = 0x3040 // writer's private miss (set 1)
+		lineG = 0x4040 // keeper gadget (set 1)
+		lineH = 0x4140 // evicts lineG from the keeper's L1 (set 1)
+	)
+	thinkRead := func(addr uint64, th uint32) memtrace.Access {
+		return memtrace.Access{Addr: addr, Op: memtrace.Read, Think: th}
+	}
+	writer := memtrace.Trace{read(lineP), thinkRead(lineP, 233), write(lineL)}
+	victim := memtrace.Trace{read(lineL), read(lineA), read(lineB), read(lineA)}
+	for i := 0; i < 187; i++ {
+		victim = append(victim, read(lineL))
+	}
+	keeper := memtrace.Trace{read(lineG), read(lineH), read(lineG)}
+	for i := 0; i < 208; i++ {
+		keeper = append(keeper, read(lineG))
+	}
+	keeper = append(keeper, read(lineH))
+
+	cfg := Config{
+		Geometry:    memory.MustGeometry(64, 4096),
+		L1:          cache.Config{LineBytes: 64, NumSets: 4, NumWays: 1, Policy: replacement.LRU},
+		L2:          cache.Config{LineBytes: 64, NumSets: 1, NumWays: 2, Policy: replacement.LRU},
+		Timing:      memsys.DefaultTiming,
+		L2HitCycles: 1,
+		Traces:      []memtrace.Trace{writer, victim, keeper},
+	}
+	serial, parallel := MustNew(cfg), MustNew(cfg)
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.RunParallel(256); err != nil {
+		t.Fatal(err)
+	}
+	es := parallel.EpochStats()
+	if es.ConflictEpochs == 0 {
+		t.Fatalf("the direct-executed write never tripped the tail-window conflict check: %+v", es)
+	}
+	requireMachinesEqual(t, "folded-tail", serial, parallel)
+}
+
 // Satellite regression test: the coherence invariant checks must see through
 // the parallel stepper. A test hook corrupts one buffered bus record just
 // before the barrier merge applies it; the checker has to catch the
