@@ -32,11 +32,15 @@
 #                          (BENCH_PR8.json)
 #   conformance / cover  - differential oracle matrix + coverage gate
 #   multicore            - MSI -race sweep, stepper determinism, BENCH_PR5
+#   watch                - live-inspection smoke: colserved streams SSE
+#                          occupancy frames for a running job, retains
+#                          them for time travel, and colwatch replays a
+#                          deterministic colsim frame dump
 #   ci                   - everything CI runs
 
 GO ?= go
 
-.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench cachebench recovery fabric fabricbench conformance cover multicore ci
+.PHONY: build test race lint bench benchcore benchcore-baseline smoke servebench cachebench recovery fabric fabricbench conformance cover multicore watch ci
 
 build:
 	$(GO) build ./...
@@ -214,6 +218,41 @@ multicore:
 	/tmp/paperbench -quick -mcscale BENCH_PR5.json
 	test -s BENCH_PR5.json
 
+# Live-inspection smoke. Three legs: colsim dumps a deterministic frame
+# sequence — byte-identical between the serial and epoch-parallel
+# steppers — that colwatch's scrub mode replays (line-mode keys, so no
+# tty needed); a colserved with frame capture on serves SSE frames for a
+# job that is still running when the stream attaches, ending with a
+# terminal event; and the retained frames stay scrubbable over the
+# time-travel endpoint after the job is done.
+WATCH_ADDR ?= 127.0.0.1:8353
+watch:
+	$(GO) build -o /tmp/colserved ./cmd/colserved
+	$(GO) build -o /tmp/colsim ./cmd/colsim
+	$(GO) build -o /tmp/colwatch ./cmd/colwatch
+	/tmp/colsim -cores 2 -synth random -n 100000 -inspect-every 4096 -inspect-out /tmp/watch-frames.jsonl > /dev/null
+	test -s /tmp/watch-frames.jsonl
+	/tmp/colsim -cores 2 -synth random -n 100000 -parallel -inspect-every 4096 -inspect-out /tmp/watch-frames-par.jsonl > /dev/null
+	cmp /tmp/watch-frames.jsonl /tmp/watch-frames-par.jsonl
+	printf 'l\nr\nG\nq\n' | /tmp/colwatch -file /tmp/watch-frames.jsonl -replay > /dev/null
+	set -e; \
+	/tmp/colserved -addr $(WATCH_ADDR) -inspect-every 4096 -quiet & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(WATCH_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	id=$$(curl -fsS -X POST http://$(WATCH_ADDR)/v1/simulate \
+		-d '{"label":"watch-smoke","machine":{"sets":16,"ways":4},"workload":{"name":"stream","size_bytes":1048576,"passes":12}}' \
+		| python3 -c "import json,sys; print(json.load(sys.stdin)['id'])"); \
+	curl -fsS -N --max-time 60 http://$(WATCH_ADDR)/v1/jobs/$$id/inspect > /tmp/watch-sse.txt; \
+	grep -q "event: frame" /tmp/watch-sse.txt; \
+	grep -q '"reason":"done"' /tmp/watch-sse.txt; \
+	curl -fsS "http://$(WATCH_ADDR)/v1/jobs/$$id/inspect/frames" \
+		| python3 -c "import json,sys; d=json.load(sys.stdin); assert d['count'] > 0 and d['frames'], d"; \
+	printf 'r\nq\n' | /tmp/colwatch -server http://$(WATCH_ADDR) -job $$id -replay > /dev/null; \
+	echo "watch: SSE frames, time travel, and colwatch replay OK"
+
 # Coverage gate: the column-cache core packages plus the durability layer
 # (WAL + result cache) must stay at or above 85% statement coverage.
 COVER_PKGS = colcache/internal/cache colcache/internal/replacement colcache/internal/tint colcache/internal/wal colcache/internal/resultcache
@@ -226,4 +265,4 @@ cover:
 		} \
 		END { if (bad) { print "coverage below the 85% gate"; exit 1 } }'
 
-ci: build lint test race bench benchcore smoke servebench cachebench recovery fabric conformance cover multicore
+ci: build lint test race bench benchcore smoke servebench cachebench recovery fabric conformance cover multicore watch

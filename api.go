@@ -1,6 +1,9 @@
 package colcache
 
-import "time"
+import (
+	"encoding/json"
+	"time"
+)
 
 // Wire types of the colserved HTTP API (cmd/colserved, internal/service).
 // They live in the public colcache package so programmatic callers — the
@@ -288,4 +291,17 @@ type APIError struct {
 	Error string `json:"error"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// InspectFrames is the document of GET /v1/jobs/{id}/inspect/frames: a
+// time-travel slice of a job's retained occupancy frames. Each element of
+// Frames is one internal/inspect Frame as originally serialized; First is
+// the sequence number of Frames[0]. Frames evicted from the byte-budgeted
+// retention window are simply absent — First names where the surviving
+// range begins.
+type InspectFrames struct {
+	Job    string            `json:"job"`
+	First  int64             `json:"first"`
+	Count  int               `json:"count"`
+	Frames []json.RawMessage `json:"frames"`
 }

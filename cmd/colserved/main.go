@@ -79,6 +79,9 @@ func run(args []string) int {
 		walPath    = fs.String("wal", "", "write-ahead log path (default <data-dir>/wal.log)")
 		cacheBytes = fs.Int64("result-cache-bytes", 0, "result cache byte budget (default 256 MiB)")
 
+		inspectEvery = fs.Int("inspect-every", 0, "capture an occupancy frame every N accesses; 0 disables live inspection")
+		inspectBytes = fs.Int64("inspect-frames-bytes", 0, "time-travel frame retention byte budget (default 16 MiB when inspection is on)")
+
 		role      = fs.String("role", "standalone", "process role: standalone, coordinator, or worker")
 		join      = fs.String("join", "", "coordinator base URL (worker role)")
 		node      = fs.String("node", "", "stable ring identity (worker role; default: derived from listen addr)")
@@ -129,17 +132,22 @@ func run(args []string) int {
 	}
 
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SweepWorkers:   *sweepW,
-		JobTimeout:     *jobTimeout,
-		MaxBodyBytes:   *maxBody,
-		Limits:         service.Limits{MaxTraceAccesses: *maxTrace},
-		MaxSweepPoints: *maxPoints,
-		RetainJobs:     *retain,
-		CheckEvery:     *checkEvery,
-		Durability:     dur,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		SweepWorkers:      *sweepW,
+		JobTimeout:        *jobTimeout,
+		MaxBodyBytes:      *maxBody,
+		Limits:            service.Limits{MaxTraceAccesses: *maxTrace},
+		MaxSweepPoints:    *maxPoints,
+		RetainJobs:        *retain,
+		CheckEvery:        *checkEvery,
+		Durability:        dur,
+		InspectEvery:      *inspectEvery,
+		InspectFrameBytes: *inspectBytes,
 	})
+	if *inspectEvery > 0 {
+		logf("colserved: live inspection on: frame every %d accesses, GET /v1/jobs/{id}/inspect", *inspectEvery)
+	}
 
 	if dur != nil {
 		rec := srv.Recovery()

@@ -32,7 +32,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +43,7 @@ import (
 
 	"colcache/internal/cache"
 	"colcache/internal/controller"
+	"colcache/internal/inspect"
 	"colcache/internal/layout"
 	"colcache/internal/memory"
 	"colcache/internal/memsys"
@@ -107,6 +110,8 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "let the online controller redistribute columns across tints at epoch boundaries")
 		epoch     = flag.Int64("epoch", 4096, "adaptive decision interval in cache accesses; with -parallel, the lookahead window in simulated cycles")
 		minGain   = flag.Int64("mingain", 16, "adaptive hysteresis: predicted sampled-hit gain required to remap")
+		inspEvery = flag.Int("inspect-every", 0, "dump an occupancy frame every N accesses (needs -inspect-out)")
+		inspOut   = flag.String("inspect-out", "", "occupancy frame JSONL destination (- for stdout)")
 		cores     = flag.Int("cores", 0, "multicore mode: cores with private L1s over a shared snooped L2 (0 = single-core)")
 		parallel  = flag.Bool("parallel", false, "multicore mode: use the epoch-parallel stepper (bit-identical results to serial)")
 		l2sets    = flag.Int("l2sets", 64, "multicore mode: shared L2 sets (power of two)")
@@ -140,9 +145,21 @@ func main() {
 		tr = traces[0]
 	}
 
+	if *inspEvery > 0 {
+		if *inspOut == "" {
+			fmt.Fprintln(os.Stderr, "colsim: -inspect-every needs -inspect-out (use - for stdout)")
+			os.Exit(1)
+		}
+		if *stream || (*cores == 0 && len(traces) > 1) {
+			fmt.Fprintln(os.Stderr, "colsim: inspection wants a single in-memory trace or -cores N")
+			os.Exit(1)
+		}
+	}
+
 	if *cores > 0 {
 		if err := runMulticore(traces, *cores, *lineBytes, *sets, *ways, *pageBytes,
-			*policy, *penalty, *l2sets, *l2ways, *l2hit, l2cols, *parallel, *epoch); err != nil {
+			*policy, *penalty, *l2sets, *l2ways, *l2hit, l2cols, *parallel, *epoch,
+			*inspEvery, *inspOut); err != nil {
 			fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -229,7 +246,41 @@ func main() {
 		fmt.Printf("cache:        %s\n", st.Cache)
 		fmt.Printf("TLB hit rate: %.2f%%\n", 100*st.TLB.HitRate())
 	} else if len(traces) == 1 {
-		cycles := sys.Run(tr)
+		var cycles int64
+		if *inspEvery > 0 {
+			out, closeOut, err := openInspectOut(*inspOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colsim: %v\n", err)
+				os.Exit(1)
+			}
+			sys.EnablePerTintStats()
+			red := inspect.NewSystemReducer(sys)
+			enc := json.NewEncoder(out)
+			var frame inspect.Frame
+			var encErr error
+			total := len(tr)
+			cycles, err = sys.RunContext(context.Background(), tr, memsys.RunOptions{
+				InspectEvery: *inspEvery,
+				OnInspect: func(done int, st memsys.Stats) {
+					red.Reduce(&frame, int64(done), done == total)
+					if err := enc.Encode(&frame); err != nil && encErr == nil {
+						encErr = err
+					}
+				},
+			})
+			if err == nil {
+				err = closeOut()
+			}
+			if err == nil {
+				err = encErr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colsim: inspect dump: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			cycles = sys.Run(tr)
+		}
 		st := sys.Stats()
 		fmt.Printf("trace:        %s\n", memtrace.Summarize(tr, g))
 		fmt.Printf("cycles:       %d\n", cycles)
@@ -278,9 +329,11 @@ func main() {
 // stepper.
 func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageBytes int,
 	policy string, penalty, l2sets, l2ways, l2hit int, l2cols jobMaskFlag,
-	parallel bool, epoch int64) error {
+	parallel bool, epoch int64, inspEvery int, inspOut string) error {
+	replicated := false
 	switch {
 	case len(traces) == 1 && cores > 1:
+		replicated = true
 		// Replicate the single trace into disjoint per-core address windows.
 		base := traces[0]
 		traces = make([]memtrace.Trace, cores)
@@ -331,13 +384,57 @@ func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageByt
 			return err
 		}
 	}
-	if parallel {
+	var closeOut func() error
+	var encErr error
+	if inspEvery > 0 {
+		out, c, err := openInspectOut(inspOut)
+		if err != nil {
+			return err
+		}
+		closeOut = c
+		// Replicated single-trace runs put each core in a disjoint 4GB
+		// window, so shared-L2 lines are attributable to their owning core;
+		// user traces may alias, so their L2 occupancy stays untagged.
+		var owner func(memory.Addr) int
+		if replicated {
+			owner = inspect.WindowOwner(m.NumCores(), 32)
+		}
+		red := inspect.NewMachineReducer(m, owner)
+		enc := json.NewEncoder(out)
+		var frame inspect.Frame
+		var total int64
+		for _, t := range traces {
+			total += int64(len(t))
+		}
+		// An attached inspector forces the epoch-parallel stepper onto its
+		// serial fallback, so -parallel dumps are bit-identical to serial.
+		m.SetInspector(int64(inspEvery), func(done int64) {
+			red.Reduce(&frame, done, done == total)
+			if err := enc.Encode(&frame); err != nil && encErr == nil {
+				encErr = err
+			}
+		})
+	}
+	switch {
+	case parallel:
 		err = m.RunParallel(epoch)
-	} else {
+	case inspEvery > 0:
+		// Only the checkpointing stepper fires the inspector; the tight
+		// Run loop skips all per-step bookkeeping.
+		err = m.RunContext(context.Background(), 0, nil)
+	default:
 		err = m.Run()
 	}
 	if err != nil {
 		return err
+	}
+	if closeOut != nil {
+		if err := closeOut(); err != nil {
+			return fmt.Errorf("inspect dump: %w", err)
+		}
+		if encErr != nil {
+			return fmt.Errorf("inspect dump: %w", encErr)
+		}
 	}
 	st := m.Stats()
 	fmt.Printf("machine:      %d cores, L1 %d×%d×%dB private, L2 %d×%d×%dB shared\n",
@@ -354,6 +451,27 @@ func runMulticore(traces []memtrace.Trace, cores, lineBytes, sets, ways, pageByt
 	fmt.Printf("L2:           %s\n", st.L2)
 	fmt.Printf("makespan:     %d cycles (aggregate CPI %.3f)\n", st.Cycles, st.CPI())
 	return nil
+}
+
+// openInspectOut opens the occupancy-frame JSONL destination; "-" means
+// stdout. The returned close flushes (and closes, for files).
+func openInspectOut(path string) (*bufio.Writer, func() error, error) {
+	if path == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		return w, w.Flush, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	return w, func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
 }
 
 // attachAdaptive puts every tint in the table — the default tint included,

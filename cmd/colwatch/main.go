@@ -1,0 +1,332 @@
+// Command colwatch renders a colserved job's cache-occupancy frames as a
+// live ANSI heatmap in the terminal: one grid per cache, ways across,
+// two sets per text row, colored by the tint (or, for the shared L2 of a
+// multicore job, the core) that owns each resident line.
+//
+// Usage:
+//
+//	colwatch -server http://host:8344 -job j00000042          # live SSE
+//	colwatch -server http://host:8344 -job j00000042 -replay  # scrub retained frames
+//	colwatch -file frames.jsonl [-replay]                     # colsim -inspect-out dump
+//
+// Live mode follows GET /v1/jobs/{id}/inspect (the server needs
+// -inspect-every) and redraws on every frame until the stream's terminal
+// event. Replay mode loads the retained frame range — from the server's
+// time-travel endpoint or a local JSONL dump — and scrubs it:
+//
+//	l/→ next frame   h/← previous   g/G first/last
+//	r/R next/previous remap boundary   q quit
+//
+// The scrub keys need a raw terminal (stty); without one colwatch falls
+// back to line mode, reading the same commands followed by Enter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	colcache "colcache"
+	"colcache/internal/inspect"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8344", "colserved base URL")
+		job    = flag.String("job", "", "job ID to watch")
+		replay = flag.Bool("replay", false, "scrub retained frames instead of streaming live")
+		file   = flag.String("file", "", "replay a colsim -inspect-out JSONL dump instead of a server job")
+		fps    = flag.Int("fps", 30, "playback rate for non-interactive -file runs")
+	)
+	flag.Parse()
+
+	switch {
+	case *file != "":
+		frames, err := readJSONL(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colwatch: %v\n", err)
+			os.Exit(1)
+		}
+		if *replay {
+			if err := scrub(frames); err != nil {
+				fmt.Fprintf(os.Stderr, "colwatch: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		play(frames, *fps)
+	case *job == "":
+		fmt.Fprintln(os.Stderr, "colwatch: -job (with -server) or -file required")
+		os.Exit(1)
+	case *replay:
+		frames, err := fetchFrames(*server, *job)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colwatch: %v\n", err)
+			os.Exit(1)
+		}
+		if err := scrub(frames); err != nil {
+			fmt.Fprintf(os.Stderr, "colwatch: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		if err := live(*server, *job); err != nil {
+			fmt.Fprintf(os.Stderr, "colwatch: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// live follows the job's SSE inspection stream, redrawing per frame.
+func live(server, job string) error {
+	resp, err := http.Get(strings.TrimRight(server, "/") + "/v1/jobs/" + job + "/inspect")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr colcache.APIError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("HTTP %d from %s", resp.StatusCode, server)
+	}
+	fmt.Print("\x1b[2J")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event, data := "", ""
+	var dropped int64
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			switch event {
+			case "frame":
+				var f inspect.Frame
+				if err := json.Unmarshal([]byte(data), &f); err != nil {
+					return fmt.Errorf("bad frame: %w", err)
+				}
+				draw(renderFrame(&f, liveCursor(dropped)))
+			case "dropped":
+				var d struct {
+					Dropped int64 `json:"dropped"`
+				}
+				if json.Unmarshal([]byte(data), &d) == nil {
+					dropped = d.Dropped
+				}
+			case "end":
+				var e struct {
+					Reason string `json:"reason"`
+				}
+				_ = json.Unmarshal([]byte(data), &e)
+				fmt.Printf("stream ended: %s\n", e.Reason)
+				return nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"):
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	return fmt.Errorf("stream closed without a terminal event")
+}
+
+func liveCursor(dropped int64) string {
+	if dropped > 0 {
+		return fmt.Sprintf(" (live, %d dropped)", dropped)
+	}
+	return " (live)"
+}
+
+// draw repaints the screen in place: cursor home, render, clear the tail.
+func draw(s string) {
+	fmt.Print("\x1b[H" + s + "\x1b[J")
+}
+
+// play renders a dump as a fixed-rate animation.
+func play(frames []inspect.Frame, fps int) {
+	if fps < 1 {
+		fps = 1
+	}
+	fmt.Print("\x1b[2J")
+	tick := time.NewTicker(time.Second / time.Duration(fps))
+	defer tick.Stop()
+	for i := range frames {
+		draw(renderFrame(&frames[i], ""))
+		if i < len(frames)-1 {
+			<-tick.C
+		}
+	}
+}
+
+// scrub is the interactive time-travel mode over a loaded frame slice.
+func scrub(frames []inspect.Frame) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("no frames to replay")
+	}
+	keys, restore := openKeys()
+	defer restore()
+	fmt.Print("\x1b[2J")
+	i := 0
+	for {
+		cursor := fmt.Sprintf(" [%d/%d]", i+1, len(frames))
+		draw(renderFrame(&frames[i], cursor) +
+			"l/→ next  h/← prev  g/G ends  r/R remap  q quit\n")
+		switch <-keys {
+		case 'q', 0:
+			fmt.Println()
+			return nil
+		case 'l':
+			if i < len(frames)-1 {
+				i++
+			}
+		case 'h':
+			if i > 0 {
+				i--
+			}
+		case 'g':
+			i = 0
+		case 'G':
+			i = len(frames) - 1
+		case 'r':
+			i = nextRemap(frames, i, +1)
+		case 'R':
+			i = nextRemap(frames, i, -1)
+		}
+	}
+}
+
+// nextRemap jumps to the nearest frame in the given direction whose remap
+// counter differs from the current frame's — the exact frame a column
+// redistribution landed in.
+func nextRemap(frames []inspect.Frame, i, dir int) int {
+	for k := i + dir; k >= 0 && k < len(frames); k += dir {
+		if frames[k].Remaps != frames[i].Remaps {
+			if dir < 0 {
+				// Walking back: land on the first frame of that remap count.
+				for k > 0 && frames[k-1].Remaps == frames[k].Remaps {
+					k--
+				}
+			}
+			return k
+		}
+	}
+	return i
+}
+
+// openKeys returns a channel of scrub keystrokes. It prefers a raw
+// terminal (arrow keys decode to h/l); if stty is unavailable it falls
+// back to line mode, where each command is a line.
+func openKeys() (<-chan byte, func()) {
+	keys := make(chan byte)
+	raw := exec.Command("stty", "cbreak", "-echo")
+	raw.Stdin = os.Stdin
+	rawMode := raw.Run() == nil
+	go func() {
+		defer close(keys)
+		rd := bufio.NewReader(os.Stdin)
+		for {
+			b, err := rd.ReadByte()
+			if err != nil {
+				return
+			}
+			// Decode CSI arrows to their vi equivalents.
+			if b == 0x1b {
+				if n, _ := rd.ReadByte(); n == '[' {
+					switch d, _ := rd.ReadByte(); d {
+					case 'C':
+						b = 'l'
+					case 'D':
+						b = 'h'
+					default:
+						continue
+					}
+				} else {
+					continue
+				}
+			}
+			if b == '\n' || b == '\r' {
+				if rawMode {
+					continue
+				}
+				b = 'l' // bare Enter steps forward in line mode
+			}
+			keys <- b
+		}
+	}()
+	restore := func() {
+		if rawMode {
+			sane := exec.Command("stty", "sane")
+			sane.Stdin = os.Stdin
+			_ = sane.Run()
+		}
+	}
+	return keys, restore
+}
+
+// fetchFrames loads a job's full retained frame range from the server's
+// time-travel endpoint.
+func fetchFrames(server, job string) ([]inspect.Frame, error) {
+	resp, err := http.Get(strings.TrimRight(server, "/") + "/v1/jobs/" + job + "/inspect/frames")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr colcache.APIError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErr.Error)
+		}
+		return nil, fmt.Errorf("HTTP %d from %s", resp.StatusCode, server)
+	}
+	var doc colcache.InspectFrames
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	frames := make([]inspect.Frame, len(doc.Frames))
+	for i, raw := range doc.Frames {
+		if err := json.Unmarshal(raw, &frames[i]); err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("job %s has no retained frames (was it run with -inspect-every?)", job)
+	}
+	return frames, nil
+}
+
+// readJSONL loads a colsim -inspect-out dump.
+func readJSONL(path string) ([]inspect.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var frames []inspect.Frame
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var fr inspect.Frame
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(frames)+1, err)
+		}
+		frames = append(frames, fr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"colcache/internal/inspect"
+)
+
+// tintPalette maps an occupancy tag (tint id + 1, or core id + 1 for the
+// shared L2) to a 256-color ANSI index. Tag 0 — an invalid line — renders
+// as near-black so holes in the cache read as dark gaps. The palette
+// cycles for machines with more tints than entries.
+var tintPalette = []int{39, 208, 118, 201, 226, 51, 160, 93, 214, 45, 120, 199}
+
+func cellColor(tag byte) int {
+	if tag == 0 {
+		return 235
+	}
+	return tintPalette[(int(tag)-1)%len(tintPalette)]
+}
+
+// renderFrame draws one occupancy frame as ANSI half-block heatmaps: one
+// grid per cache, columns are ways, two sets share a text row ('▀' paints
+// the upper set in the foreground color, the lower in the background).
+// Pure in the frame, so replay scrubbing and tests use the same pixels
+// the live stream shows.
+func renderFrame(f *inspect.Frame, cursor string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame %d%s  done=%d  cycles=%d", f.Seq, cursor, f.Done, f.Cycles)
+	if f.Remaps > 0 {
+		fmt.Fprintf(&b, "  remaps=%d", f.Remaps)
+	}
+	if f.Final {
+		b.WriteString("  [final]")
+	}
+	b.WriteByte('\n')
+	for _, m := range f.Masks {
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", m.Kind, m.ID)
+		}
+		fmt.Fprintf(&b, "  %s %-12s %s\n", colorSwatch(tagOf(m.Kind, m.ID)), name, maskBar(m.Mask))
+	}
+	for i := range f.Caches {
+		renderCache(&b, &f.Caches[i])
+	}
+	if len(f.TintMiss) > 0 {
+		b.WriteString("interval misses:")
+		for _, d := range f.TintMiss {
+			name := d.Name
+			if name == "" {
+				name = fmt.Sprintf("tint%d", d.Tint)
+			}
+			fmt.Fprintf(&b, "  %s %d/%d", name, d.Misses, d.Accesses)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// tagOf recovers the occupancy tag a mask entry's lines carry: tints tag
+// L1 lines, cores tag shared-L2 lines, both offset by one past invalid.
+func tagOf(kind string, id int) byte {
+	if id >= 254 {
+		return 255
+	}
+	return byte(id + 1)
+}
+
+func colorSwatch(tag byte) string {
+	return fmt.Sprintf("\x1b[38;5;%dm■\x1b[0m", cellColor(tag))
+}
+
+// maskBar renders a replacement mask as 64 column slots, filled where the
+// mask permits replacement.
+func maskBar(mask uint64) string {
+	var b strings.Builder
+	for w := 0; w < 64; w++ {
+		if mask == 0 {
+			break
+		}
+		if w > 0 && mask>>uint(w) == 0 {
+			break
+		}
+		if mask&(1<<uint(w)) != 0 {
+			b.WriteRune('█')
+		} else {
+			b.WriteRune('·')
+		}
+	}
+	return b.String()
+}
+
+func renderCache(b *strings.Builder, cf *inspect.CacheFrame) {
+	fmt.Fprintf(b, "%s  %d×%d  valid=%d dirty=%d", cf.Name, cf.Sets, cf.Ways, cf.Valid, cf.Dirty)
+	if cf.Shared+cf.Modified > 0 && cf.Shared+cf.Modified != cf.Valid {
+		fmt.Fprintf(b, " S=%d M=%d", cf.Shared, cf.Modified)
+	}
+	fmt.Fprintf(b, "  misses=%d (Δ%d)\n", cf.Misses, cf.MissDelta)
+	// Two sets per text row: set 2r in the glyph's upper half (foreground),
+	// set 2r+1 in the lower (background). Odd set counts leave the last
+	// lower half dark.
+	for top := 0; top < cf.Sets; top += 2 {
+		for w := 0; w < cf.Ways; w++ {
+			fg := cellColor(cf.Occ[top*cf.Ways+w])
+			bg := 0
+			if top+1 < cf.Sets {
+				bg = cellColor(cf.Occ[(top+1)*cf.Ways+w])
+			} else {
+				bg = 16
+			}
+			fmt.Fprintf(b, "\x1b[38;5;%d;48;5;%dm▀", fg, bg)
+		}
+		b.WriteString("\x1b[0m\n")
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"colcache/internal/inspect"
+)
+
+func testFrame(seq, remaps int64) inspect.Frame {
+	return inspect.Frame{
+		Seq:    seq,
+		Done:   seq * 100,
+		Cycles: seq * 500,
+		Remaps: remaps,
+		Masks: []inspect.MaskEntry{
+			{Kind: "tint", ID: 0, Name: "default", Mask: 0b1100},
+			{Kind: "tint", ID: 1, Name: "hot", Mask: 0b0011},
+		},
+		Caches: []inspect.CacheFrame{{
+			Name: "l1", Sets: 4, Ways: 2,
+			Occ:   []byte{1, 2, 0, 1, 2, 2, 0, 0},
+			MSI:   []byte{1, 2, 0, 1, 1, 1, 0, 0},
+			Valid: 5, Dirty: 1, Shared: 4, Modified: 1,
+			Misses: 42, MissDelta: 7,
+		}},
+		TintMiss: []inspect.TintDelta{{Tint: 1, Name: "hot", Accesses: 100, Misses: 7}},
+	}
+}
+
+func TestRenderFrameLayout(t *testing.T) {
+	f := testFrame(3, 2)
+	out := renderFrame(&f, " [4/10]")
+	for _, want := range []string{
+		"frame 3 [4/10]", "done=300", "cycles=1500", "remaps=2",
+		"default", "hot", "l1  4×2", "misses=42 (Δ7)", "hot 7/100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// 4 sets × half-block packing = 2 heatmap rows of 2 glyphs each.
+	if n := strings.Count(out, "▀"); n != 4 {
+		t.Errorf("heatmap has %d half-blocks, want 4", n)
+	}
+	// The invalid cell color and both tint colors appear.
+	for _, c := range []int{cellColor(0), cellColor(1), cellColor(2)} {
+		if !strings.Contains(out, "\x1b[38;5;"+itoa(c)) && !strings.Contains(out, ";48;5;"+itoa(c)+"m") {
+			t.Errorf("render missing color %d:\n%q", c, out)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestRenderFinalFrame(t *testing.T) {
+	f := testFrame(9, 0)
+	f.Final = true
+	out := renderFrame(&f, "")
+	if !strings.Contains(out, "[final]") {
+		t.Errorf("final frame not marked:\n%s", out)
+	}
+	if strings.Contains(out, "remaps=") {
+		t.Errorf("zero remaps should be elided:\n%s", out)
+	}
+}
+
+func TestMaskBar(t *testing.T) {
+	if got := maskBar(0b1011); got != "██·█" {
+		t.Errorf("maskBar(0b1011) = %q", got)
+	}
+	if got := maskBar(0); got != "" {
+		t.Errorf("maskBar(0) = %q", got)
+	}
+}
+
+func TestNextRemapJumpsToBoundary(t *testing.T) {
+	frames := make([]inspect.Frame, 10)
+	for i := range frames {
+		frames[i] = testFrame(int64(i), 0)
+	}
+	// A remap lands between frames 3 and 4, another between 7 and 8.
+	for i := 4; i < 10; i++ {
+		frames[i].Remaps = 1
+	}
+	for i := 8; i < 10; i++ {
+		frames[i].Remaps = 2
+	}
+	if got := nextRemap(frames, 0, +1); got != 4 {
+		t.Errorf("forward from 0 = %d, want 4", got)
+	}
+	if got := nextRemap(frames, 4, +1); got != 8 {
+		t.Errorf("forward from 4 = %d, want 8", got)
+	}
+	if got := nextRemap(frames, 9, +1); got != 9 {
+		t.Errorf("forward at tail moved to %d", got)
+	}
+	// Backward lands on the first frame of the previous remap count.
+	if got := nextRemap(frames, 9, -1); got != 4 {
+		t.Errorf("backward from 9 = %d, want 4", got)
+	}
+	if got := nextRemap(frames, 4, -1); got != 0 {
+		t.Errorf("backward from 4 = %d, want 0", got)
+	}
+}

@@ -428,6 +428,49 @@ func TestLineAtAndSnapshotSets(t *testing.T) {
 	}
 }
 
+func TestSnapshotSetsInto(t *testing.T) {
+	c := MustNew(cfg4way())
+	all := replacement.All(4)
+	c.Read(0, all)
+	c.Write(32, all)
+
+	// Matches the allocating variant exactly.
+	want := c.SnapshotSets()
+	var buf [][]LineState
+	buf = c.SnapshotSetsInto(buf)
+	if len(buf) != len(want) {
+		t.Fatalf("shape: got %d sets, want %d", len(buf), len(want))
+	}
+	for s := range want {
+		for w := range want[s] {
+			if buf[s][w] != want[s][w] {
+				t.Fatalf("set %d way %d: got %+v, want %+v", s, w, buf[s][w], want[s][w])
+			}
+		}
+	}
+
+	// Detached: later cache activity does not show through.
+	c.Read(64, all)
+	if buf[2][0].Valid {
+		t.Fatal("snapshot picked up an access made after it was taken")
+	}
+
+	// Refilling a warm buffer reflects the new state and reuses the rows.
+	row0 := &buf[0][0]
+	buf = c.SnapshotSetsInto(buf)
+	if !buf[2][0].Valid {
+		t.Fatal("refill missed the line cached after the first capture")
+	}
+	if row0 != &buf[0][0] {
+		t.Fatal("refill reallocated rows for an identically shaped cache")
+	}
+
+	// The whole point: steady-state capture must not allocate.
+	if n := testing.AllocsPerRun(100, func() { buf = c.SnapshotSetsInto(buf) }); n != 0 {
+		t.Fatalf("SnapshotSetsInto allocated %.1f times per call on a warm buffer", n)
+	}
+}
+
 func TestNewWithPolicy(t *testing.T) {
 	if _, err := NewWithPolicy(cfg4way(), nil); err == nil {
 		t.Fatal("nil policy accepted")

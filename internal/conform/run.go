@@ -59,6 +59,11 @@ type runState struct {
 	installFills     int64 // fills from install steps: no miss
 	flushWritebacks  int64 // writebacks charged by flush steps
 	expectedResident int64
+	// Reused capture buffers for the production side of the per-step
+	// content comparison (SnapshotSetsInto), so a long case's repeated
+	// checks do not allocate per check.
+	l1Buf [][]cache.LineState
+	l2Buf [][]cache.LineState
 }
 
 // Run drives c through both machines and returns the first divergence, or
@@ -308,10 +313,14 @@ func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger
 	fail := func(format string, args ...any) *Divergence {
 		return &Divergence{Case: c.Name, Step: step, Detail: fmt.Sprintf(format, args...)}
 	}
+	// The production side is captured in one bulk, buffer-reusing pass; the
+	// oracle keeps its per-line walk — bulk capture on both sides would let
+	// a shared indexing bug cancel itself out.
 	oc := orc.Cache()
+	ledger.l1Buf = sys.Cache().SnapshotSetsInto(ledger.l1Buf)
 	for set := 0; set < c.Config.NumSets; set++ {
 		for way := 0; way < c.Config.NumWays; way++ {
-			p := sys.Cache().LineAt(set, way)
+			p := ledger.l1Buf[set][way]
 			o := oc.LineAt(set, way)
 			if p.Valid != o.Valid || (p.Valid && (p.Tag != o.Tag || p.Dirty != o.Dirty)) {
 				return fail("set %d way %d: production {tag=%#x valid=%v dirty=%v}, oracle {tag=%#x valid=%v dirty=%v}",
@@ -322,10 +331,11 @@ func checkState(c Case, step int, sys *memsys.System, orc *oracle.System, ledger
 
 	// L2 contents, line by line, when a second level is attached.
 	if c.Config.EnableL2 {
-		pl2, ol2 := sys.L2Cache(), orc.L2()
+		ol2 := orc.L2()
+		ledger.l2Buf = sys.L2Cache().SnapshotSetsInto(ledger.l2Buf)
 		for set := 0; set < c.Config.L2Sets; set++ {
 			for way := 0; way < c.Config.L2Ways; way++ {
-				p := pl2.LineAt(set, way)
+				p := ledger.l2Buf[set][way]
 				o := ol2.LineAt(set, way)
 				if p.Valid != o.Valid || (p.Valid && (p.Tag != o.Tag || p.Dirty != o.Dirty)) {
 					return fail("L2 set %d way %d: production {tag=%#x valid=%v dirty=%v}, oracle {tag=%#x valid=%v dirty=%v}",

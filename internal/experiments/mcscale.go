@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"time"
 
 	"colcache/internal/cache"
+	"colcache/internal/inspect"
 	"colcache/internal/memory"
 	"colcache/internal/memsys"
 	"colcache/internal/memtrace"
@@ -25,12 +28,13 @@ import (
 // ScalingResult is one core count's throughput measurement.
 type ScalingResult struct {
 	Cores        int     `json:"cores"`
-	Parallel     bool    `json:"parallel,omitempty"`    // measured with the epoch-parallel stepper
-	EpochCycles  int64   `json:"epochCycles,omitempty"` // epoch length K used when Parallel
-	Accesses     int64   `json:"accesses"`              // total trace accesses simulated
-	SimCycles    int64   `json:"simCycles"`             // makespan of the co-run
-	WallSeconds  float64 `json:"wallSeconds"`           // host time for the Run
-	CyclesPerSec float64 `json:"cyclesPerSec"`          // SimCycles / WallSeconds
+	Parallel     bool    `json:"parallel,omitempty"`     // measured with the epoch-parallel stepper
+	EpochCycles  int64   `json:"epochCycles,omitempty"`  // epoch length K used when Parallel
+	InspectEvery int64   `json:"inspectEvery,omitempty"` // frame-capture stride when inspected
+	Accesses     int64   `json:"accesses"`               // total trace accesses simulated
+	SimCycles    int64   `json:"simCycles"`              // makespan of the co-run
+	WallSeconds  float64 `json:"wallSeconds"`            // host time for the Run
+	CyclesPerSec float64 `json:"cyclesPerSec"`           // SimCycles / WallSeconds
 }
 
 // scalingTrace builds core i's benchmark trace: the idct reference stream
@@ -120,6 +124,78 @@ func runScaling(coreCounts []int, accessesPerCore int, parallel bool, epochCycle
 	return out, nil
 }
 
+// DefaultInspectStride is the frame-capture stride the inspect-on
+// benchmark row uses, and the stride the service documentation recommends
+// as a starting point. The stepper simulates tens of millions of accesses
+// per second, so 64Ki accesses per frame still yields hundreds of frames
+// per second — far beyond what a live heatmap needs — while amortizing
+// the ~tens-of-microseconds capture (occupancy reduction + JSON encoding)
+// to well under the 5% overhead budget the benchmark gates.
+const DefaultInspectStride = 65536
+
+// RunMulticoreScalingInspect measures the serial stepper with a live
+// frame capture attached at the given stride (0 = DefaultInspectStride).
+// The capture mirrors the service's inline cost — occupancy reduction
+// into a reused frame plus JSON encoding — so the row gates the real
+// overhead a colserved -inspect-every deployment pays.
+func RunMulticoreScalingInspect(coreCounts []int, accessesPerCore int, every int64) ([]ScalingResult, error) {
+	if every <= 0 {
+		every = DefaultInspectStride
+	}
+	var out []ScalingResult
+	for _, n := range coreCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: scaling needs ≥1 core, got %d", n)
+		}
+		traces := make([]memtrace.Trace, n)
+		for i := range traces {
+			traces[i] = scalingTrace(i, accessesPerCore)
+		}
+		m, err := multicore.New(multicore.Config{
+			Geometry:    memory.MustGeometry(32, 4096),
+			L1:          cache.Config{LineBytes: 32, NumSets: 16, NumWays: 2},
+			L2:          cache.Config{LineBytes: 32, NumSets: 64, NumWays: 8},
+			Timing:      memsys.DefaultTiming,
+			L2HitCycles: 6,
+			Traces:      traces,
+		})
+		if err != nil {
+			return nil, err
+		}
+		red := inspect.NewMachineReducer(m, inspect.WindowOwner(n, 32))
+		var frame inspect.Frame
+		var encoded int64
+		m.SetInspector(every, func(done int64) {
+			red.Reduce(&frame, done, false)
+			if b, err := json.Marshal(&frame); err == nil {
+				encoded += int64(len(b))
+			}
+		})
+		runtime.GC()
+		start := time.Now()
+		if err := m.RunContext(context.Background(), 0, nil); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		if encoded == 0 {
+			return nil, fmt.Errorf("experiments: inspect row captured no frames")
+		}
+		st := m.Stats()
+		r := ScalingResult{
+			Cores:        n,
+			InspectEvery: every,
+			Accesses:     int64(n) * int64(accessesPerCore),
+			SimCycles:    st.Cycles,
+			WallSeconds:  wall,
+		}
+		if wall > 0 {
+			r.CyclesPerSec = float64(r.SimCycles) / wall
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // ScalingTable renders the scaling sweep.
 func ScalingTable(rows []ScalingResult) *Table {
 	t := &Table{
@@ -130,6 +206,8 @@ func ScalingTable(rows []ScalingResult) *Table {
 		stepper := "serial"
 		if r.Parallel {
 			stepper = fmt.Sprintf("epoch K=%d", r.EpochCycles)
+		} else if r.InspectEvery > 0 {
+			stepper = fmt.Sprintf("inspect K=%d", r.InspectEvery)
 		}
 		t.AddRow(stepper, fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.Accesses),
 			fmt.Sprintf("%d", r.SimCycles), fmt.Sprintf("%.3f", r.WallSeconds),

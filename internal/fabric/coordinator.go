@@ -97,6 +97,9 @@ type Coordinator struct {
 	reg    *Registry
 	mux    *http.ServeMux
 	client *http.Client
+	// stream has no timeout: it carries open-ended SSE relays, which the
+	// subscriber's request context bounds instead of the forward budget.
+	stream *http.Client
 	start  time.Time
 
 	mu      sync.Mutex
@@ -147,6 +150,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		reg:    NewRegistry(cfg.PeerTTL),
 		mux:    http.NewServeMux(),
 		client: &http.Client{Timeout: cfg.ForwardTimeout},
+		stream: &http.Client{},
 		start:  time.Now(),
 		jobs:   make(map[string]*routedJob),
 		byNode: make(map[string]int64),
@@ -158,6 +162,8 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c.mux.HandleFunc("POST /v1/simulate", c.handleSubmit)
 	c.mux.HandleFunc("POST /v1/sweep", c.handleSubmit)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handlePoll)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/inspect", c.handleInspectStream)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/inspect/frames", c.handleInspectFrames)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleJobs)
 	c.mux.HandleFunc("GET /v1/results/{digest}", c.handleResult)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -788,6 +794,121 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// assignment resolves a fabric job ID to its current worker placement.
+func (c *Coordinator) assignment(id string) (node, workerID string, view NodeView, ok bool) {
+	c.mu.Lock()
+	j, known := c.jobs[id]
+	c.mu.Unlock()
+	if !known {
+		return "", "", NodeView{}, false
+	}
+	j.mu.Lock()
+	node, workerID = j.node, j.workerID
+	j.mu.Unlock()
+	view, alive := c.reg.Get(node)
+	if !alive {
+		return "", "", NodeView{}, false
+	}
+	return node, workerID, view, true
+}
+
+// handleInspectStream relays a live SSE inspection stream from the job's
+// owning worker, flushing per read so frame latency survives the hop. The
+// relay follows the assignment at attach time: if the worker dies
+// mid-stream the relay ends with it, and the client reattaches after the
+// steal loop re-places the job.
+func (c *Coordinator) handleInspectStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, workerID, view, ok := c.assignment(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, colcache.APIError{Error: fmt.Sprintf("no live assignment for job %q", id)})
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusInternalServerError, colcache.APIError{Error: "relay writer cannot stream"})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, view.BaseURL+"/v1/jobs/"+workerID+"/inspect", nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, colcache.APIError{Error: err.Error()})
+		return
+	}
+	req.Header.Set("X-Colcache-Fabric", "coordinator")
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		c.workerDown(node, "inspect forward: "+err.Error())
+		writeJSON(w, http.StatusBadGateway, colcache.APIError{Error: "worker unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		ct := resp.Header.Get("Content-Type")
+		if ct == "" {
+			ct = "application/json"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(payload)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleInspectFrames relays the time-travel frame range from the job's
+// owning worker, rewriting the document's job field to the fabric ID.
+func (c *Coordinator) handleInspectFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, workerID, view, ok := c.assignment(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, colcache.APIError{Error: fmt.Sprintf("no live assignment for job %q", id)})
+		return
+	}
+	resp, err := c.forward(http.MethodGet, view.BaseURL, "/v1/jobs/"+workerID+"/inspect/frames", r.URL.RawQuery, "", nil)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		c.workerDown(node, "inspect frames forward: "+err.Error())
+		writeJSON(w, http.StatusBadGateway, colcache.APIError{Error: "worker unreachable: " + err.Error()})
+		return
+	}
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var doc colcache.InspectFrames
+		if json.Unmarshal(payload, &doc) == nil {
+			doc.Job = id
+			writeJSON(w, http.StatusOK, doc)
+			return
+		}
+	}
+	ct := resp.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(payload)
 }
 
 func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {

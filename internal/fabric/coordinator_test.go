@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -306,6 +307,105 @@ func TestCoordinatorCachedRelay(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusNotModified {
 		t.Fatalf("conditional result: HTTP %d, want 304", resp3.StatusCode)
+	}
+}
+
+func TestCoordinatorRelaysInspectStream(t *testing.T) {
+	_, coordURL := startTestCoordinator(t, CoordinatorConfig{})
+	startTestWorker(t, coordURL, "w1", service.Config{InspectEvery: 4096})
+	waitAlive(t, coordURL, 1)
+
+	// A job long enough that the SSE attach lands while it is running.
+	spec := colcache.SimSpec{
+		Machine:  colcache.MachineSpec{Sets: 16, Ways: 4},
+		Workload: &colcache.WorkloadSpec{Name: "stream", SizeBytes: 1 << 20, Passes: 8},
+	}
+	info := submitVia(t, coordURL, spec)
+
+	resp, err := http.Get(coordURL + "/v1/jobs/" + info.ID + "/inspect")
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("inspect Content-Type = %q", ct)
+	}
+	// Walk the relayed event stream to its terminal event.
+	var frames int
+	var lastEvent, lastData string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "frame" {
+				frames++
+			}
+			if event != "" {
+				lastEvent, lastData = event, data
+			}
+			event, data = "", ""
+		case len(line) > 0 && line[0] == ':':
+		case len(line) > 7 && line[:7] == "event: ":
+			event = line[7:]
+		case len(line) > 6 && line[:6] == "data: ":
+			data = line[6:]
+		}
+		if lastEvent == "end" {
+			break
+		}
+	}
+	if lastEvent != "end" {
+		t.Fatalf("relayed stream did not end cleanly (last event %q)", lastEvent)
+	}
+	var end struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(lastData), &end); err != nil || end.Reason != colcache.StateDone {
+		t.Fatalf("relayed end payload %q, want reason done", lastData)
+	}
+	if frames == 0 {
+		t.Fatal("no frames relayed from the worker's live stream")
+	}
+
+	// The time-travel relay answers under the fabric ID.
+	fresp, err := http.Get(coordURL + "/v1/jobs/" + info.ID + "/inspect/frames?from=0&to=1")
+	if err != nil {
+		t.Fatalf("frames: %v", err)
+	}
+	defer fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("frames: HTTP %d", fresp.StatusCode)
+	}
+	var doc colcache.InspectFrames
+	if err := json.NewDecoder(fresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("frames decode: %v", err)
+	}
+	if doc.Job != info.ID || doc.Count != 2 || doc.First != 0 {
+		t.Fatalf("frames doc = job %s count %d first %d, want fabric ID and [0,1]", doc.Job, doc.Count, doc.First)
+	}
+
+	// Inverted ranges and unknown jobs relay their errors.
+	bresp, err := http.Get(coordURL + "/v1/jobs/" + info.ID + "/inspect/frames?from=3&to=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range relay: HTTP %d, want 400", bresp.StatusCode)
+	}
+	nresp, err := http.Get(coordURL + "/v1/jobs/f99999999/inspect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job relay: HTTP %d, want 404", nresp.StatusCode)
 	}
 }
 

@@ -1,0 +1,131 @@
+package inspect
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcaster fans serialized frames out to SSE subscribers without ever
+// blocking the publisher (the simulation goroutine). Each subscriber gets
+// a buffered channel; when a slow client's buffer is full the frame is
+// dropped for that subscriber and its dropped counter incremented — the
+// client later learns how many frames it missed, and the simulation never
+// waits on anyone's socket.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[*Subscriber]struct{}
+	done    bool
+	reason  string
+	dropped atomic.Int64 // total frames dropped across all subscribers
+}
+
+// Subscriber is one attached stream consumer.
+type Subscriber struct {
+	// C delivers serialized frames; it is closed when the subscriber is
+	// removed or the broadcaster finishes. After the close, Reason reports
+	// why (empty for an Unsubscribe).
+	C       chan []byte
+	b       *Broadcaster
+	dropped atomic.Int64
+	reason  atomic.Pointer[string]
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe attaches a consumer with a buffer of depth frames. On a
+// finished broadcaster the returned subscriber's channel is already closed
+// and Reason reports the finish reason — late clients observe a clean
+// terminal event instead of hanging.
+func (b *Broadcaster) Subscribe(depth int) *Subscriber {
+	if depth <= 0 {
+		depth = 8
+	}
+	s := &Subscriber{C: make(chan []byte, depth), b: b}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		r := b.reason
+		s.reason.Store(&r)
+		close(s.C)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe detaches s and closes its channel. Safe to call after the
+// broadcaster finished (a no-op then).
+func (b *Broadcaster) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; !ok {
+		return
+	}
+	delete(b.subs, s)
+	close(s.C)
+}
+
+// Publish offers data to every subscriber, never blocking: a subscriber
+// whose buffer is full misses this frame and has its dropped counter
+// incremented. The slice is shared with subscribers; the caller must not
+// modify it afterwards.
+func (b *Broadcaster) Publish(data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	for s := range b.subs {
+		select {
+		case s.C <- data:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Finish closes every subscriber's channel and marks the broadcaster done
+// with the given reason ("done", "failed", "canceled"...). Subsequent
+// Publish calls are no-ops; subsequent Subscribes observe the reason
+// immediately. Idempotent — the first reason wins.
+func (b *Broadcaster) Finish(reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.done = true
+	b.reason = reason
+	for s := range b.subs {
+		r := reason
+		s.reason.Store(&r)
+		close(s.C)
+		delete(b.subs, s)
+	}
+}
+
+// Done reports whether Finish was called, and with what reason.
+func (b *Broadcaster) Done() (bool, string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done, b.reason
+}
+
+// Dropped returns the total frames dropped across all subscribers.
+func (b *Broadcaster) Dropped() int64 { return b.dropped.Load() }
+
+// Dropped returns how many frames this subscriber missed.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Reason returns the broadcaster's finish reason as observed by this
+// subscriber ("" until its channel closes, or for a plain unsubscribe).
+func (s *Subscriber) Reason() string {
+	if p := s.reason.Load(); p != nil {
+		return *p
+	}
+	return ""
+}

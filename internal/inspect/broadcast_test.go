@@ -1,0 +1,123 @@
+package inspect
+
+import (
+	"sync"
+	"testing"
+)
+
+func drain(s *Subscriber) [][]byte {
+	var out [][]byte
+	for b := range s.C {
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestBroadcastDeliversInOrder(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(16)
+	b.Publish([]byte("f0"))
+	b.Publish([]byte("f1"))
+	b.Finish("done")
+	got := drain(s)
+	if len(got) != 2 || string(got[0]) != "f0" || string(got[1]) != "f1" {
+		t.Fatalf("delivered %q, want [f0 f1]", got)
+	}
+	if s.Reason() != "done" {
+		t.Fatalf("reason = %q, want done", s.Reason())
+	}
+	if s.Dropped() != 0 || b.Dropped() != 0 {
+		t.Fatalf("dropped %d/%d, want 0/0", s.Dropped(), b.Dropped())
+	}
+}
+
+// A slow client (full buffer) loses frames without ever blocking Publish;
+// the drop is counted per subscriber and in total, and a fast client on
+// the same broadcaster misses nothing.
+func TestBroadcastSlowClientDrops(t *testing.T) {
+	b := NewBroadcaster()
+	slow := b.Subscribe(2)
+	fast := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish([]byte{byte('0' + i)})
+	}
+	b.Finish("done")
+	if got := drain(slow); len(got) != 2 {
+		t.Fatalf("slow client got %d frames, want 2 (its buffer depth)", len(got))
+	}
+	if got := drain(fast); len(got) != 10 {
+		t.Fatalf("fast client got %d frames, want all 10", len(got))
+	}
+	if slow.Dropped() != 8 {
+		t.Fatalf("slow dropped = %d, want 8", slow.Dropped())
+	}
+	if fast.Dropped() != 0 {
+		t.Fatalf("fast dropped = %d, want 0", fast.Dropped())
+	}
+	if b.Dropped() != 8 {
+		t.Fatalf("total dropped = %d, want 8", b.Dropped())
+	}
+}
+
+func TestBroadcastFinishSemantics(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(4)
+	b.Finish("canceled")
+	b.Finish("done") // idempotent: first reason wins
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel still open after Finish")
+	}
+	if s.Reason() != "canceled" {
+		t.Fatalf("reason = %q, want canceled (first Finish wins)", s.Reason())
+	}
+	if done, reason := b.Done(); !done || reason != "canceled" {
+		t.Fatalf("Done = %v %q, want true canceled", done, reason)
+	}
+	// Late subscriber: closed channel plus the reason, no hang.
+	late := b.Subscribe(4)
+	if _, ok := <-late.C; ok {
+		t.Fatal("late subscriber's channel open on a finished broadcaster")
+	}
+	if late.Reason() != "canceled" {
+		t.Fatalf("late reason = %q, want canceled", late.Reason())
+	}
+	b.Publish([]byte("x")) // no-op, must not panic
+}
+
+func TestBroadcastUnsubscribe(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(4)
+	b.Unsubscribe(s)
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel open after Unsubscribe")
+	}
+	if s.Reason() != "" {
+		t.Fatalf("unsubscribed reason = %q, want empty", s.Reason())
+	}
+	b.Unsubscribe(s) // idempotent
+	b.Publish([]byte("x"))
+	b.Finish("done")
+}
+
+// Publishers, subscribers and finishers racing (run under -race).
+func TestBroadcastConcurrent(t *testing.T) {
+	b := NewBroadcaster()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := b.Subscribe(1)
+			drain(s)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			b.Publish([]byte("f"))
+		}
+		b.Finish("done")
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package inspect
+
+import "sync"
+
+// Ring is a fixed-capacity frame buffer: Capture hands the oldest slot to a
+// fill callback for in-place reuse, so a steady-state capture loop recycles
+// the same cap(frames) Frame values (and their cell buffers) forever —
+// no per-frame allocation, oldest frames silently overwritten.
+//
+// Captures are expected from one goroutine (the simulation loop); readers
+// (Do, Last) may run concurrently from HTTP handlers. The fill callback
+// runs under the ring lock, so readers never observe a half-filled frame.
+type Ring struct {
+	mu    sync.Mutex
+	slots []Frame
+	next  int   // slot index the next Capture fills
+	count int   // filled slots, ≤ len(slots)
+	seq   int64 // frames captured since construction
+}
+
+// NewRing returns a ring holding the most recent capacity frames.
+// capacity must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]Frame, capacity)}
+}
+
+// Capture hands the oldest slot to fill for in-place reuse and returns a
+// pointer to the filled frame. The pointer is only safe to read until the
+// ring wraps back around to its slot; copy (or marshal) promptly.
+func (r *Ring) Capture(fill func(f *Frame)) *Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := &r.slots[r.next]
+	fill(f)
+	r.next = (r.next + 1) % len(r.slots)
+	if r.count < len(r.slots) {
+		r.count++
+	}
+	r.seq++
+	return f
+}
+
+// Len returns how many frames are currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Captured returns how many frames have ever been captured.
+func (r *Ring) Captured() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Do calls visit for each buffered frame, oldest first, under the ring
+// lock. visit must not retain the pointer past its return.
+func (r *Ring) Do(visit func(f *Frame)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.slots)
+	}
+	for i := 0; i < r.count; i++ {
+		visit(&r.slots[(start+i)%len(r.slots)])
+	}
+}
+
+// Last calls visit with the most recently captured frame, or returns false
+// if nothing has been captured yet.
+func (r *Ring) Last(visit func(f *Frame)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return false
+	}
+	last := r.next - 1
+	if last < 0 {
+		last += len(r.slots)
+	}
+	visit(&r.slots[last])
+	return true
+}

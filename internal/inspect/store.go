@@ -1,0 +1,176 @@
+package inspect
+
+import "sync"
+
+// Store retains serialized frames of finished (and running) jobs for
+// time-travel scrubbing, under a global byte budget. Frames are appended
+// per job in sequence order and evicted oldest-first globally — the frame
+// that has been sitting in the store longest goes first, regardless of
+// which job owns it — so one chatty job ages out another's history the
+// same way it would age out its own.
+//
+// A Store holds marshaled JSON, not Frame values: the bytes are written
+// verbatim to the time-travel endpoint and to SSE replay, so retaining the
+// serialized form avoids re-encoding and makes the budget arithmetic exact.
+type Store struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	jobs   map[string]*jobFrames
+	order  []ref // global FIFO of retained frames, oldest first
+}
+
+type jobFrames struct {
+	frames [][]byte // frames[i] has sequence number base+i; nil when evicted
+	base   int64    // sequence number of frames[0]
+}
+
+type ref struct {
+	job string
+	seq int64
+}
+
+// NewStore returns a store that retains at most budget bytes of serialized
+// frames. budget <= 0 disables retention entirely (Append is a no-op).
+func NewStore(budget int64) *Store {
+	return &Store{budget: budget, jobs: make(map[string]*jobFrames)}
+}
+
+// Append retains frame data (seq must increase by one per job). The slice
+// is retained as-is; the caller must not modify it afterwards. A frame
+// larger than the whole budget is not retained. Returns whether the frame
+// was retained.
+func (s *Store) Append(jobID string, seq int64, data []byte) bool {
+	if s == nil || s.budget <= 0 {
+		return false
+	}
+	sz := int64(len(data))
+	if sz > s.budget {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.used+sz > s.budget && len(s.order) > 0 {
+		s.evictOldestLocked()
+	}
+	jf := s.jobs[jobID]
+	if jf == nil {
+		jf = &jobFrames{base: seq}
+		s.jobs[jobID] = jf
+	}
+	if got := jf.base + int64(len(jf.frames)); seq != got {
+		// Out-of-order append (job restarted after eviction): restart the
+		// job's history at seq rather than leaving a hole.
+		s.dropJobLocked(jobID)
+		jf = &jobFrames{base: seq}
+		s.jobs[jobID] = jf
+	}
+	jf.frames = append(jf.frames, data)
+	s.used += sz
+	s.order = append(s.order, ref{job: jobID, seq: seq})
+	return true
+}
+
+// evictOldestLocked drops the globally oldest retained frame.
+func (s *Store) evictOldestLocked() {
+	r := s.order[0]
+	s.order = s.order[1:]
+	jf := s.jobs[r.job]
+	if jf == nil {
+		return // job already dropped wholesale
+	}
+	i := r.seq - jf.base
+	if i < 0 || i >= int64(len(jf.frames)) || jf.frames[i] == nil {
+		return
+	}
+	s.used -= int64(len(jf.frames[i]))
+	jf.frames[i] = nil
+	// Frames evict in append order, so trimming nil prefixes keeps the
+	// slice from accumulating dead head entries.
+	for len(jf.frames) > 0 && jf.frames[0] == nil {
+		jf.frames = jf.frames[1:]
+		jf.base++
+	}
+	if len(jf.frames) == 0 {
+		delete(s.jobs, r.job)
+	}
+}
+
+// Frames returns the retained frames of jobID with from <= seq <= to,
+// oldest first, plus the sequence number of the first returned frame. A
+// negative to means "through the newest retained frame". ok is false when
+// from > to (an invalid range). An in-range but evicted frame is simply
+// absent from the result: the returned slice starts at the first retained
+// seq >= from.
+func (s *Store) Frames(jobID string, from, to int64) (frames [][]byte, first int64, ok bool) {
+	if to >= 0 && from > to {
+		return nil, 0, false
+	}
+	if s == nil {
+		return nil, 0, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jf := s.jobs[jobID]
+	if jf == nil {
+		return nil, 0, true
+	}
+	lo := from - jf.base
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(len(jf.frames))
+	if to >= 0 && to-jf.base+1 < hi {
+		hi = to - jf.base + 1
+	}
+	for i := lo; i < hi; i++ {
+		if jf.frames[i] == nil {
+			continue
+		}
+		if frames == nil {
+			first = jf.base + i
+		}
+		frames = append(frames, jf.frames[i])
+	}
+	return frames, first, true
+}
+
+// DropJob forgets every retained frame of jobID (the job was evicted from
+// the job store). Its order entries are left behind and skipped lazily by
+// evictOldestLocked.
+func (s *Store) DropJob(jobID string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropJobLocked(jobID)
+}
+
+func (s *Store) dropJobLocked(jobID string) {
+	jf := s.jobs[jobID]
+	if jf == nil {
+		return
+	}
+	for _, b := range jf.frames {
+		s.used -= int64(len(b))
+	}
+	delete(s.jobs, jobID)
+}
+
+// Stats reports the store's current footprint.
+func (s *Store) Stats() (jobs int, frames int, bytes int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, jf := range s.jobs {
+		for _, b := range jf.frames {
+			if b != nil {
+				frames++
+			}
+		}
+	}
+	return len(s.jobs), frames, s.used
+}

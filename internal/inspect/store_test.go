@@ -1,0 +1,126 @@
+package inspect
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func frameBytes(n int, fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, n)
+}
+
+func TestStoreRejectsInvertedRange(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.Append("j", 0, frameBytes(10, 'a'))
+	if _, _, ok := s.Frames("j", 5, 2); ok {
+		t.Fatal("Frames(from=5, to=2) reported ok, want invalid range")
+	}
+	// to < 0 means "through the newest", not an inverted range.
+	if fs, first, ok := s.Frames("j", 0, -1); !ok || len(fs) != 1 || first != 0 {
+		t.Fatalf("Frames(0, -1) = %d frames first=%d ok=%v, want 1/0/true", len(fs), first, ok)
+	}
+}
+
+func TestStoreEvictsOldestFirstAcrossJobs(t *testing.T) {
+	s := NewStore(100)
+	// Three 40-byte frames fill 120 > 100: appending the third must evict
+	// the globally oldest (jobA seq 0), not the newest or a same-job frame.
+	s.Append("a", 0, frameBytes(40, 'x'))
+	s.Append("b", 0, frameBytes(40, 'y'))
+	s.Append("a", 1, frameBytes(40, 'z'))
+	if _, frames, bytes := s.Stats(); frames != 2 || bytes != 80 {
+		t.Fatalf("after eviction: %d frames %d bytes, want 2 frames 80 bytes", frames, bytes)
+	}
+	fs, first, ok := s.Frames("a", 0, -1)
+	if !ok || len(fs) != 1 || first != 1 {
+		t.Fatalf("job a retained %d frames first=%d, want only seq 1", len(fs), first)
+	}
+	fs, first, ok = s.Frames("b", 0, -1)
+	if !ok || len(fs) != 1 || first != 0 {
+		t.Fatalf("job b retained %d frames first=%d, want seq 0 intact", len(fs), first)
+	}
+}
+
+// Frames of a job evicted mid-scrub: a range query spanning evicted frames
+// returns only what is retained, starting at the first surviving seq.
+func TestStoreEvictionMidScrub(t *testing.T) {
+	s := NewStore(1 << 20)
+	for i := int64(0); i < 10; i++ {
+		s.Append("j", i, []byte(fmt.Sprintf("frame-%d", i)))
+	}
+	fs, first, ok := s.Frames("j", 2, 5)
+	if !ok || len(fs) != 4 || first != 2 {
+		t.Fatalf("pre-eviction scrub: %d frames first=%d, want 4 from 2", len(fs), first)
+	}
+	// Shrink by appending a large frame that forces eviction of seqs 0..4.
+	small := NewStore(60)
+	for i := int64(0); i < 10; i++ {
+		small.Append("j", i, []byte("0123456789")) // 10 bytes each, 6 fit
+	}
+	fs, first, ok = small.Frames("j", 2, 8)
+	if !ok {
+		t.Fatal("range reported invalid")
+	}
+	if first != 4 || len(fs) != 5 {
+		t.Fatalf("mid-scrub after eviction: %d frames first=%d, want 5 from 4", len(fs), first)
+	}
+	// Fully evicted prefix + query below it: empty result, still ok.
+	fs, _, ok = small.Frames("j", 0, 3)
+	if !ok || len(fs) != 0 {
+		t.Fatalf("query into evicted prefix: %d frames ok=%v, want 0/true", len(fs), ok)
+	}
+}
+
+func TestStoreDropJobAndLazyOrder(t *testing.T) {
+	s := NewStore(100)
+	s.Append("a", 0, frameBytes(30, 'a'))
+	s.Append("b", 0, frameBytes(30, 'b'))
+	s.DropJob("a")
+	if jobs, frames, bytes := s.Stats(); jobs != 1 || frames != 1 || bytes != 30 {
+		t.Fatalf("after DropJob: jobs=%d frames=%d bytes=%d, want 1/1/30", jobs, frames, bytes)
+	}
+	if fs, _, ok := s.Frames("a", 0, -1); !ok || fs != nil {
+		t.Fatalf("dropped job still has %d frames", len(fs))
+	}
+	// The dropped job's stale order entries must be skipped, and budget
+	// pressure must still evict b's frame when needed.
+	s.Append("c", 0, frameBytes(60, 'c'))
+	s.Append("c", 1, frameBytes(30, 'd')) // 30+60+30 > 100 → evict b then maybe c0
+	if fs, _, ok := s.Frames("b", 0, -1); !ok || len(fs) != 0 {
+		t.Fatalf("job b survived eviction with %d frames", len(fs))
+	}
+}
+
+func TestStoreDisabledAndOversized(t *testing.T) {
+	if NewStore(0).Append("j", 0, frameBytes(1, 'x')) {
+		t.Fatal("zero-budget store retained a frame")
+	}
+	s := NewStore(50)
+	if s.Append("j", 0, frameBytes(51, 'x')) {
+		t.Fatal("store retained a frame larger than its whole budget")
+	}
+	var nilStore *Store
+	if nilStore.Append("j", 0, frameBytes(1, 'x')) {
+		t.Fatal("nil store retained a frame")
+	}
+	nilStore.DropJob("j")
+	if _, _, ok := nilStore.Frames("j", 0, -1); !ok {
+		t.Fatal("nil store rejected a valid range")
+	}
+}
+
+// A job resubmitted after eviction restarts its history cleanly.
+func TestStoreOutOfOrderAppendRestartsJob(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.Append("j", 0, frameBytes(10, 'a'))
+	s.Append("j", 1, frameBytes(10, 'b'))
+	s.Append("j", 0, frameBytes(10, 'c')) // restart from 0
+	fs, first, ok := s.Frames("j", 0, -1)
+	if !ok || len(fs) != 1 || first != 0 || fs[0][0] != 'c' {
+		t.Fatalf("restart: %d frames first=%d, want the single new seq-0 frame", len(fs), first)
+	}
+	if _, _, bytes := s.Stats(); bytes != 10 {
+		t.Fatalf("restart leaked budget: %d bytes used, want 10", bytes)
+	}
+}

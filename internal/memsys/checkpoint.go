@@ -51,8 +51,21 @@ func (s *System) RunContextFrom(ctx context.Context, t memtrace.Trace, cp Checkp
 		return total, fmt.Errorf("memsys: fast-forward to %d produced %d cycles, checkpoint recorded %d (checkpoint from a different spec or trace?)",
 			cp.Done, total, cp.Cycles)
 	}
+	// Inspection resumes on the same absolute stride grid the interrupted
+	// run used, so a resumed job's frame sequence continues where the old
+	// one stopped instead of phase-shifting by the checkpoint position.
+	inspect := 0
+	nextInspect := 0
+	if opts.OnInspect != nil && opts.InspectEvery > 0 {
+		inspect = opts.InspectEvery
+		nextInspect = (int(cp.Done)/inspect + 1) * inspect
+	}
 	for i := int(cp.Done); i < len(t); i++ {
 		total += s.Access(t[i])
+		if i+1 == nextInspect {
+			opts.OnInspect(i+1, s.Stats())
+			nextInspect += inspect
+		}
 		if (i+1)%every == 0 {
 			if opts.OnCheckpoint != nil {
 				opts.OnCheckpoint(i+1, s.Stats())
@@ -61,6 +74,9 @@ func (s *System) RunContextFrom(ctx context.Context, t memtrace.Trace, cp Checkp
 				return total, err
 			}
 		}
+	}
+	if inspect > 0 && nextInspect != len(t)+inspect {
+		opts.OnInspect(len(t), s.Stats())
 	}
 	if opts.OnCheckpoint != nil {
 		opts.OnCheckpoint(len(t), s.Stats())

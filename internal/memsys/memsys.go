@@ -112,7 +112,7 @@ type System struct {
 	scratch   *scratchpad.Scratchpad
 	timing    Timing
 	l2        *l2
-	tintStats map[tint.Tint]*TintStats
+	tintStats map[tint.Tint]*tintEntry
 	observer  AccessObserver
 	energy    Energy
 	energyPJ  int64
@@ -327,6 +327,19 @@ type RunOptions struct {
 	// publish the snapshot under your own lock if another goroutine reads
 	// it.
 	OnCheckpoint func(done int, st Stats)
+	// InspectEvery, with OnInspect non-nil, fires the inspection callback
+	// at exact trace positions — every InspectEvery accesses, independent
+	// of the CheckEvery stride, plus once after the final access when the
+	// trace length is not a stride multiple. Exact positions (rather than
+	// checkpoint-aligned ones) make the captured frame sequence a pure
+	// function of (config, trace, InspectEvery), which is what lets the
+	// inspect conformance check demand bit-identical frames from every
+	// execution strategy. Zero disables inspection.
+	InspectEvery int
+	// OnInspect runs on the simulation goroutine while the machine is
+	// quiescent, so it may read cache contents, tint table and page table
+	// directly (the inspect reducer does).
+	OnInspect func(done int, st Stats)
 }
 
 // DefaultCheckEvery is the RunContext cancellation stride when
@@ -343,9 +356,18 @@ func (s *System) RunContext(ctx context.Context, t memtrace.Trace, opts RunOptio
 	if every <= 0 {
 		every = DefaultCheckEvery
 	}
+	inspect := 0
+	if opts.OnInspect != nil && opts.InspectEvery > 0 {
+		inspect = opts.InspectEvery
+	}
+	nextInspect := inspect
 	var total int64
 	for i, a := range t {
 		total += s.Access(a)
+		if i+1 == nextInspect {
+			opts.OnInspect(i+1, s.Stats())
+			nextInspect += inspect
+		}
 		if (i+1)%every == 0 {
 			if err := ctx.Err(); err != nil {
 				if opts.OnCheckpoint != nil {
@@ -357,6 +379,9 @@ func (s *System) RunContext(ctx context.Context, t memtrace.Trace, opts RunOptio
 				opts.OnCheckpoint(i+1, s.Stats())
 			}
 		}
+	}
+	if inspect > 0 && nextInspect != len(t)+inspect {
+		opts.OnInspect(len(t), s.Stats())
 	}
 	if opts.OnCheckpoint != nil {
 		opts.OnCheckpoint(len(t), s.Stats())

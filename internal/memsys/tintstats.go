@@ -27,20 +27,31 @@ func (s TintStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// tintEntry pairs the resettable interval counters with a cumulative set
+// that survives ResetTintStats. Two independent consumers sample per-tint
+// activity at their own cadences — the adaptive controller resets at its
+// epochs, the inspect reducer diffs between frames — and neither may
+// disturb the other's interval arithmetic.
+type tintEntry struct {
+	cur TintStats // since the last ResetTintStats
+	cum TintStats // since EnablePerTintStats, monotonic
+}
+
 // EnablePerTintStats turns on per-tint attribution (off by default: it
 // costs a map update per access).
 func (s *System) EnablePerTintStats() {
 	if s.tintStats == nil {
-		s.tintStats = make(map[tint.Tint]*TintStats)
+		s.tintStats = make(map[tint.Tint]*tintEntry)
 	}
 }
 
-// TintStats returns a snapshot of per-tint counters, keyed by tint. Empty
-// unless EnablePerTintStats was called.
+// TintStats returns a snapshot of per-tint counters accumulated since the
+// last ResetTintStats, keyed by tint. Empty unless EnablePerTintStats was
+// called.
 func (s *System) TintStats() map[tint.Tint]TintStats {
 	out := make(map[tint.Tint]TintStats, len(s.tintStats))
-	for id, st := range s.tintStats {
-		out[id] = *st
+	for id, e := range s.tintStats {
+		out[id] = e.cur
 	}
 	return out
 }
@@ -53,25 +64,44 @@ func (s *System) TintStats() map[tint.Tint]TintStats {
 // called.
 func (s *System) ResetTintStats() map[tint.Tint]TintStats {
 	out := make(map[tint.Tint]TintStats, len(s.tintStats))
-	for id, st := range s.tintStats {
-		out[id] = *st
-		*st = TintStats{}
+	for id, e := range s.tintStats {
+		out[id] = e.cur
+		e.cur = TintStats{}
 	}
 	return out
+}
+
+// CumulativeTintStats reads each tint's counters since EnablePerTintStats,
+// unaffected by ResetTintStats. The inspect reducer diffs consecutive reads
+// to compute per-frame miss deltas without racing the adaptive controller
+// for the interval counters. dst is reused when non-nil (cleared first), so
+// steady-state sampling allocates only when a new tint first appears.
+func (s *System) CumulativeTintStats(dst map[tint.Tint]TintStats) map[tint.Tint]TintStats {
+	if dst == nil {
+		dst = make(map[tint.Tint]TintStats, len(s.tintStats))
+	} else {
+		clear(dst)
+	}
+	for id, e := range s.tintStats {
+		dst[id] = e.cum
+	}
+	return dst
 }
 
 func (s *System) noteTintAccess(id tint.Tint, miss bool) {
 	if s.tintStats == nil {
 		return
 	}
-	st := s.tintStats[id]
-	if st == nil {
-		st = &TintStats{}
-		s.tintStats[id] = st
+	e := s.tintStats[id]
+	if e == nil {
+		e = &tintEntry{}
+		s.tintStats[id] = e
 	}
-	st.Accesses++
+	e.cur.Accesses++
+	e.cum.Accesses++
 	if miss {
-		st.Misses++
+		e.cur.Misses++
+		e.cum.Misses++
 	}
 }
 

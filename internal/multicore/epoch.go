@@ -315,7 +315,9 @@ func (m *Machine) RunParallel(epochCycles int64) error {
 //
 // Machines the epoch machinery cannot serve bit-identically fall back to the
 // serial RunContext: a single core (nothing to parallelize), an attached
-// AccessObserver (mid-run controller state a rollback cannot restore), or a
+// AccessObserver (mid-run controller state a rollback cannot restore), an
+// attached inspector (frames must land at exact access-count strides, which
+// epoch barriers — at epoch-length-dependent positions — cannot hit), or a
 // non-snapshottable injected replacement policy.
 func (m *Machine) RunParallelContext(ctx context.Context, epochCycles int64, checkEvery int, onCheckpoint func(done int64)) error {
 	if epochCycles <= 0 {
@@ -327,7 +329,7 @@ func (m *Machine) RunParallelContext(ctx context.Context, epochCycles int64, che
 	if m.violation != nil {
 		return m.violation
 	}
-	if len(m.cores) == 1 || m.observer != nil || !m.snapshottable() {
+	if len(m.cores) == 1 || m.observer != nil || m.inspectFn != nil || !m.snapshottable() {
 		return m.RunContext(ctx, checkEvery, onCheckpoint)
 	}
 

@@ -179,6 +179,15 @@ type Machine struct {
 
 	observer memsys.AccessObserver
 
+	// Inspection hook (SetInspector): fired at exact global access counts
+	// by the serial stepper's RunContext. RunParallelContext falls back to
+	// the serial stepper while an inspector is attached — epoch barriers
+	// land at epoch-length-dependent access counts, so only the serial
+	// schedule can hit the exact deterministic stride positions that make
+	// frame sequences bit-identical across entry points.
+	inspectEvery int64
+	inspectFn    func(done int64)
+
 	dirtyCreated int64
 	dirtyRetired int64
 	bus          BusStats
@@ -349,6 +358,51 @@ func (m *Machine) MapRegion(i int, r memory.Region, mask replacement.Mask) (tint
 // memsys exposes, so the adaptive column-allocation controller plugs into
 // the shared L2 without importing this package.
 func (m *Machine) SetL2Observer(o memsys.AccessObserver) { m.observer = o }
+
+// PageTable returns core i's page table, for read-only inspection (the
+// inspect reducer attributes each resident L1 line to the tint of its page).
+func (m *Machine) PageTable(i int) *vm.PageTable { return m.cores[i].pt }
+
+// AccessesDone returns the total number of trace accesses executed so far,
+// summed over cores — the serial stepper's global step count.
+func (m *Machine) AccessesDone() int64 { return m.accessesDone() }
+
+// RemapsFired returns how many events of the deterministic remap schedule
+// have applied so far.
+func (m *Machine) RemapsFired() int { return m.remapPos }
+
+// CoreStatsAt returns core i's counters without building the whole Stats
+// document — the per-frame sampling path, which must not allocate.
+func (m *Machine) CoreStatsAt(i int) CoreStats {
+	c := m.cores[i]
+	return CoreStats{
+		Instructions:      c.instructions,
+		Cycles:            c.cycles,
+		MemAccesses:       int64(c.pos),
+		UncachedAccesses:  c.uncachedAcc,
+		L1:                c.l1.Stats(),
+		TLB:               c.tlb.Stats(),
+		L2Accesses:        c.l2Accesses,
+		L2Misses:          c.l2Misses,
+		InvalidationsRecv: c.invalidationsRecv,
+		Interventions:     c.interventions,
+		Upgrades:          c.upgrades,
+	}
+}
+
+// SetInspector registers fn to run every `every` trace accesses (exact
+// global access counts), plus once at the end of a run that stops off the
+// stride grid; nil detaches. The hook fires inside RunContext — and inside
+// RunParallelContext, which falls back to the serial stepper while an
+// inspector is attached so the frame sequence is bit-identical from either
+// entry point (epoch barriers land at epoch-dependent access counts and
+// cannot hit the stride positions exactly). fn runs on the simulation
+// goroutine with the machine quiescent, so it may read caches, tint tables
+// and page tables directly.
+func (m *Machine) SetInspector(every int64, fn func(done int64)) {
+	m.inspectEvery = every
+	m.inspectFn = fn
+}
 
 // Done reports whether every core has exhausted its trace.
 func (m *Machine) Done() bool {

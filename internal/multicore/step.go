@@ -98,6 +98,19 @@ func (m *Machine) RunContext(ctx context.Context, checkEvery int, onCheckpoint f
 	if checkEvery <= 0 {
 		checkEvery = 4096
 	}
+	// The inspector fires at exact GLOBAL access counts (base + done), so a
+	// resumed run continues the same stride grid the interrupted one used
+	// and the frame sequence stays a pure function of (config, traces,
+	// stride) regardless of how the run was sliced into calls.
+	base := m.accessesDone()
+	var inspect, nextInspect int64
+	if m.inspectFn != nil && m.inspectEvery > 0 {
+		inspect = m.inspectEvery
+		nextInspect = (base/inspect + 1) * inspect
+	}
+	if m.check == nil && m.violation == nil {
+		return m.runContextFast(ctx, int64(checkEvery), base, inspect, nextInspect, onCheckpoint)
+	}
 	var done int64
 	for {
 		more, err := m.Step()
@@ -105,13 +118,92 @@ func (m *Machine) RunContext(ctx context.Context, checkEvery int, onCheckpoint f
 			return err
 		}
 		if !more {
+			if inspect > 0 && base+done != nextInspect-inspect {
+				m.inspectFn(base + done)
+			}
 			if onCheckpoint != nil {
 				onCheckpoint(done)
 			}
 			return ctx.Err()
 		}
 		done++
+		if base+done == nextInspect {
+			m.inspectFn(base + done)
+			nextInspect += inspect
+		}
 		if done%int64(checkEvery) == 0 {
+			if onCheckpoint != nil {
+				onCheckpoint(done)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runBatch executes at most limit accesses of the tight checks-off
+// arbitration loop and returns how many ran (short only when every trace
+// is exhausted). It must stay a small dedicated function: inlining this
+// loop into runContextFast's stride bookkeeping puts enough variables
+// live across the m.access call that the register allocator spills on
+// every iteration, costing ~25% of the stepper's throughput.
+func (m *Machine) runBatch(limit int64) int64 {
+	var ran int64
+	for ran < limit {
+		var next *core
+		for _, c := range m.cores {
+			if c.pos >= len(c.trace) {
+				continue
+			}
+			if next == nil || c.cycles < next.cycles {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.instructions += int64(next.trace[next.pos].Think) + 1
+		next.cycles += m.access(next, next.trace[next.pos])
+		next.pos++
+		ran++
+	}
+	return ran
+}
+
+// runContextFast is RunContext's checks-off hot loop: the same tight
+// arbitration Run uses (so the interleaving is bit-identical), batched to
+// the nearest stride boundary so the inspection and checkpoint bookkeeping
+// amortizes over thousands of accesses. This keeps an attached inspector's
+// cost to the frame captures themselves.
+func (m *Machine) runContextFast(ctx context.Context, checkEvery, base, inspect, nextInspect int64, onCheckpoint func(done int64)) error {
+	var done int64
+	untilCheck := checkEvery
+	for {
+		// Run up to the nearest stride boundary (checkpoint or inspection).
+		batch := untilCheck
+		if inspect > 0 {
+			if ui := nextInspect - (base + done); ui < batch {
+				batch = ui
+			}
+		}
+		ran := m.runBatch(batch)
+		done += ran
+		if ran < batch { // every trace exhausted
+			if inspect > 0 && base+done != nextInspect-inspect {
+				m.inspectFn(base + done)
+			}
+			if onCheckpoint != nil {
+				onCheckpoint(done)
+			}
+			return ctx.Err()
+		}
+		if inspect > 0 && base+done == nextInspect {
+			m.inspectFn(base + done)
+			nextInspect += inspect
+		}
+		if untilCheck -= ran; untilCheck == 0 {
+			untilCheck = checkEvery
 			if onCheckpoint != nil {
 				onCheckpoint(done)
 			}

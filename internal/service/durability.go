@@ -253,6 +253,10 @@ func (s *Server) recoverJobs(records []wal.Record) RecoveryStats {
 		}
 		j.state = colcache.StateQueued
 		j.Submitted = time.Now()
+		if s.inspect != nil && j.Kind != "sweep" {
+			jid := j.ID
+			j.onFinish = func(state string) { s.inspect.finish(jid, state) }
+		}
 		s.store.restore(j)
 		if err := s.pool.TrySubmit(j); err != nil {
 			// More journaled jobs than queue depth: hand the overflow back

@@ -42,6 +42,11 @@ type Job struct {
 	// sys is the live machine while the job runs; its tint table is
 	// thread-safe, so the status handler may render it mid-simulation.
 	sys *memsys.System
+
+	// onFinish, when set (before the job is shared), runs after every
+	// terminal transition with the final state — the inspect hub closes
+	// the job's frame stream through it.
+	onFinish func(state string)
 }
 
 func (j *Job) label() string {
@@ -79,7 +84,11 @@ func (j *Job) finish(state string, retriable bool, errMsg string, res *colcache.
 	j.result = res
 	j.sweepRes = sweep
 	j.sys = nil
+	fn := j.onFinish
 	j.mu.Unlock()
+	if fn != nil {
+		fn(state)
+	}
 }
 
 // State returns the job's current state.
@@ -155,6 +164,10 @@ type store struct {
 	order  []string // insertion order, for eviction scans
 	seq    int64
 	retain int
+	// onEvict, when set (before traffic), runs for every job leaving the
+	// store — eviction or rollback — so dependent per-job state (retained
+	// inspect frames, feeds) is released with it.
+	onEvict func(id string)
 }
 
 func newStore(retain int) *store {
@@ -212,6 +225,9 @@ func (s *store) evictLocked() {
 			switch j.State() {
 			case colcache.StateDone, colcache.StateFailed, colcache.StateCanceled:
 				delete(s.jobs, id)
+				if s.onEvict != nil {
+					s.onEvict(id)
+				}
 				excess--
 				continue
 			}
@@ -233,6 +249,9 @@ func (s *store) remove(id string) {
 		}
 	}
 	s.mu.Unlock()
+	if s.onEvict != nil {
+		s.onEvict(id)
+	}
 }
 
 // get looks a job up.

@@ -276,6 +276,18 @@ type Gauges struct {
 	WAL    *wal.Stats
 	// Fabric is nil unless the server is a fabric worker.
 	Fabric *FabricGauges
+	// Inspect is nil unless live inspection is enabled.
+	Inspect *InspectGauges
+}
+
+// InspectGauges snapshots the live-inspection subsystem for /metrics.
+type InspectGauges struct {
+	Streams        int64 // attached SSE clients
+	FramesCaptured int64 // frames captured across all jobs
+	FramesDropped  int64 // frames lost to slow SSE clients
+	RetainedJobs   int   // jobs with retained time-travel frames
+	RetainedFrames int   // retained frames
+	RetainedBytes  int64 // serialized bytes retained
 }
 
 // Write renders the whole registry in Prometheus text exposition format.
@@ -341,6 +353,16 @@ func (m *Metrics) Write(w io.Writer, g Gauges) {
 		fmt.Fprintf(w, "# HELP colserved_fabric_heartbeats_total Heartbeats acknowledged by the coordinator.\n# TYPE colserved_fabric_heartbeats_total counter\ncolserved_fabric_heartbeats_total %d\n", fg.Heartbeats)
 		fmt.Fprintf(w, "# HELP colserved_fabric_heartbeat_failures_total Heartbeats that failed or were rejected.\n# TYPE colserved_fabric_heartbeat_failures_total counter\ncolserved_fabric_heartbeat_failures_total %d\n", fg.Failures)
 		fmt.Fprintf(w, "# HELP colserved_fabric_last_heartbeat_age_seconds Age of the last acknowledged heartbeat.\n# TYPE colserved_fabric_last_heartbeat_age_seconds gauge\ncolserved_fabric_last_heartbeat_age_seconds %g\n", fg.LastBeatAgeSeconds)
+	}
+
+	if g.Inspect != nil {
+		ig := g.Inspect
+		fmt.Fprintf(w, "# HELP colserved_inspect_streams Attached live-inspection SSE clients.\n# TYPE colserved_inspect_streams gauge\ncolserved_inspect_streams %d\n", ig.Streams)
+		fmt.Fprintf(w, "# HELP colserved_inspect_frames_total Occupancy frames captured across all jobs.\n# TYPE colserved_inspect_frames_total counter\ncolserved_inspect_frames_total %d\n", ig.FramesCaptured)
+		fmt.Fprintf(w, "# HELP colserved_inspect_dropped_total Frames dropped to slow SSE clients.\n# TYPE colserved_inspect_dropped_total counter\ncolserved_inspect_dropped_total %d\n", ig.FramesDropped)
+		fmt.Fprintf(w, "# HELP colserved_inspect_retained_jobs Jobs with retained time-travel frames.\n# TYPE colserved_inspect_retained_jobs gauge\ncolserved_inspect_retained_jobs %d\n", ig.RetainedJobs)
+		fmt.Fprintf(w, "# HELP colserved_inspect_retained_frames Retained time-travel frames.\n# TYPE colserved_inspect_retained_frames gauge\ncolserved_inspect_retained_frames %d\n", ig.RetainedFrames)
+		fmt.Fprintf(w, "# HELP colserved_inspect_retained_bytes Serialized bytes of retained frames.\n# TYPE colserved_inspect_retained_bytes gauge\ncolserved_inspect_retained_bytes %d\n", ig.RetainedBytes)
 	}
 
 	fmt.Fprintf(w, "# HELP colserved_uptime_seconds Seconds since the server started.\n# TYPE colserved_uptime_seconds gauge\ncolserved_uptime_seconds %g\n", time.Since(m.start).Seconds())

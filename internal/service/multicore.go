@@ -84,6 +84,10 @@ type BuiltMulticore struct {
 	Workloads     []string
 	Parallel      bool  // run the epoch-parallel stepper
 	Epoch         int64 // lookahead cycles per epoch when Parallel
+	// SharedAddresses records whether the cores' traces share one address
+	// space; when false each core's trace was shifted into the i<<32
+	// window and shared-L2 line ownership is derivable from the address.
+	SharedAddresses bool
 }
 
 // BuildMulticore constructs the machine and per-core traces a validated
@@ -96,7 +100,7 @@ func BuildMulticore(spec colcache.SimSpec, lim Limits) (*BuiltMulticore, error) 
 	if err != nil {
 		return nil, err
 	}
-	b := &BuiltMulticore{}
+	b := &BuiltMulticore{SharedAddresses: mc.SharedAddresses}
 	traces := make([]memtrace.Trace, len(mc.Cores))
 	for i, cs := range mc.Cores {
 		prog, err := BuildWorkload(cs.Workload, m.LineBytes)

@@ -48,6 +48,20 @@ type Config struct {
 	// content-addressed result cache (see OpenDurability). Nil keeps the
 	// server fully in-memory.
 	Durability *Durability
+	// InspectEvery, when positive, captures an occupancy frame every that
+	// many accesses on simulate and multicore jobs, serves them live on
+	// GET /v1/jobs/{id}/inspect (SSE) and retains them for time travel on
+	// GET /v1/jobs/{id}/inspect/frames. Zero disables inspection (both
+	// endpoints 404).
+	InspectEvery int
+	// InspectFrameBytes budgets the retained-frame store; frames are
+	// evicted oldest-first globally past it (default 16 MiB when
+	// inspection is on; <0 disables retention, keeping only the live
+	// stream).
+	InspectFrameBytes int64
+	// InspectHeartbeat is the SSE keep-alive comment cadence (default
+	// 15s; tests shorten it).
+	InspectHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 16384
 	}
+	if c.InspectEvery > 0 && c.InspectFrameBytes == 0 {
+		c.InspectFrameBytes = 16 << 20
+	}
 	return c
 }
 
@@ -88,6 +105,7 @@ type Server struct {
 	recovery  RecoveryStats
 	draining  chan struct{} // closed when Drain begins
 	drainOnce sync.Once
+	inspect   *inspectHub // nil unless Config.InspectEvery > 0
 
 	// fabricGauges, when set (before serving traffic), is scraped into
 	// /metrics — the worker role's heartbeat agent supplies it.
@@ -109,6 +127,12 @@ func New(cfg Config) *Server {
 		dur:      cfg.Durability,
 		draining: make(chan struct{}),
 	}
+	if cfg.InspectEvery > 0 {
+		s.inspect = newInspectHub(cfg.InspectEvery, cfg.InspectFrameBytes, cfg.InspectHeartbeat)
+		// An evicted job takes its inspect surface (feed + retained
+		// frames) with it.
+		s.store.onEvict = s.inspect.drop
+	}
 	s.pool = runner.NewPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 
 	// Boot recovery: replay the WAL before any HTTP traffic — accepted-
@@ -122,6 +146,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	s.mux.Handle("GET /v1/jobs/{id}/inspect", s.instrument("/v1/jobs/{id}/inspect", s.handleInspect))
+	s.mux.Handle("GET /v1/jobs/{id}/inspect/frames", s.instrument("/v1/jobs/{id}/inspect/frames", s.handleInspectFrames))
 	s.mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
 	s.mux.Handle("GET /v1/results/{digest}", s.instrument("/v1/results/{digest}", s.handleResult))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -281,7 +307,7 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 		resume = *j.Resume
 	}
 	var lastCycles, lastAccesses int64
-	cycles, err := b.Sys.RunContextFrom(ctx, b.Trace, resume, memsys.RunOptions{
+	opts := memsys.RunOptions{
 		CheckEvery: s.cfg.CheckEvery,
 		OnCheckpoint: func(done int, st memsys.Stats) {
 			s.metrics.SimCycles.Add(st.Cycles - lastCycles)
@@ -305,7 +331,9 @@ func (s *Server) runSimulate(ctx context.Context, j *Job) error {
 				s.appendRecord(recCheckpoint, recMeta{ID: j.ID, Checkpoint: &cp}, nil, false)
 			}
 		},
-	})
+	}
+	s.wireSimInspection(j, b, &opts)
+	cycles, err := b.Sys.RunContextFrom(ctx, b.Trace, resume, opts)
 	if err != nil {
 		return err
 	}
@@ -324,6 +352,7 @@ func (s *Server) runMulticore(ctx context.Context, j *Job) error {
 		return err
 	}
 	j.setRunning(nil)
+	s.wireMulticoreInspection(j, b)
 	run := b.M.RunContext
 	if b.Parallel {
 		run = func(ctx context.Context, checkEvery int, onCheckpoint func(int64)) error {
@@ -519,6 +548,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush passes through to the wrapped writer so SSE handlers behind the
+// instrumentation wrapper can still stream per-event.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with per-path request counting and latency
 // observation, using the route pattern (not the raw URL) as the label so
 // cardinality stays bounded.
@@ -560,6 +597,11 @@ func (s *Server) submit(w http.ResponseWriter, j *Job) {
 	j.state = colcache.StateQueued
 	j.Submitted = time.Now()
 	s.store.add(j)
+	if s.inspect != nil && j.Kind != "sweep" {
+		// Whatever path finishes the job — commit, failure, timeout, drain
+		// — closes its frame stream with the terminal state as the reason.
+		j.onFinish = func(state string) { s.inspect.finish(j.ID, state) }
+	}
 	// The accepted record is committed BEFORE the job can start (and
 	// before the 202 leaves): a started or checkpoint record can then
 	// never precede its accepted record in the log, and an acknowledged
@@ -825,6 +867,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.fabricGauges != nil {
 		fg := s.fabricGauges()
 		g.Fabric = &fg
+	}
+	if s.inspect != nil {
+		ig := s.inspect.gauges()
+		g.Inspect = &ig
 	}
 	s.metrics.Write(w, g)
 }

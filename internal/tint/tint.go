@@ -97,6 +97,12 @@ func NewTable(numColumns int) *Table {
 // NumColumns returns the column count the table was built for.
 func (t *Table) NumColumns() int { return t.numColumns }
 
+// Count returns how many tints are allocated. Tints are numbered
+// sequentially from 0 and never deleted, so ids 0..Count()-1 enumerate the
+// table in a fixed order without allocating — the inspect reducer's
+// per-frame walk rides this instead of Tints().
+func (t *Table) Count() int { return int(t.state.Load().nextID) }
+
 // NewTint allocates a fresh tint with the given debug name, initially mapped
 // to all columns.
 func (t *Table) NewTint(name string) Tint {

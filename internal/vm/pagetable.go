@@ -43,6 +43,14 @@ func (pt *PageTable) Lookup(addr memory.Addr) PTE {
 // LookupPage returns the PTE for page number pn.
 func (pt *PageTable) LookupPage(pn uint64) PTE { return pt.entries[pn] }
 
+// TintOf returns the tint governing addr's page. Like Lookup it is
+// side-effect free — no entry is created and no counter moves — so the
+// inspection layer can attribute every resident cache line to its tint
+// without perturbing the simulation or the Fig. 3 write accounting.
+func (pt *PageTable) TintOf(addr memory.Addr) tint.Tint {
+	return pt.entries[pt.g.PageNumber(addr)].Tint
+}
+
 // SetTintPage re-tints a single page and reports whether the entry changed.
 func (pt *PageTable) SetTintPage(pn uint64, id tint.Tint) bool {
 	e := pt.entries[pn]
